@@ -1,0 +1,33 @@
+//! Analysis operations (Section V-D of the paper).
+//!
+//! JUST presets out-of-the-box spatio-temporal analysis functions in
+//! three shapes:
+//!
+//! * **1-1** — row to row: coordinate transforms
+//!   (`st_WGS84ToGCJ02`, re-exported from `just-geo`),
+//! * **1-N** — row to rows: trajectory preprocessing
+//!   ([`noise_filter`], [`segment`], [`stay_points`]) and HMM
+//!   [`map_match`]ing over a [`RoadNetwork`],
+//! * **N-M** — rows to rows: the grid-accelerated [`dbscan`] clustering.
+
+#![deny(missing_docs)]
+
+mod dbscan;
+mod mapmatch;
+mod noise;
+mod roadnet;
+mod segment;
+mod staypoint;
+mod trajectory;
+
+pub use dbscan::{clusters, dbscan, ClusterLabel, DbscanParams};
+pub use mapmatch::{map_match, MapMatchParams, MatchedPoint};
+pub use noise::{noise_filter, NoiseFilterParams};
+pub use roadnet::{RoadNetwork, RoadSegment, SegmentId};
+pub use segment::{segment, SegmentParams};
+pub use staypoint::{stay_points, StayPoint, StayPointParams};
+pub use trajectory::Trajectory;
+
+// 1-1 operations: the coordinate transforms live in just-geo; re-export
+// them under the analysis namespace the SQL layer binds to.
+pub use just_geo::{bd09_to_gcj02, gcj02_to_bd09, gcj02_to_wgs84, wgs84_to_gcj02};

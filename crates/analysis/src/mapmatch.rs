@@ -1,0 +1,226 @@
+//! `st_trajMapMatching`: HMM map matching in the style of
+//! Newson & Krumm (2009).
+//!
+//! Emission: a GPS sample observes its true segment with Gaussian error.
+//! Transition: the route distance between consecutive candidates should
+//! match the great-circle distance between the samples; detours are
+//! penalised exponentially. Viterbi decoding picks the most likely
+//! segment sequence.
+
+use crate::roadnet::{RoadNetwork, SegmentId};
+use crate::trajectory::Trajectory;
+
+/// Map-matching tuning.
+#[derive(Debug, Clone, Copy)]
+pub struct MapMatchParams {
+    /// GPS noise sigma in metres (emission model).
+    pub sigma_m: f64,
+    /// Transition scale beta in metres.
+    pub beta_m: f64,
+    /// Candidate search radius in metres.
+    pub radius_m: f64,
+    /// Route search cap as a multiple of the sample hop distance.
+    pub route_cap_factor: f64,
+}
+
+impl Default for MapMatchParams {
+    fn default() -> Self {
+        MapMatchParams {
+            sigma_m: 10.0,
+            beta_m: 50.0,
+            radius_m: 100.0,
+            route_cap_factor: 8.0,
+        }
+    }
+}
+
+/// One matched sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatchedPoint {
+    /// Index of the sample in the (filtered) trajectory.
+    pub sample_idx: usize,
+    /// The matched road segment.
+    pub segment: SegmentId,
+    /// Distance from the sample to the segment, metres.
+    pub error_m: f64,
+}
+
+/// Matches a trajectory onto the network. Samples with no candidate
+/// within `radius_m` are skipped (off-network, e.g. indoors). Returns the
+/// Viterbi-optimal segment per remaining sample.
+pub fn map_match(
+    net: &RoadNetwork,
+    traj: &Trajectory,
+    params: &MapMatchParams,
+) -> Vec<MatchedPoint> {
+    // Candidate sets per sample (skipping uncovered samples).
+    let mut steps: Vec<(usize, Vec<(SegmentId, f64)>)> = Vec::new();
+    for (i, p) in traj.points.iter().enumerate() {
+        let cands = net.candidates(&p.point, params.radius_m);
+        if !cands.is_empty() {
+            // Cap the branching factor: the nearest 6 candidates.
+            steps.push((i, cands.into_iter().take(6).collect()));
+        }
+    }
+    if steps.is_empty() {
+        return Vec::new();
+    }
+
+    let emission = |d_m: f64| -> f64 {
+        // log of the Gaussian density (constant factor dropped).
+        -0.5 * (d_m / params.sigma_m).powi(2)
+    };
+
+    // Viterbi over the candidate lattice.
+    let first = &steps[0];
+    let mut scores: Vec<f64> = first.1.iter().map(|(_, d)| emission(*d)).collect();
+    let mut back: Vec<Vec<usize>> = vec![Vec::new()];
+
+    for w in 1..steps.len() {
+        let (prev_idx, prev_cands) = &steps[w - 1];
+        let (cur_idx, cur_cands) = &steps[w];
+        let hop_m = traj.points[*prev_idx]
+            .point
+            .distance_m(&traj.points[*cur_idx].point);
+        let cap = (hop_m * params.route_cap_factor).max(500.0);
+        let mut new_scores = vec![f64::NEG_INFINITY; cur_cands.len()];
+        let mut pointers = vec![0usize; cur_cands.len()];
+        for (j, (cand, d)) in cur_cands.iter().enumerate() {
+            let e = emission(*d);
+            for (i, (prev_cand, _)) in prev_cands.iter().enumerate() {
+                if scores[i] == f64::NEG_INFINITY {
+                    continue;
+                }
+                let transition = match net.route_distance_m(*prev_cand, *cand, cap) {
+                    Some(route_m) => -((route_m - hop_m).abs() / params.beta_m),
+                    None => -30.0, // disconnected: strongly discouraged
+                };
+                let s = scores[i] + transition + e;
+                if s > new_scores[j] {
+                    new_scores[j] = s;
+                    pointers[j] = i;
+                }
+            }
+        }
+        scores = new_scores;
+        back.push(pointers);
+    }
+
+    // Backtrack.
+    let mut best = 0usize;
+    for (j, s) in scores.iter().enumerate() {
+        if *s > scores[best] {
+            best = j;
+        }
+    }
+    let mut path = vec![best];
+    for w in (1..steps.len()).rev() {
+        best = back[w][best];
+        path.push(best);
+    }
+    path.reverse();
+
+    steps
+        .iter()
+        .zip(path)
+        .map(|((sample_idx, cands), choice)| MatchedPoint {
+            sample_idx: *sample_idx,
+            segment: cands[choice].0,
+            error_m: cands[choice].1,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use just_geo::{Point, StPoint};
+
+    /// A noisy walk along the horizontal street y = 39.002 of a grid
+    /// network.
+    fn noisy_walk() -> (RoadNetwork, Trajectory) {
+        let net = RoadNetwork::grid_network(Point::new(116.0, 39.0), 8, 0.001);
+        let mut pts = Vec::new();
+        for i in 0..30 {
+            let x = 116.0001 + i as f64 * 0.00025;
+            // ~6 m of alternating lateral noise.
+            let noise = if i % 2 == 0 { 5e-5 } else { -5e-5 };
+            pts.push(StPoint::new(x, 39.002 + noise, i * 1000));
+        }
+        (net, Trajectory::new("walk", pts))
+    }
+
+    #[test]
+    fn matches_follow_the_true_street() {
+        let (net, traj) = noisy_walk();
+        let matched = map_match(&net, &traj, &MapMatchParams::default());
+        assert_eq!(matched.len(), 30);
+        for m in &matched {
+            let seg = net.segment(m.segment);
+            let mbr = seg.geometry.mbr();
+            // Every matched segment is the horizontal street at y=39.002.
+            assert!(
+                (mbr.min_y - 39.002).abs() < 1e-9 && (mbr.max_y - 39.002).abs() < 1e-9,
+                "sample {} matched to {:?}",
+                m.sample_idx,
+                mbr
+            );
+            assert!(m.error_m < 12.0);
+        }
+    }
+
+    #[test]
+    fn hmm_beats_greedy_nearest_on_parallel_streets() {
+        // Two parallel streets 100 m apart; samples drift towards the
+        // wrong street briefly. Greedy nearest flips; HMM should not,
+        // because flipping costs a long route detour.
+        let mut net = RoadNetwork::new();
+        let a0 = net.add_node(Point::new(116.0, 39.0));
+        let a1 = net.add_node(Point::new(116.02, 39.0));
+        let b0 = net.add_node(Point::new(116.0, 39.0009));
+        let b1 = net.add_node(Point::new(116.02, 39.0009));
+        net.add_road(a0, a1, vec![]);
+        net.add_road(b0, b1, vec![]);
+        let mut pts = Vec::new();
+        for i in 0..20 {
+            let x = 116.0005 + i as f64 * 0.0005;
+            // Mostly on street A; two samples closer to street B.
+            let y = if i == 9 || i == 10 { 39.0005 } else { 39.0001 };
+            pts.push(StPoint::new(x, y, i * 1000));
+        }
+        let traj = Trajectory::new("drift", pts);
+        let matched = map_match(&net, &traj, &MapMatchParams::default());
+        assert_eq!(matched.len(), 20);
+        let street_of = |sid: SegmentId| {
+            if net.segment(sid).geometry.mbr().min_y < 39.0005 {
+                'A'
+            } else {
+                'B'
+            }
+        };
+        let streets: Vec<char> = matched.iter().map(|m| street_of(m.segment)).collect();
+        assert!(
+            streets.iter().all(|&s| s == 'A'),
+            "HMM flipped streets: {streets:?}"
+        );
+    }
+
+    #[test]
+    fn off_network_samples_are_skipped() {
+        let (net, mut traj) = noisy_walk();
+        traj.points.insert(
+            15,
+            StPoint::new(120.0, 45.0, 14_500), // far off the map
+        );
+        let matched = map_match(&net, &traj, &MapMatchParams::default());
+        assert_eq!(matched.len(), 30, "31 samples, 1 skipped");
+        assert!(matched.iter().all(|m| m.sample_idx != 15));
+    }
+
+    #[test]
+    fn empty_trajectory() {
+        let (net, _) = noisy_walk();
+        let empty = Trajectory::new("e", vec![]);
+        assert!(map_match(&net, &empty, &MapMatchParams::default()).is_empty());
+    }
+}

@@ -1,0 +1,93 @@
+//! `st_trajNoiseFilter`: removes GPS outliers by speed plausibility.
+//!
+//! The classic heuristic from trajectory preprocessing (Zheng, *Trajectory
+//! Data Mining*, 2015): a sample requiring an implausible speed to reach
+//! from the last accepted sample is jitter and is dropped.
+
+use crate::trajectory::Trajectory;
+
+/// Noise-filter tuning.
+#[derive(Debug, Clone, Copy)]
+pub struct NoiseFilterParams {
+    /// Maximum plausible speed in m/s (default 50 ≈ 180 km/h).
+    pub max_speed_ms: f64,
+}
+
+impl Default for NoiseFilterParams {
+    fn default() -> Self {
+        NoiseFilterParams { max_speed_ms: 50.0 }
+    }
+}
+
+/// Drops samples whose speed from the previously *kept* sample exceeds
+/// the threshold. The first sample is always kept.
+pub fn noise_filter(traj: &Trajectory, params: &NoiseFilterParams) -> Trajectory {
+    let mut kept = Vec::with_capacity(traj.points.len());
+    for p in &traj.points {
+        match kept.last() {
+            None => kept.push(*p),
+            Some(last) => {
+                let v = last.speed_to(p);
+                if v <= params.max_speed_ms {
+                    kept.push(*p);
+                }
+            }
+        }
+    }
+    Trajectory {
+        oid: traj.oid.clone(),
+        points: kept,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use just_geo::StPoint;
+
+    #[test]
+    fn drops_teleporting_samples() {
+        // 1 Hz samples moving ~11 m/s, with one 50 km jump in the middle.
+        let mut pts = Vec::new();
+        for i in 0..10 {
+            pts.push(StPoint::new(116.0 + i as f64 * 1e-4, 39.0, i * 1000));
+        }
+        pts.insert(5, StPoint::new(116.5, 39.0, 4500)); // outlier
+        let traj = Trajectory::new("t", pts);
+        let clean = noise_filter(&traj, &NoiseFilterParams::default());
+        assert_eq!(clean.len(), 10);
+        assert!(clean.points.iter().all(|p| p.point.x < 116.01));
+    }
+
+    #[test]
+    fn keeps_everything_when_plausible() {
+        let pts: Vec<StPoint> = (0..20)
+            .map(|i| StPoint::new(116.0 + i as f64 * 1e-4, 39.0, i * 1000))
+            .collect();
+        let traj = Trajectory::new("t", pts.clone());
+        let clean = noise_filter(&traj, &NoiseFilterParams::default());
+        assert_eq!(clean.len(), 20);
+    }
+
+    #[test]
+    fn zero_dt_displacement_is_noise() {
+        let traj = Trajectory::new(
+            "t",
+            vec![
+                StPoint::new(116.0, 39.0, 0),
+                StPoint::new(116.2, 39.0, 0), // same timestamp, 17 km away
+                StPoint::new(116.0001, 39.0, 1000),
+            ],
+        );
+        let clean = noise_filter(&traj, &NoiseFilterParams::default());
+        assert_eq!(clean.len(), 2);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let empty = Trajectory::new("t", vec![]);
+        assert!(noise_filter(&empty, &NoiseFilterParams::default()).is_empty());
+        let single = Trajectory::new("t", vec![StPoint::new(1.0, 1.0, 0)]);
+        assert_eq!(noise_filter(&single, &NoiseFilterParams::default()).len(), 1);
+    }
+}

@@ -1,0 +1,114 @@
+//! `st_trajSegmentation`: splits a trajectory into sub-trajectories at
+//! sampling gaps, so downstream operations (map matching, stay points)
+//! never bridge an hour of missing data with one straight line.
+
+use crate::trajectory::Trajectory;
+
+/// Segmentation thresholds; exceeding either starts a new segment.
+#[derive(Debug, Clone, Copy)]
+pub struct SegmentParams {
+    /// Maximum time gap between consecutive samples, ms (default 5 min).
+    pub max_gap_ms: i64,
+    /// Maximum distance hop between consecutive samples, metres
+    /// (default 1 km).
+    pub max_hop_m: f64,
+    /// Segments shorter than this many samples are discarded.
+    pub min_points: usize,
+}
+
+impl Default for SegmentParams {
+    fn default() -> Self {
+        SegmentParams {
+            max_gap_ms: 5 * 60 * 1000,
+            max_hop_m: 1000.0,
+            min_points: 2,
+        }
+    }
+}
+
+/// Splits at gaps; sub-trajectories keep the parent id with a `#k`
+/// suffix.
+pub fn segment(traj: &Trajectory, params: &SegmentParams) -> Vec<Trajectory> {
+    let mut segments = Vec::new();
+    let mut current: Vec<just_geo::StPoint> = Vec::new();
+    for p in &traj.points {
+        if let Some(last) = current.last() {
+            let gap = p.time_ms - last.time_ms;
+            let hop = last.point.distance_m(&p.point);
+            if gap > params.max_gap_ms || hop > params.max_hop_m {
+                flush(&mut segments, &mut current, &traj.oid, params.min_points);
+            }
+        }
+        current.push(*p);
+    }
+    flush(&mut segments, &mut current, &traj.oid, params.min_points);
+    segments
+}
+
+fn flush(
+    segments: &mut Vec<Trajectory>,
+    current: &mut Vec<just_geo::StPoint>,
+    oid: &str,
+    min_points: usize,
+) {
+    if current.len() >= min_points {
+        let idx = segments.len();
+        segments.push(Trajectory {
+            oid: format!("{oid}#{idx}"),
+            points: std::mem::take(current),
+        });
+    } else {
+        current.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use just_geo::StPoint;
+
+    fn walk(start_t: i64, n: usize) -> Vec<StPoint> {
+        (0..n)
+            .map(|i| StPoint::new(116.0 + i as f64 * 1e-4, 39.0, start_t + i as i64 * 1000))
+            .collect()
+    }
+
+    #[test]
+    fn splits_on_time_gap() {
+        let mut pts = walk(0, 5);
+        pts.extend(walk(60 * 60 * 1000, 5)); // one hour later
+        let segs = segment(&Trajectory::new("t", pts), &SegmentParams::default());
+        assert_eq!(segs.len(), 2);
+        assert_eq!(segs[0].len(), 5);
+        assert_eq!(segs[0].oid, "t#0");
+        assert_eq!(segs[1].oid, "t#1");
+    }
+
+    #[test]
+    fn splits_on_distance_hop() {
+        let mut pts = walk(0, 5);
+        // Continue promptly, but 20 km east.
+        let far: Vec<StPoint> = (0..5)
+            .map(|i| StPoint::new(116.2 + i as f64 * 1e-4, 39.0, 6000 + i * 1000))
+            .collect();
+        pts.extend(far);
+        let segs = segment(&Trajectory::new("t", pts), &SegmentParams::default());
+        assert_eq!(segs.len(), 2);
+    }
+
+    #[test]
+    fn discards_short_fragments() {
+        let mut pts = walk(0, 1); // lone point
+        pts.extend(walk(60 * 60 * 1000, 5));
+        let segs = segment(&Trajectory::new("t", pts), &SegmentParams::default());
+        assert_eq!(segs.len(), 1);
+        assert_eq!(segs[0].len(), 5);
+    }
+
+    #[test]
+    fn continuous_trajectory_stays_whole() {
+        let segs = segment(&Trajectory::new("t", walk(0, 50)), &SegmentParams::default());
+        assert_eq!(segs.len(), 1);
+        assert_eq!(segs[0].len(), 50);
+    }
+}

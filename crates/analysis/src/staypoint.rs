@@ -1,0 +1,149 @@
+//! `st_trajStayPoint`: detects places where the object lingered — the
+//! classic distance/duration algorithm (Li et al., 2008) used for visit
+//! and delivery-stop mining.
+
+use crate::trajectory::Trajectory;
+use just_geo::Point;
+
+/// Stay-point thresholds.
+#[derive(Debug, Clone, Copy)]
+pub struct StayPointParams {
+    /// All samples of a stay lie within this radius of the anchor, metres
+    /// (default 200 m).
+    pub max_radius_m: f64,
+    /// The stay must last at least this long, ms (default 20 min).
+    pub min_duration_ms: i64,
+}
+
+impl Default for StayPointParams {
+    fn default() -> Self {
+        StayPointParams {
+            max_radius_m: 200.0,
+            min_duration_ms: 20 * 60 * 1000,
+        }
+    }
+}
+
+/// One detected stay.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StayPoint {
+    /// Mean position of the stay's samples.
+    pub centroid: Point,
+    /// Arrival time (ms).
+    pub t_arrive: i64,
+    /// Departure time (ms).
+    pub t_leave: i64,
+    /// Index range `[start, end)` into the trajectory's samples.
+    pub range: (usize, usize),
+}
+
+impl StayPoint {
+    /// Stay duration in ms.
+    pub fn duration_ms(&self) -> i64 {
+        self.t_leave - self.t_arrive
+    }
+}
+
+/// Scans the trajectory for maximal windows where every sample stays
+/// within `max_radius_m` of the window's first sample and the window
+/// spans at least `min_duration_ms`.
+pub fn stay_points(traj: &Trajectory, params: &StayPointParams) -> Vec<StayPoint> {
+    let pts = &traj.points;
+    let mut stays = Vec::new();
+    let mut i = 0usize;
+    while i < pts.len() {
+        let anchor = pts[i].point;
+        let mut j = i + 1;
+        while j < pts.len() && anchor.distance_m(&pts[j].point) <= params.max_radius_m {
+            j += 1;
+        }
+        // Window [i, j) shares the anchor's neighbourhood.
+        let duration = pts[j - 1].time_ms - pts[i].time_ms;
+        if duration >= params.min_duration_ms && j - i >= 2 {
+            let n = (j - i) as f64;
+            let cx = pts[i..j].iter().map(|p| p.point.x).sum::<f64>() / n;
+            let cy = pts[i..j].iter().map(|p| p.point.y).sum::<f64>() / n;
+            stays.push(StayPoint {
+                centroid: Point::new(cx, cy),
+                t_arrive: pts[i].time_ms,
+                t_leave: pts[j - 1].time_ms,
+                range: (i, j),
+            });
+            i = j;
+        } else {
+            i += 1;
+        }
+    }
+    stays
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use just_geo::StPoint;
+
+    const MIN: i64 = 60 * 1000;
+
+    fn moving(start_t: i64, n: usize, x0: f64) -> Vec<StPoint> {
+        // ~11 m/s eastwards, 1 sample/s: never within 200 m for 20 min.
+        (0..n)
+            .map(|i| StPoint::new(x0 + i as f64 * 1e-4, 39.0, start_t + i as i64 * 1000))
+            .collect()
+    }
+
+    fn staying(start_t: i64, minutes: i64, at: (f64, f64)) -> Vec<StPoint> {
+        // One sample per minute, jittering ~10 m around the spot.
+        (0..=minutes)
+            .map(|i| {
+                StPoint::new(
+                    at.0 + (i % 3) as f64 * 1e-4 * 0.1,
+                    at.1 + (i % 2) as f64 * 1e-4 * 0.1,
+                    start_t + i * MIN,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn detects_a_delivery_stop() {
+        let mut pts = moving(0, 60, 116.0);
+        let stop_start = 60_000 * 2; // overlaps time-wise is fine; sort fixes order
+        let mut stop = staying(100 * 1000, 30, (116.006, 39.0));
+        pts.append(&mut stop);
+        let mut tail = moving(40 * MIN, 60, 116.007);
+        pts.append(&mut tail);
+        let _ = stop_start;
+        let traj = Trajectory::new("t", pts);
+        let stays = stay_points(&traj, &StayPointParams::default());
+        assert_eq!(stays.len(), 1);
+        let s = &stays[0];
+        assert!(s.duration_ms() >= 20 * MIN);
+        assert!((s.centroid.x - 116.006).abs() < 0.001);
+    }
+
+    #[test]
+    fn no_stay_when_always_moving() {
+        let traj = Trajectory::new("t", moving(0, 600, 116.0));
+        assert!(stay_points(&traj, &StayPointParams::default()).is_empty());
+    }
+
+    #[test]
+    fn short_pause_is_not_a_stay() {
+        let mut pts = moving(0, 10, 116.0);
+        pts.extend(staying(10_000, 5, (116.001, 39.0))); // 5 minutes only
+        pts.extend(moving(6 * MIN, 10, 116.002));
+        let traj = Trajectory::new("t", pts);
+        assert!(stay_points(&traj, &StayPointParams::default()).is_empty());
+    }
+
+    #[test]
+    fn two_separate_stays() {
+        let mut pts = staying(0, 25, (116.0, 39.0));
+        pts.extend(moving(30 * MIN, 120, 116.001));
+        pts.extend(staying(60 * MIN, 25, (116.02, 39.0)));
+        let traj = Trajectory::new("t", pts);
+        let stays = stay_points(&traj, &StayPointParams::default());
+        assert_eq!(stays.len(), 2);
+        assert!(stays[0].t_leave <= stays[1].t_arrive);
+    }
+}

@@ -1,0 +1,253 @@
+//! The GeoSpark/SpatialSpark-style baseline: uniform grid partitioning
+//! held in memory. "GeoSpark lacks of a global index" — each query tests
+//! every overlapping cell's contents.
+
+use crate::engine::{
+    resident_estimate, EngineError, Family, MemoryBudget, SpatialEngine, StRecord,
+};
+use just_geo::{Point, Rect};
+use std::collections::HashMap;
+
+/// Uniform in-memory grid engine.
+pub struct GridEngine {
+    budget: MemoryBudget,
+    cells_per_side: usize,
+    extent: Rect,
+    cells: HashMap<(u32, u32), Vec<usize>>,
+    records: Vec<StRecord>,
+}
+
+impl GridEngine {
+    /// Creates the engine; `cells_per_side` controls partition granularity
+    /// (GeoSpark's fixed grid).
+    pub fn new(budget: MemoryBudget, cells_per_side: usize) -> Self {
+        GridEngine {
+            budget,
+            cells_per_side: cells_per_side.max(1),
+            extent: just_geo::WORLD,
+            cells: HashMap::new(),
+            records: Vec::new(),
+        }
+    }
+
+    fn cell_of(&self, x: f64, y: f64) -> (u32, u32) {
+        let n = self.cells_per_side as f64;
+        let cx = ((x - self.extent.min_x) / self.extent.width().max(1e-12) * n)
+            .clamp(0.0, n - 1.0) as u32;
+        let cy = ((y - self.extent.min_y) / self.extent.height().max(1e-12) * n)
+            .clamp(0.0, n - 1.0) as u32;
+        (cx, cy)
+    }
+
+    fn cells_overlapping(&self, r: &Rect) -> Vec<(u32, u32)> {
+        let (x0, y0) = self.cell_of(r.min_x, r.min_y);
+        let (x1, y1) = self.cell_of(r.max_x, r.max_y);
+        let mut out = Vec::new();
+        for cx in x0..=x1 {
+            for cy in y0..=y1 {
+                out.push((cx, cy));
+            }
+        }
+        out
+    }
+}
+
+impl SpatialEngine for GridEngine {
+    fn name(&self) -> &'static str {
+        "grid-mem (GeoSpark-like)"
+    }
+
+    fn family(&self) -> Family {
+        Family::InMemory
+    }
+
+    fn build(&mut self, records: &[StRecord]) -> Result<(), EngineError> {
+        self.budget.check(resident_estimate(records, 48))?;
+        self.records = records.to_vec();
+        // Fit the grid to the data extent for load balance.
+        let mut extent = Rect::empty();
+        for r in &self.records {
+            extent = extent.union(&r.mbr);
+        }
+        self.extent = if extent.is_empty() {
+            just_geo::WORLD
+        } else {
+            extent
+        };
+        self.cells.clear();
+        for (i, r) in self.records.iter().enumerate() {
+            // Extents register in every overlapping cell.
+            let (x0, y0) = self.cell_of(r.mbr.min_x, r.mbr.min_y);
+            let (x1, y1) = self.cell_of(r.mbr.max_x, r.mbr.max_y);
+            for cx in x0..=x1 {
+                for cy in y0..=y1 {
+                    self.cells.entry((cx, cy)).or_default().push(i);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn spatial_range(&self, window: &Rect) -> Result<Vec<u64>, EngineError> {
+        let mut out = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        for cell in self.cells_overlapping(window) {
+            if let Some(bucket) = self.cells.get(&cell) {
+                for &i in bucket {
+                    if seen.insert(i) && self.records[i].mbr.intersects(window) {
+                        out.push(self.records[i].id);
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn st_range(&self, _window: &Rect, _t0: i64, _t1: i64) -> Result<Vec<u64>, EngineError> {
+        Err(EngineError::Unsupported("st_range (GeoSpark is spatial-only)"))
+    }
+
+    fn knn(&self, q: Point, k: usize) -> Result<Vec<u64>, EngineError> {
+        // Expanding ring search over cells.
+        if self.records.is_empty() || k == 0 {
+            return Ok(Vec::new());
+        }
+        let (qx, qy) = self.cell_of(q.x, q.y);
+        let n = self.cells_per_side as i64;
+        let mut best: Vec<(f64, u64)> = Vec::new();
+        let cell_w = self.extent.width() / self.cells_per_side as f64;
+        let cell_h = self.extent.height() / self.cells_per_side as f64;
+        let cell_diag = (cell_w * cell_w + cell_h * cell_h).sqrt();
+        for ring in 0..=n {
+            let mut any_cell = false;
+            for dx in -ring..=ring {
+                for dy in -ring..=ring {
+                    if dx.abs() != ring && dy.abs() != ring {
+                        continue; // interior already visited
+                    }
+                    let cx = qx as i64 + dx;
+                    let cy = qy as i64 + dy;
+                    if cx < 0 || cy < 0 || cx >= n || cy >= n {
+                        continue;
+                    }
+                    any_cell = true;
+                    if let Some(bucket) = self.cells.get(&(cx as u32, cy as u32)) {
+                        for &i in bucket {
+                            let d = just_geo::euclidean(&self.records[i].point, &q);
+                            best.push((d, self.records[i].id));
+                        }
+                    }
+                }
+            }
+            // Enough candidates and the next ring cannot beat the k-th
+            // best: stop.
+            if best.len() >= k {
+                best.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+                best.dedup_by_key(|(_, id)| *id);
+                if best.len() >= k {
+                    let kth = best[k - 1].0;
+                    let ring_min_dist = (ring as f64) * cell_w.min(cell_h) - cell_diag;
+                    if ring_min_dist > kth {
+                        break;
+                    }
+                }
+            }
+            if !any_cell && ring > 0 {
+                break;
+            }
+        }
+        best.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        best.dedup_by_key(|(_, id)| *id);
+        Ok(best.into_iter().take(k).map(|(_, id)| id).collect())
+    }
+
+    fn memory_bytes(&self) -> usize {
+        resident_estimate(&self.records, 48)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cluster(n: usize) -> Vec<StRecord> {
+        (0..n)
+            .map(|i| {
+                StRecord::point(
+                    i as u64,
+                    Point::new(
+                        116.0 + (i % 31) as f64 * 0.003,
+                        39.0 + (i % 37) as f64 * 0.003,
+                    ),
+                    i as i64 * 1000,
+                    64,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn range_matches_brute_force() {
+        let recs = cluster(500);
+        let mut e = GridEngine::new(MemoryBudget::unlimited(), 32);
+        e.build(&recs).unwrap();
+        let w = Rect::new(116.01, 39.01, 116.05, 39.06);
+        let mut got = e.spatial_range(&w).unwrap();
+        got.sort_unstable();
+        let mut want: Vec<u64> = recs
+            .iter()
+            .filter(|r| r.mbr.intersects(&w))
+            .map(|r| r.id)
+            .collect();
+        want.sort_unstable();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn knn_matches_brute_force() {
+        let recs = cluster(300);
+        let mut e = GridEngine::new(MemoryBudget::unlimited(), 16);
+        e.build(&recs).unwrap();
+        let q = Point::new(116.04, 39.05);
+        let got = e.knn(q, 7).unwrap();
+        assert_eq!(got.len(), 7);
+        let mut brute: Vec<(f64, u64)> = recs
+            .iter()
+            .map(|r| (just_geo::euclidean(&r.point, &q), r.id))
+            .collect();
+        brute.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        for (g, (wd, _)) in got.iter().zip(brute.iter().take(7)) {
+            let gd = just_geo::euclidean(&recs[*g as usize].point, &q);
+            assert!((gd - wd).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn extents_found_from_any_overlapping_cell() {
+        let mut recs = cluster(50);
+        recs.push(StRecord::extent(
+            999,
+            Rect::new(116.0, 39.0, 116.09, 39.1),
+            0,
+            10,
+            256,
+        ));
+        let mut e = GridEngine::new(MemoryBudget::unlimited(), 16);
+        e.build(&recs).unwrap();
+        let w = Rect::new(116.08, 39.09, 116.085, 39.095);
+        let got = e.spatial_range(&w).unwrap();
+        assert!(got.contains(&999));
+    }
+
+    #[test]
+    fn oom_respected() {
+        let recs: Vec<StRecord> = (0..10)
+            .map(|i| StRecord::point(i, Point::new(0.0, 0.0), 0, 1 << 20))
+            .collect();
+        let mut e = GridEngine::new(MemoryBudget::mib(1), 8);
+        assert!(matches!(
+            e.build(&recs),
+            Err(EngineError::OutOfMemory { .. })
+        ));
+    }
+}

@@ -1,0 +1,243 @@
+//! The MD-HBase-style baseline: a k-d tree over points (MD-HBase's
+//! KD-tree index variant), built in memory.
+
+use crate::engine::{
+    resident_estimate, EngineError, Family, MemoryBudget, SpatialEngine, StRecord,
+};
+use just_geo::{Point, Rect};
+
+#[derive(Debug)]
+struct KdNode {
+    /// Index into records.
+    idx: usize,
+    /// Split axis: 0 = x, 1 = y.
+    axis: u8,
+    left: Option<Box<KdNode>>,
+    right: Option<Box<KdNode>>,
+}
+
+/// K-d tree engine (the MD-HBase stand-in).
+pub struct KdTreeEngine {
+    budget: MemoryBudget,
+    records: Vec<StRecord>,
+    root: Option<Box<KdNode>>,
+}
+
+impl KdTreeEngine {
+    /// Creates the engine.
+    pub fn new(budget: MemoryBudget) -> Self {
+        KdTreeEngine {
+            budget,
+            records: Vec::new(),
+            root: None,
+        }
+    }
+
+    fn build_node(records: &[StRecord], mut items: Vec<usize>, depth: u32) -> Option<Box<KdNode>> {
+        if items.is_empty() {
+            return None;
+        }
+        let axis = (depth % 2) as u8;
+        items.sort_by(|&a, &b| {
+            let (pa, pb) = (records[a].point, records[b].point);
+            let (ka, kb) = if axis == 0 { (pa.x, pb.x) } else { (pa.y, pb.y) };
+            ka.partial_cmp(&kb).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let mid = items.len() / 2;
+        let right_items = items.split_off(mid + 1);
+        let idx = items.pop().expect("mid exists");
+        Some(Box::new(KdNode {
+            idx,
+            axis,
+            left: Self::build_node(records, items, depth + 1),
+            right: Self::build_node(records, right_items, depth + 1),
+        }))
+    }
+
+    fn range_search(&self, node: &Option<Box<KdNode>>, window: &Rect, out: &mut Vec<u64>) {
+        let Some(n) = node else { return };
+        let p = self.records[n.idx].point;
+        if window.contains_point(&p) {
+            out.push(self.records[n.idx].id);
+        }
+        let (key, lo, hi) = if n.axis == 0 {
+            (p.x, window.min_x, window.max_x)
+        } else {
+            (p.y, window.min_y, window.max_y)
+        };
+        if lo <= key {
+            self.range_search(&n.left, window, out);
+        }
+        if hi >= key {
+            self.range_search(&n.right, window, out);
+        }
+    }
+
+    fn knn_search(
+        &self,
+        node: &Option<Box<KdNode>>,
+        q: &Point,
+        k: usize,
+        best: &mut Vec<(f64, u64)>,
+    ) {
+        let Some(n) = node else { return };
+        let p = self.records[n.idx].point;
+        let d = just_geo::euclidean(&p, q);
+        best.push((d, self.records[n.idx].id));
+        best.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        best.truncate(k);
+        let (key, qk) = if n.axis == 0 { (p.x, q.x) } else { (p.y, q.y) };
+        let (near, far) = if qk <= key {
+            (&n.left, &n.right)
+        } else {
+            (&n.right, &n.left)
+        };
+        self.knn_search(near, q, k, best);
+        // Explore the far side only if the splitting plane is closer than
+        // the current k-th best.
+        let plane_dist = (qk - key).abs();
+        if best.len() < k || plane_dist <= best.last().map(|(d, _)| *d).unwrap_or(f64::INFINITY)
+        {
+            self.knn_search(far, q, k, best);
+        }
+    }
+}
+
+impl SpatialEngine for KdTreeEngine {
+    fn name(&self) -> &'static str {
+        "kdtree-mem (MD-HBase-like)"
+    }
+
+    fn family(&self) -> Family {
+        Family::NoSql
+    }
+
+    fn build(&mut self, records: &[StRecord]) -> Result<(), EngineError> {
+        self.budget.check(resident_estimate(records, 64))?;
+        self.records = records.to_vec();
+        let items: Vec<usize> = (0..self.records.len()).collect();
+        self.root = Self::build_node(&self.records, items, 0).map(|b| b as Box<KdNode>);
+        Ok(())
+    }
+
+    fn spatial_range(&self, window: &Rect) -> Result<Vec<u64>, EngineError> {
+        let mut out = Vec::new();
+        self.range_search(&self.root, window, &mut out);
+        Ok(out)
+    }
+
+    fn st_range(&self, _window: &Rect, _t0: i64, _t1: i64) -> Result<Vec<u64>, EngineError> {
+        Err(EngineError::Unsupported("st_range (MD-HBase is spatial-only)"))
+    }
+
+    fn knn(&self, q: Point, k: usize) -> Result<Vec<u64>, EngineError> {
+        let mut best = Vec::new();
+        self.knn_search(&self.root, &q, k, &mut best);
+        Ok(best.into_iter().map(|(_, id)| id).collect())
+    }
+
+    fn supports_update(&self) -> bool {
+        true // MD-HBase is a store: inserts are cheap.
+    }
+
+    fn insert(&mut self, record: StRecord) -> Result<(), EngineError> {
+        // Unbalanced insert, as MD-HBase's online splits would do.
+        self.budget
+            .check(self.memory_bytes() + record.payload_bytes as usize + 64)?;
+        self.records.push(record);
+        let idx = self.records.len() - 1;
+        let p = self.records[idx].point;
+        let mut node = &mut self.root;
+        let mut depth = 0u32;
+        loop {
+            match node {
+                None => {
+                    *node = Some(Box::new(KdNode {
+                        idx,
+                        axis: (depth % 2) as u8,
+                        left: None,
+                        right: None,
+                    }));
+                    return Ok(());
+                }
+                Some(n) => {
+                    let np = self.records[n.idx].point;
+                    let (key, qk) = if n.axis == 0 { (np.x, p.x) } else { (np.y, p.y) };
+                    node = if qk <= key { &mut n.left } else { &mut n.right };
+                    depth += 1;
+                }
+            }
+        }
+    }
+
+    fn memory_bytes(&self) -> usize {
+        resident_estimate(&self.records, 64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn recs(n: usize) -> Vec<StRecord> {
+        (0..n)
+            .map(|i| {
+                // Deterministic scatter.
+                let x = 116.0 + ((i * 7919) % 1000) as f64 * 1e-4;
+                let y = 39.0 + ((i * 104729) % 1000) as f64 * 1e-4;
+                StRecord::point(i as u64, Point::new(x, y), i as i64, 64)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn range_matches_brute_force() {
+        let records = recs(500);
+        let mut e = KdTreeEngine::new(MemoryBudget::unlimited());
+        e.build(&records).unwrap();
+        let w = Rect::new(116.02, 39.02, 116.06, 39.07);
+        let mut got = e.spatial_range(&w).unwrap();
+        got.sort_unstable();
+        let mut want: Vec<u64> = records
+            .iter()
+            .filter(|r| w.contains_point(&r.point))
+            .map(|r| r.id)
+            .collect();
+        want.sort_unstable();
+        assert_eq!(got, want);
+        assert!(!got.is_empty());
+    }
+
+    #[test]
+    fn knn_matches_brute_force() {
+        let records = recs(300);
+        let mut e = KdTreeEngine::new(MemoryBudget::unlimited());
+        e.build(&records).unwrap();
+        let q = Point::new(116.05, 39.05);
+        for k in [1, 5, 20] {
+            let got = e.knn(q, k).unwrap();
+            assert_eq!(got.len(), k);
+            let mut brute: Vec<(f64, u64)> = records
+                .iter()
+                .map(|r| (just_geo::euclidean(&r.point, &q), r.id))
+                .collect();
+            brute.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+            for (g, (wd, _)) in got.iter().zip(brute.iter().take(k)) {
+                let gd = just_geo::euclidean(&records[*g as usize].point, &q);
+                assert!((gd - wd).abs() < 1e-12, "k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn insert_after_build() {
+        let mut e = KdTreeEngine::new(MemoryBudget::unlimited());
+        e.build(&recs(50)).unwrap();
+        e.insert(StRecord::point(777, Point::new(120.0, 45.0), 0, 64))
+            .unwrap();
+        let got = e
+            .spatial_range(&Rect::new(119.9, 44.9, 120.1, 45.1))
+            .unwrap();
+        assert_eq!(got, vec![777]);
+    }
+}

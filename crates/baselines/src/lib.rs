@@ -1,0 +1,33 @@
+//! Baseline spatial engines for the JUST evaluation (Section VIII).
+//!
+//! The paper compares JUST against six systems; since none exist in Rust,
+//! each *family* is reproduced by an engine that shares its architecture:
+//!
+//! | Paper system(s) | Engine here | Architecture reproduced |
+//! |---|---|---|
+//! | Simba | [`RTreeEngine`] | STR-bulk-loaded in-memory R-tree; whole dataset resident; no updates |
+//! | GeoSpark / SpatialSpark | [`GridEngine`] | uniform in-memory grid partitioning |
+//! | LocationSpark | [`QuadTreeEngine`] | in-memory quadtree with insert support |
+//! | MD-HBase | [`KdTreeEngine`] | k-d tree over points |
+//! | SpatialHadoop / ST-Hadoop | [`HadoopSimEngine`] | disk-partitioned files, whole-partition scans, per-job startup cost |
+//!
+//! All engines implement [`SpatialEngine`], carry a configurable
+//! [`MemoryBudget`], and fail with [`EngineError::OutOfMemory`] when a
+//! dataset exceeds it — reproducing the paper's observed OOMs ("Simba
+//! runs out of memory when the data size of Traj is over 20%").
+
+#![deny(missing_docs)]
+
+mod engine;
+mod grid;
+mod hadoop;
+mod kdtree;
+mod quadtree;
+mod rtree;
+
+pub use engine::{EngineError, Family, MemoryBudget, SpatialEngine, StRecord};
+pub use grid::GridEngine;
+pub use hadoop::HadoopSimEngine;
+pub use kdtree::KdTreeEngine;
+pub use quadtree::QuadTreeEngine;
+pub use rtree::RTreeEngine;

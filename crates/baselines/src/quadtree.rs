@@ -1,0 +1,311 @@
+//! The LocationSpark-style baseline: an in-memory point quadtree with
+//! incremental insert support (LocationSpark is the one Spark system in
+//! Table I with "Data Update: Yes").
+
+use crate::engine::{
+    resident_estimate, EngineError, Family, MemoryBudget, SpatialEngine, StRecord,
+};
+use just_geo::{Point, Rect};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+const LEAF_CAPACITY: usize = 32;
+const MAX_DEPTH: u32 = 16;
+
+#[derive(Debug)]
+struct QNode {
+    bounds: Rect,
+    depth: u32,
+    entries: Vec<usize>,
+    children: Option<Box<[QNode; 4]>>,
+}
+
+impl QNode {
+    fn new(bounds: Rect, depth: u32) -> Self {
+        QNode {
+            bounds,
+            depth,
+            entries: Vec::new(),
+            children: None,
+        }
+    }
+
+    fn insert(&mut self, idx: usize, p: Point, records: &[StRecord]) {
+        if self.children.is_none() && (self.entries.len() < LEAF_CAPACITY || self.depth >= MAX_DEPTH)
+        {
+            self.entries.push(idx);
+            return;
+        }
+        if self.children.is_none() {
+            let q = self.bounds.quadrants();
+            self.children = Some(Box::new([
+                QNode::new(q[0], self.depth + 1),
+                QNode::new(q[1], self.depth + 1),
+                QNode::new(q[2], self.depth + 1),
+                QNode::new(q[3], self.depth + 1),
+            ]));
+            let old = std::mem::take(&mut self.entries);
+            for e in old {
+                let ep = records[e].point;
+                self.route(ep).insert(e, ep, records);
+            }
+        }
+        self.route(p).insert(idx, p, records);
+    }
+
+    fn route(&mut self, p: Point) -> &mut QNode {
+        let children = self.children.as_mut().unwrap();
+        let idx = children
+            .iter()
+            .position(|c| c.bounds.contains_point(&p))
+            .unwrap_or(0);
+        &mut children[idx]
+    }
+
+    fn query(&self, window: &Rect, records: &[StRecord], out: &mut Vec<u64>) {
+        if !self.bounds.intersects(window) {
+            return;
+        }
+        for &i in &self.entries {
+            if records[i].mbr.intersects(window) {
+                out.push(records[i].id);
+            }
+        }
+        if let Some(children) = &self.children {
+            for c in children.iter() {
+                c.query(window, records, out);
+            }
+        }
+    }
+}
+
+/// In-memory quadtree engine (the LocationSpark stand-in).
+pub struct QuadTreeEngine {
+    budget: MemoryBudget,
+    records: Vec<StRecord>,
+    root: QNode,
+}
+
+impl QuadTreeEngine {
+    /// Creates the engine.
+    pub fn new(budget: MemoryBudget) -> Self {
+        QuadTreeEngine {
+            budget,
+            records: Vec::new(),
+            root: QNode::new(just_geo::WORLD, 0),
+        }
+    }
+}
+
+impl SpatialEngine for QuadTreeEngine {
+    fn name(&self) -> &'static str {
+        "quadtree-mem (LocationSpark-like)"
+    }
+
+    fn family(&self) -> Family {
+        Family::InMemory
+    }
+
+    fn build(&mut self, records: &[StRecord]) -> Result<(), EngineError> {
+        self.budget.check(resident_estimate(records, 72))?;
+        self.records = records.to_vec();
+        self.root = QNode::new(just_geo::WORLD, 0);
+        for i in 0..self.records.len() {
+            let p = self.records[i].point;
+            self.root.insert(i, p, &self.records);
+        }
+        Ok(())
+    }
+
+    fn spatial_range(&self, window: &Rect) -> Result<Vec<u64>, EngineError> {
+        let mut out = Vec::new();
+        self.root.query(window, &self.records, &mut out);
+        Ok(out)
+    }
+
+    fn st_range(&self, window: &Rect, t0: i64, t1: i64) -> Result<Vec<u64>, EngineError> {
+        // LocationSpark filters time after the spatial pass (no temporal
+        // index), which is what the paper's numbers reflect.
+        let spatial = self.spatial_range(window)?;
+        Ok(spatial
+            .into_iter()
+            .filter(|id| {
+                self.records
+                    .iter()
+                    .find(|r| r.id == *id)
+                    .map(|r| r.overlaps_time(t0, t1))
+                    .unwrap_or(false)
+            })
+            .collect())
+    }
+
+    fn knn(&self, q: Point, k: usize) -> Result<Vec<u64>, EngineError> {
+        // Best-first over quadtree nodes.
+        enum Entry<'a> {
+            Node(&'a QNode),
+            Record(usize),
+        }
+        struct Item<'a> {
+            dist: f64,
+            entry: Entry<'a>,
+        }
+        impl PartialEq for Item<'_> {
+            fn eq(&self, other: &Self) -> bool {
+                self.dist == other.dist
+            }
+        }
+        impl Eq for Item<'_> {}
+        impl Ord for Item<'_> {
+            fn cmp(&self, other: &Self) -> Ordering {
+                other.dist.partial_cmp(&self.dist).unwrap_or(Ordering::Equal)
+            }
+        }
+        impl PartialOrd for Item<'_> {
+            fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+        let mut heap = BinaryHeap::new();
+        heap.push(Item {
+            dist: 0.0,
+            entry: Entry::Node(&self.root),
+        });
+        let mut out = Vec::with_capacity(k);
+        while let Some(item) = heap.pop() {
+            match item.entry {
+                Entry::Record(i) => {
+                    out.push(self.records[i].id);
+                    if out.len() == k {
+                        break;
+                    }
+                }
+                Entry::Node(node) => {
+                    for &i in &node.entries {
+                        heap.push(Item {
+                            dist: just_geo::euclidean(&self.records[i].point, &q),
+                            entry: Entry::Record(i),
+                        });
+                    }
+                    if let Some(children) = &node.children {
+                        for c in children.iter() {
+                            heap.push(Item {
+                                dist: c.bounds.min_distance(&q),
+                                entry: Entry::Node(c),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn supports_update(&self) -> bool {
+        true
+    }
+
+    fn insert(&mut self, record: StRecord) -> Result<(), EngineError> {
+        self.budget
+            .check(self.memory_bytes() + record.payload_bytes as usize + 72)?;
+        let p = record.point;
+        self.records.push(record);
+        let idx = self.records.len() - 1;
+        self.root.insert(idx, p, &self.records);
+        Ok(())
+    }
+
+    fn memory_bytes(&self) -> usize {
+        resident_estimate(&self.records, 72)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn recs(n: usize) -> Vec<StRecord> {
+        (0..n)
+            .map(|i| {
+                StRecord::point(
+                    i as u64,
+                    Point::new(
+                        116.0 + (i % 23) as f64 * 0.004,
+                        39.0 + (i % 29) as f64 * 0.004,
+                    ),
+                    i as i64 * 60_000,
+                    64,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn range_and_knn_match_brute_force() {
+        let records = recs(400);
+        let mut e = QuadTreeEngine::new(MemoryBudget::unlimited());
+        e.build(&records).unwrap();
+        let w = Rect::new(116.01, 39.01, 116.04, 39.06);
+        let mut got = e.spatial_range(&w).unwrap();
+        got.sort_unstable();
+        let mut want: Vec<u64> = records
+            .iter()
+            .filter(|r| r.mbr.intersects(&w))
+            .map(|r| r.id)
+            .collect();
+        want.sort_unstable();
+        assert_eq!(got, want);
+
+        let q = Point::new(116.05, 39.05);
+        let got = e.knn(q, 5).unwrap();
+        let mut brute: Vec<(f64, u64)> = records
+            .iter()
+            .map(|r| (just_geo::euclidean(&r.point, &q), r.id))
+            .collect();
+        brute.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        for (g, (wd, _)) in got.iter().zip(brute.iter().take(5)) {
+            let gd = just_geo::euclidean(&records[*g as usize].point, &q);
+            assert!((gd - wd).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn st_range_post_filters_time() {
+        let records = recs(100);
+        let mut e = QuadTreeEngine::new(MemoryBudget::unlimited());
+        e.build(&records).unwrap();
+        let w = just_geo::WORLD;
+        let all = e.st_range(&w, 0, i64::MAX).unwrap();
+        let early = e.st_range(&w, 0, 10 * 60_000).unwrap();
+        assert_eq!(all.len(), 100);
+        assert_eq!(early.len(), 11);
+    }
+
+    #[test]
+    fn incremental_insert_is_supported() {
+        let mut e = QuadTreeEngine::new(MemoryBudget::unlimited());
+        e.build(&recs(10)).unwrap();
+        assert!(e.supports_update());
+        e.insert(StRecord::point(999, Point::new(116.5, 39.5), 0, 64))
+            .unwrap();
+        let got = e
+            .spatial_range(&Rect::new(116.49, 39.49, 116.51, 39.51))
+            .unwrap();
+        assert_eq!(got, vec![999]);
+    }
+
+    #[test]
+    fn deep_duplicate_points_respect_max_depth() {
+        // Many identical points cannot split forever.
+        let records: Vec<StRecord> = (0..200)
+            .map(|i| StRecord::point(i, Point::new(116.0, 39.0), 0, 16))
+            .collect();
+        let mut e = QuadTreeEngine::new(MemoryBudget::unlimited());
+        e.build(&records).unwrap();
+        assert_eq!(
+            e.spatial_range(&Rect::new(115.9, 38.9, 116.1, 39.1))
+                .unwrap()
+                .len(),
+            200
+        );
+    }
+}

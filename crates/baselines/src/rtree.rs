@@ -1,0 +1,334 @@
+//! The Simba-style baseline: an STR (Sort-Tile-Recursive) bulk-loaded
+//! in-memory R-tree holding the whole dataset resident.
+
+use crate::engine::{
+    resident_estimate, EngineError, Family, MemoryBudget, SpatialEngine, StRecord,
+};
+use just_geo::{Point, Rect};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+const NODE_CAPACITY: usize = 16;
+
+#[derive(Debug)]
+enum Node {
+    Leaf {
+        mbr: Rect,
+        entries: Vec<usize>, // indices into records
+    },
+    Inner {
+        mbr: Rect,
+        children: Vec<Node>,
+    },
+}
+
+impl Node {
+    fn mbr(&self) -> &Rect {
+        match self {
+            Node::Leaf { mbr, .. } | Node::Inner { mbr, .. } => mbr,
+        }
+    }
+}
+
+/// In-memory STR R-tree engine (the Simba stand-in).
+pub struct RTreeEngine {
+    budget: MemoryBudget,
+    records: Vec<StRecord>,
+    root: Option<Node>,
+}
+
+impl RTreeEngine {
+    /// Creates the engine with a memory budget.
+    pub fn new(budget: MemoryBudget) -> Self {
+        RTreeEngine {
+            budget,
+            records: Vec::new(),
+            root: None,
+        }
+    }
+
+    fn str_pack(&self, mut items: Vec<(usize, Rect)>) -> Node {
+        if items.len() <= NODE_CAPACITY {
+            let mut mbr = Rect::empty();
+            for (_, r) in &items {
+                mbr = mbr.union(r);
+            }
+            return Node::Leaf {
+                mbr,
+                entries: items.into_iter().map(|(i, _)| i).collect(),
+            };
+        }
+        // STR: sort by x-centre, slice into vertical strips, sort each by
+        // y-centre, pack leaves; then build upward by recursion on leaf
+        // MBRs.
+        let leaf_count = items.len().div_ceil(NODE_CAPACITY);
+        let strips = (leaf_count as f64).sqrt().ceil() as usize;
+        let per_strip = items.len().div_ceil(strips);
+        items.sort_by(|a, b| {
+            a.1.center()
+                .x
+                .partial_cmp(&b.1.center().x)
+                .unwrap_or(Ordering::Equal)
+        });
+        let mut leaves: Vec<Node> = Vec::with_capacity(leaf_count);
+        for strip in items.chunks_mut(per_strip.max(1)) {
+            strip.sort_by(|a, b| {
+                a.1.center()
+                    .y
+                    .partial_cmp(&b.1.center().y)
+                    .unwrap_or(Ordering::Equal)
+            });
+            for group in strip.chunks(NODE_CAPACITY) {
+                let mut mbr = Rect::empty();
+                for (_, r) in group {
+                    mbr = mbr.union(r);
+                }
+                leaves.push(Node::Leaf {
+                    mbr,
+                    entries: group.iter().map(|(i, _)| *i).collect(),
+                });
+            }
+        }
+        Self::build_upward(leaves)
+    }
+
+    fn build_upward(mut level: Vec<Node>) -> Node {
+        while level.len() > 1 {
+            let mut next = Vec::with_capacity(level.len().div_ceil(NODE_CAPACITY));
+            // Nodes arrive spatially clustered from STR; group in order.
+            let mut iter = level.into_iter().peekable();
+            while iter.peek().is_some() {
+                let children: Vec<Node> = iter.by_ref().take(NODE_CAPACITY).collect();
+                let mut mbr = Rect::empty();
+                for c in &children {
+                    mbr = mbr.union(c.mbr());
+                }
+                next.push(Node::Inner { mbr, children });
+            }
+            level = next;
+        }
+        level.pop().unwrap_or(Node::Leaf {
+            mbr: Rect::empty(),
+            entries: Vec::new(),
+        })
+    }
+
+    fn search<'a>(&'a self, node: &'a Node, window: &Rect, out: &mut Vec<u64>) {
+        match node {
+            Node::Leaf { mbr, entries } => {
+                if !mbr.intersects(window) {
+                    return;
+                }
+                for &i in entries {
+                    if self.records[i].mbr.intersects(window) {
+                        out.push(self.records[i].id);
+                    }
+                }
+            }
+            Node::Inner { mbr, children } => {
+                if !mbr.intersects(window) {
+                    return;
+                }
+                for c in children {
+                    self.search(c, window, out);
+                }
+            }
+        }
+    }
+}
+
+impl SpatialEngine for RTreeEngine {
+    fn name(&self) -> &'static str {
+        "rtree-mem (Simba-like)"
+    }
+
+    fn family(&self) -> Family {
+        Family::InMemory
+    }
+
+    fn build(&mut self, records: &[StRecord]) -> Result<(), EngineError> {
+        // In-memory engines must hold payloads + index nodes resident.
+        self.budget.check(resident_estimate(records, 96))?;
+        self.records = records.to_vec();
+        let items: Vec<(usize, Rect)> = self
+            .records
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (i, r.mbr))
+            .collect();
+        self.root = Some(self.str_pack(items));
+        Ok(())
+    }
+
+    fn spatial_range(&self, window: &Rect) -> Result<Vec<u64>, EngineError> {
+        let mut out = Vec::new();
+        if let Some(root) = &self.root {
+            self.search(root, window, &mut out);
+        }
+        Ok(out)
+    }
+
+    fn st_range(&self, window: &Rect, t0: i64, t1: i64) -> Result<Vec<u64>, EngineError> {
+        // Simba is spatial-only (Table VI): temporal filtering would be a
+        // full post-scan in the real system; reproduce that.
+        let _ = (window, t0, t1);
+        Err(EngineError::Unsupported("st_range (Simba is spatial-only)"))
+    }
+
+    fn knn(&self, q: Point, k: usize) -> Result<Vec<u64>, EngineError> {
+        // Best-first search over the tree.
+        struct Item<'a> {
+            dist: f64,
+            node: Option<&'a Node>,
+            record: Option<usize>,
+        }
+        impl PartialEq for Item<'_> {
+            fn eq(&self, other: &Self) -> bool {
+                self.dist == other.dist
+            }
+        }
+        impl Eq for Item<'_> {}
+        impl Ord for Item<'_> {
+            fn cmp(&self, other: &Self) -> Ordering {
+                other.dist.partial_cmp(&self.dist).unwrap_or(Ordering::Equal)
+            }
+        }
+        impl PartialOrd for Item<'_> {
+            fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+
+        let mut heap = BinaryHeap::new();
+        if let Some(root) = &self.root {
+            heap.push(Item {
+                dist: root.mbr().min_distance(&q),
+                node: Some(root),
+                record: None,
+            });
+        }
+        let mut out = Vec::with_capacity(k);
+        while let Some(item) = heap.pop() {
+            if let Some(rec) = item.record {
+                out.push(self.records[rec].id);
+                if out.len() == k {
+                    break;
+                }
+                continue;
+            }
+            match item.node.unwrap() {
+                Node::Leaf { entries, .. } => {
+                    for &i in entries {
+                        heap.push(Item {
+                            dist: just_geo::euclidean(&self.records[i].point, &q),
+                            node: None,
+                            record: Some(i),
+                        });
+                    }
+                }
+                Node::Inner { children, .. } => {
+                    for c in children {
+                        heap.push(Item {
+                            dist: c.mbr().min_distance(&q),
+                            node: Some(c),
+                            record: None,
+                        });
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn memory_bytes(&self) -> usize {
+        resident_estimate(&self.records, 96)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid(n: usize) -> Vec<StRecord> {
+        let mut out = Vec::new();
+        for i in 0..n {
+            for j in 0..n {
+                out.push(StRecord::point(
+                    (i * n + j) as u64,
+                    Point::new(116.0 + i as f64 * 0.01, 39.0 + j as f64 * 0.01),
+                    ((i + j) as i64) * 1000,
+                    64,
+                ));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn range_query_matches_brute_force() {
+        let recs = grid(20);
+        let mut e = RTreeEngine::new(MemoryBudget::unlimited());
+        e.build(&recs).unwrap();
+        let w = Rect::new(116.02, 39.02, 116.08, 39.05);
+        let mut got = e.spatial_range(&w).unwrap();
+        got.sort_unstable();
+        let mut want: Vec<u64> = recs
+            .iter()
+            .filter(|r| r.mbr.intersects(&w))
+            .map(|r| r.id)
+            .collect();
+        want.sort_unstable();
+        assert_eq!(got, want);
+        assert!(!got.is_empty());
+    }
+
+    #[test]
+    fn knn_matches_brute_force() {
+        let recs = grid(15);
+        let mut e = RTreeEngine::new(MemoryBudget::unlimited());
+        e.build(&recs).unwrap();
+        let q = Point::new(116.071, 39.033);
+        let got = e.knn(q, 10).unwrap();
+        let mut brute: Vec<(f64, u64)> = recs
+            .iter()
+            .map(|r| (just_geo::euclidean(&r.point, &q), r.id))
+            .collect();
+        brute.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        let want_dists: Vec<f64> = brute.iter().take(10).map(|(d, _)| *d).collect();
+        for (g, wd) in got.iter().zip(&want_dists) {
+            let gd = just_geo::euclidean(&recs[*g as usize].point, &q);
+            assert!((gd - wd).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn oom_on_big_payloads() {
+        let recs: Vec<StRecord> = (0..100)
+            .map(|i| StRecord::point(i, Point::new(0.0, 0.0), 0, 1 << 20))
+            .collect();
+        let mut e = RTreeEngine::new(MemoryBudget::mib(10));
+        assert!(matches!(
+            e.build(&recs),
+            Err(EngineError::OutOfMemory { .. })
+        ));
+    }
+
+    #[test]
+    fn st_range_unsupported_and_no_updates() {
+        let mut e = RTreeEngine::new(MemoryBudget::unlimited());
+        e.build(&grid(3)).unwrap();
+        assert!(matches!(
+            e.st_range(&Rect::new(0.0, 0.0, 1.0, 1.0), 0, 1),
+            Err(EngineError::Unsupported(_))
+        ));
+        assert!(!e.supports_update());
+    }
+
+    #[test]
+    fn empty_build() {
+        let mut e = RTreeEngine::new(MemoryBudget::unlimited());
+        e.build(&[]).unwrap();
+        assert!(e.spatial_range(&just_geo::WORLD).unwrap().is_empty());
+        assert!(e.knn(Point::new(0.0, 0.0), 3).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,62 @@
+//! Micro-benchmarks for the compression codecs on realistic payloads:
+//! the GPS-list field of a trajectory row (the paper's gzip target) and
+//! generic text.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use just_bench::TrajDataset;
+use just_compress::{gps, Codec};
+
+fn payloads() -> (Vec<u8>, Vec<u8>) {
+    let trajs = TrajDataset::generate(1, 1000, 7);
+    let samples = &trajs.trajectories[0].samples;
+    // The raw (pre-delta) 24-byte-per-sample form.
+    let mut raw = Vec::with_capacity(samples.len() * 24);
+    for s in samples {
+        raw.extend_from_slice(&s.lng.to_le_bytes());
+        raw.extend_from_slice(&s.lat.to_le_bytes());
+        raw.extend_from_slice(&s.time_ms.to_le_bytes());
+    }
+    // The delta-encoded form the row codec actually compresses.
+    let delta = gps::encode(samples);
+    (raw, delta)
+}
+
+fn bench_codecs(c: &mut Criterion) {
+    let (raw, delta) = payloads();
+    let mut g = c.benchmark_group("compress_gps_1000pts");
+    g.throughput(Throughput::Bytes(raw.len() as u64));
+    g.bench_function("gzip_raw", |b| {
+        b.iter(|| Codec::Gzip.compress(black_box(&raw)))
+    });
+    g.bench_function("zip_raw", |b| {
+        b.iter(|| Codec::Zip.compress(black_box(&raw)))
+    });
+    g.bench_function("gzip_delta", |b| {
+        b.iter(|| Codec::Gzip.compress(black_box(&delta)))
+    });
+    let packed = Codec::Gzip.compress(&raw);
+    g.bench_function("gzip_decompress", |b| {
+        b.iter(|| Codec::decompress(black_box(&packed)).unwrap())
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("gps_delta_codec");
+    let trajs = TrajDataset::generate(1, 1000, 7);
+    let samples = trajs.trajectories[0].samples.clone();
+    g.bench_function("encode_1000", |b| b.iter(|| gps::encode(black_box(&samples))));
+    let encoded = gps::encode(&samples);
+    g.bench_function("decode_1000", |b| {
+        b.iter(|| gps::decode(black_box(&encoded)).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_codecs
+}
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! The figure-regeneration harness: re-runs every table and figure of
+//! the paper's evaluation at laptop scale.
+//!
+//! ```text
+//! figures all                 # everything (the EXPERIMENTS.md run)
+//! figures fig12 --scale 0.5   # one figure at half the default size
+//! ```
+
+use just_bench::figures;
+use just_bench::BenchConfig;
+use std::io::Write;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut which: Vec<String> = Vec::new();
+    let mut scale = 1.0f64;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                scale = args
+                    .get(i + 1)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage("--scale needs a number"));
+                i += 2;
+            }
+            other => {
+                which.push(other.to_string());
+                i += 1;
+            }
+        }
+    }
+    if which.is_empty() {
+        usage("no figure selected");
+    }
+    if which.iter().any(|w| w == "all") {
+        which = vec![
+            "table1".into(),
+            "table2".into(),
+            "fig8".into(),
+            "fig10".into(),
+            "fig11".into(),
+            "fig12".into(),
+            "fig13".into(),
+            "fig14".into(),
+        ];
+    }
+    let cfg = BenchConfig::default().scaled(scale);
+    let out = std::io::stdout();
+    let mut out = out.lock();
+    writeln!(
+        out,
+        "JUST evaluation harness — scale {scale} ({} orders, {} trajectories x {} pts)\n",
+        cfg.orders, cfg.trajectories, cfg.points_per_trajectory
+    )
+    .unwrap();
+    for w in which {
+        let t0 = std::time::Instant::now();
+        match w.as_str() {
+            "table1" => figures::tables::table1(&mut out),
+            "table2" => figures::tables::table2(&cfg, &mut out),
+            "fig8" => figures::fig8::run(&mut out),
+            "fig10" => figures::fig10::run(&cfg, &mut out),
+            "fig11" => figures::fig11::run(&cfg, &mut out),
+            "fig12" => figures::fig12::run(&cfg, &mut out),
+            "fig13" => figures::fig13::run(&cfg, &mut out),
+            "fig14" => figures::fig14::run(&cfg, &mut out),
+            other => usage(&format!("unknown figure '{other}'")),
+        }
+        writeln!(out, "[{w} done in {:.1}s]\n", t0.elapsed().as_secs_f64()).unwrap();
+    }
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!(
+        "usage: figures [all|table1|table2|fig8|fig10|fig11|fig12|fig13|fig14]... [--scale X]"
+    );
+    std::process::exit(2);
+}

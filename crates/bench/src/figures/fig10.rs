@@ -1,0 +1,170 @@
+//! Figure 10: storage size and indexing time vs data size.
+//!
+//! Expected shapes (paper): compression shrinks Traj storage several-fold
+//! (10b) but *grows* Order storage (10a); JUST's load time includes
+//! storing to disk so it loses to in-memory builds on the small Order
+//! data (10c) but compression makes the Traj load cheaper than the
+//! uncompressed variant, and memory-hungry baselines OOM on Traj (10d).
+
+use crate::config::BenchConfig;
+use crate::figures::{build_order_table, build_traj_table};
+use crate::harness::{ms, time_once, Table};
+use crate::workload::{order_records, traj_records, OrderDataset, TrajDataset};
+use just_baselines::*;
+use just_curves::TimePeriod;
+use std::io::Write;
+
+/// Runs Figure 10 (a–d).
+pub fn run(cfg: &BenchConfig, out: &mut impl Write) {
+    let orders = OrderDataset::generate(cfg.orders, cfg.seed);
+    let trajs = TrajDataset::generate(cfg.trajectories, cfg.points_per_trajectory, cfg.seed);
+
+    // ---- 10a: Order storage size, plain vs compressed fields ----------
+    let mut ta = Table::new(&["data %", "JUST (KB)", "JUSTcompress (KB)"]);
+    // ---- 10c: Order indexing time --------------------------------------
+    let mut tc = Table::new(&[
+        "data %",
+        "JUST (ms)",
+        "rtree (ms)",
+        "grid (ms)",
+        "quadtree (ms)",
+        "kdtree (ms)",
+    ]);
+    for &pct in &cfg.data_sizes_pct {
+        let slice = orders.fraction(pct);
+        let (e_plain, d_plain) = build_order_table(
+            "f10a-plain",
+            &slice,
+            None,
+            TimePeriod::Day,
+            false,
+        );
+        let (e_comp, _) = build_order_table("f10a-comp", &slice, None, TimePeriod::Day, true);
+        ta.row(vec![
+            pct.to_string(),
+            (e_plain.engine.table_disk_size("orders").unwrap() / 1024).to_string(),
+            (e_comp.engine.table_disk_size("orders").unwrap() / 1024).to_string(),
+        ]);
+
+        let recs = order_records(&slice);
+        let build_time = |mut e: Box<dyn SpatialEngine>| -> String {
+            let (r, d) = time_once(|| e.build(&recs));
+            match r {
+                Ok(()) => ms(d),
+                Err(EngineError::OutOfMemory { .. }) => "OOM".into(),
+                Err(other) => format!("err:{other}"),
+            }
+        };
+        tc.row(vec![
+            pct.to_string(),
+            ms(d_plain),
+            build_time(Box::new(RTreeEngine::new(MemoryBudget::unlimited()))),
+            build_time(Box::new(GridEngine::new(MemoryBudget::unlimited(), 32))),
+            build_time(Box::new(QuadTreeEngine::new(MemoryBudget::unlimited()))),
+            build_time(Box::new(KdTreeEngine::new(MemoryBudget::unlimited()))),
+        ]);
+    }
+    writeln!(out, "== Fig 10a: storage size vs data size (Order) ==").unwrap();
+    writeln!(out, "{}", ta.render()).unwrap();
+
+    // ---- 10b: Traj storage size, gzip vs none --------------------------
+    // ---- 10d: Traj indexing time with memory-capped baselines ----------
+    let mut tb = Table::new(&["data %", "JUST gzip (KB)", "JUSTnc (KB)", "raw (KB)"]);
+    let mut td = Table::new(&[
+        "data %",
+        "JUST (ms)",
+        "JUSTnc (ms)",
+        "rtree@cap (ms)",
+        "grid@cap (ms)",
+    ]);
+    // A budget sized so bigger Traj fractions OOM (the paper's Simba
+    // behaviour): 60% of the full payload.
+    let full_payload: usize = trajs.total_points() * 24;
+    let cap = MemoryBudget {
+        bytes: Some(full_payload * 6 / 10),
+    };
+    for &pct in &cfg.data_sizes_pct {
+        let slice = trajs.fraction(pct);
+        let raw_kb: usize = slice.iter().map(|t| t.samples.len() * 24).sum::<usize>() / 1024;
+        let (e_gzip, d_gzip) =
+            build_traj_table("f10b-gzip", &slice, None, TimePeriod::Day, true);
+        let (e_nc, d_nc) = build_traj_table("f10b-nc", &slice, None, TimePeriod::Day, false);
+        tb.row(vec![
+            pct.to_string(),
+            (e_gzip.engine.table_disk_size("traj").unwrap() / 1024).to_string(),
+            (e_nc.engine.table_disk_size("traj").unwrap() / 1024).to_string(),
+            raw_kb.to_string(),
+        ]);
+
+        let recs = traj_records(&slice);
+        let build_time = |mut e: Box<dyn SpatialEngine>| -> String {
+            let (r, d) = time_once(|| e.build(&recs));
+            match r {
+                Ok(()) => ms(d),
+                Err(EngineError::OutOfMemory { .. }) => "OOM".into(),
+                Err(other) => format!("err:{other}"),
+            }
+        };
+        td.row(vec![
+            pct.to_string(),
+            ms(d_gzip),
+            ms(d_nc),
+            build_time(Box::new(RTreeEngine::new(cap))),
+            build_time(Box::new(GridEngine::new(cap, 32))),
+        ]);
+    }
+    writeln!(out, "== Fig 10b: storage size vs data size (Traj) ==").unwrap();
+    writeln!(out, "{}", tb.render()).unwrap();
+    writeln!(out, "== Fig 10c: indexing time vs data size (Order) ==").unwrap();
+    writeln!(out, "{}", tc.render()).unwrap();
+    writeln!(out, "== Fig 10d: indexing time vs data size (Traj) ==").unwrap();
+    writeln!(out, "{}", td.render()).unwrap();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig10_shapes_hold_at_tiny_scale() {
+        let cfg = BenchConfig {
+            orders: 400,
+            trajectories: 8,
+            points_per_trajectory: 300,
+            data_sizes_pct: vec![50, 100],
+            ..BenchConfig::default()
+        };
+        let mut buf = Vec::new();
+        run(&cfg, &mut buf);
+        let text = String::from_utf8(buf).unwrap();
+
+        // Parse the 100% rows of 10a and 10b.
+        let row_after = |section: &str| -> Vec<String> {
+            let sec = text.split(section).nth(1).unwrap();
+            sec.lines()
+                .find(|l| l.trim_start().starts_with("100"))
+                .unwrap()
+                .split_whitespace()
+                .map(|s| s.to_string())
+                .collect()
+        };
+        // 10a: compressing tiny Order fields does NOT save space.
+        let a = row_after("Fig 10a");
+        let just_kb: f64 = a[1].parse().unwrap();
+        let comp_kb: f64 = a[2].parse().unwrap();
+        assert!(
+            comp_kb >= just_kb * 0.95,
+            "order compression should not shrink storage: {just_kb} vs {comp_kb}"
+        );
+        // 10b: gzip shrinks Traj storage substantially vs JUSTnc.
+        let b = row_after("Fig 10b");
+        let gzip_kb: f64 = b[1].parse().unwrap();
+        let nc_kb: f64 = b[2].parse().unwrap();
+        assert!(
+            gzip_kb < nc_kb * 0.7,
+            "traj compression should shrink storage: {gzip_kb} vs {nc_kb}"
+        );
+        // 10d exists and has OOM markers or numbers.
+        assert!(text.contains("Fig 10d"));
+    }
+}

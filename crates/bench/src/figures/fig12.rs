@@ -1,0 +1,264 @@
+//! Figure 12: spatio-temporal range query performance — the paper's
+//! headline result. JUST (Z2T/XZ2T with day periods) against the Z3/XZ3
+//! variants JUSTd (day), JUSTy (year), JUSTc (century), plus the
+//! ST-Hadoop stand-in.
+
+use crate::config::BenchConfig;
+use crate::figures::{build_order_table, build_traj_table, TempEngine};
+use crate::harness::{median_latency, ms, Table};
+use crate::workload::{
+    order_records, query_time_windows, query_windows, OrderDataset, TrajDataset,
+};
+use just_baselines::{HadoopSimEngine, SpatialEngine};
+use just_curves::TimePeriod;
+use just_storage::{IndexKind, SpatialPredicate};
+use std::io::Write;
+
+struct OrderVariants {
+    just: TempEngine,
+    just_d: TempEngine,
+    just_y: TempEngine,
+    just_c: TempEngine,
+}
+
+fn order_variants(orders: &[crate::workload::Order]) -> OrderVariants {
+    OrderVariants {
+        just: build_order_table("f12-z2t", orders, None, TimePeriod::Day, false).0,
+        just_d: build_order_table(
+            "f12-z3d",
+            orders,
+            Some(IndexKind::Z3),
+            TimePeriod::Day,
+            false,
+        )
+        .0,
+        just_y: build_order_table(
+            "f12-z3y",
+            orders,
+            Some(IndexKind::Z3),
+            TimePeriod::Year,
+            false,
+        )
+        .0,
+        just_c: build_order_table(
+            "f12-z3c",
+            orders,
+            Some(IndexKind::Z3),
+            TimePeriod::Century,
+            false,
+        )
+        .0,
+    }
+}
+
+fn st_query(te: &TempEngine, table: &str, w: &just_geo::Rect, t: (i64, i64), pred: SpatialPredicate) {
+    te.engine.st_range(table, w, t.0, t.1, pred).unwrap();
+}
+
+/// Runs Figure 12 (a–d).
+pub fn run(cfg: &BenchConfig, out: &mut impl Write) {
+    let orders = OrderDataset::generate(cfg.orders, cfg.seed);
+    let trajs = TrajDataset::generate(cfg.trajectories, cfg.points_per_trajectory, cfg.seed);
+    let windows = query_windows(cfg.queries_per_point, cfg.default_window_km(), cfg.seed);
+    let times = query_time_windows(
+        cfg.queries_per_point,
+        cfg.default_time_window_h(),
+        cfg.seed,
+    );
+    let queries: Vec<(just_geo::Rect, (i64, i64))> = windows
+        .iter()
+        .cloned()
+        .zip(times.iter().cloned())
+        .collect();
+
+    // ---- 12a: Order, vs data size --------------------------------------
+    let mut ta = Table::new(&["data %", "JUST", "JUSTd", "JUSTy", "JUSTc"]);
+    for &pct in &cfg.data_sizes_pct {
+        let slice = orders.fraction(pct);
+        let v = order_variants(&slice);
+        let mut row = vec![pct.to_string()];
+        for te in [&v.just, &v.just_d, &v.just_y, &v.just_c] {
+            row.push(ms(median_latency(&queries, |(w, t)| {
+                st_query(te, "orders", w, *t, SpatialPredicate::Within)
+            })));
+        }
+        ta.row(row);
+    }
+    writeln!(out, "== Fig 12a: ST range vs data size (Order, ms) ==").unwrap();
+    writeln!(out, "{}", ta.render()).unwrap();
+
+    // ---- 12b: Order, vs spatial window (+ ST-Hadoop at 20%) ------------
+    let v = order_variants(&orders.orders);
+    let sth_dir = std::env::temp_dir().join(format!("just-f12-sth-{}", std::process::id()));
+    std::fs::remove_dir_all(&sth_dir).ok();
+    let mut sth = HadoopSimEngine::new(sth_dir.clone(), cfg.hadoop_job_overhead, true);
+    sth.build(&order_records(&orders.fraction(20)))
+        .expect("sth build");
+    let mut tb = Table::new(&[
+        "window km",
+        "JUST",
+        "JUSTd",
+        "JUSTy",
+        "JUSTc",
+        "ST-Hadoop@20%",
+    ]);
+    for &km in &cfg.spatial_windows_km {
+        let windows = query_windows(cfg.queries_per_point, km, cfg.seed);
+        let queries: Vec<(just_geo::Rect, (i64, i64))> = windows
+            .iter()
+            .cloned()
+            .zip(times.iter().cloned())
+            .collect();
+        let mut row = vec![format!("{km}x{km}")];
+        for te in [&v.just, &v.just_d, &v.just_y, &v.just_c] {
+            row.push(ms(median_latency(&queries, |(w, t)| {
+                st_query(te, "orders", w, *t, SpatialPredicate::Within)
+            })));
+        }
+        row.push(ms(median_latency(&queries, |(w, t)| {
+            sth.st_range(w, t.0, t.1).unwrap();
+        })));
+        tb.row(row);
+    }
+    writeln!(out, "== Fig 12b: ST range vs spatial window (Order, ms) ==").unwrap();
+    writeln!(out, "{}", tb.render()).unwrap();
+    std::fs::remove_dir_all(&sth_dir).ok();
+
+    // ---- 12c: Traj, vs spatial window (XZ2T vs XZ3 variants + nc) ------
+    let t_just = build_traj_table("f12c-xz2t", &trajs.trajectories, None, TimePeriod::Day, true).0;
+    let t_nc = build_traj_table("f12c-nc", &trajs.trajectories, None, TimePeriod::Day, false).0;
+    let t_d = build_traj_table(
+        "f12c-xz3d",
+        &trajs.trajectories,
+        Some(IndexKind::Xz3),
+        TimePeriod::Day,
+        true,
+    )
+    .0;
+    let t_y = build_traj_table(
+        "f12c-xz3y",
+        &trajs.trajectories,
+        Some(IndexKind::Xz3),
+        TimePeriod::Year,
+        true,
+    )
+    .0;
+    let t_c = build_traj_table(
+        "f12c-xz3c",
+        &trajs.trajectories,
+        Some(IndexKind::Xz3),
+        TimePeriod::Century,
+        true,
+    )
+    .0;
+    let mut tc = Table::new(&["window km", "JUST", "JUSTnc", "JUSTd", "JUSTy", "JUSTc"]);
+    // Traj time windows live in the 31-day span.
+    let traj_times: Vec<(i64, i64)> = query_time_windows(cfg.queries_per_point, 24, cfg.seed)
+        .into_iter()
+        .map(|(a, b)| (a % (25 * crate::workload::DAY_MS), b % (26 * crate::workload::DAY_MS).max(1)))
+        .map(|(a, b)| if a <= b { (a, b) } else { (b, a) })
+        .collect();
+    for &km in &cfg.spatial_windows_km {
+        let windows = query_windows(cfg.queries_per_point, km, cfg.seed);
+        let queries: Vec<(just_geo::Rect, (i64, i64))> = windows
+            .iter()
+            .cloned()
+            .zip(traj_times.iter().cloned())
+            .collect();
+        let mut row = vec![format!("{km}x{km}")];
+        for te in [&t_just, &t_nc, &t_d, &t_y, &t_c] {
+            row.push(ms(median_latency(&queries, |(w, t)| {
+                st_query(te, "traj", w, *t, SpatialPredicate::Intersects)
+            })));
+        }
+        tc.row(row);
+    }
+    writeln!(out, "== Fig 12c: ST range vs spatial window (Traj, ms) ==").unwrap();
+    writeln!(out, "{}", tc.render()).unwrap();
+
+    // ---- 12d: Order, vs time window ------------------------------------
+    let sth_dir = std::env::temp_dir().join(format!("just-f12d-sth-{}", std::process::id()));
+    std::fs::remove_dir_all(&sth_dir).ok();
+    let mut sth = HadoopSimEngine::new(sth_dir.clone(), cfg.hadoop_job_overhead, true);
+    sth.build(&order_records(&orders.fraction(20)))
+        .expect("sth build");
+    let mut td = Table::new(&[
+        "time window",
+        "JUST",
+        "JUSTd",
+        "JUSTy",
+        "JUSTc",
+        "ST-Hadoop@20%",
+    ]);
+    for &hours in &cfg.time_windows_h {
+        let times = query_time_windows(cfg.queries_per_point, hours, cfg.seed);
+        let queries: Vec<(just_geo::Rect, (i64, i64))> = windows
+            .iter()
+            .cloned()
+            .zip(times.iter().cloned())
+            .collect();
+        let label = match hours {
+            1 => "1h".to_string(),
+            6 => "6h".to_string(),
+            24 => "1d".to_string(),
+            168 => "1w".to_string(),
+            720 => "1m".to_string(),
+            h => format!("{h}h"),
+        };
+        let mut row = vec![label];
+        for te in [&v.just, &v.just_d, &v.just_y, &v.just_c] {
+            row.push(ms(median_latency(&queries, |(w, t)| {
+                st_query(te, "orders", w, *t, SpatialPredicate::Within)
+            })));
+        }
+        row.push(ms(median_latency(&queries, |(w, t)| {
+            sth.st_range(w, t.0, t.1).unwrap();
+        })));
+        td.row(row);
+    }
+    writeln!(out, "== Fig 12d: ST range vs time window (Order, ms) ==").unwrap();
+    writeln!(out, "{}", td.render()).unwrap();
+    std::fs::remove_dir_all(&sth_dir).ok();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig12_runs_and_z2t_beats_century_z3() {
+        let cfg = BenchConfig {
+            orders: 2000,
+            trajectories: 6,
+            points_per_trajectory: 120,
+            data_sizes_pct: vec![100],
+            spatial_windows_km: vec![2.0],
+            time_windows_h: vec![6],
+            queries_per_point: 5,
+            hadoop_job_overhead: std::time::Duration::ZERO,
+            ..BenchConfig::default()
+        };
+        let mut buf = Vec::new();
+        run(&cfg, &mut buf);
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("Fig 12a"));
+        assert!(text.contains("Fig 12d"));
+        // Shape check on 12a's single row: JUST <= JUSTc (the paper's
+        // headline: Z2T beats the century-period Z3).
+        let sec = text.split("Fig 12a").nth(1).unwrap();
+        let row = sec
+            .lines()
+            .find(|l| l.trim_start().starts_with("100"))
+            .unwrap();
+        let cells: Vec<f64> = row
+            .split_whitespace()
+            .skip(1)
+            .map(|c| c.parse().unwrap())
+            .collect();
+        let (just, justc) = (cells[0], cells[3]);
+        assert!(
+            just <= justc * 1.5,
+            "Z2T ({just} ms) should not lose badly to Z3-century ({justc} ms)"
+        );
+    }
+}

@@ -1,0 +1,102 @@
+//! Figure 14: scalability over the Synthetic dataset — indexing time and
+//! storage grow linearly with data size; spatial and k-NN query times
+//! grow, while ST query time stays flat ("the efficiency of
+//! spatio-temporal query has nothing to do with the data size").
+
+use crate::config::BenchConfig;
+use crate::figures::build_traj_table;
+use crate::harness::{median_latency, ms, Table};
+use crate::workload::{query_points, query_time_windows, query_windows, TrajDataset, DAY_MS};
+use just_curves::TimePeriod;
+use just_storage::SpatialPredicate;
+use std::io::Write;
+
+/// Runs Figure 14 (a–b).
+pub fn run(cfg: &BenchConfig, out: &mut impl Write) {
+    let base = TrajDataset::generate(cfg.trajectories, cfg.points_per_trajectory, cfg.seed);
+    let synth = base.synthesize(cfg.synthetic_copies, cfg.seed);
+    let windows = query_windows(cfg.queries_per_point, cfg.default_window_km(), cfg.seed);
+    let points = query_points(cfg.queries_per_point, cfg.seed);
+    // ST windows limited to the base month so result sizes stay constant
+    // as copies (later months) are added — the paper's flat-line setup.
+    let times: Vec<(i64, i64)> = query_time_windows(cfg.queries_per_point, 24, cfg.seed)
+        .into_iter()
+        .map(|(a, b)| (a.min(29 * DAY_MS), b.min(30 * DAY_MS)))
+        .collect();
+    let st_queries: Vec<(just_geo::Rect, (i64, i64))> = windows
+        .iter()
+        .cloned()
+        .zip(times.iter().cloned())
+        .collect();
+
+    let mut ta = Table::new(&["data %", "indexing (ms)", "storage (KB)"]);
+    let mut tb = Table::new(&["data %", "S (ms)", "ST (ms)", "k-NN (ms)"]);
+    let k = 20.min(synth.trajectories.len());
+    for &pct in &cfg.data_sizes_pct {
+        let slice = synth.fraction(pct);
+        if slice.is_empty() {
+            continue;
+        }
+        let (te, index_time) = build_traj_table("f14", &slice, None, TimePeriod::Day, true);
+        ta.row(vec![
+            pct.to_string(),
+            ms(index_time),
+            (te.engine.table_disk_size("traj").unwrap() / 1024).to_string(),
+        ]);
+
+        let s = median_latency(&windows, |w| {
+            te.engine
+                .spatial_range("traj", w, SpatialPredicate::Intersects)
+                .unwrap();
+        });
+        let st = median_latency(&st_queries, |(w, t)| {
+            te.engine
+                .st_range("traj", w, t.0, t.1, SpatialPredicate::Intersects)
+                .unwrap();
+        });
+        let knn = median_latency(&points, |q| {
+            te.engine.knn("traj", *q, k).unwrap();
+        });
+        tb.row(vec![pct.to_string(), ms(s), ms(st), ms(knn)]);
+    }
+    writeln!(out, "== Fig 14a: Synthetic indexing time & storage vs size ==").unwrap();
+    writeln!(out, "{}", ta.render()).unwrap();
+    writeln!(out, "== Fig 14b: Synthetic query time vs size ==").unwrap();
+    writeln!(out, "{}", tb.render()).unwrap();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig14_storage_grows_linearly() {
+        let cfg = BenchConfig {
+            trajectories: 6,
+            points_per_trajectory: 100,
+            synthetic_copies: 2,
+            data_sizes_pct: vec![50, 100],
+            queries_per_point: 3,
+            ..BenchConfig::default()
+        };
+        let mut buf = Vec::new();
+        run(&cfg, &mut buf);
+        let text = String::from_utf8(buf).unwrap();
+        let sec = text.split("Fig 14a").nth(1).unwrap();
+        let kb_of = |pct: &str| -> f64 {
+            sec.lines()
+                .find(|l| l.trim_start().starts_with(pct))
+                .unwrap()
+                .split_whitespace()
+                .last()
+                .unwrap()
+                .parse()
+                .unwrap()
+        };
+        let (half, full) = (kb_of("50"), kb_of("100"));
+        assert!(
+            full > half * 1.5 && full < half * 3.0,
+            "storage should grow roughly linearly: {half} -> {full}"
+        );
+    }
+}

@@ -1,0 +1,107 @@
+//! Measurement and reporting helpers for the figure harness.
+
+use std::time::{Duration, Instant};
+
+/// Times one closure invocation.
+pub fn time_once<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let t0 = Instant::now();
+    let out = f();
+    (out, t0.elapsed())
+}
+
+/// Runs `f` over each query input, returning the median latency — the
+/// paper's methodology ("perform each query only once, and take the
+/// median response time").
+pub fn median_latency<Q>(queries: &[Q], mut f: impl FnMut(&Q)) -> Duration {
+    let mut samples: Vec<Duration> = queries
+        .iter()
+        .map(|q| {
+            let t0 = Instant::now();
+            f(q);
+            t0.elapsed()
+        })
+        .collect();
+    samples.sort();
+    samples.get(samples.len() / 2).copied().unwrap_or_default()
+}
+
+/// Pretty milliseconds.
+pub fn ms(d: Duration) -> String {
+    format!("{:.2}", d.as_secs_f64() * 1000.0)
+}
+
+/// A simple aligned text table for figure output.
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a header row.
+    pub fn new(header: &[&str]) -> Self {
+        Table {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a data row.
+    pub fn row(&mut self, cells: Vec<String>) {
+        debug_assert_eq!(cells.len(), self.header.len());
+        self.rows.push(cells);
+    }
+
+    /// Renders with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let fmt_row = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>w$}", c, w = widths[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let mut out = String::new();
+        out.push_str(&fmt_row(&self.header));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_of_odd_samples() {
+        let queries = [1, 2, 3];
+        let d = median_latency(&queries, |q| {
+            std::thread::sleep(Duration::from_micros(*q * 10));
+        });
+        assert!(d >= Duration::from_micros(10));
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(&["name", "ms"]);
+        t.row(vec!["just".into(), "1.25".into()]);
+        t.row(vec!["geospark-like".into(), "10.00".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("name"));
+        assert!(lines[3].ends_with("10.00"));
+    }
+}

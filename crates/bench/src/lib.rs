@@ -1,0 +1,24 @@
+//! Workload generation and the figure-regeneration harness for the JUST
+//! evaluation (Section VIII).
+//!
+//! The `figures` binary re-runs every table and figure of the paper at
+//! laptop scale:
+//!
+//! ```text
+//! cargo run --release -p just-bench --bin figures -- all
+//! cargo run --release -p just-bench --bin figures -- fig12 --scale 0.5
+//! ```
+//!
+//! Absolute numbers differ from the paper's 5-node cluster, but the
+//! *shapes* — who wins, by what factor, where crossovers happen — are the
+//! reproduction target (see EXPERIMENTS.md).
+
+#![deny(missing_docs)]
+
+pub mod config;
+pub mod figures;
+pub mod harness;
+pub mod workload;
+
+pub use config::BenchConfig;
+pub use workload::{OrderDataset, TrajDataset};

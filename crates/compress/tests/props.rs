@@ -1,0 +1,92 @@
+//! Property-based tests: every codec is the identity after a roundtrip,
+//! on arbitrary byte strings and on realistic GPS walks.
+
+use just_compress::gps::{self, GpsSample};
+use just_compress::{deflate, lzss, varint, Codec};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn varint_u64_roundtrip(v in any::<u64>()) {
+        let mut buf = Vec::new();
+        varint::write_u64(&mut buf, v);
+        let mut pos = 0;
+        prop_assert_eq!(varint::read_u64(&buf, &mut pos), Some(v));
+        prop_assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn varint_i64_roundtrip(v in any::<i64>()) {
+        let mut buf = Vec::new();
+        varint::write_i64(&mut buf, v);
+        let mut pos = 0;
+        prop_assert_eq!(varint::read_i64(&buf, &mut pos), Some(v));
+    }
+
+    #[test]
+    fn lzss_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..4096)) {
+        let packed = lzss::compress(&data);
+        prop_assert_eq!(lzss::decompress(&packed), Some(data));
+    }
+
+    #[test]
+    fn deflate_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..4096)) {
+        let packed = deflate::compress(&data);
+        prop_assert_eq!(deflate::decompress(&packed), Some(data));
+    }
+
+    // Low-entropy inputs exercise long matches and overlapping copies.
+    #[test]
+    fn deflate_roundtrip_low_entropy(
+        data in proptest::collection::vec(0u8..4, 0..8192)
+    ) {
+        let packed = deflate::compress(&data);
+        prop_assert_eq!(deflate::decompress(&packed), Some(data));
+    }
+
+    #[test]
+    fn container_roundtrip_all_codecs(
+        data in proptest::collection::vec(any::<u8>(), 0..2048),
+        which in 0u8..3
+    ) {
+        let codec = Codec::from_code(which).unwrap();
+        let packed = codec.compress(&data);
+        prop_assert_eq!(Codec::decompress(&packed).unwrap(), data);
+    }
+
+    #[test]
+    fn gps_roundtrip(
+        seed in any::<u64>(),
+        n in 0usize..300
+    ) {
+        let mut x = seed | 1;
+        let mut next = || {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((x >> 33) as i64 % 1000) - 500
+        };
+        let mut samples = Vec::with_capacity(n);
+        let (mut lng, mut lat, mut t) = (116.0, 39.0, 1_500_000_000_000i64);
+        for _ in 0..n {
+            lng = (lng + next() as f64 * 1e-6).clamp(-180.0, 180.0);
+            lat = (lat + next() as f64 * 1e-6).clamp(-90.0, 90.0);
+            t += next().abs() + 1;
+            samples.push(GpsSample { lng, lat, time_ms: t });
+        }
+        let back = gps::decode(&gps::encode(&samples)).unwrap();
+        prop_assert_eq!(back.len(), samples.len());
+        for (a, b) in samples.iter().zip(&back) {
+            prop_assert!((a.lng - b.lng).abs() < 1e-7);
+            prop_assert!((a.lat - b.lat).abs() < 1e-7);
+            prop_assert_eq!(a.time_ms, b.time_ms);
+        }
+    }
+
+    // Decompression never panics on arbitrary garbage.
+    #[test]
+    fn decompress_never_panics(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = Codec::decompress(&data);
+        let _ = deflate::decompress(&data);
+        let _ = lzss::decompress(&data);
+        let _ = gps::decode(&data);
+    }
+}

@@ -1,0 +1,552 @@
+//! The engine: definition, manipulation and query operations (Section V).
+
+use crate::catalog::{Catalog, TableDef, TableKind};
+use crate::dataset::Dataset;
+use crate::error::CoreError;
+use crate::knn::{knn, KnnConfig};
+use crate::resultset::ResultSet;
+use crate::Result;
+use just_curves::TimePeriod;
+use just_geo::{Point, Rect};
+use just_kvstore::{IoSnapshot, Store, StoreOptions};
+use just_storage::{
+    IndexKind, Row, Schema, SpatialPredicate, StTable, StorageConfig, Value,
+};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Engine-wide configuration.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Key-value store tuning.
+    pub store: StoreOptions,
+    /// Default table-storage settings (shards, regions, period...).
+    pub storage: StorageConfig,
+    /// k-NN expansion tuning.
+    pub knn: KnnConfig,
+    /// Result-set spill threshold in bytes (Figure 2's "configurable
+    /// parameter").
+    pub spill_threshold: usize,
+    /// Rows per spilled chunk file.
+    pub spill_chunk_rows: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            store: StoreOptions::default(),
+            storage: StorageConfig::default(),
+            knn: KnnConfig::default(),
+            spill_threshold: 8 << 20,
+            spill_chunk_rows: 10_000,
+        }
+    }
+}
+
+/// The JUST engine: catalog + storage + query operations, shared by all
+/// sessions (the paper's single shared "Spark context").
+pub struct Engine {
+    base_dir: PathBuf,
+    config: EngineConfig,
+    store: Store,
+    catalog: RwLock<Catalog>,
+    tables: RwLock<HashMap<String, Arc<StTable>>>,
+    views: RwLock<HashMap<String, Arc<Dataset>>>,
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("base_dir", &self.base_dir)
+            .finish()
+    }
+}
+
+impl Engine {
+    /// Opens (or initialises) an engine rooted at `base_dir`.
+    pub fn open(base_dir: &Path, config: EngineConfig) -> Result<Engine> {
+        std::fs::create_dir_all(base_dir)?;
+        let store = Store::open(&base_dir.join("data"), config.store.clone())?;
+        let catalog = Catalog::open(base_dir.join("catalog.meta"))?;
+        Ok(Engine {
+            base_dir: base_dir.to_path_buf(),
+            config,
+            store,
+            catalog: RwLock::new(catalog),
+            tables: RwLock::new(HashMap::new()),
+            views: RwLock::new(HashMap::new()),
+        })
+    }
+
+    /// Engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// IO counters of the underlying store (for experiments).
+    pub fn io_snapshot(&self) -> IoSnapshot {
+        self.store.metrics().snapshot()
+    }
+
+    /// Resets IO counters.
+    pub fn reset_io(&self) {
+        self.store.metrics().reset();
+    }
+
+    // ------------------------------------------------------------------
+    // Definition operations (Section V-A)
+    // ------------------------------------------------------------------
+
+    /// `CREATE TABLE`: registers and creates a common table. `index`
+    /// overrides the default strategy (the `USERDATA` hint); `period`
+    /// overrides the day default.
+    pub fn create_table(
+        &self,
+        name: &str,
+        schema: Schema,
+        index: Option<IndexKind>,
+        period: Option<TimePeriod>,
+    ) -> Result<()> {
+        self.create_table_kind(name, schema, TableKind::Common, index, period)
+    }
+
+    /// `CREATE TABLE <name> AS <plugin>`: instantiates a preset plugin
+    /// schema (currently `trajectory`).
+    pub fn create_plugin_table(
+        &self,
+        name: &str,
+        plugin: &str,
+        index: Option<IndexKind>,
+        period: Option<TimePeriod>,
+    ) -> Result<()> {
+        let schema = match plugin.to_ascii_lowercase().as_str() {
+            "trajectory" => Schema::trajectory(),
+            other => {
+                return Err(CoreError::Invalid(format!(
+                    "unknown plugin table type '{other}'"
+                )))
+            }
+        };
+        self.create_table_kind(
+            name,
+            schema,
+            TableKind::Plugin(plugin.to_ascii_lowercase()),
+            index,
+            period,
+        )
+    }
+
+    fn create_table_kind(
+        &self,
+        name: &str,
+        schema: Schema,
+        kind: TableKind,
+        index: Option<IndexKind>,
+        period: Option<TimePeriod>,
+    ) -> Result<()> {
+        if self.views.read().contains_key(name) {
+            return Err(CoreError::Catalog(format!(
+                "'{name}' already names a view"
+            )));
+        }
+        let mut storage = self.config.storage;
+        storage.index = index.or(storage.index);
+        if let Some(p) = period {
+            storage.period = p;
+        }
+        let table = StTable::create(&self.store, name, schema.clone(), storage)?;
+        let def = TableDef {
+            name: name.to_string(),
+            kind,
+            schema,
+            index: table.strategy().kind(),
+            period: table.strategy().period(),
+            shards: table.strategy().shards(),
+            regions: storage.regions,
+        };
+        self.catalog.write().register(def)?;
+        self.tables.write().insert(name.to_string(), Arc::new(table));
+        Ok(())
+    }
+
+    /// `DROP TABLE`.
+    pub fn drop_table(&self, name: &str) -> Result<()> {
+        let def = self.catalog.write().unregister(name)?;
+        self.tables.write().remove(name);
+        self.store.drop_table(&format!("{name}__data"))?;
+        // Side tables exist depending on configuration; remove if present.
+        self.store.drop_table(&format!("{name}__sdata")).ok();
+        self.store.drop_table(&format!("{name}__ids")).ok();
+        let _ = def;
+        Ok(())
+    }
+
+    /// `SHOW TABLES`: names only — served purely from the catalog.
+    pub fn show_tables(&self) -> Vec<String> {
+        self.catalog
+            .read()
+            .tables()
+            .map(|d| d.name.clone())
+            .collect()
+    }
+
+    /// `SHOW VIEWS`.
+    pub fn show_views(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.views.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// `DESC TABLE`: the full definition — also catalog-only.
+    pub fn describe(&self, name: &str) -> Result<TableDef> {
+        self.catalog
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| CoreError::Catalog(format!("no such table '{name}'")))
+    }
+
+    /// Handle to a table, opening it lazily from the catalog.
+    pub fn table(&self, name: &str) -> Result<Arc<StTable>> {
+        if let Some(t) = self.tables.read().get(name) {
+            return Ok(t.clone());
+        }
+        let def = self.describe(name)?;
+        let mut storage = self.config.storage;
+        storage.index = Some(def.index);
+        storage.period = def.period;
+        storage.shards = def.shards;
+        storage.regions = def.regions;
+        let table = Arc::new(StTable::open(
+            &self.store,
+            name,
+            def.schema.clone(),
+            storage,
+        )?);
+        self.tables
+            .write()
+            .insert(name.to_string(), table.clone());
+        Ok(table)
+    }
+
+    // ------------------------------------------------------------------
+    // Manipulation operations (Section V-B)
+    // ------------------------------------------------------------------
+
+    /// `INSERT INTO`: appends (or updates, by primary key) rows.
+    pub fn insert(&self, table: &str, rows: &[Row]) -> Result<usize> {
+        let t = self.table(table)?;
+        for row in rows {
+            t.insert(row)?;
+        }
+        Ok(rows.len())
+    }
+
+    /// Deletes a record by primary key; returns whether it existed.
+    pub fn delete(&self, table: &str, fid: &Value) -> Result<bool> {
+        Ok(self.table(table)?.delete(fid)?)
+    }
+
+    // ------------------------------------------------------------------
+    // Query operations (Section V-C)
+    // ------------------------------------------------------------------
+
+    /// Spatial range query: records within (or intersecting) `window`.
+    pub fn spatial_range(
+        &self,
+        table: &str,
+        window: &Rect,
+        predicate: SpatialPredicate,
+    ) -> Result<Dataset> {
+        let t = self.table(table)?;
+        let rows = t.query(Some(window), None, predicate)?;
+        Ok(self.dataset_of(&t, rows))
+    }
+
+    /// Spatio-temporal range query.
+    pub fn st_range(
+        &self,
+        table: &str,
+        window: &Rect,
+        t_min: i64,
+        t_max: i64,
+        predicate: SpatialPredicate,
+    ) -> Result<Dataset> {
+        let t = self.table(table)?;
+        let rows = t.query(Some(window), Some((t_min, t_max)), predicate)?;
+        Ok(self.dataset_of(&t, rows))
+    }
+
+    /// k-NN query (Algorithm 1). The returned dataset carries the table's
+    /// columns plus a trailing `distance` column (degrees).
+    pub fn knn(&self, table: &str, q: Point, k: usize) -> Result<Dataset> {
+        let t = self.table(table)?;
+        let hits = knn(&t, q, k, &self.config.knn)?;
+        let mut columns: Vec<String> =
+            t.schema().fields().iter().map(|f| f.name.clone()).collect();
+        columns.push("distance".to_string());
+        let rows = hits
+            .into_iter()
+            .map(|(mut row, d)| {
+                row.values.push(Value::Float(d));
+                row
+            })
+            .collect();
+        Ok(Dataset::new(columns, rows))
+    }
+
+    /// Full scan (used by the SQL layer when no ST predicate applies).
+    pub fn scan_all(&self, table: &str) -> Result<Dataset> {
+        let t = self.table(table)?;
+        let rows = t.scan_all()?;
+        Ok(self.dataset_of(&t, rows))
+    }
+
+    fn dataset_of(&self, t: &StTable, rows: Vec<Row>) -> Dataset {
+        let columns = t.schema().fields().iter().map(|f| f.name.clone()).collect();
+        Dataset::new(columns, rows)
+    }
+
+    // ------------------------------------------------------------------
+    // Views (Section IV-D)
+    // ------------------------------------------------------------------
+
+    /// `CREATE VIEW <name> AS <query result>`: caches a dataset in memory.
+    pub fn create_view(&self, name: &str, data: Dataset) -> Result<()> {
+        if self.catalog.read().contains(name) {
+            return Err(CoreError::Catalog(format!(
+                "'{name}' already names a table"
+            )));
+        }
+        self.views.write().insert(name.to_string(), Arc::new(data));
+        Ok(())
+    }
+
+    /// Fetches a view.
+    pub fn view(&self, name: &str) -> Result<Arc<Dataset>> {
+        self.views
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| CoreError::Catalog(format!("no such view '{name}'")))
+    }
+
+    /// `DROP VIEW`.
+    pub fn drop_view(&self, name: &str) -> Result<()> {
+        self.views
+            .write()
+            .remove(name)
+            .map(|_| ())
+            .ok_or_else(|| CoreError::Catalog(format!("no such view '{name}'")))
+    }
+
+    /// `STORE VIEW <view> TO TABLE <table>`: materialises a view into a
+    /// (possibly new) table. The view's columns must match the target
+    /// schema when the table exists; otherwise a common table is created
+    /// with inferred field types.
+    pub fn store_view(&self, view: &str, table: &str) -> Result<usize> {
+        let data = self.view(view)?;
+        if !self.catalog.read().contains(table) {
+            let schema = infer_schema(&data)?;
+            self.create_table(table, schema, None, None)?;
+        }
+        self.insert(table, &data.rows)
+    }
+
+    /// Wraps a dataset in the Figure 2 result-set cursor.
+    pub fn result_set(&self, data: Dataset) -> Result<ResultSet> {
+        let spill = self.base_dir.join("spill").join(format!(
+            "rs-{}-{}",
+            std::process::id(),
+            self.views.read().len() // cheap unique-ish suffix
+        ));
+        ResultSet::new(
+            data,
+            spill,
+            self.config.spill_threshold,
+            self.config.spill_chunk_rows,
+        )
+    }
+
+    /// Flushes all open tables (benchmarks call this between phases).
+    pub fn flush_all(&self) -> Result<()> {
+        for t in self.tables.read().values() {
+            t.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Total on-disk footprint of a table.
+    pub fn table_disk_size(&self, name: &str) -> Result<u64> {
+        Ok(self.table(name)?.disk_size())
+    }
+}
+
+/// Infers a storable schema from a dataset's first rows (used by
+/// `STORE VIEW ... TO TABLE` when the target doesn't exist).
+fn infer_schema(data: &Dataset) -> Result<Schema> {
+    use just_storage::{Field, FieldType};
+    let mut fields = Vec::with_capacity(data.columns.len());
+    for (i, name) in data.columns.iter().enumerate() {
+        let ty = data
+            .rows
+            .iter()
+            .find_map(|r| match &r.values[i] {
+                Value::Null => None,
+                Value::Bool(_) => Some(FieldType::Bool),
+                Value::Int(_) => Some(FieldType::Int),
+                Value::Float(_) => Some(FieldType::Float),
+                Value::Str(_) => Some(FieldType::Str),
+                Value::Date(_) => Some(FieldType::Date),
+                Value::Geom(_) => Some(FieldType::Geometry),
+                Value::GpsList(_) => Some(FieldType::StSeries),
+            })
+            .unwrap_or(FieldType::Str);
+        let mut field = Field::new(name.clone(), ty);
+        if i == 0 {
+            field = field.primary();
+        }
+        fields.push(field);
+    }
+    Schema::new(fields).map_err(CoreError::Storage)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use just_geo::Geometry;
+    use just_storage::{Field, FieldType};
+
+    const HOUR_MS: i64 = 3_600_000;
+
+    fn engine(name: &str) -> (Engine, PathBuf) {
+        let dir = std::env::temp_dir().join(format!(
+            "just-engine-{name}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        (Engine::open(&dir, EngineConfig::default()).unwrap(), dir)
+    }
+
+    fn order_schema() -> Schema {
+        Schema::new(vec![
+            Field::new("fid", FieldType::Int).primary(),
+            Field::new("time", FieldType::Date),
+            Field::new("geom", FieldType::Point),
+        ])
+        .unwrap()
+    }
+
+    fn order_row(fid: i64, lng: f64, lat: f64, t: i64) -> Row {
+        Row::new(vec![
+            Value::Int(fid),
+            Value::Date(t),
+            Value::Geom(Geometry::Point(Point::new(lng, lat))),
+        ])
+    }
+
+    #[test]
+    fn definition_operations() {
+        let (e, dir) = engine("ddl");
+        e.create_table("orders", order_schema(), None, None).unwrap();
+        e.create_plugin_table("traj", "trajectory", None, None).unwrap();
+        assert!(e.create_plugin_table("x", "widgets", None, None).is_err());
+        assert_eq!(e.show_tables(), vec!["orders", "traj"]);
+        let def = e.describe("traj").unwrap();
+        assert_eq!(def.kind, TableKind::Plugin("trajectory".into()));
+        assert_eq!(def.index, IndexKind::Xz2t);
+        e.drop_table("orders").unwrap();
+        assert!(e.describe("orders").is_err());
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn insert_query_and_knn() {
+        let (e, dir) = engine("dml");
+        e.create_table("orders", order_schema(), None, None).unwrap();
+        let rows: Vec<Row> = (0..100)
+            .map(|i| {
+                order_row(
+                    i,
+                    116.0 + (i % 10) as f64 * 0.01,
+                    39.0 + (i / 10) as f64 * 0.01,
+                    i * HOUR_MS / 4,
+                )
+            })
+            .collect();
+        assert_eq!(e.insert("orders", &rows).unwrap(), 100);
+
+        let window = Rect::new(115.995, 38.995, 116.035, 39.035);
+        let s = e
+            .spatial_range("orders", &window, SpatialPredicate::Within)
+            .unwrap();
+        assert_eq!(s.len(), 16);
+
+        let st = e
+            .st_range("orders", &window, 0, 5 * HOUR_MS, SpatialPredicate::Within)
+            .unwrap();
+        assert!(st.len() < s.len());
+
+        let nn = e.knn("orders", Point::new(116.0, 39.0), 5).unwrap();
+        assert_eq!(nn.len(), 5);
+        assert_eq!(nn.columns.last().unwrap(), "distance");
+        // Nearest is the point at exactly (116.0, 39.0).
+        assert_eq!(nn.rows[0].values[0], Value::Int(0));
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn views_and_store_view() {
+        let (e, dir) = engine("views");
+        e.create_table("orders", order_schema(), None, None).unwrap();
+        e.insert("orders", &[order_row(1, 116.0, 39.0, 0)]).unwrap();
+        let all = e.scan_all("orders").unwrap();
+        e.create_view("v", all).unwrap();
+        assert_eq!(e.show_views(), vec!["v"]);
+        assert_eq!(e.view("v").unwrap().len(), 1);
+        // Name clash protections both ways.
+        assert!(e.create_view("orders", Dataset::empty(vec!["a".into()])).is_err());
+        assert!(e
+            .create_table("v", order_schema(), None, None)
+            .is_err());
+        // Materialise into a new table.
+        assert_eq!(e.store_view("v", "orders2").unwrap(), 1);
+        assert_eq!(e.scan_all("orders2").unwrap().len(), 1);
+        e.drop_view("v").unwrap();
+        assert!(e.view("v").is_err());
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn engine_reopen_recovers_catalog_and_data() {
+        let (e, dir) = engine("reopen");
+        e.create_table("orders", order_schema(), None, None).unwrap();
+        e.insert("orders", &[order_row(1, 116.0, 39.0, 0)]).unwrap();
+        e.flush_all().unwrap();
+        drop(e);
+        let e2 = Engine::open(&dir, EngineConfig::default()).unwrap();
+        assert_eq!(e2.show_tables(), vec!["orders"]);
+        assert_eq!(e2.scan_all("orders").unwrap().len(), 1);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn updates_are_visible_without_reindexing() {
+        let (e, dir) = engine("update");
+        e.create_table("orders", order_schema(), None, None).unwrap();
+        e.insert("orders", &[order_row(7, 116.0, 39.0, 0)]).unwrap();
+        // Historical update far away in space and time.
+        e.insert("orders", &[order_row(7, 121.5, 31.2, 100 * HOUR_MS)])
+            .unwrap();
+        let beijing = Rect::new(115.0, 38.0, 117.0, 40.0);
+        assert!(e
+            .spatial_range("orders", &beijing, SpatialPredicate::Within)
+            .unwrap()
+            .is_empty());
+        assert!(e.delete("orders", &Value::Int(7)).unwrap());
+        std::fs::remove_dir_all(dir).ok();
+    }
+}

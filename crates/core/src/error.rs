@@ -1,0 +1,50 @@
+//! Engine error type.
+
+use std::fmt;
+
+/// Everything the engine can report.
+#[derive(Debug)]
+pub enum CoreError {
+    /// Storage-layer failure.
+    Storage(just_storage::StorageError),
+    /// Key-value store failure.
+    Kv(just_kvstore::KvError),
+    /// Filesystem failure (catalog, result spill).
+    Io(std::io::Error),
+    /// A table/view name clash or lookup miss.
+    Catalog(String),
+    /// A malformed request (bad arguments, wrong kinds).
+    Invalid(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Storage(e) => write!(f, "storage: {e}"),
+            CoreError::Kv(e) => write!(f, "kvstore: {e}"),
+            CoreError::Io(e) => write!(f, "io: {e}"),
+            CoreError::Catalog(m) => write!(f, "catalog: {m}"),
+            CoreError::Invalid(m) => write!(f, "invalid request: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<just_storage::StorageError> for CoreError {
+    fn from(e: just_storage::StorageError) -> Self {
+        CoreError::Storage(e)
+    }
+}
+
+impl From<just_kvstore::KvError> for CoreError {
+    fn from(e: just_kvstore::KvError) -> Self {
+        CoreError::Kv(e)
+    }
+}
+
+impl From<std::io::Error> for CoreError {
+    fn from(e: std::io::Error) -> Self {
+        CoreError::Io(e)
+    }
+}

@@ -1,0 +1,133 @@
+//! Key ranges produced by query planning.
+
+/// An inclusive range `[lo, hi]` of curve codes, to be executed as one
+/// `SCAN` over the ordered key-value store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct KeyRange {
+    /// First code covered.
+    pub lo: u64,
+    /// Last code covered (inclusive).
+    pub hi: u64,
+}
+
+impl KeyRange {
+    /// Creates a range, asserting `lo <= hi` in debug builds.
+    pub fn new(lo: u64, hi: u64) -> Self {
+        debug_assert!(lo <= hi);
+        KeyRange { lo, hi }
+    }
+
+    /// A single-code range.
+    pub fn point(v: u64) -> Self {
+        KeyRange { lo: v, hi: v }
+    }
+
+    /// Whether `v` is inside the range.
+    pub fn contains(&self, v: u64) -> bool {
+        self.lo <= v && v <= self.hi
+    }
+
+    /// Number of codes covered (saturating).
+    pub fn len(&self) -> u64 {
+        (self.hi - self.lo).saturating_add(1)
+    }
+
+    /// Ranges are never empty by construction.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+/// A key range qualified by a time-period number — the planning output of
+/// the Z3/XZ3/Z2T/XZ2T strategies, whose keys are `period :: code`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PeriodRange {
+    /// Time-period number from Equation (1) of the paper.
+    pub period: i32,
+    /// The spatial (or spatio-temporal) code range within the period.
+    pub range: KeyRange,
+}
+
+/// Knobs bounding query decomposition work.
+#[derive(Debug, Clone, Copy)]
+pub struct RangeOptions {
+    /// Maximum quadtree/octree recursion depth when decomposing a window.
+    /// Deeper recursion gives tighter ranges (less post-filtering) but more
+    /// `SCAN`s.
+    pub max_recursion: u32,
+    /// Soft cap on ranges produced before merging; decomposition stops
+    /// refining once reached.
+    pub max_ranges: usize,
+}
+
+impl Default for RangeOptions {
+    fn default() -> Self {
+        RangeOptions {
+            max_recursion: 9,
+            max_ranges: 2048,
+        }
+    }
+}
+
+/// Sorts and merges overlapping or adjacent ranges.
+pub fn merge_ranges(mut ranges: Vec<KeyRange>) -> Vec<KeyRange> {
+    if ranges.len() <= 1 {
+        return ranges;
+    }
+    ranges.sort_unstable();
+    let mut out = Vec::with_capacity(ranges.len());
+    let mut cur = ranges[0];
+    for r in ranges.into_iter().skip(1) {
+        // Adjacent (hi + 1 == lo) or overlapping ranges coalesce.
+        if r.lo <= cur.hi.saturating_add(1) {
+            cur.hi = cur.hi.max(r.hi);
+        } else {
+            out.push(cur);
+            cur = r;
+        }
+    }
+    out.push(cur);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_overlapping_and_adjacent() {
+        let merged = merge_ranges(vec![
+            KeyRange::new(10, 20),
+            KeyRange::new(0, 5),
+            KeyRange::new(21, 30),
+            KeyRange::new(15, 25),
+            KeyRange::new(40, 50),
+        ]);
+        assert_eq!(merged, vec![KeyRange::new(0, 5), KeyRange::new(10, 30), KeyRange::new(40, 50)]);
+    }
+
+    #[test]
+    fn merge_handles_extremes() {
+        let merged = merge_ranges(vec![
+            KeyRange::new(u64::MAX - 1, u64::MAX),
+            KeyRange::new(0, 0),
+            KeyRange::new(1, 1),
+        ]);
+        assert_eq!(
+            merged,
+            vec![KeyRange::new(0, 1), KeyRange::new(u64::MAX - 1, u64::MAX)]
+        );
+    }
+
+    #[test]
+    fn merge_empty_and_single() {
+        assert!(merge_ranges(vec![]).is_empty());
+        assert_eq!(merge_ranges(vec![KeyRange::point(7)]), vec![KeyRange::point(7)]);
+    }
+
+    #[test]
+    fn range_len() {
+        assert_eq!(KeyRange::new(3, 3).len(), 1);
+        assert_eq!(KeyRange::new(0, u64::MAX).len(), u64::MAX);
+    }
+}

@@ -1,0 +1,315 @@
+//! The XZ2 index: XZ-ordering for spatially extended objects
+//! (Böhm, Klump & Kriegel, SSD'99), as used by GeoMesa for lines and
+//! polygons.
+//!
+//! Each object is assigned the largest quadtree cell whose *enlarged*
+//! (doubled width/height) version still contains the object's MBR
+//! (Figure 3f of the paper). Cells are numbered by a depth-first sequence
+//! code so that every subtree occupies a contiguous code interval, which
+//! makes "everything under this cell" a single key range.
+
+use crate::range::{merge_ranges, KeyRange, RangeOptions};
+use crate::{norm_lat, norm_lng};
+use just_geo::Rect;
+
+/// XZ-ordering over the longitude/latitude plane.
+#[derive(Debug, Clone, Copy)]
+pub struct Xz2 {
+    g: u32,
+}
+
+impl Default for Xz2 {
+    fn default() -> Self {
+        // Cells at level 16 are ~600 m on a side at the equator: fine
+        // enough that urban query windows keep their spatial selectivity.
+        Xz2::new(16)
+    }
+}
+
+impl Xz2 {
+    /// Creates the curve with maximum resolution `g` (1..=30).
+    pub fn new(g: u32) -> Self {
+        assert!((1..=30).contains(&g), "g must be in 1..=30");
+        Xz2 { g }
+    }
+
+    /// Maximum quadtree depth.
+    pub fn g(&self) -> u32 {
+        self.g
+    }
+
+    /// Total number of sequence codes (exclusive upper bound): the size of
+    /// the subtree rooted at the whole space.
+    pub fn code_space(&self) -> u64 {
+        subtree_size(self.g, 0)
+    }
+
+    /// Encodes an MBR (in degrees) into its XZ2 sequence code.
+    pub fn index(&self, mbr: &Rect) -> u64 {
+        let (x_min, y_min) = (norm_lng(mbr.min_x), norm_lat(mbr.min_y));
+        let (x_max, y_max) = (norm_lng(mbr.max_x), norm_lat(mbr.max_y));
+        let l = self.element_level(x_max - x_min, y_max - y_min, x_min, y_min);
+        self.sequence_code(x_min, y_min, l)
+    }
+
+    /// The largest level whose enlarged cell contains the object.
+    fn element_level(&self, w: f64, h: f64, x_min: f64, y_min: f64) -> u32 {
+        let max_dim = w.max(h);
+        let l1 = if max_dim <= 0.0 {
+            self.g
+        } else {
+            // floor(log2(1/max_dim)) without overflow for tiny dims.
+            (-max_dim.log2()).floor().max(0.0).min(self.g as f64) as u32
+        };
+        if l1 == 0 {
+            return 0;
+        }
+        // Check the object fits in the enlarged cell at l1; if not, the
+        // parent level always fits (Böhm's Lemma).
+        let cell = 2f64.powi(-(l1 as i32));
+        let bx = (x_min / cell).floor() * cell;
+        let by = (y_min / cell).floor() * cell;
+        if x_min + w <= bx + 2.0 * cell && y_min + h <= by + 2.0 * cell {
+            l1
+        } else {
+            l1 - 1
+        }
+    }
+
+    /// Depth-first sequence code of the level-`l` cell containing
+    /// `(x, y)` (normalised coordinates).
+    fn sequence_code(&self, x: f64, y: f64, l: u32) -> u64 {
+        let mut code = 0u64;
+        let (mut cx, mut cy, mut w) = (0.0f64, 0.0f64, 1.0f64);
+        for i in 1..=l {
+            w /= 2.0;
+            let qx = if x >= cx + w { 1u64 } else { 0 };
+            let qy = if y >= cy + w { 1u64 } else { 0 };
+            let quadrant = qx | (qy << 1);
+            code += 1 + quadrant * subtree_size(self.g, i);
+            cx += qx as f64 * w;
+            cy += qy as f64 * w;
+        }
+        code
+    }
+
+    /// Decomposes a query window into merged code ranges.
+    ///
+    /// A node's *enlarged* cell bounds every object stored at it, so:
+    /// window ⊇ enlarged cell ⟹ whole subtree matches (one range);
+    /// window ∩ enlarged cell ≠ ∅ ⟹ this cell may hold matches (single
+    /// code) and children are explored; otherwise the subtree is pruned.
+    pub fn ranges(&self, query: &Rect, opts: &RangeOptions) -> Vec<KeyRange> {
+        let query = match query.intersection(&just_geo::WORLD) {
+            Some(q) => q,
+            None => return Vec::new(),
+        };
+        let q = NormRect {
+            x_min: norm_lng(query.min_x),
+            y_min: norm_lat(query.min_y),
+            x_max: norm_lng(query.max_x),
+            y_max: norm_lat(query.max_y),
+        };
+        let mut out = Vec::new();
+        let max_level = opts.max_recursion.min(self.g);
+        self.descend(&q, 0.0, 0.0, 1.0, 0, 0, max_level, opts.max_ranges, &mut out);
+        merge_ranges(out)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn descend(
+        &self,
+        q: &NormRect,
+        cx: f64,
+        cy: f64,
+        w: f64,
+        level: u32,
+        code: u64,
+        max_level: u32,
+        max_ranges: usize,
+        out: &mut Vec<KeyRange>,
+    ) {
+        // Enlarged cell: doubled width and height.
+        let ext = NormRect {
+            x_min: cx,
+            y_min: cy,
+            x_max: cx + 2.0 * w,
+            y_max: cy + 2.0 * w,
+        };
+        if !q.intersects(&ext) {
+            return;
+        }
+        let subtree = subtree_size(self.g, level);
+        if q.contains(&ext) || level == max_level || out.len() >= max_ranges {
+            // Everything stored at this cell or below is a candidate. When
+            // the window fully contains the enlarged cell this is exact;
+            // at the recursion/budget limit it is a sound over-approximation.
+            out.push(KeyRange::new(code, code + subtree - 1));
+            return;
+        }
+        // The element stored at this cell itself may match.
+        out.push(KeyRange::point(code));
+        let half = w / 2.0;
+        let child_subtree = subtree_size(self.g, level + 1);
+        for quadrant in 0..4u64 {
+            let (dx, dy) = ((quadrant & 1) as f64, (quadrant >> 1) as f64);
+            self.descend(
+                q,
+                cx + dx * half,
+                cy + dy * half,
+                half,
+                level + 1,
+                code + 1 + quadrant * child_subtree,
+                max_level,
+                max_ranges,
+                out,
+            );
+        }
+    }
+}
+
+/// Number of sequence codes in a subtree rooted at a level-`level` cell
+/// (the cell itself plus all descendants down to level `g`):
+/// `(4^(g-level+1) - 1) / 3`.
+fn subtree_size(g: u32, level: u32) -> u64 {
+    let d = g - level + 1;
+    ((1u64 << (2 * d)) - 1) / 3
+}
+
+#[derive(Debug, Clone, Copy)]
+struct NormRect {
+    x_min: f64,
+    y_min: f64,
+    x_max: f64,
+    y_max: f64,
+}
+
+impl NormRect {
+    fn intersects(&self, other: &NormRect) -> bool {
+        self.x_min <= other.x_max
+            && self.x_max >= other.x_min
+            && self.y_min <= other.y_max
+            && self.y_max >= other.y_min
+    }
+
+    fn contains(&self, other: &NormRect) -> bool {
+        other.x_min >= self.x_min
+            && other.x_max <= self.x_max
+            && other.y_min >= self.y_min
+            && other.y_max <= self.y_max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn subtree_sizes() {
+        // g = 2: leaf subtree = 1 cell... level 2 cell has d = 1 -> 1 code.
+        assert_eq!(subtree_size(2, 2), 1);
+        // level-1 cell: itself + 4 leaves = 5.
+        assert_eq!(subtree_size(2, 1), 5);
+        // root: itself + 4 * 5 = 21.
+        assert_eq!(subtree_size(2, 0), 21);
+    }
+
+    #[test]
+    fn codes_are_unique_per_cell() {
+        let xz = Xz2::new(6);
+        let mut seen = std::collections::HashSet::new();
+        // Enumerate small MBRs on a grid; distinct cells must not collide.
+        for i in 0..32 {
+            for j in 0..32 {
+                let x = -180.0 + 360.0 * (i as f64 + 0.25) / 32.0;
+                let y = -90.0 + 180.0 * (j as f64 + 0.25) / 32.0;
+                let mbr = Rect::new(x, y, x + 0.01, y + 0.01);
+                seen.insert(xz.index(&mbr));
+            }
+        }
+        // 32x32 sub-cell MBRs at g=6 land in at least the 2^6-level cells.
+        assert!(seen.len() >= 900, "only {} distinct codes", seen.len());
+    }
+
+    #[test]
+    fn code_space_bound() {
+        let xz = Xz2::new(16);
+        let big = Rect::new(-179.0, -89.0, 179.0, 89.0);
+        let small = Rect::new(116.40, 39.90, 116.41, 39.91);
+        assert!(xz.index(&big) < xz.code_space());
+        assert!(xz.index(&small) < xz.code_space());
+    }
+
+    #[test]
+    fn larger_objects_get_shallower_cells() {
+        let xz = Xz2::default();
+        // A world-spanning object cannot fit any enlarged sub-cell: it is
+        // stored at the root, which by DFS numbering is code 0.
+        let world = Rect::new(-179.0, -89.0, 179.0, 89.0);
+        assert_eq!(xz.index(&world), 0);
+        // At the SW corner, codes count the levels descended: a
+        // quarter-of-the-world object stops at level 2 (code 2), while a
+        // tiny object descends all g levels (code g).
+        let big_sw = Rect::new(-180.0, -90.0, -90.0, -45.0);
+        let tiny_sw = Rect::new(-180.0, -90.0, -180.0, -90.0);
+        assert_eq!(xz.index(&big_sw), 2);
+        assert_eq!(xz.index(&tiny_sw), u64::from(xz.g()));
+    }
+
+    #[test]
+    fn ranges_cover_indexed_objects() {
+        let xz = Xz2::default();
+        let window = Rect::new(116.0, 39.0, 117.0, 40.0);
+        let opts = RangeOptions::default();
+        let ranges = xz.ranges(&window, &opts);
+        assert!(!ranges.is_empty());
+        // Objects overlapping the window must be covered.
+        for i in 0..20 {
+            let f = i as f64 / 19.0;
+            let mbr = Rect::new(
+                115.9 + f * 1.0,
+                38.9 + f * 1.0,
+                115.9 + f * 1.0 + 0.15,
+                38.9 + f * 1.0 + 0.15,
+            );
+            if mbr.intersects(&window) {
+                let code = xz.index(&mbr);
+                assert!(
+                    ranges.iter().any(|r| r.contains(code)),
+                    "mbr {mbr:?} (code {code}) escaped"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ranges_cover_objects_straddling_the_window_edge() {
+        // An object much bigger than the window, overlapping it, must be
+        // found via its shallow cell's single-code range.
+        let xz = Xz2::default();
+        let window = Rect::new(116.0, 39.0, 116.1, 39.1);
+        let ranges = xz.ranges(&window, &RangeOptions::default());
+        let giant = Rect::new(100.0, 20.0, 130.0, 50.0);
+        let code = xz.index(&giant);
+        assert!(ranges.iter().any(|r| r.contains(code)));
+    }
+
+    #[test]
+    fn far_objects_not_covered() {
+        let xz = Xz2::default();
+        let window = Rect::new(116.0, 39.0, 117.0, 40.0);
+        let ranges = xz.ranges(&window, &RangeOptions::default());
+        let far = Rect::new(-120.0, -40.0, -119.9, -39.9);
+        let code = xz.index(&far);
+        assert!(!ranges.iter().any(|r| r.contains(code)));
+    }
+
+    #[test]
+    fn point_like_mbr_gets_max_level() {
+        let xz = Xz2::new(8);
+        let p = Rect::new(10.0, 10.0, 10.0, 10.0);
+        let code = xz.index(&p);
+        // Max-level codes are large: they sit at the bottom of the tree.
+        assert!(code >= 8); // at least one step per level
+    }
+}

@@ -1,0 +1,240 @@
+//! The Z2 index: Morton order over (longitude, latitude) for point data.
+
+use crate::morton::{deinterleave2, interleave2};
+use crate::range::{merge_ranges, KeyRange, RangeOptions};
+use crate::{discretize, norm_lat, norm_lng};
+use just_geo::Rect;
+
+/// Z-order curve over the longitude/latitude plane.
+#[derive(Debug, Clone, Copy)]
+pub struct Z2 {
+    bits: u32,
+}
+
+impl Default for Z2 {
+    fn default() -> Self {
+        // 30 bits per dimension = 60-bit codes: ~1 cm cells at the equator,
+        // comfortably finer than GPS accuracy.
+        Z2::new(30)
+    }
+}
+
+impl Z2 {
+    /// Creates a curve with `bits` of resolution per dimension (1..=31).
+    pub fn new(bits: u32) -> Self {
+        assert!((1..=31).contains(&bits), "bits must be in 1..=31");
+        Z2 { bits }
+    }
+
+    /// Resolution in bits per dimension.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Encodes a point into its Z2 code.
+    pub fn index(&self, lng: f64, lat: f64) -> u64 {
+        let x = discretize(norm_lng(lng), self.bits);
+        let y = discretize(norm_lat(lat), self.bits);
+        interleave2(x, y)
+    }
+
+    /// The cell rectangle whose Z2 code is `z`.
+    pub fn invert(&self, z: u64) -> Rect {
+        let (x, y) = deinterleave2(z);
+        let cells = (1u64 << self.bits) as f64;
+        let w = 360.0 / cells;
+        let h = 180.0 / cells;
+        let min_x = -180.0 + x as f64 * w;
+        let min_y = -90.0 + y as f64 * h;
+        Rect::new(min_x, min_y, min_x + w, min_y + h)
+    }
+
+    /// Decomposes a query window into merged inclusive code ranges by
+    /// recursive quadrant splitting (the GeoMesa approach): a quadrant
+    /// wholly inside the window contributes its whole code subtree; a
+    /// partially-covered quadrant is split until the recursion budget is
+    /// exhausted, at which point its covering range is emitted.
+    pub fn ranges(&self, query: &Rect, opts: &RangeOptions) -> Vec<KeyRange> {
+        let query = match query.intersection(&just_geo::WORLD) {
+            Some(q) => q,
+            None => return Vec::new(),
+        };
+        // Work in discrete cell space to avoid floating-point edge cases.
+        let qx_lo = discretize(norm_lng(query.min_x), self.bits);
+        let qx_hi = discretize(norm_lng(query.max_x), self.bits);
+        let qy_lo = discretize(norm_lat(query.min_y), self.bits);
+        let qy_hi = discretize(norm_lat(query.max_y), self.bits);
+        let mut out = Vec::new();
+        let max_level = opts.max_recursion.min(self.bits);
+        decompose2(
+            self.bits,
+            0,
+            0,
+            0,
+            max_level,
+            opts.max_ranges,
+            (qx_lo, qx_hi, qy_lo, qy_hi),
+            &mut out,
+        );
+        merge_ranges(out)
+    }
+}
+
+/// Recursive quadrant decomposition in cell space.
+///
+/// `prefix` holds the Morton code of the current quadrant shifted to its
+/// level; the quadrant at `level` spans `side = 2^(bits-level)` cells per
+/// dimension starting at `(x0, y0)`.
+#[allow(clippy::too_many_arguments)]
+fn decompose2(
+    bits: u32,
+    prefix: u64,
+    level: u32,
+    origin: u64, // packed (x0, y0) as morton of the cell origin
+    max_level: u32,
+    max_ranges: usize,
+    q: (u64, u64, u64, u64),
+    out: &mut Vec<KeyRange>,
+) {
+    let (qx_lo, qx_hi, qy_lo, qy_hi) = q;
+    let shift = bits - level;
+    let (x0, y0) = deinterleave2(origin);
+    let side = 1u64 << shift;
+    let (cx_lo, cx_hi) = (x0, x0 + side - 1);
+    let (cy_lo, cy_hi) = (y0, y0 + side - 1);
+    // Disjoint?
+    if cx_hi < qx_lo || cx_lo > qx_hi || cy_hi < qy_lo || cy_lo > qy_hi {
+        return;
+    }
+    let code_lo = prefix << (2 * shift);
+    let code_hi = code_lo + ((1u64 << (2 * shift)) - 1);
+    // Fully contained, at max depth, or out of range budget: emit covering
+    // range.
+    let contained = cx_lo >= qx_lo && cx_hi <= qx_hi && cy_lo >= qy_lo && cy_hi <= qy_hi;
+    if contained || level == max_level || out.len() >= max_ranges {
+        out.push(KeyRange::new(code_lo, code_hi));
+        return;
+    }
+    // Recurse into the four children in Morton order.
+    let half = side >> 1;
+    for quadrant in 0..4u64 {
+        let (dx, dy) = (quadrant & 1, quadrant >> 1);
+        let child_origin = interleave2(x0 + dx * half, y0 + dy * half);
+        decompose2(
+            bits,
+            (prefix << 2) | quadrant,
+            level + 1,
+            child_origin,
+            max_level,
+            max_ranges,
+            q,
+            out,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use just_geo::Point;
+
+    #[test]
+    fn paper_figure3_example() {
+        // Figure 3a/3b: lat 40.78, lng -73.97 at 3 bits per dimension
+        // encodes lat -> 101, lng -> 010, crosswise combined 011001
+        // (reading lng/lat alternately starting with... the paper shows
+        // "0 1 01 0 1"). With our convention (x even bits, y odd bits):
+        let z2 = Z2::new(3);
+        let code = z2.index(-73.97, 40.78);
+        // lng -73.97 -> norm 0.2945 -> cell floor(0.2945*8)=2 = 0b010
+        // lat  40.78 -> norm 0.7265 -> cell floor(0.7265*8)=5 = 0b101
+        assert_eq!(code, interleave2(0b010, 0b101));
+    }
+
+    #[test]
+    fn index_is_monotone_in_quadrants() {
+        let z2 = Z2::default();
+        // Points in the SW hemisphere-quadrant sort before NE ones.
+        assert!(z2.index(-90.0, -45.0) < z2.index(90.0, 45.0));
+    }
+
+    #[test]
+    fn invert_contains_original_point() {
+        let z2 = Z2::default();
+        for &(lng, lat) in &[
+            (0.0, 0.0),
+            (116.397, 39.916),
+            (-73.97, 40.78),
+            (-179.99, -89.99),
+            (179.99, 89.99),
+        ] {
+            let cell = z2.invert(z2.index(lng, lat));
+            assert!(
+                cell.contains_point(&Point::new(lng, lat)),
+                "({lng},{lat}) not in {cell:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn ranges_cover_indexed_points_inside_window() {
+        let z2 = Z2::default();
+        let window = Rect::new(116.0, 39.0, 117.0, 40.0);
+        let ranges = z2.ranges(&window, &RangeOptions::default());
+        assert!(!ranges.is_empty());
+        // Every point inside the window must fall into some range.
+        for i in 0..50 {
+            for j in 0..50 {
+                let lng = 116.0 + i as f64 / 49.0;
+                let lat = 39.0 + j as f64 / 49.0;
+                let code = z2.index(lng, lat);
+                assert!(
+                    ranges.iter().any(|r| r.contains(code)),
+                    "({lng},{lat}) escaped the ranges"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ranges_exclude_far_away_points() {
+        let z2 = Z2::default();
+        let window = Rect::new(116.0, 39.0, 117.0, 40.0);
+        let ranges = z2.ranges(&window, &RangeOptions::default());
+        // A point on the other side of the planet must not be covered
+        // (Z-order has false positives near the window, not globally).
+        let code = z2.index(-120.0, -40.0);
+        assert!(!ranges.iter().any(|r| r.contains(code)));
+    }
+
+    #[test]
+    fn deeper_recursion_tightens_selectivity() {
+        let z2 = Z2::default();
+        let window = Rect::new(116.0, 39.0, 116.2, 39.2);
+        let span = |opts: &RangeOptions| -> u128 {
+            z2.ranges(&window, opts)
+                .iter()
+                .map(|r| r.len() as u128)
+                .sum()
+        };
+        let coarse = span(&RangeOptions { max_recursion: 4, max_ranges: 4096 });
+        let fine = span(&RangeOptions { max_recursion: 12, max_ranges: 4096 });
+        assert!(fine < coarse, "fine {fine} !< coarse {coarse}");
+    }
+
+    #[test]
+    fn whole_world_is_one_range() {
+        let z2 = Z2::default();
+        let ranges = z2.ranges(&just_geo::WORLD, &RangeOptions::default());
+        assert_eq!(ranges.len(), 1);
+        assert_eq!(ranges[0].lo, 0);
+        assert_eq!(ranges[0].hi, (1u64 << (2 * z2.bits())) - 1);
+    }
+
+    #[test]
+    fn empty_intersection_gives_no_ranges() {
+        let z2 = Z2::default();
+        let offworld = Rect::new(500.0, 500.0, 600.0, 600.0);
+        assert!(z2.ranges(&offworld, &RangeOptions::default()).is_empty());
+    }
+}

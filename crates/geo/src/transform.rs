@@ -1,0 +1,122 @@
+//! Coordinate-system transforms between WGS-84, GCJ-02 and BD-09.
+//!
+//! These back the paper's 1-1 analysis operations
+//! (`st_WGS84ToGCJ02` and friends). GCJ-02 is the obfuscated datum required
+//! for maps of mainland China; BD-09 is Baidu's additional offset on top of
+//! GCJ-02. The forward WGS-84 → GCJ-02 transform is the published public
+//! algorithm; the inverse is computed by fixed-point iteration.
+
+use crate::Point;
+
+const PI: f64 = std::f64::consts::PI;
+const A: f64 = 6_378_245.0; // Krasovsky 1940 semi-major axis
+const EE: f64 = 0.006_693_421_622_965_943; // eccentricity squared
+const X_PI: f64 = PI * 3000.0 / 180.0;
+
+fn transform_lat(x: f64, y: f64) -> f64 {
+    let mut ret = -100.0 + 2.0 * x + 3.0 * y + 0.2 * y * y + 0.1 * x * y + 0.2 * x.abs().sqrt();
+    ret += (20.0 * (6.0 * x * PI).sin() + 20.0 * (2.0 * x * PI).sin()) * 2.0 / 3.0;
+    ret += (20.0 * (y * PI).sin() + 40.0 * (y / 3.0 * PI).sin()) * 2.0 / 3.0;
+    ret += (160.0 * (y / 12.0 * PI).sin() + 320.0 * (y * PI / 30.0).sin()) * 2.0 / 3.0;
+    ret
+}
+
+fn transform_lng(x: f64, y: f64) -> f64 {
+    let mut ret = 300.0 + x + 2.0 * y + 0.1 * x * x + 0.1 * x * y + 0.1 * x.abs().sqrt();
+    ret += (20.0 * (6.0 * x * PI).sin() + 20.0 * (2.0 * x * PI).sin()) * 2.0 / 3.0;
+    ret += (20.0 * (x * PI).sin() + 40.0 * (x / 3.0 * PI).sin()) * 2.0 / 3.0;
+    ret += (150.0 * (x / 12.0 * PI).sin() + 300.0 * (x / 30.0 * PI).sin()) * 2.0 / 3.0;
+    ret
+}
+
+/// Whether the point is outside mainland China, where GCJ-02 applies no
+/// offset.
+fn out_of_china(p: &Point) -> bool {
+    !(72.004..=137.8347).contains(&p.x) || !(0.8293..=55.8271).contains(&p.y)
+}
+
+/// WGS-84 → GCJ-02 (the "Mars coordinates" used by Chinese map providers).
+pub fn wgs84_to_gcj02(p: Point) -> Point {
+    if out_of_china(&p) {
+        return p;
+    }
+    let dlat = transform_lat(p.x - 105.0, p.y - 35.0);
+    let dlng = transform_lng(p.x - 105.0, p.y - 35.0);
+    let rad_lat = p.y / 180.0 * PI;
+    let magic = 1.0 - EE * rad_lat.sin() * rad_lat.sin();
+    let sqrt_magic = magic.sqrt();
+    let dlat = (dlat * 180.0) / ((A * (1.0 - EE)) / (magic * sqrt_magic) * PI);
+    let dlng = (dlng * 180.0) / (A / sqrt_magic * rad_lat.cos() * PI);
+    Point::new(p.x + dlng, p.y + dlat)
+}
+
+/// GCJ-02 → WGS-84, by iterating the forward transform to convergence
+/// (sub-centimetre after a handful of rounds).
+pub fn gcj02_to_wgs84(p: Point) -> Point {
+    if out_of_china(&p) {
+        return p;
+    }
+    let mut guess = p;
+    for _ in 0..6 {
+        let fwd = wgs84_to_gcj02(guess);
+        guess = Point::new(guess.x - (fwd.x - p.x), guess.y - (fwd.y - p.y));
+    }
+    guess
+}
+
+/// GCJ-02 → BD-09 (Baidu).
+pub fn gcj02_to_bd09(p: Point) -> Point {
+    let z = (p.x * p.x + p.y * p.y).sqrt() + 0.00002 * (p.y * X_PI).sin();
+    let theta = p.y.atan2(p.x) + 0.000003 * (p.x * X_PI).cos();
+    Point::new(z * theta.cos() + 0.0065, z * theta.sin() + 0.006)
+}
+
+/// BD-09 → GCJ-02.
+pub fn bd09_to_gcj02(p: Point) -> Point {
+    let x = p.x - 0.0065;
+    let y = p.y - 0.006;
+    let z = (x * x + y * y).sqrt() - 0.00002 * (y * X_PI).sin();
+    let theta = y.atan2(x) - 0.000003 * (x * X_PI).cos();
+    Point::new(z * theta.cos(), z * theta.sin())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::haversine_m;
+
+    const BEIJING: Point = Point::new(116.404, 39.915);
+
+    #[test]
+    fn gcj_offset_magnitude_in_china() {
+        let g = wgs84_to_gcj02(BEIJING);
+        let d = haversine_m(&BEIJING, &g);
+        // The GCJ-02 offset is a few hundred metres in Beijing.
+        assert!((100.0..1000.0).contains(&d), "offset was {d} m");
+    }
+
+    #[test]
+    fn gcj_roundtrip() {
+        let g = wgs84_to_gcj02(BEIJING);
+        let back = gcj02_to_wgs84(g);
+        assert!(haversine_m(&BEIJING, &back) < 0.01, "residual too large");
+    }
+
+    #[test]
+    fn outside_china_is_identity() {
+        let nyc = Point::new(-73.97, 40.78);
+        assert_eq!(wgs84_to_gcj02(nyc), nyc);
+        assert_eq!(gcj02_to_wgs84(nyc), nyc);
+    }
+
+    #[test]
+    fn bd09_roundtrip() {
+        let g = wgs84_to_gcj02(BEIJING);
+        let bd = gcj02_to_bd09(g);
+        let back = bd09_to_gcj02(bd);
+        assert!(haversine_m(&g, &back) < 1.0);
+        // Baidu offset is typically several hundred metres from GCJ.
+        let d = haversine_m(&g, &bd);
+        assert!((100.0..2000.0).contains(&d), "offset was {d} m");
+    }
+}

@@ -1,0 +1,95 @@
+//! Property-based tests for geometric invariants.
+
+use just_geo::*;
+use proptest::prelude::*;
+
+fn arb_point() -> impl Strategy<Value = Point> {
+    (-180.0f64..180.0, -90.0f64..90.0).prop_map(|(x, y)| Point::new(x, y))
+}
+
+fn arb_rect() -> impl Strategy<Value = Rect> {
+    (arb_point(), arb_point()).prop_map(|(a, b)| Rect::new(a.x, a.y, b.x, b.y))
+}
+
+proptest! {
+    #[test]
+    fn rect_contains_its_center(r in arb_rect()) {
+        prop_assert!(r.contains_point(&r.center()));
+    }
+
+    #[test]
+    fn union_contains_both(a in arb_rect(), b in arb_rect()) {
+        let u = a.union(&b);
+        prop_assert!(u.contains_rect(&a));
+        prop_assert!(u.contains_rect(&b));
+    }
+
+    #[test]
+    fn intersection_within_both(a in arb_rect(), b in arb_rect()) {
+        if let Some(i) = a.intersection(&b) {
+            prop_assert!(a.contains_rect(&i));
+            prop_assert!(b.contains_rect(&i));
+            prop_assert!(a.intersects(&b));
+        } else {
+            prop_assert!(!a.intersects(&b));
+        }
+    }
+
+    #[test]
+    fn intersects_is_symmetric(a in arb_rect(), b in arb_rect()) {
+        prop_assert_eq!(a.intersects(&b), b.intersects(&a));
+    }
+
+    #[test]
+    fn quadrants_cover_parent(r in arb_rect(), p in arb_point()) {
+        if r.contains_point(&p) {
+            let hit = r.quadrants().iter().any(|q| q.contains_point(&p));
+            prop_assert!(hit);
+        }
+    }
+
+    #[test]
+    fn min_distance_zero_iff_inside(r in arb_rect(), p in arb_point()) {
+        let d = r.min_distance(&p);
+        if r.contains_point(&p) {
+            prop_assert_eq!(d, 0.0);
+        } else {
+            prop_assert!(d > 0.0);
+        }
+    }
+
+    #[test]
+    fn haversine_triangle_inequality(a in arb_point(), b in arb_point(), c in arb_point()) {
+        let ab = haversine_m(&a, &b);
+        let bc = haversine_m(&b, &c);
+        let ac = haversine_m(&a, &c);
+        prop_assert!(ac <= ab + bc + 1e-6);
+    }
+
+    #[test]
+    fn wkt_roundtrip_point(p in arb_point()) {
+        let g = Geometry::Point(p);
+        let back = parse_wkt(&g.to_wkt()).unwrap();
+        prop_assert_eq!(back, g);
+    }
+
+    #[test]
+    fn wkt_roundtrip_linestring(pts in proptest::collection::vec(arb_point(), 2..20)) {
+        let g = Geometry::LineString(LineString::new(pts));
+        let back = parse_wkt(&g.to_wkt()).unwrap();
+        prop_assert_eq!(back, g);
+    }
+
+    #[test]
+    fn gcj_transform_roundtrip(x in 73.0f64..135.0, y in 18.0f64..53.0) {
+        let p = Point::new(x, y);
+        let back = gcj02_to_wgs84(wgs84_to_gcj02(p));
+        prop_assert!(haversine_m(&p, &back) < 0.05);
+    }
+
+    #[test]
+    fn geometry_mbr_contains_representative(pts in proptest::collection::vec(arb_point(), 2..10)) {
+        let g = Geometry::LineString(LineString::new(pts));
+        prop_assert!(g.mbr().contains_point(&g.representative_point()));
+    }
+}

@@ -1,0 +1,225 @@
+//! SSTable data blocks.
+//!
+//! A block is a few KiB of consecutive entries — the unit of disk IO and
+//! of checksum protection. Entries are length-prefixed and carry a
+//! tombstone flag so deletes shadow older SSTables until compaction.
+//!
+//! ```text
+//! entry := klen(varint) key vflag(varint) [value]
+//!          vflag = 0            -> tombstone
+//!          vflag = len(value)+1 -> live value
+//! ```
+
+/// Target on-disk block size in bytes (entries never split: a block can
+/// exceed this by one oversized entry).
+pub const DEFAULT_BLOCK_SIZE: usize = 4096;
+
+fn write_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let b = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(b);
+            return;
+        }
+        out.push(b | 0x80);
+    }
+}
+
+fn read_varint(buf: &[u8], pos: &mut usize) -> Option<u64> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let b = *buf.get(*pos)?;
+        *pos += 1;
+        v |= u64::from(b & 0x7f) << shift;
+        if b & 0x80 == 0 {
+            return Some(v);
+        }
+        shift += 7;
+        if shift >= 64 {
+            return None;
+        }
+    }
+}
+
+/// One decoded entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockEntry {
+    /// The key bytes.
+    pub key: Vec<u8>,
+    /// `None` marks a tombstone (deleted key).
+    pub value: Option<Vec<u8>>,
+}
+
+/// Accumulates entries into an encoded block.
+#[derive(Debug, Default)]
+pub struct BlockBuilder {
+    buf: Vec<u8>,
+    first_key: Option<Vec<u8>>,
+    count: usize,
+}
+
+impl BlockBuilder {
+    /// Empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an entry. Keys must arrive in ascending order (enforced by
+    /// the SSTable builder).
+    pub fn add(&mut self, key: &[u8], value: Option<&[u8]>) {
+        if self.first_key.is_none() {
+            self.first_key = Some(key.to_vec());
+        }
+        write_varint(&mut self.buf, key.len() as u64);
+        self.buf.extend_from_slice(key);
+        match value {
+            None => write_varint(&mut self.buf, 0),
+            Some(v) => {
+                write_varint(&mut self.buf, v.len() as u64 + 1);
+                self.buf.extend_from_slice(v);
+            }
+        }
+        self.count += 1;
+    }
+
+    /// Current encoded size.
+    pub fn size(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Number of entries added.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Whether nothing has been added.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// First key in the block (insertion order = ascending).
+    pub fn first_key(&self) -> Option<&[u8]> {
+        self.first_key.as_deref()
+    }
+
+    /// Consumes the builder, returning the encoded bytes.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// A decoded (or decodable) block.
+#[derive(Debug)]
+pub struct Block {
+    data: Vec<u8>,
+}
+
+impl Block {
+    /// Wraps raw block bytes.
+    pub fn new(data: Vec<u8>) -> Self {
+        Block { data }
+    }
+
+    /// Iterates entries in key order. Corrupt framing ends iteration with
+    /// a `None` from the iterator and is surfaced by
+    /// [`Block::validate`].
+    pub fn iter(&self) -> BlockIter<'_> {
+        BlockIter {
+            buf: &self.data,
+            pos: 0,
+        }
+    }
+
+    /// Checks that the whole block parses.
+    pub fn validate(&self) -> bool {
+        let mut it = self.iter();
+        for _ in it.by_ref() {}
+        it.pos == self.data.len()
+    }
+
+    /// Raw size in bytes.
+    pub fn size(&self) -> usize {
+        self.data.len()
+    }
+}
+
+/// Streaming decoder over a block's entries.
+#[derive(Debug)]
+pub struct BlockIter<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Iterator for BlockIter<'a> {
+    type Item = BlockEntry;
+
+    fn next(&mut self) -> Option<BlockEntry> {
+        if self.pos >= self.buf.len() {
+            return None;
+        }
+        let klen = read_varint(self.buf, &mut self.pos)? as usize;
+        let kend = self.pos.checked_add(klen)?;
+        if kend > self.buf.len() {
+            self.pos = self.buf.len() + 1; // poison: validate() fails
+            return None;
+        }
+        let key = self.buf[self.pos..kend].to_vec();
+        self.pos = kend;
+        let vflag = read_varint(self.buf, &mut self.pos)?;
+        let value = if vflag == 0 {
+            None
+        } else {
+            let vlen = (vflag - 1) as usize;
+            let vend = self.pos.checked_add(vlen)?;
+            if vend > self.buf.len() {
+                self.pos = self.buf.len() + 1;
+                return None;
+            }
+            let v = self.buf[self.pos..vend].to_vec();
+            self.pos = vend;
+            Some(v)
+        };
+        Some(BlockEntry { key, value })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_entries_with_tombstones() {
+        let mut b = BlockBuilder::new();
+        b.add(b"a", Some(b"1"));
+        b.add(b"b", None);
+        b.add(b"c", Some(b""));
+        assert_eq!(b.count(), 3);
+        assert_eq!(b.first_key(), Some(&b"a"[..]));
+        let block = Block::new(b.finish());
+        let entries: Vec<_> = block.iter().collect();
+        assert_eq!(entries.len(), 3);
+        assert_eq!(entries[0].value.as_deref(), Some(&b"1"[..]));
+        assert_eq!(entries[1].value, None);
+        assert_eq!(entries[2].value.as_deref(), Some(&b""[..]));
+        assert!(block.validate());
+    }
+
+    #[test]
+    fn corrupt_block_fails_validation() {
+        let mut b = BlockBuilder::new();
+        b.add(b"key", Some(b"value"));
+        let mut bytes = b.finish();
+        bytes.truncate(bytes.len() - 2);
+        assert!(!Block::new(bytes).validate());
+    }
+
+    #[test]
+    fn size_tracks_content() {
+        let mut b = BlockBuilder::new();
+        assert!(b.is_empty());
+        b.add(b"0123456789", Some(&[0u8; 100]));
+        assert!(b.size() > 110);
+    }
+}

@@ -1,0 +1,47 @@
+//! Error type for the key-value store.
+
+use std::fmt;
+use std::io;
+
+/// Everything that can go wrong inside the store.
+#[derive(Debug)]
+pub enum KvError {
+    /// An operating-system IO failure.
+    Io(io::Error),
+    /// An on-disk structure failed validation (bad magic, checksum, or
+    /// framing).
+    Corrupt(String),
+    /// A table was created twice or opened before creation.
+    TableExists(String),
+    /// The named table does not exist.
+    NoSuchTable(String),
+}
+
+impl fmt::Display for KvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KvError::Io(e) => write!(f, "io error: {e}"),
+            KvError::Corrupt(msg) => write!(f, "corrupt data: {msg}"),
+            KvError::TableExists(name) => write!(f, "table already exists: {name}"),
+            KvError::NoSuchTable(name) => write!(f, "no such table: {name}"),
+        }
+    }
+}
+
+impl std::error::Error for KvError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            KvError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for KvError {
+    fn from(e: io::Error) -> Self {
+        KvError::Io(e)
+    }
+}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, KvError>;

@@ -1,0 +1,62 @@
+//! An embedded, log-structured, ordered key-value store: the repository's
+//! stand-in for Apache HBase.
+//!
+//! The JUST paper relies on four HBase properties, all reproduced here:
+//!
+//! 1. **Lexicographically ordered keys with efficient range `SCAN`s** —
+//!    spatio-temporal locality encoded in keys becomes sequential disk
+//!    reads ([`Table::scan`], [`Table::scan_ranges_parallel`]).
+//! 2. **Cheap point writes with no global index** — a `PUT` only touches
+//!    the owning region's memtable, so new data and historical updates
+//!    never trigger index rebuilds ([`Table::put`]).
+//! 3. **Range-partitioned regions over region servers** — a table's
+//!    keyspace is split across [`Region`]s; scans spanning regions merge,
+//!    scans over disjoint ranges run in parallel.
+//! 4. **Disk-IO-dominated reads** — data lives in block-structured
+//!    [`SsTable`]s; every block fetch is counted by [`IoMetrics`], which is
+//!    how the benchmarks demonstrate the paper's compression→fewer-IOs
+//!    effect.
+//!
+//! ```
+//! use just_kvstore::{Store, StoreOptions};
+//! let dir = std::env::temp_dir().join(format!("kv-doc-{}", std::process::id()));
+//! let store = Store::open(&dir, StoreOptions::default()).unwrap();
+//! let table = store.create_table("demo", 4).unwrap();
+//! table.put(b"key-1".to_vec(), b"value-1".to_vec()).unwrap();
+//! let hits = table.scan(b"key-0", b"key-9").unwrap();
+//! assert_eq!(hits.len(), 1);
+//! store.drop_table("demo").unwrap();
+//! # std::fs::remove_dir_all(&dir).ok();
+//! ```
+
+#![deny(missing_docs)]
+
+mod block;
+mod cache;
+mod error;
+mod memtable;
+mod merge;
+mod metrics;
+mod region;
+mod sstable;
+mod store;
+mod table;
+
+pub use block::{Block, BlockBuilder, DEFAULT_BLOCK_SIZE};
+pub use cache::BlockCache;
+pub use error::KvError;
+pub use memtable::MemTable;
+pub use metrics::{IoMetrics, IoSnapshot};
+pub use region::Region;
+pub use sstable::{SsTable, SsTableBuilder};
+pub use store::{Store, StoreOptions};
+pub use table::Table;
+
+/// A key-value pair returned by scans.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KvEntry {
+    /// The full key.
+    pub key: Vec<u8>,
+    /// The value bytes.
+    pub value: Vec<u8>,
+}

@@ -1,0 +1,119 @@
+//! The in-memory write buffer of a region.
+
+use std::collections::BTreeMap;
+use std::ops::Bound;
+
+/// A sorted in-memory map of the region's most recent writes. `None`
+/// values are tombstones shadowing older on-disk data.
+#[derive(Debug, Default)]
+pub struct MemTable {
+    map: BTreeMap<Vec<u8>, Option<Vec<u8>>>,
+    approx_bytes: usize,
+}
+
+impl MemTable {
+    /// Empty memtable.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts or overwrites a key.
+    pub fn put(&mut self, key: Vec<u8>, value: Vec<u8>) {
+        self.approx_bytes += key.len() + value.len() + 32;
+        if let Some(old) = self.map.insert(key, Some(value)) {
+            if let Some(old) = old {
+                self.approx_bytes = self.approx_bytes.saturating_sub(old.len() + 32);
+            }
+        }
+    }
+
+    /// Records a delete (tombstone).
+    pub fn delete(&mut self, key: Vec<u8>) {
+        self.approx_bytes += key.len() + 32;
+        self.map.insert(key, None);
+    }
+
+    /// Looks a key up. `Some(None)` means "deleted here"; `None` means
+    /// "not present, consult older data".
+    pub fn get(&self, key: &[u8]) -> Option<Option<&[u8]>> {
+        self.map.get(key).map(|v| v.as_deref())
+    }
+
+    /// Entries with `start <= key <= end`, in order, tombstones included.
+    pub fn scan<'a>(
+        &'a self,
+        start: &[u8],
+        end: &[u8],
+    ) -> impl Iterator<Item = (&'a [u8], Option<&'a [u8]>)> + 'a {
+        self.map
+            .range::<[u8], _>((Bound::Included(start), Bound::Included(end)))
+            .map(|(k, v)| (k.as_slice(), v.as_deref()))
+    }
+
+    /// All entries in order (for flushing).
+    pub fn iter(&self) -> impl Iterator<Item = (&[u8], Option<&[u8]>)> + '_ {
+        self.map.iter().map(|(k, v)| (k.as_slice(), v.as_deref()))
+    }
+
+    /// Number of entries (tombstones included).
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the memtable holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Rough heap footprint, used against the flush threshold.
+    pub fn approx_bytes(&self) -> usize {
+        self.approx_bytes
+    }
+
+    /// Drops all entries.
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.approx_bytes = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_delete() {
+        let mut m = MemTable::new();
+        m.put(b"k".to_vec(), b"v1".to_vec());
+        assert_eq!(m.get(b"k"), Some(Some(&b"v1"[..])));
+        m.put(b"k".to_vec(), b"v2".to_vec());
+        assert_eq!(m.get(b"k"), Some(Some(&b"v2"[..])));
+        m.delete(b"k".to_vec());
+        assert_eq!(m.get(b"k"), Some(None));
+        assert_eq!(m.get(b"missing"), None);
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn scan_is_inclusive_and_ordered() {
+        let mut m = MemTable::new();
+        for k in [b"a", b"c", b"e"] {
+            m.put(k.to_vec(), b"x".to_vec());
+        }
+        let keys: Vec<_> = m.scan(b"a", b"c").map(|(k, _)| k.to_vec()).collect();
+        assert_eq!(keys, vec![b"a".to_vec(), b"c".to_vec()]);
+        let keys: Vec<_> = m.scan(b"b", b"z").map(|(k, _)| k.to_vec()).collect();
+        assert_eq!(keys, vec![b"c".to_vec(), b"e".to_vec()]);
+    }
+
+    #[test]
+    fn size_accounting_grows_and_clears() {
+        let mut m = MemTable::new();
+        assert_eq!(m.approx_bytes(), 0);
+        m.put(vec![0; 100], vec![0; 1000]);
+        assert!(m.approx_bytes() >= 1100);
+        m.clear();
+        assert!(m.is_empty());
+        assert_eq!(m.approx_bytes(), 0);
+    }
+}

@@ -1,0 +1,134 @@
+//! K-way merge of sorted entry streams with newest-wins shadowing.
+
+use crate::block::BlockEntry;
+use crate::KvEntry;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Merges sorted sources (index 0 = newest) into live entries: for each
+/// key, only the newest version survives, and tombstones erase the key.
+pub fn merge_live(sources: Vec<Vec<BlockEntry>>) -> Vec<KvEntry> {
+    merge_versions(sources)
+        .into_iter()
+        .filter_map(|e| e.value.map(|v| KvEntry { key: e.key, value: v }))
+        .collect()
+}
+
+/// Merges sorted sources keeping the newest version of each key,
+/// *including* tombstones (used by compaction, which must retain them when
+/// older files still exist — or drop them on a full compaction).
+pub fn merge_versions(sources: Vec<Vec<BlockEntry>>) -> Vec<BlockEntry> {
+    struct HeapItem {
+        key: Vec<u8>,
+        source: usize,
+        pos: usize,
+    }
+    impl PartialEq for HeapItem {
+        fn eq(&self, other: &Self) -> bool {
+            self.key == other.key && self.source == other.source
+        }
+    }
+    impl Eq for HeapItem {}
+    impl Ord for HeapItem {
+        fn cmp(&self, other: &Self) -> Ordering {
+            // Reverse for min-heap on (key, source): the smallest key wins,
+            // ties broken by newest (lowest) source index.
+            other
+                .key
+                .cmp(&self.key)
+                .then(other.source.cmp(&self.source))
+        }
+    }
+    impl PartialOrd for HeapItem {
+        fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+
+    let mut heap = BinaryHeap::new();
+    for (i, src) in sources.iter().enumerate() {
+        if let Some(first) = src.first() {
+            heap.push(HeapItem {
+                key: first.key.clone(),
+                source: i,
+                pos: 0,
+            });
+        }
+    }
+    let mut out: Vec<BlockEntry> = Vec::new();
+    while let Some(item) = heap.pop() {
+        let entry = sources[item.source][item.pos].clone();
+        match out.last() {
+            Some(last) if last.key == entry.key => {
+                // An earlier pop (newer source) already produced this key.
+            }
+            _ => out.push(entry),
+        }
+        let next = item.pos + 1;
+        if next < sources[item.source].len() {
+            heap.push(HeapItem {
+                key: sources[item.source][next].key.clone(),
+                source: item.source,
+                pos: next,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(key: &str, value: Option<&str>) -> BlockEntry {
+        BlockEntry {
+            key: key.as_bytes().to_vec(),
+            value: value.map(|v| v.as_bytes().to_vec()),
+        }
+    }
+
+    #[test]
+    fn newest_version_wins() {
+        let newest = vec![e("a", Some("new")), e("c", Some("c1"))];
+        let oldest = vec![e("a", Some("old")), e("b", Some("b0"))];
+        let merged = merge_live(vec![newest, oldest]);
+        assert_eq!(merged.len(), 3);
+        assert_eq!(merged[0].value, b"new");
+        assert_eq!(merged[1].key, b"b");
+        assert_eq!(merged[2].key, b"c");
+    }
+
+    #[test]
+    fn tombstones_shadow_older_values() {
+        let newest = vec![e("a", None)];
+        let oldest = vec![e("a", Some("old")), e("b", Some("b0"))];
+        let merged = merge_live(vec![newest, oldest]);
+        assert_eq!(merged.len(), 1);
+        assert_eq!(merged[0].key, b"b");
+    }
+
+    #[test]
+    fn tombstones_kept_by_merge_versions() {
+        let newest = vec![e("a", None)];
+        let oldest = vec![e("a", Some("old"))];
+        let merged = merge_versions(vec![newest, oldest]);
+        assert_eq!(merged.len(), 1);
+        assert_eq!(merged[0].value, None);
+    }
+
+    #[test]
+    fn three_way_interleave_stays_sorted() {
+        let s0 = vec![e("b", Some("0"))];
+        let s1 = vec![e("a", Some("1")), e("d", Some("1"))];
+        let s2 = vec![e("c", Some("2")), e("e", Some("2"))];
+        let merged = merge_live(vec![s0, s1, s2]);
+        let keys: Vec<_> = merged.iter().map(|x| x.key.clone()).collect();
+        assert_eq!(keys, vec![b"a".to_vec(), b"b".to_vec(), b"c".to_vec(), b"d".to_vec(), b"e".to_vec()]);
+    }
+
+    #[test]
+    fn empty_sources() {
+        assert!(merge_live(vec![]).is_empty());
+        assert!(merge_live(vec![vec![], vec![]]).is_empty());
+    }
+}

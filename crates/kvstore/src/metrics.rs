@@ -1,0 +1,128 @@
+//! IO accounting.
+//!
+//! The paper's performance arguments are IO arguments ("the compression of
+//! fields ... accelerates the query efficiency through reducing the disk
+//! IOs"), so the store counts every block-level disk access. Counters are
+//! atomic and shared by all tables of a [`crate::Store`].
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Shared atomic IO counters.
+#[derive(Debug, Default)]
+pub struct IoMetrics {
+    blocks_read: AtomicU64,
+    bytes_read: AtomicU64,
+    seeks: AtomicU64,
+    blocks_written: AtomicU64,
+    bytes_written: AtomicU64,
+    cache_hits: AtomicU64,
+}
+
+impl IoMetrics {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn record_block_read(&self, bytes: u64, seeked: bool) {
+        self.blocks_read.fetch_add(1, Ordering::Relaxed);
+        self.bytes_read.fetch_add(bytes, Ordering::Relaxed);
+        if seeked {
+            self.seeks.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    pub(crate) fn record_cache_hit(&self) {
+        self.cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_block_write(&self, bytes: u64) {
+        self.blocks_written.fetch_add(1, Ordering::Relaxed);
+        self.bytes_written.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the counters.
+    pub fn snapshot(&self) -> IoSnapshot {
+        IoSnapshot {
+            blocks_read: self.blocks_read.load(Ordering::Relaxed),
+            bytes_read: self.bytes_read.load(Ordering::Relaxed),
+            seeks: self.seeks.load(Ordering::Relaxed),
+            blocks_written: self.blocks_written.load(Ordering::Relaxed),
+            bytes_written: self.bytes_written.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Resets all counters to zero (used between benchmark phases).
+    pub fn reset(&self) {
+        self.blocks_read.store(0, Ordering::Relaxed);
+        self.bytes_read.store(0, Ordering::Relaxed);
+        self.seeks.store(0, Ordering::Relaxed);
+        self.blocks_written.store(0, Ordering::Relaxed);
+        self.bytes_written.store(0, Ordering::Relaxed);
+        self.cache_hits.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A point-in-time view of [`IoMetrics`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IoSnapshot {
+    /// Data blocks fetched from disk.
+    pub blocks_read: u64,
+    /// Bytes fetched from disk.
+    pub bytes_read: u64,
+    /// Non-sequential block fetches (a proxy for disk seeks).
+    pub seeks: u64,
+    /// Data blocks written to disk.
+    pub blocks_written: u64,
+    /// Bytes written to disk.
+    pub bytes_written: u64,
+    /// Block reads served from the block cache (no disk touched).
+    pub cache_hits: u64,
+}
+
+impl IoSnapshot {
+    /// Counter-wise difference `self - earlier`, for measuring a phase.
+    pub fn since(&self, earlier: &IoSnapshot) -> IoSnapshot {
+        IoSnapshot {
+            blocks_read: self.blocks_read - earlier.blocks_read,
+            bytes_read: self.bytes_read - earlier.bytes_read,
+            seeks: self.seeks - earlier.seeks,
+            blocks_written: self.blocks_written - earlier.blocks_written,
+            bytes_written: self.bytes_written - earlier.bytes_written,
+            cache_hits: self.cache_hits - earlier.cache_hits,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_reset() {
+        let m = IoMetrics::new();
+        m.record_block_read(4096, true);
+        m.record_block_read(4096, false);
+        m.record_block_write(1000);
+        let s = m.snapshot();
+        assert_eq!(s.blocks_read, 2);
+        assert_eq!(s.bytes_read, 8192);
+        assert_eq!(s.seeks, 1);
+        assert_eq!(s.blocks_written, 1);
+        m.reset();
+        assert_eq!(m.snapshot(), IoSnapshot::default());
+    }
+
+    #[test]
+    fn snapshot_difference() {
+        let m = IoMetrics::new();
+        m.record_block_read(100, true);
+        let before = m.snapshot();
+        m.record_block_read(50, false);
+        let delta = m.snapshot().since(&before);
+        assert_eq!(delta.blocks_read, 1);
+        assert_eq!(delta.bytes_read, 50);
+        assert_eq!(delta.seeks, 0);
+    }
+}

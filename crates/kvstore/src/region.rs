@@ -1,0 +1,360 @@
+//! A region: one contiguous slice of a table's keyspace, served (in real
+//! HBase) by one region server. Writes land in a memtable and flush to
+//! immutable SSTables; reads merge all layers newest-first.
+
+use crate::block::BlockEntry;
+use crate::cache::BlockCache;
+use crate::error::Result;
+use crate::memtable::MemTable;
+use crate::merge::{merge_live, merge_versions};
+use crate::metrics::IoMetrics;
+use crate::sstable::{SsTable, SsTableBuilder};
+use crate::KvEntry;
+use parking_lot::RwLock;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+struct RegionInner {
+    mem: MemTable,
+    /// Newest last (flush order); scans reverse this for precedence.
+    tables: Vec<SsTable>,
+    next_file_id: u64,
+}
+
+/// One range partition of a table.
+pub struct Region {
+    dir: PathBuf,
+    inner: RwLock<RegionInner>,
+    metrics: Arc<IoMetrics>,
+    cache: Arc<BlockCache>,
+    flush_threshold: usize,
+    block_size: usize,
+}
+
+impl std::fmt::Debug for Region {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.read();
+        f.debug_struct("Region")
+            .field("dir", &self.dir)
+            .field("mem_entries", &inner.mem.len())
+            .field("sstables", &inner.tables.len())
+            .finish()
+    }
+}
+
+impl Region {
+    /// Opens (or creates) a region rooted at `dir`, loading any SSTables
+    /// left by a previous run.
+    pub fn open(
+        dir: PathBuf,
+        metrics: Arc<IoMetrics>,
+        flush_threshold: usize,
+        block_size: usize,
+    ) -> Result<Self> {
+        Self::open_cached(dir, metrics, Arc::new(BlockCache::new(0)), flush_threshold, block_size)
+    }
+
+    /// Like [`Region::open`], sharing a store-wide block cache.
+    pub fn open_cached(
+        dir: PathBuf,
+        metrics: Arc<IoMetrics>,
+        cache: Arc<BlockCache>,
+        flush_threshold: usize,
+        block_size: usize,
+    ) -> Result<Self> {
+        std::fs::create_dir_all(&dir)?;
+        let mut files: Vec<(u64, PathBuf)> = Vec::new();
+        for entry in std::fs::read_dir(&dir)? {
+            let entry = entry?;
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if let Some(id) = name
+                .strip_prefix("sst_")
+                .and_then(|s| s.strip_suffix(".sst"))
+                .and_then(|s| s.parse::<u64>().ok())
+            {
+                files.push((id, entry.path()));
+            }
+        }
+        files.sort_unstable_by_key(|(id, _)| *id);
+        let mut tables = Vec::with_capacity(files.len());
+        let next_file_id = files.last().map(|(id, _)| id + 1).unwrap_or(0);
+        for (_, path) in files {
+            tables.push(SsTable::open_cached(&path, metrics.clone(), cache.clone())?);
+        }
+        Ok(Region {
+            dir,
+            inner: RwLock::new(RegionInner {
+                mem: MemTable::new(),
+                tables,
+                next_file_id,
+            }),
+            metrics,
+            cache,
+            flush_threshold,
+            block_size,
+        })
+    }
+
+    /// Inserts or overwrites a key. A full memtable is flushed inline
+    /// (HBase blocks writers the same way under `hbase.hstore.blockingStoreFiles`).
+    pub fn put(&self, key: Vec<u8>, value: Vec<u8>) -> Result<()> {
+        let mut inner = self.inner.write();
+        inner.mem.put(key, value);
+        if inner.mem.approx_bytes() >= self.flush_threshold {
+            self.flush_locked(&mut inner)?;
+        }
+        Ok(())
+    }
+
+    /// Deletes a key (writes a tombstone).
+    pub fn delete(&self, key: Vec<u8>) -> Result<()> {
+        let mut inner = self.inner.write();
+        inner.mem.delete(key);
+        if inner.mem.approx_bytes() >= self.flush_threshold {
+            self.flush_locked(&mut inner)?;
+        }
+        Ok(())
+    }
+
+    /// Point lookup.
+    pub fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        let inner = self.inner.read();
+        if let Some(hit) = inner.mem.get(key) {
+            return Ok(hit.map(|v| v.to_vec()));
+        }
+        for table in inner.tables.iter().rev() {
+            if let Some(hit) = table.get(key)? {
+                return Ok(hit);
+            }
+        }
+        Ok(None)
+    }
+
+    /// All live entries with `start <= key <= end`, in key order.
+    pub fn scan(&self, start: &[u8], end: &[u8]) -> Result<Vec<KvEntry>> {
+        if start > end {
+            return Ok(Vec::new());
+        }
+        let inner = self.inner.read();
+        let mut sources: Vec<Vec<BlockEntry>> = Vec::with_capacity(inner.tables.len() + 1);
+        sources.push(
+            inner
+                .mem
+                .scan(start, end)
+                .map(|(k, v)| BlockEntry {
+                    key: k.to_vec(),
+                    value: v.map(|v| v.to_vec()),
+                })
+                .collect(),
+        );
+        for table in inner.tables.iter().rev() {
+            sources.push(table.scan(start, end)?);
+        }
+        Ok(merge_live(sources))
+    }
+
+    /// Forces the memtable to disk.
+    pub fn flush(&self) -> Result<()> {
+        let mut inner = self.inner.write();
+        self.flush_locked(&mut inner)
+    }
+
+    fn flush_locked(&self, inner: &mut RegionInner) -> Result<()> {
+        if inner.mem.is_empty() {
+            return Ok(());
+        }
+        let path = self.dir.join(format!("sst_{:010}.sst", inner.next_file_id));
+        inner.next_file_id += 1;
+        let mut builder = SsTableBuilder::create_cached(
+            &path,
+            self.block_size,
+            self.metrics.clone(),
+            self.cache.clone(),
+        )?;
+        for (k, v) in inner.mem.iter() {
+            builder.add(k, v)?;
+        }
+        let table = builder.finish()?;
+        inner.tables.push(table);
+        inner.mem.clear();
+        Ok(())
+    }
+
+    /// Merges all SSTables (and the memtable) into one file, dropping
+    /// tombstones and shadowed versions.
+    pub fn compact(&self) -> Result<()> {
+        let mut inner = self.inner.write();
+        self.flush_locked(&mut inner)?;
+        if inner.tables.len() <= 1 {
+            return Ok(());
+        }
+        let mut sources = Vec::with_capacity(inner.tables.len());
+        for table in inner.tables.iter().rev() {
+            sources.push(table.scan_all()?);
+        }
+        let merged = merge_versions(sources);
+        let path = self.dir.join(format!("sst_{:010}.sst", inner.next_file_id));
+        inner.next_file_id += 1;
+        let mut builder = SsTableBuilder::create_cached(
+            &path,
+            self.block_size,
+            self.metrics.clone(),
+            self.cache.clone(),
+        )?;
+        for e in &merged {
+            if let Some(v) = &e.value {
+                // Full compaction: nothing older exists, drop tombstones.
+                builder.add(&e.key, Some(v))?;
+            }
+        }
+        let table = builder.finish()?;
+        let old: Vec<(u64, PathBuf)> = inner
+            .tables
+            .iter()
+            .map(|t| (t.file_id(), t.path().to_path_buf()))
+            .collect();
+        inner.tables = vec![table];
+        drop(inner);
+        for (file_id, path) in old {
+            self.cache.invalidate_file(file_id);
+            std::fs::remove_file(path).ok();
+        }
+        Ok(())
+    }
+
+    /// Bytes on disk across all SSTables.
+    pub fn disk_size(&self) -> u64 {
+        self.inner.read().tables.iter().map(|t| t.file_size()).sum()
+    }
+
+    /// Live-ish entry count (memtable + SSTables; shadowed versions
+    /// double-count until compaction, as in HBase's `requestCount` style
+    /// metrics).
+    pub fn approx_entries(&self) -> u64 {
+        let inner = self.inner.read();
+        inner.mem.len() as u64 + inner.tables.iter().map(|t| t.entry_count()).sum::<u64>()
+    }
+
+    /// Number of SSTable files.
+    pub fn sstable_count(&self) -> usize {
+        self.inner.read().tables.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn region(name: &str, flush_threshold: usize) -> (Region, PathBuf) {
+        let dir = std::env::temp_dir().join(format!(
+            "just-region-{name}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        let r = Region::open(
+            dir.clone(),
+            Arc::new(IoMetrics::new()),
+            flush_threshold,
+            512,
+        )
+        .unwrap();
+        (r, dir)
+    }
+
+    #[test]
+    fn put_get_scan_across_flushes() {
+        let (r, dir) = region("basic", 1 << 14);
+        for i in 0..2000u32 {
+            r.put(
+                format!("k{i:06}").into_bytes(),
+                format!("v{i}").into_bytes(),
+            )
+            .unwrap();
+        }
+        assert!(r.sstable_count() >= 1, "flush threshold should trigger");
+        assert_eq!(r.get(b"k000123").unwrap(), Some(b"v123".to_vec()));
+        let hits = r.scan(b"k000100", b"k000199").unwrap();
+        assert_eq!(hits.len(), 100);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn updates_shadow_older_versions() {
+        let (r, dir) = region("update", 256);
+        r.put(b"k".to_vec(), b"v1".to_vec()).unwrap();
+        r.flush().unwrap();
+        r.put(b"k".to_vec(), b"v2".to_vec()).unwrap();
+        assert_eq!(r.get(b"k").unwrap(), Some(b"v2".to_vec()));
+        let hits = r.scan(b"k", b"k").unwrap();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].value, b"v2");
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn deletes_shadow_flushed_data() {
+        let (r, dir) = region("delete", 1 << 20);
+        r.put(b"a".to_vec(), b"1".to_vec()).unwrap();
+        r.put(b"b".to_vec(), b"2".to_vec()).unwrap();
+        r.flush().unwrap();
+        r.delete(b"a".to_vec()).unwrap();
+        assert_eq!(r.get(b"a").unwrap(), None);
+        let hits = r.scan(b"a", b"z").unwrap();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].key, b"b");
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn compaction_reclaims_space_and_preserves_data() {
+        let (r, dir) = region("compact", 1 << 12);
+        for round in 0..5 {
+            for i in 0..500u32 {
+                r.put(
+                    format!("k{i:05}").into_bytes(),
+                    format!("v{round}-{i}").into_bytes(),
+                )
+                .unwrap();
+            }
+            r.flush().unwrap();
+        }
+        r.delete(b"k00000".to_vec()).unwrap();
+        let before_files = r.sstable_count();
+        let before_size = r.disk_size();
+        r.compact().unwrap();
+        assert_eq!(r.sstable_count(), 1);
+        assert!(before_files > 1);
+        assert!(r.disk_size() < before_size);
+        // Data reflects the last round, minus the delete.
+        assert_eq!(r.get(b"k00000").unwrap(), None);
+        assert_eq!(r.get(b"k00001").unwrap(), Some(b"v4-1".to_vec()));
+        assert_eq!(r.scan(b"", b"\xff").unwrap().len(), 499);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn reopen_recovers_flushed_data() {
+        let (r, dir) = region("reopen", 1 << 20);
+        for i in 0..100u32 {
+            r.put(format!("k{i:03}").into_bytes(), b"v".to_vec()).unwrap();
+        }
+        r.flush().unwrap();
+        drop(r);
+        let r2 = Region::open(dir.clone(), Arc::new(IoMetrics::new()), 1 << 20, 512).unwrap();
+        assert_eq!(r2.scan(b"", b"\xff").unwrap().len(), 100);
+        // New writes continue with fresh file ids.
+        r2.put(b"k999".to_vec(), b"new".to_vec()).unwrap();
+        r2.flush().unwrap();
+        assert_eq!(r2.get(b"k999").unwrap(), Some(b"new".to_vec()));
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn inverted_scan_range_is_empty() {
+        let (r, dir) = region("inverted", 1 << 20);
+        r.put(b"k".to_vec(), b"v".to_vec()).unwrap();
+        assert!(r.scan(b"z", b"a").unwrap().is_empty());
+        std::fs::remove_dir_all(dir).ok();
+    }
+}

@@ -1,0 +1,557 @@
+//! Immutable on-disk sorted string tables.
+//!
+//! ```text
+//! file   := data-block* index footer
+//! index  := count(u64) { klen(u32) first_key offset(u64) len(u32) crc(u32) }*
+//!           minlen(u32) min_key maxlen(u32) max_key entry_count(u64)
+//! footer := index_offset(u64) index_len(u64) magic(b"JSSTBL01")
+//! ```
+//!
+//! All integers little-endian. Every data block is CRC-32 protected; block
+//! reads go through [`crate::IoMetrics`].
+
+use crate::block::{Block, BlockBuilder, BlockEntry};
+use crate::cache::{next_file_id, BlockCache};
+use crate::error::{KvError, Result};
+use crate::metrics::IoMetrics;
+use parking_lot::Mutex;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+const MAGIC: &[u8; 8] = b"JSSTBL01";
+
+/// Table-driven CRC-32 (IEEE polynomial), computed at compile time; kept
+/// local so the store has no dependency on the compression crate. Block
+/// reads checksum every 4 KiB fetched, so this is on the hot read path.
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        crc = (crc >> 8) ^ CRC_TABLE[((crc ^ u32::from(b)) & 0xff) as usize];
+    }
+    crc ^ 0xFFFF_FFFF
+}
+
+#[derive(Debug, Clone)]
+struct BlockMeta {
+    first_key: Vec<u8>,
+    offset: u64,
+    len: u32,
+    crc: u32,
+}
+
+/// Streams ascending key/value pairs into an SSTable file.
+pub struct SsTableBuilder {
+    path: PathBuf,
+    file: File,
+    block_size: usize,
+    current: BlockBuilder,
+    blocks: Vec<BlockMeta>,
+    offset: u64,
+    entry_count: u64,
+    min_key: Option<Vec<u8>>,
+    max_key: Option<Vec<u8>>,
+    last_key: Option<Vec<u8>>,
+    metrics: Arc<IoMetrics>,
+    cache: Arc<BlockCache>,
+}
+
+impl SsTableBuilder {
+    /// Creates a builder writing to `path` (truncating any existing file).
+    pub fn create(path: &Path, block_size: usize, metrics: Arc<IoMetrics>) -> Result<Self> {
+        Self::create_cached(path, block_size, metrics, Arc::new(BlockCache::new(0)))
+    }
+
+    /// Like [`SsTableBuilder::create`], wiring a shared block cache into
+    /// the table that `finish` opens.
+    pub fn create_cached(
+        path: &Path,
+        block_size: usize,
+        metrics: Arc<IoMetrics>,
+        cache: Arc<BlockCache>,
+    ) -> Result<Self> {
+        let file = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        Ok(SsTableBuilder {
+            path: path.to_path_buf(),
+            file,
+            block_size,
+            current: BlockBuilder::new(),
+            blocks: Vec::new(),
+            offset: 0,
+            entry_count: 0,
+            min_key: None,
+            max_key: None,
+            last_key: None,
+            metrics,
+            cache,
+        })
+    }
+
+    /// Appends an entry; keys must be strictly ascending.
+    pub fn add(&mut self, key: &[u8], value: Option<&[u8]>) -> Result<()> {
+        if let Some(last) = &self.last_key {
+            if key <= last.as_slice() {
+                return Err(KvError::Corrupt(format!(
+                    "keys out of order: {:?} after {:?}",
+                    key, last
+                )));
+            }
+        }
+        self.last_key = Some(key.to_vec());
+        if self.min_key.is_none() {
+            self.min_key = Some(key.to_vec());
+        }
+        self.max_key = Some(key.to_vec());
+        self.current.add(key, value);
+        self.entry_count += 1;
+        if self.current.size() >= self.block_size {
+            self.flush_block()?;
+        }
+        Ok(())
+    }
+
+    fn flush_block(&mut self) -> Result<()> {
+        if self.current.is_empty() {
+            return Ok(());
+        }
+        let builder = std::mem::take(&mut self.current);
+        let first_key = builder.first_key().expect("non-empty block").to_vec();
+        let data = builder.finish();
+        let crc = crc32(&data);
+        self.file.write_all(&data)?;
+        self.metrics.record_block_write(data.len() as u64);
+        self.blocks.push(BlockMeta {
+            first_key,
+            offset: self.offset,
+            len: data.len() as u32,
+            crc,
+        });
+        self.offset += data.len() as u64;
+        Ok(())
+    }
+
+    /// Finishes the file and opens it for reading.
+    pub fn finish(mut self) -> Result<SsTable> {
+        self.flush_block()?;
+        let index_offset = self.offset;
+        let mut index = Vec::new();
+        index.extend_from_slice(&(self.blocks.len() as u64).to_le_bytes());
+        for b in &self.blocks {
+            index.extend_from_slice(&(b.first_key.len() as u32).to_le_bytes());
+            index.extend_from_slice(&b.first_key);
+            index.extend_from_slice(&b.offset.to_le_bytes());
+            index.extend_from_slice(&b.len.to_le_bytes());
+            index.extend_from_slice(&b.crc.to_le_bytes());
+        }
+        let min_key = self.min_key.unwrap_or_default();
+        let max_key = self.max_key.unwrap_or_default();
+        index.extend_from_slice(&(min_key.len() as u32).to_le_bytes());
+        index.extend_from_slice(&min_key);
+        index.extend_from_slice(&(max_key.len() as u32).to_le_bytes());
+        index.extend_from_slice(&max_key);
+        index.extend_from_slice(&self.entry_count.to_le_bytes());
+        self.file.write_all(&index)?;
+        let mut footer = Vec::with_capacity(24);
+        footer.extend_from_slice(&index_offset.to_le_bytes());
+        footer.extend_from_slice(&(index.len() as u64).to_le_bytes());
+        footer.extend_from_slice(MAGIC);
+        self.file.write_all(&footer)?;
+        self.file.sync_all()?;
+        drop(self.file);
+        SsTable::open_cached(&self.path, self.metrics, self.cache)
+    }
+}
+
+/// A readable, immutable SSTable.
+pub struct SsTable {
+    path: PathBuf,
+    /// Unique instance id for block-cache keying.
+    file_id: u64,
+    file: Mutex<File>,
+    blocks: Vec<BlockMeta>,
+    min_key: Vec<u8>,
+    max_key: Vec<u8>,
+    entry_count: u64,
+    file_size: u64,
+    metrics: Arc<IoMetrics>,
+    cache: Arc<BlockCache>,
+}
+
+impl std::fmt::Debug for SsTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SsTable")
+            .field("path", &self.path)
+            .field("blocks", &self.blocks.len())
+            .field("entries", &self.entry_count)
+            .finish()
+    }
+}
+
+impl SsTable {
+    /// Opens an existing table, loading its block index into memory.
+    pub fn open(path: &Path, metrics: Arc<IoMetrics>) -> Result<Self> {
+        Self::open_cached(path, metrics, Arc::new(BlockCache::new(0)))
+    }
+
+    /// Opens an existing table sharing a block cache.
+    pub fn open_cached(
+        path: &Path,
+        metrics: Arc<IoMetrics>,
+        cache: Arc<BlockCache>,
+    ) -> Result<Self> {
+        let mut file = File::open(path)?;
+        let file_size = file.metadata()?.len();
+        if file_size < 24 {
+            return Err(KvError::Corrupt(format!("{}: too small", path.display())));
+        }
+        file.seek(SeekFrom::End(-24))?;
+        let mut footer = [0u8; 24];
+        file.read_exact(&mut footer)?;
+        if &footer[16..24] != MAGIC {
+            return Err(KvError::Corrupt(format!("{}: bad magic", path.display())));
+        }
+        let index_offset = u64::from_le_bytes(footer[0..8].try_into().unwrap());
+        let index_len = u64::from_le_bytes(footer[8..16].try_into().unwrap());
+        if index_offset + index_len + 24 != file_size {
+            return Err(KvError::Corrupt(format!("{}: bad footer", path.display())));
+        }
+        file.seek(SeekFrom::Start(index_offset))?;
+        let mut index = vec![0u8; index_len as usize];
+        file.read_exact(&mut index)?;
+
+        let mut pos = 0usize;
+        let take = |pos: &mut usize, n: usize| -> Result<&[u8]> {
+            let end = *pos + n;
+            if end > index.len() {
+                return Err(KvError::Corrupt("index truncated".into()));
+            }
+            let s = &index[*pos..end];
+            *pos = end;
+            Ok(s)
+        };
+        let count = u64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap()) as usize;
+        let mut blocks = Vec::with_capacity(count);
+        for _ in 0..count {
+            let klen = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap()) as usize;
+            let first_key = take(&mut pos, klen)?.to_vec();
+            let offset = u64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap());
+            let len = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap());
+            let crc = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap());
+            blocks.push(BlockMeta {
+                first_key,
+                offset,
+                len,
+                crc,
+            });
+        }
+        let minlen = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap()) as usize;
+        let min_key = take(&mut pos, minlen)?.to_vec();
+        let maxlen = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap()) as usize;
+        let max_key = take(&mut pos, maxlen)?.to_vec();
+        let entry_count = u64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap());
+
+        Ok(SsTable {
+            path: path.to_path_buf(),
+            file_id: next_file_id(),
+            file: Mutex::new(file),
+            blocks,
+            min_key,
+            max_key,
+            entry_count,
+            file_size,
+            metrics,
+            cache,
+        })
+    }
+
+    /// Unique cache-keying id of this table instance.
+    pub fn file_id(&self) -> u64 {
+        self.file_id
+    }
+
+    /// Total entries (tombstones included).
+    pub fn entry_count(&self) -> u64 {
+        self.entry_count
+    }
+
+    /// On-disk size in bytes.
+    pub fn file_size(&self) -> u64 {
+        self.file_size
+    }
+
+    /// Path of the backing file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Whether the key range `[start, end]` could overlap this table.
+    pub fn overlaps(&self, start: &[u8], end: &[u8]) -> bool {
+        !self.blocks.is_empty() && start <= self.max_key.as_slice() && end >= self.min_key.as_slice()
+    }
+
+    fn read_block(&self, idx: usize, seeked: bool) -> Result<Block> {
+        // Cache hits skip the disk (and the checksum, verified at fill
+        // time); only real disk fetches count as block reads.
+        if let Some(cached) = self.cache.get(self.file_id, idx) {
+            self.metrics.record_cache_hit();
+            return Ok(Block::new(cached.as_ref().clone()));
+        }
+        let meta = &self.blocks[idx];
+        let mut buf = vec![0u8; meta.len as usize];
+        {
+            let mut file = self.file.lock();
+            file.seek(SeekFrom::Start(meta.offset))?;
+            file.read_exact(&mut buf)?;
+        }
+        self.metrics.record_block_read(meta.len as u64, seeked);
+        if crc32(&buf) != meta.crc {
+            return Err(KvError::Corrupt(format!(
+                "{}: block {idx} checksum mismatch",
+                self.path.display()
+            )));
+        }
+        let block = Block::new(buf.clone());
+        if !block.validate() {
+            return Err(KvError::Corrupt(format!(
+                "{}: block {idx} framing invalid",
+                self.path.display()
+            )));
+        }
+        self.cache.put(self.file_id, idx, Arc::new(buf));
+        Ok(block)
+    }
+
+    /// Index of the first block that could contain `key`.
+    fn seek_block(&self, key: &[u8]) -> usize {
+        // partition_point: number of blocks whose first_key <= key.
+        let n = self.blocks.partition_point(|b| b.first_key.as_slice() <= key);
+        n.saturating_sub(1)
+    }
+
+    /// Collects all entries with `start <= key <= end` (tombstones
+    /// included, so callers can apply shadowing).
+    pub fn scan(&self, start: &[u8], end: &[u8]) -> Result<Vec<BlockEntry>> {
+        let mut out = Vec::new();
+        if !self.overlaps(start, end) {
+            return Ok(out);
+        }
+        let mut idx = self.seek_block(start);
+        let mut first = true;
+        while idx < self.blocks.len() {
+            if self.blocks[idx].first_key.as_slice() > end {
+                break;
+            }
+            let block = self.read_block(idx, first)?;
+            first = false;
+            for entry in block.iter() {
+                if entry.key.as_slice() > end {
+                    return Ok(out);
+                }
+                if entry.key.as_slice() >= start {
+                    out.push(entry);
+                }
+            }
+            idx += 1;
+        }
+        Ok(out)
+    }
+
+    /// Point lookup (tombstones surface as `Some(None)`).
+    pub fn get(&self, key: &[u8]) -> Result<Option<Option<Vec<u8>>>> {
+        if self.blocks.is_empty()
+            || key < self.min_key.as_slice()
+            || key > self.max_key.as_slice()
+        {
+            return Ok(None);
+        }
+        let block = self.read_block(self.seek_block(key), true)?;
+        for entry in block.iter() {
+            if entry.key.as_slice() == key {
+                return Ok(Some(entry.value));
+            }
+            if entry.key.as_slice() > key {
+                break;
+            }
+        }
+        Ok(None)
+    }
+
+    /// Every entry in the table, in order (used by compaction).
+    pub fn scan_all(&self) -> Result<Vec<BlockEntry>> {
+        let mut out = Vec::with_capacity(self.entry_count as usize);
+        for idx in 0..self.blocks.len() {
+            let block = self.read_block(idx, idx == 0)?;
+            out.extend(block.iter());
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("just-sst-{name}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn build(dir: &Path, n: u32) -> SsTable {
+        let metrics = Arc::new(IoMetrics::new());
+        let mut b =
+            SsTableBuilder::create(&dir.join("t.sst"), 256, metrics).unwrap();
+        for i in 0..n {
+            let key = format!("key-{i:06}");
+            let val = format!("value-{i}");
+            b.add(key.as_bytes(), Some(val.as_bytes())).unwrap();
+        }
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn build_and_scan() {
+        let dir = tmpdir("scan");
+        let t = build(&dir, 1000);
+        assert_eq!(t.entry_count(), 1000);
+        let hits = t.scan(b"key-000100", b"key-000199").unwrap();
+        assert_eq!(hits.len(), 100);
+        assert_eq!(hits[0].key, b"key-000100");
+        assert_eq!(hits[99].key, b"key-000199");
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn scan_edges() {
+        let dir = tmpdir("edges");
+        let t = build(&dir, 50);
+        // Before all keys.
+        assert!(t.scan(b"a", b"b").unwrap().is_empty());
+        // After all keys.
+        assert!(t.scan(b"z", b"zz").unwrap().is_empty());
+        // Exact single key.
+        let hits = t.scan(b"key-000007", b"key-000007").unwrap();
+        assert_eq!(hits.len(), 1);
+        // Full cover.
+        assert_eq!(t.scan(b"", b"\xff\xff").unwrap().len(), 50);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn get_hits_and_misses() {
+        let dir = tmpdir("get");
+        let t = build(&dir, 100);
+        assert_eq!(
+            t.get(b"key-000042").unwrap(),
+            Some(Some(b"value-42".to_vec()))
+        );
+        assert_eq!(t.get(b"key-9999").unwrap(), None);
+        assert_eq!(t.get(b"aaa").unwrap(), None);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn tombstones_survive_roundtrip() {
+        let dir = tmpdir("tomb");
+        let metrics = Arc::new(IoMetrics::new());
+        let mut b = SsTableBuilder::create(&dir.join("t.sst"), 256, metrics).unwrap();
+        b.add(b"a", Some(b"1")).unwrap();
+        b.add(b"b", None).unwrap();
+        let t = b.finish().unwrap();
+        assert_eq!(t.get(b"b").unwrap(), Some(None));
+        let all = t.scan_all().unwrap();
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[1].value, None);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn out_of_order_keys_rejected() {
+        let dir = tmpdir("order");
+        let metrics = Arc::new(IoMetrics::new());
+        let mut b = SsTableBuilder::create(&dir.join("t.sst"), 256, metrics).unwrap();
+        b.add(b"b", Some(b"1")).unwrap();
+        assert!(b.add(b"a", Some(b"2")).is_err());
+        assert!(b.add(b"b", Some(b"2")).is_err());
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn io_metrics_count_block_reads() {
+        let dir = tmpdir("metrics");
+        let metrics = Arc::new(IoMetrics::new());
+        let mut b = SsTableBuilder::create(&dir.join("t.sst"), 256, metrics.clone()).unwrap();
+        for i in 0..500u32 {
+            b.add(format!("k{i:05}").as_bytes(), Some(&[0u8; 64])).unwrap();
+        }
+        let t = b.finish().unwrap();
+        let before = metrics.snapshot();
+        t.scan(b"k00000", b"k00010").unwrap();
+        let narrow = metrics.snapshot().since(&before);
+        let before = metrics.snapshot();
+        t.scan(b"k00000", b"k00499").unwrap();
+        let wide = metrics.snapshot().since(&before);
+        assert!(narrow.blocks_read >= 1);
+        assert!(
+            wide.blocks_read > 4 * narrow.blocks_read,
+            "wide {wide:?} vs narrow {narrow:?}"
+        );
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn corruption_detected_on_read() {
+        let dir = tmpdir("corrupt");
+        let t = build(&dir, 200);
+        let path = t.path().to_path_buf();
+        drop(t);
+        // Flip a byte in the first data block.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[10] ^= 0xff;
+        std::fs::write(&path, &bytes).unwrap();
+        let metrics = Arc::new(IoMetrics::new());
+        let t = SsTable::open(&path, metrics).unwrap();
+        assert!(matches!(
+            t.scan(b"", b"\xff\xff"),
+            Err(KvError::Corrupt(_))
+        ));
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn empty_table() {
+        let dir = tmpdir("empty");
+        let metrics = Arc::new(IoMetrics::new());
+        let b = SsTableBuilder::create(&dir.join("t.sst"), 256, metrics).unwrap();
+        let t = b.finish().unwrap();
+        assert_eq!(t.entry_count(), 0);
+        assert!(t.scan(b"", b"\xff").unwrap().is_empty());
+        assert_eq!(t.get(b"x").unwrap(), None);
+        std::fs::remove_dir_all(dir).ok();
+    }
+}

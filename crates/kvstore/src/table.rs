@@ -1,0 +1,307 @@
+//! A table: the whole keyspace, range-partitioned into regions.
+//!
+//! Partitioning is by leading key byte, mirroring how GeoMesa pre-splits
+//! salted HBase tables: the storage layer prepends a shard byte to every
+//! key, so records spread uniformly over regions ("region servers") and
+//! disjoint scan ranges can run in parallel.
+
+use crate::cache::BlockCache;
+use crate::error::Result;
+use crate::metrics::IoMetrics;
+use crate::region::Region;
+use crate::KvEntry;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// An ordered key-value table partitioned over [`Region`]s.
+pub struct Table {
+    name: String,
+    regions: Vec<Arc<Region>>,
+    scan_threads: usize,
+}
+
+impl std::fmt::Debug for Table {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Table")
+            .field("name", &self.name)
+            .field("regions", &self.regions.len())
+            .finish()
+    }
+}
+
+impl Table {
+    /// Opens (or creates) a table under `dir` with `num_regions` range
+    /// partitions.
+    pub fn open(
+        name: String,
+        dir: PathBuf,
+        num_regions: usize,
+        metrics: Arc<IoMetrics>,
+        flush_threshold: usize,
+        block_size: usize,
+        scan_threads: usize,
+    ) -> Result<Self> {
+        Self::open_cached(
+            name,
+            dir,
+            num_regions,
+            metrics,
+            Arc::new(BlockCache::new(0)),
+            flush_threshold,
+            block_size,
+            scan_threads,
+        )
+    }
+
+    /// Like [`Table::open`], sharing a store-wide block cache.
+    #[allow(clippy::too_many_arguments)]
+    pub fn open_cached(
+        name: String,
+        dir: PathBuf,
+        num_regions: usize,
+        metrics: Arc<IoMetrics>,
+        cache: Arc<BlockCache>,
+        flush_threshold: usize,
+        block_size: usize,
+        scan_threads: usize,
+    ) -> Result<Self> {
+        assert!(num_regions >= 1 && num_regions <= 256);
+        let mut regions = Vec::with_capacity(num_regions);
+        for i in 0..num_regions {
+            regions.push(Arc::new(Region::open_cached(
+                dir.join(format!("region_{i:03}")),
+                metrics.clone(),
+                cache.clone(),
+                flush_threshold,
+                block_size,
+            )?));
+        }
+        Ok(Table {
+            name,
+            regions,
+            scan_threads: scan_threads.max(1),
+        })
+    }
+
+    /// Table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of regions.
+    pub fn num_regions(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// The region index owning `key` (split by leading byte).
+    fn region_of(&self, key: &[u8]) -> usize {
+        let first = key.first().copied().unwrap_or(0) as usize;
+        first * self.regions.len() / 256
+    }
+
+    /// Inserts or overwrites a key.
+    pub fn put(&self, key: Vec<u8>, value: Vec<u8>) -> Result<()> {
+        self.regions[self.region_of(&key)].put(key, value)
+    }
+
+    /// Deletes a key.
+    pub fn delete(&self, key: Vec<u8>) -> Result<()> {
+        self.regions[self.region_of(&key)].delete(key)
+    }
+
+    /// Point lookup.
+    pub fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        self.regions[self.region_of(key)].get(key)
+    }
+
+    /// All live entries with `start <= key <= end`, in global key order.
+    pub fn scan(&self, start: &[u8], end: &[u8]) -> Result<Vec<KvEntry>> {
+        if start > end {
+            return Ok(Vec::new());
+        }
+        let lo = self.region_of(start);
+        let hi = self.region_of(end);
+        let mut out = Vec::new();
+        for region in &self.regions[lo..=hi] {
+            out.extend(region.scan(start, end)?);
+        }
+        Ok(out)
+    }
+
+    /// Executes many scan ranges in parallel — step 3 of the paper's Z2T
+    /// query algorithm ("trigger SCAN operations over the underlying
+    /// key-value data store in parallel using the key ranges").
+    ///
+    /// Results preserve the order of `ranges`; entries within a range are
+    /// in key order.
+    pub fn scan_ranges_parallel(
+        &self,
+        ranges: &[(Vec<u8>, Vec<u8>)],
+    ) -> Result<Vec<KvEntry>> {
+        if ranges.is_empty() {
+            return Ok(Vec::new());
+        }
+        // Thread spawn costs dwarf tiny scans; only fan out when the
+        // plan is large enough to amortise the workers.
+        if ranges.len() < 64 || self.scan_threads == 1 {
+            let mut out = Vec::new();
+            for (s, e) in ranges {
+                out.extend(self.scan(s, e)?);
+            }
+            return Ok(out);
+        }
+        let threads = self.scan_threads.min(ranges.len());
+        let chunk_size = ranges.len().div_ceil(threads);
+        let chunk_results = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = ranges
+                .chunks(chunk_size)
+                .map(|chunk| {
+                    scope.spawn(move |_| -> Result<Vec<Vec<KvEntry>>> {
+                        chunk.iter().map(|(s, e)| self.scan(s, e)).collect()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("scan worker panicked"))
+                .collect::<Vec<_>>()
+        })
+        .expect("scan scope panicked");
+
+        let mut out = Vec::new();
+        for chunk in chunk_results {
+            for entries in chunk? {
+                out.extend(entries);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Flushes every region's memtable.
+    pub fn flush(&self) -> Result<()> {
+        for r in &self.regions {
+            r.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Compacts every region.
+    pub fn compact(&self) -> Result<()> {
+        for r in &self.regions {
+            r.compact()?;
+        }
+        Ok(())
+    }
+
+    /// Total bytes on disk.
+    pub fn disk_size(&self) -> u64 {
+        self.regions.iter().map(|r| r.disk_size()).sum()
+    }
+
+    /// Approximate entry count across regions.
+    pub fn approx_entries(&self) -> u64 {
+        self.regions.iter().map(|r| r.approx_entries()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table(name: &str, regions: usize) -> (Table, PathBuf) {
+        let dir = std::env::temp_dir().join(format!(
+            "just-table-{name}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        let t = Table::open(
+            name.to_string(),
+            dir.clone(),
+            regions,
+            Arc::new(IoMetrics::new()),
+            1 << 16,
+            512,
+            4,
+        )
+        .unwrap();
+        (t, dir)
+    }
+
+    #[test]
+    fn routing_spreads_keys_across_regions() {
+        let (t, dir) = table("routing", 8);
+        for salt in 0..=255u8 {
+            t.put(vec![salt, 1, 2, 3], vec![salt]).unwrap();
+        }
+        t.flush().unwrap();
+        // Every region must own some keys.
+        for i in 0..t.num_regions() {
+            assert!(t.regions[i].approx_entries() > 0, "region {i} empty");
+        }
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn cross_region_scan_is_globally_ordered() {
+        let (t, dir) = table("ordered", 4);
+        let mut keys: Vec<Vec<u8>> = (0..1000u32)
+            .map(|i| (i.wrapping_mul(2654435761)).to_be_bytes().to_vec())
+            .collect();
+        for k in &keys {
+            t.put(k.clone(), b"v".to_vec()).unwrap();
+        }
+        let hits = t.scan(&[0x00], &[0xff; 5]).unwrap();
+        keys.sort();
+        keys.dedup();
+        assert_eq!(hits.len(), keys.len());
+        for (h, k) in hits.iter().zip(&keys) {
+            assert_eq!(&h.key, k);
+        }
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn parallel_scan_matches_serial() {
+        let (t, dir) = table("parallel", 8);
+        for i in 0..5000u32 {
+            let key = (i.wrapping_mul(0x9E3779B9)).to_be_bytes().to_vec();
+            t.put(key, i.to_le_bytes().to_vec()).unwrap();
+        }
+        t.flush().unwrap();
+        let ranges: Vec<(Vec<u8>, Vec<u8>)> = (0..16u16)
+            .map(|i| {
+                let s = (((i as u64) << 28) as u32).to_be_bytes().to_vec();
+                let e = ((((i as u64 + 1) << 28) - 1) as u32).to_be_bytes().to_vec();
+                (s, e)
+            })
+            .collect();
+        let par = t.scan_ranges_parallel(&ranges).unwrap();
+        let mut serial = Vec::new();
+        for (s, e) in &ranges {
+            serial.extend(t.scan(s, e).unwrap());
+        }
+        assert_eq!(par.len(), serial.len());
+        assert_eq!(par, serial);
+        assert_eq!(par.len(), 5000);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn get_and_delete_route_correctly() {
+        let (t, dir) = table("getdel", 16);
+        t.put(vec![200, 1], b"hi".to_vec()).unwrap();
+        assert_eq!(t.get(&[200, 1]).unwrap(), Some(b"hi".to_vec()));
+        t.delete(vec![200, 1]).unwrap();
+        assert_eq!(t.get(&[200, 1]).unwrap(), None);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn empty_key_routes_to_region_zero() {
+        let (t, dir) = table("empty", 4);
+        t.put(vec![], b"root".to_vec()).unwrap();
+        assert_eq!(t.get(&[]).unwrap(), Some(b"root".to_vec()));
+        std::fs::remove_dir_all(dir).ok();
+    }
+}

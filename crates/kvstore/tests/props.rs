@@ -1,0 +1,118 @@
+//! Property-based tests: the store behaves exactly like a sorted map with
+//! last-write-wins semantics, across flushes and compactions.
+
+use just_kvstore::{Store, StoreOptions};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Put(Vec<u8>, Vec<u8>),
+    Delete(Vec<u8>),
+    Flush,
+    Compact,
+}
+
+fn arb_key() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(0u8..8, 1..5)
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        6 => (arb_key(), proptest::collection::vec(any::<u8>(), 0..20))
+            .prop_map(|(k, v)| Op::Put(k, v)),
+        2 => arb_key().prop_map(Op::Delete),
+        1 => Just(Op::Flush),
+        1 => Just(Op::Compact),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn store_matches_btreemap_model(
+        ops in proptest::collection::vec(arb_op(), 1..120),
+        scan_lo in arb_key(),
+        scan_hi in arb_key(),
+    ) {
+        let dir = std::env::temp_dir().join(format!(
+            "just-kv-prop-{}-{:?}-{}",
+            std::process::id(),
+            std::thread::current().id(),
+            rand_suffix(&ops)
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        let store = Store::open(&dir, StoreOptions {
+            flush_threshold: 512, // tiny: force frequent flushes
+            block_size: 128,
+            scan_threads: 2,
+            block_cache_bytes: 1 << 20,
+        }).unwrap();
+        let table = store.create_table("t", 4).unwrap();
+        let mut model: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+
+        for op in &ops {
+            match op {
+                Op::Put(k, v) => {
+                    table.put(k.clone(), v.clone()).unwrap();
+                    model.insert(k.clone(), v.clone());
+                }
+                Op::Delete(k) => {
+                    table.delete(k.clone()).unwrap();
+                    model.remove(k);
+                }
+                Op::Flush => table.flush().unwrap(),
+                Op::Compact => table.compact().unwrap(),
+            }
+        }
+
+        // Point lookups agree.
+        for (k, v) in &model {
+            let got = table.get(k).unwrap();
+            prop_assert_eq!(got.as_ref(), Some(v));
+        }
+
+        // Range scan agrees with the model.
+        let (lo, hi) = if scan_lo <= scan_hi { (scan_lo, scan_hi) } else { (scan_hi, scan_lo) };
+        let got = table.scan(&lo, &hi).unwrap();
+        let expected: Vec<(Vec<u8>, Vec<u8>)> = model
+            .range::<Vec<u8>, _>(lo.clone()..=hi.clone())
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
+        prop_assert_eq!(got.len(), expected.len());
+        for (g, (k, v)) in got.iter().zip(&expected) {
+            prop_assert_eq!(&g.key, k);
+            prop_assert_eq!(&g.value, v);
+        }
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+/// Deterministic suffix so parallel proptest cases don't collide on disk.
+fn rand_suffix(ops: &[Op]) -> u64 {
+    let mut h = 1469598103934665603u64;
+    for op in ops {
+        let tag = match op {
+            Op::Put(k, v) => {
+                let mut t = 1u64;
+                for b in k.iter().chain(v) {
+                    t = t.wrapping_mul(31).wrapping_add(*b as u64);
+                }
+                t
+            }
+            Op::Delete(k) => {
+                let mut t = 2u64;
+                for b in k {
+                    t = t.wrapping_mul(31).wrapping_add(*b as u64);
+                }
+                t
+            }
+            Op::Flush => 3,
+            Op::Compact => 4,
+        };
+        h = (h ^ tag).wrapping_mul(1099511628211);
+    }
+    h
+}

@@ -1,0 +1,298 @@
+//! The JustQL client: one call per statement, the way the paper's SDKs
+//! (`client.executeQuery(sql)`) expose the engine.
+
+use crate::ast::{ColumnDef, Statement};
+use crate::csvload::load_csv;
+use crate::error::QlError;
+use crate::exec::Executor;
+use crate::functions::eval_const;
+use crate::json::Json;
+use crate::optimizer::optimize;
+use crate::parser::parse;
+use crate::plan::LogicalPlan;
+use crate::Result;
+use just_compress::Codec;
+use just_core::{Dataset, ResultSet, Session};
+use just_curves::TimePeriod;
+use just_storage::{Field, FieldType, IndexKind, Row, Schema, Value};
+
+/// The outcome of executing one statement.
+#[derive(Debug)]
+pub enum QueryResult {
+    /// Rows (queries, SHOW, DESC).
+    Data(Dataset),
+    /// A status message (DDL/DML).
+    Message(String),
+}
+
+impl QueryResult {
+    /// The dataset, when this is a data result.
+    pub fn dataset(&self) -> Option<&Dataset> {
+        match self {
+            QueryResult::Data(d) => Some(d),
+            QueryResult::Message(_) => None,
+        }
+    }
+
+    /// Consumes into a dataset.
+    pub fn into_dataset(self) -> Option<Dataset> {
+        match self {
+            QueryResult::Data(d) => Some(d),
+            QueryResult::Message(_) => None,
+        }
+    }
+
+    /// The message, when this is a status result.
+    pub fn message(&self) -> Option<&str> {
+        match self {
+            QueryResult::Message(m) => Some(m),
+            QueryResult::Data(_) => None,
+        }
+    }
+}
+
+/// A JustQL session client.
+pub struct Client {
+    session: Session,
+}
+
+impl Client {
+    /// Wraps a session.
+    pub fn new(session: Session) -> Self {
+        Client { session }
+    }
+
+    /// The underlying session (for API-level operations).
+    pub fn session(&self) -> &Session {
+        &self.session
+    }
+
+    /// Parses, optimizes and executes one statement.
+    pub fn execute(&mut self, sql: &str) -> Result<QueryResult> {
+        let stmt = parse(sql)?;
+        self.run(stmt)
+    }
+
+    /// Executes a query and wraps it in the Figure 2 cursor (spilling
+    /// large results to chunked files).
+    pub fn execute_query(&mut self, sql: &str) -> Result<ResultSet> {
+        match self.execute(sql)? {
+            QueryResult::Data(d) => Ok(self.session.engine().result_set(d)?),
+            QueryResult::Message(m) => Ok(self
+                .session
+                .engine()
+                .result_set(Dataset::new(
+                    vec!["message".into()],
+                    vec![Row::new(vec![Value::Str(m)])],
+                ))?),
+        }
+    }
+
+    /// Returns `(analyzed plan, optimized plan)` renderings — the
+    /// Figure 8 demonstration.
+    pub fn explain(&self, sql: &str) -> Result<(String, String)> {
+        match parse(sql)? {
+            Statement::Query(q) => {
+                let analyzed = LogicalPlan::from_select(&q)?;
+                let optimized = optimize(analyzed.clone())?;
+                Ok((analyzed.render(), optimized.render()))
+            }
+            _ => Err(QlError::Analyze("EXPLAIN supports SELECT only".into())),
+        }
+    }
+
+    fn run(&mut self, stmt: Statement) -> Result<QueryResult> {
+        match stmt {
+            Statement::CreateTable {
+                name,
+                columns,
+                userdata,
+            } => {
+                let schema = build_schema(&columns)?;
+                let (index, period) = index_hints(&userdata)?;
+                self.session.create_table(&name, schema, index, period)?;
+                Ok(QueryResult::Message(format!("table '{name}' created")))
+            }
+            Statement::CreatePluginTable {
+                name,
+                plugin,
+                userdata,
+            } => {
+                let (index, period) = index_hints(&userdata)?;
+                self.session
+                    .create_plugin_table(&name, &plugin, index, period)?;
+                Ok(QueryResult::Message(format!(
+                    "plugin table '{name}' ({plugin}) created"
+                )))
+            }
+            Statement::CreateView { name, query } => {
+                let plan = optimize(LogicalPlan::from_select(&query)?)?;
+                let data = Executor::new(&self.session).run(&plan)?;
+                let n = data.len();
+                self.session.create_view(&name, data)?;
+                Ok(QueryResult::Message(format!(
+                    "view '{name}' created ({n} rows cached)"
+                )))
+            }
+            Statement::Drop { view, name } => {
+                if view {
+                    self.session.drop_view(&name)?;
+                } else {
+                    self.session.drop_table(&name)?;
+                }
+                Ok(QueryResult::Message(format!("'{name}' dropped")))
+            }
+            Statement::Show { views } => {
+                let names = if views {
+                    self.session.show_views()
+                } else {
+                    self.session.show_tables()
+                };
+                Ok(QueryResult::Data(Dataset::new(
+                    vec!["name".into()],
+                    names
+                        .into_iter()
+                        .map(|n| Row::new(vec![Value::Str(n)]))
+                        .collect(),
+                )))
+            }
+            Statement::Desc { name } => {
+                let def = self.session.describe(&name)?;
+                let rows = def
+                    .schema
+                    .fields()
+                    .iter()
+                    .map(|f| {
+                        let mut opts = Vec::new();
+                        if f.primary_key {
+                            opts.push("primary key".to_string());
+                        }
+                        if f.compress != Codec::None {
+                            opts.push(format!("compress={}", f.compress));
+                        }
+                        Row::new(vec![
+                            Value::Str(f.name.clone()),
+                            Value::Str(f.ty.name().to_string()),
+                            Value::Str(opts.join(", ")),
+                        ])
+                    })
+                    .collect();
+                Ok(QueryResult::Data(Dataset::new(
+                    vec!["field".into(), "type".into(), "options".into()],
+                    rows,
+                )))
+            }
+            Statement::Insert { table, rows } => {
+                let def = self.session.describe(&table)?;
+                let mut out = Vec::with_capacity(rows.len());
+                for exprs in rows {
+                    if exprs.len() != def.schema.len() {
+                        return Err(QlError::Analyze(format!(
+                            "INSERT has {} values, table '{}' has {} fields",
+                            exprs.len(),
+                            table,
+                            def.schema.len()
+                        )));
+                    }
+                    let mut values = Vec::with_capacity(exprs.len());
+                    for (e, f) in exprs.iter().zip(def.schema.fields()) {
+                        let v = eval_const(e)?;
+                        values.push(coerce_insert(v, f.ty)?);
+                    }
+                    out.push(Row::new(values));
+                }
+                let n = self.session.insert(&table, &out)?;
+                Ok(QueryResult::Message(format!("{n} rows inserted")))
+            }
+            Statement::Load {
+                source,
+                table,
+                config,
+                filter,
+            } => {
+                let path = source.strip_prefix("csv:").ok_or_else(|| {
+                    QlError::Analyze(format!("unsupported LOAD source '{source}' (csv: only)"))
+                })?;
+                let n = load_csv(&self.session, path, &table, &config, filter.as_deref())?;
+                Ok(QueryResult::Message(format!("{n} rows loaded")))
+            }
+            Statement::StoreView { view, table } => {
+                let n = self.session.store_view(&view, &table)?;
+                Ok(QueryResult::Message(format!(
+                    "view '{view}' stored to table '{table}' ({n} rows)"
+                )))
+            }
+            Statement::Query(q) => {
+                let plan = optimize(LogicalPlan::from_select(&q)?)?;
+                let data = Executor::new(&self.session).run(&plan)?;
+                Ok(QueryResult::Data(data))
+            }
+        }
+    }
+}
+
+/// Maps AST column definitions onto a storage schema.
+fn build_schema(columns: &[ColumnDef]) -> Result<Schema> {
+    let mut fields = Vec::with_capacity(columns.len());
+    for c in columns {
+        let ty = FieldType::parse(&c.type_name)
+            .ok_or_else(|| QlError::Analyze(format!("unknown type '{}'", c.type_name)))?;
+        let mut field = Field::new(c.name.clone(), ty);
+        for opt in &c.options {
+            if opt.eq_ignore_ascii_case("primary key") {
+                field.primary_key = true;
+            } else if let Some(v) = opt.strip_prefix("compress=") {
+                field.compress = Codec::parse(v)
+                    .ok_or_else(|| QlError::Analyze(format!("unknown codec '{v}'")))?;
+            } else if let Some(v) = opt.strip_prefix("srid=") {
+                field.srid = v
+                    .parse()
+                    .map_err(|_| QlError::Analyze(format!("bad srid '{v}'")))?;
+            } else {
+                return Err(QlError::Analyze(format!("unknown column option '{opt}'")));
+            }
+        }
+        fields.push(field);
+    }
+    Schema::new(fields).map_err(|e| QlError::Analyze(e.to_string()))
+}
+
+/// Reads the `USERDATA` hints: `geomesa.indices.enabled` picks the index
+/// (`z2`, `z3`, `xz2`, `xz3`, `z2t`, `xz2t`), `period` the time period.
+fn index_hints(userdata: &Option<Json>) -> Result<(Option<IndexKind>, Option<TimePeriod>)> {
+    let Some(j) = userdata else {
+        return Ok((None, None));
+    };
+    let index = match j.get("geomesa.indices.enabled").or_else(|| j.get("index")) {
+        Some(name) => Some(
+            IndexKind::parse(name)
+                .ok_or_else(|| QlError::Analyze(format!("unknown index '{name}'")))?,
+        ),
+        None => None,
+    };
+    let period = match j.get("period") {
+        Some(name) => Some(
+            TimePeriod::parse(name)
+                .ok_or_else(|| QlError::Analyze(format!("unknown period '{name}'")))?,
+        ),
+        None => None,
+    };
+    Ok((index, period))
+}
+
+/// INSERT-time coercion (Int literals into Date/Float fields, WKT strings
+/// into geometry fields).
+fn coerce_insert(v: Value, ty: FieldType) -> Result<Value> {
+    Ok(match (ty, v) {
+        (FieldType::Date, Value::Int(i)) => Value::Date(i),
+        (FieldType::Float, Value::Int(i)) => Value::Float(i as f64),
+        (
+            FieldType::Point
+            | FieldType::LineString
+            | FieldType::Polygon
+            | FieldType::Geometry,
+            Value::Str(s),
+        ) => Value::Geom(just_geo::parse_wkt(&s).map_err(|e| QlError::Eval(e.to_string()))?),
+        (_, other) => other,
+    })
+}

@@ -1,0 +1,38 @@
+//! SQL-layer error type.
+
+use std::fmt;
+
+/// Everything the SQL layer can report.
+#[derive(Debug)]
+pub enum QlError {
+    /// Lexical error (bad character, unterminated string).
+    Lex(String),
+    /// Syntax error.
+    Parse(String),
+    /// Semantic error (unknown table/column/function, type mismatch).
+    Analyze(String),
+    /// Runtime evaluation error.
+    Eval(String),
+    /// Engine-level failure.
+    Engine(just_core::CoreError),
+}
+
+impl fmt::Display for QlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QlError::Lex(m) => write!(f, "lex error: {m}"),
+            QlError::Parse(m) => write!(f, "parse error: {m}"),
+            QlError::Analyze(m) => write!(f, "analyze error: {m}"),
+            QlError::Eval(m) => write!(f, "eval error: {m}"),
+            QlError::Engine(e) => write!(f, "engine error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for QlError {}
+
+impl From<just_core::CoreError> for QlError {
+    fn from(e: just_core::CoreError) -> Self {
+        QlError::Engine(e)
+    }
+}

@@ -1,0 +1,509 @@
+//! The plan executor ("SQL Execute"): spatio-temporal predicates are
+//! served by the storage indexes; relational operators run on the
+//! in-memory DataFrame engine (this repository's Spark SQL).
+
+use crate::ast::Expr;
+use crate::error::QlError;
+use crate::functions::{self, eval, resolve_column, truthy};
+use crate::plan::LogicalPlan;
+use crate::Result;
+use just_analysis::{dbscan, DbscanParams};
+use just_core::{Dataset, Session};
+use just_geo::{Geometry, Point};
+use just_storage::{Row, SpatialPredicate, Value};
+use std::collections::HashMap;
+
+/// Executes logical plans against one session.
+pub struct Executor<'a> {
+    session: &'a Session,
+}
+
+impl<'a> Executor<'a> {
+    /// Creates an executor for the session.
+    pub fn new(session: &'a Session) -> Self {
+        Executor { session }
+    }
+
+    /// Runs a plan to a dataset.
+    pub fn run(&self, plan: &LogicalPlan) -> Result<Dataset> {
+        match plan {
+            LogicalPlan::Scan {
+                table,
+                alias,
+                projection,
+                spatial,
+                time,
+                residual,
+            } => self.scan(table, alias, projection, spatial, time, residual),
+            LogicalPlan::Values { columns, rows } => {
+                let mut out_rows = Vec::with_capacity(rows.len());
+                for exprs in rows {
+                    let mut values = Vec::with_capacity(exprs.len());
+                    for e in exprs {
+                        values.push(functions::eval_const(e)?);
+                    }
+                    out_rows.push(Row::new(values));
+                }
+                Ok(Dataset::new(columns.clone(), out_rows))
+            }
+            LogicalPlan::Filter { input, predicate } => {
+                let data = self.run(input)?;
+                filter(data, predicate)
+            }
+            LogicalPlan::Project { input, items } => {
+                let data = self.run(input)?;
+                project(data, items)
+            }
+            LogicalPlan::Aggregate {
+                input,
+                group_by,
+                aggregates,
+            } => {
+                let data = self.run(input)?;
+                aggregate(data, group_by, aggregates)
+            }
+            LogicalPlan::Sort { input, keys } => {
+                let data = self.run(input)?;
+                sort(data, keys)
+            }
+            LogicalPlan::Limit { input, n } => {
+                let mut data = self.run(input)?;
+                data.rows.truncate(*n);
+                Ok(data)
+            }
+            LogicalPlan::Join { left, right, on } => {
+                let l = self.run(left)?;
+                let r = self.run(right)?;
+                join(l, r, on)
+            }
+            LogicalPlan::Knn { table, lng, lat, k } => {
+                Ok(self.session.knn(table, Point::new(*lng, *lat), *k)?)
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn scan(
+        &self,
+        table: &str,
+        alias: &Option<String>,
+        projection: &Option<Vec<String>>,
+        spatial: &Option<(String, just_geo::Rect)>,
+        time: &Option<(String, i64, i64)>,
+        residual: &Option<Expr>,
+    ) -> Result<Dataset> {
+        // Views first (they shadow nothing: names are namespaced apart).
+        let mut data = if let Ok(view) = self.session.view(table) {
+            let mut data = (*view).clone();
+            // Pushed predicates over a view run in memory.
+            if let Some((col, rect)) = spatial {
+                let pred = spatial_expr(col, *rect);
+                data = filter(data, &pred)?;
+            }
+            if let Some((col, lo, hi)) = time {
+                let pred = temporal_expr(col, *lo, *hi);
+                data = filter(data, &pred)?;
+            }
+            data
+        } else {
+            let def = self.session.describe(table)?;
+            let geom_name = def
+                .schema
+                .geom_index()
+                .map(|i| def.schema.fields()[i].name.clone());
+            let time_name = def
+                .schema
+                .time_index()
+                .map(|i| def.schema.fields()[i].name.clone());
+
+            let matches_field = |col: &str, field: &Option<String>| {
+                field
+                    .as_ref()
+                    .map(|f| {
+                        col.eq_ignore_ascii_case(f)
+                            || col.to_ascii_lowercase().ends_with(&format!(".{}", f.to_ascii_lowercase()))
+                    })
+                    .unwrap_or(false)
+            };
+
+            let spatial_ok = spatial
+                .as_ref()
+                .filter(|(col, _)| matches_field(col, &geom_name));
+            let time_ok = time
+                .as_ref()
+                .filter(|(col, _, _)| matches_field(col, &time_name));
+
+            let mut data = match (spatial_ok, time_ok) {
+                (Some((_, rect)), Some((_, lo, hi))) => self
+                    .session
+                    .st_range(table, rect, *lo, *hi, SpatialPredicate::Within)?,
+                (Some((_, rect)), None) => self
+                    .session
+                    .spatial_range(table, rect, SpatialPredicate::Within)?,
+                // Time-only predicate: the whole world spatially, so the
+                // temporal index still prunes periods.
+                (None, Some((_, lo, hi))) => self.session.st_range(
+                    table,
+                    &just_geo::WORLD,
+                    *lo,
+                    *hi,
+                    SpatialPredicate::Within,
+                )?,
+                (None, None) => self.session.scan_all(table)?,
+            };
+            // Predicates that didn't match the indexed fields run in
+            // memory so results stay correct.
+            if spatial_ok.is_none() {
+                if let Some((col, rect)) = spatial {
+                    data = filter(data, &spatial_expr(col, *rect))?;
+                }
+            }
+            if time_ok.is_none() {
+                if let Some((col, lo, hi)) = time {
+                    data = filter(data, &temporal_expr(col, *lo, *hi))?;
+                }
+            }
+            data
+        };
+
+        if let Some(pred) = residual {
+            data = filter(data, pred)?;
+        }
+        if let Some(cols) = projection {
+            data = project_columns(data, cols)?;
+        }
+        if let Some(alias) = alias {
+            data.columns = data
+                .columns
+                .iter()
+                .map(|c| format!("{alias}.{c}"))
+                .collect();
+        }
+        Ok(data)
+    }
+}
+
+fn spatial_expr(col: &str, rect: just_geo::Rect) -> Expr {
+    Expr::Binary {
+        op: crate::ast::BinOp::Within,
+        lhs: Box::new(Expr::Column(col.to_string())),
+        rhs: Box::new(Expr::Literal(Value::Geom(Geometry::Rect(rect)))),
+    }
+}
+
+fn temporal_expr(col: &str, lo: i64, hi: i64) -> Expr {
+    Expr::Between {
+        expr: Box::new(Expr::Column(col.to_string())),
+        lo: Box::new(Expr::Literal(Value::Date(lo))),
+        hi: Box::new(Expr::Literal(Value::Date(hi))),
+    }
+}
+
+/// Errors on column references that cannot resolve against the header and
+/// on unknown function names — run before row-wise evaluation so empty
+/// relations still reject bad queries (like any SQL analyzer).
+fn validate_columns(expr: &Expr, columns: &[String]) -> Result<()> {
+    for c in expr.columns() {
+        resolve_column(&c, columns)?;
+    }
+    let mut bad_fn: Option<String> = None;
+    expr.walk(&mut |e| {
+        if let Expr::Func { name, .. } = e {
+            if bad_fn.is_none() && !functions::is_known_function(name) {
+                bad_fn = Some(name.clone());
+            }
+        }
+    });
+    match bad_fn {
+        Some(name) => Err(QlError::Analyze(format!("unknown function '{name}'"))),
+        None => Ok(()),
+    }
+}
+
+fn filter(data: Dataset, predicate: &Expr) -> Result<Dataset> {
+    validate_columns(predicate, &data.columns)?;
+    let mut rows = Vec::with_capacity(data.rows.len());
+    for row in data.rows {
+        let keep = truthy(&eval(predicate, &row.values, &data.columns)?);
+        if keep {
+            rows.push(row);
+        }
+    }
+    Ok(Dataset::new(data.columns, rows))
+}
+
+fn project_columns(data: Dataset, cols: &[String]) -> Result<Dataset> {
+    let mut indices = Vec::with_capacity(cols.len());
+    let mut names = Vec::with_capacity(cols.len());
+    for c in cols {
+        // Skip projection columns the relation doesn't have (they can be
+        // outer-query names when a subquery renamed things); correctness
+        // is preserved because projection pruning is advisory.
+        if let Ok(i) = resolve_column(c, &data.columns) {
+            indices.push(i);
+            names.push(data.columns[i].clone());
+        }
+    }
+    if indices.is_empty() {
+        return Ok(data);
+    }
+    let rows = data
+        .rows
+        .into_iter()
+        .map(|r| Row::new(indices.iter().map(|&i| r.values[i].clone()).collect()))
+        .collect();
+    Ok(Dataset::new(names, rows))
+}
+
+fn project(data: Dataset, items: &[(Expr, String)]) -> Result<Dataset> {
+    // 1-N table functions: the sole item expands each row.
+    if items.len() == 1 {
+        if let Expr::Func { name, args } = &items[0].0 {
+            if functions::is_table_function(name) {
+                let mut columns: Option<Vec<String>> = None;
+                let mut rows = Vec::new();
+                for row in &data.rows {
+                    let mut vals = Vec::with_capacity(args.len());
+                    for a in args {
+                        vals.push(eval(a, &row.values, &data.columns)?);
+                    }
+                    if let Some((cols, expanded)) = functions::table_function(name, vals)? {
+                        columns.get_or_insert(cols);
+                        rows.extend(expanded.into_iter().map(Row::new));
+                    }
+                }
+                let columns = columns.unwrap_or_else(|| vec![items[0].1.clone()]);
+                return Ok(Dataset::new(columns, rows));
+            }
+            if functions::is_cluster_function(name) {
+                return run_dbscan(data, args);
+            }
+        }
+    }
+
+    let mut columns = Vec::new();
+    let mut plans: Vec<ProjectItem> = Vec::new();
+    for (e, name) in items {
+        if !matches!(e, Expr::Star) {
+            validate_columns(e, &data.columns)?;
+        }
+        match e {
+            Expr::Star => {
+                for (i, c) in data.columns.iter().enumerate() {
+                    columns.push(c.clone());
+                    plans.push(ProjectItem::Passthrough(i));
+                }
+            }
+            other => {
+                columns.push(name.clone());
+                plans.push(ProjectItem::Compute(other.clone()));
+            }
+        }
+    }
+    let mut rows = Vec::with_capacity(data.rows.len());
+    for row in &data.rows {
+        let mut values = Vec::with_capacity(plans.len());
+        for p in &plans {
+            values.push(match p {
+                ProjectItem::Passthrough(i) => row.values[*i].clone(),
+                ProjectItem::Compute(e) => eval(e, &row.values, &data.columns)?,
+            });
+        }
+        rows.push(Row::new(values));
+    }
+    Ok(Dataset::new(columns, rows))
+}
+
+enum ProjectItem {
+    Passthrough(usize),
+    Compute(Expr),
+}
+
+/// `st_DBSCAN(geom, minPts, radius)` — the N-M operation: clusters every
+/// input row's geometry; output is `(geom, cluster)` with cluster `-1`
+/// for noise.
+fn run_dbscan(data: Dataset, args: &[Expr]) -> Result<Dataset> {
+    if args.len() != 3 {
+        return Err(QlError::Eval("st_DBSCAN(geom, minPts, radius) takes 3 arguments".into()));
+    }
+    let mut pts = Vec::with_capacity(data.rows.len());
+    for row in &data.rows {
+        match eval(&args[0], &row.values, &data.columns)? {
+            Value::Geom(g) => pts.push(g.representative_point()),
+            other => return Err(QlError::Eval(format!("st_DBSCAN over non-geometry {other:?}"))),
+        }
+    }
+    let min_pts = functions::eval_const(&args[1])?
+        .as_int()
+        .ok_or_else(|| QlError::Eval("st_DBSCAN: minPts must be an integer".into()))?
+        .max(1) as usize;
+    let radius = functions::eval_const(&args[2])?
+        .as_float()
+        .ok_or_else(|| QlError::Eval("st_DBSCAN: radius must be numeric".into()))?;
+    let labels = dbscan(&pts, &DbscanParams { eps: radius, min_pts });
+    let rows = pts
+        .iter()
+        .zip(labels)
+        .map(|(p, l)| {
+            Row::new(vec![
+                Value::Geom(Geometry::Point(*p)),
+                Value::Int(match l {
+                    just_analysis::ClusterLabel::Cluster(c) => c as i64,
+                    just_analysis::ClusterLabel::Noise => -1,
+                }),
+            ])
+        })
+        .collect();
+    Ok(Dataset::new(vec!["geom".into(), "cluster".into()], rows))
+}
+
+fn aggregate(
+    data: Dataset,
+    group_by: &[(Expr, String)],
+    aggregates: &[(String, Expr, String)],
+) -> Result<Dataset> {
+    // Group rows by encoded key.
+    let mut groups: Vec<(Vec<Value>, Vec<usize>)> = Vec::new();
+    let mut index: HashMap<Vec<u8>, usize> = HashMap::new();
+    for (row_idx, row) in data.rows.iter().enumerate() {
+        let mut key_vals = Vec::with_capacity(group_by.len());
+        let mut key_bytes = Vec::new();
+        for (e, _) in group_by {
+            let v = eval(e, &row.values, &data.columns)?;
+            v.encode(&mut key_bytes);
+            key_vals.push(v);
+        }
+        let slot = *index.entry(key_bytes).or_insert_with(|| {
+            groups.push((key_vals.clone(), Vec::new()));
+            groups.len() - 1
+        });
+        groups[slot].1.push(row_idx);
+    }
+    // A global aggregate over zero rows still yields one row.
+    if groups.is_empty() && group_by.is_empty() {
+        groups.push((Vec::new(), Vec::new()));
+    }
+
+    let mut columns: Vec<String> = group_by.iter().map(|(_, n)| n.clone()).collect();
+    columns.extend(aggregates.iter().map(|(_, _, n)| n.clone()));
+
+    let mut rows = Vec::with_capacity(groups.len());
+    for (key_vals, members) in groups {
+        let mut values = key_vals;
+        for (func, arg, _) in aggregates {
+            values.push(eval_aggregate(func, arg, &members, &data)?);
+        }
+        rows.push(Row::new(values));
+    }
+    Ok(Dataset::new(columns, rows))
+}
+
+fn eval_aggregate(func: &str, arg: &Expr, members: &[usize], data: &Dataset) -> Result<Value> {
+    let mut vals: Vec<Value> = Vec::with_capacity(members.len());
+    if matches!(arg, Expr::Star) {
+        if func != "count" {
+            return Err(QlError::Eval(format!("{func}(*) is not supported")));
+        }
+        return Ok(Value::Int(members.len() as i64));
+    }
+    for &i in members {
+        let v = eval(arg, &data.rows[i].values, &data.columns)?;
+        if !v.is_null() {
+            vals.push(v);
+        }
+    }
+    Ok(match func {
+        "count" => Value::Int(vals.len() as i64),
+        "sum" => {
+            if vals.is_empty() {
+                Value::Null
+            } else if vals.iter().all(|v| matches!(v, Value::Int(_))) {
+                Value::Int(vals.iter().map(|v| v.as_int().unwrap()).sum())
+            } else {
+                let mut acc = 0.0;
+                for v in &vals {
+                    acc += v
+                        .as_float()
+                        .ok_or_else(|| QlError::Eval(format!("sum over {v:?}")))?;
+                }
+                Value::Float(acc)
+            }
+        }
+        "avg" => {
+            if vals.is_empty() {
+                Value::Null
+            } else {
+                let mut acc = 0.0;
+                for v in &vals {
+                    acc += v
+                        .as_float()
+                        .ok_or_else(|| QlError::Eval(format!("avg over {v:?}")))?;
+                }
+                Value::Float(acc / vals.len() as f64)
+            }
+        }
+        "min" | "max" => {
+            let mut best: Option<Value> = None;
+            for v in vals {
+                best = Some(match best {
+                    None => v,
+                    Some(b) => {
+                        let ord = functions::compare(&v, &b)?;
+                        let take = if func == "min" {
+                            ord == std::cmp::Ordering::Less
+                        } else {
+                            ord == std::cmp::Ordering::Greater
+                        };
+                        if take {
+                            v
+                        } else {
+                            b
+                        }
+                    }
+                });
+            }
+            best.unwrap_or(Value::Null)
+        }
+        other => return Err(QlError::Eval(format!("unknown aggregate '{other}'"))),
+    })
+}
+
+fn sort(mut data: Dataset, keys: &[(Expr, bool)]) -> Result<Dataset> {
+    // Precompute sort keys (eval can fail; do it before sorting).
+    let mut decorated: Vec<(Vec<Value>, Row)> = Vec::with_capacity(data.rows.len());
+    for row in data.rows.drain(..) {
+        let mut k = Vec::with_capacity(keys.len());
+        for (e, _) in keys {
+            k.push(eval(e, &row.values, &data.columns)?);
+        }
+        decorated.push((k, row));
+    }
+    decorated.sort_by(|(ka, _), (kb, _)| {
+        for (i, (_, asc)) in keys.iter().enumerate() {
+            let ord = functions::compare(&ka[i], &kb[i]).unwrap_or(std::cmp::Ordering::Equal);
+            let ord = if *asc { ord } else { ord.reverse() };
+            if ord != std::cmp::Ordering::Equal {
+                return ord;
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+    data.rows = decorated.into_iter().map(|(_, r)| r).collect();
+    Ok(data)
+}
+
+fn join(left: Dataset, right: Dataset, on: &Expr) -> Result<Dataset> {
+    let mut columns = left.columns.clone();
+    columns.extend(right.columns.iter().cloned());
+    let mut rows = Vec::new();
+    for l in &left.rows {
+        for r in &right.rows {
+            let mut combined = l.values.clone();
+            combined.extend(r.values.iter().cloned());
+            if truthy(&eval(on, &combined, &columns)?) {
+                rows.push(Row::new(combined));
+            }
+        }
+    }
+    Ok(Dataset::new(columns, rows))
+}

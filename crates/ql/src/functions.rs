@@ -1,0 +1,638 @@
+//! Expression evaluation and the built-in function registry (the paper's
+//! "plenty of out-of-the-box spatio-temporal analysis functions").
+
+use crate::ast::{BinOp, Expr};
+use crate::error::QlError;
+use crate::Result;
+use just_analysis::{
+    noise_filter, segment, stay_points, NoiseFilterParams, SegmentParams, StayPointParams,
+    Trajectory,
+};
+use just_geo::{parse_wkt, Geometry, Point, Rect, StPoint};
+use just_storage::Value;
+
+/// Resolves a (possibly qualified) column name against a header.
+pub fn resolve_column(name: &str, columns: &[String]) -> Result<usize> {
+    // Exact (case-insensitive) match first.
+    if let Some(i) = columns.iter().position(|c| c.eq_ignore_ascii_case(name)) {
+        return Ok(i);
+    }
+    // Bare name matching a qualified column (unique suffix `.name`).
+    if !name.contains('.') {
+        let suffix = format!(".{}", name.to_ascii_lowercase());
+        let hits: Vec<usize> = columns
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.to_ascii_lowercase().ends_with(&suffix))
+            .map(|(i, _)| i)
+            .collect();
+        match hits.len() {
+            1 => return Ok(hits[0]),
+            n if n > 1 => {
+                return Err(QlError::Analyze(format!("ambiguous column '{name}'")))
+            }
+            _ => {}
+        }
+    } else {
+        // Qualified name against bare header: try the bare part.
+        let bare = name.rsplit('.').next().unwrap();
+        if let Some(i) = columns.iter().position(|c| c.eq_ignore_ascii_case(bare)) {
+            return Ok(i);
+        }
+    }
+    Err(QlError::Analyze(format!("unknown column '{name}'")))
+}
+
+/// Evaluates an expression over one row.
+pub fn eval(expr: &Expr, row: &[Value], columns: &[String]) -> Result<Value> {
+    match expr {
+        Expr::Literal(v) => Ok(v.clone()),
+        Expr::Column(name) => {
+            let idx = resolve_column(name, columns)?;
+            Ok(row[idx].clone())
+        }
+        Expr::Star => Err(QlError::Eval("'*' outside count(*)".into())),
+        Expr::Unary { not, expr } => {
+            let v = eval(expr, row, columns)?;
+            if *not {
+                match v {
+                    Value::Null => Ok(Value::Null),
+                    other => Ok(Value::Bool(!truthy(&other))),
+                }
+            } else {
+                match v {
+                    Value::Int(i) => Ok(Value::Int(-i)),
+                    Value::Float(f) => Ok(Value::Float(-f)),
+                    Value::Null => Ok(Value::Null),
+                    other => Err(QlError::Eval(format!("cannot negate {other:?}"))),
+                }
+            }
+        }
+        Expr::Binary { op, lhs, rhs } => {
+            let l = eval(lhs, row, columns)?;
+            match op {
+                // Short-circuiting logic.
+                BinOp::And => {
+                    if !truthy(&l) {
+                        return Ok(Value::Bool(false));
+                    }
+                    let r = eval(rhs, row, columns)?;
+                    Ok(Value::Bool(truthy(&r)))
+                }
+                BinOp::Or => {
+                    if truthy(&l) {
+                        return Ok(Value::Bool(true));
+                    }
+                    let r = eval(rhs, row, columns)?;
+                    Ok(Value::Bool(truthy(&r)))
+                }
+                _ => {
+                    let r = eval(rhs, row, columns)?;
+                    binary(*op, l, r)
+                }
+            }
+        }
+        Expr::Between { expr, lo, hi } => {
+            let v = eval(expr, row, columns)?;
+            let lo = eval(lo, row, columns)?;
+            let hi = eval(hi, row, columns)?;
+            let ge = binary(BinOp::Ge, v.clone(), lo)?;
+            let le = binary(BinOp::Le, v, hi)?;
+            Ok(Value::Bool(truthy(&ge) && truthy(&le)))
+        }
+        Expr::Func { name, args } => {
+            let mut vals = Vec::with_capacity(args.len());
+            for a in args {
+                vals.push(eval(a, row, columns)?);
+            }
+            call(name, vals)
+        }
+        Expr::InFunc { .. } => Err(QlError::Eval(
+            "st_KNN can only appear as the sole WHERE predicate".into(),
+        )),
+    }
+}
+
+/// Evaluates a constant expression (no columns in scope).
+pub fn eval_const(expr: &Expr) -> Result<Value> {
+    eval(expr, &[], &[])
+}
+
+/// SQL truthiness: non-zero / non-empty / true. NULL is false.
+pub fn truthy(v: &Value) -> bool {
+    match v {
+        Value::Bool(b) => *b,
+        Value::Int(i) => *i != 0,
+        Value::Float(f) => *f != 0.0,
+        Value::Null => false,
+        Value::Str(s) => !s.is_empty(),
+        _ => true,
+    }
+}
+
+fn numeric(v: &Value) -> Option<f64> {
+    match v {
+        Value::Int(i) => Some(*i as f64),
+        Value::Float(f) => Some(*f),
+        Value::Date(d) => Some(*d as f64),
+        // Strings coerce when they look numeric (CSV loading, filters).
+        Value::Str(s) => s.trim().parse().ok(),
+        _ => None,
+    }
+}
+
+/// Applies a non-logical binary operator.
+pub fn binary(op: BinOp, l: Value, r: Value) -> Result<Value> {
+    use BinOp::*;
+    if matches!(op, Add | Sub | Mul | Div | Mod) {
+        if l.is_null() || r.is_null() {
+            return Ok(Value::Null);
+        }
+        // Integer arithmetic stays integral.
+        if let (Value::Int(a), Value::Int(b)) = (&l, &r) {
+            return Ok(match op {
+                Add => Value::Int(a.wrapping_add(*b)),
+                Sub => Value::Int(a.wrapping_sub(*b)),
+                Mul => Value::Int(a.wrapping_mul(*b)),
+                Div => {
+                    if *b == 0 {
+                        return Err(QlError::Eval("division by zero".into()));
+                    }
+                    Value::Int(a / b)
+                }
+                Mod => {
+                    if *b == 0 {
+                        return Err(QlError::Eval("division by zero".into()));
+                    }
+                    Value::Int(a % b)
+                }
+                _ => unreachable!(),
+            });
+        }
+        let (a, b) = (
+            numeric(&l).ok_or_else(|| QlError::Eval(format!("non-numeric {l:?}")))?,
+            numeric(&r).ok_or_else(|| QlError::Eval(format!("non-numeric {r:?}")))?,
+        );
+        return Ok(Value::Float(match op {
+            Add => a + b,
+            Sub => a - b,
+            Mul => a * b,
+            Div => a / b,
+            Mod => a % b,
+            _ => unreachable!(),
+        }));
+    }
+    if op == Within {
+        let (g, target) = match (&l, &r) {
+            (Value::Geom(g), Value::Geom(t)) => (g, t),
+            _ => return Err(QlError::Eval("WITHIN needs two geometries".into())),
+        };
+        let rect = match target {
+            Geometry::Rect(r) => *r,
+            other => other.mbr(),
+        };
+        return Ok(Value::Bool(g.within_rect(&rect)));
+    }
+    // Comparisons.
+    if l.is_null() || r.is_null() {
+        return Ok(Value::Bool(false));
+    }
+    let ord = compare(&l, &r)?;
+    Ok(Value::Bool(match op {
+        Eq => ord == std::cmp::Ordering::Equal,
+        Ne => ord != std::cmp::Ordering::Equal,
+        Lt => ord == std::cmp::Ordering::Less,
+        Le => ord != std::cmp::Ordering::Greater,
+        Gt => ord == std::cmp::Ordering::Greater,
+        Ge => ord != std::cmp::Ordering::Less,
+        _ => unreachable!(),
+    }))
+}
+
+/// Total-ordering comparison with numeric coercion (used by predicates,
+/// ORDER BY and MIN/MAX).
+pub fn compare(l: &Value, r: &Value) -> Result<std::cmp::Ordering> {
+    use std::cmp::Ordering;
+    match (l, r) {
+        (Value::Str(a), Value::Str(b)) => Ok(a.cmp(b)),
+        (Value::Bool(a), Value::Bool(b)) => Ok(a.cmp(b)),
+        (Value::Null, Value::Null) => Ok(Ordering::Equal),
+        (Value::Null, _) => Ok(Ordering::Less),
+        (_, Value::Null) => Ok(Ordering::Greater),
+        _ => {
+            let (a, b) = (
+                numeric(l).ok_or_else(|| QlError::Eval(format!("cannot compare {l:?}")))?,
+                numeric(r).ok_or_else(|| QlError::Eval(format!("cannot compare {r:?}")))?,
+            );
+            Ok(a.partial_cmp(&b).unwrap_or(Ordering::Equal))
+        }
+    }
+}
+
+fn f64_arg(vals: &[Value], i: usize, name: &str) -> Result<f64> {
+    vals.get(i)
+        .and_then(numeric)
+        .ok_or_else(|| QlError::Eval(format!("{name}: argument {i} must be numeric")))
+}
+
+fn geom_arg<'a>(vals: &'a [Value], i: usize, name: &str) -> Result<&'a Geometry> {
+    match vals.get(i) {
+        Some(Value::Geom(g)) => Ok(g),
+        _ => Err(QlError::Eval(format!("{name}: argument {i} must be a geometry"))),
+    }
+}
+
+fn gps_trajectory(vals: &[Value], i: usize, name: &str) -> Result<Trajectory> {
+    match vals.get(i) {
+        Some(Value::GpsList(samples)) => Ok(Trajectory::new(
+            "q",
+            samples
+                .iter()
+                .map(|s| StPoint::new(s.lng, s.lat, s.time_ms))
+                .collect(),
+        )),
+        _ => Err(QlError::Eval(format!("{name}: argument {i} must be an st_series"))),
+    }
+}
+
+fn traj_to_gps(t: &Trajectory) -> Value {
+    Value::GpsList(
+        t.points
+            .iter()
+            .map(|p| just_compress::gps::GpsSample {
+                lng: p.point.x,
+                lat: p.point.y,
+                time_ms: p.time_ms,
+            })
+            .collect(),
+    )
+}
+
+fn transform_point(vals: &[Value], name: &str, f: fn(Point) -> Point) -> Result<Value> {
+    match vals {
+        [Value::Geom(Geometry::Point(p))] => Ok(Value::Geom(Geometry::Point(f(*p)))),
+        [a, b] => {
+            let p = Point::new(
+                numeric(a).ok_or_else(|| QlError::Eval(format!("{name}: bad lng")))?,
+                numeric(b).ok_or_else(|| QlError::Eval(format!("{name}: bad lat")))?,
+            );
+            Ok(Value::Geom(Geometry::Point(f(p))))
+        }
+        _ => Err(QlError::Eval(format!("{name}: expects a point or (lng, lat)"))),
+    }
+}
+
+/// Calls a built-in scalar function. `name` must be lower-case.
+pub fn call(name: &str, vals: Vec<Value>) -> Result<Value> {
+    match name {
+        // --- constructors -------------------------------------------------
+        "st_makepoint" | "st_point" => {
+            let x = f64_arg(&vals, 0, name)?;
+            let y = f64_arg(&vals, 1, name)?;
+            Ok(Value::Geom(Geometry::Point(Point::new(x, y))))
+        }
+        "st_makembr" => {
+            let a = f64_arg(&vals, 0, name)?;
+            let b = f64_arg(&vals, 1, name)?;
+            let c = f64_arg(&vals, 2, name)?;
+            let d = f64_arg(&vals, 3, name)?;
+            Ok(Value::Geom(Geometry::Rect(Rect::new(a, b, c, d))))
+        }
+        "st_geomfromtext" => match vals.first() {
+            Some(Value::Str(s)) => Ok(Value::Geom(
+                parse_wkt(s).map_err(|e| QlError::Eval(e.to_string()))?,
+            )),
+            _ => Err(QlError::Eval("st_geomFromText expects WKT".into())),
+        },
+        // --- accessors ----------------------------------------------------
+        "st_astext" => Ok(Value::Str(geom_arg(&vals, 0, name)?.to_wkt())),
+        "st_x" => match geom_arg(&vals, 0, name)? {
+            Geometry::Point(p) => Ok(Value::Float(p.x)),
+            _ => Err(QlError::Eval("st_x expects a point".into())),
+        },
+        "st_y" => match geom_arg(&vals, 0, name)? {
+            Geometry::Point(p) => Ok(Value::Float(p.y)),
+            _ => Err(QlError::Eval("st_y expects a point".into())),
+        },
+        // --- predicates & measures -----------------------------------------
+        "st_within" => {
+            let g = geom_arg(&vals, 0, name)?;
+            let t = geom_arg(&vals, 1, name)?;
+            let rect = match t {
+                Geometry::Rect(r) => *r,
+                other => other.mbr(),
+            };
+            Ok(Value::Bool(g.within_rect(&rect)))
+        }
+        "st_intersects" => {
+            let g = geom_arg(&vals, 0, name)?;
+            let t = geom_arg(&vals, 1, name)?;
+            Ok(Value::Bool(g.intersects_rect(&t.mbr())))
+        }
+        "st_distance" => {
+            let a = geom_arg(&vals, 0, name)?;
+            let b = geom_arg(&vals, 1, name)?;
+            Ok(Value::Float(a.distance_to_point(&b.representative_point())))
+        }
+        "st_distancesphere" | "st_distancem" => {
+            let a = geom_arg(&vals, 0, name)?;
+            let b = geom_arg(&vals, 1, name)?;
+            Ok(Value::Float(just_geo::haversine_m(
+                &a.representative_point(),
+                &b.representative_point(),
+            )))
+        }
+        // --- 1-1 analysis: coordinate transforms ---------------------------
+        "st_wgs84togcj02" => transform_point(&vals, name, just_geo::wgs84_to_gcj02),
+        "st_gcj02towgs84" => transform_point(&vals, name, just_geo::gcj02_to_wgs84),
+        "st_gcj02tobd09" => transform_point(&vals, name, just_geo::gcj02_to_bd09),
+        "st_bd09togcj02" => transform_point(&vals, name, just_geo::bd09_to_gcj02),
+        // --- trajectory preprocessing over st_series -----------------------
+        "st_trajnoisefilter" => {
+            let t = gps_trajectory(&vals, 0, name)?;
+            let max_speed = if vals.len() > 1 {
+                f64_arg(&vals, 1, name)?
+            } else {
+                NoiseFilterParams::default().max_speed_ms
+            };
+            Ok(traj_to_gps(&noise_filter(
+                &t,
+                &NoiseFilterParams { max_speed_ms: max_speed },
+            )))
+        }
+        // --- scalar utilities ----------------------------------------------
+        "abs" => match vals.first() {
+            Some(Value::Int(i)) => Ok(Value::Int(i.abs())),
+            Some(v) => Ok(Value::Float(
+                numeric(v).ok_or_else(|| QlError::Eval("abs: non-numeric".into()))?.abs(),
+            )),
+            None => Err(QlError::Eval("abs: missing argument".into())),
+        },
+        "lower" => match vals.first() {
+            Some(Value::Str(s)) => Ok(Value::Str(s.to_lowercase())),
+            _ => Err(QlError::Eval("lower expects a string".into())),
+        },
+        "upper" => match vals.first() {
+            Some(Value::Str(s)) => Ok(Value::Str(s.to_uppercase())),
+            _ => Err(QlError::Eval("upper expects a string".into())),
+        },
+        "length" => match vals.first() {
+            Some(Value::Str(s)) => Ok(Value::Int(s.chars().count() as i64)),
+            Some(Value::GpsList(l)) => Ok(Value::Int(l.len() as i64)),
+            _ => Err(QlError::Eval("length expects a string or st_series".into())),
+        },
+        "coalesce" => Ok(vals.into_iter().find(|v| !v.is_null()).unwrap_or(Value::Null)),
+        // --- CSV-loading conversions (the paper's CONFIG functions) --------
+        "to_int" => match vals.first() {
+            Some(Value::Int(i)) => Ok(Value::Int(*i)),
+            Some(Value::Float(f)) => Ok(Value::Int(*f as i64)),
+            Some(Value::Str(s)) => s
+                .trim()
+                .parse::<i64>()
+                .map(Value::Int)
+                .map_err(|_| QlError::Eval(format!("to_int: '{s}'"))),
+            _ => Err(QlError::Eval("to_int: bad argument".into())),
+        },
+        "to_float" => match vals.first().and_then(numeric) {
+            Some(f) => Ok(Value::Float(f)),
+            None => Err(QlError::Eval("to_float: bad argument".into())),
+        },
+        "to_string" => Ok(Value::Str(
+            vals.first().map(|v| v.to_string()).unwrap_or_default(),
+        )),
+        "long_to_date_ms" => match vals.first().and_then(numeric) {
+            Some(f) => Ok(Value::Date(f as i64)),
+            None => Err(QlError::Eval("long_to_date_ms: bad argument".into())),
+        },
+        "lng_lat_to_point" => {
+            let x = f64_arg(&vals, 0, name)?;
+            let y = f64_arg(&vals, 1, name)?;
+            Ok(Value::Geom(Geometry::Point(Point::new(x, y))))
+        }
+        other => Err(QlError::Analyze(format!("unknown function '{other}'"))),
+    }
+}
+
+/// 1-N table functions: one input row expands to many output rows.
+/// Returns `(output column names, rows per input)`.
+pub fn table_function(
+    name: &str,
+    vals: Vec<Value>,
+) -> Result<Option<(Vec<String>, Vec<Vec<Value>>)>> {
+    match name {
+        "st_trajsegmentation" => {
+            let t = gps_trajectory(&vals, 0, name)?;
+            let segs = segment(&t, &SegmentParams::default());
+            Ok(Some((
+                vec!["segment".into()],
+                segs.iter().map(|s| vec![traj_to_gps(s)]).collect(),
+            )))
+        }
+        "st_trajstaypoint" => {
+            let t = gps_trajectory(&vals, 0, name)?;
+            let params = if vals.len() >= 3 {
+                StayPointParams {
+                    max_radius_m: f64_arg(&vals, 1, name)?,
+                    min_duration_ms: f64_arg(&vals, 2, name)? as i64,
+                }
+            } else {
+                StayPointParams::default()
+            };
+            let stays = stay_points(&t, &params);
+            Ok(Some((
+                vec!["stay_point".into(), "t_arrive".into(), "t_leave".into()],
+                stays
+                    .iter()
+                    .map(|s| {
+                        vec![
+                            Value::Geom(Geometry::Point(s.centroid)),
+                            Value::Date(s.t_arrive),
+                            Value::Date(s.t_leave),
+                        ]
+                    })
+                    .collect(),
+            )))
+        }
+        _ => Ok(None),
+    }
+}
+
+/// Whether the name is a 1-N table function.
+pub fn is_table_function(name: &str) -> bool {
+    matches!(name, "st_trajsegmentation" | "st_trajstaypoint")
+}
+
+/// Whether the name is the N-M clustering function.
+pub fn is_cluster_function(name: &str) -> bool {
+    name == "st_dbscan"
+}
+
+/// Whether the name is an aggregate.
+pub fn is_aggregate(name: &str) -> bool {
+    matches!(name, "count" | "sum" | "avg" | "min" | "max")
+}
+
+/// Whether the name is any callable the executor knows (scalar, table,
+/// cluster or aggregate) — used by upfront analysis so unknown functions
+/// error even over empty relations.
+pub fn is_known_function(name: &str) -> bool {
+    is_aggregate(name)
+        || is_table_function(name)
+        || is_cluster_function(name)
+        || name == "st_knn"
+        || matches!(
+            name,
+            "st_makepoint"
+                | "st_point"
+                | "st_makembr"
+                | "st_geomfromtext"
+                | "st_astext"
+                | "st_x"
+                | "st_y"
+                | "st_within"
+                | "st_intersects"
+                | "st_distance"
+                | "st_distancesphere"
+                | "st_distancem"
+                | "st_wgs84togcj02"
+                | "st_gcj02towgs84"
+                | "st_gcj02tobd09"
+                | "st_bd09togcj02"
+                | "st_trajnoisefilter"
+                | "abs"
+                | "lower"
+                | "upper"
+                | "length"
+                | "coalesce"
+                | "to_int"
+                | "to_float"
+                | "to_string"
+                | "long_to_date_ms"
+                | "lng_lat_to_point"
+        )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f(name: &str, vals: Vec<Value>) -> Value {
+        call(name, vals).unwrap()
+    }
+
+    #[test]
+    fn constructors_and_accessors() {
+        let p = f("st_makepoint", vec![Value::Float(116.4), Value::Float(39.9)]);
+        assert_eq!(f("st_x", vec![p.clone()]), Value::Float(116.4));
+        assert_eq!(f("st_y", vec![p.clone()]), Value::Float(39.9));
+        let wkt = f("st_astext", vec![p.clone()]);
+        assert_eq!(wkt.as_str(), Some("POINT (116.4 39.9)"));
+        let back = f("st_geomfromtext", vec![wkt]);
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    fn within_and_distance() {
+        let p = f("st_makepoint", vec![Value::Int(1), Value::Int(1)]);
+        let mbr = f(
+            "st_makembr",
+            vec![Value::Int(0), Value::Int(0), Value::Int(2), Value::Int(2)],
+        );
+        assert_eq!(f("st_within", vec![p.clone(), mbr.clone()]), Value::Bool(true));
+        let q = f("st_makepoint", vec![Value::Int(4), Value::Int(5)]);
+        assert_eq!(f("st_within", vec![q.clone(), mbr]), Value::Bool(false));
+        assert_eq!(f("st_distance", vec![p, q]), Value::Float(5.0));
+    }
+
+    #[test]
+    fn arithmetic_and_comparison_semantics() {
+        let e = |op, a, b| binary(op, a, b).unwrap();
+        assert_eq!(e(BinOp::Add, Value::Int(2), Value::Int(3)), Value::Int(5));
+        assert_eq!(e(BinOp::Mul, Value::Int(52), Value::Int(9)), Value::Int(468));
+        assert_eq!(
+            e(BinOp::Div, Value::Float(1.0), Value::Int(4)),
+            Value::Float(0.25)
+        );
+        assert!(binary(BinOp::Div, Value::Int(1), Value::Int(0)).is_err());
+        assert_eq!(e(BinOp::Add, Value::Null, Value::Int(1)), Value::Null);
+        assert_eq!(e(BinOp::Lt, Value::Int(1), Value::Float(1.5)), Value::Bool(true));
+        // NULL comparisons are false.
+        assert_eq!(e(BinOp::Eq, Value::Null, Value::Null), Value::Bool(false));
+        // String-number coercion (CSV filters).
+        assert_eq!(
+            e(BinOp::Eq, Value::Str("42".into()), Value::Int(42)),
+            Value::Bool(true)
+        );
+    }
+
+    #[test]
+    fn transforms_shift_points_in_china() {
+        let p = f(
+            "st_wgs84togcj02",
+            vec![Value::Float(116.404), Value::Float(39.915)],
+        );
+        match p {
+            Value::Geom(Geometry::Point(p)) => {
+                assert!((p.x - 116.404).abs() > 1e-4, "should be offset");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn noise_filter_function() {
+        let samples = vec![
+            just_compress::gps::GpsSample { lng: 116.0, lat: 39.0, time_ms: 0 },
+            just_compress::gps::GpsSample { lng: 118.0, lat: 39.0, time_ms: 1000 }, // teleport
+            just_compress::gps::GpsSample { lng: 116.0001, lat: 39.0, time_ms: 2000 },
+        ];
+        let out = f("st_trajnoisefilter", vec![Value::GpsList(samples)]);
+        assert_eq!(out.as_gps_list().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn table_functions_expand() {
+        let mut samples = Vec::new();
+        for i in 0..5 {
+            samples.push(just_compress::gps::GpsSample {
+                lng: 116.0 + i as f64 * 1e-4,
+                lat: 39.0,
+                time_ms: i * 1000,
+            });
+        }
+        // A big gap creates a second segment.
+        for i in 0..5 {
+            samples.push(just_compress::gps::GpsSample {
+                lng: 116.01 + i as f64 * 1e-4,
+                lat: 39.0,
+                time_ms: 3_600_000 + i * 1000,
+            });
+        }
+        let (cols, rows) = table_function("st_trajsegmentation", vec![Value::GpsList(samples)])
+            .unwrap()
+            .unwrap();
+        assert_eq!(cols, vec!["segment"]);
+        assert_eq!(rows.len(), 2);
+    }
+
+    #[test]
+    fn unknown_function_is_analyze_error() {
+        assert!(matches!(
+            call("no_such_fn", vec![]),
+            Err(QlError::Analyze(_))
+        ));
+    }
+
+    #[test]
+    fn column_resolution() {
+        let cols = vec!["a.x".to_string(), "b.y".to_string(), "z".to_string()];
+        assert_eq!(resolve_column("a.x", &cols).unwrap(), 0);
+        assert_eq!(resolve_column("x", &cols).unwrap(), 0);
+        assert_eq!(resolve_column("z", &cols).unwrap(), 2);
+        // Qualified name resolving to bare column.
+        assert_eq!(resolve_column("t.z", &cols).unwrap(), 2);
+        assert!(resolve_column("w", &cols).is_err());
+        let dup = vec!["a.x".to_string(), "b.x".to_string()];
+        assert!(resolve_column("x", &dup).is_err(), "ambiguous");
+    }
+}

@@ -1,0 +1,42 @@
+//! The tiny JSON subset used by `USERDATA { ... }` and `CONFIG { ... }`
+//! hints: string-keyed objects with string/number values (exactly what
+//! the paper's examples use), parsed from the SQL token stream.
+
+use std::collections::BTreeMap;
+
+/// A parsed hint object.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Json {
+    /// Key-value pairs (values kept as strings; callers parse further).
+    pub entries: BTreeMap<String, String>,
+}
+
+impl Json {
+    /// Empty object.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fetches a value.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.entries.get(key).map(|s| s.as_str())
+    }
+
+    /// Inserts a pair (for tests/builders).
+    pub fn set(&mut self, key: impl Into<String>, value: impl Into<String>) {
+        self.entries.insert(key.into(), value.into());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_access() {
+        let mut j = Json::new();
+        j.set("geomesa.indices.enabled", "z3");
+        assert_eq!(j.get("geomesa.indices.enabled"), Some("z3"));
+        assert_eq!(j.get("missing"), None);
+    }
+}

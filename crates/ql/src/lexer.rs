@@ -1,0 +1,216 @@
+//! The JustQL lexer.
+
+use crate::error::QlError;
+use crate::Result;
+
+/// One lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Identifier or keyword (keywords are matched case-insensitively by
+    /// the parser).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Single-quoted string literal (quotes stripped, `''` unescaped).
+    Str(String),
+    /// Punctuation / operator.
+    Punct(&'static str),
+}
+
+impl Token {
+    /// The token rendered for error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            Token::Ident(s) => format!("identifier '{s}'"),
+            Token::Int(v) => format!("integer {v}"),
+            Token::Float(v) => format!("float {v}"),
+            Token::Str(s) => format!("string '{s}'"),
+            Token::Punct(p) => format!("'{p}'"),
+        }
+    }
+
+    /// Whether this is the given keyword (case-insensitive).
+    pub fn is_kw(&self, kw: &str) -> bool {
+        matches!(self, Token::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+}
+
+const PUNCTS: &[&str] = &[
+    "<=", ">=", "!=", "<>", "::", "(", ")", ",", ";", "*", "=", "<", ">", "+", "-", "/", "%",
+    ".", "{", "}", ":",
+];
+
+/// Tokenizes a JustQL statement.
+pub fn tokenize(input: &str) -> Result<Vec<Token>> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    'outer: while i < bytes.len() {
+        let c = bytes[i] as char;
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Line comments.
+        if c == '-' && bytes.get(i + 1) == Some(&b'-') {
+            while i < bytes.len() && bytes[i] != b'\n' {
+                i += 1;
+            }
+            continue;
+        }
+        // String literal.
+        if c == '\'' {
+            let mut s = String::new();
+            i += 1;
+            loop {
+                match bytes.get(i) {
+                    None => return Err(QlError::Lex("unterminated string".into())),
+                    Some(b'\'') if bytes.get(i + 1) == Some(&b'\'') => {
+                        s.push('\'');
+                        i += 2;
+                    }
+                    Some(b'\'') => {
+                        i += 1;
+                        break;
+                    }
+                    Some(&b) => {
+                        s.push(b as char);
+                        i += 1;
+                    }
+                }
+            }
+            tokens.push(Token::Str(s));
+            continue;
+        }
+        // Number.
+        if c.is_ascii_digit()
+            || (c == '.' && bytes.get(i + 1).map(|b| b.is_ascii_digit()).unwrap_or(false))
+        {
+            let start = i;
+            let mut saw_dot = false;
+            let mut saw_exp = false;
+            while i < bytes.len() {
+                let b = bytes[i] as char;
+                if b.is_ascii_digit() {
+                    i += 1;
+                } else if b == '.' && !saw_dot && !saw_exp {
+                    saw_dot = true;
+                    i += 1;
+                } else if (b == 'e' || b == 'E') && !saw_exp && i > start {
+                    saw_exp = true;
+                    i += 1;
+                    if matches!(bytes.get(i), Some(b'+') | Some(b'-')) {
+                        i += 1;
+                    }
+                } else {
+                    break;
+                }
+            }
+            let text = &input[start..i];
+            if saw_dot || saw_exp {
+                let v: f64 = text
+                    .parse()
+                    .map_err(|_| QlError::Lex(format!("bad number '{text}'")))?;
+                tokens.push(Token::Float(v));
+            } else {
+                let v: i64 = text
+                    .parse()
+                    .map_err(|_| QlError::Lex(format!("bad number '{text}'")))?;
+                tokens.push(Token::Int(v));
+            }
+            continue;
+        }
+        // Identifier / keyword.
+        if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            while i < bytes.len()
+                && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+            {
+                i += 1;
+            }
+            tokens.push(Token::Ident(input[start..i].to_string()));
+            continue;
+        }
+        // Punctuation (longest match first).
+        for p in PUNCTS {
+            if input[i..].starts_with(p) {
+                tokens.push(Token::Punct(p));
+                i += p.len();
+                continue 'outer;
+            }
+        }
+        return Err(QlError::Lex(format!("unexpected character '{c}'")));
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_statement() {
+        let t = tokenize("SELECT fid, geom FROM t WHERE fid = 52*9").unwrap();
+        assert_eq!(t[0], Token::Ident("SELECT".into()));
+        assert!(t[0].is_kw("select"));
+        assert_eq!(t[2], Token::Punct(","));
+        assert_eq!(t[8], Token::Punct("="));
+        assert_eq!(t[9], Token::Int(52));
+        assert_eq!(t[10], Token::Punct("*"));
+    }
+
+    #[test]
+    fn numbers_and_strings() {
+        let t = tokenize("1 2.5 1e3 2.5E-2 'it''s' ''").unwrap();
+        assert_eq!(
+            t,
+            vec![
+                Token::Int(1),
+                Token::Float(2.5),
+                Token::Float(1000.0),
+                Token::Float(0.025),
+                Token::Str("it's".into()),
+                Token::Str(String::new()),
+            ]
+        );
+    }
+
+    #[test]
+    fn multi_char_punct() {
+        let t = tokenize("a <= b >= c != d <> e :: f").unwrap();
+        assert!(t.contains(&Token::Punct("<=")));
+        assert!(t.contains(&Token::Punct(">=")));
+        assert!(t.contains(&Token::Punct("!=")));
+        assert!(t.contains(&Token::Punct("<>")));
+        assert!(t.contains(&Token::Punct("::")));
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let t = tokenize("SELECT 1 -- trailing comment\n, 2").unwrap();
+        assert_eq!(t.len(), 4);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(tokenize("'unterminated").is_err());
+        assert!(tokenize("SELECT @").is_err());
+    }
+
+    #[test]
+    fn json_hint_tokens() {
+        let t = tokenize("{'a': 'z3'}").unwrap();
+        assert_eq!(
+            t,
+            vec![
+                Token::Punct("{"),
+                Token::Str("a".into()),
+                Token::Punct(":"),
+                Token::Str("z3".into()),
+                Token::Punct("}"),
+            ]
+        );
+    }
+}

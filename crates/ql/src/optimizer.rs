@@ -1,0 +1,484 @@
+//! The rule-based SQL optimizer (Section VI, "SQL Optimize").
+//!
+//! Three rewrite rules, exactly the paper's list:
+//!
+//! 1. **Calculate constant expressions** — `fid = 52*9` becomes
+//!    `fid = 468`, `st_makeMBR(...)` becomes a rectangle literal.
+//! 2. **Push down selections** — spatio-temporal predicates
+//!    (`geom WITHIN <rect>`, `time BETWEEN a AND b`) and residual
+//!    predicates move through projections into the `Scan`, where the
+//!    storage layer turns them into index key ranges.
+//! 3. **Push down projections** — only the columns needed by filters,
+//!    sorts and outputs are retained at the scan.
+
+use crate::ast::{BinOp, Expr};
+use crate::functions::eval_const;
+use crate::plan::LogicalPlan;
+use crate::Result;
+use just_storage::Value;
+
+/// Runs all rules to fixpoint-ish (each rule once; they are confluent for
+/// the plans the parser produces).
+pub fn optimize(plan: LogicalPlan) -> Result<LogicalPlan> {
+    let plan = fold_constants(plan)?;
+    let plan = push_down_filters(plan)?;
+    let plan = push_down_projections(plan);
+    Ok(plan)
+}
+
+// ----------------------------------------------------------------------
+// Rule 1: constant folding
+// ----------------------------------------------------------------------
+
+/// Folds constant sub-expressions throughout the plan.
+fn fold_constants(plan: LogicalPlan) -> Result<LogicalPlan> {
+    map_exprs(plan, &mut fold_expr)
+}
+
+fn fold_expr(e: Expr) -> Result<Expr> {
+    // Fold children first.
+    let e = match e {
+        Expr::Binary { op, lhs, rhs } => Expr::Binary {
+            op,
+            lhs: Box::new(fold_expr(*lhs)?),
+            rhs: Box::new(fold_expr(*rhs)?),
+        },
+        Expr::Unary { not, expr } => Expr::Unary {
+            not,
+            expr: Box::new(fold_expr(*expr)?),
+        },
+        Expr::Func { name, args } => Expr::Func {
+            name,
+            args: args.into_iter().map(fold_expr).collect::<Result<_>>()?,
+        },
+        Expr::Between { expr, lo, hi } => Expr::Between {
+            expr: Box::new(fold_expr(*expr)?),
+            lo: Box::new(fold_expr(*lo)?),
+            hi: Box::new(fold_expr(*hi)?),
+        },
+        other => other,
+    };
+    if e.is_constant() && !matches!(e, Expr::Literal(_)) {
+        // Aggregates and errors are left in place for the executor.
+        if let Ok(v) = eval_const(&e) {
+            return Ok(Expr::Literal(v));
+        }
+    }
+    Ok(e)
+}
+
+fn map_exprs(plan: LogicalPlan, f: &mut impl FnMut(Expr) -> Result<Expr>) -> Result<LogicalPlan> {
+    Ok(match plan {
+        LogicalPlan::Filter { input, predicate } => LogicalPlan::Filter {
+            input: Box::new(map_exprs(*input, f)?),
+            predicate: f(predicate)?,
+        },
+        LogicalPlan::Project { input, items } => LogicalPlan::Project {
+            input: Box::new(map_exprs(*input, f)?),
+            items: items
+                .into_iter()
+                .map(|(e, n)| Ok((f(e)?, n)))
+                .collect::<Result<_>>()?,
+        },
+        LogicalPlan::Aggregate {
+            input,
+            group_by,
+            aggregates,
+        } => LogicalPlan::Aggregate {
+            input: Box::new(map_exprs(*input, f)?),
+            group_by: group_by
+                .into_iter()
+                .map(|(e, n)| Ok((f(e)?, n)))
+                .collect::<Result<_>>()?,
+            aggregates: aggregates
+                .into_iter()
+                .map(|(fun, e, n)| Ok((fun, f(e)?, n)))
+                .collect::<Result<_>>()?,
+        },
+        LogicalPlan::Sort { input, keys } => LogicalPlan::Sort {
+            input: Box::new(map_exprs(*input, f)?),
+            keys: keys
+                .into_iter()
+                .map(|(e, asc)| Ok((f(e)?, asc)))
+                .collect::<Result<_>>()?,
+        },
+        LogicalPlan::Limit { input, n } => LogicalPlan::Limit {
+            input: Box::new(map_exprs(*input, f)?),
+            n,
+        },
+        LogicalPlan::Join { left, right, on } => LogicalPlan::Join {
+            left: Box::new(map_exprs(*left, f)?),
+            right: Box::new(map_exprs(*right, f)?),
+            on: f(on)?,
+        },
+        leaf => leaf,
+    })
+}
+
+// ----------------------------------------------------------------------
+// Rule 2: selection pushdown
+// ----------------------------------------------------------------------
+
+fn push_down_filters(plan: LogicalPlan) -> Result<LogicalPlan> {
+    Ok(match plan {
+        LogicalPlan::Filter { input, predicate } => {
+            let input = push_down_filters(*input)?;
+            push_filter_into(input, predicate)?
+        }
+        LogicalPlan::Project { input, items } => LogicalPlan::Project {
+            input: Box::new(push_down_filters(*input)?),
+            items,
+        },
+        LogicalPlan::Aggregate {
+            input,
+            group_by,
+            aggregates,
+        } => LogicalPlan::Aggregate {
+            input: Box::new(push_down_filters(*input)?),
+            group_by,
+            aggregates,
+        },
+        LogicalPlan::Sort { input, keys } => LogicalPlan::Sort {
+            input: Box::new(push_down_filters(*input)?),
+            keys,
+        },
+        LogicalPlan::Limit { input, n } => LogicalPlan::Limit {
+            input: Box::new(push_down_filters(*input)?),
+            n,
+        },
+        LogicalPlan::Join { left, right, on } => LogicalPlan::Join {
+            left: Box::new(push_down_filters(*left)?),
+            right: Box::new(push_down_filters(*right)?),
+            on,
+        },
+        leaf => leaf,
+    })
+}
+
+fn push_filter_into(input: LogicalPlan, predicate: Expr) -> Result<LogicalPlan> {
+    match input {
+        // Through a pure-column projection (like the paper's example where
+        // the filter sinks through `SELECT * FROM t`).
+        LogicalPlan::Project { input, items }
+            if items
+                .iter()
+                .all(|(e, n)| matches!(e, Expr::Column(c) if c == n) || matches!(e, Expr::Star)) =>
+        {
+            let pushed = push_filter_into(*input, predicate)?;
+            Ok(LogicalPlan::Project {
+                input: Box::new(pushed),
+                items,
+            })
+        }
+        LogicalPlan::Scan {
+            table,
+            alias,
+            projection,
+            mut spatial,
+            mut time,
+            residual,
+        } => {
+            let mut leftovers: Vec<Expr> = Vec::new();
+            for conjunct in split_conjuncts(predicate) {
+                if spatial.is_none() {
+                    if let Some(hit) = match_spatial(&conjunct) {
+                        spatial = Some(hit);
+                        continue;
+                    }
+                }
+                if time.is_none() {
+                    if let Some(hit) = match_temporal(&conjunct) {
+                        time = Some(hit);
+                        continue;
+                    }
+                }
+                leftovers.push(conjunct);
+            }
+            let residual = merge_residual(residual, leftovers);
+            Ok(LogicalPlan::Scan {
+                table,
+                alias,
+                projection,
+                spatial,
+                time,
+                residual,
+            })
+        }
+        other => Ok(LogicalPlan::Filter {
+            input: Box::new(other),
+            predicate,
+        }),
+    }
+}
+
+fn split_conjuncts(e: Expr) -> Vec<Expr> {
+    match e {
+        Expr::Binary {
+            op: BinOp::And,
+            lhs,
+            rhs,
+        } => {
+            let mut out = split_conjuncts(*lhs);
+            out.extend(split_conjuncts(*rhs));
+            out
+        }
+        other => vec![other],
+    }
+}
+
+fn merge_residual(existing: Option<Expr>, leftovers: Vec<Expr>) -> Option<Expr> {
+    let mut all: Vec<Expr> = existing.into_iter().collect();
+    all.extend(leftovers);
+    all.into_iter().reduce(|a, b| Expr::Binary {
+        op: BinOp::And,
+        lhs: Box::new(a),
+        rhs: Box::new(b),
+    })
+}
+
+/// `geom WITHIN <rect literal>` (after constant folding).
+fn match_spatial(e: &Expr) -> Option<(String, just_geo::Rect)> {
+    if let Expr::Binary {
+        op: BinOp::Within,
+        lhs,
+        rhs,
+    } = e
+    {
+        if let (Expr::Column(col), Expr::Literal(Value::Geom(g))) = (lhs.as_ref(), rhs.as_ref()) {
+            return Some((col.clone(), g.mbr()));
+        }
+    }
+    // st_within(geom, <rect>)
+    if let Expr::Func { name, args } = e {
+        if name == "st_within" && args.len() == 2 {
+            if let (Expr::Column(col), Expr::Literal(Value::Geom(g))) = (&args[0], &args[1]) {
+                return Some((col.clone(), g.mbr()));
+            }
+        }
+    }
+    None
+}
+
+/// `time BETWEEN <a> AND <b>` or `(time >= a AND time <= b)` halves.
+fn match_temporal(e: &Expr) -> Option<(String, i64, i64)> {
+    if let Expr::Between { expr, lo, hi } = e {
+        if let (Expr::Column(col), Expr::Literal(a), Expr::Literal(b)) =
+            (expr.as_ref(), lo.as_ref(), hi.as_ref())
+        {
+            let a = a.as_date()?;
+            let b = b.as_date()?;
+            return Some((col.clone(), a.min(b), a.max(b)));
+        }
+    }
+    None
+}
+
+// ----------------------------------------------------------------------
+// Rule 3: projection pushdown
+// ----------------------------------------------------------------------
+
+fn push_down_projections(plan: LogicalPlan) -> LogicalPlan {
+    // Top-down: compute required columns; `None` = everything.
+    prune(plan, None)
+}
+
+fn prune(plan: LogicalPlan, required: Option<Vec<String>>) -> LogicalPlan {
+    match plan {
+        LogicalPlan::Project { input, items } => {
+            // An identity projection (`SELECT *`) adds nothing: elide it
+            // and pass the parent's requirement straight through — this is
+            // how the paper's Figure 8 subquery collapses.
+            if items.len() == 1 && matches!(items[0].0, Expr::Star) {
+                return prune(*input, required);
+            }
+            // Columns the projection itself needs (a Star needs all).
+            let mut needed = Vec::new();
+            let mut star = false;
+            for (e, _) in &items {
+                if matches!(e, Expr::Star) {
+                    star = true;
+                }
+                needed.extend(e.columns());
+            }
+            let child_req = if star { None } else { Some(needed) };
+            LogicalPlan::Project {
+                input: Box::new(prune(*input, child_req)),
+                items,
+            }
+        }
+        LogicalPlan::Filter { input, predicate } => {
+            let child_req = required.map(|mut r| {
+                r.extend(predicate.columns());
+                r
+            });
+            LogicalPlan::Filter {
+                input: Box::new(prune(*input, child_req)),
+                predicate,
+            }
+        }
+        LogicalPlan::Sort { input, keys } => {
+            let child_req = required.map(|mut r| {
+                for (e, _) in &keys {
+                    r.extend(e.columns());
+                }
+                r
+            });
+            LogicalPlan::Sort {
+                input: Box::new(prune(*input, child_req)),
+                keys,
+            }
+        }
+        LogicalPlan::Limit { input, n } => LogicalPlan::Limit {
+            input: Box::new(prune(*input, required)),
+            n,
+        },
+        LogicalPlan::Aggregate {
+            input,
+            group_by,
+            aggregates,
+        } => {
+            let mut needed = Vec::new();
+            for (e, _) in &group_by {
+                needed.extend(e.columns());
+            }
+            for (_, e, _) in &aggregates {
+                // count(*) needs no concrete column beyond the group keys;
+                // the scan still produces rows regardless.
+                if !matches!(e, Expr::Star) {
+                    needed.extend(e.columns());
+                }
+            }
+            LogicalPlan::Aggregate {
+                input: Box::new(prune(*input, Some(needed))),
+                group_by,
+                aggregates,
+            }
+        }
+        LogicalPlan::Scan {
+            table,
+            alias,
+            projection,
+            spatial,
+            time,
+            residual,
+        } => {
+            let projection = match (projection, required) {
+                (Some(p), _) => Some(p),
+                (None, Some(mut req)) => {
+                    // The scan itself also needs its pushed-down columns.
+                    if let Some((c, _)) = &spatial {
+                        req.push(c.clone());
+                    }
+                    if let Some((c, _, _)) = &time {
+                        req.push(c.clone());
+                    }
+                    if let Some(r) = &residual {
+                        req.extend(r.columns());
+                    }
+                    req.sort();
+                    req.dedup();
+                    Some(req)
+                }
+                (None, None) => None,
+            };
+            LogicalPlan::Scan {
+                table,
+                alias,
+                projection,
+                spatial,
+                time,
+                residual,
+            }
+        }
+        LogicalPlan::Join { left, right, on } => {
+            // Joins keep full inputs (qualified-name bookkeeping across
+            // pruned joins isn't worth the complexity at this scale).
+            let _ = &on;
+            LogicalPlan::Join {
+                left: Box::new(prune(*left, None)),
+                right: Box::new(prune(*right, None)),
+                on,
+            }
+        }
+        leaf => leaf,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use crate::Statement;
+
+    fn optimized(sql: &str) -> LogicalPlan {
+        match parse(sql).unwrap() {
+            Statement::Query(q) => optimize(LogicalPlan::from_select(&q).unwrap()).unwrap(),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn paper_figure8_pipeline() {
+        // The exact statement of Section VI.
+        let plan = optimized(
+            "SELECT name, geom FROM (SELECT * FROM tbl) t \
+             WHERE fid = 52*9 AND geom WITHIN st_makeMBR(1, 2, 3, 4) \
+             ORDER BY time",
+        );
+        let rendered = plan.render();
+        // Constant folding: no trace of 52*9 survives; pushdown: the scan
+        // carries the spatial window and the fid=468 residual; projection
+        // pushdown: the scan retains only the needed fields.
+        assert!(!rendered.contains("52"), "{rendered}");
+        assert!(rendered.contains("spatial=(geom within"), "{rendered}");
+        assert!(rendered.contains("+residual"), "{rendered}");
+        assert!(
+            rendered.contains(r#"project=["fid", "geom", "name", "time"]"#),
+            "{rendered}"
+        );
+        // No Filter node remains above the scan.
+        assert!(!rendered.contains("Filter"), "{rendered}");
+    }
+
+    #[test]
+    fn st_range_predicates_reach_the_scan() {
+        let plan = optimized(
+            "SELECT fid FROM t WHERE geom WITHIN st_makeMBR(1,2,3,4) \
+             AND time BETWEEN 100 AND 200",
+        );
+        let rendered = plan.render();
+        assert!(rendered.contains("spatial=(geom within"));
+        assert!(rendered.contains("time=(time in [100,200])"));
+        assert!(!rendered.contains("+residual"));
+    }
+
+    #[test]
+    fn non_pushable_predicates_stay_as_residual() {
+        let plan = optimized("SELECT a FROM t WHERE a > b + 1");
+        let rendered = plan.render();
+        assert!(rendered.contains("+residual"));
+    }
+
+    #[test]
+    fn constants_fold_in_projections() {
+        let plan = optimized("SELECT 1 + 2 * 3 AS x FROM t");
+        match plan {
+            LogicalPlan::Project { items, .. } => {
+                assert_eq!(items[0].0, Expr::Literal(Value::Int(7)));
+            }
+            other => panic!("{}", other.render()),
+        }
+    }
+
+    #[test]
+    fn filters_above_aggregates_do_not_sink() {
+        // HAVING-style filtering is expressed via subqueries; a filter
+        // above an aggregate must stay put.
+        let plan = optimized(
+            "SELECT n FROM (SELECT name, count(*) AS n FROM t GROUP BY name) s WHERE n > 5",
+        );
+        let rendered = plan.render();
+        assert!(rendered.contains("Filter"), "{rendered}");
+        assert!(rendered.contains("Aggregate"), "{rendered}");
+    }
+}

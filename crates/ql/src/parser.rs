@@ -1,0 +1,858 @@
+//! The JustQL recursive-descent parser (the repository's ANTLR).
+
+use crate::ast::*;
+use crate::error::QlError;
+use crate::json::Json;
+use crate::lexer::{tokenize, Token};
+use crate::Result;
+use just_storage::Value;
+
+/// Parses a standalone expression (used for `LOAD ... CONFIG` mappings
+/// and `FILTER` strings).
+pub fn parse_expr(text: &str) -> Result<Expr> {
+    let tokens = tokenize(text)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let e = p.expr()?;
+    if p.pos != p.tokens.len() {
+        return Err(p.err("trailing tokens after expression"));
+    }
+    Ok(e)
+}
+
+/// Parses one JustQL statement.
+pub fn parse(sql: &str) -> Result<Statement> {
+    let tokens = tokenize(sql)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let stmt = p.statement()?;
+    p.eat_punct(";").ok();
+    if p.pos != p.tokens.len() {
+        return Err(p.err("trailing tokens after statement"));
+    }
+    Ok(stmt)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn err(&self, msg: &str) -> QlError {
+        let at = self
+            .tokens
+            .get(self.pos)
+            .map(|t| t.describe())
+            .unwrap_or_else(|| "end of input".to_string());
+        QlError::Parse(format!("{msg} (at {at})"))
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn advance(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn peek_kw(&self, kw: &str) -> bool {
+        self.peek().map(|t| t.is_kw(kw)).unwrap_or(false)
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.peek_kw(kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<()> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected {kw}")))
+        }
+    }
+
+    fn peek_punct(&self, p: &str) -> bool {
+        matches!(self.peek(), Some(Token::Punct(x)) if *x == p)
+    }
+
+    fn eat_punct(&mut self, p: &str) -> Result<()> {
+        if self.peek_punct(p) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{p}'")))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        match self.advance() {
+            Some(Token::Ident(s)) => Ok(s),
+            _ => {
+                self.pos = self.pos.saturating_sub(1);
+                Err(self.err("expected identifier"))
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String> {
+        match self.advance() {
+            Some(Token::Str(s)) => Ok(s),
+            _ => {
+                self.pos = self.pos.saturating_sub(1);
+                Err(self.err("expected string literal"))
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Statements
+    // ------------------------------------------------------------------
+
+    fn statement(&mut self) -> Result<Statement> {
+        if self.eat_kw("create") {
+            return self.create();
+        }
+        if self.eat_kw("drop") {
+            let view = if self.eat_kw("view") {
+                true
+            } else {
+                self.expect_kw("table")?;
+                false
+            };
+            let name = self.ident()?;
+            return Ok(Statement::Drop { view, name });
+        }
+        if self.eat_kw("show") {
+            let views = if self.eat_kw("views") {
+                true
+            } else {
+                self.expect_kw("tables")?;
+                false
+            };
+            return Ok(Statement::Show { views });
+        }
+        if self.eat_kw("desc") || self.eat_kw("describe") {
+            // Optional TABLE/VIEW keyword.
+            let _ = self.eat_kw("table") || self.eat_kw("view");
+            let name = self.ident()?;
+            return Ok(Statement::Desc { name });
+        }
+        if self.eat_kw("insert") {
+            self.expect_kw("into")?;
+            let table = self.ident()?;
+            self.expect_kw("values")?;
+            let mut rows = Vec::new();
+            loop {
+                self.eat_punct("(")?;
+                let mut row = Vec::new();
+                loop {
+                    row.push(self.expr()?);
+                    if !self.peek_punct(",") {
+                        break;
+                    }
+                    self.eat_punct(",")?;
+                }
+                self.eat_punct(")")?;
+                rows.push(row);
+                if !self.peek_punct(",") {
+                    break;
+                }
+                self.eat_punct(",")?;
+            }
+            return Ok(Statement::Insert { table, rows });
+        }
+        if self.eat_kw("load") {
+            // LOAD csv:'path' TO [geomesa:]table CONFIG {...} [FILTER '...']
+            let scheme = self.ident()?;
+            self.eat_punct(":")?;
+            let path = match self.advance() {
+                Some(Token::Str(s)) => s,
+                Some(Token::Ident(s)) => s,
+                _ => return Err(self.err("expected source path")),
+            };
+            self.expect_kw("to")?;
+            let mut table = self.ident()?;
+            if self.peek_punct(":") {
+                // `geomesa:tableName` — drop the scheme.
+                self.eat_punct(":")?;
+                table = self.ident()?;
+            }
+            self.expect_kw("config")?;
+            let config = self.json()?;
+            let filter = if self.eat_kw("filter") {
+                Some(self.string()?)
+            } else {
+                None
+            };
+            return Ok(Statement::Load {
+                source: format!("{scheme}:{path}"),
+                table,
+                config,
+                filter,
+            });
+        }
+        if self.eat_kw("store") {
+            self.expect_kw("view")?;
+            let view = self.ident()?;
+            self.expect_kw("to")?;
+            self.expect_kw("table")?;
+            let table = self.ident()?;
+            return Ok(Statement::StoreView { view, table });
+        }
+        if self.peek_kw("select") {
+            let q = self.select()?;
+            return Ok(Statement::Query(Box::new(q)));
+        }
+        Err(self.err("expected a statement"))
+    }
+
+    fn create(&mut self) -> Result<Statement> {
+        if self.eat_kw("view") {
+            let name = self.ident()?;
+            self.expect_kw("as")?;
+            let query = self.select()?;
+            return Ok(Statement::CreateView {
+                name,
+                query: Box::new(query),
+            });
+        }
+        self.expect_kw("table")?;
+        let name = self.ident()?;
+        if self.eat_kw("as") {
+            let plugin = self.ident()?;
+            let userdata = self.opt_userdata()?;
+            return Ok(Statement::CreatePluginTable {
+                name,
+                plugin,
+                userdata,
+            });
+        }
+        self.eat_punct("(")?;
+        let mut columns = Vec::new();
+        loop {
+            let col_name = self.ident()?;
+            let type_name = self.ident()?;
+            let mut options = Vec::new();
+            while self.peek_punct(":") {
+                self.eat_punct(":")?;
+                let mut opt = self.ident()?;
+                // `primary key` is two idents; `srid=4326` is ident=value.
+                if opt.eq_ignore_ascii_case("primary") && self.eat_kw("key") {
+                    opt = "primary key".to_string();
+                } else if self.peek_punct("=") {
+                    self.eat_punct("=")?;
+                    let value = match self.advance() {
+                        Some(Token::Ident(s)) => s,
+                        Some(Token::Int(v)) => v.to_string(),
+                        Some(Token::Str(s)) => s,
+                        _ => return Err(self.err("expected option value")),
+                    };
+                    opt = format!("{opt}={value}");
+                }
+                options.push(opt);
+            }
+            columns.push(ColumnDef {
+                name: col_name,
+                type_name,
+                options,
+            });
+            if !self.peek_punct(",") {
+                break;
+            }
+            self.eat_punct(",")?;
+        }
+        self.eat_punct(")")?;
+        let userdata = self.opt_userdata()?;
+        Ok(Statement::CreateTable {
+            name,
+            columns,
+            userdata,
+        })
+    }
+
+    fn opt_userdata(&mut self) -> Result<Option<Json>> {
+        if self.eat_kw("userdata") {
+            Ok(Some(self.json()?))
+        } else {
+            Ok(None)
+        }
+    }
+
+    fn json(&mut self) -> Result<Json> {
+        self.eat_punct("{")?;
+        let mut json = Json::new();
+        if !self.peek_punct("}") {
+            loop {
+                let key = self.string()?;
+                self.eat_punct(":")?;
+                let value = match self.advance() {
+                    Some(Token::Str(s)) => s,
+                    Some(Token::Int(v)) => v.to_string(),
+                    Some(Token::Float(v)) => v.to_string(),
+                    Some(Token::Ident(s)) => s,
+                    _ => return Err(self.err("expected hint value")),
+                };
+                json.set(key, value);
+                if !self.peek_punct(",") {
+                    break;
+                }
+                self.eat_punct(",")?;
+            }
+        }
+        self.eat_punct("}")?;
+        Ok(json)
+    }
+
+    // ------------------------------------------------------------------
+    // SELECT
+    // ------------------------------------------------------------------
+
+    fn select(&mut self) -> Result<Select> {
+        self.expect_kw("select")?;
+        let mut items = Vec::new();
+        loop {
+            let expr = self.expr()?;
+            let alias = if self.eat_kw("as") {
+                Some(self.ident()?)
+            } else if let Some(Token::Ident(s)) = self.peek() {
+                // Bare alias, unless it's a clause keyword.
+                let lowered = s.to_ascii_lowercase();
+                const CLAUSES: &[&str] = &[
+                    "from", "where", "group", "order", "limit", "join", "on", "as",
+                ];
+                if CLAUSES.contains(&lowered.as_str()) {
+                    None
+                } else {
+                    Some(self.ident()?)
+                }
+            } else {
+                None
+            };
+            items.push(SelectItem { expr, alias });
+            if !self.peek_punct(",") {
+                break;
+            }
+            self.eat_punct(",")?;
+        }
+        let from = if self.eat_kw("from") {
+            Some(self.from_item()?)
+        } else {
+            None
+        };
+        let join = if self.eat_kw("join") {
+            let right = self.from_item()?;
+            self.expect_kw("on")?;
+            let on = self.expr()?;
+            Some((right, on))
+        } else {
+            None
+        };
+        let where_clause = if self.eat_kw("where") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        let mut group_by = Vec::new();
+        if self.eat_kw("group") {
+            self.expect_kw("by")?;
+            loop {
+                group_by.push(self.expr()?);
+                if !self.peek_punct(",") {
+                    break;
+                }
+                self.eat_punct(",")?;
+            }
+        }
+        let mut order_by = Vec::new();
+        if self.eat_kw("order") {
+            self.expect_kw("by")?;
+            loop {
+                let e = self.expr()?;
+                let asc = if self.eat_kw("desc") {
+                    false
+                } else {
+                    self.eat_kw("asc");
+                    true
+                };
+                order_by.push((e, asc));
+                if !self.peek_punct(",") {
+                    break;
+                }
+                self.eat_punct(",")?;
+            }
+        }
+        let limit = if self.eat_kw("limit") {
+            match self.advance() {
+                Some(Token::Int(v)) if v >= 0 => Some(v as usize),
+                _ => return Err(self.err("expected LIMIT count")),
+            }
+        } else {
+            None
+        };
+        Ok(Select {
+            items,
+            from,
+            join,
+            where_clause,
+            group_by,
+            order_by,
+            limit,
+        })
+    }
+
+    fn from_item(&mut self) -> Result<FromItem> {
+        if self.peek_punct("(") {
+            self.eat_punct("(")?;
+            let query = self.select()?;
+            self.eat_punct(")")?;
+            let alias = self.opt_alias()?;
+            return Ok(FromItem::Subquery {
+                query: Box::new(query),
+                alias,
+            });
+        }
+        let name = self.ident()?;
+        let alias = self.opt_alias()?;
+        Ok(FromItem::Table { name, alias })
+    }
+
+    fn opt_alias(&mut self) -> Result<Option<String>> {
+        if self.eat_kw("as") {
+            return Ok(Some(self.ident()?));
+        }
+        if let Some(Token::Ident(s)) = self.peek() {
+            let lowered = s.to_ascii_lowercase();
+            const CLAUSES: &[&str] = &[
+                "where", "group", "order", "limit", "join", "on", "select", "from",
+            ];
+            if !CLAUSES.contains(&lowered.as_str()) {
+                return Ok(Some(self.ident()?));
+            }
+        }
+        Ok(None)
+    }
+
+    // ------------------------------------------------------------------
+    // Expressions (precedence climbing)
+    // ------------------------------------------------------------------
+
+    fn expr(&mut self) -> Result<Expr> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.and_expr()?;
+        while self.eat_kw("or") {
+            let rhs = self.and_expr()?;
+            lhs = Expr::Binary {
+                op: BinOp::Or,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.not_expr()?;
+        while self.eat_kw("and") {
+            let rhs = self.not_expr()?;
+            lhs = Expr::Binary {
+                op: BinOp::And,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn not_expr(&mut self) -> Result<Expr> {
+        if self.eat_kw("not") {
+            let e = self.not_expr()?;
+            return Ok(Expr::Unary {
+                not: true,
+                expr: Box::new(e),
+            });
+        }
+        self.comparison()
+    }
+
+    fn comparison(&mut self) -> Result<Expr> {
+        let lhs = self.additive()?;
+        // BETWEEN ... AND ...
+        if self.eat_kw("between") {
+            let lo = self.additive()?;
+            self.expect_kw("and")?;
+            let hi = self.additive()?;
+            return Ok(Expr::Between {
+                expr: Box::new(lhs),
+                lo: Box::new(lo),
+                hi: Box::new(hi),
+            });
+        }
+        // geom WITHIN mbr
+        if self.eat_kw("within") {
+            let rhs = self.additive()?;
+            return Ok(Expr::Binary {
+                op: BinOp::Within,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            });
+        }
+        // geom IN st_KNN(...)
+        if self.eat_kw("in") {
+            let func = self.additive()?;
+            if !matches!(func, Expr::Func { .. }) {
+                return Err(self.err("IN requires a generator function like st_KNN"));
+            }
+            return Ok(Expr::InFunc {
+                expr: Box::new(lhs),
+                func: Box::new(func),
+            });
+        }
+        let op = match self.peek() {
+            Some(Token::Punct("=")) => Some(BinOp::Eq),
+            Some(Token::Punct("!=")) | Some(Token::Punct("<>")) => Some(BinOp::Ne),
+            Some(Token::Punct("<")) => Some(BinOp::Lt),
+            Some(Token::Punct("<=")) => Some(BinOp::Le),
+            Some(Token::Punct(">")) => Some(BinOp::Gt),
+            Some(Token::Punct(">=")) => Some(BinOp::Ge),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.advance();
+            let rhs = self.additive()?;
+            return Ok(Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            });
+        }
+        Ok(lhs)
+    }
+
+    fn additive(&mut self) -> Result<Expr> {
+        let mut lhs = self.multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Punct("+")) => BinOp::Add,
+                Some(Token::Punct("-")) => BinOp::Sub,
+                _ => break,
+            };
+            self.advance();
+            let rhs = self.multiplicative()?;
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn multiplicative(&mut self) -> Result<Expr> {
+        let mut lhs = self.unary()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Punct("*")) => BinOp::Mul,
+                Some(Token::Punct("/")) => BinOp::Div,
+                Some(Token::Punct("%")) => BinOp::Mod,
+                _ => break,
+            };
+            self.advance();
+            let rhs = self.unary()?;
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Expr> {
+        if self.peek_punct("-") {
+            self.advance();
+            let e = self.unary()?;
+            return Ok(Expr::Unary {
+                not: false,
+                expr: Box::new(e),
+            });
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<Expr> {
+        match self.advance() {
+            Some(Token::Int(v)) => Ok(Expr::Literal(Value::Int(v))),
+            Some(Token::Float(v)) => Ok(Expr::Literal(Value::Float(v))),
+            Some(Token::Str(s)) => Ok(Expr::Literal(Value::Str(s))),
+            Some(Token::Punct("*")) => Ok(Expr::Star),
+            Some(Token::Punct("(")) => {
+                let e = self.expr()?;
+                self.eat_punct(")")?;
+                Ok(e)
+            }
+            Some(Token::Ident(name)) => {
+                let lowered = name.to_ascii_lowercase();
+                match lowered.as_str() {
+                    "true" => return Ok(Expr::Literal(Value::Bool(true))),
+                    "false" => return Ok(Expr::Literal(Value::Bool(false))),
+                    "null" => return Ok(Expr::Literal(Value::Null)),
+                    // Clause keywords can never be bare column references;
+                    // catching them here turns `SELECT FROM` into a clean
+                    // syntax error instead of a bogus column.
+                    "select" | "from" | "where" | "group" | "order" | "limit" | "join"
+                    | "on" | "by" | "values" | "insert" | "create" | "drop" | "between"
+                    | "within" | "and" | "or" | "not" => {
+                        self.pos -= 1;
+                        return Err(self.err("expected expression"));
+                    }
+                    _ => {}
+                }
+                if self.peek_punct("(") {
+                    self.eat_punct("(")?;
+                    let mut args = Vec::new();
+                    if !self.peek_punct(")") {
+                        loop {
+                            args.push(self.expr()?);
+                            if !self.peek_punct(",") {
+                                break;
+                            }
+                            self.eat_punct(",")?;
+                        }
+                    }
+                    self.eat_punct(")")?;
+                    return Ok(Expr::Func {
+                        name: lowered,
+                        args,
+                    });
+                }
+                if self.peek_punct(".") {
+                    self.eat_punct(".")?;
+                    if self.peek_punct("*") {
+                        self.advance();
+                        return Ok(Expr::Star);
+                    }
+                    let col = self.ident()?;
+                    return Ok(Expr::Column(format!("{name}.{col}")));
+                }
+                Ok(Expr::Column(name))
+            }
+            other => {
+                self.pos = self.pos.saturating_sub(1);
+                Err(QlError::Parse(format!(
+                    "expected expression, found {}",
+                    other
+                        .map(|t| t.describe())
+                        .unwrap_or_else(|| "end of input".into())
+                )))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_create_table_paper_example() {
+        let sql = "CREATE TABLE t (
+            fid integer:primary key,
+            name string,
+            time date,
+            geom point:srid=4326,
+            gpsList st_series:compress=gzip
+        ) USERDATA {'geomesa.indices.enabled':'z3'}";
+        match parse(sql).unwrap() {
+            Statement::CreateTable {
+                name,
+                columns,
+                userdata,
+            } => {
+                assert_eq!(name, "t");
+                assert_eq!(columns.len(), 5);
+                assert_eq!(columns[0].options, vec!["primary key"]);
+                assert_eq!(columns[3].options, vec!["srid=4326"]);
+                assert_eq!(columns[4].options, vec!["compress=gzip"]);
+                assert_eq!(
+                    userdata.unwrap().get("geomesa.indices.enabled"),
+                    Some("z3")
+                );
+            }
+            other => panic!("wrong statement {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_plugin_table() {
+        match parse("CREATE TABLE tr AS trajectory").unwrap() {
+            Statement::CreatePluginTable { name, plugin, .. } => {
+                assert_eq!(name, "tr");
+                assert_eq!(plugin, "trajectory");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_paper_select() {
+        let sql = "SELECT name, geom FROM (SELECT * FROM t1) t \
+                   WHERE fid=52*9 AND geom WITHIN st_makeMBR(1, 2, 3, 4) \
+                   ORDER BY time";
+        match parse(sql).unwrap() {
+            Statement::Query(q) => {
+                assert_eq!(q.items.len(), 2);
+                assert!(matches!(q.from, Some(FromItem::Subquery { .. })));
+                assert!(q.where_clause.is_some());
+                assert_eq!(q.order_by.len(), 1);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_st_range_query() {
+        let sql = "SELECT fid FROM t WHERE geom WITHIN st_makeMBR(1,2,3,4) \
+                   AND time BETWEEN 100 AND 200";
+        match parse(sql).unwrap() {
+            Statement::Query(q) => {
+                let w = q.where_clause.unwrap();
+                match w {
+                    Expr::Binary { op: BinOp::And, lhs, rhs } => {
+                        assert!(matches!(*lhs, Expr::Binary { op: BinOp::Within, .. }));
+                        assert!(matches!(*rhs, Expr::Between { .. }));
+                    }
+                    other => panic!("{other:?}"),
+                }
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_knn_query() {
+        let sql = "SELECT fid FROM t WHERE geom IN st_KNN(st_makePoint(116.4, 39.9), 50)";
+        match parse(sql).unwrap() {
+            Statement::Query(q) => {
+                assert!(matches!(q.where_clause, Some(Expr::InFunc { .. })));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_insert_multi_row() {
+        let sql = "INSERT INTO t VALUES (1, 'a', st_makePoint(1,2)), (2, 'b', null)";
+        match parse(sql).unwrap() {
+            Statement::Insert { table, rows } => {
+                assert_eq!(table, "t");
+                assert_eq!(rows.len(), 2);
+                assert_eq!(rows[0].len(), 3);
+                assert_eq!(rows[1][2], Expr::Literal(Value::Null));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_group_order_limit() {
+        let sql = "SELECT name, count(*) AS n FROM t GROUP BY name \
+                   ORDER BY n DESC, name LIMIT 10";
+        match parse(sql).unwrap() {
+            Statement::Query(q) => {
+                assert_eq!(q.group_by.len(), 1);
+                assert_eq!(q.order_by.len(), 2);
+                assert!(!q.order_by[0].1, "first key is DESC");
+                assert!(q.order_by[1].1);
+                assert_eq!(q.limit, Some(10));
+                assert_eq!(q.items[1].alias.as_deref(), Some("n"));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_join() {
+        let sql = "SELECT a.x, b.y FROM ta a JOIN tb b ON a.k = b.k";
+        match parse(sql).unwrap() {
+            Statement::Query(q) => {
+                assert!(q.join.is_some());
+                let (item, on) = q.join.unwrap();
+                assert!(matches!(item, FromItem::Table { ref alias, .. } if alias.as_deref() == Some("b")));
+                assert!(matches!(on, Expr::Binary { op: BinOp::Eq, .. }));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_load() {
+        let sql = "LOAD csv:'/data/orders.csv' TO geomesa:orders CONFIG {
+            'fid': 'to_int(id)',
+            'geom': 'lng_lat_to_point(lng, lat)'
+        } FILTER 'city = ''beijing'''";
+        match parse(sql).unwrap() {
+            Statement::Load {
+                source,
+                table,
+                config,
+                filter,
+            } => {
+                assert_eq!(source, "csv:/data/orders.csv");
+                assert_eq!(table, "orders");
+                assert_eq!(config.get("fid"), Some("to_int(id)"));
+                assert_eq!(filter.as_deref(), Some("city = 'beijing'"));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_misc_statements() {
+        assert!(matches!(parse("SHOW TABLES").unwrap(), Statement::Show { views: false }));
+        assert!(matches!(parse("SHOW VIEWS").unwrap(), Statement::Show { views: true }));
+        assert!(matches!(parse("DROP VIEW v").unwrap(), Statement::Drop { view: true, .. }));
+        assert!(matches!(parse("DESC TABLE t").unwrap(), Statement::Desc { .. }));
+        assert!(matches!(
+            parse("STORE VIEW v TO TABLE t").unwrap(),
+            Statement::StoreView { .. }
+        ));
+        assert!(matches!(
+            parse("CREATE VIEW v AS SELECT 1").unwrap(),
+            Statement::CreateView { .. }
+        ));
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(parse("SELECT FROM").is_err());
+        assert!(parse("CREATE TABLE").is_err());
+        assert!(parse("SELECT 1 extra garbage, ,").is_err());
+        assert!(parse("INSERT INTO t VALUES 1, 2").is_err());
+        assert!(parse("SELECT a WHERE geom IN 5").is_err());
+    }
+
+    #[test]
+    fn operator_precedence() {
+        // 1 + 2 * 3 parses as 1 + (2 * 3)
+        match parse("SELECT 1 + 2 * 3").unwrap() {
+            Statement::Query(q) => match &q.items[0].expr {
+                Expr::Binary { op: BinOp::Add, rhs, .. } => {
+                    assert!(matches!(**rhs, Expr::Binary { op: BinOp::Mul, .. }));
+                }
+                other => panic!("{other:?}"),
+            },
+            other => panic!("{other:?}"),
+        }
+    }
+}

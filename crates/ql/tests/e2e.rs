@@ -1,0 +1,365 @@
+//! End-to-end JustQL tests: every statement class from the paper, run
+//! against a real engine instance.
+
+use just_core::{Engine, EngineConfig, SessionManager};
+use just_ql::Client;
+use just_storage::Value;
+use std::sync::Arc;
+
+const HOUR_MS: i64 = 3_600_000;
+
+fn client(name: &str) -> (Client, std::path::PathBuf) {
+    let dir = std::env::temp_dir().join(format!(
+        "just-ql-e2e-{name}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+    let engine = Arc::new(Engine::open(&dir, EngineConfig::default()).unwrap());
+    let sessions = SessionManager::new(engine);
+    (Client::new(sessions.session("e2e")), dir)
+}
+
+fn setup_orders(c: &mut Client) {
+    c.execute(
+        "CREATE TABLE orders (fid integer:primary key, name string, \
+         time date, geom point:srid=4326)",
+    )
+    .unwrap();
+    // A 10x10 grid of orders over Beijing across 48 half-hours.
+    let mut values = Vec::new();
+    for i in 0..100i64 {
+        let lng = 116.0 + (i % 10) as f64 * 0.01;
+        let lat = 39.0 + (i / 10) as f64 * 0.01;
+        let t = i * HOUR_MS / 2;
+        values.push(format!(
+            "({i}, 'order-{i}', {t}, st_makePoint({lng}, {lat}))"
+        ));
+    }
+    c.execute(&format!("INSERT INTO orders VALUES {}", values.join(", ")))
+        .unwrap();
+}
+
+#[test]
+fn ddl_lifecycle() {
+    let (mut c, dir) = client("ddl");
+    c.execute("CREATE TABLE t1 (fid integer:primary key, geom point)")
+        .unwrap();
+    c.execute("CREATE TABLE tr AS trajectory").unwrap();
+    let tables = c.execute("SHOW TABLES").unwrap();
+    let names: Vec<String> = tables
+        .dataset()
+        .unwrap()
+        .rows
+        .iter()
+        .map(|r| r.values[0].as_str().unwrap().to_string())
+        .collect();
+    assert_eq!(names, vec!["t1", "tr"]);
+    let desc = c.execute("DESC TABLE tr").unwrap();
+    let d = desc.dataset().unwrap();
+    assert_eq!(d.columns, vec!["field", "type", "options"]);
+    assert!(d
+        .rows
+        .iter()
+        .any(|r| r.values[0].as_str() == Some("gps_list")
+            && r.values[2].as_str().unwrap().contains("compress=gzip")));
+    c.execute("DROP TABLE t1").unwrap();
+    assert!(c.execute("DESC TABLE t1").is_err());
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn spatial_range_query_via_sql() {
+    let (mut c, dir) = client("spatial");
+    setup_orders(&mut c);
+    let r = c
+        .execute(
+            "SELECT fid, name FROM orders WHERE geom WITHIN \
+             st_makeMBR(115.995, 38.995, 116.025, 39.025)",
+        )
+        .unwrap();
+    let d = r.into_dataset().unwrap();
+    // 3x3 grid cells qualify.
+    assert_eq!(d.len(), 9);
+    assert_eq!(d.columns, vec!["fid", "name"]);
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn st_range_query_via_sql() {
+    let (mut c, dir) = client("strange");
+    setup_orders(&mut c);
+    let all = c
+        .execute(
+            "SELECT fid FROM orders WHERE geom WITHIN \
+             st_makeMBR(115.9, 38.9, 116.2, 39.2)",
+        )
+        .unwrap()
+        .into_dataset()
+        .unwrap();
+    let windowed = c
+        .execute(&format!(
+            "SELECT fid FROM orders WHERE geom WITHIN \
+             st_makeMBR(115.9, 38.9, 116.2, 39.2) AND time BETWEEN 0 AND {}",
+            10 * HOUR_MS
+        ))
+        .unwrap()
+        .into_dataset()
+        .unwrap();
+    assert_eq!(all.len(), 100);
+    assert!(windowed.len() < all.len());
+    assert_eq!(windowed.len(), 21, "t in [0, 10h] at 30min spacing");
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn knn_query_via_sql() {
+    let (mut c, dir) = client("knn");
+    setup_orders(&mut c);
+    let r = c
+        .execute(
+            "SELECT fid, distance FROM orders \
+             WHERE geom IN st_KNN(st_makePoint(116.0, 39.0), 5)",
+        )
+        .unwrap()
+        .into_dataset()
+        .unwrap();
+    assert_eq!(r.len(), 5);
+    // Nearest is order 0 at exactly the query point.
+    assert_eq!(r.rows[0].values[0], Value::Int(0));
+    assert_eq!(r.rows[0].values[1], Value::Float(0.0));
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn views_and_aggregates() {
+    let (mut c, dir) = client("views");
+    setup_orders(&mut c);
+    c.execute(
+        "CREATE VIEW beijing AS SELECT * FROM orders WHERE geom WITHIN \
+         st_makeMBR(115.9, 38.9, 116.05, 39.2)",
+    )
+    .unwrap();
+    let shown = c.execute("SHOW VIEWS").unwrap().into_dataset().unwrap();
+    assert_eq!(shown.len(), 1);
+    // Aggregate over the view ("one query, multiple usages").
+    let agg = c
+        .execute("SELECT count(*) AS n, min(fid) AS lo, max(fid) AS hi FROM beijing")
+        .unwrap()
+        .into_dataset()
+        .unwrap();
+    assert_eq!(agg.rows[0].values[0], Value::Int(60));
+    assert_eq!(agg.rows[0].values[1], Value::Int(0));
+    // Store the view into a new table and query it back.
+    c.execute("STORE VIEW beijing TO TABLE beijing_orders")
+        .unwrap();
+    let back = c
+        .execute("SELECT count(*) AS n FROM beijing_orders")
+        .unwrap()
+        .into_dataset()
+        .unwrap();
+    assert_eq!(back.rows[0].values[0], Value::Int(60));
+    c.execute("DROP VIEW beijing").unwrap();
+    assert!(c.execute("SELECT * FROM beijing").is_err());
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn group_by_order_limit() {
+    let (mut c, dir) = client("groupby");
+    setup_orders(&mut c);
+    // Group by longitude column (10 groups of 10).
+    let r = c
+        .execute(
+            "SELECT st_x(geom) AS lng, count(*) AS n FROM orders \
+             GROUP BY st_x(geom) ORDER BY n DESC, lng LIMIT 3",
+        )
+        .unwrap()
+        .into_dataset()
+        .unwrap();
+    assert_eq!(r.len(), 3);
+    for row in &r.rows {
+        assert_eq!(row.values[1], Value::Int(10));
+    }
+    // Ties broken ascending by lng.
+    let lngs: Vec<f64> = r.rows.iter().map(|r| r.values[0].as_float().unwrap()).collect();
+    assert!(lngs.windows(2).all(|w| w[0] <= w[1]));
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn join_via_sql() {
+    let (mut c, dir) = client("join");
+    c.execute("CREATE TABLE a (k integer:primary key, x string)")
+        .unwrap();
+    c.execute("CREATE TABLE b (k integer:primary key, y string)")
+        .unwrap();
+    c.execute("INSERT INTO a VALUES (1, 'a1'), (2, 'a2'), (3, 'a3')")
+        .unwrap();
+    c.execute("INSERT INTO b VALUES (2, 'b2'), (3, 'b3'), (4, 'b4')")
+        .unwrap();
+    let r = c
+        .execute("SELECT l.x, r.y FROM a l JOIN b r ON l.k = r.k ORDER BY x")
+        .unwrap()
+        .into_dataset()
+        .unwrap();
+    assert_eq!(r.len(), 2);
+    assert_eq!(r.rows[0].values[0].as_str(), Some("a2"));
+    assert_eq!(r.rows[0].values[1].as_str(), Some("b2"));
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn subquery_with_expression_order_by_hidden_column() {
+    let (mut c, dir) = client("subq");
+    setup_orders(&mut c);
+    // The paper's Section VI statement shape.
+    let r = c
+        .execute(
+            "SELECT name, geom FROM (SELECT * FROM orders) t \
+             WHERE fid = 3 * 3 AND geom WITHIN st_makeMBR(115, 38, 117, 41) \
+             ORDER BY time",
+        )
+        .unwrap()
+        .into_dataset()
+        .unwrap();
+    assert_eq!(r.len(), 1);
+    assert_eq!(r.columns, vec!["name", "geom"]);
+    assert_eq!(r.rows[0].values[0].as_str(), Some("order-9"));
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn explain_shows_figure8_optimization() {
+    let (mut c, dir) = client("explain");
+    setup_orders(&mut c);
+    let (analyzed, optimized) = c
+        .explain(
+            "SELECT name, geom FROM (SELECT * FROM orders) t \
+             WHERE fid = 52 * 9 AND geom WITHIN st_makeMBR(1, 2, 3, 4) \
+             ORDER BY time",
+        )
+        .unwrap();
+    assert!(analyzed.contains("Filter"), "{analyzed}");
+    assert!(analyzed.contains("52"), "{analyzed}");
+    assert!(!optimized.contains("Filter"), "{optimized}");
+    assert!(!optimized.contains("52"), "{optimized}");
+    assert!(optimized.contains("spatial="), "{optimized}");
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn load_csv_with_config_and_filter() {
+    let (mut c, dir) = client("load");
+    c.execute(
+        "CREATE TABLE pts (fid integer:primary key, time date, geom point)",
+    )
+    .unwrap();
+    let csv = dir.join("input.csv");
+    std::fs::write(
+        &csv,
+        "id,ts,lng,lat,city\n\
+         1,1000,116.40,39.90,beijing\n\
+         2,2000,121.47,31.23,shanghai\n\
+         3,3000,116.41,39.91,beijing\n",
+    )
+    .unwrap();
+    let msg = c
+        .execute(&format!(
+            "LOAD csv:'{}' TO pts CONFIG {{
+                'fid': 'to_int(id)',
+                'time': 'long_to_date_ms(ts)',
+                'geom': 'lng_lat_to_point(lng, lat)'
+            }} FILTER 'city = ''beijing'''",
+            csv.display()
+        ))
+        .unwrap();
+    assert_eq!(msg.message(), Some("2 rows loaded"));
+    let r = c
+        .execute("SELECT fid FROM pts ORDER BY fid")
+        .unwrap()
+        .into_dataset()
+        .unwrap();
+    assert_eq!(r.len(), 2);
+    assert_eq!(r.rows[1].values[0], Value::Int(3));
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn coordinate_transform_one_to_one() {
+    let (mut c, dir) = client("transform");
+    setup_orders(&mut c);
+    let r = c
+        .execute(
+            "SELECT st_x(st_WGS84ToGCJ02(geom)) - st_x(geom) AS dx FROM orders LIMIT 5",
+        )
+        .unwrap()
+        .into_dataset()
+        .unwrap();
+    assert_eq!(r.len(), 5);
+    for row in &r.rows {
+        let dx = row.values[0].as_float().unwrap().abs();
+        assert!(dx > 1e-5 && dx < 0.02, "offset {dx} out of GCJ range");
+    }
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn dbscan_n_to_m() {
+    let (mut c, dir) = client("dbscan");
+    setup_orders(&mut c);
+    // All 100 points form one dense cluster at eps=0.02.
+    let r = c
+        .execute("SELECT st_DBSCAN(geom, 4, 0.02) FROM orders")
+        .unwrap()
+        .into_dataset()
+        .unwrap();
+    assert_eq!(r.len(), 100);
+    assert_eq!(r.columns, vec!["geom", "cluster"]);
+    assert!(r.rows.iter().all(|row| row.values[1] == Value::Int(0)));
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn result_set_cursor_spills_large_results() {
+    let (mut c, dir) = client("cursor");
+    setup_orders(&mut c);
+    // Force spilling with a tiny threshold by going through the engine
+    // config default (8 MiB won't spill 100 rows) — use many duplicated
+    // rows via a cross join to grow the result.
+    let mut rs = c
+        .execute_query("SELECT l.fid FROM orders l JOIN orders r ON 1 = 1")
+        .unwrap();
+    assert_eq!(rs.total_rows(), 10_000);
+    let mut n = 0;
+    while rs.next().unwrap().is_some() {
+        n += 1;
+    }
+    assert_eq!(n, 10_000);
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn historical_update_via_sql() {
+    let (mut c, dir) = client("update");
+    c.execute("CREATE TABLE t (fid integer:primary key, time date, geom point)")
+        .unwrap();
+    c.execute("INSERT INTO t VALUES (1, 1000, st_makePoint(116.4, 39.9))")
+        .unwrap();
+    // Same primary key, new location: an in-place historical update.
+    c.execute("INSERT INTO t VALUES (1, 99000, st_makePoint(121.5, 31.2))")
+        .unwrap();
+    let bj = c
+        .execute("SELECT fid FROM t WHERE geom WITHIN st_makeMBR(116, 39, 117, 40)")
+        .unwrap()
+        .into_dataset()
+        .unwrap();
+    assert!(bj.is_empty());
+    let sh = c
+        .execute("SELECT fid FROM t WHERE geom WITHIN st_makeMBR(121, 31, 122, 32)")
+        .unwrap()
+        .into_dataset()
+        .unwrap();
+    assert_eq!(sh.len(), 1);
+    std::fs::remove_dir_all(dir).ok();
+}

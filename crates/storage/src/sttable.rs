@@ -1,0 +1,717 @@
+//! Indexed spatio-temporal tables: the write and read paths that tie
+//! schemas, curves and the key-value store together.
+
+use crate::index::{IndexKind, IndexStrategy, MAX_FID_BYTES};
+use crate::row::Row;
+use crate::schema::{FieldType, Schema};
+use crate::value::Value;
+use crate::{Result, StorageError};
+use just_curves::{RangeOptions, TimePeriod};
+use just_geo::{Geometry, LineString, Point, Rect};
+use just_kvstore::{Store, Table as KvTable};
+use std::sync::Arc;
+
+/// Table-creation knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct StorageConfig {
+    /// Salt shards (GeoMesa's random key prefix; = parallel scan fan-out).
+    pub shards: u8,
+    /// Key-value regions ("region servers") per table.
+    pub regions: usize,
+    /// Index override; `None` picks the paper's defaults
+    /// (Z2/XZ2/Z2T/XZ2T by data shape).
+    pub index: Option<IndexKind>,
+    /// Time-period length for temporal indexes (paper default: a day).
+    pub period: TimePeriod,
+    /// Query decomposition budget.
+    pub range_options: RangeOptions,
+    /// Maintain the record-id side table enabling updates/deletes by id.
+    pub track_ids: bool,
+}
+
+impl Default for StorageConfig {
+    fn default() -> Self {
+        StorageConfig {
+            shards: 4,
+            regions: 4,
+            index: None,
+            period: TimePeriod::Day,
+            range_options: RangeOptions::default(),
+            track_ids: true,
+        }
+    }
+}
+
+/// The index-relevant digest of a record.
+#[derive(Debug, Clone)]
+pub struct RecordMeta {
+    /// Canonical record-id bytes.
+    pub fid: Vec<u8>,
+    /// The indexed geometry (`None` for non-spatial tables).
+    pub geom: Option<Geometry>,
+    /// Earliest timestamp (ms).
+    pub t_min: i64,
+    /// Latest timestamp (ms).
+    pub t_max: i64,
+}
+
+/// How spatial windows filter records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpatialPredicate {
+    /// Any overlap qualifies (trajectories crossing the window).
+    Intersects,
+    /// The record must lie entirely inside the window (the paper's
+    /// `geom WITHIN st_makeMBR(...)`).
+    Within,
+}
+
+/// An indexed spatio-temporal table over the key-value store.
+pub struct StTable {
+    name: String,
+    schema: Schema,
+    strategy: IndexStrategy,
+    data: Arc<KvTable>,
+    /// Secondary spatial-only index (Table III: Traj stores "XZ2 on MBR"
+    /// *and* "XZ2T on MBR and Timestart"). Present when the primary index
+    /// is temporal; spatial-only queries (and k-NN expansion) use it so
+    /// they never fan out across time periods.
+    spatial: Option<(IndexStrategy, Arc<KvTable>)>,
+    ids: Option<Arc<KvTable>>,
+    /// Observed `[min t_min, max t_max]` over all inserts, persisted under
+    /// a reserved key so open-time-window queries on temporal indexes only
+    /// plan the periods that can hold data (instead of ±50 years).
+    time_bounds: parking_lot::Mutex<Option<(i64, i64)>>,
+}
+
+/// Reserved key for the persisted time bounds. Shard bytes are always
+/// `< shards <= 255`, so the `0xff` prefix never collides with data.
+const TIME_BOUNDS_KEY: &[u8] = &[0xff, b't', b'b'];
+
+impl std::fmt::Debug for StTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StTable")
+            .field("name", &self.name)
+            .field("index", &self.strategy.kind().name())
+            .finish()
+    }
+}
+
+/// Canonical id bytes: order-preserving for ints/dates, raw for strings.
+pub(crate) fn fid_bytes(v: &Value) -> Result<Vec<u8>> {
+    let bytes = match v {
+        Value::Int(i) | Value::Date(i) => ((*i as u64) ^ 0x8000_0000_0000_0000)
+            .to_be_bytes()
+            .to_vec(),
+        Value::Str(s) => s.as_bytes().to_vec(),
+        other => {
+            let mut buf = Vec::new();
+            other.encode(&mut buf);
+            buf
+        }
+    };
+    if bytes.is_empty() || bytes.len() > MAX_FID_BYTES {
+        return Err(StorageError::SchemaMismatch(format!(
+            "record id must be 1..={MAX_FID_BYTES} bytes, got {}",
+            bytes.len()
+        )));
+    }
+    Ok(bytes)
+}
+
+impl StTable {
+    /// Creates the backing key-value tables and the index binding.
+    pub fn create(
+        store: &Store,
+        name: &str,
+        schema: Schema,
+        config: StorageConfig,
+    ) -> Result<StTable> {
+        let data = store.create_table(&format!("{name}__data"), config.regions)?;
+        let ids = if config.track_ids {
+            Some(store.create_table(&format!("{name}__ids"), config.regions)?)
+        } else {
+            None
+        };
+        let sdata = if Self::decide_kind(&schema, &config).is_temporal() {
+            Some(store.create_table(&format!("{name}__sdata"), config.regions)?)
+        } else {
+            None
+        };
+        Ok(Self::bind(name, schema, config, data, sdata, ids))
+    }
+
+    /// Reopens a previously created table.
+    pub fn open(
+        store: &Store,
+        name: &str,
+        schema: Schema,
+        config: StorageConfig,
+    ) -> Result<StTable> {
+        let data = store.open_table(&format!("{name}__data"), config.regions)?;
+        let ids = if config.track_ids {
+            Some(store.open_table(&format!("{name}__ids"), config.regions)?)
+        } else {
+            None
+        };
+        let sdata = if Self::decide_kind(&schema, &config).is_temporal() {
+            Some(store.open_table(&format!("{name}__sdata"), config.regions)?)
+        } else {
+            None
+        };
+        Ok(Self::bind(name, schema, config, data, sdata, ids))
+    }
+
+    /// The index kind a schema+config resolves to.
+    fn decide_kind(schema: &Schema, config: &StorageConfig) -> IndexKind {
+        if schema.geom_index().is_none() {
+            return IndexKind::Id;
+        }
+        let point_data = schema
+            .geom_index()
+            .map(|i| schema.fields()[i].ty == FieldType::Point)
+            .unwrap_or(true);
+        let temporal = schema.time_index().is_some()
+            || schema
+                .geom_index()
+                .map(|i| schema.fields()[i].ty == FieldType::StSeries)
+                .unwrap_or(false);
+        config
+            .index
+            .unwrap_or_else(|| IndexKind::default_for(point_data, temporal))
+    }
+
+    fn bind(
+        name: &str,
+        schema: Schema,
+        config: StorageConfig,
+        data: Arc<KvTable>,
+        sdata: Option<Arc<KvTable>>,
+        ids: Option<Arc<KvTable>>,
+    ) -> StTable {
+        let point_data = schema
+            .geom_index()
+            .map(|i| schema.fields()[i].ty == FieldType::Point)
+            .unwrap_or(true);
+        let kind = Self::decide_kind(&schema, &config);
+        let strategy = IndexStrategy::new(kind, config.period, config.shards)
+            .with_options(config.range_options);
+        let spatial = sdata.map(|table| {
+            let skind = if point_data { IndexKind::Z2 } else { IndexKind::Xz2 };
+            (
+                IndexStrategy::new(skind, config.period, config.shards)
+                    .with_options(config.range_options),
+                table,
+            )
+        });
+        let time_bounds = data
+            .get(TIME_BOUNDS_KEY)
+            .ok()
+            .flatten()
+            .and_then(|v| {
+                let lo = i64::from_le_bytes(v.get(0..8)?.try_into().ok()?);
+                let hi = i64::from_le_bytes(v.get(8..16)?.try_into().ok()?);
+                Some((lo, hi))
+            });
+        StTable {
+            name: name.to_string(),
+            schema,
+            strategy,
+            data,
+            spatial,
+            ids,
+            time_bounds: parking_lot::Mutex::new(time_bounds),
+        }
+    }
+
+    /// Widens the persisted time bounds to include `[t_min, t_max]`.
+    fn widen_time_bounds(&self, t_min: i64, t_max: i64) -> Result<()> {
+        let mut bounds = self.time_bounds.lock();
+        let widened = match *bounds {
+            None => (t_min, t_max),
+            Some((lo, hi)) => {
+                if t_min >= lo && t_max <= hi {
+                    return Ok(());
+                }
+                (lo.min(t_min), hi.max(t_max))
+            }
+        };
+        *bounds = Some(widened);
+        let mut value = Vec::with_capacity(16);
+        value.extend_from_slice(&widened.0.to_le_bytes());
+        value.extend_from_slice(&widened.1.to_le_bytes());
+        self.data.put(TIME_BOUNDS_KEY.to_vec(), value)?;
+        Ok(())
+    }
+
+    /// Table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The index strategy in use.
+    pub fn strategy(&self) -> &IndexStrategy {
+        &self.strategy
+    }
+
+    /// Extracts the index digest from a row: id bytes, geometry and the
+    /// temporal extent (explicit `time`/`time_end` fields, else the GPS
+    /// list's span).
+    pub fn meta_of(&self, row: &Row) -> Result<RecordMeta> {
+        let fid_value = row
+            .get(self.schema.fid_index())
+            .ok_or_else(|| StorageError::SchemaMismatch("row missing id field".into()))?;
+        let fid = fid_bytes(fid_value)?;
+
+        let (geom, gps_span) = match self.schema.geom_index() {
+            None => (None, None),
+            Some(geom_idx) => {
+                let geom_value = row.get(geom_idx).ok_or_else(|| {
+                    StorageError::SchemaMismatch("row missing geometry".into())
+                })?;
+                match geom_value {
+                    Value::Geom(g) => (Some(g.clone()), None),
+                    Value::GpsList(samples) if !samples.is_empty() => {
+                        let pts: Vec<Point> =
+                            samples.iter().map(|s| Point::new(s.lng, s.lat)).collect();
+                        let span = (
+                            samples.iter().map(|s| s.time_ms).min().unwrap(),
+                            samples.iter().map(|s| s.time_ms).max().unwrap(),
+                        );
+                        (Some(Geometry::LineString(LineString::new(pts))), Some(span))
+                    }
+                    other => {
+                        return Err(StorageError::SchemaMismatch(format!(
+                            "geometry field holds {other:?}"
+                        )))
+                    }
+                }
+            }
+        };
+
+        let t_min = self
+            .schema
+            .time_index()
+            .and_then(|i| row.get(i))
+            .and_then(|v| v.as_date());
+        let t_max = self
+            .schema
+            .time_end_index()
+            .and_then(|i| row.get(i))
+            .and_then(|v| v.as_date());
+        let (t_min, t_max) = match (t_min, t_max, gps_span) {
+            (Some(a), Some(b), _) => (a, b.max(a)),
+            (Some(a), None, _) => (a, a),
+            (None, _, Some((a, b))) => (a, b),
+            (None, _, None) => (0, 0),
+        };
+        Ok(RecordMeta {
+            fid,
+            geom,
+            t_min,
+            t_max,
+        })
+    }
+
+    /// Inserts a record; re-inserting an id replaces the old record even
+    /// when its location or time changed (the paper's "historical data
+    /// updates without index reconstruction").
+    pub fn insert(&self, row: &Row) -> Result<()> {
+        let meta = self.meta_of(row)?;
+        self.widen_time_bounds(meta.t_min, meta.t_max)?;
+        let key = self.strategy.key(&meta);
+        let skey = self.spatial.as_ref().map(|(st, _)| st.key(&meta));
+        if let Some(ids) = &self.ids {
+            if let Some(old_key) = ids.get(&meta.fid)? {
+                if old_key != key {
+                    // Remove the superseded version from both indexes.
+                    if let (Some((sst, stable)), Some(bytes)) =
+                        (&self.spatial, self.data.get(&old_key)?)
+                    {
+                        let old_row = Row::decode(&self.schema, &bytes)?;
+                        let old_meta = self.meta_of(&old_row)?;
+                        stable.delete(sst.key(&old_meta))?;
+                    }
+                    self.data.delete(old_key)?;
+                }
+            }
+            ids.put(meta.fid.clone(), key.clone())?;
+        }
+        let value = row.encode(&self.schema)?;
+        if let (Some((_, stable)), Some(skey)) = (&self.spatial, skey) {
+            stable.put(skey, value.clone())?;
+        }
+        self.data.put(key, value)?;
+        Ok(())
+    }
+
+    /// Deletes a record by id. Returns whether it existed. Requires
+    /// `track_ids`.
+    pub fn delete(&self, fid: &Value) -> Result<bool> {
+        let ids = self.ids.as_ref().ok_or_else(|| {
+            StorageError::SchemaMismatch("delete-by-id requires track_ids".into())
+        })?;
+        let fid = fid_bytes(fid)?;
+        match ids.get(&fid)? {
+            Some(key) => {
+                if let Some((sst, stable)) = &self.spatial {
+                    if let Some(bytes) = self.data.get(&key)? {
+                        let old_row = Row::decode(&self.schema, &bytes)?;
+                        let old_meta = self.meta_of(&old_row)?;
+                        stable.delete(sst.key(&old_meta))?;
+                    }
+                }
+                self.data.delete(key)?;
+                ids.delete(fid)?;
+                Ok(true)
+            }
+            None => Ok(false),
+        }
+    }
+
+    /// Point lookup by id. Requires `track_ids`.
+    pub fn get(&self, fid: &Value) -> Result<Option<Row>> {
+        let ids = self.ids.as_ref().ok_or_else(|| {
+            StorageError::SchemaMismatch("get-by-id requires track_ids".into())
+        })?;
+        let fid = fid_bytes(fid)?;
+        let Some(key) = ids.get(&fid)? else {
+            return Ok(None);
+        };
+        let Some(bytes) = self.data.get(&key)? else {
+            return Ok(None);
+        };
+        Ok(Some(Row::decode(&self.schema, &bytes)?))
+    }
+
+    /// Plans and scans a query window, returning the raw key-value
+    /// entries without decoding or exact filtering. The k-NN expansion
+    /// uses this to deduplicate candidates by key before paying for row
+    /// decode (and GPS-list decompression).
+    pub fn query_raw(
+        &self,
+        spatial: Option<&Rect>,
+        time: Option<(i64, i64)>,
+    ) -> Result<Vec<just_kvstore::KvEntry>> {
+        let (plan, scan_table) = match (time, &self.spatial) {
+            (None, Some((sst, stable))) => (sst.plan(spatial, None), stable),
+            _ => {
+                let plan_time = match time {
+                    Some(t) => Some(t),
+                    None if self.strategy.kind().is_temporal() => {
+                        match *self.time_bounds.lock() {
+                            Some(bounds) => Some(bounds),
+                            None => return Ok(Vec::new()),
+                        }
+                    }
+                    None => None,
+                };
+                (self.strategy.plan(spatial, plan_time), &self.data)
+            }
+        };
+        Ok(scan_table.scan_ranges_parallel(&plan.ranges)?)
+    }
+
+    /// Decodes one raw entry from [`StTable::query_raw`].
+    pub fn decode_entry(&self, entry: &just_kvstore::KvEntry) -> Result<Row> {
+        Row::decode(&self.schema, &entry.value)
+    }
+
+    /// Executes a spatial / spatio-temporal range query: plan key ranges,
+    /// scan them in parallel, decode and post-filter exactly.
+    pub fn query(
+        &self,
+        spatial: Option<&Rect>,
+        time: Option<(i64, i64)>,
+        predicate: SpatialPredicate,
+    ) -> Result<Vec<Row>> {
+        // Spatial-only queries use the secondary spatial index when the
+        // primary is temporal (Table III's dual-index setting) — one set
+        // of ranges instead of a fan-out across every time period; open
+        // time windows on the temporal primary clamp to the observed data
+        // bounds. Both live in query_raw.
+        let entries = self.query_raw(spatial, time)?;
+        let mut rows = Vec::with_capacity(entries.len());
+        for e in entries {
+            let row = Row::decode(&self.schema, &e.value)?;
+            let meta = self.meta_of(&row)?;
+            if let Some(rect) = spatial {
+                let ok = match (&meta.geom, predicate) {
+                    (None, _) => false,
+                    (Some(g), SpatialPredicate::Intersects) => g.intersects_rect(rect),
+                    (Some(g), SpatialPredicate::Within) => g.within_rect(rect),
+                };
+                if !ok {
+                    continue;
+                }
+            }
+            if let Some((t_min, t_max)) = time {
+                if meta.t_max < t_min || meta.t_min > t_max {
+                    continue;
+                }
+            }
+            rows.push(row);
+        }
+        Ok(rows)
+    }
+
+    /// Every record in the table.
+    pub fn scan_all(&self) -> Result<Vec<Row>> {
+        // Stop short of the reserved 0xff-prefixed meta keys.
+        let entries = self.data.scan(&[0u8], &[0xfeu8; 80])?;
+        entries
+            .into_iter()
+            .map(|e| Row::decode(&self.schema, &e.value))
+            .collect()
+    }
+
+    /// Flushes memtables to disk.
+    pub fn flush(&self) -> Result<()> {
+        self.data.flush()?;
+        if let Some((_, stable)) = &self.spatial {
+            stable.flush()?;
+        }
+        if let Some(ids) = &self.ids {
+            ids.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Compacts the backing store.
+    pub fn compact(&self) -> Result<()> {
+        self.data.compact()?;
+        if let Some((_, stable)) = &self.spatial {
+            stable.compact()?;
+        }
+        if let Some(ids) = &self.ids {
+            ids.compact()?;
+        }
+        Ok(())
+    }
+
+    /// Bytes on disk (data + id index).
+    pub fn disk_size(&self) -> u64 {
+        self.data.disk_size()
+            + self
+                .spatial
+                .as_ref()
+                .map(|(_, t)| t.disk_size())
+                .unwrap_or(0)
+            + self.ids.as_ref().map(|t| t.disk_size()).unwrap_or(0)
+    }
+
+    /// Approximate record count.
+    pub fn approx_entries(&self) -> u64 {
+        self.data.approx_entries()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Field;
+    use just_compress::gps::GpsSample;
+    use just_kvstore::StoreOptions;
+
+    const HOUR_MS: i64 = 3_600_000;
+    const DAY_MS: i64 = 24 * HOUR_MS;
+
+    fn store(name: &str) -> (Store, std::path::PathBuf) {
+        let dir = std::env::temp_dir().join(format!(
+            "just-sttable-{name}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        (Store::open(&dir, StoreOptions::default()).unwrap(), dir)
+    }
+
+    fn order_schema() -> Schema {
+        Schema::new(vec![
+            Field::new("fid", FieldType::Int).primary(),
+            Field::new("time", FieldType::Date),
+            Field::new("geom", FieldType::Point),
+        ])
+        .unwrap()
+    }
+
+    fn order_row(fid: i64, lng: f64, lat: f64, t: i64) -> Row {
+        Row::new(vec![
+            Value::Int(fid),
+            Value::Date(t),
+            Value::Geom(Geometry::Point(Point::new(lng, lat))),
+        ])
+    }
+
+    #[test]
+    fn point_table_defaults_to_z2t_and_queries_work() {
+        let (s, dir) = store("points");
+        let t = StTable::create(&s, "orders", order_schema(), StorageConfig::default()).unwrap();
+        assert_eq!(t.strategy().kind(), IndexKind::Z2t);
+        for i in 0..200 {
+            let lng = 116.0 + (i % 20) as f64 * 0.01;
+            let lat = 39.0 + (i / 20) as f64 * 0.01;
+            t.insert(&order_row(i, lng, lat, (i % 48) * HOUR_MS / 2)).unwrap();
+        }
+        // Spatial window covering the first two columns, first 12 hours.
+        let window = Rect::new(115.995, 38.995, 116.015, 39.095);
+        let hits = t
+            .query(Some(&window), Some((0, 12 * HOUR_MS)), SpatialPredicate::Within)
+            .unwrap();
+        assert!(!hits.is_empty());
+        for row in &hits {
+            let m = t.meta_of(row).unwrap();
+            assert!(m.geom.as_ref().unwrap().within_rect(&window));
+            assert!(m.t_min <= 12 * HOUR_MS);
+        }
+        // Exhaustive check against a full scan.
+        let brute: usize = t
+            .scan_all()
+            .unwrap()
+            .iter()
+            .filter(|r| {
+                let m = t.meta_of(r).unwrap();
+                m.geom.as_ref().unwrap().within_rect(&window) && m.t_min <= 12 * HOUR_MS
+            })
+            .count();
+        assert_eq!(hits.len(), brute);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn update_moves_record_to_new_location() {
+        let (s, dir) = store("update");
+        let t = StTable::create(&s, "o", order_schema(), StorageConfig::default()).unwrap();
+        t.insert(&order_row(1, 116.4, 39.9, HOUR_MS)).unwrap();
+        // Historical update: same id, different place & time.
+        t.insert(&order_row(1, 121.5, 31.2, 3 * DAY_MS)).unwrap();
+
+        let beijing = Rect::new(116.0, 39.0, 117.0, 40.0);
+        let shanghai = Rect::new(121.0, 31.0, 122.0, 32.0);
+        assert!(t
+            .query(Some(&beijing), None, SpatialPredicate::Within)
+            .unwrap()
+            .is_empty());
+        let hits = t
+            .query(Some(&shanghai), None, SpatialPredicate::Within)
+            .unwrap();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(t.get(&Value::Int(1)).unwrap().unwrap().values[0], Value::Int(1));
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn delete_removes_from_queries() {
+        let (s, dir) = store("delete");
+        let t = StTable::create(&s, "o", order_schema(), StorageConfig::default()).unwrap();
+        t.insert(&order_row(1, 116.4, 39.9, HOUR_MS)).unwrap();
+        assert!(t.delete(&Value::Int(1)).unwrap());
+        assert!(!t.delete(&Value::Int(1)).unwrap());
+        assert!(t
+            .query(None, None, SpatialPredicate::Intersects)
+            .unwrap()
+            .is_empty());
+        assert_eq!(t.get(&Value::Int(1)).unwrap(), None);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn trajectory_plugin_roundtrip_with_xz2t() {
+        let (s, dir) = store("traj");
+        let t = StTable::create(
+            &s,
+            "traj",
+            Schema::trajectory(),
+            StorageConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(t.strategy().kind(), IndexKind::Xz2t);
+
+        let samples: Vec<GpsSample> = (0..300)
+            .map(|i| GpsSample {
+                lng: 116.30 + i as f64 * 0.0005,
+                lat: 39.90 + (i % 7) as f64 * 0.0001,
+                time_ms: 2 * HOUR_MS + i as i64 * 10_000,
+            })
+            .collect();
+        let mbr = {
+            let mut r = Rect::empty();
+            for p in &samples {
+                r.expand_point(&Point::new(p.lng, p.lat));
+            }
+            r
+        };
+        let row = Row::new(vec![
+            Value::Str("lorry-1".into()),
+            Value::Geom(Geometry::Rect(mbr)),
+            Value::Date(samples.first().unwrap().time_ms),
+            Value::Date(samples.last().unwrap().time_ms),
+            Value::Geom(Geometry::Point(Point::new(samples[0].lng, samples[0].lat))),
+            Value::Geom(Geometry::Point(Point::new(
+                samples.last().unwrap().lng,
+                samples.last().unwrap().lat,
+            ))),
+            Value::GpsList(samples),
+        ]);
+        t.insert(&row).unwrap();
+        t.flush().unwrap();
+
+        let window = Rect::new(116.30, 39.89, 116.35, 39.95);
+        let hits = t
+            .query(
+                Some(&window),
+                Some((0, DAY_MS)),
+                SpatialPredicate::Intersects,
+            )
+            .unwrap();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(
+            hits[0].values[6].as_gps_list().unwrap().len(),
+            300,
+            "compressed GPS list survives storage"
+        );
+        // A disjoint window misses.
+        let far = Rect::new(100.0, 20.0, 101.0, 21.0);
+        assert!(t
+            .query(Some(&far), Some((0, DAY_MS)), SpatialPredicate::Intersects)
+            .unwrap()
+            .is_empty());
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn meta_extraction_uses_gps_span_without_date_fields() {
+        let (s, dir) = store("metagps");
+        let schema = Schema::new(vec![
+            Field::new("id", FieldType::Str).primary(),
+            Field::new("gps", FieldType::StSeries),
+        ])
+        .unwrap();
+        let t = StTable::create(&s, "g", schema, StorageConfig::default()).unwrap();
+        let row = Row::new(vec![
+            Value::Str("x".into()),
+            Value::GpsList(vec![
+                GpsSample { lng: 1.0, lat: 2.0, time_ms: 500 },
+                GpsSample { lng: 1.1, lat: 2.1, time_ms: 1500 },
+            ]),
+        ]);
+        let meta = t.meta_of(&row).unwrap();
+        assert_eq!((meta.t_min, meta.t_max), (500, 1500));
+        assert!(matches!(meta.geom, Some(Geometry::LineString(_))));
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn fid_bytes_preserve_int_order() {
+        let a = fid_bytes(&Value::Int(-5)).unwrap();
+        let b = fid_bytes(&Value::Int(0)).unwrap();
+        let c = fid_bytes(&Value::Int(7)).unwrap();
+        assert!(a < b && b < c);
+        assert!(fid_bytes(&Value::Str("x".repeat(100))).is_err());
+        assert!(fid_bytes(&Value::Str(String::new())).is_err());
+    }
+}

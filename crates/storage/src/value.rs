@@ -1,0 +1,352 @@
+//! Cell values and their binary encoding.
+
+use just_compress::gps::{self, GpsSample};
+use just_compress::varint;
+use just_geo::{Geometry, GeometryType, LineString, Point, Polygon, Rect};
+use std::fmt;
+
+/// One cell of a row: the dynamic value type of JUST tables.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// SQL NULL.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// 64-bit integer (covers the paper's `integer` column type).
+    Int(i64),
+    /// 64-bit float (`double`).
+    Float(f64),
+    /// UTF-8 string.
+    Str(String),
+    /// Timestamp, milliseconds since the Unix epoch (`date`).
+    Date(i64),
+    /// Any geometry (`point`, `linestring`, `polygon`).
+    Geom(Geometry),
+    /// A GPS point list — the paper's `st_series` type, the big field
+    /// that benefits from compression.
+    GpsList(Vec<GpsSample>),
+}
+
+impl Value {
+    /// Type tag used on the wire.
+    fn tag(&self) -> u8 {
+        match self {
+            Value::Null => 0,
+            Value::Bool(_) => 1,
+            Value::Int(_) => 2,
+            Value::Float(_) => 3,
+            Value::Str(_) => 4,
+            Value::Date(_) => 5,
+            Value::Geom(_) => 6,
+            Value::GpsList(_) => 7,
+        }
+    }
+
+    /// Serialises the value (tag + payload) onto `out`.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        out.push(self.tag());
+        match self {
+            Value::Null => {}
+            Value::Bool(b) => out.push(u8::from(*b)),
+            Value::Int(v) => varint::write_i64(out, *v),
+            Value::Float(v) => out.extend_from_slice(&v.to_le_bytes()),
+            Value::Str(s) => varint::write_bytes(out, s.as_bytes()),
+            Value::Date(v) => varint::write_i64(out, *v),
+            Value::Geom(g) => encode_geometry(g, out),
+            Value::GpsList(samples) => {
+                let bytes = gps::encode(samples);
+                varint::write_bytes(out, &bytes);
+            }
+        }
+    }
+
+    /// Deserialises one value, advancing `pos`.
+    pub fn decode(buf: &[u8], pos: &mut usize) -> Option<Value> {
+        let tag = *buf.get(*pos)?;
+        *pos += 1;
+        Some(match tag {
+            0 => Value::Null,
+            1 => {
+                let b = *buf.get(*pos)?;
+                *pos += 1;
+                Value::Bool(b != 0)
+            }
+            2 => Value::Int(varint::read_i64(buf, pos)?),
+            3 => {
+                let bytes: [u8; 8] = buf.get(*pos..*pos + 8)?.try_into().ok()?;
+                *pos += 8;
+                Value::Float(f64::from_le_bytes(bytes))
+            }
+            4 => {
+                let bytes = varint::read_bytes(buf, pos)?;
+                Value::Str(String::from_utf8(bytes.to_vec()).ok()?)
+            }
+            5 => Value::Date(varint::read_i64(buf, pos)?),
+            6 => Value::Geom(decode_geometry(buf, pos)?),
+            7 => {
+                let bytes = varint::read_bytes(buf, pos)?;
+                Value::GpsList(gps::decode(bytes)?)
+            }
+            8 => {
+                // Raw fixed-width GPS list (uncompressed storage).
+                let n = varint::read_u64(buf, pos)? as usize;
+                if n > buf.len() / 24 {
+                    return None;
+                }
+                let mut samples = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let lng: [u8; 8] = buf.get(*pos..*pos + 8)?.try_into().ok()?;
+                    let lat: [u8; 8] = buf.get(*pos + 8..*pos + 16)?.try_into().ok()?;
+                    let t: [u8; 8] = buf.get(*pos + 16..*pos + 24)?.try_into().ok()?;
+                    *pos += 24;
+                    samples.push(GpsSample {
+                        lng: f64::from_le_bytes(lng),
+                        lat: f64::from_le_bytes(lat),
+                        time_ms: i64::from_le_bytes(t),
+                    });
+                }
+                Value::GpsList(samples)
+            }
+            _ => return None,
+        })
+    }
+
+    /// The value as an integer, when it is one.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as a float, coercing integers.
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            Value::Float(v) => Some(*v),
+            Value::Int(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a timestamp (accepting raw ints as ms).
+    pub fn as_date(&self) -> Option<i64> {
+        match self {
+            Value::Date(v) => Some(*v),
+            Value::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as a geometry.
+    pub fn as_geom(&self) -> Option<&Geometry> {
+        match self {
+            Value::Geom(g) => Some(g),
+            _ => None,
+        }
+    }
+
+    /// The value as a GPS list.
+    pub fn as_gps_list(&self) -> Option<&[GpsSample]> {
+        match self {
+            Value::GpsList(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Whether this is NULL.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Float(v) => write!(f, "{v}"),
+            Value::Str(s) => write!(f, "{s}"),
+            Value::Date(v) => write!(f, "{v}"),
+            Value::Geom(g) => write!(f, "{}", g.to_wkt()),
+            Value::GpsList(s) => write!(f, "<gps list: {} samples>", s.len()),
+        }
+    }
+}
+
+fn encode_point(p: &Point, out: &mut Vec<u8>) {
+    out.extend_from_slice(&p.x.to_le_bytes());
+    out.extend_from_slice(&p.y.to_le_bytes());
+}
+
+fn decode_point(buf: &[u8], pos: &mut usize) -> Option<Point> {
+    let x: [u8; 8] = buf.get(*pos..*pos + 8)?.try_into().ok()?;
+    *pos += 8;
+    let y: [u8; 8] = buf.get(*pos..*pos + 8)?.try_into().ok()?;
+    *pos += 8;
+    Some(Point::new(f64::from_le_bytes(x), f64::from_le_bytes(y)))
+}
+
+/// Encodes a GPS list in the raw fixed-width layout (24 bytes/sample,
+/// tag 8) — what the storage layer writes for `st_series` fields *without*
+/// a `compress=` option, so the paper's JUSTnc variant pays raw size.
+pub(crate) fn encode_gps_raw(samples: &[gps::GpsSample], out: &mut Vec<u8>) {
+    out.push(8);
+    varint::write_u64(out, samples.len() as u64);
+    for s in samples {
+        out.extend_from_slice(&s.lng.to_le_bytes());
+        out.extend_from_slice(&s.lat.to_le_bytes());
+        out.extend_from_slice(&s.time_ms.to_le_bytes());
+    }
+}
+
+/// Compact WKB-like geometry encoding: type code, then coordinates.
+pub(crate) fn encode_geometry(g: &Geometry, out: &mut Vec<u8>) {
+    out.push(g.geometry_type().code());
+    match g {
+        Geometry::Point(p) => encode_point(p, out),
+        Geometry::LineString(l) => {
+            varint::write_u64(out, l.points.len() as u64);
+            for p in &l.points {
+                encode_point(p, out);
+            }
+        }
+        Geometry::Polygon(p) => {
+            varint::write_u64(out, p.exterior.len() as u64);
+            for p in &p.exterior {
+                encode_point(p, out);
+            }
+        }
+        Geometry::Rect(r) => {
+            encode_point(&Point::new(r.min_x, r.min_y), out);
+            encode_point(&Point::new(r.max_x, r.max_y), out);
+        }
+    }
+}
+
+pub(crate) fn decode_geometry(buf: &[u8], pos: &mut usize) -> Option<Geometry> {
+    let code = *buf.get(*pos)?;
+    *pos += 1;
+    let ty = GeometryType::from_code(code)?;
+    Some(match ty {
+        GeometryType::Point => Geometry::Point(decode_point(buf, pos)?),
+        GeometryType::LineString => {
+            let n = varint::read_u64(buf, pos)? as usize;
+            if n > buf.len() {
+                return None;
+            }
+            let mut pts = Vec::with_capacity(n);
+            for _ in 0..n {
+                pts.push(decode_point(buf, pos)?);
+            }
+            Geometry::LineString(LineString::new(pts))
+        }
+        GeometryType::Polygon => {
+            let n = varint::read_u64(buf, pos)? as usize;
+            if n > buf.len() {
+                return None;
+            }
+            let mut pts = Vec::with_capacity(n);
+            for _ in 0..n {
+                pts.push(decode_point(buf, pos)?);
+            }
+            Geometry::Polygon(Polygon::new(pts))
+        }
+        GeometryType::Rect => {
+            let a = decode_point(buf, pos)?;
+            let b = decode_point(buf, pos)?;
+            Geometry::Rect(Rect::new(a.x, a.y, b.x, b.y))
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(v: &Value) {
+        let mut buf = Vec::new();
+        v.encode(&mut buf);
+        let mut pos = 0;
+        let back = Value::decode(&buf, &mut pos).unwrap();
+        assert_eq!(&back, v);
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn scalar_roundtrips() {
+        roundtrip(&Value::Null);
+        roundtrip(&Value::Bool(true));
+        roundtrip(&Value::Bool(false));
+        roundtrip(&Value::Int(-42));
+        roundtrip(&Value::Int(i64::MAX));
+        roundtrip(&Value::Float(3.14159));
+        roundtrip(&Value::Float(f64::NEG_INFINITY));
+        roundtrip(&Value::Str("héllo wörld".to_string()));
+        roundtrip(&Value::Str(String::new()));
+        roundtrip(&Value::Date(1_600_000_000_000));
+    }
+
+    #[test]
+    fn geometry_roundtrips() {
+        roundtrip(&Value::Geom(Geometry::Point(Point::new(116.4, 39.9))));
+        roundtrip(&Value::Geom(Geometry::LineString(LineString::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 1.0),
+        ]))));
+        roundtrip(&Value::Geom(Geometry::Polygon(Polygon::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(0.0, 1.0),
+        ]))));
+        roundtrip(&Value::Geom(Geometry::Rect(Rect::new(0.0, 0.0, 2.0, 2.0))));
+    }
+
+    #[test]
+    fn gps_list_roundtrip_quantizes() {
+        let samples = vec![
+            GpsSample { lng: 116.4000001, lat: 39.9, time_ms: 1000 },
+            GpsSample { lng: 116.4000002, lat: 39.9000001, time_ms: 2000 },
+        ];
+        let mut buf = Vec::new();
+        Value::GpsList(samples.clone()).encode(&mut buf);
+        let mut pos = 0;
+        match Value::decode(&buf, &mut pos).unwrap() {
+            Value::GpsList(back) => {
+                assert_eq!(back.len(), 2);
+                assert!((back[0].lng - samples[0].lng).abs() < 1e-7);
+                assert_eq!(back[1].time_ms, 2000);
+            }
+            other => panic!("wrong variant {other:?}"),
+        }
+    }
+
+    #[test]
+    fn accessors_and_coercions() {
+        assert_eq!(Value::Int(5).as_float(), Some(5.0));
+        assert_eq!(Value::Int(5).as_date(), Some(5));
+        assert_eq!(Value::Float(1.5).as_int(), None);
+        assert_eq!(Value::Str("x".into()).as_str(), Some("x"));
+        assert!(Value::Null.is_null());
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert_eq!(Value::decode(&[99], &mut 0), None);
+        assert_eq!(Value::decode(&[], &mut 0), None);
+        // Truncated float.
+        assert_eq!(Value::decode(&[3, 1, 2], &mut 0), None);
+        // Invalid UTF-8 string.
+        let mut buf = vec![4];
+        varint::write_bytes(&mut buf, &[0xff, 0xfe]);
+        assert_eq!(Value::decode(&buf, &mut 0), None);
+    }
+}

@@ -1,0 +1,89 @@
+//! Property tests: indexed queries return exactly what a brute-force scan
+//! over the same data returns (no false negatives after planning, no
+//! false positives after post-filtering).
+
+use just_geo::{Geometry, Point, Rect};
+use just_kvstore::{Store, StoreOptions};
+use just_storage::{
+    Field, FieldType, IndexKind, Row, Schema, SpatialPredicate, StTable, StorageConfig, Value,
+};
+use proptest::prelude::*;
+
+const HOUR_MS: i64 = 3_600_000;
+
+fn schema() -> Schema {
+    Schema::new(vec![
+        Field::new("fid", FieldType::Int).primary(),
+        Field::new("time", FieldType::Date),
+        Field::new("geom", FieldType::Point),
+    ])
+    .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn indexed_query_equals_brute_force(
+        points in proptest::collection::vec(
+            (0i64..500, 100.0f64..130.0, 20.0f64..50.0, 0i64..(72 * HOUR_MS)),
+            1..120
+        ),
+        qx in 100.0f64..129.0,
+        qy in 20.0f64..49.0,
+        qw in 0.1f64..10.0,
+        qt0 in 0i64..(48 * HOUR_MS),
+        qdt in 1i64..(24 * HOUR_MS),
+        kind_pick in 0u8..3,
+    ) {
+        let dir = std::env::temp_dir().join(format!(
+            "just-storage-prop-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        let store = Store::open(&dir, StoreOptions::default()).unwrap();
+        let kind = match kind_pick {
+            0 => IndexKind::Z2t,
+            1 => IndexKind::Z3,
+            _ => IndexKind::Z2,
+        };
+        let table = StTable::create(&store, "t", schema(), StorageConfig {
+            index: Some(kind),
+            ..StorageConfig::default()
+        }).unwrap();
+
+        // Last write per fid wins (the paper's update semantics).
+        let mut model = std::collections::BTreeMap::new();
+        for (fid, lng, lat, t) in &points {
+            let row = Row::new(vec![
+                Value::Int(*fid),
+                Value::Date(*t),
+                Value::Geom(Geometry::Point(Point::new(*lng, *lat))),
+            ]);
+            table.insert(&row).unwrap();
+            model.insert(*fid, (*lng, *lat, *t));
+        }
+
+        let window = Rect::new(qx, qy, qx + qw, qy + qw);
+        let time = (qt0, qt0 + qdt);
+        let hits = table
+            .query(Some(&window), Some(time), SpatialPredicate::Within)
+            .unwrap();
+        let mut got: Vec<i64> = hits.iter().map(|r| r.values[0].as_int().unwrap()).collect();
+        got.sort_unstable();
+        got.dedup();
+
+        let mut expected: Vec<i64> = model
+            .iter()
+            .filter(|(_, (lng, lat, t))| {
+                window.contains_point(&Point::new(*lng, *lat)) && (time.0..=time.1).contains(t)
+            })
+            .map(|(fid, _)| *fid)
+            .collect();
+        expected.sort_unstable();
+
+        prop_assert_eq!(got, expected, "index kind {:?}", kind);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

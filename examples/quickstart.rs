@@ -1,0 +1,92 @@
+//! Quickstart: the complete JUST workflow through JustQL — create a
+//! table, insert spatio-temporal records, and run the paper's three query
+//! types (spatial range, spatio-temporal range, k-NN), plus views and the
+//! Figure 8 plan-optimization demo.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use just::engine::{Engine, EngineConfig, SessionManager};
+use just::sql::Client;
+use std::sync::Arc;
+
+fn main() {
+    let dir = std::env::temp_dir().join(format!("just-quickstart-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+
+    // The service layer: one shared engine, per-user sessions.
+    let engine = Arc::new(Engine::open(&dir, EngineConfig::default()).expect("open engine"));
+    let sessions = SessionManager::new(engine);
+    let mut client = Client::new(sessions.session("demo"));
+
+    // --- Definition operation: a common table (Section IV-D) ------------
+    run(&mut client,
+        "CREATE TABLE orders (fid integer:primary key, name string, time date, geom point:srid=4326)");
+
+    // --- Manipulation operation: insert a small grid of orders ----------
+    let mut values = Vec::new();
+    for i in 0..200i64 {
+        let lng = 116.30 + (i % 20) as f64 * 0.005;
+        let lat = 39.85 + (i / 20) as f64 * 0.005;
+        let t = i * 30 * 60 * 1000; // every 30 minutes
+        values.push(format!("({i}, 'order-{i}', {t}, st_makePoint({lng}, {lat}))"));
+    }
+    run(&mut client, &format!("INSERT INTO orders VALUES {}", values.join(", ")));
+
+    // --- Spatial range query (Section V-C) -------------------------------
+    query(&mut client,
+        "SELECT fid, name FROM orders WHERE geom WITHIN st_makeMBR(116.30, 39.85, 116.33, 39.88)");
+
+    // --- Spatio-temporal range query -------------------------------------
+    query(&mut client,
+        "SELECT fid FROM orders WHERE geom WITHIN st_makeMBR(116.30, 39.85, 116.40, 39.95) \
+         AND time BETWEEN 0 AND 86400000");
+
+    // --- k-NN query (Algorithm 1) ----------------------------------------
+    query(&mut client,
+        "SELECT fid, distance FROM orders WHERE geom IN st_KNN(st_makePoint(116.35, 39.90), 5)");
+
+    // --- Views: one query, multiple usages --------------------------------
+    run(&mut client,
+        "CREATE VIEW nearby AS SELECT * FROM orders \
+         WHERE geom WITHIN st_makeMBR(116.30, 39.85, 116.35, 39.90)");
+    query(&mut client, "SELECT count(*) AS n FROM nearby");
+    query(&mut client,
+        "SELECT st_x(geom) AS lng, count(*) AS n FROM nearby GROUP BY st_x(geom) \
+         ORDER BY n DESC LIMIT 3");
+    run(&mut client, "STORE VIEW nearby TO TABLE nearby_orders");
+
+    // --- The Figure 8 optimizer demo --------------------------------------
+    let (analyzed, optimized) = client
+        .explain(
+            "SELECT name, geom FROM (SELECT * FROM orders) t \
+             WHERE fid = 52*9 AND geom WITHIN st_makeMBR(116.3, 39.85, 116.4, 39.95) \
+             ORDER BY time",
+        )
+        .expect("explain");
+    println!("--- analyzed plan ---\n{analyzed}");
+    println!("--- optimized plan ---\n{optimized}");
+
+    // --- Catalog operations -----------------------------------------------
+    query(&mut client, "SHOW TABLES");
+    query(&mut client, "DESC TABLE orders");
+
+    std::fs::remove_dir_all(&dir).ok();
+    println!("quickstart complete");
+}
+
+fn run(client: &mut Client, sql: &str) {
+    println!("\n>>> {sql}");
+    match client.execute(sql).expect("statement failed") {
+        just::sql::QueryResult::Message(m) => println!("{m}"),
+        just::sql::QueryResult::Data(d) => println!("{}", d.render(10)),
+    }
+}
+
+fn query(client: &mut Client, sql: &str) {
+    println!("\n>>> {sql}");
+    let result = client.execute(sql).expect("query failed");
+    let data = result.dataset().expect("expected rows");
+    println!("{}", data.render(8));
+}

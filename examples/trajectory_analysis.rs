@@ -1,0 +1,125 @@
+//! The Map Recovery System workflow (Section VII-B): load courier
+//! trajectories into a trajectory plugin table, preprocess them (noise
+//! filter → segmentation → stay points), and map-match the clean segments
+//! onto a road network.
+//!
+//! ```text
+//! cargo run --release --example trajectory_analysis
+//! ```
+
+use just::analysis::{
+    map_match, noise_filter, segment, stay_points, MapMatchParams, NoiseFilterParams,
+    RoadNetwork, SegmentParams, StayPointParams, Trajectory,
+};
+use just::compress::gps::GpsSample;
+use just::engine::{Engine, EngineConfig, SessionManager};
+use just::geo::{Geometry, Point, Rect, StPoint};
+use just::storage::{Row, SpatialPredicate, Value};
+use std::sync::Arc;
+
+fn main() {
+    let dir = std::env::temp_dir().join(format!("just-traj-example-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let engine = Arc::new(Engine::open(&dir, EngineConfig::default()).expect("open"));
+    let sessions = SessionManager::new(engine);
+    let session = sessions.session("logistics");
+
+    // A Manhattan-style road network substrate (the commercial-map
+    // substitute).
+    let net = RoadNetwork::grid_network(Point::new(116.30, 39.85), 20, 0.002);
+    println!(
+        "road network: {} nodes, {} directed segments",
+        net.num_nodes(),
+        net.num_segments()
+    );
+
+    // --- Simulate a courier shift: drive, stop to deliver, drive --------
+    let mut pts: Vec<StPoint> = Vec::new();
+    let mut t = 8 * 3_600_000i64; // 08:00
+    // Leg 1: east along a street, with GPS jitter and one glitch.
+    for i in 0..120 {
+        let x = 116.3002 + i as f64 * 0.00015;
+        let jitter = if i % 3 == 0 { 4e-5 } else { -3e-5 };
+        pts.push(StPoint::new(x, 39.854 + jitter, t));
+        t += 1000;
+    }
+    pts.push(StPoint::new(116.50, 39.99, t - 500)); // GPS glitch (teleport)
+    // Delivery stop: 25 minutes at a doorstep.
+    for i in 0..25 {
+        pts.push(StPoint::new(116.3182 + (i % 2) as f64 * 1e-5, 39.8541, t));
+        t += 60_000;
+    }
+    // Leg 2: north along the cross street.
+    for i in 0..100 {
+        pts.push(StPoint::new(116.318, 39.854 + i as f64 * 0.00012, t));
+        t += 1000;
+    }
+    let raw = Trajectory::new("courier-007", pts);
+    println!("raw trajectory: {} samples", raw.len());
+
+    // --- 1-N preprocessing pipeline --------------------------------------
+    let clean = noise_filter(&raw, &NoiseFilterParams::default());
+    println!("after noise filter: {} samples ({} dropped)", clean.len(), raw.len() - clean.len());
+
+    let segments = segment(&clean, &SegmentParams { max_gap_ms: 10 * 60_000, ..Default::default() });
+    println!("segments: {}", segments.len());
+
+    let stays = stay_points(&clean, &StayPointParams::default());
+    for s in &stays {
+        println!(
+            "stay point at ({:.4}, {:.4}) for {} min — a delivery",
+            s.centroid.x,
+            s.centroid.y,
+            s.duration_ms() / 60_000
+        );
+    }
+
+    // --- Map matching ------------------------------------------------------
+    let matched = map_match(&net, &clean, &MapMatchParams::default());
+    let unique_segments: std::collections::HashSet<_> =
+        matched.iter().map(|m| m.segment).collect();
+    let mean_err: f64 =
+        matched.iter().map(|m| m.error_m).sum::<f64>() / matched.len().max(1) as f64;
+    println!(
+        "map matching: {} samples matched onto {} road segments, mean error {:.1} m",
+        matched.len(),
+        unique_segments.len(),
+        mean_err
+    );
+
+    // --- Store into the trajectory plugin table and query back ------------
+    session
+        .create_plugin_table("traj", "trajectory", None, None)
+        .expect("create plugin table");
+    let samples: Vec<GpsSample> = clean
+        .points
+        .iter()
+        .map(|p| GpsSample { lng: p.point.x, lat: p.point.y, time_ms: p.time_ms })
+        .collect();
+    let mbr = clean.mbr();
+    let (t0, t1) = clean.time_span().unwrap();
+    let row = Row::new(vec![
+        Value::Str(clean.oid.clone()),
+        Value::Geom(Geometry::Rect(mbr)),
+        Value::Date(t0),
+        Value::Date(t1),
+        Value::Geom(Geometry::Point(clean.points.first().unwrap().point)),
+        Value::Geom(Geometry::Point(clean.points.last().unwrap().point)),
+        Value::GpsList(samples),
+    ]);
+    session.insert("traj", &[row]).expect("insert trajectory");
+
+    let window = Rect::new(116.31, 39.85, 116.33, 39.87);
+    let hits = session
+        .st_range("traj", &window, 0, 24 * 3_600_000, SpatialPredicate::Intersects)
+        .expect("st query");
+    println!(
+        "XZ2T spatio-temporal query found {} trajectory(ies) crossing the window",
+        hits.len()
+    );
+    let gps = hits.rows[0].values[6].as_gps_list().unwrap();
+    println!("stored GPS list survives compression: {} samples", gps.len());
+
+    std::fs::remove_dir_all(&dir).ok();
+    println!("trajectory analysis complete");
+}

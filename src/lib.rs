@@ -1,0 +1,71 @@
+//! # JUST — JD Urban Spatio-Temporal Data Engine (Rust reproduction)
+//!
+//! A from-scratch Rust implementation of the system described in
+//! *JUST: JD Urban Spatio-Temporal Data Engine* (ICDE 2020), including
+//! every substrate the paper builds on: an HBase-like ordered key-value
+//! store, a GeoMesa-like curve-indexed storage layer (with the paper's
+//! novel **Z2T** and **XZ2T** indexes and field compression), a Spark-
+//! SQL-like DataFrame executor behind the **JustQL** language, trajectory
+//! analysis operations, and the baseline engines used in the evaluation.
+//!
+//! This crate is a facade re-exporting the workspace crates:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`geo`] | `just-geo` | geometry model, WKT, coordinate transforms |
+//! | [`compress`] | `just-compress` | LZSS/Huffman codecs, GPS delta codec |
+//! | [`curves`] | `just-curves` | Z2/Z3/XZ2/XZ3 + Z2T/XZ2T |
+//! | [`kvstore`] | `just-kvstore` | the HBase stand-in |
+//! | [`storage`] | `just-storage` | schemas, row codec, index strategies |
+//! | [`engine`] | `just-core` | catalog, queries, k-NN, sessions |
+//! | [`analysis`] | `just-analysis` | trajectory ops, map matching, DBSCAN |
+//! | [`sql`] | `just-ql` | the JustQL parser/optimizer/executor |
+//! | [`baselines`] | `just-baselines` | comparison engines |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use just::sql::Client;
+//! use just::engine::{Engine, EngineConfig, SessionManager};
+//! use std::sync::Arc;
+//!
+//! let dir = std::env::temp_dir().join(format!("just-facade-{}", std::process::id()));
+//! std::fs::remove_dir_all(&dir).ok();
+//! let engine = Arc::new(Engine::open(&dir, EngineConfig::default()).unwrap());
+//! let sessions = SessionManager::new(engine);
+//! let mut client = Client::new(sessions.session("demo"));
+//! client.execute("CREATE TABLE pts (fid integer:primary key, time date, geom point)").unwrap();
+//! client.execute("INSERT INTO pts VALUES (1, 0, st_makePoint(116.4, 39.9))").unwrap();
+//! let hits = client
+//!     .execute("SELECT fid FROM pts WHERE geom WITHIN st_makeMBR(116, 39, 117, 40)")
+//!     .unwrap();
+//! assert_eq!(hits.dataset().unwrap().len(), 1);
+//! # std::fs::remove_dir_all(&dir).ok();
+//! ```
+
+/// Geometry model (`just-geo`).
+pub use just_geo as geo;
+
+/// Compression codecs (`just-compress`).
+pub use just_compress as compress;
+
+/// Space-filling-curve indexes (`just-curves`).
+pub use just_curves as curves;
+
+/// The ordered key-value store (`just-kvstore`).
+pub use just_kvstore as kvstore;
+
+/// The spatio-temporal storage layer (`just-storage`).
+pub use just_storage as storage;
+
+/// The JUST engine (`just-core`).
+pub use just_core as engine;
+
+/// Analysis operations (`just-analysis`).
+pub use just_analysis as analysis;
+
+/// The JustQL SQL layer (`just-ql`).
+pub use just_ql as sql;
+
+/// Baseline engines for the evaluation (`just-baselines`).
+pub use just_baselines as baselines;
