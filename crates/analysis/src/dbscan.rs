@@ -36,9 +36,8 @@ pub fn dbscan(points: &[Point], params: &DbscanParams) -> Vec<ClusterLabel> {
     // Grid index with eps-sized cells: all neighbours of a point live in
     // its 3×3 cell neighbourhood.
     let cell = params.eps;
-    let key = |p: &Point| -> (i64, i64) {
-        ((p.x / cell).floor() as i64, (p.y / cell).floor() as i64)
-    };
+    let key =
+        |p: &Point| -> (i64, i64) { ((p.x / cell).floor() as i64, (p.y / cell).floor() as i64) };
     let mut grid: HashMap<(i64, i64), Vec<usize>> = HashMap::new();
     for (i, p) in points.iter().enumerate() {
         grid.entry(key(p)).or_default().push(i);
@@ -126,7 +125,13 @@ mod tests {
         let mut pts = blob(116.0, 39.0, 50, 0.005);
         pts.extend(blob(116.5, 39.5, 50, 0.005));
         pts.push(Point::new(118.0, 41.0)); // isolated noise
-        let labels = dbscan(&pts, &DbscanParams { eps: 0.01, min_pts: 5 });
+        let labels = dbscan(
+            &pts,
+            &DbscanParams {
+                eps: 0.01,
+                min_pts: 5,
+            },
+        );
         let cs = clusters(&labels);
         assert_eq!(cs.len(), 2);
         assert_eq!(cs[0].len() + cs[1].len(), 100);
@@ -138,10 +143,14 @@ mod tests {
 
     #[test]
     fn all_noise_when_sparse() {
-        let pts: Vec<Point> = (0..20)
-            .map(|i| Point::new(i as f64 * 10.0, 0.0))
-            .collect();
-        let labels = dbscan(&pts, &DbscanParams { eps: 0.5, min_pts: 3 });
+        let pts: Vec<Point> = (0..20).map(|i| Point::new(i as f64 * 10.0, 0.0)).collect();
+        let labels = dbscan(
+            &pts,
+            &DbscanParams {
+                eps: 0.5,
+                min_pts: 3,
+            },
+        );
         assert!(labels.iter().all(|l| *l == ClusterLabel::Noise));
     }
 
@@ -151,7 +160,13 @@ mod tests {
         // few neighbours to be core but is density-reachable.
         let mut pts = blob(0.0, 0.0, 30, 0.001);
         pts.push(Point::new(0.0019, 0.0)); // within eps of the rim
-        let labels = dbscan(&pts, &DbscanParams { eps: 0.001, min_pts: 8 });
+        let labels = dbscan(
+            &pts,
+            &DbscanParams {
+                eps: 0.001,
+                min_pts: 8,
+            },
+        );
         match labels[30] {
             ClusterLabel::Cluster(_) => {}
             ClusterLabel::Noise => {
@@ -166,13 +181,26 @@ mod tests {
 
     #[test]
     fn empty_input() {
-        assert!(dbscan(&[], &DbscanParams { eps: 1.0, min_pts: 2 }).is_empty());
+        assert!(dbscan(
+            &[],
+            &DbscanParams {
+                eps: 1.0,
+                min_pts: 2
+            }
+        )
+        .is_empty());
     }
 
     #[test]
     fn single_cluster_entirely() {
         let pts = blob(1.0, 1.0, 40, 0.002);
-        let labels = dbscan(&pts, &DbscanParams { eps: 0.01, min_pts: 3 });
+        let labels = dbscan(
+            &pts,
+            &DbscanParams {
+                eps: 0.01,
+                min_pts: 3,
+            },
+        );
         let cs = clusters(&labels);
         assert_eq!(cs.len(), 1);
         assert_eq!(cs[0].len(), 40);

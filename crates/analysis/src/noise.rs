@@ -88,6 +88,9 @@ mod tests {
         let empty = Trajectory::new("t", vec![]);
         assert!(noise_filter(&empty, &NoiseFilterParams::default()).is_empty());
         let single = Trajectory::new("t", vec![StPoint::new(1.0, 1.0, 0)]);
-        assert_eq!(noise_filter(&single, &NoiseFilterParams::default()).len(), 1);
+        assert_eq!(
+            noise_filter(&single, &NoiseFilterParams::default()).len(),
+            1
+        );
     }
 }

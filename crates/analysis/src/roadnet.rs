@@ -169,7 +169,10 @@ impl RoadNetwork {
         impl Eq for Item {}
         impl Ord for Item {
             fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-                other.0.partial_cmp(&self.0).unwrap_or(std::cmp::Ordering::Equal)
+                other
+                    .0
+                    .partial_cmp(&self.0)
+                    .unwrap_or(std::cmp::Ordering::Equal)
             }
         }
         impl PartialOrd for Item {

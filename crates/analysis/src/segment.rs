@@ -107,7 +107,10 @@ mod tests {
 
     #[test]
     fn continuous_trajectory_stays_whole() {
-        let segs = segment(&Trajectory::new("t", walk(0, 50)), &SegmentParams::default());
+        let segs = segment(
+            &Trajectory::new("t", walk(0, 50)),
+            &SegmentParams::default(),
+        );
         assert_eq!(segs.len(), 1);
         assert_eq!(segs[0].len(), 50);
     }

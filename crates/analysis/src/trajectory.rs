@@ -91,7 +91,10 @@ mod tests {
     fn geometry_summaries() {
         let t = Trajectory::new(
             "t1",
-            vec![StPoint::new(116.0, 39.0, 0), StPoint::new(116.0, 40.0, 3_600_000)],
+            vec![
+                StPoint::new(116.0, 39.0, 0),
+                StPoint::new(116.0, 40.0, 3_600_000),
+            ],
         );
         assert_eq!(t.mbr(), Rect::new(116.0, 39.0, 116.0, 40.0));
         assert!((t.length_m() - 111_195.0).abs() < 200.0);

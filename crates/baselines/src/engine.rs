@@ -109,9 +109,7 @@ impl MemoryBudget {
     /// Checks a build-time requirement.
     pub fn check(&self, required: usize) -> Result<(), EngineError> {
         match self.bytes {
-            Some(budget) if required > budget => {
-                Err(EngineError::OutOfMemory { required, budget })
-            }
+            Some(budget) if required > budget => Err(EngineError::OutOfMemory { required, budget }),
             _ => Ok(()),
         }
     }

@@ -32,10 +32,10 @@ impl GridEngine {
 
     fn cell_of(&self, x: f64, y: f64) -> (u32, u32) {
         let n = self.cells_per_side as f64;
-        let cx = ((x - self.extent.min_x) / self.extent.width().max(1e-12) * n)
-            .clamp(0.0, n - 1.0) as u32;
-        let cy = ((y - self.extent.min_y) / self.extent.height().max(1e-12) * n)
-            .clamp(0.0, n - 1.0) as u32;
+        let cx = ((x - self.extent.min_x) / self.extent.width().max(1e-12) * n).clamp(0.0, n - 1.0)
+            as u32;
+        let cy = ((y - self.extent.min_y) / self.extent.height().max(1e-12) * n).clamp(0.0, n - 1.0)
+            as u32;
         (cx, cy)
     }
 
@@ -104,7 +104,9 @@ impl SpatialEngine for GridEngine {
     }
 
     fn st_range(&self, _window: &Rect, _t0: i64, _t1: i64) -> Result<Vec<u64>, EngineError> {
-        Err(EngineError::Unsupported("st_range (GeoSpark is spatial-only)"))
+        Err(EngineError::Unsupported(
+            "st_range (GeoSpark is spatial-only)",
+        ))
     }
 
     fn knn(&self, q: Point, k: usize) -> Result<Vec<u64>, EngineError> {

@@ -106,19 +106,19 @@ impl HadoopSimEngine {
 
     /// Runs a "job": pays the startup cost, reads every partition whose
     /// cell could overlap the window, filters.
-    fn job(
-        &self,
-        window: &Rect,
-        time: Option<(i64, i64)>,
-    ) -> Result<Vec<u64>, EngineError> {
+    fn job(&self, window: &Rect, time: Option<(i64, i64)>) -> Result<Vec<u64>, EngineError> {
         if !self.job_overhead.is_zero() {
             std::thread::sleep(self.job_overhead);
         }
         let n = GRID as f64;
         let w = self.extent.width().max(1e-12);
         let h = self.extent.height().max(1e-12);
-        let x0 = (((window.min_x - self.extent.min_x) / w * n).floor().max(0.0)) as u32;
-        let y0 = (((window.min_y - self.extent.min_y) / h * n).floor().max(0.0)) as u32;
+        let x0 = (((window.min_x - self.extent.min_x) / w * n)
+            .floor()
+            .max(0.0)) as u32;
+        let y0 = (((window.min_y - self.extent.min_y) / h * n)
+            .floor()
+            .max(0.0)) as u32;
         let x1 = (((window.max_x - self.extent.min_x) / w * n)
             .floor()
             .clamp(0.0, n - 1.0)) as u32;
@@ -131,8 +131,7 @@ impl HadoopSimEngine {
                 let Some(path) = self.partitions.get(&(cx, cy)) else {
                     continue;
                 };
-                let bytes =
-                    std::fs::read(path).map_err(|e| EngineError::Io(e.to_string()))?;
+                let bytes = std::fs::read(path).map_err(|e| EngineError::Io(e.to_string()))?;
                 for r in Self::decode(&bytes)? {
                     if !r.mbr.intersects(window) {
                         continue;
@@ -184,7 +183,9 @@ impl SpatialEngine for HadoopSimEngine {
         }
         self.partitions.clear();
         for (cell, bucket) in buckets {
-            let path = self.dir.join(format!("part-{:02}-{:02}.bin", cell.0, cell.1));
+            let path = self
+                .dir
+                .join(format!("part-{:02}-{:02}.bin", cell.0, cell.1));
             std::fs::write(&path, Self::encode(&bucket))
                 .map_err(|e| EngineError::Io(e.to_string()))?;
             self.partitions.insert(cell, path);
@@ -220,8 +221,8 @@ impl SpatialEngine for HadoopSimEngine {
                         let Some(path) = self.partitions.get(&(cx, cy)) else {
                             continue;
                         };
-                        let bytes = std::fs::read(path)
-                            .map_err(|e| EngineError::Io(e.to_string()))?;
+                        let bytes =
+                            std::fs::read(path).map_err(|e| EngineError::Io(e.to_string()))?;
                         for r in Self::decode(&bytes)? {
                             if ids.binary_search(&r.id).is_ok() {
                                 with_d.push((just_geo::euclidean(&r.point, &q), r.id));
@@ -347,10 +348,7 @@ mod tests {
     #[test]
     fn job_overhead_is_paid_per_query() {
         let records = recs(50);
-        let dir = std::env::temp_dir().join(format!(
-            "just-hadoop-overhead-{}",
-            std::process::id()
-        ));
+        let dir = std::env::temp_dir().join(format!("just-hadoop-overhead-{}", std::process::id()));
         std::fs::remove_dir_all(&dir).ok();
         let mut e = HadoopSimEngine::new(dir.clone(), Duration::from_millis(30), false);
         e.build(&records).unwrap();

@@ -40,7 +40,11 @@ impl KdTreeEngine {
         let axis = (depth % 2) as u8;
         items.sort_by(|&a, &b| {
             let (pa, pb) = (records[a].point, records[b].point);
-            let (ka, kb) = if axis == 0 { (pa.x, pb.x) } else { (pa.y, pb.y) };
+            let (ka, kb) = if axis == 0 {
+                (pa.x, pb.x)
+            } else {
+                (pa.y, pb.y)
+            };
             ka.partial_cmp(&kb).unwrap_or(std::cmp::Ordering::Equal)
         });
         let mid = items.len() / 2;
@@ -96,8 +100,7 @@ impl KdTreeEngine {
         // Explore the far side only if the splitting plane is closer than
         // the current k-th best.
         let plane_dist = (qk - key).abs();
-        if best.len() < k || plane_dist <= best.last().map(|(d, _)| *d).unwrap_or(f64::INFINITY)
-        {
+        if best.len() < k || plane_dist <= best.last().map(|(d, _)| *d).unwrap_or(f64::INFINITY) {
             self.knn_search(far, q, k, best);
         }
     }
@@ -127,7 +130,9 @@ impl SpatialEngine for KdTreeEngine {
     }
 
     fn st_range(&self, _window: &Rect, _t0: i64, _t1: i64) -> Result<Vec<u64>, EngineError> {
-        Err(EngineError::Unsupported("st_range (MD-HBase is spatial-only)"))
+        Err(EngineError::Unsupported(
+            "st_range (MD-HBase is spatial-only)",
+        ))
     }
 
     fn knn(&self, q: Point, k: usize) -> Result<Vec<u64>, EngineError> {
@@ -162,7 +167,11 @@ impl SpatialEngine for KdTreeEngine {
                 }
                 Some(n) => {
                     let np = self.records[n.idx].point;
-                    let (key, qk) = if n.axis == 0 { (np.x, p.x) } else { (np.y, p.y) };
+                    let (key, qk) = if n.axis == 0 {
+                        (np.x, p.x)
+                    } else {
+                        (np.y, p.y)
+                    };
                     node = if qk <= key { &mut n.left } else { &mut n.right };
                     depth += 1;
                 }

@@ -31,7 +31,8 @@ impl QNode {
     }
 
     fn insert(&mut self, idx: usize, p: Point, records: &[StRecord]) {
-        if self.children.is_none() && (self.entries.len() < LEAF_CAPACITY || self.depth >= MAX_DEPTH)
+        if self.children.is_none()
+            && (self.entries.len() < LEAF_CAPACITY || self.depth >= MAX_DEPTH)
         {
             self.entries.push(idx);
             return;
@@ -157,7 +158,10 @@ impl SpatialEngine for QuadTreeEngine {
         impl Eq for Item<'_> {}
         impl Ord for Item<'_> {
             fn cmp(&self, other: &Self) -> Ordering {
-                other.dist.partial_cmp(&self.dist).unwrap_or(Ordering::Equal)
+                other
+                    .dist
+                    .partial_cmp(&self.dist)
+                    .unwrap_or(Ordering::Equal)
             }
         }
         impl PartialOrd for Item<'_> {

@@ -190,7 +190,10 @@ impl SpatialEngine for RTreeEngine {
         impl Eq for Item<'_> {}
         impl Ord for Item<'_> {
             fn cmp(&self, other: &Self) -> Ordering {
-                other.dist.partial_cmp(&self.dist).unwrap_or(Ordering::Equal)
+                other
+                    .dist
+                    .partial_cmp(&self.dist)
+                    .unwrap_or(Ordering::Equal)
             }
         }
         impl PartialOrd for Item<'_> {

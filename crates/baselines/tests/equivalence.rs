@@ -1,35 +1,52 @@
-//! Property test: every baseline engine answers range and k-NN queries
-//! identically to brute force (so benchmark comparisons measure speed,
-//! not correctness differences).
+//! Randomized equivalence tests: every baseline engine answers range and
+//! k-NN queries identically to brute force (so benchmark comparisons
+//! measure speed, not correctness differences). Deterministically seeded
+//! (the offline stand-in for proptest).
 
 use just_baselines::*;
 use just_geo::{Point, Rect};
-use proptest::prelude::*;
+use just_obs::Rng;
 use std::time::Duration;
 
-fn arb_records() -> impl Strategy<Value = Vec<StRecord>> {
-    proptest::collection::vec(
-        (100.0f64..130.0, 20.0f64..50.0, 0i64..1_000_000),
-        1..150,
-    )
-    .prop_map(|pts| {
-        pts.into_iter()
-            .enumerate()
-            .map(|(i, (x, y, t))| StRecord::point(i as u64, Point::new(x, y), t, 64))
-            .collect()
-    })
+const CASES: u64 = 24;
+
+fn rand_records(rng: &mut Rng) -> Vec<StRecord> {
+    let n = rng.gen_range(1usize..150);
+    (0..n)
+        .map(|i| {
+            let x = rng.gen_range(100.0f64..130.0);
+            let y = rng.gen_range(20.0f64..50.0);
+            let t = rng.gen_range(0i64..1_000_000);
+            StRecord::point(i as u64, Point::new(x, y), t, 64)
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+fn engine_set(tag: &str) -> (Vec<Box<dyn SpatialEngine>>, std::path::PathBuf) {
+    let dir = std::env::temp_dir().join(format!(
+        "just-bl-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+    let engines: Vec<Box<dyn SpatialEngine>> = vec![
+        Box::new(RTreeEngine::new(MemoryBudget::unlimited())),
+        Box::new(GridEngine::new(MemoryBudget::unlimited(), 16)),
+        Box::new(QuadTreeEngine::new(MemoryBudget::unlimited())),
+        Box::new(KdTreeEngine::new(MemoryBudget::unlimited())),
+        Box::new(HadoopSimEngine::new(dir.clone(), Duration::ZERO, true)),
+    ];
+    (engines, dir)
+}
 
-    #[test]
-    fn all_engines_agree_on_range_queries(
-        records in arb_records(),
-        qx in 100.0f64..129.0,
-        qy in 20.0f64..49.0,
-        qs in 0.5f64..8.0,
-    ) {
+#[test]
+fn all_engines_agree_on_range_queries() {
+    let mut rng = Rng::seed_from_u64(0x626c_0001);
+    for case in 0..CASES {
+        let records = rand_records(&mut rng);
+        let qx = rng.gen_range(100.0f64..129.0);
+        let qy = rng.gen_range(20.0f64..49.0);
+        let qs = rng.gen_range(0.5f64..8.0);
         let window = Rect::new(qx, qy, qx + qs, qy + qs);
         let mut want: Vec<u64> = records
             .iter()
@@ -38,37 +55,24 @@ proptest! {
             .collect();
         want.sort_unstable();
 
-        let dir = std::env::temp_dir().join(format!(
-            "just-bl-eq-{}-{:?}",
-            std::process::id(),
-            std::thread::current().id()
-        ));
-        std::fs::remove_dir_all(&dir).ok();
-
-        let mut engines: Vec<Box<dyn SpatialEngine>> = vec![
-            Box::new(RTreeEngine::new(MemoryBudget::unlimited())),
-            Box::new(GridEngine::new(MemoryBudget::unlimited(), 16)),
-            Box::new(QuadTreeEngine::new(MemoryBudget::unlimited())),
-            Box::new(KdTreeEngine::new(MemoryBudget::unlimited())),
-            Box::new(HadoopSimEngine::new(dir.clone(), Duration::ZERO, true)),
-        ];
+        let (mut engines, dir) = engine_set("eq");
         for e in &mut engines {
             e.build(&records).unwrap();
             let mut got = e.spatial_range(&window).unwrap();
             got.sort_unstable();
-            prop_assert_eq!(&got, &want, "{} range mismatch", e.name());
+            assert_eq!(got, want, "case {case}: {} range mismatch", e.name());
         }
         std::fs::remove_dir_all(&dir).ok();
     }
+}
 
-    #[test]
-    fn all_engines_agree_on_knn_distances(
-        records in arb_records(),
-        qx in 100.0f64..130.0,
-        qy in 20.0f64..50.0,
-        k in 1usize..20,
-    ) {
-        let q = Point::new(qx, qy);
+#[test]
+fn all_engines_agree_on_knn_distances() {
+    let mut rng = Rng::seed_from_u64(0x626c_0002);
+    for case in 0..CASES {
+        let records = rand_records(&mut rng);
+        let q = Point::new(rng.gen_range(100.0f64..130.0), rng.gen_range(20.0f64..50.0));
+        let k = rng.gen_range(1usize..20);
         let mut brute: Vec<f64> = records
             .iter()
             .map(|r| just_geo::euclidean(&r.point, &q))
@@ -76,28 +80,19 @@ proptest! {
         brute.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let want: Vec<f64> = brute.into_iter().take(k).collect();
 
-        let dir = std::env::temp_dir().join(format!(
-            "just-bl-knn-{}-{:?}",
-            std::process::id(),
-            std::thread::current().id()
-        ));
-        std::fs::remove_dir_all(&dir).ok();
-
-        let mut engines: Vec<Box<dyn SpatialEngine>> = vec![
-            Box::new(RTreeEngine::new(MemoryBudget::unlimited())),
-            Box::new(GridEngine::new(MemoryBudget::unlimited(), 16)),
-            Box::new(QuadTreeEngine::new(MemoryBudget::unlimited())),
-            Box::new(KdTreeEngine::new(MemoryBudget::unlimited())),
-            Box::new(HadoopSimEngine::new(dir.clone(), Duration::ZERO, true)),
-        ];
+        let (mut engines, dir) = engine_set("knn");
         for e in &mut engines {
             e.build(&records).unwrap();
             let got = e.knn(q, k).unwrap();
-            prop_assert_eq!(got.len(), want.len(), "{} knn count", e.name());
+            assert_eq!(got.len(), want.len(), "case {case}: {} knn count", e.name());
             for (id, wd) in got.iter().zip(&want) {
                 let rec = records.iter().find(|r| r.id == *id).unwrap();
                 let gd = just_geo::euclidean(&rec.point, &q);
-                prop_assert!((gd - wd).abs() < 1e-9, "{}: {gd} vs {wd}", e.name());
+                assert!(
+                    (gd - wd).abs() < 1e-9,
+                    "case {case}: {}: {gd} vs {wd}",
+                    e.name()
+                );
             }
         }
         std::fs::remove_dir_all(&dir).ok();

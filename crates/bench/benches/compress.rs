@@ -2,9 +2,10 @@
 //! the GPS-list field of a trajectory row (the paper's gzip target) and
 //! generic text.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use just_bench::harness::bench;
 use just_bench::TrajDataset;
 use just_compress::{gps, Codec};
+use std::hint::black_box;
 
 fn payloads() -> (Vec<u8>, Vec<u8>) {
     let trajs = TrajDataset::generate(1, 1000, 7);
@@ -21,42 +22,34 @@ fn payloads() -> (Vec<u8>, Vec<u8>) {
     (raw, delta)
 }
 
-fn bench_codecs(c: &mut Criterion) {
+fn main() {
     let (raw, delta) = payloads();
-    let mut g = c.benchmark_group("compress_gps_1000pts");
-    g.throughput(Throughput::Bytes(raw.len() as u64));
-    g.bench_function("gzip_raw", |b| {
-        b.iter(|| Codec::Gzip.compress(black_box(&raw)))
+    println!(
+        "payload: {} raw bytes, {} delta-encoded bytes",
+        raw.len(),
+        delta.len()
+    );
+    bench("compress_gps_1000pts/gzip_raw", || {
+        Codec::Gzip.compress(black_box(&raw))
     });
-    g.bench_function("zip_raw", |b| {
-        b.iter(|| Codec::Zip.compress(black_box(&raw)))
+    bench("compress_gps_1000pts/zip_raw", || {
+        Codec::Zip.compress(black_box(&raw))
     });
-    g.bench_function("gzip_delta", |b| {
-        b.iter(|| Codec::Gzip.compress(black_box(&delta)))
+    bench("compress_gps_1000pts/gzip_delta", || {
+        Codec::Gzip.compress(black_box(&delta))
     });
     let packed = Codec::Gzip.compress(&raw);
-    g.bench_function("gzip_decompress", |b| {
-        b.iter(|| Codec::decompress(black_box(&packed)).unwrap())
+    bench("compress_gps_1000pts/gzip_decompress", || {
+        Codec::decompress(black_box(&packed)).unwrap()
     });
-    g.finish();
 
-    let mut g = c.benchmark_group("gps_delta_codec");
     let trajs = TrajDataset::generate(1, 1000, 7);
     let samples = trajs.trajectories[0].samples.clone();
-    g.bench_function("encode_1000", |b| b.iter(|| gps::encode(black_box(&samples))));
-    let encoded = gps::encode(&samples);
-    g.bench_function("decode_1000", |b| {
-        b.iter(|| gps::decode(black_box(&encoded)).unwrap())
+    bench("gps_delta_codec/encode_1000", || {
+        gps::encode(black_box(&samples))
     });
-    g.finish();
+    let encoded = gps::encode(&samples);
+    bench("gps_delta_codec/decode_1000", || {
+        gps::decode(black_box(&encoded)).unwrap()
+    });
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default()
-        .sample_size(20)
-        .measurement_time(std::time::Duration::from_secs(3))
-        .warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_codecs
-}
-criterion_main!(benches);

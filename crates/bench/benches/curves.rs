@@ -3,75 +3,75 @@
 //! paper's Z2T/XZ2T against the Z3/XZ3 baselines (the per-query planning
 //! cost behind Figure 12).
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use just_bench::harness::bench;
 use just_curves::xz3::StMbr;
 use just_curves::*;
 use just_geo::{Point, Rect};
+use std::hint::black_box;
 
 const DAY_MS: i64 = 86_400_000;
 
-fn bench_encode(c: &mut Criterion) {
-    let mut g = c.benchmark_group("encode");
+fn bench_encode() {
     let z2 = Z2::default();
-    g.bench_function("z2_index", |b| {
-        b.iter(|| z2.index(black_box(116.397), black_box(39.916)))
+    bench("encode/z2_index", || {
+        z2.index(black_box(116.397), black_box(39.916))
     });
     let z3 = Z3::with_period(TimePeriod::Day);
-    g.bench_function("z3_index", |b| {
-        b.iter(|| z3.index(black_box(116.397), black_box(39.916), black_box(5 * 3_600_000)))
+    bench("encode/z3_index", || {
+        z3.index(
+            black_box(116.397),
+            black_box(39.916),
+            black_box(5 * 3_600_000),
+        )
     });
     let z2t = Z2t::new(TimePeriod::Day);
-    g.bench_function("z2t_index", |b| {
-        b.iter(|| z2t.index(black_box(116.397), black_box(39.916), black_box(5 * 3_600_000)))
+    bench("encode/z2t_index", || {
+        z2t.index(
+            black_box(116.397),
+            black_box(39.916),
+            black_box(5 * 3_600_000),
+        )
     });
     let xz2 = Xz2::default();
     let mbr = Rect::new(116.30, 39.90, 116.45, 39.99);
-    g.bench_function("xz2_index", |b| b.iter(|| xz2.index(black_box(&mbr))));
+    bench("encode/xz2_index", || xz2.index(black_box(&mbr)));
     let xz2t = Xz2t::new(TimePeriod::Day);
     let st = StMbr::new(mbr, 3_600_000, 5 * 3_600_000);
-    g.bench_function("xz2t_index", |b| b.iter(|| xz2t.index(black_box(&st))));
+    bench("encode/xz2t_index", || xz2t.index(black_box(&st)));
     let xz3 = Xz3::with_period(TimePeriod::Day);
-    g.bench_function("xz3_index", |b| b.iter(|| xz3.index(black_box(&st))));
-    g.finish();
+    bench("encode/xz3_index", || xz3.index(black_box(&st)));
 }
 
-fn bench_ranges(c: &mut Criterion) {
-    let mut g = c.benchmark_group("query_planning");
+fn bench_ranges() {
     let window = Rect::window_km(Point::new(116.4, 39.9), 3.0);
     let opts = RangeOptions::default();
     let z2 = Z2::default();
-    g.bench_function("z2_ranges_3km", |b| {
-        b.iter(|| z2.ranges(black_box(&window), &opts))
+    bench("query_planning/z2_ranges_3km", || {
+        z2.ranges(black_box(&window), &opts)
     });
     let z2t = Z2t::new(TimePeriod::Day);
-    g.bench_function("z2t_ranges_3km_12h", |b| {
-        b.iter(|| z2t.ranges(black_box(&window), 3_600_000, 13 * 3_600_000, &opts))
+    bench("query_planning/z2t_ranges_3km_12h", || {
+        z2t.ranges(black_box(&window), 3_600_000, 13 * 3_600_000, &opts)
     });
     let z3 = Z3::with_period(TimePeriod::Day);
-    g.bench_function("z3_ranges_3km_12h", |b| {
-        b.iter(|| z3.ranges(black_box(&window), 3_600_000, 13 * 3_600_000, &opts))
+    bench("query_planning/z3_ranges_3km_12h", || {
+        z3.ranges(black_box(&window), 3_600_000, 13 * 3_600_000, &opts)
     });
     let xz2t = Xz2t::new(TimePeriod::Day);
-    g.bench_function("xz2t_ranges_3km_12h", |b| {
-        b.iter(|| xz2t.ranges(black_box(&window), 3_600_000, 13 * 3_600_000, &opts))
+    bench("query_planning/xz2t_ranges_3km_12h", || {
+        xz2t.ranges(black_box(&window), 3_600_000, 13 * 3_600_000, &opts)
     });
     let xz3 = Xz3::with_period(TimePeriod::Day);
-    g.bench_function("xz3_ranges_3km_12h", |b| {
-        b.iter(|| xz3.ranges(black_box(&window), 3_600_000, 13 * 3_600_000, &opts))
+    bench("query_planning/xz3_ranges_3km_12h", || {
+        xz3.ranges(black_box(&window), 3_600_000, 13 * 3_600_000, &opts)
     });
     // Multi-day windows: Z2T replicates spatial ranges per period.
-    g.bench_function("z2t_ranges_3km_7d", |b| {
-        b.iter(|| z2t.ranges(black_box(&window), 0, 7 * DAY_MS, &opts))
+    bench("query_planning/z2t_ranges_3km_7d", || {
+        z2t.ranges(black_box(&window), 0, 7 * DAY_MS, &opts)
     });
-    g.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default()
-        .sample_size(20)
-        .measurement_time(std::time::Duration::from_secs(3))
-        .warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_encode, bench_ranges
+fn main() {
+    bench_encode();
+    bench_ranges();
 }
-criterion_main!(benches);

@@ -2,11 +2,12 @@
 //! "millions of updates per second" HBase property), range scans and
 //! parallel multi-range scans.
 
-use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
+use just_bench::harness::bench;
 use just_kvstore::{Store, StoreOptions};
+use std::hint::black_box;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-fn bench_kvstore(c: &mut Criterion) {
+fn main() {
     let dir = std::env::temp_dir().join(format!("just-bench-kv-{}", std::process::id()));
     std::fs::remove_dir_all(&dir).ok();
     let store = Store::open(&dir, StoreOptions::default()).unwrap();
@@ -14,34 +15,28 @@ fn bench_kvstore(c: &mut Criterion) {
     // Pre-populated table for scans.
     let table = store.create_table("scan", 4).unwrap();
     for i in 0..100_000u32 {
-        table
-            .put(i.to_be_bytes().to_vec(), vec![0u8; 64])
-            .unwrap();
+        table.put(i.to_be_bytes().to_vec(), vec![0u8; 64]).unwrap();
     }
     table.flush().unwrap();
 
-    let mut g = c.benchmark_group("kvstore");
     let write_table = store.create_table("writes", 4).unwrap();
     let counter = AtomicU64::new(0);
-    g.bench_function("put_64b", |b| {
-        b.iter_batched(
-            || counter.fetch_add(1, Ordering::Relaxed),
-            |i| write_table.put(i.to_be_bytes().to_vec(), vec![0u8; 64]).unwrap(),
-            BatchSize::SmallInput,
-        )
+    bench("kvstore/put_64b", || {
+        let i = counter.fetch_add(1, Ordering::Relaxed);
+        write_table
+            .put(i.to_be_bytes().to_vec(), vec![0u8; 64])
+            .unwrap()
     });
-    g.bench_function("get_hit", |b| {
-        b.iter(|| table.get(black_box(&5000u32.to_be_bytes())).unwrap())
+    bench("kvstore/get_hit", || {
+        table.get(black_box(&5000u32.to_be_bytes())).unwrap()
     });
-    g.bench_function("scan_1k_of_100k", |b| {
-        b.iter(|| {
-            table
-                .scan(
-                    black_box(&10_000u32.to_be_bytes()),
-                    black_box(&10_999u32.to_be_bytes()),
-                )
-                .unwrap()
-        })
+    bench("kvstore/scan_1k_of_100k", || {
+        table
+            .scan(
+                black_box(&10_000u32.to_be_bytes()),
+                black_box(&10_999u32.to_be_bytes()),
+            )
+            .unwrap()
     });
     let ranges: Vec<(Vec<u8>, Vec<u8>)> = (0..16u32)
         .map(|i| {
@@ -50,19 +45,8 @@ fn bench_kvstore(c: &mut Criterion) {
             (s, e)
         })
         .collect();
-    g.bench_function("parallel_scan_16_ranges", |b| {
-        b.iter(|| table.scan_ranges_parallel(black_box(&ranges)).unwrap())
+    bench("kvstore/parallel_scan_16_ranges", || {
+        table.scan_ranges_parallel(black_box(&ranges)).unwrap()
     });
-    g.finish();
     std::fs::remove_dir_all(&dir).ok();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default()
-        .sample_size(20)
-        .measurement_time(std::time::Duration::from_secs(3))
-        .warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_kvstore
-}
-criterion_main!(benches);

@@ -1,11 +1,12 @@
-//! End-to-end query benchmarks against a populated engine: the Criterion
-//! companions to Figures 11–13 (single default parameter point each).
+//! End-to-end query benchmarks against a populated engine: the
+//! micro-bench companions to Figures 11–13 (single default parameter
+//! point each).
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use just_bench::harness::bench;
 use just_bench::workload::{order_rows, query_points, query_windows, OrderDataset};
 use just_core::{Engine, EngineConfig};
-use just_geo::Point;
 use just_storage::{Field, FieldType, Schema, SpatialPredicate};
+use std::hint::black_box;
 
 fn setup() -> (Engine, std::path::PathBuf) {
     let dir = std::env::temp_dir().join(format!("just-bench-q-{}", std::process::id()));
@@ -24,53 +25,34 @@ fn setup() -> (Engine, std::path::PathBuf) {
     (engine, dir)
 }
 
-fn bench_queries(c: &mut Criterion) {
+fn main() {
     let (engine, dir) = setup();
     let windows = query_windows(64, 3.0, 7);
     let points = query_points(64, 7);
-    let mut g = c.benchmark_group("engine_queries_20k_orders");
-    g.sample_size(20);
     let mut wi = 0usize;
-    g.bench_function("spatial_range_3km", |b| {
-        b.iter(|| {
-            wi = (wi + 1) % windows.len();
-            engine
-                .spatial_range("orders", black_box(&windows[wi]), SpatialPredicate::Within)
-                .unwrap()
-        })
+    bench("engine_queries_20k_orders/spatial_range_3km", || {
+        wi = (wi + 1) % windows.len();
+        engine
+            .spatial_range("orders", black_box(&windows[wi]), SpatialPredicate::Within)
+            .unwrap()
     });
     let mut ti = 0usize;
-    g.bench_function("st_range_3km_1d", |b| {
-        b.iter(|| {
-            ti = (ti + 1) % windows.len();
-            engine
-                .st_range(
-                    "orders",
-                    black_box(&windows[ti]),
-                    0,
-                    86_400_000,
-                    SpatialPredicate::Within,
-                )
-                .unwrap()
-        })
+    bench("engine_queries_20k_orders/st_range_3km_1d", || {
+        ti = (ti + 1) % windows.len();
+        engine
+            .st_range(
+                "orders",
+                black_box(&windows[ti]),
+                0,
+                86_400_000,
+                SpatialPredicate::Within,
+            )
+            .unwrap()
     });
     let mut pi = 0usize;
-    g.bench_function("knn_k50", |b| {
-        b.iter(|| {
-            pi = (pi + 1) % points.len();
-            engine.knn("orders", black_box::<Point>(points[pi]), 50).unwrap()
-        })
+    bench("engine_queries_20k_orders/knn_k50", || {
+        pi = (pi + 1) % points.len();
+        engine.knn("orders", black_box(points[pi]), 50).unwrap()
     });
-    g.finish();
     std::fs::remove_dir_all(&dir).ok();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default()
-        .sample_size(20)
-        .measurement_time(std::time::Duration::from_secs(3))
-        .warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_queries
-}
-criterion_main!(benches);

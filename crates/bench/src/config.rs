@@ -65,7 +65,10 @@ impl BenchConfig {
     /// The default k (Table IV bold: 150) — the middle of the configured
     /// sweep, so scaled-down runs use proportionate values.
     pub fn default_k(&self) -> usize {
-        self.k_values.get(self.k_values.len() / 2).copied().unwrap_or(150)
+        self.k_values
+            .get(self.k_values.len() / 2)
+            .copied()
+            .unwrap_or(150)
     }
 
     /// The default time window (Table IV bold): 1 day.

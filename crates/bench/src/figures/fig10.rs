@@ -8,17 +8,19 @@
 
 use crate::config::BenchConfig;
 use crate::figures::{build_order_table, build_traj_table};
-use crate::harness::{ms, time_once, Table};
+use crate::harness::{ms, time_once, Report, Table};
 use crate::workload::{order_records, traj_records, OrderDataset, TrajDataset};
 use just_baselines::*;
 use just_curves::TimePeriod;
 use std::io::Write;
 
 /// Runs Figure 10 (a–d).
-pub fn run(cfg: &BenchConfig, out: &mut impl Write) {
+pub fn run(cfg: &BenchConfig, out: &mut impl Write, report: &mut Report) {
+    report.phase("generate");
     let orders = OrderDataset::generate(cfg.orders, cfg.seed);
     let trajs = TrajDataset::generate(cfg.trajectories, cfg.points_per_trajectory, cfg.seed);
 
+    report.phase("order-build");
     // ---- 10a: Order storage size, plain vs compressed fields ----------
     let mut ta = Table::new(&["data %", "JUST (KB)", "JUSTcompress (KB)"]);
     // ---- 10c: Order indexing time --------------------------------------
@@ -32,13 +34,8 @@ pub fn run(cfg: &BenchConfig, out: &mut impl Write) {
     ]);
     for &pct in &cfg.data_sizes_pct {
         let slice = orders.fraction(pct);
-        let (e_plain, d_plain) = build_order_table(
-            "f10a-plain",
-            &slice,
-            None,
-            TimePeriod::Day,
-            false,
-        );
+        let (e_plain, d_plain) =
+            build_order_table("f10a-plain", &slice, None, TimePeriod::Day, false);
         let (e_comp, _) = build_order_table("f10a-comp", &slice, None, TimePeriod::Day, true);
         ta.row(vec![
             pct.to_string(),
@@ -67,6 +64,7 @@ pub fn run(cfg: &BenchConfig, out: &mut impl Write) {
     writeln!(out, "== Fig 10a: storage size vs data size (Order) ==").unwrap();
     writeln!(out, "{}", ta.render()).unwrap();
 
+    report.phase("traj-build");
     // ---- 10b: Traj storage size, gzip vs none --------------------------
     // ---- 10d: Traj indexing time with memory-capped baselines ----------
     let mut tb = Table::new(&["data %", "JUST gzip (KB)", "JUSTnc (KB)", "raw (KB)"]);
@@ -86,8 +84,7 @@ pub fn run(cfg: &BenchConfig, out: &mut impl Write) {
     for &pct in &cfg.data_sizes_pct {
         let slice = trajs.fraction(pct);
         let raw_kb: usize = slice.iter().map(|t| t.samples.len() * 24).sum::<usize>() / 1024;
-        let (e_gzip, d_gzip) =
-            build_traj_table("f10b-gzip", &slice, None, TimePeriod::Day, true);
+        let (e_gzip, d_gzip) = build_traj_table("f10b-gzip", &slice, None, TimePeriod::Day, true);
         let (e_nc, d_nc) = build_traj_table("f10b-nc", &slice, None, TimePeriod::Day, false);
         tb.row(vec![
             pct.to_string(),
@@ -135,7 +132,7 @@ mod tests {
             ..BenchConfig::default()
         };
         let mut buf = Vec::new();
-        run(&cfg, &mut buf);
+        run(&cfg, &mut buf, &mut Report::new("fig10"));
         let text = String::from_utf8(buf).unwrap();
 
         // Parse the 100% rows of 10a and 10b.

@@ -3,21 +3,21 @@
 
 use crate::config::BenchConfig;
 use crate::figures::{build_order_table, build_traj_table};
-use crate::harness::{median_latency, ms, Table};
-use crate::workload::{
-    order_records, query_windows, traj_records, OrderDataset, TrajDataset,
-};
+use crate::harness::{median_latency, ms, Report, Table};
+use crate::workload::{order_records, query_windows, traj_records, OrderDataset, TrajDataset};
 use just_baselines::*;
 use just_curves::TimePeriod;
 use just_storage::SpatialPredicate;
 use std::io::Write;
 
 /// Runs Figure 11 (a–d).
-pub fn run(cfg: &BenchConfig, out: &mut impl Write) {
+pub fn run(cfg: &BenchConfig, out: &mut impl Write, report: &mut Report) {
+    report.phase("generate");
     let orders = OrderDataset::generate(cfg.orders, cfg.seed);
     let trajs = TrajDataset::generate(cfg.trajectories, cfg.points_per_trajectory, cfg.seed);
     let windows = query_windows(cfg.queries_per_point, cfg.default_window_km(), cfg.seed);
 
+    report.phase("11a");
     // ---- 11a: Order, query time vs data size ---------------------------
     let mut ta = Table::new(&[
         "data %",
@@ -45,6 +45,7 @@ pub fn run(cfg: &BenchConfig, out: &mut impl Write) {
     writeln!(out, "== Fig 11a: spatial range vs data size (Order) ==").unwrap();
     writeln!(out, "{}", ta.render()).unwrap();
 
+    report.phase("11b");
     // ---- 11b: Traj, query time vs data size (with JUSTnc) --------------
     let mut tb = Table::new(&[
         "data %",
@@ -86,6 +87,7 @@ pub fn run(cfg: &BenchConfig, out: &mut impl Write) {
     writeln!(out, "== Fig 11b: spatial range vs data size (Traj) ==").unwrap();
     writeln!(out, "{}", tb.render()).unwrap();
 
+    report.phase("11cd");
     // ---- 11c/11d: query time vs spatial window -------------------------
     let (te_o, _) = build_order_table("f11c", &orders.orders, None, TimePeriod::Day, false);
     let recs_o = order_records(&orders.orders);
@@ -102,7 +104,13 @@ pub fn run(cfg: &BenchConfig, out: &mut impl Write) {
         "quadtree (ms)",
         "hadoop (ms)",
     ]);
-    let mut td = Table::new(&["window km", "JUST (ms)", "JUSTnc (ms)", "rtree (ms)", "grid (ms)"]);
+    let mut td = Table::new(&[
+        "window km",
+        "JUST (ms)",
+        "JUSTnc (ms)",
+        "rtree (ms)",
+        "grid (ms)",
+    ]);
     for &km in &cfg.spatial_windows_km {
         let windows = query_windows(cfg.queries_per_point, km, cfg.seed);
         let mut row = vec![format!("{km}x{km}")];
@@ -193,7 +201,7 @@ mod tests {
             ..BenchConfig::default()
         };
         let mut buf = Vec::new();
-        run(&cfg, &mut buf);
+        run(&cfg, &mut buf, &mut Report::new("fig11"));
         let text = String::from_utf8(buf).unwrap();
         for sec in ["Fig 11a", "Fig 11b", "Fig 11c", "Fig 11d"] {
             assert!(text.contains(sec), "{sec} missing");

@@ -5,7 +5,7 @@
 
 use crate::config::BenchConfig;
 use crate::figures::{build_order_table, build_traj_table, TempEngine};
-use crate::harness::{median_latency, ms, Table};
+use crate::harness::{median_latency, ms, Report, Table};
 use crate::workload::{
     order_records, query_time_windows, query_windows, OrderDataset, TrajDataset,
 };
@@ -51,26 +51,27 @@ fn order_variants(orders: &[crate::workload::Order]) -> OrderVariants {
     }
 }
 
-fn st_query(te: &TempEngine, table: &str, w: &just_geo::Rect, t: (i64, i64), pred: SpatialPredicate) {
+fn st_query(
+    te: &TempEngine,
+    table: &str,
+    w: &just_geo::Rect,
+    t: (i64, i64),
+    pred: SpatialPredicate,
+) {
     te.engine.st_range(table, w, t.0, t.1, pred).unwrap();
 }
 
 /// Runs Figure 12 (a–d).
-pub fn run(cfg: &BenchConfig, out: &mut impl Write) {
+pub fn run(cfg: &BenchConfig, out: &mut impl Write, report: &mut Report) {
+    report.phase("generate");
     let orders = OrderDataset::generate(cfg.orders, cfg.seed);
     let trajs = TrajDataset::generate(cfg.trajectories, cfg.points_per_trajectory, cfg.seed);
     let windows = query_windows(cfg.queries_per_point, cfg.default_window_km(), cfg.seed);
-    let times = query_time_windows(
-        cfg.queries_per_point,
-        cfg.default_time_window_h(),
-        cfg.seed,
-    );
-    let queries: Vec<(just_geo::Rect, (i64, i64))> = windows
-        .iter()
-        .cloned()
-        .zip(times.iter().cloned())
-        .collect();
+    let times = query_time_windows(cfg.queries_per_point, cfg.default_time_window_h(), cfg.seed);
+    let queries: Vec<(just_geo::Rect, (i64, i64))> =
+        windows.iter().cloned().zip(times.iter().cloned()).collect();
 
+    report.phase("12a");
     // ---- 12a: Order, vs data size --------------------------------------
     let mut ta = Table::new(&["data %", "JUST", "JUSTd", "JUSTy", "JUSTc"]);
     for &pct in &cfg.data_sizes_pct {
@@ -87,6 +88,7 @@ pub fn run(cfg: &BenchConfig, out: &mut impl Write) {
     writeln!(out, "== Fig 12a: ST range vs data size (Order, ms) ==").unwrap();
     writeln!(out, "{}", ta.render()).unwrap();
 
+    report.phase("12b");
     // ---- 12b: Order, vs spatial window (+ ST-Hadoop at 20%) ------------
     let v = order_variants(&orders.orders);
     let sth_dir = std::env::temp_dir().join(format!("just-f12-sth-{}", std::process::id()));
@@ -104,11 +106,8 @@ pub fn run(cfg: &BenchConfig, out: &mut impl Write) {
     ]);
     for &km in &cfg.spatial_windows_km {
         let windows = query_windows(cfg.queries_per_point, km, cfg.seed);
-        let queries: Vec<(just_geo::Rect, (i64, i64))> = windows
-            .iter()
-            .cloned()
-            .zip(times.iter().cloned())
-            .collect();
+        let queries: Vec<(just_geo::Rect, (i64, i64))> =
+            windows.iter().cloned().zip(times.iter().cloned()).collect();
         let mut row = vec![format!("{km}x{km}")];
         for te in [&v.just, &v.just_d, &v.just_y, &v.just_c] {
             row.push(ms(median_latency(&queries, |(w, t)| {
@@ -124,8 +123,16 @@ pub fn run(cfg: &BenchConfig, out: &mut impl Write) {
     writeln!(out, "{}", tb.render()).unwrap();
     std::fs::remove_dir_all(&sth_dir).ok();
 
+    report.phase("12c");
     // ---- 12c: Traj, vs spatial window (XZ2T vs XZ3 variants + nc) ------
-    let t_just = build_traj_table("f12c-xz2t", &trajs.trajectories, None, TimePeriod::Day, true).0;
+    let t_just = build_traj_table(
+        "f12c-xz2t",
+        &trajs.trajectories,
+        None,
+        TimePeriod::Day,
+        true,
+    )
+    .0;
     let t_nc = build_traj_table("f12c-nc", &trajs.trajectories, None, TimePeriod::Day, false).0;
     let t_d = build_traj_table(
         "f12c-xz3d",
@@ -155,7 +162,12 @@ pub fn run(cfg: &BenchConfig, out: &mut impl Write) {
     // Traj time windows live in the 31-day span.
     let traj_times: Vec<(i64, i64)> = query_time_windows(cfg.queries_per_point, 24, cfg.seed)
         .into_iter()
-        .map(|(a, b)| (a % (25 * crate::workload::DAY_MS), b % (26 * crate::workload::DAY_MS).max(1)))
+        .map(|(a, b)| {
+            (
+                a % (25 * crate::workload::DAY_MS),
+                b % (26 * crate::workload::DAY_MS).max(1),
+            )
+        })
         .map(|(a, b)| if a <= b { (a, b) } else { (b, a) })
         .collect();
     for &km in &cfg.spatial_windows_km {
@@ -176,6 +188,7 @@ pub fn run(cfg: &BenchConfig, out: &mut impl Write) {
     writeln!(out, "== Fig 12c: ST range vs spatial window (Traj, ms) ==").unwrap();
     writeln!(out, "{}", tc.render()).unwrap();
 
+    report.phase("12d");
     // ---- 12d: Order, vs time window ------------------------------------
     let sth_dir = std::env::temp_dir().join(format!("just-f12d-sth-{}", std::process::id()));
     std::fs::remove_dir_all(&sth_dir).ok();
@@ -192,11 +205,8 @@ pub fn run(cfg: &BenchConfig, out: &mut impl Write) {
     ]);
     for &hours in &cfg.time_windows_h {
         let times = query_time_windows(cfg.queries_per_point, hours, cfg.seed);
-        let queries: Vec<(just_geo::Rect, (i64, i64))> = windows
-            .iter()
-            .cloned()
-            .zip(times.iter().cloned())
-            .collect();
+        let queries: Vec<(just_geo::Rect, (i64, i64))> =
+            windows.iter().cloned().zip(times.iter().cloned()).collect();
         let label = match hours {
             1 => "1h".to_string(),
             6 => "6h".to_string(),
@@ -239,7 +249,7 @@ mod tests {
             ..BenchConfig::default()
         };
         let mut buf = Vec::new();
-        run(&cfg, &mut buf);
+        run(&cfg, &mut buf, &mut Report::new("fig12"));
         let text = String::from_utf8(buf).unwrap();
         assert!(text.contains("Fig 12a"));
         assert!(text.contains("Fig 12d"));

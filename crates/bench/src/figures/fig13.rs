@@ -2,28 +2,23 @@
 
 use crate::config::BenchConfig;
 use crate::figures::{build_order_table, build_traj_table};
-use crate::harness::{median_latency, ms, Table};
+use crate::harness::{median_latency, ms, Report, Table};
 use crate::workload::{order_records, query_points, OrderDataset, TrajDataset};
 use just_baselines::*;
 use just_curves::TimePeriod;
 use std::io::Write;
 
 /// Runs Figure 13 (a–d).
-pub fn run(cfg: &BenchConfig, out: &mut impl Write) {
+pub fn run(cfg: &BenchConfig, out: &mut impl Write, report: &mut Report) {
+    report.phase("generate");
     let orders = OrderDataset::generate(cfg.orders, cfg.seed);
     let trajs = TrajDataset::generate(cfg.trajectories, cfg.points_per_trajectory, cfg.seed);
     let points = query_points(cfg.queries_per_point, cfg.seed);
     let k = cfg.default_k();
 
+    report.phase("13a");
     // ---- 13a: Order, vs data size --------------------------------------
-    let mut ta = Table::new(&[
-        "data %",
-        "JUST",
-        "rtree",
-        "grid",
-        "quadtree",
-        "kdtree",
-    ]);
+    let mut ta = Table::new(&["data %", "JUST", "rtree", "grid", "quadtree", "kdtree"]);
     for &pct in &cfg.data_sizes_pct {
         let slice = orders.fraction(pct);
         let (te, _) = build_order_table("f13a", &slice, None, TimePeriod::Day, false);
@@ -43,6 +38,7 @@ pub fn run(cfg: &BenchConfig, out: &mut impl Write) {
     writeln!(out, "== Fig 13a: k-NN vs data size (Order, k={k}, ms) ==").unwrap();
     writeln!(out, "{}", ta.render()).unwrap();
 
+    report.phase("13b");
     // ---- 13b: Traj, vs data size (JUSTnc + capped rtree) ----------------
     let full_payload: usize = trajs.total_points() * 24;
     let cap = MemoryBudget {
@@ -77,6 +73,7 @@ pub fn run(cfg: &BenchConfig, out: &mut impl Write) {
     writeln!(out, "== Fig 13b: k-NN vs data size (Traj, ms) ==").unwrap();
     writeln!(out, "{}", tb.render()).unwrap();
 
+    report.phase("13c");
     // ---- 13c: Order, vs k ----------------------------------------------
     let (te, _) = build_order_table("f13c", &orders.orders, None, TimePeriod::Day, false);
     let recs = order_records(&orders.orders);
@@ -100,10 +97,10 @@ pub fn run(cfg: &BenchConfig, out: &mut impl Write) {
     writeln!(out, "== Fig 13c: k-NN vs k (Order, ms) ==").unwrap();
     writeln!(out, "{}", tc.render()).unwrap();
 
+    report.phase("13d");
     // ---- 13d: Traj, vs k -------------------------------------------------
     let (tt, _) = build_traj_table("f13d", &trajs.trajectories, None, TimePeriod::Day, true);
-    let (tt_nc, _) =
-        build_traj_table("f13d-nc", &trajs.trajectories, None, TimePeriod::Day, false);
+    let (tt_nc, _) = build_traj_table("f13d-nc", &trajs.trajectories, None, TimePeriod::Day, false);
     let mut td = Table::new(&["k", "JUST", "JUSTnc"]);
     for &k in &cfg.k_values {
         let kk = k.min(trajs.trajectories.len());
@@ -148,7 +145,7 @@ mod tests {
             ..BenchConfig::default()
         };
         let mut buf = Vec::new();
-        run(&cfg, &mut buf);
+        run(&cfg, &mut buf, &mut Report::new("fig13"));
         let text = String::from_utf8(buf).unwrap();
         for sec in ["Fig 13a", "Fig 13b", "Fig 13c", "Fig 13d"] {
             assert!(text.contains(sec), "{sec} missing");

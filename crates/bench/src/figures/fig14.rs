@@ -5,14 +5,15 @@
 
 use crate::config::BenchConfig;
 use crate::figures::build_traj_table;
-use crate::harness::{median_latency, ms, Table};
+use crate::harness::{median_latency, ms, Report, Table};
 use crate::workload::{query_points, query_time_windows, query_windows, TrajDataset, DAY_MS};
 use just_curves::TimePeriod;
 use just_storage::SpatialPredicate;
 use std::io::Write;
 
 /// Runs Figure 14 (a–b).
-pub fn run(cfg: &BenchConfig, out: &mut impl Write) {
+pub fn run(cfg: &BenchConfig, out: &mut impl Write, report: &mut Report) {
+    report.phase("generate");
     let base = TrajDataset::generate(cfg.trajectories, cfg.points_per_trajectory, cfg.seed);
     let synth = base.synthesize(cfg.synthetic_copies, cfg.seed);
     let windows = query_windows(cfg.queries_per_point, cfg.default_window_km(), cfg.seed);
@@ -23,12 +24,10 @@ pub fn run(cfg: &BenchConfig, out: &mut impl Write) {
         .into_iter()
         .map(|(a, b)| (a.min(29 * DAY_MS), b.min(30 * DAY_MS)))
         .collect();
-    let st_queries: Vec<(just_geo::Rect, (i64, i64))> = windows
-        .iter()
-        .cloned()
-        .zip(times.iter().cloned())
-        .collect();
+    let st_queries: Vec<(just_geo::Rect, (i64, i64))> =
+        windows.iter().cloned().zip(times.iter().cloned()).collect();
 
+    report.phase("14ab");
     let mut ta = Table::new(&["data %", "indexing (ms)", "storage (KB)"]);
     let mut tb = Table::new(&["data %", "S (ms)", "ST (ms)", "k-NN (ms)"]);
     let k = 20.min(synth.trajectories.len());
@@ -59,7 +58,11 @@ pub fn run(cfg: &BenchConfig, out: &mut impl Write) {
         });
         tb.row(vec![pct.to_string(), ms(s), ms(st), ms(knn)]);
     }
-    writeln!(out, "== Fig 14a: Synthetic indexing time & storage vs size ==").unwrap();
+    writeln!(
+        out,
+        "== Fig 14a: Synthetic indexing time & storage vs size =="
+    )
+    .unwrap();
     writeln!(out, "{}", ta.render()).unwrap();
     writeln!(out, "== Fig 14b: Synthetic query time vs size ==").unwrap();
     writeln!(out, "{}", tb.render()).unwrap();
@@ -80,7 +83,7 @@ mod tests {
             ..BenchConfig::default()
         };
         let mut buf = Vec::new();
-        run(&cfg, &mut buf);
+        run(&cfg, &mut buf, &mut Report::new("fig14"));
         let text = String::from_utf8(buf).unwrap();
         let sec = text.split("Fig 14a").nth(1).unwrap();
         let kb_of = |pct: &str| -> f64 {

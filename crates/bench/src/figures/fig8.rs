@@ -1,10 +1,12 @@
 //! Figure 8: the logical-plan optimization example — prints the analyzed
 //! and optimized plans for the exact SQL statement of Section VI.
 
+use crate::harness::Report;
 use std::io::Write;
 
 /// Prints the before/after plans.
-pub fn run(out: &mut impl Write) {
+pub fn run(out: &mut impl Write, report: &mut Report) {
+    report.phase("plan");
     let sql = "SELECT name, geom FROM (SELECT * FROM tbl) t \
                WHERE fid = 52*9 AND geom WITHIN st_makeMBR(116.0, 39.0, 116.5, 39.5) \
                ORDER BY time";
@@ -16,8 +18,18 @@ pub fn run(out: &mut impl Write) {
     let optimized = just_ql::optimize(analyzed.clone()).expect("optimize");
     writeln!(out, "== Figure 8: logical plan optimization ==").unwrap();
     writeln!(out, "SQL: {sql}\n").unwrap();
-    writeln!(out, "-- (a) analyzed logical plan --\n{}", analyzed.render()).unwrap();
-    writeln!(out, "-- (b) optimized logical plan --\n{}", optimized.render()).unwrap();
+    writeln!(
+        out,
+        "-- (a) analyzed logical plan --\n{}",
+        analyzed.render()
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "-- (b) optimized logical plan --\n{}",
+        optimized.render()
+    )
+    .unwrap();
 }
 
 #[cfg(test)]
@@ -25,7 +37,7 @@ mod tests {
     #[test]
     fn fig8_shows_all_three_rules() {
         let mut buf = Vec::new();
-        super::run(&mut buf);
+        super::run(&mut buf, &mut crate::harness::Report::new("fig8"));
         let text = String::from_utf8(buf).unwrap();
         // Rule 1: 52*9 folded away in the optimized plan.
         let optimized = text.split("-- (b)").nth(1).unwrap();

@@ -3,14 +3,15 @@
 //! from the engines' actual capabilities rather than hard-coded prose.
 
 use crate::config::BenchConfig;
-use crate::harness::Table;
+use crate::harness::{Report, Table};
 use crate::workload::{OrderDataset, TrajDataset};
 use just_baselines::*;
 use std::io::Write;
 use std::time::Duration;
 
 /// Table I / Table VI: queries the capability surface of every engine.
-pub fn table1(out: &mut impl Write) {
+pub fn table1(out: &mut impl Write, report: &mut Report) {
+    report.phase("probe");
     let dir = std::env::temp_dir().join(format!("just-table1-{}", std::process::id()));
     std::fs::remove_dir_all(&dir).ok();
     let engines: Vec<Box<dyn SpatialEngine>> = vec![
@@ -58,7 +59,8 @@ pub fn table1(out: &mut impl Write) {
 }
 
 /// Table II: statistics of the generated datasets.
-pub fn table2(cfg: &BenchConfig, out: &mut impl Write) {
+pub fn table2(cfg: &BenchConfig, out: &mut impl Write, report: &mut Report) {
+    report.phase("stats");
     let orders = OrderDataset::generate(cfg.orders, cfg.seed);
     let trajs = TrajDataset::generate(cfg.trajectories, cfg.points_per_trajectory, cfg.seed);
     let synth = trajs.synthesize(cfg.synthetic_copies, cfg.seed);
@@ -103,7 +105,7 @@ mod tests {
     #[test]
     fn tables_render() {
         let mut buf = Vec::new();
-        table1(&mut buf);
+        table1(&mut buf, &mut Report::new("table1"));
         let text = String::from_utf8(buf).unwrap();
         assert!(text.contains("JUST (this repo)"));
         assert!(text.contains("Simba-like"));
@@ -115,7 +117,7 @@ mod tests {
 
         let cfg = BenchConfig::default().scaled(0.02);
         let mut buf = Vec::new();
-        table2(&cfg, &mut buf);
+        table2(&cfg, &mut buf, &mut Report::new("table2"));
         let text = String::from_utf8(buf).unwrap();
         assert!(text.contains("# records"));
     }

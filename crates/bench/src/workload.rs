@@ -5,9 +5,8 @@
 
 use just_compress::gps::GpsSample;
 use just_geo::{Point, Rect};
+use just_obs::Rng;
 use just_storage::{Row, Value};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Beijing-metro-like bounding box all workloads live in.
 pub const CITY: Rect = Rect {
@@ -42,7 +41,7 @@ impl OrderDataset {
     /// Generates `n` orders: a handful of hot districts plus uniform
     /// background, over 61 days with a daily demand curve.
     pub fn generate(n: usize, seed: u64) -> Self {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng::seed_from_u64(seed);
         // Hot districts (cluster centres).
         let hubs: Vec<Point> = (0..8)
             .map(|_| {
@@ -69,8 +68,7 @@ impl OrderDataset {
             let day = rng.gen_range(0..61i64);
             // Orders cluster in daytime hours.
             let hour = (8.0 + 12.0 * rng.gen_range(0.0f64..1.0).powf(0.7)) as i64;
-            let time_ms =
-                day * DAY_MS + hour * 3_600_000 + rng.gen_range(0..3_600_000i64);
+            let time_ms = day * DAY_MS + hour * 3_600_000 + rng.gen_range(0..3_600_000i64);
             orders.push(Order {
                 fid: fid as i64,
                 point,
@@ -155,7 +153,7 @@ pub struct TrajDataset {
 impl TrajDataset {
     /// Generates `n` lorry random walks of `points_each` samples.
     pub fn generate(n: usize, points_each: usize, seed: u64) -> Self {
-        let mut rng = StdRng::seed_from_u64(seed ^ 0x7261_6a54);
+        let mut rng = Rng::seed_from_u64(seed ^ 0x7261_6a54);
         let mut trajectories = Vec::with_capacity(n);
         for i in 0..n {
             let day = rng.gen_range(0..31i64);
@@ -195,7 +193,7 @@ impl TrajDataset {
     /// per-copy day offsets (the paper's "copying & sampling ... up to
     /// 1T"), preserving record shape while multiplying volume.
     pub fn synthesize(&self, copies: usize, seed: u64) -> TrajDataset {
-        let mut rng = StdRng::seed_from_u64(seed ^ 0x5359_4e54);
+        let mut rng = Rng::seed_from_u64(seed ^ 0x5359_4e54);
         let mut out = Vec::with_capacity(self.trajectories.len() * copies);
         for c in 0..copies {
             let day_shift = (c as i64) * 31 * DAY_MS;
@@ -268,7 +266,7 @@ pub fn traj_records(trajs: &[TrajRecord]) -> Vec<just_baselines::StRecord> {
 
 /// Deterministic query windows inside the data extent.
 pub fn query_windows(n: usize, side_km: f64, seed: u64) -> Vec<Rect> {
-    let mut rng = StdRng::seed_from_u64(seed ^ 0x7177_696e);
+    let mut rng = Rng::seed_from_u64(seed ^ 0x7177_696e);
     (0..n)
         .map(|_| {
             let c = Point::new(
@@ -282,7 +280,7 @@ pub fn query_windows(n: usize, side_km: f64, seed: u64) -> Vec<Rect> {
 
 /// Deterministic query points.
 pub fn query_points(n: usize, seed: u64) -> Vec<Point> {
-    let mut rng = StdRng::seed_from_u64(seed ^ 0x7170_7473);
+    let mut rng = Rng::seed_from_u64(seed ^ 0x7170_7473);
     (0..n)
         .map(|_| {
             Point::new(
@@ -295,7 +293,7 @@ pub fn query_points(n: usize, seed: u64) -> Vec<Point> {
 
 /// Deterministic time windows of `hours` length within the Order span.
 pub fn query_time_windows(n: usize, hours: i64, seed: u64) -> Vec<(i64, i64)> {
-    let mut rng = StdRng::seed_from_u64(seed ^ 0x7174_696d);
+    let mut rng = Rng::seed_from_u64(seed ^ 0x7174_696d);
     let span = 61 * DAY_MS;
     let len = hours * 3_600_000;
     (0..n)
@@ -337,9 +335,7 @@ mod tests {
             // Samples are time-ordered and hops are bounded.
             for w in t.samples.windows(2) {
                 assert!(w[1].time_ms > w[0].time_ms);
-                let d_deg = ((w[1].lng - w[0].lng).powi(2)
-                    + (w[1].lat - w[0].lat).powi(2))
-                .sqrt();
+                let d_deg = ((w[1].lng - w[0].lng).powi(2) + (w[1].lat - w[0].lat).powi(2)).sqrt();
                 assert!(d_deg < 0.001, "hop too large: {d_deg}");
             }
             // The MBR is much smaller than the city: spatial locality.

@@ -74,7 +74,8 @@ impl Codec {
         }
         let checksum = u32::from_le_bytes([data[1], data[2], data[3], data[4]]);
         let mut pos = 5usize;
-        let expected_len = varint::read_u64(data, &mut pos).ok_or(CompressError::Truncated)? as usize;
+        let expected_len =
+            varint::read_u64(data, &mut pos).ok_or(CompressError::Truncated)? as usize;
         let payload = &data[pos..];
         let out = match method {
             Codec::None => payload.to_vec(),
@@ -148,7 +149,13 @@ mod tests {
         let mut data = Vec::new();
         for i in 0..3000u32 {
             data.extend_from_slice(
-                format!("lng=116.{:05},lat=39.{:05},t={};", i * 37 % 99_991, i * 53 % 99_991, i).as_bytes(),
+                format!(
+                    "lng=116.{:05},lat=39.{:05},t={};",
+                    i * 37 % 99_991,
+                    i * 53 % 99_991,
+                    i
+                )
+                .as_bytes(),
             );
         }
         let none = Codec::None.compress(&data).len();

@@ -28,32 +28,70 @@ const NUM_DIST: usize = 30;
 /// DEFLATE length-code table: `(base_length, extra_bits)` for codes
 /// 257..=285.
 const LENGTH_TABLE: [(u16, u8); 29] = [
-    (3, 0), (4, 0), (5, 0), (6, 0), (7, 0), (8, 0), (9, 0), (10, 0),
-    (11, 1), (13, 1), (15, 1), (17, 1),
-    (19, 2), (23, 2), (27, 2), (31, 2),
-    (35, 3), (43, 3), (51, 3), (59, 3),
-    (67, 4), (83, 4), (99, 4), (115, 4),
-    (131, 5), (163, 5), (195, 5), (227, 5),
+    (3, 0),
+    (4, 0),
+    (5, 0),
+    (6, 0),
+    (7, 0),
+    (8, 0),
+    (9, 0),
+    (10, 0),
+    (11, 1),
+    (13, 1),
+    (15, 1),
+    (17, 1),
+    (19, 2),
+    (23, 2),
+    (27, 2),
+    (31, 2),
+    (35, 3),
+    (43, 3),
+    (51, 3),
+    (59, 3),
+    (67, 4),
+    (83, 4),
+    (99, 4),
+    (115, 4),
+    (131, 5),
+    (163, 5),
+    (195, 5),
+    (227, 5),
     (258, 0),
 ];
 
 /// DEFLATE distance-code table: `(base_distance, extra_bits)` for codes
 /// 0..=29.
 const DIST_TABLE: [(u16, u8); 30] = [
-    (1, 0), (2, 0), (3, 0), (4, 0),
-    (5, 1), (7, 1),
-    (9, 2), (13, 2),
-    (17, 3), (25, 3),
-    (33, 4), (49, 4),
-    (65, 5), (97, 5),
-    (129, 6), (193, 6),
-    (257, 7), (385, 7),
-    (513, 8), (769, 8),
-    (1025, 9), (1537, 9),
-    (2049, 10), (3073, 10),
-    (4097, 11), (6145, 11),
-    (8193, 12), (12289, 12),
-    (16385, 13), (24577, 13),
+    (1, 0),
+    (2, 0),
+    (3, 0),
+    (4, 0),
+    (5, 1),
+    (7, 1),
+    (9, 2),
+    (13, 2),
+    (17, 3),
+    (25, 3),
+    (33, 4),
+    (49, 4),
+    (65, 5),
+    (97, 5),
+    (129, 6),
+    (193, 6),
+    (257, 7),
+    (385, 7),
+    (513, 8),
+    (769, 8),
+    (1025, 9),
+    (1537, 9),
+    (2049, 10),
+    (3073, 10),
+    (4097, 11),
+    (6145, 11),
+    (8193, 12),
+    (12289, 12),
+    (16385, 13),
+    (24577, 13),
 ];
 
 fn length_code(len: u16) -> (usize, u16, u8) {
@@ -114,7 +152,7 @@ fn read_lengths_rle(buf: &[u8], pos: &mut usize) -> Option<Vec<u8>> {
         if run == 0 || lens.len() + run > n {
             return None;
         }
-        lens.extend(std::iter::repeat(v).take(run));
+        lens.extend(std::iter::repeat_n(v, run));
     }
     Some(lens)
 }
@@ -200,8 +238,7 @@ pub fn decompress(data: &[u8]) -> Option<Vec<u8>> {
                     return None;
                 }
                 let (dbase, dextra) = DIST_TABLE[dsym];
-                let dist =
-                    dbase as usize + r.read_bits(u32::from(dextra))? as usize;
+                let dist = dbase as usize + r.read_bits(u32::from(dextra))? as usize;
                 if dist == 0 || dist > out.len() {
                     return None;
                 }
@@ -250,7 +287,9 @@ mod tests {
     #[test]
     fn roundtrip_text() {
         let data: Vec<u8> = (0..500)
-            .flat_map(|i| format!("gps point lng=116.{:04} lat=39.{:04};", i % 877, i % 733).into_bytes())
+            .flat_map(|i| {
+                format!("gps point lng=116.{:04} lat=39.{:04};", i % 877, i % 733).into_bytes()
+            })
             .collect();
         let packed = compress(&data);
         assert!(

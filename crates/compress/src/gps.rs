@@ -81,7 +81,11 @@ mod tests {
             lng += 0.00002 * ((i % 7) as f64 - 3.0);
             lat += 0.000015 * ((i % 5) as f64 - 2.0);
             t += 1000 + (i as i64 % 37);
-            out.push(GpsSample { lng, lat, time_ms: t });
+            out.push(GpsSample {
+                lng,
+                lat,
+                time_ms: t,
+            });
         }
         out
     }
@@ -134,8 +138,16 @@ mod tests {
     #[test]
     fn negative_coordinates() {
         let samples = vec![
-            GpsSample { lng: -73.97, lat: -40.78, time_ms: 0 },
-            GpsSample { lng: -73.98, lat: -40.77, time_ms: 900 },
+            GpsSample {
+                lng: -73.97,
+                lat: -40.78,
+                time_ms: 0,
+            },
+            GpsSample {
+                lng: -73.98,
+                lat: -40.77,
+                time_ms: 900,
+            },
         ];
         let back = decode(&encode(&samples)).unwrap();
         assert!((back[0].lng + 73.97).abs() < 1e-7);

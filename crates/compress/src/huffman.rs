@@ -13,7 +13,7 @@ pub const MAX_CODE_LEN: u8 = 15;
 /// Computes length-limited code lengths for `freqs`. Symbols with zero
 /// frequency get length 0 (no code). `max_len` must be `<= MAX_CODE_LEN`.
 pub fn build_lengths(freqs: &[u64], max_len: u8) -> Vec<u8> {
-    assert!(max_len >= 1 && max_len <= MAX_CODE_LEN);
+    assert!((1..=MAX_CODE_LEN).contains(&max_len));
     let n = freqs.len();
     let mut lengths = vec![0u8; n];
     let used: Vec<usize> = (0..n).filter(|&i| freqs[i] > 0).collect();
@@ -167,8 +167,8 @@ impl Decoder {
         }
         // Kraft check.
         let mut kraft: u64 = 0;
-        for l in 1..=MAX_CODE_LEN as usize {
-            kraft += u64::from(count[l]) << (MAX_CODE_LEN as usize - l);
+        for (l, &c) in count.iter().enumerate().skip(1) {
+            kraft += u64::from(c) << (MAX_CODE_LEN as usize - l);
         }
         if kraft > 1 << MAX_CODE_LEN {
             return None;

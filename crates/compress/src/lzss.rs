@@ -30,9 +30,7 @@ pub enum Token {
 
 #[inline]
 fn hash3(data: &[u8], i: usize) -> usize {
-    let v = u32::from(data[i])
-        | (u32::from(data[i + 1]) << 8)
-        | (u32::from(data[i + 2]) << 16);
+    let v = u32::from(data[i]) | (u32::from(data[i + 1]) << 8) | (u32::from(data[i + 2]) << 16);
     ((v.wrapping_mul(0x9E37_79B1)) >> (32 - HASH_BITS)) as usize
 }
 
@@ -84,9 +82,9 @@ pub fn tokenize(data: &[u8]) -> Vec<Token> {
             // Insert every covered position into the chains so later data
             // can match inside this run.
             let end = (i + best_len).min(n.saturating_sub(MIN_MATCH - 1));
-            for j in i..end {
+            for (j, p) in prev.iter_mut().enumerate().take(end).skip(i) {
                 let h = hash3(data, j);
-                prev[j] = head[h];
+                *p = head[h];
                 head[h] = j as i64;
             }
             i += best_len;
@@ -173,8 +171,7 @@ pub fn decompress(data: &[u8]) -> Option<Vec<u8>> {
         }
         if flag & (1 << flag_bit) != 0 {
             let len = *data.get(pos)? as usize + MIN_MATCH;
-            let dist =
-                u16::from_le_bytes([*data.get(pos + 1)?, *data.get(pos + 2)?]) as usize;
+            let dist = u16::from_le_bytes([*data.get(pos + 1)?, *data.get(pos + 2)?]) as usize;
             pos += 3;
             if dist == 0 || dist > out.len() {
                 return None;
@@ -253,7 +250,9 @@ mod tests {
         let mut x = 0x12345678u64;
         let data: Vec<u8> = (0..4096)
             .map(|_| {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 (x >> 33) as u8
             })
             .collect();

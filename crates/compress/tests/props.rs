@@ -1,89 +1,135 @@
-//! Property-based tests: every codec is the identity after a roundtrip,
-//! on arbitrary byte strings and on realistic GPS walks.
+//! Randomized roundtrip tests: every codec is the identity after a
+//! roundtrip, on arbitrary byte strings and on realistic GPS walks.
+//! Deterministically seeded (the offline stand-in for proptest).
 
 use just_compress::gps::{self, GpsSample};
 use just_compress::{deflate, lzss, varint, Codec};
-use proptest::prelude::*;
+use just_obs::Rng;
 
-proptest! {
-    #[test]
-    fn varint_u64_roundtrip(v in any::<u64>()) {
+const CASES: u64 = 48;
+
+fn random_bytes(rng: &mut Rng, max_len: usize) -> Vec<u8> {
+    let len = rng.gen_range(0usize..max_len);
+    (0..len).map(|_| rng.gen_range(0u32..256) as u8).collect()
+}
+
+#[test]
+fn varint_u64_roundtrip() {
+    let mut rng = Rng::seed_from_u64(0xc0_de01);
+    let check = |v: u64| {
         let mut buf = Vec::new();
         varint::write_u64(&mut buf, v);
         let mut pos = 0;
-        prop_assert_eq!(varint::read_u64(&buf, &mut pos), Some(v));
-        prop_assert_eq!(pos, buf.len());
+        assert_eq!(varint::read_u64(&buf, &mut pos), Some(v));
+        assert_eq!(pos, buf.len());
+    };
+    for v in [0, 1, 127, 128, u64::MAX - 1, u64::MAX, 1 << 63] {
+        check(v);
     }
+    for _ in 0..CASES * 8 {
+        let v = rng.next_u64() >> rng.gen_range(0u32..64);
+        check(v);
+    }
+}
 
-    #[test]
-    fn varint_i64_roundtrip(v in any::<i64>()) {
+#[test]
+fn varint_i64_roundtrip() {
+    let mut rng = Rng::seed_from_u64(0xc0_de02);
+    let check = |v: i64| {
         let mut buf = Vec::new();
         varint::write_i64(&mut buf, v);
         let mut pos = 0;
-        prop_assert_eq!(varint::read_i64(&buf, &mut pos), Some(v));
+        assert_eq!(varint::read_i64(&buf, &mut pos), Some(v));
+    };
+    for v in [0, 1, -1, i64::MIN, i64::MAX] {
+        check(v);
     }
+    for _ in 0..CASES * 8 {
+        let v = (rng.next_u64() >> rng.gen_range(0u32..64)) as i64;
+        check(if rng.gen_bool(0.5) {
+            v
+        } else {
+            v.wrapping_neg()
+        });
+    }
+}
 
-    #[test]
-    fn lzss_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..4096)) {
+#[test]
+fn lzss_roundtrip() {
+    let mut rng = Rng::seed_from_u64(0xc0_de03);
+    for case in 0..CASES {
+        let data = random_bytes(&mut rng, 4096);
         let packed = lzss::compress(&data);
-        prop_assert_eq!(lzss::decompress(&packed), Some(data));
+        assert_eq!(lzss::decompress(&packed), Some(data), "case {case}");
     }
+}
 
-    #[test]
-    fn deflate_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..4096)) {
+#[test]
+fn deflate_roundtrip() {
+    let mut rng = Rng::seed_from_u64(0xc0_de04);
+    for case in 0..CASES {
+        let data = random_bytes(&mut rng, 4096);
         let packed = deflate::compress(&data);
-        prop_assert_eq!(deflate::decompress(&packed), Some(data));
+        assert_eq!(deflate::decompress(&packed), Some(data), "case {case}");
     }
+}
 
-    // Low-entropy inputs exercise long matches and overlapping copies.
-    #[test]
-    fn deflate_roundtrip_low_entropy(
-        data in proptest::collection::vec(0u8..4, 0..8192)
-    ) {
+// Low-entropy inputs exercise long matches and overlapping copies.
+#[test]
+fn deflate_roundtrip_low_entropy() {
+    let mut rng = Rng::seed_from_u64(0xc0_de05);
+    for case in 0..CASES {
+        let len = rng.gen_range(0usize..8192);
+        let data: Vec<u8> = (0..len).map(|_| rng.gen_range(0u32..4) as u8).collect();
         let packed = deflate::compress(&data);
-        prop_assert_eq!(deflate::decompress(&packed), Some(data));
+        assert_eq!(deflate::decompress(&packed), Some(data), "case {case}");
     }
+}
 
-    #[test]
-    fn container_roundtrip_all_codecs(
-        data in proptest::collection::vec(any::<u8>(), 0..2048),
-        which in 0u8..3
-    ) {
-        let codec = Codec::from_code(which).unwrap();
+#[test]
+fn container_roundtrip_all_codecs() {
+    let mut rng = Rng::seed_from_u64(0xc0_de06);
+    for case in 0..CASES {
+        let data = random_bytes(&mut rng, 2048);
+        let codec = Codec::from_code(rng.gen_range(0u32..3) as u8).unwrap();
         let packed = codec.compress(&data);
-        prop_assert_eq!(Codec::decompress(&packed).unwrap(), data);
+        assert_eq!(Codec::decompress(&packed).unwrap(), data, "case {case}");
     }
+}
 
-    #[test]
-    fn gps_roundtrip(
-        seed in any::<u64>(),
-        n in 0usize..300
-    ) {
-        let mut x = seed | 1;
-        let mut next = || {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-            ((x >> 33) as i64 % 1000) - 500
-        };
+#[test]
+fn gps_roundtrip() {
+    let mut rng = Rng::seed_from_u64(0xc0_de07);
+    for case in 0..CASES {
+        let n = rng.gen_range(0usize..300);
         let mut samples = Vec::with_capacity(n);
         let (mut lng, mut lat, mut t) = (116.0, 39.0, 1_500_000_000_000i64);
         for _ in 0..n {
-            lng = (lng + next() as f64 * 1e-6).clamp(-180.0, 180.0);
-            lat = (lat + next() as f64 * 1e-6).clamp(-90.0, 90.0);
-            t += next().abs() + 1;
-            samples.push(GpsSample { lng, lat, time_ms: t });
+            lng = (lng + rng.gen_range(-500i64..500) as f64 * 1e-6).clamp(-180.0, 180.0);
+            lat = (lat + rng.gen_range(-500i64..500) as f64 * 1e-6).clamp(-90.0, 90.0);
+            t += rng.gen_range(1i64..500);
+            samples.push(GpsSample {
+                lng,
+                lat,
+                time_ms: t,
+            });
         }
         let back = gps::decode(&gps::encode(&samples)).unwrap();
-        prop_assert_eq!(back.len(), samples.len());
+        assert_eq!(back.len(), samples.len(), "case {case}");
         for (a, b) in samples.iter().zip(&back) {
-            prop_assert!((a.lng - b.lng).abs() < 1e-7);
-            prop_assert!((a.lat - b.lat).abs() < 1e-7);
-            prop_assert_eq!(a.time_ms, b.time_ms);
+            assert!((a.lng - b.lng).abs() < 1e-7, "case {case}");
+            assert!((a.lat - b.lat).abs() < 1e-7, "case {case}");
+            assert_eq!(a.time_ms, b.time_ms, "case {case}");
         }
     }
+}
 
-    // Decompression never panics on arbitrary garbage.
-    #[test]
-    fn decompress_never_panics(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+// Decompression never panics on arbitrary garbage.
+#[test]
+fn decompress_never_panics() {
+    let mut rng = Rng::seed_from_u64(0xc0_de08);
+    for _ in 0..CASES * 4 {
+        let data = random_bytes(&mut rng, 512);
         let _ = Codec::decompress(&data);
         let _ = deflate::decompress(&data);
         let _ = lzss::decompress(&data);

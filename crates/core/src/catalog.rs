@@ -171,13 +171,10 @@ fn parse(text: &str) -> Result<BTreeMap<String, TableDef>> {
                         None => return Err(bad(line, "bad KIND")),
                     },
                 };
-                let index =
-                    IndexKind::parse(tokens[5]).ok_or_else(|| bad(line, "bad INDEX"))?;
-                let period =
-                    TimePeriod::parse(tokens[7]).ok_or_else(|| bad(line, "bad PERIOD"))?;
+                let index = IndexKind::parse(tokens[5]).ok_or_else(|| bad(line, "bad INDEX"))?;
+                let period = TimePeriod::parse(tokens[7]).ok_or_else(|| bad(line, "bad PERIOD"))?;
                 let shards: u8 = tokens[9].parse().map_err(|_| bad(line, "bad SHARDS"))?;
-                let regions: usize =
-                    tokens[11].parse().map_err(|_| bad(line, "bad REGIONS"))?;
+                let regions: usize = tokens[11].parse().map_err(|_| bad(line, "bad REGIONS"))?;
                 current = Some((
                     TableDef {
                         name,
@@ -204,8 +201,7 @@ fn parse(text: &str) -> Result<BTreeMap<String, TableDef>> {
                     if *opt == "pk" {
                         field.primary_key = true;
                     } else if let Some(c) = opt.strip_prefix("compress=") {
-                        field.compress =
-                            Codec::parse(c).ok_or_else(|| bad(line, "bad codec"))?;
+                        field.compress = Codec::parse(c).ok_or_else(|| bad(line, "bad codec"))?;
                     } else {
                         return Err(bad(line, "unknown field option"));
                     }
@@ -315,8 +311,11 @@ mod tests {
         let path = tmpfile("corrupt");
         std::fs::write(&path, "GARBAGE nonsense\n").unwrap();
         assert!(Catalog::open(path.clone()).is_err());
-        std::fs::write(&path, "TABLE t KIND common INDEX z2 PERIOD day SHARDS 4 REGIONS 4\n")
-            .unwrap();
+        std::fs::write(
+            &path,
+            "TABLE t KIND common INDEX z2 PERIOD day SHARDS 4 REGIONS 4\n",
+        )
+        .unwrap();
         assert!(Catalog::open(path.clone()).is_err(), "unterminated TABLE");
         std::fs::remove_file(path).ok();
     }

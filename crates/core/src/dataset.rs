@@ -131,10 +131,7 @@ mod tests {
         let small = ds();
         let mut big_rows = Vec::new();
         for i in 0..100 {
-            big_rows.push(Row::new(vec![
-                Value::Int(i),
-                Value::Str("x".repeat(100)),
-            ]));
+            big_rows.push(Row::new(vec![Value::Int(i), Value::Str("x".repeat(100))]));
         }
         let big = Dataset::new(small.columns.clone(), big_rows);
         assert!(big.approx_bytes() > 10 * small.approx_bytes());

@@ -9,10 +9,8 @@ use crate::Result;
 use just_curves::TimePeriod;
 use just_geo::{Point, Rect};
 use just_kvstore::{IoSnapshot, Store, StoreOptions};
-use just_storage::{
-    IndexKind, Row, Schema, SpatialPredicate, StTable, StorageConfig, Value,
-};
-use parking_lot::RwLock;
+use just_obs::sync::RwLock;
+use just_storage::{IndexKind, Row, Schema, SpatialPredicate, StTable, StorageConfig, Value};
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
@@ -95,6 +93,18 @@ impl Engine {
         self.store.metrics().reset();
     }
 
+    /// The process-wide metrics registry (scan-latency histograms, cache
+    /// hit ratio, index selectivity counters — see the README
+    /// "Observability" section for the full name table).
+    pub fn metrics(&self) -> &'static just_obs::Registry {
+        just_obs::global()
+    }
+
+    /// Prometheus-style text exposition of [`Engine::metrics`].
+    pub fn metrics_text(&self) -> String {
+        just_obs::global().render_text()
+    }
+
     // ------------------------------------------------------------------
     // Definition operations (Section V-A)
     // ------------------------------------------------------------------
@@ -147,9 +157,7 @@ impl Engine {
         period: Option<TimePeriod>,
     ) -> Result<()> {
         if self.views.read().contains_key(name) {
-            return Err(CoreError::Catalog(format!(
-                "'{name}' already names a view"
-            )));
+            return Err(CoreError::Catalog(format!("'{name}' already names a view")));
         }
         let mut storage = self.config.storage;
         storage.index = index.or(storage.index);
@@ -167,7 +175,9 @@ impl Engine {
             regions: storage.regions,
         };
         self.catalog.write().register(def)?;
-        self.tables.write().insert(name.to_string(), Arc::new(table));
+        self.tables
+            .write()
+            .insert(name.to_string(), Arc::new(table));
         Ok(())
     }
 
@@ -225,9 +235,7 @@ impl Engine {
             def.schema.clone(),
             storage,
         )?);
-        self.tables
-            .write()
-            .insert(name.to_string(), table.clone());
+        self.tables.write().insert(name.to_string(), table.clone());
         Ok(table)
     }
 
@@ -284,8 +292,7 @@ impl Engine {
     pub fn knn(&self, table: &str, q: Point, k: usize) -> Result<Dataset> {
         let t = self.table(table)?;
         let hits = knn(&t, q, k, &self.config.knn)?;
-        let mut columns: Vec<String> =
-            t.schema().fields().iter().map(|f| f.name.clone()).collect();
+        let mut columns: Vec<String> = t.schema().fields().iter().map(|f| f.name.clone()).collect();
         columns.push("distance".to_string());
         let rows = hits
             .into_iter()
@@ -451,8 +458,10 @@ mod tests {
     #[test]
     fn definition_operations() {
         let (e, dir) = engine("ddl");
-        e.create_table("orders", order_schema(), None, None).unwrap();
-        e.create_plugin_table("traj", "trajectory", None, None).unwrap();
+        e.create_table("orders", order_schema(), None, None)
+            .unwrap();
+        e.create_plugin_table("traj", "trajectory", None, None)
+            .unwrap();
         assert!(e.create_plugin_table("x", "widgets", None, None).is_err());
         assert_eq!(e.show_tables(), vec!["orders", "traj"]);
         let def = e.describe("traj").unwrap();
@@ -466,7 +475,8 @@ mod tests {
     #[test]
     fn insert_query_and_knn() {
         let (e, dir) = engine("dml");
-        e.create_table("orders", order_schema(), None, None).unwrap();
+        e.create_table("orders", order_schema(), None, None)
+            .unwrap();
         let rows: Vec<Row> = (0..100)
             .map(|i| {
                 order_row(
@@ -501,17 +511,18 @@ mod tests {
     #[test]
     fn views_and_store_view() {
         let (e, dir) = engine("views");
-        e.create_table("orders", order_schema(), None, None).unwrap();
+        e.create_table("orders", order_schema(), None, None)
+            .unwrap();
         e.insert("orders", &[order_row(1, 116.0, 39.0, 0)]).unwrap();
         let all = e.scan_all("orders").unwrap();
         e.create_view("v", all).unwrap();
         assert_eq!(e.show_views(), vec!["v"]);
         assert_eq!(e.view("v").unwrap().len(), 1);
         // Name clash protections both ways.
-        assert!(e.create_view("orders", Dataset::empty(vec!["a".into()])).is_err());
         assert!(e
-            .create_table("v", order_schema(), None, None)
+            .create_view("orders", Dataset::empty(vec!["a".into()]))
             .is_err());
+        assert!(e.create_table("v", order_schema(), None, None).is_err());
         // Materialise into a new table.
         assert_eq!(e.store_view("v", "orders2").unwrap(), 1);
         assert_eq!(e.scan_all("orders2").unwrap().len(), 1);
@@ -523,7 +534,8 @@ mod tests {
     #[test]
     fn engine_reopen_recovers_catalog_and_data() {
         let (e, dir) = engine("reopen");
-        e.create_table("orders", order_schema(), None, None).unwrap();
+        e.create_table("orders", order_schema(), None, None)
+            .unwrap();
         e.insert("orders", &[order_row(1, 116.0, 39.0, 0)]).unwrap();
         e.flush_all().unwrap();
         drop(e);
@@ -536,7 +548,8 @@ mod tests {
     #[test]
     fn updates_are_visible_without_reindexing() {
         let (e, dir) = engine("update");
-        e.create_table("orders", order_schema(), None, None).unwrap();
+        e.create_table("orders", order_schema(), None, None)
+            .unwrap();
         e.insert("orders", &[order_row(7, 116.0, 39.0, 0)]).unwrap();
         // Historical update far away in space and time.
         e.insert("orders", &[order_row(7, 121.5, 31.2, 100 * HOUR_MS)])

@@ -47,7 +47,9 @@ impl PartialEq for Candidate {
 impl Eq for Candidate {}
 impl Ord for Candidate {
     fn cmp(&self, other: &Self) -> Ordering {
-        self.dist.partial_cmp(&other.dist).unwrap_or(Ordering::Equal)
+        self.dist
+            .partial_cmp(&other.dist)
+            .unwrap_or(Ordering::Equal)
     }
 }
 impl PartialOrd for Candidate {
@@ -149,7 +151,10 @@ pub fn knn(table: &StTable, q: Point, k: usize, config: &KnnConfig) -> Result<Ve
     }
 
     if std::env::var_os("JUST_KNN_DEBUG").is_some() {
-        eprintln!("knn: {range_queries} range queries, {} candidates", seen.len());
+        eprintln!(
+            "knn: {range_queries} range queries, {} candidates",
+            seen.len()
+        );
     }
     let mut results: Vec<(Row, f64)> = cq.into_iter().map(|c| (c.row, c.dist)).collect();
     results.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(Ordering::Equal));
@@ -228,7 +233,10 @@ mod tests {
             let got_dists: Vec<f64> = got.iter().map(|(_, d)| *d).collect();
             let brute_dists: Vec<f64> = brute.iter().take(k).map(|(_, d)| *d).collect();
             for (g, b) in got_dists.iter().zip(&brute_dists) {
-                assert!((g - b).abs() < 1e-12, "k={k}: {got_dists:?} vs {brute_dists:?}");
+                assert!(
+                    (g - b).abs() < 1e-12,
+                    "k={k}: {got_dists:?} vs {brute_dists:?}"
+                );
             }
         }
         std::fs::remove_dir_all(dir).ok();
@@ -261,7 +269,10 @@ mod tests {
             .map(|(r, _)| r.values[0].as_int().unwrap())
             .collect();
         let dists: Vec<f64> = got.iter().map(|(_, d)| *d).collect();
-        assert!(dists.windows(2).all(|w| w[0] <= w[1]), "unsorted: {dists:?}");
+        assert!(
+            dists.windows(2).all(|w| w[0] <= w[1]),
+            "unsorted: {dists:?}"
+        );
         fids.sort_unstable();
         fids.dedup();
         assert_eq!(fids.len(), got.len(), "duplicates in result");
@@ -281,7 +292,16 @@ mod tests {
         ];
         let (table, dir) = setup(&pts);
         let q = Point::new(116.0004, 39.0004);
-        let got = knn(&table, q, 3, &KnnConfig { min_area_km: 0.1, ..Default::default() }).unwrap();
+        let got = knn(
+            &table,
+            q,
+            3,
+            &KnnConfig {
+                min_area_km: 0.1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         let fids: HashSet<i64> = got
             .iter()
             .map(|(r, _)| r.values[0].as_int().unwrap())

@@ -122,9 +122,9 @@ impl ResultSet {
                 let count = read_u64(&bytes, &mut pos)?;
                 for _ in 0..count {
                     let len = read_u64(&bytes, &mut pos)? as usize;
-                    let payload = bytes.get(pos..pos + len).ok_or_else(|| {
-                        crate::CoreError::Invalid("spill chunk truncated".into())
-                    })?;
+                    let payload = bytes
+                        .get(pos..pos + len)
+                        .ok_or_else(|| crate::CoreError::Invalid("spill chunk truncated".into()))?;
                     pos += len;
                     let mut vpos = 0usize;
                     let mut values = Vec::with_capacity(n_cols);
@@ -176,12 +176,7 @@ mod tests {
         Dataset::new(
             vec!["fid".into(), "name".into()],
             (0..n)
-                .map(|i| {
-                    Row::new(vec![
-                        Value::Int(i as i64),
-                        Value::Str(format!("row-{i}")),
-                    ])
-                })
+                .map(|i| Row::new(vec![Value::Int(i as i64), Value::Str(format!("row-{i}"))]))
                 .collect(),
         )
     }
@@ -226,13 +221,8 @@ mod tests {
 
     #[test]
     fn empty_results() {
-        let mut rs = ResultSet::new(
-            Dataset::empty(vec!["a".into()]),
-            spill_dir("empty"),
-            64,
-            10,
-        )
-        .unwrap();
+        let mut rs =
+            ResultSet::new(Dataset::empty(vec!["a".into()]), spill_dir("empty"), 64, 10).unwrap();
         assert_eq!(rs.next().unwrap(), None);
         assert_eq!(rs.total_rows(), 0);
     }

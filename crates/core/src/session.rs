@@ -10,8 +10,8 @@ use crate::engine::Engine;
 use crate::Result;
 use just_curves::TimePeriod;
 use just_geo::{Point, Rect};
+use just_obs::sync::Mutex;
 use just_storage::{IndexKind, Row, Schema, SpatialPredicate, Value};
-use parking_lot::Mutex;
 use std::collections::HashSet;
 use std::sync::Arc;
 
@@ -113,6 +113,16 @@ impl Session {
     /// The shared engine (for result-set construction and IO metrics).
     pub fn engine(&self) -> &Arc<Engine> {
         &self.engine
+    }
+
+    /// The process-wide metrics registry (see [`Engine::metrics`]).
+    pub fn metrics(&self) -> &'static just_obs::Registry {
+        self.engine.metrics()
+    }
+
+    /// Prometheus-style text exposition of [`Session::metrics`].
+    pub fn metrics_text(&self) -> String {
+        self.engine.metrics_text()
     }
 
     /// `SHOW VIEWS`: only this user's views, logical names.

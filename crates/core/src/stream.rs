@@ -9,8 +9,8 @@
 
 use crate::engine::Engine;
 use crate::Result;
+use just_obs::sync::Mutex;
 use just_storage::Row;
-use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -138,7 +138,9 @@ mod tests {
         let (e, dir) = engine("auto");
         let ingestor = StreamIngestor::new(e.clone(), "pings", 10);
         for i in 0..25 {
-            ingestor.push(ping(i, 116.0 + i as f64 * 0.001, i * 1000)).unwrap();
+            ingestor
+                .push(ping(i, 116.0 + i as f64 * 0.001, i * 1000))
+                .unwrap();
         }
         // Two full batches written, 5 pending.
         assert_eq!(ingestor.ingested(), 20);

@@ -103,7 +103,14 @@ mod tests {
             KeyRange::new(15, 25),
             KeyRange::new(40, 50),
         ]);
-        assert_eq!(merged, vec![KeyRange::new(0, 5), KeyRange::new(10, 30), KeyRange::new(40, 50)]);
+        assert_eq!(
+            merged,
+            vec![
+                KeyRange::new(0, 5),
+                KeyRange::new(10, 30),
+                KeyRange::new(40, 50)
+            ]
+        );
     }
 
     #[test]
@@ -122,7 +129,10 @@ mod tests {
     #[test]
     fn merge_empty_and_single() {
         assert!(merge_ranges(vec![]).is_empty());
-        assert_eq!(merge_ranges(vec![KeyRange::point(7)]), vec![KeyRange::point(7)]);
+        assert_eq!(
+            merge_ranges(vec![KeyRange::point(7)]),
+            vec![KeyRange::point(7)]
+        );
     }
 
     #[test]

@@ -112,7 +112,17 @@ impl Xz2 {
         };
         let mut out = Vec::new();
         let max_level = opts.max_recursion.min(self.g);
-        self.descend(&q, 0.0, 0.0, 1.0, 0, 0, max_level, opts.max_ranges, &mut out);
+        self.descend(
+            &q,
+            0.0,
+            0.0,
+            1.0,
+            0,
+            0,
+            max_level,
+            opts.max_ranges,
+            &mut out,
+        );
         merge_ranges(out)
     }
 

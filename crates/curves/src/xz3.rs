@@ -246,7 +246,11 @@ mod tests {
     const HOUR_MS: i64 = 3_600_000;
 
     fn traj_mbr(lng: f64, lat: f64, t0: i64) -> StMbr {
-        StMbr::new(Rect::new(lng, lat, lng + 0.02, lat + 0.02), t0, t0 + 2 * HOUR_MS)
+        StMbr::new(
+            Rect::new(lng, lat, lng + 0.02, lat + 0.02),
+            t0,
+            t0 + 2 * HOUR_MS,
+        )
     }
 
     #[test]
@@ -274,10 +278,16 @@ mod tests {
         assert!(!ranges.is_empty());
         for i in 0..10 {
             let f = i as f64 / 9.0;
-            let m = traj_mbr(116.0 + 0.45 * f, 39.0 + 0.45 * f, t0 + (t1 - t0 - 2 * HOUR_MS).max(0) * i / 9);
+            let m = traj_mbr(
+                116.0 + 0.45 * f,
+                39.0 + 0.45 * f,
+                t0 + (t1 - t0 - 2 * HOUR_MS).max(0) * i / 9,
+            );
             let (p, code) = xz3.index(&m);
             assert!(
-                ranges.iter().any(|pr| pr.period == p && pr.range.contains(code)),
+                ranges
+                    .iter()
+                    .any(|pr| pr.period == p && pr.range.contains(code)),
                 "{m:?} escaped"
             );
         }
@@ -288,7 +298,11 @@ mod tests {
         let xz3 = Xz3::new(12, TimePeriod::Day);
         let day = 24 * HOUR_MS;
         // Trajectory starts 1h before midnight, ends 1h after.
-        let m = StMbr::new(Rect::new(116.0, 39.0, 116.1, 39.1), day - HOUR_MS, day + HOUR_MS);
+        let m = StMbr::new(
+            Rect::new(116.0, 39.0, 116.1, 39.1),
+            day - HOUR_MS,
+            day + HOUR_MS,
+        );
         let (p, code) = xz3.index(&m);
         assert_eq!(p, 0);
         // Query only the second day.
@@ -299,7 +313,9 @@ mod tests {
             &RangeOptions::default(),
         );
         assert!(
-            ranges.iter().any(|pr| pr.period == p && pr.range.contains(code)),
+            ranges
+                .iter()
+                .any(|pr| pr.period == p && pr.range.contains(code)),
             "cross-period object missed"
         );
     }
@@ -311,7 +327,9 @@ mod tests {
         let ranges = xz3.ranges(&window, 0, 4 * HOUR_MS, &RangeOptions::default());
         let far = traj_mbr(-120.0, -40.0, HOUR_MS);
         let (p, code) = xz3.index(&far);
-        assert!(!ranges.iter().any(|pr| pr.period == p && pr.range.contains(code)));
+        assert!(!ranges
+            .iter()
+            .any(|pr| pr.period == p && pr.range.contains(code)));
     }
 
     #[test]

@@ -217,8 +217,14 @@ mod tests {
                 .map(|r| r.len() as u128)
                 .sum()
         };
-        let coarse = span(&RangeOptions { max_recursion: 4, max_ranges: 4096 });
-        let fine = span(&RangeOptions { max_recursion: 12, max_ranges: 4096 });
+        let coarse = span(&RangeOptions {
+            max_recursion: 4,
+            max_ranges: 4096,
+        });
+        let fine = span(&RangeOptions {
+            max_recursion: 12,
+            max_ranges: 4096,
+        });
         assert!(fine < coarse, "fine {fine} !< coarse {coarse}");
     }
 

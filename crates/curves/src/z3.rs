@@ -225,7 +225,10 @@ mod tests {
         // wide time dimension, so its covered code fraction stays enormous;
         // Z2 (what Z2T uses inside a period) nails the window in a handful
         // of ranges.
-        let opts = RangeOptions { max_recursion: 16, max_ranges: 32 };
+        let opts = RangeOptions {
+            max_recursion: 16,
+            max_ranges: 32,
+        };
         let z3 = Z3::new(16, TimePeriod::Day);
         let tiny = Rect::window_km(just_geo::Point::new(116.4, 39.9), 1.0);
         let ranges = z3.ranges(&tiny, 3_600_000, 13 * 3_600_000, &opts);
@@ -259,6 +262,8 @@ mod tests {
     fn empty_time_window() {
         let z3 = Z3::new(10, TimePeriod::Day);
         let window = Rect::new(0.0, 0.0, 1.0, 1.0);
-        assert!(z3.ranges(&window, 100, 50, &RangeOptions::default()).is_empty());
+        assert!(z3
+            .ranges(&window, 100, 50, &RangeOptions::default())
+            .is_empty());
     }
 }

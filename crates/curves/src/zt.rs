@@ -122,10 +122,7 @@ impl Xz2t {
 
     /// Equation (3): `Num(t_min) :: XZ2(mbr)`.
     pub fn index(&self, mbr: &StMbr) -> (i32, u64) {
-        (
-            self.period.period_of(mbr.t_min),
-            self.xz2.index(&mbr.rect),
-        )
+        (self.period.period_of(mbr.t_min), self.xz2.index(&mbr.rect))
     }
 
     /// Query planning — "the process to answer a spatio-temporal range
@@ -198,7 +195,9 @@ mod tests {
         // Same place, next day: pruned by the period prefix alone.
         let (p2, c2) = z2t.index(116.1, 39.1, DAY_MS + 6 * HOUR_MS);
         assert_eq!(c, c2);
-        assert!(!ranges.iter().any(|r| r.period == p2 && r.range.contains(c2)));
+        assert!(!ranges
+            .iter()
+            .any(|r| r.period == p2 && r.range.contains(c2)));
     }
 
     #[test]
@@ -222,7 +221,11 @@ mod tests {
     #[test]
     fn xz2t_key_structure_matches_equation_3() {
         let xz2t = Xz2t::new(TimePeriod::Day);
-        let mbr = StMbr::new(Rect::new(116.0, 39.0, 116.3, 39.2), DAY_MS - HOUR_MS, DAY_MS + HOUR_MS);
+        let mbr = StMbr::new(
+            Rect::new(116.0, 39.0, 116.3, 39.2),
+            DAY_MS - HOUR_MS,
+            DAY_MS + HOUR_MS,
+        );
         let (period, code) = xz2t.index(&mbr);
         assert_eq!(period, 0, "period comes from t_min");
         assert_eq!(code, Xz2::default().index(&mbr.rect));
@@ -231,7 +234,11 @@ mod tests {
     #[test]
     fn xz2t_lookback_finds_straddling_trajectories() {
         let xz2t = Xz2t::new(TimePeriod::Day);
-        let mbr = StMbr::new(Rect::new(116.0, 39.0, 116.1, 39.1), DAY_MS - HOUR_MS, DAY_MS + HOUR_MS);
+        let mbr = StMbr::new(
+            Rect::new(116.0, 39.0, 116.1, 39.1),
+            DAY_MS - HOUR_MS,
+            DAY_MS + HOUR_MS,
+        );
         let (p, c) = xz2t.index(&mbr);
         let ranges = xz2t.ranges(
             &Rect::new(115.9, 38.9, 116.2, 39.2),
@@ -245,7 +252,11 @@ mod tests {
     #[test]
     fn xz2t_prunes_spatially() {
         let xz2t = Xz2t::new(TimePeriod::Day);
-        let far = StMbr::new(Rect::new(-120.0, -40.0, -119.9, -39.9), HOUR_MS, 2 * HOUR_MS);
+        let far = StMbr::new(
+            Rect::new(-120.0, -40.0, -119.9, -39.9),
+            HOUR_MS,
+            2 * HOUR_MS,
+        );
         let (p, c) = xz2t.index(&far);
         let ranges = xz2t.ranges(
             &Rect::new(116.0, 39.0, 116.5, 39.5),

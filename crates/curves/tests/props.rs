@@ -1,168 +1,224 @@
-//! Property-based tests for the space-filling-curve invariants the engine
+//! Randomized tests for the space-filling-curve invariants the engine
 //! relies on: *no false negatives* — every indexed record whose geometry
 //! intersects a query window must be covered by the planned key ranges.
+//! Deterministically seeded (the offline stand-in for proptest).
 
 use just_curves::xz3::StMbr;
 use just_curves::*;
 use just_geo::{Point, Rect};
-use proptest::prelude::*;
+use just_obs::Rng;
 
-fn arb_point() -> impl Strategy<Value = Point> {
-    (-180.0f64..180.0, -90.0f64..90.0).prop_map(|(x, y)| Point::new(x, y))
-}
-
-fn arb_window() -> impl Strategy<Value = Rect> {
-    (arb_point(), 0.001f64..20.0, 0.001f64..20.0).prop_map(|(c, w, h)| {
-        Rect::new(c.x, c.y, (c.x + w).min(180.0), (c.y + h).min(90.0))
-    })
-}
-
-fn arb_mbr() -> impl Strategy<Value = Rect> {
-    (arb_point(), 0.0f64..2.0, 0.0f64..2.0).prop_map(|(c, w, h)| {
-        Rect::new(c.x, c.y, (c.x + w).min(180.0), (c.y + h).min(90.0))
-    })
-}
-
+const CASES: u64 = 192;
 const DAY_MS: i64 = 86_400_000;
 
-proptest! {
-    #[test]
-    fn z2_no_false_negatives(window in arb_window(), p in arb_point()) {
-        let z2 = Z2::default();
+fn rand_point(rng: &mut Rng) -> Point {
+    Point::new(
+        rng.gen_range(-180.0f64..180.0),
+        rng.gen_range(-90.0f64..90.0),
+    )
+}
+
+fn rand_window(rng: &mut Rng) -> Rect {
+    let c = rand_point(rng);
+    let w = rng.gen_range(0.001f64..20.0);
+    let h = rng.gen_range(0.001f64..20.0);
+    Rect::new(c.x, c.y, (c.x + w).min(180.0), (c.y + h).min(90.0))
+}
+
+fn rand_mbr(rng: &mut Rng) -> Rect {
+    let c = rand_point(rng);
+    let w = rng.gen_range(0.0f64..2.0);
+    let h = rng.gen_range(0.0f64..2.0);
+    Rect::new(c.x, c.y, (c.x + w).min(180.0), (c.y + h).min(90.0))
+}
+
+#[test]
+fn z2_no_false_negatives() {
+    let mut rng = Rng::seed_from_u64(0x2d01);
+    let z2 = Z2::default();
+    for case in 0..CASES {
+        let window = rand_window(&mut rng);
+        let p = rand_point(&mut rng);
         let ranges = z2.ranges(&window, &RangeOptions::default());
         if window.contains_point(&p) {
             let code = z2.index(p.x, p.y);
-            prop_assert!(ranges.iter().any(|r| r.contains(code)),
-                "point {p:?} in window {window:?} escaped");
+            assert!(
+                ranges.iter().any(|r| r.contains(code)),
+                "case {case}: point {p:?} in window {window:?} escaped"
+            );
         }
     }
+}
 
-    #[test]
-    fn z2_invert_contains_point(p in arb_point()) {
-        let z2 = Z2::default();
+#[test]
+fn z2_invert_contains_point() {
+    let mut rng = Rng::seed_from_u64(0x2d02);
+    let z2 = Z2::default();
+    for case in 0..CASES {
+        let p = rand_point(&mut rng);
         let cell = z2.invert(z2.index(p.x, p.y));
-        prop_assert!(cell.contains_point(&p));
+        assert!(
+            cell.contains_point(&p),
+            "case {case}: {p:?} not in {cell:?}"
+        );
     }
+}
 
-    #[test]
-    fn z2_ranges_sorted_and_disjoint(window in arb_window()) {
-        let z2 = Z2::default();
+#[test]
+fn z2_ranges_sorted_and_disjoint() {
+    let mut rng = Rng::seed_from_u64(0x2d03);
+    let z2 = Z2::default();
+    for case in 0..CASES {
+        let window = rand_window(&mut rng);
         let ranges = z2.ranges(&window, &RangeOptions::default());
         for w in ranges.windows(2) {
-            prop_assert!(w[0].hi < w[1].lo, "ranges overlap or unsorted: {w:?}");
+            assert!(w[0].hi < w[1].lo, "case {case}: overlap/unsorted: {w:?}");
             // Merged output must not contain adjacent ranges either.
-            prop_assert!(w[0].hi + 1 < w[1].lo, "unmerged adjacency: {w:?}");
+            assert!(
+                w[0].hi + 1 < w[1].lo,
+                "case {case}: unmerged adjacency: {w:?}"
+            );
         }
     }
+}
 
-    #[test]
-    fn z3_no_false_negatives(
-        window in arb_window(),
-        p in arb_point(),
-        t in 0i64..(30 * DAY_MS),
-        t0 in 0i64..(30 * DAY_MS),
-        dt in 1i64..(3 * DAY_MS),
-    ) {
-        let z3 = Z3::new(16, TimePeriod::Day);
-        let (t_min, t_max) = (t0, t0 + dt);
+#[test]
+fn z3_no_false_negatives() {
+    let mut rng = Rng::seed_from_u64(0x2d04);
+    let z3 = Z3::new(16, TimePeriod::Day);
+    for case in 0..CASES {
+        let window = rand_window(&mut rng);
+        let p = rand_point(&mut rng);
+        let t = rng.gen_range(0i64..30 * DAY_MS);
+        let t_min = rng.gen_range(0i64..30 * DAY_MS);
+        let t_max = t_min + rng.gen_range(1i64..3 * DAY_MS);
         let ranges = z3.ranges(&window, t_min, t_max, &RangeOptions::default());
         if window.contains_point(&p) && (t_min..=t_max).contains(&t) {
             let (period, code) = z3.index(p.x, p.y, t);
-            prop_assert!(
-                ranges.iter().any(|r| r.period == period && r.range.contains(code)),
-                "st point escaped z3 ranges"
+            assert!(
+                ranges
+                    .iter()
+                    .any(|r| r.period == period && r.range.contains(code)),
+                "case {case}: st point escaped z3 ranges"
             );
         }
     }
+}
 
-    #[test]
-    fn z2t_no_false_negatives(
-        window in arb_window(),
-        p in arb_point(),
-        t in 0i64..(30 * DAY_MS),
-        t0 in 0i64..(30 * DAY_MS),
-        dt in 1i64..(3 * DAY_MS),
-    ) {
-        let z2t = Z2t::new(TimePeriod::Day);
-        let (t_min, t_max) = (t0, t0 + dt);
+#[test]
+fn z2t_no_false_negatives() {
+    let mut rng = Rng::seed_from_u64(0x2d05);
+    let z2t = Z2t::new(TimePeriod::Day);
+    for case in 0..CASES {
+        let window = rand_window(&mut rng);
+        let p = rand_point(&mut rng);
+        let t = rng.gen_range(0i64..30 * DAY_MS);
+        let t_min = rng.gen_range(0i64..30 * DAY_MS);
+        let t_max = t_min + rng.gen_range(1i64..3 * DAY_MS);
         let ranges = z2t.ranges(&window, t_min, t_max, &RangeOptions::default());
         if window.contains_point(&p) && (t_min..=t_max).contains(&t) {
             let (period, code) = z2t.index(p.x, p.y, t);
-            prop_assert!(
-                ranges.iter().any(|r| r.period == period && r.range.contains(code)),
-                "st point escaped z2t ranges"
+            assert!(
+                ranges
+                    .iter()
+                    .any(|r| r.period == period && r.range.contains(code)),
+                "case {case}: st point escaped z2t ranges"
             );
         }
     }
+}
 
-    #[test]
-    fn xz2_no_false_negatives(window in arb_window(), mbr in arb_mbr()) {
-        let xz2 = Xz2::default();
+#[test]
+fn xz2_no_false_negatives() {
+    let mut rng = Rng::seed_from_u64(0x2d06);
+    let xz2 = Xz2::default();
+    for case in 0..CASES {
+        let window = rand_window(&mut rng);
+        let mbr = rand_mbr(&mut rng);
         let ranges = xz2.ranges(&window, &RangeOptions::default());
         if window.intersects(&mbr) {
             let code = xz2.index(&mbr);
-            prop_assert!(ranges.iter().any(|r| r.contains(code)),
-                "mbr {mbr:?} intersecting {window:?} escaped");
+            assert!(
+                ranges.iter().any(|r| r.contains(code)),
+                "case {case}: mbr {mbr:?} intersecting {window:?} escaped"
+            );
         }
     }
+}
 
-    #[test]
-    fn xz2_code_in_space(mbr in arb_mbr()) {
-        let xz2 = Xz2::default();
-        prop_assert!(xz2.index(&mbr) < xz2.code_space());
+#[test]
+fn xz2_code_in_space() {
+    let mut rng = Rng::seed_from_u64(0x2d07);
+    let xz2 = Xz2::default();
+    for case in 0..CASES {
+        let mbr = rand_mbr(&mut rng);
+        assert!(xz2.index(&mbr) < xz2.code_space(), "case {case}");
     }
+}
 
-    #[test]
-    fn xz2t_no_false_negatives(
-        window in arb_window(),
-        mbr in arb_mbr(),
-        t0 in 0i64..(10 * DAY_MS),
-        dur in 0i64..DAY_MS,
-        q0 in 0i64..(10 * DAY_MS),
-        qdur in 1i64..(3 * DAY_MS),
-    ) {
-        let xz2t = Xz2t::new(TimePeriod::Day);
+#[test]
+fn xz2t_no_false_negatives() {
+    let mut rng = Rng::seed_from_u64(0x2d08);
+    let xz2t = Xz2t::new(TimePeriod::Day);
+    for case in 0..CASES {
+        let window = rand_window(&mut rng);
+        let mbr = rand_mbr(&mut rng);
+        let t0 = rng.gen_range(0i64..10 * DAY_MS);
+        let dur = rng.gen_range(0i64..DAY_MS);
+        let q_min = rng.gen_range(0i64..10 * DAY_MS);
+        let q_max = q_min + rng.gen_range(1i64..3 * DAY_MS);
         let st = StMbr::new(mbr, t0, t0 + dur);
-        let (q_min, q_max) = (q0, q0 + qdur);
         let ranges = xz2t.ranges(&window, q_min, q_max, &RangeOptions::default());
         // Record qualifies when it spatially intersects and temporally
         // overlaps the window.
         if window.intersects(&mbr) && st.t_min <= q_max && st.t_max >= q_min {
             let (period, code) = xz2t.index(&st);
-            prop_assert!(
-                ranges.iter().any(|r| r.period == period && r.range.contains(code)),
-                "st mbr escaped xz2t ranges (duration {dur} < one period)"
+            assert!(
+                ranges
+                    .iter()
+                    .any(|r| r.period == period && r.range.contains(code)),
+                "case {case}: st mbr escaped xz2t ranges (duration {dur} < one period)"
             );
         }
     }
+}
 
-    #[test]
-    fn xz3_no_false_negatives(
-        window in arb_window(),
-        mbr in arb_mbr(),
-        t0 in 0i64..(10 * DAY_MS),
-        dur in 0i64..DAY_MS,
-        q0 in 0i64..(10 * DAY_MS),
-        qdur in 1i64..(3 * DAY_MS),
-    ) {
-        let xz3 = Xz3::new(12, TimePeriod::Day);
+#[test]
+fn xz3_no_false_negatives() {
+    let mut rng = Rng::seed_from_u64(0x2d09);
+    let xz3 = Xz3::new(12, TimePeriod::Day);
+    for case in 0..CASES {
+        let window = rand_window(&mut rng);
+        let mbr = rand_mbr(&mut rng);
+        let t0 = rng.gen_range(0i64..10 * DAY_MS);
+        let dur = rng.gen_range(0i64..DAY_MS);
+        let q_min = rng.gen_range(0i64..10 * DAY_MS);
+        let q_max = q_min + rng.gen_range(1i64..3 * DAY_MS);
         let st = StMbr::new(mbr, t0, t0 + dur);
-        let (q_min, q_max) = (q0, q0 + qdur);
         let ranges = xz3.ranges(&window, q_min, q_max, &RangeOptions::default());
         if window.intersects(&mbr) && st.t_min <= q_max && st.t_max >= q_min {
             let (period, code) = xz3.index(&st);
-            prop_assert!(
-                ranges.iter().any(|r| r.period == period && r.range.contains(code)),
-                "st mbr escaped xz3 ranges"
+            assert!(
+                ranges
+                    .iter()
+                    .any(|r| r.period == period && r.range.contains(code)),
+                "case {case}: st mbr escaped xz3 ranges"
             );
         }
     }
+}
 
-    #[test]
-    fn period_numbering_is_monotone(a in any::<i64>(), b in any::<i64>()) {
-        let p = TimePeriod::Day;
-        if a <= b {
-            prop_assert!(p.period_of(a) <= p.period_of(b));
-        }
+#[test]
+fn period_numbering_is_monotone() {
+    let mut rng = Rng::seed_from_u64(0x2d0a);
+    let p = TimePeriod::Day;
+    for case in 0..CASES * 4 {
+        let a = rng.next_u64() as i64;
+        let b = rng.next_u64() as i64;
+        let (a, b) = if a <= b { (a, b) } else { (b, a) };
+        assert!(
+            p.period_of(a) <= p.period_of(b),
+            "case {case}: {a} -> {b} not monotone"
+        );
     }
 }

@@ -116,9 +116,7 @@ impl Polygon {
         }
         // Edge crossings.
         let n = self.exterior.len();
-        (0..n).any(|i| {
-            segment_intersects_rect(&self.exterior[i], &self.exterior[(i + 1) % n], r)
-        })
+        (0..n).any(|i| segment_intersects_rect(&self.exterior[i], &self.exterior[(i + 1) % n], r))
     }
 }
 

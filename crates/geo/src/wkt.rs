@@ -84,7 +84,8 @@ impl<'a> Cursor<'a> {
                 || bytes[self.pos] == b'.'
                 || bytes[self.pos] == b'e'
                 || bytes[self.pos] == b'E'
-                || (self.pos > start && (bytes[self.pos] == b'-' || bytes[self.pos] == b'+')
+                || (self.pos > start
+                    && (bytes[self.pos] == b'-' || bytes[self.pos] == b'+')
                     && (bytes[self.pos - 1] == b'e' || bytes[self.pos - 1] == b'E')))
         {
             self.pos += 1;

@@ -1,95 +1,155 @@
-//! Property-based tests for geometric invariants.
+//! Randomized tests for geometric invariants, deterministically seeded
+//! (the offline stand-in for proptest).
 
 use just_geo::*;
-use proptest::prelude::*;
+use just_obs::Rng;
 
-fn arb_point() -> impl Strategy<Value = Point> {
-    (-180.0f64..180.0, -90.0f64..90.0).prop_map(|(x, y)| Point::new(x, y))
+const CASES: u64 = 256;
+
+fn rand_point(rng: &mut Rng) -> Point {
+    Point::new(
+        rng.gen_range(-180.0f64..180.0),
+        rng.gen_range(-90.0f64..90.0),
+    )
 }
 
-fn arb_rect() -> impl Strategy<Value = Rect> {
-    (arb_point(), arb_point()).prop_map(|(a, b)| Rect::new(a.x, a.y, b.x, b.y))
+fn rand_rect(rng: &mut Rng) -> Rect {
+    let a = rand_point(rng);
+    let b = rand_point(rng);
+    Rect::new(a.x, a.y, b.x, b.y)
 }
 
-proptest! {
-    #[test]
-    fn rect_contains_its_center(r in arb_rect()) {
-        prop_assert!(r.contains_point(&r.center()));
+#[test]
+fn rect_contains_its_center() {
+    let mut rng = Rng::seed_from_u64(0x6e01);
+    for case in 0..CASES {
+        let r = rand_rect(&mut rng);
+        assert!(r.contains_point(&r.center()), "case {case}: {r:?}");
     }
+}
 
-    #[test]
-    fn union_contains_both(a in arb_rect(), b in arb_rect()) {
+#[test]
+fn union_contains_both() {
+    let mut rng = Rng::seed_from_u64(0x6e02);
+    for case in 0..CASES {
+        let a = rand_rect(&mut rng);
+        let b = rand_rect(&mut rng);
         let u = a.union(&b);
-        prop_assert!(u.contains_rect(&a));
-        prop_assert!(u.contains_rect(&b));
+        assert!(u.contains_rect(&a), "case {case}");
+        assert!(u.contains_rect(&b), "case {case}");
     }
+}
 
-    #[test]
-    fn intersection_within_both(a in arb_rect(), b in arb_rect()) {
+#[test]
+fn intersection_within_both() {
+    let mut rng = Rng::seed_from_u64(0x6e03);
+    for case in 0..CASES {
+        let a = rand_rect(&mut rng);
+        let b = rand_rect(&mut rng);
         if let Some(i) = a.intersection(&b) {
-            prop_assert!(a.contains_rect(&i));
-            prop_assert!(b.contains_rect(&i));
-            prop_assert!(a.intersects(&b));
+            assert!(a.contains_rect(&i), "case {case}");
+            assert!(b.contains_rect(&i), "case {case}");
+            assert!(a.intersects(&b), "case {case}");
         } else {
-            prop_assert!(!a.intersects(&b));
+            assert!(!a.intersects(&b), "case {case}");
         }
     }
+}
 
-    #[test]
-    fn intersects_is_symmetric(a in arb_rect(), b in arb_rect()) {
-        prop_assert_eq!(a.intersects(&b), b.intersects(&a));
+#[test]
+fn intersects_is_symmetric() {
+    let mut rng = Rng::seed_from_u64(0x6e04);
+    for case in 0..CASES {
+        let a = rand_rect(&mut rng);
+        let b = rand_rect(&mut rng);
+        assert_eq!(a.intersects(&b), b.intersects(&a), "case {case}");
     }
+}
 
-    #[test]
-    fn quadrants_cover_parent(r in arb_rect(), p in arb_point()) {
+#[test]
+fn quadrants_cover_parent() {
+    let mut rng = Rng::seed_from_u64(0x6e05);
+    for case in 0..CASES {
+        let r = rand_rect(&mut rng);
+        let p = rand_point(&mut rng);
         if r.contains_point(&p) {
             let hit = r.quadrants().iter().any(|q| q.contains_point(&p));
-            prop_assert!(hit);
+            assert!(hit, "case {case}: {p:?} escaped quadrants of {r:?}");
         }
     }
+}
 
-    #[test]
-    fn min_distance_zero_iff_inside(r in arb_rect(), p in arb_point()) {
+#[test]
+fn min_distance_zero_iff_inside() {
+    let mut rng = Rng::seed_from_u64(0x6e06);
+    for case in 0..CASES {
+        let r = rand_rect(&mut rng);
+        let p = rand_point(&mut rng);
         let d = r.min_distance(&p);
         if r.contains_point(&p) {
-            prop_assert_eq!(d, 0.0);
+            assert_eq!(d, 0.0, "case {case}");
         } else {
-            prop_assert!(d > 0.0);
+            assert!(d > 0.0, "case {case}");
         }
     }
+}
 
-    #[test]
-    fn haversine_triangle_inequality(a in arb_point(), b in arb_point(), c in arb_point()) {
+#[test]
+fn haversine_triangle_inequality() {
+    let mut rng = Rng::seed_from_u64(0x6e07);
+    for case in 0..CASES {
+        let a = rand_point(&mut rng);
+        let b = rand_point(&mut rng);
+        let c = rand_point(&mut rng);
         let ab = haversine_m(&a, &b);
         let bc = haversine_m(&b, &c);
         let ac = haversine_m(&a, &c);
-        prop_assert!(ac <= ab + bc + 1e-6);
+        assert!(ac <= ab + bc + 1e-6, "case {case}: {ac} > {ab} + {bc}");
     }
+}
 
-    #[test]
-    fn wkt_roundtrip_point(p in arb_point()) {
-        let g = Geometry::Point(p);
+#[test]
+fn wkt_roundtrip_point() {
+    let mut rng = Rng::seed_from_u64(0x6e08);
+    for case in 0..CASES {
+        let g = Geometry::Point(rand_point(&mut rng));
         let back = parse_wkt(&g.to_wkt()).unwrap();
-        prop_assert_eq!(back, g);
+        assert_eq!(back, g, "case {case}");
     }
+}
 
-    #[test]
-    fn wkt_roundtrip_linestring(pts in proptest::collection::vec(arb_point(), 2..20)) {
+#[test]
+fn wkt_roundtrip_linestring() {
+    let mut rng = Rng::seed_from_u64(0x6e09);
+    for case in 0..CASES {
+        let n = rng.gen_range(2usize..20);
+        let pts: Vec<Point> = (0..n).map(|_| rand_point(&mut rng)).collect();
         let g = Geometry::LineString(LineString::new(pts));
         let back = parse_wkt(&g.to_wkt()).unwrap();
-        prop_assert_eq!(back, g);
+        assert_eq!(back, g, "case {case}");
     }
+}
 
-    #[test]
-    fn gcj_transform_roundtrip(x in 73.0f64..135.0, y in 18.0f64..53.0) {
-        let p = Point::new(x, y);
+#[test]
+fn gcj_transform_roundtrip() {
+    let mut rng = Rng::seed_from_u64(0x6e0a);
+    for case in 0..CASES {
+        let p = Point::new(rng.gen_range(73.0f64..135.0), rng.gen_range(18.0f64..53.0));
         let back = gcj02_to_wgs84(wgs84_to_gcj02(p));
-        prop_assert!(haversine_m(&p, &back) < 0.05);
+        assert!(haversine_m(&p, &back) < 0.05, "case {case}: {p:?}");
     }
+}
 
-    #[test]
-    fn geometry_mbr_contains_representative(pts in proptest::collection::vec(arb_point(), 2..10)) {
+#[test]
+fn geometry_mbr_contains_representative() {
+    let mut rng = Rng::seed_from_u64(0x6e0b);
+    for case in 0..CASES {
+        let n = rng.gen_range(2usize..10);
+        let pts: Vec<Point> = (0..n).map(|_| rand_point(&mut rng)).collect();
         let g = Geometry::LineString(LineString::new(pts));
-        prop_assert!(g.mbr().contains_point(&g.representative_point()));
+        assert!(
+            g.mbr().contains_point(&g.representative_point()),
+            "case {case}"
+        );
     }
 }

@@ -8,7 +8,7 @@
 //! Cache hits are counted separately from disk reads in
 //! [`crate::IoMetrics`], so experiments can still measure true disk IO.
 
-use parking_lot::Mutex;
+use just_obs::sync::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -196,11 +196,7 @@ mod tests {
         for i in 0..1000usize {
             c.put(1, i, Arc::new(vec![0u8; 512]));
         }
-        let total: usize = c
-            .shards
-            .iter()
-            .map(|s| s.lock().bytes)
-            .sum();
+        let total: usize = c.shards.iter().map(|s| s.lock().bytes).sum();
         assert!(total <= 16 * 4096 + 512 * SHARDS, "total {total}");
         // Recently used entries survive better than old ones; at least the
         // most recent insert must be present.

@@ -20,10 +20,8 @@ impl MemTable {
     /// Inserts or overwrites a key.
     pub fn put(&mut self, key: Vec<u8>, value: Vec<u8>) {
         self.approx_bytes += key.len() + value.len() + 32;
-        if let Some(old) = self.map.insert(key, Some(value)) {
-            if let Some(old) = old {
-                self.approx_bytes = self.approx_bytes.saturating_sub(old.len() + 32);
-            }
+        if let Some(Some(old)) = self.map.insert(key, Some(value)) {
+            self.approx_bytes = self.approx_bytes.saturating_sub(old.len() + 32);
         }
     }
 

@@ -10,7 +10,12 @@ use std::collections::BinaryHeap;
 pub fn merge_live(sources: Vec<Vec<BlockEntry>>) -> Vec<KvEntry> {
     merge_versions(sources)
         .into_iter()
-        .filter_map(|e| e.value.map(|v| KvEntry { key: e.key, value: v }))
+        .filter_map(|e| {
+            e.value.map(|v| KvEntry {
+                key: e.key,
+                value: v,
+            })
+        })
         .collect()
 }
 
@@ -123,7 +128,16 @@ mod tests {
         let s2 = vec![e("c", Some("2")), e("e", Some("2"))];
         let merged = merge_live(vec![s0, s1, s2]);
         let keys: Vec<_> = merged.iter().map(|x| x.key.clone()).collect();
-        assert_eq!(keys, vec![b"a".to_vec(), b"b".to_vec(), b"c".to_vec(), b"d".to_vec(), b"e".to_vec()]);
+        assert_eq!(
+            keys,
+            vec![
+                b"a".to_vec(),
+                b"b".to_vec(),
+                b"c".to_vec(),
+                b"d".to_vec(),
+                b"e".to_vec()
+            ]
+        );
     }
 
     #[test]

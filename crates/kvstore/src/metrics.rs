@@ -4,11 +4,25 @@
 //! fields ... accelerates the query efficiency through reducing the disk
 //! IOs"), so the store counts every block-level disk access. Counters are
 //! atomic and shared by all tables of a [`crate::Store`].
+//!
+//! Beyond raw disk blocks, the metrics distinguish work that was *avoided*:
+//! `memtable_hits` (point reads answered before touching any SSTable),
+//! `index_skips` (SSTables pruned by their min/max key fence — the
+//! bloom-filter stand-in in this store), and `cache_hits` (block reads
+//! served from the block cache). Without these, cache-resident workloads
+//! look IO-free and unexplainable.
 
+use just_obs::Counter;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Shared atomic IO counters.
-#[derive(Debug, Default)]
+///
+/// Every record also increments a process-global counter in the
+/// [`just_obs::global`] registry (`just_kvstore_*` names), so
+/// `registry.render_text()` exposes cumulative IO without polling each
+/// store. The global handles are resolved once at construction; the hot
+/// path is two relaxed atomic adds.
+#[derive(Debug)]
 pub struct IoMetrics {
     blocks_read: AtomicU64,
     bytes_read: AtomicU64,
@@ -16,12 +30,39 @@ pub struct IoMetrics {
     blocks_written: AtomicU64,
     bytes_written: AtomicU64,
     cache_hits: AtomicU64,
+    memtable_hits: AtomicU64,
+    index_skips: AtomicU64,
+    obs_blocks_read: Counter,
+    obs_cache_hits: Counter,
+    obs_memtable_hits: Counter,
+    obs_index_skips: Counter,
+}
+
+impl Default for IoMetrics {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl IoMetrics {
-    /// Fresh zeroed counters.
+    /// Fresh zeroed counters (the global registry counters are shared
+    /// across instances and are not reset).
     pub fn new() -> Self {
-        Self::default()
+        let obs = just_obs::global();
+        IoMetrics {
+            blocks_read: AtomicU64::new(0),
+            bytes_read: AtomicU64::new(0),
+            seeks: AtomicU64::new(0),
+            blocks_written: AtomicU64::new(0),
+            bytes_written: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            memtable_hits: AtomicU64::new(0),
+            index_skips: AtomicU64::new(0),
+            obs_blocks_read: obs.counter("just_kvstore_blocks_read"),
+            obs_cache_hits: obs.counter("just_kvstore_cache_hits"),
+            obs_memtable_hits: obs.counter("just_kvstore_memtable_hits"),
+            obs_index_skips: obs.counter("just_kvstore_index_skips"),
+        }
     }
 
     pub(crate) fn record_block_read(&self, bytes: u64, seeked: bool) {
@@ -30,15 +71,27 @@ impl IoMetrics {
         if seeked {
             self.seeks.fetch_add(1, Ordering::Relaxed);
         }
+        self.obs_blocks_read.inc();
     }
 
     pub(crate) fn record_cache_hit(&self) {
         self.cache_hits.fetch_add(1, Ordering::Relaxed);
+        self.obs_cache_hits.inc();
     }
 
     pub(crate) fn record_block_write(&self, bytes: u64) {
         self.blocks_written.fetch_add(1, Ordering::Relaxed);
         self.bytes_written.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_memtable_hit(&self) {
+        self.memtable_hits.fetch_add(1, Ordering::Relaxed);
+        self.obs_memtable_hits.inc();
+    }
+
+    pub(crate) fn record_index_skip(&self) {
+        self.index_skips.fetch_add(1, Ordering::Relaxed);
+        self.obs_index_skips.inc();
     }
 
     /// A point-in-time copy of the counters.
@@ -50,6 +103,8 @@ impl IoMetrics {
             blocks_written: self.blocks_written.load(Ordering::Relaxed),
             bytes_written: self.bytes_written.load(Ordering::Relaxed),
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            memtable_hits: self.memtable_hits.load(Ordering::Relaxed),
+            index_skips: self.index_skips.load(Ordering::Relaxed),
         }
     }
 
@@ -61,6 +116,8 @@ impl IoMetrics {
         self.blocks_written.store(0, Ordering::Relaxed);
         self.bytes_written.store(0, Ordering::Relaxed);
         self.cache_hits.store(0, Ordering::Relaxed);
+        self.memtable_hits.store(0, Ordering::Relaxed);
+        self.index_skips.store(0, Ordering::Relaxed);
     }
 }
 
@@ -79,6 +136,11 @@ pub struct IoSnapshot {
     pub bytes_written: u64,
     /// Block reads served from the block cache (no disk touched).
     pub cache_hits: u64,
+    /// Point reads answered by a memtable before touching any SSTable.
+    pub memtable_hits: u64,
+    /// SSTables skipped via their min/max key fence (bloom/index-block
+    /// stand-in) without reading any block.
+    pub index_skips: u64,
 }
 
 impl IoSnapshot {
@@ -91,6 +153,8 @@ impl IoSnapshot {
             blocks_written: self.blocks_written - earlier.blocks_written,
             bytes_written: self.bytes_written - earlier.bytes_written,
             cache_hits: self.cache_hits - earlier.cache_hits,
+            memtable_hits: self.memtable_hits - earlier.memtable_hits,
+            index_skips: self.index_skips - earlier.index_skips,
         }
     }
 }
@@ -105,11 +169,16 @@ mod tests {
         m.record_block_read(4096, true);
         m.record_block_read(4096, false);
         m.record_block_write(1000);
+        m.record_memtable_hit();
+        m.record_index_skip();
+        m.record_index_skip();
         let s = m.snapshot();
         assert_eq!(s.blocks_read, 2);
         assert_eq!(s.bytes_read, 8192);
         assert_eq!(s.seeks, 1);
         assert_eq!(s.blocks_written, 1);
+        assert_eq!(s.memtable_hits, 1);
+        assert_eq!(s.index_skips, 2);
         m.reset();
         assert_eq!(m.snapshot(), IoSnapshot::default());
     }
@@ -118,11 +187,15 @@ mod tests {
     fn snapshot_difference() {
         let m = IoMetrics::new();
         m.record_block_read(100, true);
+        m.record_memtable_hit();
         let before = m.snapshot();
         m.record_block_read(50, false);
+        m.record_index_skip();
         let delta = m.snapshot().since(&before);
         assert_eq!(delta.blocks_read, 1);
         assert_eq!(delta.bytes_read, 50);
         assert_eq!(delta.seeks, 0);
+        assert_eq!(delta.memtable_hits, 0);
+        assert_eq!(delta.index_skips, 1);
     }
 }

@@ -10,7 +10,7 @@ use crate::merge::{merge_live, merge_versions};
 use crate::metrics::IoMetrics;
 use crate::sstable::{SsTable, SsTableBuilder};
 use crate::KvEntry;
-use parking_lot::RwLock;
+use just_obs::sync::RwLock;
 use std::path::PathBuf;
 use std::sync::Arc;
 
@@ -51,7 +51,13 @@ impl Region {
         flush_threshold: usize,
         block_size: usize,
     ) -> Result<Self> {
-        Self::open_cached(dir, metrics, Arc::new(BlockCache::new(0)), flush_threshold, block_size)
+        Self::open_cached(
+            dir,
+            metrics,
+            Arc::new(BlockCache::new(0)),
+            flush_threshold,
+            block_size,
+        )
     }
 
     /// Like [`Region::open`], sharing a store-wide block cache.
@@ -120,6 +126,7 @@ impl Region {
     pub fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
         let inner = self.inner.read();
         if let Some(hit) = inner.mem.get(key) {
+            self.metrics.record_memtable_hit();
             return Ok(hit.map(|v| v.to_vec()));
         }
         for table in inner.tables.iter().rev() {
@@ -163,6 +170,7 @@ impl Region {
         if inner.mem.is_empty() {
             return Ok(());
         }
+        let started = std::time::Instant::now();
         let path = self.dir.join(format!("sst_{:010}.sst", inner.next_file_id));
         inner.next_file_id += 1;
         let mut builder = SsTableBuilder::create_cached(
@@ -177,6 +185,10 @@ impl Region {
         let table = builder.finish()?;
         inner.tables.push(table);
         inner.mem.clear();
+        let obs = just_obs::global();
+        obs.counter("just_kvstore_memtable_flushes").inc();
+        obs.histogram("just_kvstore_flush_latency_us")
+            .record_duration(started.elapsed());
         Ok(())
     }
 
@@ -188,6 +200,7 @@ impl Region {
         if inner.tables.len() <= 1 {
             return Ok(());
         }
+        let started = std::time::Instant::now();
         let mut sources = Vec::with_capacity(inner.tables.len());
         for table in inner.tables.iter().rev() {
             sources.push(table.scan_all()?);
@@ -219,6 +232,10 @@ impl Region {
             self.cache.invalidate_file(file_id);
             std::fs::remove_file(path).ok();
         }
+        let obs = just_obs::global();
+        obs.counter("just_kvstore_compactions").inc();
+        obs.histogram("just_kvstore_compaction_latency_us")
+            .record_duration(started.elapsed());
         Ok(())
     }
 
@@ -337,7 +354,8 @@ mod tests {
     fn reopen_recovers_flushed_data() {
         let (r, dir) = region("reopen", 1 << 20);
         for i in 0..100u32 {
-            r.put(format!("k{i:03}").into_bytes(), b"v".to_vec()).unwrap();
+            r.put(format!("k{i:03}").into_bytes(), b"v".to_vec())
+                .unwrap();
         }
         r.flush().unwrap();
         drop(r);

@@ -14,7 +14,7 @@ use crate::block::{Block, BlockBuilder, BlockEntry};
 use crate::cache::{next_file_id, BlockCache};
 use crate::error::{KvError, Result};
 use crate::metrics::IoMetrics;
-use parking_lot::Mutex;
+use just_obs::sync::Mutex;
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
@@ -311,7 +311,9 @@ impl SsTable {
 
     /// Whether the key range `[start, end]` could overlap this table.
     pub fn overlaps(&self, start: &[u8], end: &[u8]) -> bool {
-        !self.blocks.is_empty() && start <= self.max_key.as_slice() && end >= self.min_key.as_slice()
+        !self.blocks.is_empty()
+            && start <= self.max_key.as_slice()
+            && end >= self.min_key.as_slice()
     }
 
     fn read_block(&self, idx: usize, seeked: bool) -> Result<Block> {
@@ -349,7 +351,9 @@ impl SsTable {
     /// Index of the first block that could contain `key`.
     fn seek_block(&self, key: &[u8]) -> usize {
         // partition_point: number of blocks whose first_key <= key.
-        let n = self.blocks.partition_point(|b| b.first_key.as_slice() <= key);
+        let n = self
+            .blocks
+            .partition_point(|b| b.first_key.as_slice() <= key);
         n.saturating_sub(1)
     }
 
@@ -358,6 +362,8 @@ impl SsTable {
     pub fn scan(&self, start: &[u8], end: &[u8]) -> Result<Vec<BlockEntry>> {
         let mut out = Vec::new();
         if !self.overlaps(start, end) {
+            // Pruned by the min/max key fence: no block touched.
+            self.metrics.record_index_skip();
             return Ok(out);
         }
         let mut idx = self.seek_block(start);
@@ -383,10 +389,9 @@ impl SsTable {
 
     /// Point lookup (tombstones surface as `Some(None)`).
     pub fn get(&self, key: &[u8]) -> Result<Option<Option<Vec<u8>>>> {
-        if self.blocks.is_empty()
-            || key < self.min_key.as_slice()
-            || key > self.max_key.as_slice()
+        if self.blocks.is_empty() || key < self.min_key.as_slice() || key > self.max_key.as_slice()
         {
+            self.metrics.record_index_skip();
             return Ok(None);
         }
         let block = self.read_block(self.seek_block(key), true)?;
@@ -424,8 +429,7 @@ mod tests {
 
     fn build(dir: &Path, n: u32) -> SsTable {
         let metrics = Arc::new(IoMetrics::new());
-        let mut b =
-            SsTableBuilder::create(&dir.join("t.sst"), 256, metrics).unwrap();
+        let mut b = SsTableBuilder::create(&dir.join("t.sst"), 256, metrics).unwrap();
         for i in 0..n {
             let key = format!("key-{i:06}");
             let val = format!("value-{i}");
@@ -507,7 +511,8 @@ mod tests {
         let metrics = Arc::new(IoMetrics::new());
         let mut b = SsTableBuilder::create(&dir.join("t.sst"), 256, metrics.clone()).unwrap();
         for i in 0..500u32 {
-            b.add(format!("k{i:05}").as_bytes(), Some(&[0u8; 64])).unwrap();
+            b.add(format!("k{i:05}").as_bytes(), Some(&[0u8; 64]))
+                .unwrap();
         }
         let t = b.finish().unwrap();
         let before = metrics.snapshot();
@@ -536,10 +541,7 @@ mod tests {
         std::fs::write(&path, &bytes).unwrap();
         let metrics = Arc::new(IoMetrics::new());
         let t = SsTable::open(&path, metrics).unwrap();
-        assert!(matches!(
-            t.scan(b"", b"\xff\xff"),
-            Err(KvError::Corrupt(_))
-        ));
+        assert!(matches!(t.scan(b"", b"\xff\xff"), Err(KvError::Corrupt(_))));
         std::fs::remove_dir_all(dir).ok();
     }
 

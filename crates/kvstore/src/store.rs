@@ -4,7 +4,7 @@ use crate::cache::BlockCache;
 use crate::error::{KvError, Result};
 use crate::metrics::IoMetrics;
 use crate::table::Table;
-use parking_lot::RwLock;
+use just_obs::sync::RwLock;
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
@@ -196,7 +196,8 @@ mod tests {
         {
             let t = s.create_table("t", 2).unwrap();
             for i in 0..100u32 {
-                t.put(format!("k{i:03}").into_bytes(), b"v".to_vec()).unwrap();
+                t.put(format!("k{i:03}").into_bytes(), b"v".to_vec())
+                    .unwrap();
             }
             t.flush().unwrap();
         }

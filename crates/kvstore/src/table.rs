@@ -18,6 +18,7 @@ pub struct Table {
     name: String,
     regions: Vec<Arc<Region>>,
     scan_threads: usize,
+    scan_latency: just_obs::Histogram,
 }
 
 impl std::fmt::Debug for Table {
@@ -65,7 +66,7 @@ impl Table {
         block_size: usize,
         scan_threads: usize,
     ) -> Result<Self> {
-        assert!(num_regions >= 1 && num_regions <= 256);
+        assert!((1..=256).contains(&num_regions));
         let mut regions = Vec::with_capacity(num_regions);
         for i in 0..num_regions {
             regions.push(Arc::new(Region::open_cached(
@@ -80,6 +81,7 @@ impl Table {
             name,
             regions,
             scan_threads: scan_threads.max(1),
+            scan_latency: just_obs::global().histogram("just_kvstore_scan_latency_us"),
         })
     }
 
@@ -115,16 +117,22 @@ impl Table {
     }
 
     /// All live entries with `start <= key <= end`, in global key order.
+    ///
+    /// Every call records one sample in the process-wide
+    /// `just_kvstore_scan_latency_us` histogram (including range scans
+    /// issued by [`Table::scan_ranges_parallel`]).
     pub fn scan(&self, start: &[u8], end: &[u8]) -> Result<Vec<KvEntry>> {
         if start > end {
             return Ok(Vec::new());
         }
+        let started = std::time::Instant::now();
         let lo = self.region_of(start);
         let hi = self.region_of(end);
         let mut out = Vec::new();
         for region in &self.regions[lo..=hi] {
             out.extend(region.scan(start, end)?);
         }
+        self.scan_latency.record_duration(started.elapsed());
         Ok(out)
     }
 
@@ -134,10 +142,7 @@ impl Table {
     ///
     /// Results preserve the order of `ranges`; entries within a range are
     /// in key order.
-    pub fn scan_ranges_parallel(
-        &self,
-        ranges: &[(Vec<u8>, Vec<u8>)],
-    ) -> Result<Vec<KvEntry>> {
+    pub fn scan_ranges_parallel(&self, ranges: &[(Vec<u8>, Vec<u8>)]) -> Result<Vec<KvEntry>> {
         if ranges.is_empty() {
             return Ok(Vec::new());
         }
@@ -152,11 +157,11 @@ impl Table {
         }
         let threads = self.scan_threads.min(ranges.len());
         let chunk_size = ranges.len().div_ceil(threads);
-        let chunk_results = crossbeam::thread::scope(|scope| {
+        let chunk_results = std::thread::scope(|scope| {
             let handles: Vec<_> = ranges
                 .chunks(chunk_size)
                 .map(|chunk| {
-                    scope.spawn(move |_| -> Result<Vec<Vec<KvEntry>>> {
+                    scope.spawn(move || -> Result<Vec<Vec<KvEntry>>> {
                         chunk.iter().map(|(s, e)| self.scan(s, e)).collect()
                     })
                 })
@@ -165,8 +170,7 @@ impl Table {
                 .into_iter()
                 .map(|h| h.join().expect("scan worker panicked"))
                 .collect::<Vec<_>>()
-        })
-        .expect("scan scope panicked");
+        });
 
         let mut out = Vec::new();
         for chunk in chunk_results {

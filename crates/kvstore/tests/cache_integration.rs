@@ -19,12 +19,16 @@ fn repeated_scans_hit_the_cache() {
     table.flush().unwrap();
 
     store.metrics().reset();
-    let first = table.scan(&100u32.to_be_bytes(), &900u32.to_be_bytes()).unwrap();
+    let first = table
+        .scan(&100u32.to_be_bytes(), &900u32.to_be_bytes())
+        .unwrap();
     let cold = store.metrics().snapshot();
     assert!(cold.blocks_read > 0, "cold scan reads from disk");
 
     store.metrics().reset();
-    let second = table.scan(&100u32.to_be_bytes(), &900u32.to_be_bytes()).unwrap();
+    let second = table
+        .scan(&100u32.to_be_bytes(), &900u32.to_be_bytes())
+        .unwrap();
     let warm = store.metrics().snapshot();
     assert_eq!(first, second, "cache must not change results");
     assert_eq!(warm.blocks_read, 0, "warm scan is disk-free");
@@ -59,10 +63,14 @@ fn disabled_cache_always_reads_disk() {
     table.flush().unwrap();
 
     store.metrics().reset();
-    table.scan(&0u32.to_be_bytes(), &1999u32.to_be_bytes()).unwrap();
+    table
+        .scan(&0u32.to_be_bytes(), &1999u32.to_be_bytes())
+        .unwrap();
     let first = store.metrics().snapshot();
     store.metrics().reset();
-    table.scan(&0u32.to_be_bytes(), &1999u32.to_be_bytes()).unwrap();
+    table
+        .scan(&0u32.to_be_bytes(), &1999u32.to_be_bytes())
+        .unwrap();
     let second = store.metrics().snapshot();
     assert_eq!(first.blocks_read, second.blocks_read, "no caching");
     assert_eq!(second.cache_hits, 0);
@@ -88,10 +96,14 @@ fn compaction_invalidates_cached_blocks() {
         table.flush().unwrap();
     }
     // Warm the cache, then compact (which rewrites files).
-    table.scan(&0u32.to_be_bytes(), &499u32.to_be_bytes()).unwrap();
+    table
+        .scan(&0u32.to_be_bytes(), &499u32.to_be_bytes())
+        .unwrap();
     table.compact().unwrap();
     // Post-compaction scans see the latest data.
-    let after = table.scan(&0u32.to_be_bytes(), &499u32.to_be_bytes()).unwrap();
+    let after = table
+        .scan(&0u32.to_be_bytes(), &499u32.to_be_bytes())
+        .unwrap();
     assert_eq!(after.len(), 500);
     assert!(after.iter().all(|e| e.value == b"v2"));
     std::fs::remove_dir_all(&dir).ok();

@@ -1,8 +1,11 @@
-//! Property-based tests: the store behaves exactly like a sorted map with
-//! last-write-wins semantics, across flushes and compactions.
+//! Randomized model tests: the store behaves exactly like a sorted map
+//! with last-write-wins semantics, across flushes and compactions.
+//!
+//! Cases are generated from a seeded [`just_obs::Rng`], so every run
+//! exercises the same deterministic op sequences.
 
 use just_kvstore::{Store, StoreOptions};
-use proptest::prelude::*;
+use just_obs::Rng;
 use std::collections::BTreeMap;
 
 #[derive(Debug, Clone)]
@@ -13,42 +16,47 @@ enum Op {
     Compact,
 }
 
-fn arb_key() -> impl Strategy<Value = Vec<u8>> {
-    proptest::collection::vec(0u8..8, 1..5)
+fn gen_key(rng: &mut Rng) -> Vec<u8> {
+    let len = rng.gen_range(1usize..5);
+    (0..len).map(|_| rng.gen_range(0u8..8)).collect()
 }
 
-fn arb_op() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        6 => (arb_key(), proptest::collection::vec(any::<u8>(), 0..20))
-            .prop_map(|(k, v)| Op::Put(k, v)),
-        2 => arb_key().prop_map(Op::Delete),
-        1 => Just(Op::Flush),
-        1 => Just(Op::Compact),
-    ]
+fn gen_op(rng: &mut Rng) -> Op {
+    // Weights 6:2:1:1 matching the original strategy.
+    match rng.gen_range(0usize..10) {
+        0..=5 => {
+            let k = gen_key(rng);
+            let vlen = rng.gen_range(0usize..20);
+            let v = (0..vlen).map(|_| rng.next_u64() as u8).collect();
+            Op::Put(k, v)
+        }
+        6 | 7 => Op::Delete(gen_key(rng)),
+        8 => Op::Flush,
+        _ => Op::Compact,
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+#[test]
+fn store_matches_btreemap_model() {
+    for case in 0u64..64 {
+        let mut rng = Rng::seed_from_u64(0x6b76_7374 ^ case);
+        let n_ops = rng.gen_range(1usize..120);
+        let ops: Vec<Op> = (0..n_ops).map(|_| gen_op(&mut rng)).collect();
+        let scan_a = gen_key(&mut rng);
+        let scan_b = gen_key(&mut rng);
 
-    #[test]
-    fn store_matches_btreemap_model(
-        ops in proptest::collection::vec(arb_op(), 1..120),
-        scan_lo in arb_key(),
-        scan_hi in arb_key(),
-    ) {
-        let dir = std::env::temp_dir().join(format!(
-            "just-kv-prop-{}-{:?}-{}",
-            std::process::id(),
-            std::thread::current().id(),
-            rand_suffix(&ops)
-        ));
+        let dir = std::env::temp_dir().join(format!("just-kv-prop-{}-{case}", std::process::id(),));
         std::fs::remove_dir_all(&dir).ok();
-        let store = Store::open(&dir, StoreOptions {
-            flush_threshold: 512, // tiny: force frequent flushes
-            block_size: 128,
-            scan_threads: 2,
-            block_cache_bytes: 1 << 20,
-        }).unwrap();
+        let store = Store::open(
+            &dir,
+            StoreOptions {
+                flush_threshold: 512, // tiny: force frequent flushes
+                block_size: 128,
+                scan_threads: 2,
+                block_cache_bytes: 1 << 20,
+            },
+        )
+        .unwrap();
         let table = store.create_table("t", 4).unwrap();
         let mut model: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
 
@@ -70,49 +78,26 @@ proptest! {
         // Point lookups agree.
         for (k, v) in &model {
             let got = table.get(k).unwrap();
-            prop_assert_eq!(got.as_ref(), Some(v));
+            assert_eq!(got.as_ref(), Some(v), "case {case} key {k:?}");
         }
 
         // Range scan agrees with the model.
-        let (lo, hi) = if scan_lo <= scan_hi { (scan_lo, scan_hi) } else { (scan_hi, scan_lo) };
+        let (lo, hi) = if scan_a <= scan_b {
+            (scan_a, scan_b)
+        } else {
+            (scan_b, scan_a)
+        };
         let got = table.scan(&lo, &hi).unwrap();
         let expected: Vec<(Vec<u8>, Vec<u8>)> = model
             .range::<Vec<u8>, _>(lo.clone()..=hi.clone())
             .map(|(k, v)| (k.clone(), v.clone()))
             .collect();
-        prop_assert_eq!(got.len(), expected.len());
+        assert_eq!(got.len(), expected.len(), "case {case}");
         for (g, (k, v)) in got.iter().zip(&expected) {
-            prop_assert_eq!(&g.key, k);
-            prop_assert_eq!(&g.value, v);
+            assert_eq!(&g.key, k, "case {case}");
+            assert_eq!(&g.value, v, "case {case}");
         }
 
         std::fs::remove_dir_all(&dir).ok();
     }
-}
-
-/// Deterministic suffix so parallel proptest cases don't collide on disk.
-fn rand_suffix(ops: &[Op]) -> u64 {
-    let mut h = 1469598103934665603u64;
-    for op in ops {
-        let tag = match op {
-            Op::Put(k, v) => {
-                let mut t = 1u64;
-                for b in k.iter().chain(v) {
-                    t = t.wrapping_mul(31).wrapping_add(*b as u64);
-                }
-                t
-            }
-            Op::Delete(k) => {
-                let mut t = 2u64;
-                for b in k {
-                    t = t.wrapping_mul(31).wrapping_add(*b as u64);
-                }
-                t
-            }
-            Op::Flush => 3,
-            Op::Compact => 4,
-        };
-        h = (h ^ tag).wrapping_mul(1099511628211);
-    }
-    h
 }

@@ -1,0 +1,172 @@
+//! A small deterministic PRNG (SplitMix64) for workload generation and
+//! property tests.
+//!
+//! The API mirrors the subset of `rand` the workspace used — a seeded
+//! constructor, `gen_range` over primitive ranges, `gen_bool` — so call
+//! sites only change their import line. SplitMix64 passes BigCrush for
+//! this bit width and is more than adequate for synthetic datasets and
+//! randomized tests; it is explicitly *not* cryptographic.
+
+use std::ops::Range;
+
+/// A seeded SplitMix64 generator.
+#[derive(Debug, Clone)]
+pub struct Rng {
+    state: u64,
+}
+
+impl Rng {
+    /// Creates a generator from a 64-bit seed. Equal seeds yield equal
+    /// streams on every platform.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform `f64` in `[0, 1)`.
+    pub fn gen_f64(&mut self) -> f64 {
+        // 53 random mantissa bits.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A uniform sample from `range`. Implemented for the primitive range
+    /// types the workloads use; panics on an empty range.
+    pub fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output {
+        range.sample(self)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen_f64() < p
+    }
+
+    /// A uniform `u64` in `[0, bound)`; `bound` must be non-zero.
+    fn bounded_u64(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "empty range");
+        // Rejection-free multiply-shift would bias tiny amounts; for our
+        // bounds (well below 2^48) a 128-bit multiply is unbiased enough
+        // and branch-free.
+        (((self.next_u64() as u128) * (bound as u128)) >> 64) as u64
+    }
+}
+
+/// Types `Rng::gen_range` can sample from.
+pub trait SampleRange {
+    /// The sampled value type.
+    type Output;
+    /// Draws one uniform sample.
+    fn sample(self, rng: &mut Rng) -> Self::Output;
+}
+
+impl SampleRange for Range<f64> {
+    type Output = f64;
+    fn sample(self, rng: &mut Rng) -> f64 {
+        assert!(self.start < self.end, "empty range");
+        self.start + (self.end - self.start) * rng.gen_f64()
+    }
+}
+
+impl SampleRange for Range<u64> {
+    type Output = u64;
+    fn sample(self, rng: &mut Rng) -> u64 {
+        assert!(self.start < self.end, "empty range");
+        self.start + rng.bounded_u64(self.end - self.start)
+    }
+}
+
+impl SampleRange for Range<i64> {
+    type Output = i64;
+    fn sample(self, rng: &mut Rng) -> i64 {
+        assert!(self.start < self.end, "empty range");
+        let span = self.end.wrapping_sub(self.start) as u64;
+        self.start.wrapping_add(rng.bounded_u64(span) as i64)
+    }
+}
+
+impl SampleRange for Range<usize> {
+    type Output = usize;
+    fn sample(self, rng: &mut Rng) -> usize {
+        assert!(self.start < self.end, "empty range");
+        self.start + rng.bounded_u64((self.end - self.start) as u64) as usize
+    }
+}
+
+impl SampleRange for Range<u32> {
+    type Output = u32;
+    fn sample(self, rng: &mut Rng) -> u32 {
+        assert!(self.start < self.end, "empty range");
+        self.start + rng.bounded_u64((self.end - self.start) as u64) as u32
+    }
+}
+
+impl SampleRange for Range<i32> {
+    type Output = i32;
+    fn sample(self, rng: &mut Rng) -> i32 {
+        assert!(self.start < self.end, "empty range");
+        let span = (self.end as i64 - self.start as i64) as u64;
+        (self.start as i64 + rng.bounded_u64(span) as i64) as i32
+    }
+}
+
+impl SampleRange for Range<u8> {
+    type Output = u8;
+    fn sample(self, rng: &mut Rng) -> u8 {
+        assert!(self.start < self.end, "empty range");
+        self.start + rng.bounded_u64((self.end - self.start) as u64) as u8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = Rng::seed_from_u64(42);
+        let mut b = Rng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = Rng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let f = rng.gen_range(-2.0..3.5);
+            assert!((-2.0..3.5).contains(&f));
+            let i = rng.gen_range(-50i64..50);
+            assert!((-50..50).contains(&i));
+            let u = rng.gen_range(3usize..9);
+            assert!((3..9).contains(&u));
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = Rng::seed_from_u64(9);
+        let hits = (0..20_000).filter(|_| rng.gen_bool(0.7)).count();
+        let rate = hits as f64 / 20_000.0;
+        assert!((rate - 0.7).abs() < 0.02, "rate {rate}");
+    }
+
+    #[test]
+    fn rough_uniformity() {
+        let mut rng = Rng::seed_from_u64(1);
+        let mut buckets = [0usize; 10];
+        for _ in 0..100_000 {
+            buckets[rng.gen_range(0usize..10)] += 1;
+        }
+        for &b in &buckets {
+            assert!((8_000..12_000).contains(&b), "bucket {b}");
+        }
+    }
+}

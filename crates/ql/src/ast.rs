@@ -270,4 +270,12 @@ pub enum Statement {
     },
     /// A SELECT query.
     Query(Box<Select>),
+    /// `EXPLAIN [ANALYZE] SELECT ...`
+    Explain {
+        /// True for `EXPLAIN ANALYZE`: execute the query and annotate
+        /// each operator with measured time, rows and kvstore IO.
+        analyze: bool,
+        /// The explained query.
+        query: Box<Select>,
+    },
 }

@@ -1,7 +1,7 @@
 //! The JustQL client: one call per statement, the way the paper's SDKs
 //! (`client.executeQuery(sql)`) expose the engine.
 
-use crate::ast::{ColumnDef, Statement};
+use crate::ast::{ColumnDef, Select, Statement};
 use crate::csvload::load_csv;
 use crate::error::QlError;
 use crate::exec::Executor;
@@ -14,6 +14,7 @@ use crate::Result;
 use just_compress::Codec;
 use just_core::{Dataset, ResultSet, Session};
 use just_curves::TimePeriod;
+use just_obs::Trace;
 use just_storage::{Field, FieldType, IndexKind, Row, Schema, Value};
 
 /// The outcome of executing one statement.
@@ -78,13 +79,10 @@ impl Client {
     pub fn execute_query(&mut self, sql: &str) -> Result<ResultSet> {
         match self.execute(sql)? {
             QueryResult::Data(d) => Ok(self.session.engine().result_set(d)?),
-            QueryResult::Message(m) => Ok(self
-                .session
-                .engine()
-                .result_set(Dataset::new(
-                    vec!["message".into()],
-                    vec![Row::new(vec![Value::Str(m)])],
-                ))?),
+            QueryResult::Message(m) => Ok(self.session.engine().result_set(Dataset::new(
+                vec!["message".into()],
+                vec![Row::new(vec![Value::Str(m)])],
+            ))?),
         }
     }
 
@@ -99,6 +97,56 @@ impl Client {
             }
             _ => Err(QlError::Analyze("EXPLAIN supports SELECT only".into())),
         }
+    }
+
+    /// Executes `sql` (a SELECT) and returns the result rows together
+    /// with the recorded per-operator trace — the programmatic form of
+    /// `EXPLAIN ANALYZE`. The trace root covers parse → analyze →
+    /// optimize → execute; each executor operator gets a child span with
+    /// wall time, output rows and (on scan/knn leaves) kvstore IO deltas.
+    pub fn explain_analyze(&mut self, sql: &str) -> Result<(Dataset, Trace)> {
+        let mut trace = Trace::new("query");
+        let root = trace.root();
+        let span = trace.start("parse".to_string(), root);
+        let stmt = parse(sql)?;
+        trace.end(span);
+        let query = match stmt {
+            Statement::Query(q) | Statement::Explain { query: q, .. } => q,
+            _ => {
+                return Err(QlError::Analyze(
+                    "EXPLAIN ANALYZE supports SELECT only".into(),
+                ))
+            }
+        };
+        let data = self.run_analyzed(&query, &mut trace)?;
+        Ok((data, trace))
+    }
+
+    /// Analyzes, optimizes and trace-executes `query`, growing `trace`
+    /// under its root span.
+    fn run_analyzed(&self, query: &Select, trace: &mut Trace) -> Result<Dataset> {
+        let root = trace.root();
+        let span = trace.start("analyze".to_string(), root);
+        let analyzed = LogicalPlan::from_select(query)?;
+        trace.end(span);
+        let span = trace.start("optimize".to_string(), root);
+        let plan = optimize(analyzed)?;
+        trace.end(span);
+
+        let span = trace.start("execute".to_string(), root);
+        let before = self.session.engine().io_snapshot();
+        let result = Executor::new(&self.session).run_traced(&plan, trace, span);
+        if let Ok(data) = &result {
+            let d = self.session.engine().io_snapshot().since(&before);
+            trace.set_rows(span, data.len() as u64);
+            trace.add_attr(span, "blocks_read", d.blocks_read);
+            trace.add_attr(span, "cache_hits", d.cache_hits);
+            trace.add_attr(span, "bytes_read", d.bytes_read);
+            trace.set_rows(root, data.len() as u64);
+        }
+        trace.end(span);
+        trace.end(root);
+        result
     }
 
     fn run(&mut self, stmt: Statement) -> Result<QueryResult> {
@@ -227,6 +275,22 @@ impl Client {
                 let data = Executor::new(&self.session).run(&plan)?;
                 Ok(QueryResult::Data(data))
             }
+            Statement::Explain { analyze, query } => {
+                let rendered = if analyze {
+                    let mut trace = Trace::new("query");
+                    self.run_analyzed(&query, &mut trace)?;
+                    trace.render()
+                } else {
+                    optimize(LogicalPlan::from_select(&query)?)?.render()
+                };
+                Ok(QueryResult::Data(Dataset::new(
+                    vec!["plan".into()],
+                    rendered
+                        .lines()
+                        .map(|l| Row::new(vec![Value::Str(l.to_string())]))
+                        .collect(),
+                )))
+            }
         }
     }
 }
@@ -287,10 +351,7 @@ fn coerce_insert(v: Value, ty: FieldType) -> Result<Value> {
         (FieldType::Date, Value::Int(i)) => Value::Date(i),
         (FieldType::Float, Value::Int(i)) => Value::Float(i as f64),
         (
-            FieldType::Point
-            | FieldType::LineString
-            | FieldType::Polygon
-            | FieldType::Geometry,
+            FieldType::Point | FieldType::LineString | FieldType::Polygon | FieldType::Geometry,
             Value::Str(s),
         ) => Value::Geom(just_geo::parse_wkt(&s).map_err(|e| QlError::Eval(e.to_string()))?),
         (_, other) => other,

@@ -116,17 +116,11 @@ fn coerce(v: Value, ty: FieldType) -> Result<Value> {
         (FieldType::Str, Value::Str(s)) => Value::Str(s),
         (FieldType::Str, other) => Value::Str(other.to_string()),
         (
-            FieldType::Point
-            | FieldType::LineString
-            | FieldType::Polygon
-            | FieldType::Geometry,
+            FieldType::Point | FieldType::LineString | FieldType::Polygon | FieldType::Geometry,
             Value::Geom(g),
         ) => Value::Geom(g),
         (
-            FieldType::Point
-            | FieldType::LineString
-            | FieldType::Polygon
-            | FieldType::Geometry,
+            FieldType::Point | FieldType::LineString | FieldType::Polygon | FieldType::Geometry,
             Value::Str(s),
         ) => Value::Geom(just_geo::parse_wkt(&s).map_err(|e| QlError::Eval(e.to_string()))?),
         (FieldType::StSeries, Value::GpsList(l)) => Value::GpsList(l),
@@ -163,7 +157,10 @@ mod tests {
     fn csv_splitting() {
         assert_eq!(split_csv("a,b,c"), vec!["a", "b", "c"]);
         assert_eq!(split_csv(r#""a,b",c"#), vec!["a,b", "c"]);
-        assert_eq!(split_csv(r#""he said ""hi""",x"#), vec![r#"he said "hi""#, "x"]);
+        assert_eq!(
+            split_csv(r#""he said ""hi""",x"#),
+            vec![r#"he said "hi""#, "x"]
+        );
         assert_eq!(split_csv(""), vec![""]);
     }
 

@@ -10,6 +10,7 @@ use crate::Result;
 use just_analysis::{dbscan, DbscanParams};
 use just_core::{Dataset, Session};
 use just_geo::{Geometry, Point};
+use just_obs::{SpanId, Trace};
 use just_storage::{Row, SpatialPredicate, Value};
 use std::collections::HashMap;
 
@@ -26,6 +27,75 @@ impl<'a> Executor<'a> {
 
     /// Runs a plan to a dataset.
     pub fn run(&self, plan: &LogicalPlan) -> Result<Dataset> {
+        let mut children = Vec::new();
+        for child in plan.children() {
+            children.push(self.run(child)?);
+        }
+        self.execute_node(plan, children)
+    }
+
+    /// Runs a plan like [`Executor::run`], recording one span per operator
+    /// under `parent`: the operator label, wall time, output row count,
+    /// and — for the index-serving leaves (`Scan`, `Knn`), the only
+    /// operators that touch the kvstore — the exact IO delta (blocks
+    /// read, cache hits, bytes) plus index-selectivity counters (key
+    /// ranges generated, keys scanned) attributed to that operator.
+    pub fn run_traced(
+        &self,
+        plan: &LogicalPlan,
+        trace: &mut Trace,
+        parent: SpanId,
+    ) -> Result<Dataset> {
+        let span = trace.start(plan.label(), parent);
+        let is_io_leaf = matches!(plan, LogicalPlan::Scan { .. } | LogicalPlan::Knn { .. });
+        let before = is_io_leaf.then(|| {
+            let obs = just_obs::global();
+            (
+                self.session.engine().io_snapshot(),
+                obs.counter("just_index_ranges_generated").get(),
+                obs.counter("just_index_keys_scanned").get(),
+            )
+        });
+        let mut children = Vec::new();
+        for child in plan.children() {
+            children.push(self.run_traced(child, trace, span)?);
+        }
+        let result = self.execute_node(plan, children);
+        if let Ok(data) = &result {
+            trace.set_rows(span, data.len() as u64);
+            if let Some((io, ranges, keys)) = before {
+                let obs = just_obs::global();
+                let d = self.session.engine().io_snapshot().since(&io);
+                trace.add_attr(span, "blocks_read", d.blocks_read);
+                trace.add_attr(span, "cache_hits", d.cache_hits);
+                trace.add_attr(span, "bytes_read", d.bytes_read);
+                if d.index_skips > 0 {
+                    trace.add_attr(span, "index_skips", d.index_skips);
+                }
+                if d.memtable_hits > 0 {
+                    trace.add_attr(span, "memtable_hits", d.memtable_hits);
+                }
+                let ranges = obs.counter("just_index_ranges_generated").get() - ranges;
+                let keys = obs.counter("just_index_keys_scanned").get() - keys;
+                if ranges > 0 {
+                    trace.add_attr(span, "key_ranges", ranges);
+                    trace.add_attr(span, "keys_scanned", keys);
+                }
+            }
+        }
+        trace.end(span);
+        result
+    }
+
+    /// Evaluates one operator given its already-computed child datasets
+    /// (in [`LogicalPlan::children`] order).
+    fn execute_node(&self, plan: &LogicalPlan, children: Vec<Dataset>) -> Result<Dataset> {
+        let mut children = children.into_iter();
+        let mut next = || {
+            children
+                .next()
+                .expect("child dataset count matches plan arity")
+        };
         match plan {
             LogicalPlan::Scan {
                 table,
@@ -46,34 +116,22 @@ impl<'a> Executor<'a> {
                 }
                 Ok(Dataset::new(columns.clone(), out_rows))
             }
-            LogicalPlan::Filter { input, predicate } => {
-                let data = self.run(input)?;
-                filter(data, predicate)
-            }
-            LogicalPlan::Project { input, items } => {
-                let data = self.run(input)?;
-                project(data, items)
-            }
+            LogicalPlan::Filter { predicate, .. } => filter(next(), predicate),
+            LogicalPlan::Project { items, .. } => project(next(), items),
             LogicalPlan::Aggregate {
-                input,
                 group_by,
                 aggregates,
-            } => {
-                let data = self.run(input)?;
-                aggregate(data, group_by, aggregates)
-            }
-            LogicalPlan::Sort { input, keys } => {
-                let data = self.run(input)?;
-                sort(data, keys)
-            }
-            LogicalPlan::Limit { input, n } => {
-                let mut data = self.run(input)?;
+                ..
+            } => aggregate(next(), group_by, aggregates),
+            LogicalPlan::Sort { keys, .. } => sort(next(), keys),
+            LogicalPlan::Limit { n, .. } => {
+                let mut data = next();
                 data.rows.truncate(*n);
                 Ok(data)
             }
-            LogicalPlan::Join { left, right, on } => {
-                let l = self.run(left)?;
-                let r = self.run(right)?;
+            LogicalPlan::Join { on, .. } => {
+                let l = next();
+                let r = next();
                 join(l, r, on)
             }
             LogicalPlan::Knn { table, lng, lat, k } => {
@@ -121,7 +179,9 @@ impl<'a> Executor<'a> {
                     .as_ref()
                     .map(|f| {
                         col.eq_ignore_ascii_case(f)
-                            || col.to_ascii_lowercase().ends_with(&format!(".{}", f.to_ascii_lowercase()))
+                            || col
+                                .to_ascii_lowercase()
+                                .ends_with(&format!(".{}", f.to_ascii_lowercase()))
                     })
                     .unwrap_or(false)
             };
@@ -134,12 +194,14 @@ impl<'a> Executor<'a> {
                 .filter(|(col, _, _)| matches_field(col, &time_name));
 
             let mut data = match (spatial_ok, time_ok) {
-                (Some((_, rect)), Some((_, lo, hi))) => self
-                    .session
-                    .st_range(table, rect, *lo, *hi, SpatialPredicate::Within)?,
-                (Some((_, rect)), None) => self
-                    .session
-                    .spatial_range(table, rect, SpatialPredicate::Within)?,
+                (Some((_, rect)), Some((_, lo, hi))) => {
+                    self.session
+                        .st_range(table, rect, *lo, *hi, SpatialPredicate::Within)?
+                }
+                (Some((_, rect)), None) => {
+                    self.session
+                        .spatial_range(table, rect, SpatialPredicate::Within)?
+                }
                 // Time-only predicate: the whole world spatially, so the
                 // temporal index still prunes periods.
                 (None, Some((_, lo, hi))) => self.session.st_range(
@@ -324,13 +386,19 @@ enum ProjectItem {
 /// for noise.
 fn run_dbscan(data: Dataset, args: &[Expr]) -> Result<Dataset> {
     if args.len() != 3 {
-        return Err(QlError::Eval("st_DBSCAN(geom, minPts, radius) takes 3 arguments".into()));
+        return Err(QlError::Eval(
+            "st_DBSCAN(geom, minPts, radius) takes 3 arguments".into(),
+        ));
     }
     let mut pts = Vec::with_capacity(data.rows.len());
     for row in &data.rows {
         match eval(&args[0], &row.values, &data.columns)? {
             Value::Geom(g) => pts.push(g.representative_point()),
-            other => return Err(QlError::Eval(format!("st_DBSCAN over non-geometry {other:?}"))),
+            other => {
+                return Err(QlError::Eval(format!(
+                    "st_DBSCAN over non-geometry {other:?}"
+                )))
+            }
         }
     }
     let min_pts = functions::eval_const(&args[1])?
@@ -340,7 +408,13 @@ fn run_dbscan(data: Dataset, args: &[Expr]) -> Result<Dataset> {
     let radius = functions::eval_const(&args[2])?
         .as_float()
         .ok_or_else(|| QlError::Eval("st_DBSCAN: radius must be numeric".into()))?;
-    let labels = dbscan(&pts, &DbscanParams { eps: radius, min_pts });
+    let labels = dbscan(
+        &pts,
+        &DbscanParams {
+            eps: radius,
+            min_pts,
+        },
+    );
     let rows = pts
         .iter()
         .zip(labels)

@@ -28,9 +28,7 @@ pub fn resolve_column(name: &str, columns: &[String]) -> Result<usize> {
             .collect();
         match hits.len() {
             1 => return Ok(hits[0]),
-            n if n > 1 => {
-                return Err(QlError::Analyze(format!("ambiguous column '{name}'")))
-            }
+            n if n > 1 => return Err(QlError::Analyze(format!("ambiguous column '{name}'"))),
             _ => {}
         }
     } else {
@@ -238,7 +236,9 @@ fn f64_arg(vals: &[Value], i: usize, name: &str) -> Result<f64> {
 fn geom_arg<'a>(vals: &'a [Value], i: usize, name: &str) -> Result<&'a Geometry> {
     match vals.get(i) {
         Some(Value::Geom(g)) => Ok(g),
-        _ => Err(QlError::Eval(format!("{name}: argument {i} must be a geometry"))),
+        _ => Err(QlError::Eval(format!(
+            "{name}: argument {i} must be a geometry"
+        ))),
     }
 }
 
@@ -251,7 +251,9 @@ fn gps_trajectory(vals: &[Value], i: usize, name: &str) -> Result<Trajectory> {
                 .map(|s| StPoint::new(s.lng, s.lat, s.time_ms))
                 .collect(),
         )),
-        _ => Err(QlError::Eval(format!("{name}: argument {i} must be an st_series"))),
+        _ => Err(QlError::Eval(format!(
+            "{name}: argument {i} must be an st_series"
+        ))),
     }
 }
 
@@ -278,7 +280,9 @@ fn transform_point(vals: &[Value], name: &str, f: fn(Point) -> Point) -> Result<
             );
             Ok(Value::Geom(Geometry::Point(f(p))))
         }
-        _ => Err(QlError::Eval(format!("{name}: expects a point or (lng, lat)"))),
+        _ => Err(QlError::Eval(format!(
+            "{name}: expects a point or (lng, lat)"
+        ))),
     }
 }
 
@@ -357,14 +361,18 @@ pub fn call(name: &str, vals: Vec<Value>) -> Result<Value> {
             };
             Ok(traj_to_gps(&noise_filter(
                 &t,
-                &NoiseFilterParams { max_speed_ms: max_speed },
+                &NoiseFilterParams {
+                    max_speed_ms: max_speed,
+                },
             )))
         }
         // --- scalar utilities ----------------------------------------------
         "abs" => match vals.first() {
             Some(Value::Int(i)) => Ok(Value::Int(i.abs())),
             Some(v) => Ok(Value::Float(
-                numeric(v).ok_or_else(|| QlError::Eval("abs: non-numeric".into()))?.abs(),
+                numeric(v)
+                    .ok_or_else(|| QlError::Eval("abs: non-numeric".into()))?
+                    .abs(),
             )),
             None => Err(QlError::Eval("abs: missing argument".into())),
         },
@@ -381,7 +389,10 @@ pub fn call(name: &str, vals: Vec<Value>) -> Result<Value> {
             Some(Value::GpsList(l)) => Ok(Value::Int(l.len() as i64)),
             _ => Err(QlError::Eval("length expects a string or st_series".into())),
         },
-        "coalesce" => Ok(vals.into_iter().find(|v| !v.is_null()).unwrap_or(Value::Null)),
+        "coalesce" => Ok(vals
+            .into_iter()
+            .find(|v| !v.is_null())
+            .unwrap_or(Value::Null)),
         // --- CSV-loading conversions (the paper's CONFIG functions) --------
         "to_int" => match vals.first() {
             Some(Value::Int(i)) => Ok(Value::Int(*i)),
@@ -413,12 +424,13 @@ pub fn call(name: &str, vals: Vec<Value>) -> Result<Value> {
     }
 }
 
+/// Output of a table function: the generated column names plus the rows
+/// expanded from one input row.
+pub type TableRows = (Vec<String>, Vec<Vec<Value>>);
+
 /// 1-N table functions: one input row expands to many output rows.
 /// Returns `(output column names, rows per input)`.
-pub fn table_function(
-    name: &str,
-    vals: Vec<Value>,
-) -> Result<Option<(Vec<String>, Vec<Vec<Value>>)>> {
+pub fn table_function(name: &str, vals: Vec<Value>) -> Result<Option<TableRows>> {
     match name {
         "st_trajsegmentation" => {
             let t = gps_trajectory(&vals, 0, name)?;
@@ -522,7 +534,10 @@ mod tests {
 
     #[test]
     fn constructors_and_accessors() {
-        let p = f("st_makepoint", vec![Value::Float(116.4), Value::Float(39.9)]);
+        let p = f(
+            "st_makepoint",
+            vec![Value::Float(116.4), Value::Float(39.9)],
+        );
         assert_eq!(f("st_x", vec![p.clone()]), Value::Float(116.4));
         assert_eq!(f("st_y", vec![p.clone()]), Value::Float(39.9));
         let wkt = f("st_astext", vec![p.clone()]);
@@ -538,7 +553,10 @@ mod tests {
             "st_makembr",
             vec![Value::Int(0), Value::Int(0), Value::Int(2), Value::Int(2)],
         );
-        assert_eq!(f("st_within", vec![p.clone(), mbr.clone()]), Value::Bool(true));
+        assert_eq!(
+            f("st_within", vec![p.clone(), mbr.clone()]),
+            Value::Bool(true)
+        );
         let q = f("st_makepoint", vec![Value::Int(4), Value::Int(5)]);
         assert_eq!(f("st_within", vec![q.clone(), mbr]), Value::Bool(false));
         assert_eq!(f("st_distance", vec![p, q]), Value::Float(5.0));
@@ -548,14 +566,20 @@ mod tests {
     fn arithmetic_and_comparison_semantics() {
         let e = |op, a, b| binary(op, a, b).unwrap();
         assert_eq!(e(BinOp::Add, Value::Int(2), Value::Int(3)), Value::Int(5));
-        assert_eq!(e(BinOp::Mul, Value::Int(52), Value::Int(9)), Value::Int(468));
+        assert_eq!(
+            e(BinOp::Mul, Value::Int(52), Value::Int(9)),
+            Value::Int(468)
+        );
         assert_eq!(
             e(BinOp::Div, Value::Float(1.0), Value::Int(4)),
             Value::Float(0.25)
         );
         assert!(binary(BinOp::Div, Value::Int(1), Value::Int(0)).is_err());
         assert_eq!(e(BinOp::Add, Value::Null, Value::Int(1)), Value::Null);
-        assert_eq!(e(BinOp::Lt, Value::Int(1), Value::Float(1.5)), Value::Bool(true));
+        assert_eq!(
+            e(BinOp::Lt, Value::Int(1), Value::Float(1.5)),
+            Value::Bool(true)
+        );
         // NULL comparisons are false.
         assert_eq!(e(BinOp::Eq, Value::Null, Value::Null), Value::Bool(false));
         // String-number coercion (CSV filters).
@@ -582,9 +606,21 @@ mod tests {
     #[test]
     fn noise_filter_function() {
         let samples = vec![
-            just_compress::gps::GpsSample { lng: 116.0, lat: 39.0, time_ms: 0 },
-            just_compress::gps::GpsSample { lng: 118.0, lat: 39.0, time_ms: 1000 }, // teleport
-            just_compress::gps::GpsSample { lng: 116.0001, lat: 39.0, time_ms: 2000 },
+            just_compress::gps::GpsSample {
+                lng: 116.0,
+                lat: 39.0,
+                time_ms: 0,
+            },
+            just_compress::gps::GpsSample {
+                lng: 118.0,
+                lat: 39.0,
+                time_ms: 1000,
+            }, // teleport
+            just_compress::gps::GpsSample {
+                lng: 116.0001,
+                lat: 39.0,
+                time_ms: 2000,
+            },
         ];
         let out = f("st_trajnoisefilter", vec![Value::GpsList(samples)]);
         assert_eq!(out.as_gps_list().unwrap().len(), 2);

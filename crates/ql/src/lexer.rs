@@ -38,8 +38,8 @@ impl Token {
 }
 
 const PUNCTS: &[&str] = &[
-    "<=", ">=", "!=", "<>", "::", "(", ")", ",", ";", "*", "=", "<", ">", "+", "-", "/", "%",
-    ".", "{", "}", ":",
+    "<=", ">=", "!=", "<>", "::", "(", ")", ",", ";", "*", "=", "<", ">", "+", "-", "/", "%", ".",
+    "{", "}", ":",
 ];
 
 /// Tokenizes a JustQL statement.
@@ -86,7 +86,11 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
         }
         // Number.
         if c.is_ascii_digit()
-            || (c == '.' && bytes.get(i + 1).map(|b| b.is_ascii_digit()).unwrap_or(false))
+            || (c == '.'
+                && bytes
+                    .get(i + 1)
+                    .map(|b| b.is_ascii_digit())
+                    .unwrap_or(false))
         {
             let start = i;
             let mut saw_dot = false;

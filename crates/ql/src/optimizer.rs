@@ -160,9 +160,9 @@ fn push_filter_into(input: LogicalPlan, predicate: Expr) -> Result<LogicalPlan> 
         // Through a pure-column projection (like the paper's example where
         // the filter sinks through `SELECT * FROM t`).
         LogicalPlan::Project { input, items }
-            if items
-                .iter()
-                .all(|(e, n)| matches!(e, Expr::Column(c) if c == n) || matches!(e, Expr::Star)) =>
+            if items.iter().all(|(e, n)| {
+                matches!(e, Expr::Column(c) if c == n) || matches!(e, Expr::Star)
+            }) =>
         {
             let pushed = push_filter_into(*input, predicate)?;
             Ok(LogicalPlan::Project {

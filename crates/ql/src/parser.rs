@@ -207,6 +207,17 @@ impl Parser {
             let table = self.ident()?;
             return Ok(Statement::StoreView { view, table });
         }
+        if self.eat_kw("explain") {
+            let analyze = self.eat_kw("analyze");
+            if !self.peek_kw("select") {
+                return Err(self.err("expected SELECT after EXPLAIN"));
+            }
+            let q = self.select()?;
+            return Ok(Statement::Explain {
+                analyze,
+                query: Box::new(q),
+            });
+        }
         if self.peek_kw("select") {
             let q = self.select()?;
             return Ok(Statement::Query(Box::new(q)));
@@ -343,12 +354,12 @@ impl Parser {
             self.eat_punct(",")?;
         }
         let from = if self.eat_kw("from") {
-            Some(self.from_item()?)
+            Some(self.parse_from_item()?)
         } else {
             None
         };
         let join = if self.eat_kw("join") {
-            let right = self.from_item()?;
+            let right = self.parse_from_item()?;
             self.expect_kw("on")?;
             let on = self.expr()?;
             Some((right, on))
@@ -408,7 +419,7 @@ impl Parser {
         })
     }
 
-    fn from_item(&mut self) -> Result<FromItem> {
+    fn parse_from_item(&mut self) -> Result<FromItem> {
         if self.peek_punct("(") {
             self.eat_punct("(")?;
             let query = self.select()?;
@@ -610,9 +621,9 @@ impl Parser {
                     // Clause keywords can never be bare column references;
                     // catching them here turns `SELECT FROM` into a clean
                     // syntax error instead of a bogus column.
-                    "select" | "from" | "where" | "group" | "order" | "limit" | "join"
-                    | "on" | "by" | "values" | "insert" | "create" | "drop" | "between"
-                    | "within" | "and" | "or" | "not" => {
+                    "select" | "from" | "where" | "group" | "order" | "limit" | "join" | "on"
+                    | "by" | "values" | "insert" | "create" | "drop" | "between" | "within"
+                    | "and" | "or" | "not" => {
                         self.pos -= 1;
                         return Err(self.err("expected expression"));
                     }
@@ -684,10 +695,7 @@ mod tests {
                 assert_eq!(columns[0].options, vec!["primary key"]);
                 assert_eq!(columns[3].options, vec!["srid=4326"]);
                 assert_eq!(columns[4].options, vec!["compress=gzip"]);
-                assert_eq!(
-                    userdata.unwrap().get("geomesa.indices.enabled"),
-                    Some("z3")
-                );
+                assert_eq!(userdata.unwrap().get("geomesa.indices.enabled"), Some("z3"));
             }
             other => panic!("wrong statement {other:?}"),
         }
@@ -728,8 +736,18 @@ mod tests {
             Statement::Query(q) => {
                 let w = q.where_clause.unwrap();
                 match w {
-                    Expr::Binary { op: BinOp::And, lhs, rhs } => {
-                        assert!(matches!(*lhs, Expr::Binary { op: BinOp::Within, .. }));
+                    Expr::Binary {
+                        op: BinOp::And,
+                        lhs,
+                        rhs,
+                    } => {
+                        assert!(matches!(
+                            *lhs,
+                            Expr::Binary {
+                                op: BinOp::Within,
+                                ..
+                            }
+                        ));
                         assert!(matches!(*rhs, Expr::Between { .. }));
                     }
                     other => panic!("{other:?}"),
@@ -788,7 +806,9 @@ mod tests {
             Statement::Query(q) => {
                 assert!(q.join.is_some());
                 let (item, on) = q.join.unwrap();
-                assert!(matches!(item, FromItem::Table { ref alias, .. } if alias.as_deref() == Some("b")));
+                assert!(
+                    matches!(item, FromItem::Table { ref alias, .. } if alias.as_deref() == Some("b"))
+                );
                 assert!(matches!(on, Expr::Binary { op: BinOp::Eq, .. }));
             }
             other => panic!("{other:?}"),
@@ -819,10 +839,22 @@ mod tests {
 
     #[test]
     fn parse_misc_statements() {
-        assert!(matches!(parse("SHOW TABLES").unwrap(), Statement::Show { views: false }));
-        assert!(matches!(parse("SHOW VIEWS").unwrap(), Statement::Show { views: true }));
-        assert!(matches!(parse("DROP VIEW v").unwrap(), Statement::Drop { view: true, .. }));
-        assert!(matches!(parse("DESC TABLE t").unwrap(), Statement::Desc { .. }));
+        assert!(matches!(
+            parse("SHOW TABLES").unwrap(),
+            Statement::Show { views: false }
+        ));
+        assert!(matches!(
+            parse("SHOW VIEWS").unwrap(),
+            Statement::Show { views: true }
+        ));
+        assert!(matches!(
+            parse("DROP VIEW v").unwrap(),
+            Statement::Drop { view: true, .. }
+        ));
+        assert!(matches!(
+            parse("DESC TABLE t").unwrap(),
+            Statement::Desc { .. }
+        ));
         assert!(matches!(
             parse("STORE VIEW v TO TABLE t").unwrap(),
             Statement::StoreView { .. }
@@ -847,7 +879,11 @@ mod tests {
         // 1 + 2 * 3 parses as 1 + (2 * 3)
         match parse("SELECT 1 + 2 * 3").unwrap() {
             Statement::Query(q) => match &q.items[0].expr {
-                Expr::Binary { op: BinOp::Add, rhs, .. } => {
+                Expr::Binary {
+                    op: BinOp::Add,
+                    rhs,
+                    ..
+                } => {
                     assert!(matches!(**rhs, Expr::Binary { op: BinOp::Mul, .. }));
                 }
                 other => panic!("{other:?}"),

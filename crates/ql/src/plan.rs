@@ -135,7 +135,9 @@ impl LogicalPlan {
 
     fn knn_plan(table: &str, args: &[Expr]) -> Result<LogicalPlan> {
         if args.len() != 2 {
-            return Err(QlError::Analyze("st_KNN(point, k) takes 2 arguments".into()));
+            return Err(QlError::Analyze(
+                "st_KNN(point, k) takes 2 arguments".into(),
+            ));
         }
         let point = crate::functions::eval_const(&args[0])?;
         let k = crate::functions::eval_const(&args[1])?
@@ -148,7 +150,9 @@ impl LogicalPlan {
                 lat: p.y,
                 k: k.max(0) as usize,
             }),
-            _ => Err(QlError::Analyze("st_KNN: first argument must be a point".into())),
+            _ => Err(QlError::Analyze(
+                "st_KNN: first argument must be a point".into(),
+            )),
         }
     }
 
@@ -194,10 +198,7 @@ impl LogicalPlan {
             let mut aggregates = Vec::new();
             let mut out_items = Vec::new();
             for (i, item) in q.items.iter().enumerate() {
-                let out_name = item
-                    .alias
-                    .clone()
-                    .unwrap_or_else(|| name_of(&item.expr, i));
+                let out_name = item.alias.clone().unwrap_or_else(|| name_of(&item.expr, i));
                 match &item.expr {
                     Expr::Func { name, args } if crate::functions::is_aggregate(name) => {
                         let arg = args.first().cloned().unwrap_or(Expr::Star);
@@ -226,10 +227,7 @@ impl LogicalPlan {
                 .iter()
                 .enumerate()
                 .map(|(i, item)| {
-                    let out_name = item
-                        .alias
-                        .clone()
-                        .unwrap_or_else(|| name_of(&item.expr, i));
+                    let out_name = item.alias.clone().unwrap_or_else(|| name_of(&item.expr, i));
                     (Expr::Column(out_name.clone()), out_name)
                 })
                 .collect();
@@ -243,10 +241,7 @@ impl LogicalPlan {
                 .iter()
                 .enumerate()
                 .map(|(i, item)| {
-                    let name = item
-                        .alias
-                        .clone()
-                        .unwrap_or_else(|| name_of(&item.expr, i));
+                    let name = item.alias.clone().unwrap_or_else(|| name_of(&item.expr, i));
                     (item.expr.clone(), name)
                 })
                 .collect();
@@ -334,7 +329,18 @@ impl LogicalPlan {
     }
 
     fn render_into(&self, out: &mut String, depth: usize) {
-        let pad = "  ".repeat(depth);
+        out.push_str(&"  ".repeat(depth));
+        out.push_str(&self.label());
+        out.push('\n');
+        for child in self.children() {
+            child.render_into(out, depth + 1);
+        }
+    }
+
+    /// The operator's one-line description, without indentation or
+    /// children — shared by [`LogicalPlan::render`] and the
+    /// `EXPLAIN ANALYZE` span tree.
+    pub fn label(&self) -> String {
         match self {
             LogicalPlan::Scan {
                 table,
@@ -344,62 +350,60 @@ impl LogicalPlan {
                 residual,
                 ..
             } => {
-                out.push_str(&format!("{pad}Scan [{table}]"));
+                let mut s = format!("Scan [{table}]");
                 if let Some(p) = projection {
-                    out.push_str(&format!(" project={p:?}"));
+                    s.push_str(&format!(" project={p:?}"));
                 }
                 if let Some((col, r)) = spatial {
-                    out.push_str(&format!(
+                    s.push_str(&format!(
                         " spatial=({col} within [{:.3},{:.3},{:.3},{:.3}])",
                         r.min_x, r.min_y, r.max_x, r.max_y
                     ));
                 }
                 if let Some((col, a, b)) = time {
-                    out.push_str(&format!(" time=({col} in [{a},{b}])"));
+                    s.push_str(&format!(" time=({col} in [{a},{b}])"));
                 }
                 if residual.is_some() {
-                    out.push_str(" +residual");
+                    s.push_str(" +residual");
                 }
-                out.push('\n');
+                s
             }
-            LogicalPlan::Values { rows, .. } => {
-                out.push_str(&format!("{pad}Values [{} rows]\n", rows.len()));
-            }
-            LogicalPlan::Filter { input, predicate } => {
-                out.push_str(&format!("{pad}Filter [{predicate:?}]\n"));
-                input.render_into(out, depth + 1);
-            }
-            LogicalPlan::Project { input, items } => {
+            LogicalPlan::Values { rows, .. } => format!("Values [{} rows]", rows.len()),
+            LogicalPlan::Filter { predicate, .. } => format!("Filter [{predicate:?}]"),
+            LogicalPlan::Project { items, .. } => {
                 let names: Vec<&str> = items.iter().map(|(_, n)| n.as_str()).collect();
-                out.push_str(&format!("{pad}Project {names:?}\n"));
-                input.render_into(out, depth + 1);
+                format!("Project {names:?}")
             }
             LogicalPlan::Aggregate {
-                input,
                 group_by,
                 aggregates,
+                ..
             } => {
                 let keys: Vec<&str> = group_by.iter().map(|(_, n)| n.as_str()).collect();
                 let aggs: Vec<&str> = aggregates.iter().map(|(_, _, n)| n.as_str()).collect();
-                out.push_str(&format!("{pad}Aggregate keys={keys:?} aggs={aggs:?}\n"));
-                input.render_into(out, depth + 1);
+                format!("Aggregate keys={keys:?} aggs={aggs:?}")
             }
-            LogicalPlan::Sort { input, keys } => {
-                out.push_str(&format!("{pad}Sort [{} keys]\n", keys.len()));
-                input.render_into(out, depth + 1);
-            }
-            LogicalPlan::Limit { input, n } => {
-                out.push_str(&format!("{pad}Limit [{n}]\n"));
-                input.render_into(out, depth + 1);
-            }
-            LogicalPlan::Join { left, right, on } => {
-                out.push_str(&format!("{pad}Join [{on:?}]\n"));
-                left.render_into(out, depth + 1);
-                right.render_into(out, depth + 1);
-            }
+            LogicalPlan::Sort { keys, .. } => format!("Sort [{} keys]", keys.len()),
+            LogicalPlan::Limit { n, .. } => format!("Limit [{n}]"),
+            LogicalPlan::Join { on, .. } => format!("Join [{on:?}]"),
             LogicalPlan::Knn { table, lng, lat, k } => {
-                out.push_str(&format!("{pad}Knn [{table}] q=({lng},{lat}) k={k}\n"));
+                format!("Knn [{table}] q=({lng},{lat}) k={k}")
             }
+        }
+    }
+
+    /// The operator's direct inputs, left to right.
+    pub fn children(&self) -> Vec<&LogicalPlan> {
+        match self {
+            LogicalPlan::Scan { .. } | LogicalPlan::Values { .. } | LogicalPlan::Knn { .. } => {
+                Vec::new()
+            }
+            LogicalPlan::Filter { input, .. }
+            | LogicalPlan::Project { input, .. }
+            | LogicalPlan::Aggregate { input, .. }
+            | LogicalPlan::Sort { input, .. }
+            | LogicalPlan::Limit { input, .. } => vec![input],
+            LogicalPlan::Join { left, right, .. } => vec![left, right],
         }
     }
 }

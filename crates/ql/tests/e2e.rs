@@ -182,7 +182,11 @@ fn group_by_order_limit() {
         assert_eq!(row.values[1], Value::Int(10));
     }
     // Ties broken ascending by lng.
-    let lngs: Vec<f64> = r.rows.iter().map(|r| r.values[0].as_float().unwrap()).collect();
+    let lngs: Vec<f64> = r
+        .rows
+        .iter()
+        .map(|r| r.values[0].as_float().unwrap())
+        .collect();
     assert!(lngs.windows(2).all(|w| w[0] <= w[1]));
     std::fs::remove_dir_all(dir).ok();
 }
@@ -251,10 +255,8 @@ fn explain_shows_figure8_optimization() {
 #[test]
 fn load_csv_with_config_and_filter() {
     let (mut c, dir) = client("load");
-    c.execute(
-        "CREATE TABLE pts (fid integer:primary key, time date, geom point)",
-    )
-    .unwrap();
+    c.execute("CREATE TABLE pts (fid integer:primary key, time date, geom point)")
+        .unwrap();
     let csv = dir.join("input.csv");
     std::fs::write(
         &csv,
@@ -290,9 +292,7 @@ fn coordinate_transform_one_to_one() {
     let (mut c, dir) = client("transform");
     setup_orders(&mut c);
     let r = c
-        .execute(
-            "SELECT st_x(st_WGS84ToGCJ02(geom)) - st_x(geom) AS dx FROM orders LIMIT 5",
-        )
+        .execute("SELECT st_x(st_WGS84ToGCJ02(geom)) - st_x(geom) AS dx FROM orders LIMIT 5")
         .unwrap()
         .into_dataset()
         .unwrap();

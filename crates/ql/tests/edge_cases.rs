@@ -177,8 +177,12 @@ fn stay_point_table_function_via_sql() {
         Value::Geom(just_geo::Geometry::Rect(mbr)),
         Value::Date(0),
         Value::Date(60_000 + 29 * 60_000),
-        Value::Geom(just_geo::Geometry::Point(just_geo::Point::new(116.30, 39.90))),
-        Value::Geom(just_geo::Geometry::Point(just_geo::Point::new(116.308, 39.9001))),
+        Value::Geom(just_geo::Geometry::Point(just_geo::Point::new(
+            116.30, 39.90,
+        ))),
+        Value::Geom(just_geo::Geometry::Point(just_geo::Point::new(
+            116.308, 39.9001,
+        ))),
         Value::GpsList(samples),
     ]);
     c.session().insert("tr", &[row]).unwrap();

@@ -16,7 +16,7 @@
 
 use crate::sttable::RecordMeta;
 use just_curves::xz3::StMbr;
-use just_curves::{RangeOptions, TimePeriod, Xz2, Xz2t, Xz3, Z2, Z2t, Z3};
+use just_curves::{RangeOptions, TimePeriod, Xz2, Xz2t, Xz3, Z2t, Z2, Z3};
 use just_geo::Rect;
 
 /// Which index to build — the `geomesa.indices.enabled` hint of the
@@ -197,8 +197,7 @@ impl IndexStrategy {
                 (Some(p), c)
             }
             IndexKind::Xz2t => {
-                let (p, c) =
-                    Xz2t::new(self.period).index(&StMbr::new(mbr, meta.t_min, meta.t_max));
+                let (p, c) = Xz2t::new(self.period).index(&StMbr::new(mbr, meta.t_min, meta.t_max));
                 (Some(p), c)
             }
             IndexKind::Id => unreachable!("handled above"),

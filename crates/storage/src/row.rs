@@ -61,12 +61,13 @@ impl Row {
         let mut pos = 0usize;
         let mut values = Vec::with_capacity(schema.len());
         for field in schema.fields() {
-            let flag = *buf
-                .get(pos)
-                .ok_or_else(|| StorageError::Corrupt(format!("row truncated at '{}'", field.name)))?;
+            let flag = *buf.get(pos).ok_or_else(|| {
+                StorageError::Corrupt(format!("row truncated at '{}'", field.name))
+            })?;
             pos += 1;
-            let payload = varint::read_bytes(buf, &mut pos)
-                .ok_or_else(|| StorageError::Corrupt(format!("bad payload for '{}'", field.name)))?;
+            let payload = varint::read_bytes(buf, &mut pos).ok_or_else(|| {
+                StorageError::Corrupt(format!("bad payload for '{}'", field.name))
+            })?;
             let decoded_storage;
             let raw: &[u8] = match flag {
                 0 => payload,

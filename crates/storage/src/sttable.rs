@@ -10,6 +10,36 @@ use just_curves::{RangeOptions, TimePeriod};
 use just_geo::{Geometry, LineString, Point, Rect};
 use just_kvstore::{Store, Table as KvTable};
 use std::sync::Arc;
+use std::sync::OnceLock;
+
+/// Cached handles to the process-wide index-selectivity metrics, resolved
+/// once so the per-query cost is a few relaxed atomic adds.
+struct IndexObs {
+    /// Sharded key ranges produced by query planning.
+    ranges_generated: just_obs::Counter,
+    /// Pre-shard curve ranges from range decomposition.
+    curve_ranges: just_obs::Counter,
+    /// Raw keys returned by the kvstore scans (before exact filtering).
+    keys_scanned: just_obs::Counter,
+    /// Rows surviving decode + exact spatial/temporal filtering.
+    rows_matched: just_obs::Counter,
+    /// End-to-end `StTable::query` latency.
+    query_latency: just_obs::Histogram,
+}
+
+fn index_obs() -> &'static IndexObs {
+    static OBS: OnceLock<IndexObs> = OnceLock::new();
+    OBS.get_or_init(|| {
+        let obs = just_obs::global();
+        IndexObs {
+            ranges_generated: obs.counter("just_index_ranges_generated"),
+            curve_ranges: obs.counter("just_index_curve_ranges"),
+            keys_scanned: obs.counter("just_index_keys_scanned"),
+            rows_matched: obs.counter("just_index_rows_matched"),
+            query_latency: obs.histogram("just_storage_query_latency_us"),
+        }
+    })
+}
 
 /// Table-creation knobs.
 #[derive(Debug, Clone, Copy)]
@@ -80,7 +110,7 @@ pub struct StTable {
     /// Observed `[min t_min, max t_max]` over all inserts, persisted under
     /// a reserved key so open-time-window queries on temporal indexes only
     /// plan the periods that can hold data (instead of ±50 years).
-    time_bounds: parking_lot::Mutex<Option<(i64, i64)>>,
+    time_bounds: just_obs::sync::Mutex<Option<(i64, i64)>>,
 }
 
 /// Reserved key for the persisted time bounds. Shard bytes are always
@@ -99,9 +129,9 @@ impl std::fmt::Debug for StTable {
 /// Canonical id bytes: order-preserving for ints/dates, raw for strings.
 pub(crate) fn fid_bytes(v: &Value) -> Result<Vec<u8>> {
     let bytes = match v {
-        Value::Int(i) | Value::Date(i) => ((*i as u64) ^ 0x8000_0000_0000_0000)
-            .to_be_bytes()
-            .to_vec(),
+        Value::Int(i) | Value::Date(i) => {
+            ((*i as u64) ^ 0x8000_0000_0000_0000).to_be_bytes().to_vec()
+        }
         Value::Str(s) => s.as_bytes().to_vec(),
         other => {
             let mut buf = Vec::new();
@@ -196,22 +226,22 @@ impl StTable {
         let strategy = IndexStrategy::new(kind, config.period, config.shards)
             .with_options(config.range_options);
         let spatial = sdata.map(|table| {
-            let skind = if point_data { IndexKind::Z2 } else { IndexKind::Xz2 };
+            let skind = if point_data {
+                IndexKind::Z2
+            } else {
+                IndexKind::Xz2
+            };
             (
                 IndexStrategy::new(skind, config.period, config.shards)
                     .with_options(config.range_options),
                 table,
             )
         });
-        let time_bounds = data
-            .get(TIME_BOUNDS_KEY)
-            .ok()
-            .flatten()
-            .and_then(|v| {
-                let lo = i64::from_le_bytes(v.get(0..8)?.try_into().ok()?);
-                let hi = i64::from_le_bytes(v.get(8..16)?.try_into().ok()?);
-                Some((lo, hi))
-            });
+        let time_bounds = data.get(TIME_BOUNDS_KEY).ok().flatten().and_then(|v| {
+            let lo = i64::from_le_bytes(v.get(0..8)?.try_into().ok()?);
+            let hi = i64::from_le_bytes(v.get(8..16)?.try_into().ok()?);
+            Some((lo, hi))
+        });
         StTable {
             name: name.to_string(),
             schema,
@@ -219,7 +249,7 @@ impl StTable {
             data,
             spatial,
             ids,
-            time_bounds: parking_lot::Mutex::new(time_bounds),
+            time_bounds: just_obs::sync::Mutex::new(time_bounds),
         }
     }
 
@@ -270,9 +300,9 @@ impl StTable {
         let (geom, gps_span) = match self.schema.geom_index() {
             None => (None, None),
             Some(geom_idx) => {
-                let geom_value = row.get(geom_idx).ok_or_else(|| {
-                    StorageError::SchemaMismatch("row missing geometry".into())
-                })?;
+                let geom_value = row
+                    .get(geom_idx)
+                    .ok_or_else(|| StorageError::SchemaMismatch("row missing geometry".into()))?;
                 match geom_value {
                     Value::Geom(g) => (Some(g.clone()), None),
                     Value::GpsList(samples) if !samples.is_empty() => {
@@ -375,9 +405,10 @@ impl StTable {
 
     /// Point lookup by id. Requires `track_ids`.
     pub fn get(&self, fid: &Value) -> Result<Option<Row>> {
-        let ids = self.ids.as_ref().ok_or_else(|| {
-            StorageError::SchemaMismatch("get-by-id requires track_ids".into())
-        })?;
+        let ids = self
+            .ids
+            .as_ref()
+            .ok_or_else(|| StorageError::SchemaMismatch("get-by-id requires track_ids".into()))?;
         let fid = fid_bytes(fid)?;
         let Some(key) = ids.get(&fid)? else {
             return Ok(None);
@@ -402,18 +433,21 @@ impl StTable {
             _ => {
                 let plan_time = match time {
                     Some(t) => Some(t),
-                    None if self.strategy.kind().is_temporal() => {
-                        match *self.time_bounds.lock() {
-                            Some(bounds) => Some(bounds),
-                            None => return Ok(Vec::new()),
-                        }
-                    }
+                    None if self.strategy.kind().is_temporal() => match *self.time_bounds.lock() {
+                        Some(bounds) => Some(bounds),
+                        None => return Ok(Vec::new()),
+                    },
                     None => None,
                 };
                 (self.strategy.plan(spatial, plan_time), &self.data)
             }
         };
-        Ok(scan_table.scan_ranges_parallel(&plan.ranges)?)
+        let entries = scan_table.scan_ranges_parallel(&plan.ranges)?;
+        let obs = index_obs();
+        obs.ranges_generated.add(plan.ranges.len() as u64);
+        obs.curve_ranges.add(plan.curve_ranges as u64);
+        obs.keys_scanned.add(entries.len() as u64);
+        Ok(entries)
     }
 
     /// Decodes one raw entry from [`StTable::query_raw`].
@@ -434,6 +468,7 @@ impl StTable {
         // of ranges instead of a fan-out across every time period; open
         // time windows on the temporal primary clamp to the observed data
         // bounds. Both live in query_raw.
+        let started = std::time::Instant::now();
         let entries = self.query_raw(spatial, time)?;
         let mut rows = Vec::with_capacity(entries.len());
         for e in entries {
@@ -456,6 +491,9 @@ impl StTable {
             }
             rows.push(row);
         }
+        let obs = index_obs();
+        obs.rows_matched.add(rows.len() as u64);
+        obs.query_latency.record_duration(started.elapsed());
         Ok(rows)
     }
 
@@ -555,12 +593,17 @@ mod tests {
         for i in 0..200 {
             let lng = 116.0 + (i % 20) as f64 * 0.01;
             let lat = 39.0 + (i / 20) as f64 * 0.01;
-            t.insert(&order_row(i, lng, lat, (i % 48) * HOUR_MS / 2)).unwrap();
+            t.insert(&order_row(i, lng, lat, (i % 48) * HOUR_MS / 2))
+                .unwrap();
         }
         // Spatial window covering the first two columns, first 12 hours.
         let window = Rect::new(115.995, 38.995, 116.015, 39.095);
         let hits = t
-            .query(Some(&window), Some((0, 12 * HOUR_MS)), SpatialPredicate::Within)
+            .query(
+                Some(&window),
+                Some((0, 12 * HOUR_MS)),
+                SpatialPredicate::Within,
+            )
             .unwrap();
         assert!(!hits.is_empty());
         for row in &hits {
@@ -600,7 +643,10 @@ mod tests {
             .query(Some(&shanghai), None, SpatialPredicate::Within)
             .unwrap();
         assert_eq!(hits.len(), 1);
-        assert_eq!(t.get(&Value::Int(1)).unwrap().unwrap().values[0], Value::Int(1));
+        assert_eq!(
+            t.get(&Value::Int(1)).unwrap().unwrap().values[0],
+            Value::Int(1)
+        );
         std::fs::remove_dir_all(dir).ok();
     }
 
@@ -622,13 +668,8 @@ mod tests {
     #[test]
     fn trajectory_plugin_roundtrip_with_xz2t() {
         let (s, dir) = store("traj");
-        let t = StTable::create(
-            &s,
-            "traj",
-            Schema::trajectory(),
-            StorageConfig::default(),
-        )
-        .unwrap();
+        let t =
+            StTable::create(&s, "traj", Schema::trajectory(), StorageConfig::default()).unwrap();
         assert_eq!(t.strategy().kind(), IndexKind::Xz2t);
 
         let samples: Vec<GpsSample> = (0..300)
@@ -695,8 +736,16 @@ mod tests {
         let row = Row::new(vec![
             Value::Str("x".into()),
             Value::GpsList(vec![
-                GpsSample { lng: 1.0, lat: 2.0, time_ms: 500 },
-                GpsSample { lng: 1.1, lat: 2.1, time_ms: 1500 },
+                GpsSample {
+                    lng: 1.0,
+                    lat: 2.0,
+                    time_ms: 500,
+                },
+                GpsSample {
+                    lng: 1.1,
+                    lat: 2.1,
+                    time_ms: 1500,
+                },
             ]),
         ]);
         let meta = t.meta_of(&row).unwrap();

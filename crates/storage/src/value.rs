@@ -288,7 +288,7 @@ mod tests {
         roundtrip(&Value::Bool(false));
         roundtrip(&Value::Int(-42));
         roundtrip(&Value::Int(i64::MAX));
-        roundtrip(&Value::Float(3.14159));
+        roundtrip(&Value::Float(std::f64::consts::PI));
         roundtrip(&Value::Float(f64::NEG_INFINITY));
         roundtrip(&Value::Str("héllo wörld".to_string()));
         roundtrip(&Value::Str(String::new()));
@@ -313,8 +313,16 @@ mod tests {
     #[test]
     fn gps_list_roundtrip_quantizes() {
         let samples = vec![
-            GpsSample { lng: 116.4000001, lat: 39.9, time_ms: 1000 },
-            GpsSample { lng: 116.4000002, lat: 39.9000001, time_ms: 2000 },
+            GpsSample {
+                lng: 116.4000001,
+                lat: 39.9,
+                time_ms: 1000,
+            },
+            GpsSample {
+                lng: 116.4000002,
+                lat: 39.9000001,
+                time_ms: 2000,
+            },
         ];
         let mut buf = Vec::new();
         Value::GpsList(samples.clone()).encode(&mut buf);

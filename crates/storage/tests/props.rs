@@ -1,15 +1,17 @@
-//! Property tests: indexed queries return exactly what a brute-force scan
-//! over the same data returns (no false negatives after planning, no
-//! false positives after post-filtering).
+//! Randomized equivalence tests: indexed queries return exactly what a
+//! brute-force scan over the same data returns (no false negatives after
+//! planning, no false positives after post-filtering). Deterministically
+//! seeded (the offline stand-in for proptest).
 
 use just_geo::{Geometry, Point, Rect};
 use just_kvstore::{Store, StoreOptions};
+use just_obs::Rng;
 use just_storage::{
     Field, FieldType, IndexKind, Row, Schema, SpatialPredicate, StTable, StorageConfig, Value,
 };
-use proptest::prelude::*;
 
 const HOUR_MS: i64 = 3_600_000;
+const CASES: u64 = 16;
 
 fn schema() -> Schema {
     Schema::new(vec![
@@ -20,51 +22,55 @@ fn schema() -> Schema {
     .unwrap()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    #[test]
-    fn indexed_query_equals_brute_force(
-        points in proptest::collection::vec(
-            (0i64..500, 100.0f64..130.0, 20.0f64..50.0, 0i64..(72 * HOUR_MS)),
-            1..120
-        ),
-        qx in 100.0f64..129.0,
-        qy in 20.0f64..49.0,
-        qw in 0.1f64..10.0,
-        qt0 in 0i64..(48 * HOUR_MS),
-        qdt in 1i64..(24 * HOUR_MS),
-        kind_pick in 0u8..3,
-    ) {
+#[test]
+fn indexed_query_equals_brute_force() {
+    let mut rng = Rng::seed_from_u64(0x5354_0001);
+    for case in 0..CASES {
         let dir = std::env::temp_dir().join(format!(
-            "just-storage-prop-{}-{:?}",
+            "just-storage-prop-{case}-{}-{:?}",
             std::process::id(),
             std::thread::current().id()
         ));
         std::fs::remove_dir_all(&dir).ok();
         let store = Store::open(&dir, StoreOptions::default()).unwrap();
-        let kind = match kind_pick {
+        let kind = match rng.gen_range(0u32..3) {
             0 => IndexKind::Z2t,
             1 => IndexKind::Z3,
             _ => IndexKind::Z2,
         };
-        let table = StTable::create(&store, "t", schema(), StorageConfig {
-            index: Some(kind),
-            ..StorageConfig::default()
-        }).unwrap();
+        let table = StTable::create(
+            &store,
+            "t",
+            schema(),
+            StorageConfig {
+                index: Some(kind),
+                ..StorageConfig::default()
+            },
+        )
+        .unwrap();
 
         // Last write per fid wins (the paper's update semantics).
+        let n = rng.gen_range(1usize..120);
         let mut model = std::collections::BTreeMap::new();
-        for (fid, lng, lat, t) in &points {
+        for _ in 0..n {
+            let fid = rng.gen_range(0i64..500);
+            let lng = rng.gen_range(100.0f64..130.0);
+            let lat = rng.gen_range(20.0f64..50.0);
+            let t = rng.gen_range(0i64..72 * HOUR_MS);
             let row = Row::new(vec![
-                Value::Int(*fid),
-                Value::Date(*t),
-                Value::Geom(Geometry::Point(Point::new(*lng, *lat))),
+                Value::Int(fid),
+                Value::Date(t),
+                Value::Geom(Geometry::Point(Point::new(lng, lat))),
             ]);
             table.insert(&row).unwrap();
-            model.insert(*fid, (*lng, *lat, *t));
+            model.insert(fid, (lng, lat, t));
         }
 
+        let qx = rng.gen_range(100.0f64..129.0);
+        let qy = rng.gen_range(20.0f64..49.0);
+        let qw = rng.gen_range(0.1f64..10.0);
+        let qt0 = rng.gen_range(0i64..48 * HOUR_MS);
+        let qdt = rng.gen_range(1i64..24 * HOUR_MS);
         let window = Rect::new(qx, qy, qx + qw, qy + qw);
         let time = (qt0, qt0 + qdt);
         let hits = table
@@ -83,7 +89,7 @@ proptest! {
             .collect();
         expected.sort_unstable();
 
-        prop_assert_eq!(got, expected, "index kind {:?}", kind);
+        assert_eq!(got, expected, "case {case}, index kind {kind:?}");
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -9,8 +9,8 @@
 
 use just::engine::{Engine, EngineConfig, SessionManager};
 use just::geo::{Geometry, Point, Rect};
-use just::storage::{Field, FieldType, Row, Schema, Value};
 use just::sql::Client;
+use just::storage::{Field, FieldType, Row, Schema, Value};
 use std::sync::Arc;
 
 fn main() {
@@ -27,7 +27,9 @@ fn main() {
         Field::new("geom", FieldType::Point),
     ])
     .expect("schema");
-    session.create_table("cabs", schema, None, None).expect("create");
+    session
+        .create_table("cabs", schema, None, None)
+        .expect("create");
 
     // 500 cabs scattered over the city.
     let mut seed = 0x9E37_79B9u64;
@@ -37,9 +39,7 @@ fn main() {
         seed ^= seed << 17;
         (seed >> 11) as f64 / (1u64 << 53) as f64
     };
-    let cab_pos = |r1: f64, r2: f64| {
-        Point::new(116.25 + r1 * 0.3, 39.80 + r2 * 0.25)
-    };
+    let cab_pos = |r1: f64, r2: f64| Point::new(116.25 + r1 * 0.3, 39.80 + r2 * 0.25);
     let mut positions = Vec::new();
     for cab in 0..500i64 {
         let p = cab_pos(next(), next());

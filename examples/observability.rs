@@ -1,0 +1,62 @@
+//! Observability tour: EXPLAIN ANALYZE a spatio-temporal query, then dump
+//! the process-wide metrics registry.
+//!
+//! ```bash
+//! cargo run --release --example observability
+//! ```
+
+use just::engine::{Engine, EngineConfig, SessionManager};
+use just::sql::Client;
+use std::sync::Arc;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dir = std::env::temp_dir().join("just-obs-example");
+    std::fs::remove_dir_all(&dir).ok();
+    // Disable the block cache so the trace shows true disk reads.
+    let mut config = EngineConfig::default();
+    config.store.block_cache_bytes = 0;
+    let engine = Arc::new(Engine::open(&dir, config)?);
+    let sessions = SessionManager::new(engine.clone());
+    let mut client = Client::new(sessions.session("demo"));
+
+    client.execute("CREATE TABLE orders (fid integer:primary key, time date, geom point)")?;
+    let data = just_bench::workload::OrderDataset::generate(5000, 42);
+    client
+        .session()
+        .insert("orders", &just_bench::workload::order_rows(&data.orders))?;
+    engine.flush_all()?;
+
+    let sql = "SELECT fid FROM orders \
+               WHERE geom WITHIN st_makeMBR(116.0, 39.5, 116.8, 40.3) \
+               AND time BETWEEN 0 AND 2592000000 ORDER BY fid";
+
+    println!("== EXPLAIN ==");
+    for row in client
+        .execute(&format!("EXPLAIN {sql}"))?
+        .into_dataset()
+        .unwrap()
+        .rows
+    {
+        println!("{}", row.values[0].as_str().unwrap());
+    }
+
+    println!("\n== EXPLAIN ANALYZE ==");
+    for row in client
+        .execute(&format!("EXPLAIN ANALYZE {sql}"))?
+        .into_dataset()
+        .unwrap()
+        .rows
+    {
+        println!("{}", row.values[0].as_str().unwrap());
+    }
+
+    println!("\n== metrics (excerpt) ==");
+    for line in engine.metrics_text().lines() {
+        if line.contains("just_kvstore") || line.contains("just_index") {
+            println!("{line}");
+        }
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+    Ok(())
+}

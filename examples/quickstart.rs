@@ -30,31 +30,46 @@ fn main() {
         let lng = 116.30 + (i % 20) as f64 * 0.005;
         let lat = 39.85 + (i / 20) as f64 * 0.005;
         let t = i * 30 * 60 * 1000; // every 30 minutes
-        values.push(format!("({i}, 'order-{i}', {t}, st_makePoint({lng}, {lat}))"));
+        values.push(format!(
+            "({i}, 'order-{i}', {t}, st_makePoint({lng}, {lat}))"
+        ));
     }
-    run(&mut client, &format!("INSERT INTO orders VALUES {}", values.join(", ")));
+    run(
+        &mut client,
+        &format!("INSERT INTO orders VALUES {}", values.join(", ")),
+    );
 
     // --- Spatial range query (Section V-C) -------------------------------
-    query(&mut client,
-        "SELECT fid, name FROM orders WHERE geom WITHIN st_makeMBR(116.30, 39.85, 116.33, 39.88)");
+    query(
+        &mut client,
+        "SELECT fid, name FROM orders WHERE geom WITHIN st_makeMBR(116.30, 39.85, 116.33, 39.88)",
+    );
 
     // --- Spatio-temporal range query -------------------------------------
-    query(&mut client,
+    query(
+        &mut client,
         "SELECT fid FROM orders WHERE geom WITHIN st_makeMBR(116.30, 39.85, 116.40, 39.95) \
-         AND time BETWEEN 0 AND 86400000");
+         AND time BETWEEN 0 AND 86400000",
+    );
 
     // --- k-NN query (Algorithm 1) ----------------------------------------
-    query(&mut client,
-        "SELECT fid, distance FROM orders WHERE geom IN st_KNN(st_makePoint(116.35, 39.90), 5)");
+    query(
+        &mut client,
+        "SELECT fid, distance FROM orders WHERE geom IN st_KNN(st_makePoint(116.35, 39.90), 5)",
+    );
 
     // --- Views: one query, multiple usages --------------------------------
-    run(&mut client,
+    run(
+        &mut client,
         "CREATE VIEW nearby AS SELECT * FROM orders \
-         WHERE geom WITHIN st_makeMBR(116.30, 39.85, 116.35, 39.90)");
+         WHERE geom WITHIN st_makeMBR(116.30, 39.85, 116.35, 39.90)",
+    );
     query(&mut client, "SELECT count(*) AS n FROM nearby");
-    query(&mut client,
+    query(
+        &mut client,
         "SELECT st_x(geom) AS lng, count(*) AS n FROM nearby GROUP BY st_x(geom) \
-         ORDER BY n DESC LIMIT 3");
+         ORDER BY n DESC LIMIT 3",
+    );
     run(&mut client, "STORE VIEW nearby TO TABLE nearby_orders");
 
     // --- The Figure 8 optimizer demo --------------------------------------

@@ -8,8 +8,8 @@
 //! ```
 
 use just::analysis::{
-    map_match, noise_filter, segment, stay_points, MapMatchParams, NoiseFilterParams,
-    RoadNetwork, SegmentParams, StayPointParams, Trajectory,
+    map_match, noise_filter, segment, stay_points, MapMatchParams, NoiseFilterParams, RoadNetwork,
+    SegmentParams, StayPointParams, Trajectory,
 };
 use just::compress::gps::GpsSample;
 use just::engine::{Engine, EngineConfig, SessionManager};
@@ -36,7 +36,7 @@ fn main() {
     // --- Simulate a courier shift: drive, stop to deliver, drive --------
     let mut pts: Vec<StPoint> = Vec::new();
     let mut t = 8 * 3_600_000i64; // 08:00
-    // Leg 1: east along a street, with GPS jitter and one glitch.
+                                  // Leg 1: east along a street, with GPS jitter and one glitch.
     for i in 0..120 {
         let x = 116.3002 + i as f64 * 0.00015;
         let jitter = if i % 3 == 0 { 4e-5 } else { -3e-5 };
@@ -44,7 +44,7 @@ fn main() {
         t += 1000;
     }
     pts.push(StPoint::new(116.50, 39.99, t - 500)); // GPS glitch (teleport)
-    // Delivery stop: 25 minutes at a doorstep.
+                                                    // Delivery stop: 25 minutes at a doorstep.
     for i in 0..25 {
         pts.push(StPoint::new(116.3182 + (i % 2) as f64 * 1e-5, 39.8541, t));
         t += 60_000;
@@ -59,9 +59,19 @@ fn main() {
 
     // --- 1-N preprocessing pipeline --------------------------------------
     let clean = noise_filter(&raw, &NoiseFilterParams::default());
-    println!("after noise filter: {} samples ({} dropped)", clean.len(), raw.len() - clean.len());
+    println!(
+        "after noise filter: {} samples ({} dropped)",
+        clean.len(),
+        raw.len() - clean.len()
+    );
 
-    let segments = segment(&clean, &SegmentParams { max_gap_ms: 10 * 60_000, ..Default::default() });
+    let segments = segment(
+        &clean,
+        &SegmentParams {
+            max_gap_ms: 10 * 60_000,
+            ..Default::default()
+        },
+    );
     println!("segments: {}", segments.len());
 
     let stays = stay_points(&clean, &StayPointParams::default());
@@ -76,8 +86,7 @@ fn main() {
 
     // --- Map matching ------------------------------------------------------
     let matched = map_match(&net, &clean, &MapMatchParams::default());
-    let unique_segments: std::collections::HashSet<_> =
-        matched.iter().map(|m| m.segment).collect();
+    let unique_segments: std::collections::HashSet<_> = matched.iter().map(|m| m.segment).collect();
     let mean_err: f64 =
         matched.iter().map(|m| m.error_m).sum::<f64>() / matched.len().max(1) as f64;
     println!(
@@ -94,7 +103,11 @@ fn main() {
     let samples: Vec<GpsSample> = clean
         .points
         .iter()
-        .map(|p| GpsSample { lng: p.point.x, lat: p.point.y, time_ms: p.time_ms })
+        .map(|p| GpsSample {
+            lng: p.point.x,
+            lat: p.point.y,
+            time_ms: p.time_ms,
+        })
         .collect();
     let mbr = clean.mbr();
     let (t0, t1) = clean.time_span().unwrap();
@@ -111,14 +124,23 @@ fn main() {
 
     let window = Rect::new(116.31, 39.85, 116.33, 39.87);
     let hits = session
-        .st_range("traj", &window, 0, 24 * 3_600_000, SpatialPredicate::Intersects)
+        .st_range(
+            "traj",
+            &window,
+            0,
+            24 * 3_600_000,
+            SpatialPredicate::Intersects,
+        )
         .expect("st query");
     println!(
         "XZ2T spatio-temporal query found {} trajectory(ies) crossing the window",
         hits.len()
     );
     let gps = hits.rows[0].values[6].as_gps_list().unwrap();
-    println!("stored GPS list survives compression: {} samples", gps.len());
+    println!(
+        "stored GPS list survives compression: {} samples",
+        gps.len()
+    );
 
     std::fs::remove_dir_all(&dir).ok();
     println!("trajectory analysis complete");

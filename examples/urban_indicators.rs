@@ -65,7 +65,11 @@ fn main() {
         e.0 += 1;
         e.1 += amount;
     }
-    println!("aggregated {} orders into {} (cell, day) indicators", orders.len(), cells.len());
+    println!(
+        "aggregated {} orders into {} (cell, day) indicators",
+        orders.len(),
+        cells.len()
+    );
 
     // --- Store indicators as polygons under XZ2T ------------------------
     let schema = Schema::new(vec![
@@ -99,13 +103,22 @@ fn main() {
         })
         .collect();
     session.insert("indicators", &rows).expect("insert");
-    println!("stored {} indicator rows (XZ2T index, day periods)", rows.len());
+    println!(
+        "stored {} indicator rows (XZ2T index, day periods)",
+        rows.len()
+    );
 
     // --- The address-portrait query --------------------------------------
     let area = Rect::window_km(Point::new(116.33, 39.88), 1.0);
     let week = (0, 7 * DAY_MS);
     let hits = session
-        .st_range("indicators", &area, week.0, week.1, SpatialPredicate::Intersects)
+        .st_range(
+            "indicators",
+            &area,
+            week.0,
+            week.1,
+            SpatialPredicate::Intersects,
+        )
         .expect("query");
     let total_orders: i64 = hits
         .rows
@@ -137,7 +150,10 @@ fn main() {
             7 * DAY_MS
         ))
         .expect("sql");
-    println!("JustQL view (strict WITHIN semantics):\n{}", r.dataset().unwrap().render(3));
+    println!(
+        "JustQL view (strict WITHIN semantics):\n{}",
+        r.dataset().unwrap().render(3)
+    );
 
     std::fs::remove_dir_all(&dir).ok();
     println!("urban indicators complete");

@@ -21,6 +21,7 @@
 //! | [`analysis`] | `just-analysis` | trajectory ops, map matching, DBSCAN |
 //! | [`sql`] | `just-ql` | the JustQL parser/optimizer/executor |
 //! | [`baselines`] | `just-baselines` | comparison engines |
+//! | [`obs`] | `just-obs` | tracing, metrics registry, EXPLAIN ANALYZE substrate |
 //!
 //! ## Quickstart
 //!
@@ -69,3 +70,6 @@ pub use just_ql as sql;
 
 /// Baseline engines for the evaluation (`just-baselines`).
 pub use just_baselines as baselines;
+
+/// Observability: span tracing and the metrics registry (`just-obs`).
+pub use just_obs as obs;

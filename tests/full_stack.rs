@@ -30,12 +30,13 @@ fn sql_results_match_brute_force_over_generated_workload() {
     let sessions = SessionManager::new(engine);
     let mut client = Client::new(sessions.session("it"));
     client
-        .execute(
-            "CREATE TABLE orders (fid integer:primary key, time date, geom point)",
-        )
+        .execute("CREATE TABLE orders (fid integer:primary key, time date, geom point)")
         .unwrap();
     let data = OrderDataset::generate(2000, 99);
-    client.session().insert("orders", &order_rows(&data.orders)).unwrap();
+    client
+        .session()
+        .insert("orders", &order_rows(&data.orders))
+        .unwrap();
 
     let window = Rect::window_km(Point::new(116.4, 40.0), 8.0);
     let (t0, t1) = (5 * HOUR_MS, 30 * 24 * HOUR_MS);
@@ -48,7 +49,11 @@ fn sql_results_match_brute_force_over_generated_workload() {
         .unwrap()
         .into_dataset()
         .unwrap();
-    let got: Vec<i64> = got.rows.iter().map(|r| r.values[0].as_int().unwrap()).collect();
+    let got: Vec<i64> = got
+        .rows
+        .iter()
+        .map(|r| r.values[0].as_int().unwrap())
+        .collect();
 
     let mut want: Vec<i64> = data
         .orders
@@ -78,7 +83,12 @@ fn compression_reduces_disk_io_for_trajectory_scans() {
         f.compress = just::compress::Codec::None;
     }
     engine
-        .create_table("nc", just_storage::Schema::new(nc_fields).unwrap(), None, None)
+        .create_table(
+            "nc",
+            just_storage::Schema::new(nc_fields).unwrap(),
+            None,
+            None,
+        )
         .unwrap();
     engine.insert("gz", &rows).unwrap();
     engine.insert("nc", &rows).unwrap();
@@ -134,7 +144,11 @@ fn multi_user_sessions_share_one_engine() {
         .unwrap()
         .into_dataset()
         .unwrap();
-    let b = bob.execute("SELECT fid FROM pts").unwrap().into_dataset().unwrap();
+    let b = bob
+        .execute("SELECT fid FROM pts")
+        .unwrap()
+        .into_dataset()
+        .unwrap();
     assert_eq!(a.rows[0].values[0], Value::Int(1));
     assert_eq!(b.rows[0].values[0], Value::Int(2));
     assert_eq!(a.len(), 1);

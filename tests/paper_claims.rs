@@ -90,7 +90,9 @@ fn z2t_reads_less_than_century_z3_for_st_queries() {
 #[test]
 fn st_query_io_is_flat_in_dataset_size() {
     let (engine, dir) = fresh("flat");
-    engine.create_table("t", order_schema(), None, None).unwrap();
+    engine
+        .create_table("t", order_schema(), None, None)
+        .unwrap();
     let base = OrderDataset::generate(1500, 11);
     engine.insert("t", &order_rows(&base.orders)).unwrap();
     engine.flush_all().unwrap();
@@ -109,10 +111,10 @@ fn st_query_io_is_flat_in_dataset_size() {
     let mut extra_rows = Vec::new();
     for (i, o) in base.orders.iter().enumerate() {
         for copy in 1..=2i64 {
-            let mut row = order_rows(&[o.clone()]).pop().unwrap();
-            row.values[0] = just::storage::Value::Int((base.orders.len() * 2) as i64 + i as i64 * 2 + copy);
-            row.values[1] =
-                just::storage::Value::Date(o.time_ms + copy * 90 * 24 * HOUR_MS);
+            let mut row = order_rows(std::slice::from_ref(o)).pop().unwrap();
+            row.values[0] =
+                just::storage::Value::Int((base.orders.len() * 2) as i64 + i as i64 * 2 + copy);
+            row.values[1] = just::storage::Value::Date(o.time_ms + copy * 90 * 24 * HOUR_MS);
             extra_rows.push(row);
         }
     }
@@ -143,7 +145,9 @@ fn st_query_io_is_flat_in_dataset_size() {
 #[test]
 fn historical_updates_are_visible_without_rebuilds() {
     let (engine, dir) = fresh("updates");
-    engine.create_table("t", order_schema(), None, None).unwrap();
+    engine
+        .create_table("t", order_schema(), None, None)
+        .unwrap();
     let data = OrderDataset::generate(500, 3);
     engine.insert("t", &order_rows(&data.orders)).unwrap();
     engine.flush_all().unwrap();
@@ -175,11 +179,8 @@ fn historical_updates_are_visible_without_rebuilds() {
 /// multiple disjoint key ranges fanned out over salt shards.
 #[test]
 fn query_plans_fan_out_over_shards_and_ranges() {
-    let strategy = just::storage::IndexStrategy::new(
-        IndexKind::Z2t,
-        just::curves::TimePeriod::Day,
-        4,
-    );
+    let strategy =
+        just::storage::IndexStrategy::new(IndexKind::Z2t, just::curves::TimePeriod::Day, 4);
     let window = Rect::window_km(Point::new(116.4, 40.0), 3.0);
     let plan = strategy.plan(Some(&window), Some((HOUR_MS, 13 * HOUR_MS)));
     assert!(plan.curve_ranges >= 1);
