@@ -16,4 +16,27 @@ cargo build --workspace --release
 echo "==> cargo test"
 cargo test --workspace -q
 
+echo "==> server smoke test (justd + just-cli)"
+SMOKE_DIR="$(mktemp -d)"
+trap 'rm -rf "$SMOKE_DIR"' EXIT
+./target/release/justd \
+    --data "$SMOKE_DIR/data" \
+    --addr 127.0.0.1:0 \
+    --port-file "$SMOKE_DIR/port" &
+JUSTD_PID=$!
+for _ in $(seq 1 100); do
+    [ -s "$SMOKE_DIR/port" ] && break
+    sleep 0.1
+done
+[ -s "$SMOKE_DIR/port" ] || { echo "justd never wrote its port"; exit 1; }
+ADDR="127.0.0.1:$(cat "$SMOKE_DIR/port")"
+./target/release/just-cli --addr "$ADDR" --user smoke \
+    query "CREATE TABLE pts (fid integer:primary key, geom point)"
+./target/release/just-cli --addr "$ADDR" --user smoke \
+    query "INSERT INTO pts VALUES (1, st_makePoint(116.4, 39.9))"
+./target/release/just-cli --addr "$ADDR" --user smoke \
+    query "SELECT fid FROM pts" | grep -q "^1$"
+./target/release/just-cli --addr "$ADDR" shutdown
+wait "$JUSTD_PID"   # graceful shutdown must exit 0 (set -e enforces it)
+
 echo "CI gate passed."

@@ -54,6 +54,7 @@ fn main() {
             "fig12".into(),
             "fig13".into(),
             "fig14".into(),
+            "serve".into(),
         ];
     }
     let cfg = BenchConfig::default().scaled(scale);
@@ -77,6 +78,7 @@ fn main() {
             "fig12" => figures::fig12::run(&cfg, &mut out, &mut report),
             "fig13" => figures::fig13::run(&cfg, &mut out, &mut report),
             "fig14" => figures::fig14::run(&cfg, &mut out, &mut report),
+            "serve" => figures::serve::run(&cfg, &mut out, &mut report),
             other => usage(&format!("unknown figure '{other}'")),
         }
         if let Some(dir) = &json_dir {
@@ -92,7 +94,7 @@ fn main() {
 fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
-        "usage: figures [all|table1|table2|fig8|fig10|fig11|fig12|fig13|fig14]... \
+        "usage: figures [all|table1|table2|fig8|fig10|fig11|fig12|fig13|fig14|serve]... \
          [--scale X] [--json DIR]"
     );
     std::process::exit(2);

@@ -8,6 +8,7 @@ pub mod fig12;
 pub mod fig13;
 pub mod fig14;
 pub mod fig8;
+pub mod serve;
 pub mod tables;
 
 use crate::workload::{order_rows, traj_rows, Order, TrajRecord};

@@ -1,0 +1,125 @@
+//! Serving throughput: queries/sec through `just-server` as the number
+//! of concurrent client connections grows.
+//!
+//! This is the serving-layer counterpart of the paper's Section VII
+//! claim that one shared engine can front many tenants: each
+//! connection is a full remote session (framing, JSON decode, session
+//! namespace lookup, execution, response encode), so the figure
+//! measures the whole wire path, not just the executor. Per-phase IO
+//! deltas land in the `--json` report alongside the
+//! `just_server_request_latency_us` histogram.
+
+use crate::config::BenchConfig;
+use crate::figures::{order_rows_with_addr, order_schema};
+use crate::harness::{Report, Table};
+use crate::workload::{query_windows, OrderDataset};
+use just_core::{Engine, EngineConfig, SessionManager};
+use just_server::{RemoteClient, Server, ServerConfig};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Connection counts swept by the figure.
+pub const CONCURRENCY: [usize; 4] = [1, 2, 4, 8];
+
+/// Runs the serving-throughput sweep.
+pub fn run(cfg: &BenchConfig, out: &mut impl std::io::Write, report: &mut Report) {
+    report.phase("build");
+    // The server needs the engine behind an `Arc` (it is shared with
+    // worker threads), so the throwaway directory is managed by hand
+    // here instead of through `TempEngine`.
+    let dir = std::env::temp_dir().join(format!(
+        "just-fig-serve-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+    let engine = Arc::new(Engine::open(&dir, EngineConfig::default()).expect("engine open"));
+    let sessions = SessionManager::new(engine.clone());
+    let bench = sessions.session("bench");
+    bench
+        .create_table("orders", order_schema(false), None, None)
+        .expect("create orders");
+    let orders = OrderDataset::generate(cfg.orders, cfg.seed);
+    bench
+        .insert("orders", &order_rows_with_addr(&orders.orders))
+        .expect("insert orders");
+    engine.flush_all().expect("flush");
+
+    let windows = query_windows(cfg.queries_per_point, cfg.default_window_km(), cfg.seed);
+    let queries: Vec<String> = windows
+        .iter()
+        .map(|w| {
+            format!(
+                "SELECT fid FROM orders WHERE geom WITHIN st_makeMBR({}, {}, {}, {})",
+                w.min_x, w.min_y, w.max_x, w.max_y
+            )
+        })
+        .collect();
+
+    let server_cfg = ServerConfig {
+        max_sessions: CONCURRENCY[CONCURRENCY.len() - 1] + 2,
+        ..ServerConfig::default()
+    };
+    let handle = Server::start(engine, server_cfg).expect("server start");
+    let addr = handle.local_addr();
+
+    let mut table = Table::new(&["connections", "queries", "secs", "queries/sec"]);
+    for &conc in &CONCURRENCY {
+        report.phase(&format!("serve-c{conc}"));
+        let t0 = Instant::now();
+        let workers: Vec<_> = (0..conc)
+            .map(|w| {
+                let queries = queries.clone();
+                std::thread::spawn(move || {
+                    let mut client = RemoteClient::connect(addr, "bench").expect("connect");
+                    let mut done = 0u64;
+                    // Every connection runs the whole query set, offset
+                    // so concurrent clients are not in lockstep.
+                    for i in 0..queries.len() {
+                        let sql = &queries[(i + w) % queries.len()];
+                        client.execute(sql).expect("remote query");
+                        done += 1;
+                    }
+                    done
+                })
+            })
+            .collect();
+        let total: u64 = workers.into_iter().map(|h| h.join().unwrap()).sum();
+        let secs = t0.elapsed().as_secs_f64();
+        table.row(vec![
+            conc.to_string(),
+            total.to_string(),
+            format!("{secs:.3}"),
+            format!("{:.0}", total as f64 / secs),
+        ]);
+    }
+    handle.join();
+    std::fs::remove_dir_all(&dir).ok();
+
+    writeln!(out, "== Serving: queries/sec vs concurrent connections ==").unwrap();
+    writeln!(out, "{}", table.render()).unwrap();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serve_figure_runs_at_tiny_scale() {
+        let cfg = BenchConfig {
+            orders: 200,
+            queries_per_point: 3,
+            ..BenchConfig::default()
+        };
+        let mut buf = Vec::new();
+        run(&cfg, &mut buf, &mut Report::new("serve"));
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("queries/sec"), "missing table: {text}");
+        // One row per concurrency level.
+        for conc in CONCURRENCY {
+            assert!(text
+                .lines()
+                .any(|l| l.trim().starts_with(&conc.to_string())));
+        }
+    }
+}

@@ -45,6 +45,26 @@ impl Default for EngineConfig {
 
 /// The JUST engine: catalog + storage + query operations, shared by all
 /// sessions (the paper's single shared "Spark context").
+///
+/// # Thread safety
+///
+/// `Engine` is `Send + Sync` (compile-time asserted below) and designed
+/// for many concurrent sessions on one instance — this is what
+/// `just-server` runs one connection-per-thread against. The locking is
+/// deliberately fine-grained so no lock is held across a whole query:
+///
+/// * `catalog` / `tables` / `views` are `RwLock`-protected maps, locked
+///   only for the lookup/registration itself. Query execution runs on an
+///   `Arc<StTable>` clone with no engine lock held.
+/// * Inside the storage stack, each kvstore region has its own `RwLock`,
+///   the block cache is sharded behind per-shard mutexes, and SSTable
+///   block reads use positional IO (no shared file cursor, no lock).
+/// * All metrics are relaxed atomics.
+///
+/// DDL (`create_table`, `drop_table`) takes the write side of the maps
+/// briefly; concurrent queries against *other* tables proceed untouched,
+/// and queries holding an `Arc<StTable>` to a dropped table finish
+/// against the open handle.
 pub struct Engine {
     base_dir: PathBuf,
     config: EngineConfig,
@@ -391,6 +411,16 @@ impl Engine {
     }
 }
 
+// Compile-time proof of the documented thread-safety contract: a shared
+// Engine (and the session types over it) can cross and be shared between
+// threads. If a !Sync field ever sneaks in, this fails to build.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Engine>();
+    assert_send_sync::<crate::Session>();
+    assert_send_sync::<crate::SessionManager>();
+};
+
 /// Infers a storable schema from a dataset's first rows (used by
 /// `STORE VIEW ... TO TABLE` when the target doesn't exist).
 fn infer_schema(data: &Dataset) -> Result<Schema> {
@@ -528,6 +558,52 @@ mod tests {
         assert_eq!(e.scan_all("orders2").unwrap().len(), 1);
         e.drop_view("v").unwrap();
         assert!(e.view("v").is_err());
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn concurrent_sessions_on_one_engine_are_safe() {
+        // The serving contract: N threads sharing one Engine — mixed
+        // reads, writes and DDL on separate namespaces plus reads on a
+        // shared table — all complete with correct, complete results.
+        let (e, dir) = engine("concurrent");
+        let e = std::sync::Arc::new(e);
+        e.create_table("shared", order_schema(), None, None)
+            .unwrap();
+        let rows: Vec<Row> = (0..200)
+            .map(|i| order_row(i, 116.0 + (i % 10) as f64 * 0.01, 39.0, i * HOUR_MS / 8))
+            .collect();
+        e.insert("shared", &rows).unwrap();
+        e.flush_all().unwrap();
+
+        let threads: Vec<_> = (0..8)
+            .map(|t| {
+                let e = e.clone();
+                std::thread::spawn(move || {
+                    let window = Rect::new(115.9, 38.9, 116.1, 39.1);
+                    for i in 0..10 {
+                        // Shared-table reads race against other readers.
+                        let hits = e
+                            .spatial_range("shared", &window, SpatialPredicate::Within)
+                            .unwrap();
+                        assert_eq!(hits.len(), 200);
+                        let nn = e.knn("shared", Point::new(116.0, 39.0), 5).unwrap();
+                        assert_eq!(nn.len(), 5);
+                        // Private-table writes race against everyone.
+                        let mine = format!("own_{t}");
+                        if i == 0 {
+                            e.create_table(&mine, order_schema(), None, None).unwrap();
+                        }
+                        e.insert(&mine, &[order_row(i, 116.0, 39.0, 0)]).unwrap();
+                        assert_eq!(e.scan_all(&mine).unwrap().len(), (i + 1) as usize);
+                    }
+                })
+            })
+            .collect();
+        for th in threads {
+            th.join().unwrap();
+        }
+        assert_eq!(e.show_tables().len(), 9);
         std::fs::remove_dir_all(dir).ok();
     }
 

@@ -14,11 +14,42 @@ use crate::block::{Block, BlockBuilder, BlockEntry};
 use crate::cache::{next_file_id, BlockCache};
 use crate::error::{KvError, Result};
 use crate::metrics::IoMetrics;
-use just_obs::sync::Mutex;
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
+
+/// Positional read at `offset` without touching a shared cursor, so
+/// concurrent block reads on one SSTable never serialize behind a lock
+/// (the server layer runs many sessions against the same tables).
+#[cfg(unix)]
+fn read_exact_at(file: &File, _path: &Path, buf: &mut [u8], offset: u64) -> std::io::Result<()> {
+    use std::os::unix::fs::FileExt;
+    file.read_exact_at(buf, offset)
+}
+
+#[cfg(windows)]
+fn read_exact_at(file: &File, _path: &Path, buf: &mut [u8], offset: u64) -> std::io::Result<()> {
+    use std::os::windows::fs::FileExt;
+    let mut pos = 0usize;
+    while pos < buf.len() {
+        let n = file.seek_read(&mut buf[pos..], offset + pos as u64)?;
+        if n == 0 {
+            return Err(std::io::ErrorKind::UnexpectedEof.into());
+        }
+        pos += n;
+    }
+    Ok(())
+}
+
+/// Fallback for platforms without positional reads: reopen per read (the
+/// shared handle's cursor cannot be raced, dup'd descriptors share it).
+#[cfg(not(any(unix, windows)))]
+fn read_exact_at(_file: &File, path: &Path, buf: &mut [u8], offset: u64) -> std::io::Result<()> {
+    let mut f = File::open(path)?;
+    f.seek(SeekFrom::Start(offset))?;
+    f.read_exact(buf)
+}
 
 const MAGIC: &[u8; 8] = b"JSSTBL01";
 
@@ -192,7 +223,7 @@ pub struct SsTable {
     path: PathBuf,
     /// Unique instance id for block-cache keying.
     file_id: u64,
-    file: Mutex<File>,
+    file: File,
     blocks: Vec<BlockMeta>,
     min_key: Vec<u8>,
     max_key: Vec<u8>,
@@ -278,7 +309,7 @@ impl SsTable {
         Ok(SsTable {
             path: path.to_path_buf(),
             file_id: next_file_id(),
-            file: Mutex::new(file),
+            file,
             blocks,
             min_key,
             max_key,
@@ -325,11 +356,7 @@ impl SsTable {
         }
         let meta = &self.blocks[idx];
         let mut buf = vec![0u8; meta.len as usize];
-        {
-            let mut file = self.file.lock();
-            file.seek(SeekFrom::Start(meta.offset))?;
-            file.read_exact(&mut buf)?;
-        }
+        read_exact_at(&self.file, &self.path, &mut buf, meta.offset)?;
         self.metrics.record_block_read(meta.len as u64, seeked);
         if crc32(&buf) != meta.crc {
             return Err(KvError::Corrupt(format!(
@@ -502,6 +529,34 @@ mod tests {
         b.add(b"b", Some(b"1")).unwrap();
         assert!(b.add(b"a", Some(b"2")).is_err());
         assert!(b.add(b"b", Some(b"2")).is_err());
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn concurrent_readers_see_consistent_blocks() {
+        // Positional reads share no cursor: hammer one table from many
+        // threads and check every scan returns the full, correct range.
+        let dir = tmpdir("concurrent");
+        let t = Arc::new(build(&dir, 2000));
+        let threads: Vec<_> = (0..8)
+            .map(|i| {
+                let t = t.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..20 {
+                        let lo = format!("key-{:06}", i * 100);
+                        let hi = format!("key-{:06}", i * 100 + 99);
+                        let hits = t.scan(lo.as_bytes(), hi.as_bytes()).unwrap();
+                        assert_eq!(hits.len(), 100);
+                        assert_eq!(hits[0].key, lo.as_bytes());
+                        let got = t.get(format!("key-{:06}", i * 7).as_bytes()).unwrap();
+                        assert_eq!(got, Some(Some(format!("value-{}", i * 7).into_bytes())));
+                    }
+                })
+            })
+            .collect();
+        for th in threads {
+            th.join().unwrap();
+        }
         std::fs::remove_dir_all(dir).ok();
     }
 

@@ -1,4 +1,4 @@
-//! SQL-layer error type.
+//! SQL-layer error type with structured, wire-stable error codes.
 
 use std::fmt;
 
@@ -15,6 +15,58 @@ pub enum QlError {
     Eval(String),
     /// Engine-level failure.
     Engine(just_core::CoreError),
+    /// An error received over the wire from a remote server (possibly a
+    /// server-side code like `BUSY` that has no local variant). The code
+    /// is preserved so callers can branch on it.
+    Remote {
+        /// Wire error code (see [`QlError::code`] for the vocabulary).
+        code: String,
+        /// Human-readable message.
+        message: String,
+    },
+}
+
+impl QlError {
+    /// The structured error code used on the wire. Stable vocabulary:
+    /// `LEX`, `PARSE`, `ANALYZE`, `EVAL`, `CATALOG`, `INVALID`,
+    /// `STORAGE`, `KV`, `IO` — plus whatever a remote server sent for
+    /// [`QlError::Remote`] (e.g. `BUSY`, `AUTH`, `MALFORMED`).
+    pub fn code(&self) -> &str {
+        match self {
+            QlError::Lex(_) => "LEX",
+            QlError::Parse(_) => "PARSE",
+            QlError::Analyze(_) => "ANALYZE",
+            QlError::Eval(_) => "EVAL",
+            QlError::Engine(e) => match e {
+                just_core::CoreError::Catalog(_) => "CATALOG",
+                just_core::CoreError::Invalid(_) => "INVALID",
+                just_core::CoreError::Storage(_) => "STORAGE",
+                just_core::CoreError::Kv(_) => "KV",
+                just_core::CoreError::Io(_) => "IO",
+            },
+            QlError::Remote { code, .. } => code,
+        }
+    }
+
+    /// Reconstructs an error from a wire `(code, message)` pair. Codes
+    /// with a structural local variant map back onto it; everything else
+    /// (engine internals, server-layer codes) becomes [`QlError::Remote`]
+    /// so `code()` round-trips exactly.
+    pub fn from_wire(code: &str, message: impl Into<String>) -> QlError {
+        let m = message.into();
+        match code {
+            "LEX" => QlError::Lex(m),
+            "PARSE" => QlError::Parse(m),
+            "ANALYZE" => QlError::Analyze(m),
+            "EVAL" => QlError::Eval(m),
+            "CATALOG" => QlError::Engine(just_core::CoreError::Catalog(m)),
+            "INVALID" => QlError::Engine(just_core::CoreError::Invalid(m)),
+            _ => QlError::Remote {
+                code: code.to_string(),
+                message: m,
+            },
+        }
+    }
 }
 
 impl fmt::Display for QlError {
@@ -25,6 +77,7 @@ impl fmt::Display for QlError {
             QlError::Analyze(m) => write!(f, "analyze error: {m}"),
             QlError::Eval(m) => write!(f, "eval error: {m}"),
             QlError::Engine(e) => write!(f, "engine error: {e}"),
+            QlError::Remote { code, message } => write!(f, "remote error [{code}]: {message}"),
         }
     }
 }
@@ -34,5 +87,36 @@ impl std::error::Error for QlError {}
 impl From<just_core::CoreError> for QlError {
     fn from(e: just_core::CoreError) -> Self {
         QlError::Engine(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_round_trip_through_the_wire() {
+        let cases = [
+            QlError::Lex("bad char".into()),
+            QlError::Parse("oops".into()),
+            QlError::Analyze("unknown column".into()),
+            QlError::Eval("division by zero".into()),
+            QlError::Engine(just_core::CoreError::Catalog("no such table".into())),
+            QlError::Engine(just_core::CoreError::Invalid("bad args".into())),
+        ];
+        for e in cases {
+            let (code, msg) = (e.code().to_string(), e.to_string());
+            let back = QlError::from_wire(&code, &msg);
+            assert_eq!(back.code(), code, "{msg}");
+        }
+    }
+
+    #[test]
+    fn unknown_codes_become_remote_and_keep_their_code() {
+        let e = QlError::from_wire("BUSY", "server at capacity");
+        assert_eq!(e.code(), "BUSY");
+        assert!(e.to_string().contains("server at capacity"));
+        let e = QlError::from_wire("KV", "checksum mismatch");
+        assert_eq!(e.code(), "KV");
     }
 }

@@ -1,8 +1,19 @@
-//! The tiny JSON subset used by `USERDATA { ... }` and `CONFIG { ... }`
-//! hints: string-keyed objects with string/number values (exactly what
-//! the paper's examples use), parsed from the SQL token stream.
+//! JSON support for the SQL layer and the wire protocol.
+//!
+//! Two levels live here:
+//!
+//! * [`Json`] — the tiny flat subset used by `USERDATA { ... }` and
+//!   `CONFIG { ... }` hints: string-keyed objects with string/number
+//!   values (exactly what the paper's examples use), parsed from the SQL
+//!   token stream.
+//! * [`JsonValue`] — a full JSON document model (null/bool/int/float/
+//!   string/array/object) with a hand-rolled parser and writer. The
+//!   `just-server` wire protocol frames requests and responses as
+//!   `JsonValue` documents, and [`crate::wire`] encodes query results
+//!   through it.
 
 use std::collections::BTreeMap;
+use std::fmt;
 
 /// A parsed hint object.
 #[derive(Debug, Clone, PartialEq, Default)]
@@ -28,6 +39,390 @@ impl Json {
     }
 }
 
+/// A full JSON value: the document model of the wire protocol.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number without fraction or exponent, kept exact as `i64`.
+    Int(i64),
+    /// Any other number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<JsonValue>),
+    /// An object (sorted keys, so rendering is deterministic).
+    Object(BTreeMap<String, JsonValue>),
+}
+
+impl JsonValue {
+    /// An empty object.
+    pub fn object() -> JsonValue {
+        JsonValue::Object(BTreeMap::new())
+    }
+
+    /// Builder-style insert; panics if `self` is not an object.
+    pub fn with(mut self, key: &str, value: JsonValue) -> JsonValue {
+        match &mut self {
+            JsonValue::Object(map) => {
+                map.insert(key.to_string(), value);
+            }
+            other => panic!("with() on non-object {other:?}"),
+        }
+        self
+    }
+
+    /// Member lookup on objects.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(map) => map.get(key),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an integer.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            JsonValue::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Parses one JSON document (rejecting trailing garbage).
+    pub fn parse(text: &str) -> Result<JsonValue, JsonError> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(JsonError::at(pos, "trailing characters"));
+        }
+        Ok(value)
+    }
+
+    /// Renders as compact JSON. Non-finite floats render as `null` (JSON
+    /// has no NaN/Infinity); the wire protocol avoids this by encoding
+    /// SQL floats as tagged strings (see [`crate::wire`]).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::Int(i) => out.push_str(&i.to_string()),
+            JsonValue::Float(f) if f.is_finite() => {
+                let s = f.to_string();
+                out.push_str(&s);
+                // Keep the float/int distinction through a round-trip.
+                if !s.contains(['.', 'e', 'E']) {
+                    out.push_str(".0");
+                }
+            }
+            JsonValue::Float(_) => out.push_str("null"),
+            JsonValue::Str(s) => write_json_string(s, out),
+            JsonValue::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            JsonValue::Object(map) => {
+                out.push('{');
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_json_string(k, out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+impl fmt::Display for JsonValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+/// A JSON parse failure: byte offset plus message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset of the failure.
+    pub offset: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl JsonError {
+    fn at(offset: usize, message: impl Into<String>) -> JsonError {
+        JsonError {
+            offset,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+fn write_json_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while let Some(b) = bytes.get(*pos) {
+        if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+            *pos += 1;
+        } else {
+            break;
+        }
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, JsonError> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err(JsonError::at(*pos, "unexpected end of input")),
+        Some(b'n') => parse_literal(bytes, pos, "null", JsonValue::Null),
+        Some(b't') => parse_literal(bytes, pos, "true", JsonValue::Bool(true)),
+        Some(b'f') => parse_literal(bytes, pos, "false", JsonValue::Bool(false)),
+        Some(b'"') => Ok(JsonValue::Str(parse_string(bytes, pos)?)),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(JsonValue::Array(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(JsonValue::Array(items));
+                    }
+                    _ => return Err(JsonError::at(*pos, "expected ',' or ']'")),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut map = BTreeMap::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(JsonValue::Object(map));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(bytes, pos)?;
+                skip_ws(bytes, pos);
+                if bytes.get(*pos) != Some(&b':') {
+                    return Err(JsonError::at(*pos, "expected ':'"));
+                }
+                *pos += 1;
+                let value = parse_value(bytes, pos)?;
+                map.insert(key, value);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(JsonValue::Object(map));
+                    }
+                    _ => return Err(JsonError::at(*pos, "expected ',' or '}'")),
+                }
+            }
+        }
+        Some(_) => parse_number(bytes, pos),
+    }
+}
+
+fn parse_literal(
+    bytes: &[u8],
+    pos: &mut usize,
+    word: &str,
+    value: JsonValue,
+) -> Result<JsonValue, JsonError> {
+    if bytes[*pos..].starts_with(word.as_bytes()) {
+        *pos += word.len();
+        Ok(value)
+    } else {
+        Err(JsonError::at(*pos, format!("expected '{word}'")))
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, JsonError> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let mut is_float = false;
+    while let Some(&b) = bytes.get(*pos) {
+        match b {
+            b'0'..=b'9' => *pos += 1,
+            b'.' | b'e' | b'E' | b'+' | b'-' => {
+                is_float = true;
+                *pos += 1;
+            }
+            _ => break,
+        }
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos])
+        .map_err(|_| JsonError::at(start, "invalid number"))?;
+    if text.is_empty() || text == "-" {
+        return Err(JsonError::at(start, "expected a value"));
+    }
+    if !is_float {
+        if let Ok(i) = text.parse::<i64>() {
+            return Ok(JsonValue::Int(i));
+        }
+    }
+    text.parse::<f64>()
+        .map(JsonValue::Float)
+        .map_err(|_| JsonError::at(start, format!("bad number '{text}'")))
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, JsonError> {
+    if bytes.get(*pos) != Some(&b'"') {
+        return Err(JsonError::at(*pos, "expected '\"'"));
+    }
+    *pos += 1;
+    let mut out = Vec::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err(JsonError::at(*pos, "unterminated string")),
+            Some(b'"') => {
+                *pos += 1;
+                return String::from_utf8(out).map_err(|_| JsonError::at(*pos, "invalid UTF-8"));
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                let esc = bytes
+                    .get(*pos)
+                    .ok_or_else(|| JsonError::at(*pos, "unterminated escape"))?;
+                *pos += 1;
+                match esc {
+                    b'"' => out.push(b'"'),
+                    b'\\' => out.push(b'\\'),
+                    b'/' => out.push(b'/'),
+                    b'n' => out.push(b'\n'),
+                    b'r' => out.push(b'\r'),
+                    b't' => out.push(b'\t'),
+                    b'b' => out.push(0x08),
+                    b'f' => out.push(0x0c),
+                    b'u' => {
+                        let first = parse_hex4(bytes, pos)?;
+                        let c = if (0xD800..0xDC00).contains(&first) {
+                            // High surrogate: a \uXXXX pair must follow.
+                            if bytes.get(*pos) == Some(&b'\\') && bytes.get(*pos + 1) == Some(&b'u')
+                            {
+                                *pos += 2;
+                                let second = parse_hex4(bytes, pos)?;
+                                let combined = 0x10000
+                                    + ((first - 0xD800) << 10)
+                                    + second.checked_sub(0xDC00).ok_or_else(|| {
+                                        JsonError::at(*pos, "invalid low surrogate")
+                                    })?;
+                                char::from_u32(combined)
+                                    .ok_or_else(|| JsonError::at(*pos, "invalid surrogate pair"))?
+                            } else {
+                                return Err(JsonError::at(*pos, "lone high surrogate"));
+                            }
+                        } else {
+                            char::from_u32(first)
+                                .ok_or_else(|| JsonError::at(*pos, "invalid \\u escape"))?
+                        };
+                        let mut buf = [0u8; 4];
+                        out.extend_from_slice(c.encode_utf8(&mut buf).as_bytes());
+                    }
+                    other => {
+                        return Err(JsonError::at(
+                            *pos,
+                            format!("bad escape '\\{}'", *other as char),
+                        ))
+                    }
+                }
+            }
+            Some(&b) => {
+                out.push(b);
+                *pos += 1;
+            }
+        }
+    }
+}
+
+fn parse_hex4(bytes: &[u8], pos: &mut usize) -> Result<u32, JsonError> {
+    let hex = bytes
+        .get(*pos..*pos + 4)
+        .ok_or_else(|| JsonError::at(*pos, "truncated \\u escape"))?;
+    let text = std::str::from_utf8(hex).map_err(|_| JsonError::at(*pos, "bad \\u escape"))?;
+    let v = u32::from_str_radix(text, 16).map_err(|_| JsonError::at(*pos, "bad \\u escape"))?;
+    *pos += 4;
+    Ok(v)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -38,5 +433,72 @@ mod tests {
         j.set("geomesa.indices.enabled", "z3");
         assert_eq!(j.get("geomesa.indices.enabled"), Some("z3"));
         assert_eq!(j.get("missing"), None);
+    }
+
+    fn roundtrip(text: &str) -> JsonValue {
+        let v = JsonValue::parse(text).unwrap();
+        let rendered = v.render();
+        assert_eq!(JsonValue::parse(&rendered).unwrap(), v, "{text}");
+        v
+    }
+
+    #[test]
+    fn scalars_roundtrip() {
+        assert_eq!(roundtrip("null"), JsonValue::Null);
+        assert_eq!(roundtrip("true"), JsonValue::Bool(true));
+        assert_eq!(roundtrip("-42"), JsonValue::Int(-42));
+        assert_eq!(roundtrip("9223372036854775807"), JsonValue::Int(i64::MAX));
+        assert_eq!(roundtrip("1.5"), JsonValue::Float(1.5));
+        assert_eq!(roundtrip("1e3"), JsonValue::Float(1000.0));
+        assert_eq!(roundtrip("\"héllo\\n\\\"w\\\"\""), {
+            JsonValue::Str("héllo\n\"w\"".into())
+        });
+    }
+
+    #[test]
+    fn unicode_escapes_decode() {
+        assert_eq!(
+            JsonValue::parse("\"\\u00e9\\ud83d\\ude00\"").unwrap(),
+            JsonValue::Str("é😀".into())
+        );
+        assert!(JsonValue::parse("\"\\ud83d\"").is_err());
+    }
+
+    #[test]
+    fn nested_structures_roundtrip() {
+        let v = roundtrip(r#"{"a":[1,2.5,"x",null,true],"b":{"c":[]}}"#);
+        assert_eq!(v.get("a").unwrap().as_array().unwrap().len(), 5);
+        assert_eq!(
+            v.get("b").unwrap().get("c"),
+            Some(&JsonValue::Array(vec![]))
+        );
+    }
+
+    #[test]
+    fn floats_keep_their_type_through_roundtrip() {
+        let v = JsonValue::Float(3.0);
+        assert_eq!(v.render(), "3.0");
+        assert_eq!(JsonValue::parse("3.0").unwrap(), JsonValue::Float(3.0));
+        assert_eq!(JsonValue::parse("3").unwrap(), JsonValue::Int(3));
+    }
+
+    #[test]
+    fn malformed_documents_are_rejected() {
+        for bad in [
+            "", "{", "[1,", "{\"a\"}", "{\"a\":}", "tru", "1.2.3", "\"abc", "[1] x", "nan", "-",
+            "{1:2}",
+        ] {
+            assert!(JsonValue::parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn builder_and_accessors() {
+        let v = JsonValue::object()
+            .with("op", JsonValue::Str("execute".into()))
+            .with("n", JsonValue::Int(3));
+        assert_eq!(v.get("op").unwrap().as_str(), Some("execute"));
+        assert_eq!(v.get("n").unwrap().as_int(), Some(3));
+        assert_eq!(v.get("missing"), None);
     }
 }

@@ -43,11 +43,12 @@ mod lexer;
 mod optimizer;
 mod parser;
 mod plan;
+pub mod wire;
 
 pub use ast::{Expr, Select, Statement};
 pub use client::{Client, QueryResult};
 pub use error::QlError;
-pub use json::Json;
+pub use json::{Json, JsonError, JsonValue};
 pub use lexer::{tokenize, Token};
 pub use optimizer::optimize;
 pub use parser::parse;

@@ -1,0 +1,308 @@
+//! Wire serialization of query results.
+//!
+//! `just-server` speaks length-prefixed JSON frames; this module defines
+//! how [`QueryResult`]s, [`Dataset`]s and cell [`Value`]s are encoded so
+//! a remote client reconstructs results **byte-identical** to embedded
+//! execution:
+//!
+//! * `NULL` → `null`, booleans → `true`/`false`.
+//! * Integers → `{"i": n}`, dates → `{"d": ms}` (tags keep the SQL type
+//!   distinction that bare JSON numbers would erase).
+//! * Floats → `{"f": "<shortest round-trip decimal>"}` — a string, so
+//!   `NaN`/`inf` (unrepresentable in JSON numbers) survive.
+//! * Strings → `{"s": "..."}`.
+//! * Geometries and GPS lists → `{"b": "<hex>"}` of the storage layer's
+//!   binary [`Value`] encoding, which is exact by construction.
+
+use crate::client::QueryResult;
+use crate::error::QlError;
+use crate::json::JsonValue;
+use crate::Result;
+use just_core::Dataset;
+use just_storage::{Row, Value};
+
+/// Encodes one cell value.
+pub fn value_to_json(v: &Value) -> JsonValue {
+    match v {
+        Value::Null => JsonValue::Null,
+        Value::Bool(b) => JsonValue::Bool(*b),
+        Value::Int(i) => JsonValue::object().with("i", JsonValue::Int(*i)),
+        Value::Float(f) => JsonValue::object().with("f", JsonValue::Str(f.to_string())),
+        Value::Str(s) => JsonValue::object().with("s", JsonValue::Str(s.clone())),
+        Value::Date(d) => JsonValue::object().with("d", JsonValue::Int(*d)),
+        Value::Geom(_) | Value::GpsList(_) => {
+            let mut buf = Vec::new();
+            v.encode(&mut buf);
+            JsonValue::object().with("b", JsonValue::Str(hex_encode(&buf)))
+        }
+    }
+}
+
+/// Decodes one cell value.
+pub fn value_from_json(j: &JsonValue) -> Result<Value> {
+    match j {
+        JsonValue::Null => Ok(Value::Null),
+        JsonValue::Bool(b) => Ok(Value::Bool(*b)),
+        JsonValue::Object(_) => {
+            if let Some(i) = j.get("i") {
+                return i
+                    .as_int()
+                    .map(Value::Int)
+                    .ok_or_else(|| bad("i not an int"));
+            }
+            if let Some(d) = j.get("d") {
+                return d
+                    .as_int()
+                    .map(Value::Date)
+                    .ok_or_else(|| bad("d not an int"));
+            }
+            if let Some(f) = j.get("f") {
+                let text = f.as_str().ok_or_else(|| bad("f not a string"))?;
+                return text
+                    .parse::<f64>()
+                    .map(Value::Float)
+                    .map_err(|_| bad(&format!("bad float '{text}'")));
+            }
+            if let Some(s) = j.get("s") {
+                return s
+                    .as_str()
+                    .map(|s| Value::Str(s.to_string()))
+                    .ok_or_else(|| bad("s not a string"));
+            }
+            if let Some(b) = j.get("b") {
+                let hex = b.as_str().ok_or_else(|| bad("b not a string"))?;
+                let bytes = hex_decode(hex).ok_or_else(|| bad("bad hex payload"))?;
+                let mut pos = 0;
+                let v = Value::decode(&bytes, &mut pos).ok_or_else(|| bad("bad binary value"))?;
+                if pos != bytes.len() {
+                    return Err(bad("trailing bytes in binary value"));
+                }
+                return Ok(v);
+            }
+            Err(bad("unknown value tag"))
+        }
+        other => Err(bad(&format!("unexpected value shape {other:?}"))),
+    }
+}
+
+/// Encodes a dataset as `{"columns": [...], "rows": [[...], ...]}`.
+pub fn dataset_to_json(d: &Dataset) -> JsonValue {
+    JsonValue::object()
+        .with(
+            "columns",
+            JsonValue::Array(
+                d.columns
+                    .iter()
+                    .map(|c| JsonValue::Str(c.clone()))
+                    .collect(),
+            ),
+        )
+        .with(
+            "rows",
+            JsonValue::Array(
+                d.rows
+                    .iter()
+                    .map(|r| JsonValue::Array(r.values.iter().map(value_to_json).collect()))
+                    .collect(),
+            ),
+        )
+}
+
+/// Decodes a dataset, checking row arity against the header.
+pub fn dataset_from_json(j: &JsonValue) -> Result<Dataset> {
+    let columns: Vec<String> = j
+        .get("columns")
+        .and_then(|c| c.as_array())
+        .ok_or_else(|| bad("missing columns"))?
+        .iter()
+        .map(|c| {
+            c.as_str()
+                .map(|s| s.to_string())
+                .ok_or_else(|| bad("bad column name"))
+        })
+        .collect::<Result<_>>()?;
+    let rows_json = j
+        .get("rows")
+        .and_then(|r| r.as_array())
+        .ok_or_else(|| bad("missing rows"))?;
+    let mut rows = Vec::with_capacity(rows_json.len());
+    for row in rows_json {
+        let cells = row.as_array().ok_or_else(|| bad("row not an array"))?;
+        if cells.len() != columns.len() {
+            return Err(bad("row arity mismatch"));
+        }
+        let values = cells
+            .iter()
+            .map(value_from_json)
+            .collect::<Result<Vec<_>>>()?;
+        rows.push(Row::new(values));
+    }
+    Ok(Dataset::new(columns, rows))
+}
+
+/// Encodes a query result (`{"kind":"data",...}` or
+/// `{"kind":"message","text":...}`).
+pub fn result_to_json(r: &QueryResult) -> JsonValue {
+    match r {
+        QueryResult::Data(d) => dataset_to_json(d).with("kind", JsonValue::Str("data".into())),
+        QueryResult::Message(m) => JsonValue::object()
+            .with("kind", JsonValue::Str("message".into()))
+            .with("text", JsonValue::Str(m.clone())),
+    }
+}
+
+/// Decodes a query result.
+pub fn result_from_json(j: &JsonValue) -> Result<QueryResult> {
+    match j.get("kind").and_then(|k| k.as_str()) {
+        Some("data") => Ok(QueryResult::Data(dataset_from_json(j)?)),
+        Some("message") => Ok(QueryResult::Message(
+            j.get("text")
+                .and_then(|t| t.as_str())
+                .ok_or_else(|| bad("missing message text"))?
+                .to_string(),
+        )),
+        _ => Err(bad("missing result kind")),
+    }
+}
+
+/// Encodes a [`QlError`] as `{"code": ..., "message": ...}`.
+pub fn error_to_json(e: &QlError) -> JsonValue {
+    JsonValue::object()
+        .with("code", JsonValue::Str(e.code().to_string()))
+        .with("message", JsonValue::Str(e.to_string()))
+}
+
+fn bad(msg: &str) -> QlError {
+    QlError::Remote {
+        code: "MALFORMED".into(),
+        message: format!("wire decode: {msg}"),
+    }
+}
+
+fn hex_encode(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        out.push_str(&format!("{b:02x}"));
+    }
+    out
+}
+
+fn hex_decode(s: &str) -> Option<Vec<u8>> {
+    if !s.len().is_multiple_of(2) {
+        return None;
+    }
+    (0..s.len())
+        .step_by(2)
+        .map(|i| u8::from_str_radix(s.get(i..i + 2)?, 16).ok())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use just_compress::gps::GpsSample;
+    use just_geo::{Geometry, LineString, Point};
+
+    fn roundtrip_value(v: Value) {
+        let j = value_to_json(&v);
+        let rendered = j.render();
+        let parsed = JsonValue::parse(&rendered).unwrap();
+        assert_eq!(value_from_json(&parsed).unwrap(), v, "{rendered}");
+    }
+
+    #[test]
+    fn every_value_variant_roundtrips_exactly() {
+        roundtrip_value(Value::Null);
+        roundtrip_value(Value::Bool(true));
+        roundtrip_value(Value::Int(i64::MIN));
+        roundtrip_value(Value::Float(std::f64::consts::PI));
+        roundtrip_value(Value::Float(f64::INFINITY));
+        roundtrip_value(Value::Float(f64::MIN_POSITIVE));
+        roundtrip_value(Value::Str("naïve \"quotes\"\nline2".into()));
+        roundtrip_value(Value::Date(1_600_000_000_000));
+        roundtrip_value(Value::Geom(Geometry::Point(Point::new(116.4, 39.9))));
+        roundtrip_value(Value::Geom(Geometry::LineString(LineString::new(vec![
+            Point::new(0.125, -7.5),
+            Point::new(1.0, 2.0),
+        ]))));
+    }
+
+    #[test]
+    fn nan_floats_survive_the_string_encoding() {
+        let j = value_to_json(&Value::Float(f64::NAN));
+        let back = value_from_json(&JsonValue::parse(&j.render()).unwrap()).unwrap();
+        match back {
+            Value::Float(f) => assert!(f.is_nan()),
+            other => panic!("wrong variant {other:?}"),
+        }
+    }
+
+    #[test]
+    fn gps_lists_roundtrip_post_quantization() {
+        // The storage codec quantizes coordinates on first encode; a value
+        // that has already been through storage round-trips bit-exactly.
+        let samples = vec![GpsSample {
+            lng: 116.4,
+            lat: 39.9,
+            time_ms: 1000,
+        }];
+        let mut buf = Vec::new();
+        Value::GpsList(samples).encode(&mut buf);
+        let stored = Value::decode(&buf, &mut 0).unwrap();
+        roundtrip_value(stored);
+    }
+
+    #[test]
+    fn datasets_and_results_roundtrip() {
+        let d = Dataset::new(
+            vec!["fid".into(), "geom".into()],
+            vec![
+                Row::new(vec![
+                    Value::Int(1),
+                    Value::Geom(Geometry::Point(Point::new(1.0, 2.0))),
+                ]),
+                Row::new(vec![Value::Int(2), Value::Null]),
+            ],
+        );
+        let j = result_to_json(&QueryResult::Data(d.clone()));
+        let parsed = JsonValue::parse(&j.render()).unwrap();
+        match result_from_json(&parsed).unwrap() {
+            QueryResult::Data(back) => assert_eq!(back, d),
+            other => panic!("wrong kind {other:?}"),
+        }
+
+        let j = result_to_json(&QueryResult::Message("3 rows inserted".into()));
+        match result_from_json(&JsonValue::parse(&j.render()).unwrap()).unwrap() {
+            QueryResult::Message(m) => assert_eq!(m, "3 rows inserted"),
+            other => panic!("wrong kind {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_wire_data_is_rejected_not_panicked() {
+        for bad in [
+            "{}",
+            r#"{"kind":"data"}"#,
+            r#"{"kind":"data","columns":["a"],"rows":[[{"i":1},{"i":2}]]}"#,
+            r#"{"kind":"data","columns":["a"],"rows":[[{"x":1}]]}"#,
+            r#"{"kind":"data","columns":["a"],"rows":[[{"b":"zz"}]]}"#,
+            r#"{"kind":"data","columns":["a"],"rows":[[{"f":"abc"}]]}"#,
+        ] {
+            let parsed = JsonValue::parse(bad).unwrap();
+            assert!(result_from_json(&parsed).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn error_json_carries_the_structured_code() {
+        let e = QlError::Parse("unexpected token".into());
+        let j = error_to_json(&e);
+        assert_eq!(j.get("code").unwrap().as_str(), Some("PARSE"));
+        assert!(j
+            .get("message")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .contains("unexpected token"));
+    }
+}

@@ -1,0 +1,92 @@
+//! `just-cli` — one-shot command-line client for `justd`.
+//!
+//! ```text
+//! just-cli --addr HOST:PORT [--user NAME] query "SELECT ..."
+//! just-cli --addr HOST:PORT metrics | health | ping | shutdown
+//! ```
+//!
+//! Exit codes: 0 success, 1 server/query error, 2 usage error.
+
+use just_server::RemoteClient;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut addr: Option<String> = None;
+    let mut user = "cli".to_string();
+    let mut rest: Vec<String> = Vec::new();
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" | "--user" => {
+                let flag = args[i].clone();
+                i += 1;
+                let Some(v) = args.get(i) else {
+                    eprintln!("just-cli: {flag} needs a value\n{USAGE}");
+                    return ExitCode::from(2);
+                };
+                if flag == "--addr" {
+                    addr = Some(v.clone());
+                } else {
+                    user = v.clone();
+                }
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => rest.push(other.to_string()),
+        }
+        i += 1;
+    }
+    let Some(addr) = addr else {
+        eprintln!("just-cli: --addr HOST:PORT is required\n{USAGE}");
+        return ExitCode::from(2);
+    };
+    let Some(command) = rest.first().map(String::as_str) else {
+        eprintln!("just-cli: missing command\n{USAGE}");
+        return ExitCode::from(2);
+    };
+
+    let mut client = match RemoteClient::connect(&addr, &user) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("just-cli: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let outcome = match command {
+        "query" => {
+            let Some(sql) = rest.get(1) else {
+                eprintln!("just-cli: query needs a SQL string\n{USAGE}");
+                return ExitCode::from(2);
+            };
+            client.execute(sql).map(|r| match r {
+                just_ql::QueryResult::Data(d) => d.render(100),
+                just_ql::QueryResult::Message(m) => m,
+            })
+        }
+        "metrics" => client.metrics_text(),
+        "health" => client.health(),
+        "ping" => client.ping(),
+        "shutdown" => client.shutdown_server(),
+        other => {
+            eprintln!("just-cli: unknown command '{other}'\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    match outcome {
+        Ok(text) => {
+            println!("{text}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("just-cli: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage: just-cli --addr HOST:PORT [--user NAME] \
+(query \"SQL\" | metrics | health | ping | shutdown)";

@@ -1,0 +1,90 @@
+//! `justd` — the JUST serving daemon.
+//!
+//! ```text
+//! justd --data DIR [--addr HOST:PORT] [--max-sessions N]
+//!       [--users a,b,c] [--port-file PATH]
+//! ```
+//!
+//! Opens (or creates) the engine at `--data`, binds the listener
+//! (`--addr` defaults to `127.0.0.1:0`, an ephemeral port), prints
+//! `justd listening on ADDR`, and serves until a client sends the
+//! `shutdown` command, then drains and exits 0. `--port-file` writes
+//! the bound port (just the number) to a file, which is how scripts
+//! coordinate with an ephemeral port (see `ci.sh`).
+
+use just_core::{Engine, EngineConfig};
+use just_server::{Server, ServerConfig};
+use std::process::ExitCode;
+use std::sync::Arc;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut data: Option<String> = None;
+    let mut cfg = ServerConfig::default();
+    let mut port_file: Option<String> = None;
+
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].clone();
+        if flag == "--help" || flag == "-h" {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        i += 1;
+        let Some(value) = args.get(i).cloned() else {
+            eprintln!("justd: {flag} needs a value\n{USAGE}");
+            return ExitCode::from(2);
+        };
+        match flag.as_str() {
+            "--data" => data = Some(value),
+            "--addr" => cfg.addr = value,
+            "--max-sessions" => match value.parse() {
+                Ok(n) => cfg.max_sessions = n,
+                Err(_) => {
+                    eprintln!("justd: bad --max-sessions '{value}'\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--users" => cfg.users = Some(value.split(',').map(|s| s.trim().to_string()).collect()),
+            "--port-file" => port_file = Some(value),
+            other => {
+                eprintln!("justd: unknown flag '{other}'\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+        i += 1;
+    }
+    let Some(data) = data else {
+        eprintln!("justd: --data DIR is required\n{USAGE}");
+        return ExitCode::from(2);
+    };
+
+    let engine = match Engine::open(std::path::Path::new(&data), EngineConfig::default()) {
+        Ok(e) => Arc::new(e),
+        Err(e) => {
+            eprintln!("justd: cannot open engine at '{data}': {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let handle = match Server::start(engine, cfg) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("justd: cannot bind: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let addr = handle.local_addr();
+    if let Some(path) = port_file {
+        if let Err(e) = std::fs::write(&path, format!("{}\n", addr.port())) {
+            eprintln!("justd: cannot write port file '{path}': {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    println!("justd listening on {addr}");
+    handle.wait();
+    println!("justd: drained, bye");
+    ExitCode::SUCCESS
+}
+
+const USAGE: &str = "usage: justd --data DIR [--addr HOST:PORT] [--max-sessions N] \
+[--users a,b,c] [--port-file PATH]";

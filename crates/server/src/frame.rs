@@ -1,0 +1,184 @@
+//! Length-prefixed framing.
+//!
+//! ```text
+//! frame := len(u32, big-endian) payload(len bytes of UTF-8 JSON)
+//! ```
+//!
+//! The length prefix is read before any payload allocation, so an
+//! oversized frame is rejected by *looking at four bytes* — the server
+//! never buffers unbounded input. Reads are resumable across socket
+//! timeouts: the server polls with a short socket read timeout and a
+//! `keep_waiting` callback decides (between ticks) whether to keep
+//! blocking, which is how idle timeouts and graceful-shutdown draining
+//! are implemented without extra threads.
+
+use std::io::{ErrorKind, Read, Write};
+
+/// Framing failures.
+#[derive(Debug)]
+pub enum FrameError {
+    /// Underlying socket error (including mid-frame EOF).
+    Io(std::io::Error),
+    /// The peer announced a frame larger than the configured cap.
+    TooLarge {
+        /// Announced payload length.
+        len: usize,
+        /// Configured maximum.
+        max: usize,
+    },
+    /// Clean close: EOF on a frame boundary.
+    Closed,
+    /// The `keep_waiting` policy gave up while idle on a frame boundary
+    /// (idle timeout or shutdown drain).
+    IdleTimeout,
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "frame io: {e}"),
+            FrameError::TooLarge { len, max } => {
+                write!(f, "frame of {len} bytes exceeds cap of {max}")
+            }
+            FrameError::Closed => write!(f, "connection closed"),
+            FrameError::IdleTimeout => write!(f, "idle timeout"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<std::io::Error> for FrameError {
+    fn from(e: std::io::Error) -> Self {
+        FrameError::Io(e)
+    }
+}
+
+/// Writes one frame (length prefix + payload) and flushes.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> std::io::Result<()> {
+    w.write_all(&(payload.len() as u32).to_be_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one frame, enforcing the size cap *before* allocating.
+///
+/// `keep_waiting` is consulted whenever a read times out (socket read
+/// timeout = the server's poll tick): return `false` to stop waiting.
+/// Giving up (or EOF) on a frame boundary yields the clean
+/// [`FrameError::IdleTimeout`] / [`FrameError::Closed`]; mid-frame it is
+/// an [`FrameError::Io`] error, because bytes were lost.
+pub fn read_frame(
+    r: &mut impl Read,
+    max: usize,
+    keep_waiting: &mut dyn FnMut() -> bool,
+) -> Result<Vec<u8>, FrameError> {
+    let mut header = [0u8; 4];
+    fill(r, &mut header, keep_waiting, true)?;
+    let len = u32::from_be_bytes(header) as usize;
+    if len > max {
+        return Err(FrameError::TooLarge { len, max });
+    }
+    let mut payload = vec![0u8; len];
+    fill(r, &mut payload, keep_waiting, false)?;
+    Ok(payload)
+}
+
+fn fill(
+    r: &mut impl Read,
+    buf: &mut [u8],
+    keep_waiting: &mut dyn FnMut() -> bool,
+    frame_boundary: bool,
+) -> Result<(), FrameError> {
+    let mut pos = 0usize;
+    while pos < buf.len() {
+        match r.read(&mut buf[pos..]) {
+            Ok(0) => {
+                return Err(if pos == 0 && frame_boundary {
+                    FrameError::Closed
+                } else {
+                    FrameError::Io(ErrorKind::UnexpectedEof.into())
+                });
+            }
+            Ok(n) => pos += n,
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                if !keep_waiting() {
+                    return Err(if pos == 0 && frame_boundary {
+                        FrameError::IdleTimeout
+                    } else {
+                        FrameError::Io(e)
+                    });
+                }
+            }
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn always() -> impl FnMut() -> bool {
+        || true
+    }
+
+    #[test]
+    fn roundtrip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"{\"op\":\"ping\"}").unwrap();
+        let mut r = Cursor::new(buf);
+        let got = read_frame(&mut r, 1024, &mut always()).unwrap();
+        assert_eq!(got, b"{\"op\":\"ping\"}");
+    }
+
+    #[test]
+    fn empty_payload_is_legal() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"").unwrap();
+        let got = read_frame(&mut Cursor::new(buf), 16, &mut always()).unwrap();
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn oversized_frame_rejected_before_allocation() {
+        // Header says 1 GiB; the payload never follows. The cap must trip
+        // on the header alone.
+        let buf = (1u32 << 30).to_be_bytes().to_vec();
+        match read_frame(&mut Cursor::new(buf), 1024, &mut always()) {
+            Err(FrameError::TooLarge { len, max }) => {
+                assert_eq!(len, 1 << 30);
+                assert_eq!(max, 1024);
+            }
+            other => panic!("expected TooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn eof_on_boundary_is_clean_close() {
+        match read_frame(&mut Cursor::new(Vec::new()), 16, &mut always()) {
+            Err(FrameError::Closed) => {}
+            other => panic!("expected Closed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn eof_mid_frame_is_an_error() {
+        // Announce 10 bytes, deliver 3.
+        let mut buf = 10u32.to_be_bytes().to_vec();
+        buf.extend_from_slice(b"abc");
+        match read_frame(&mut Cursor::new(buf), 16, &mut always()) {
+            Err(FrameError::Io(e)) => assert_eq!(e.kind(), ErrorKind::UnexpectedEof),
+            other => panic!("expected Io, got {other:?}"),
+        }
+        // Truncated header is also an error, not a clean close.
+        let buf = vec![0u8, 0];
+        assert!(matches!(
+            read_frame(&mut Cursor::new(buf), 16, &mut always()),
+            Err(FrameError::Io(_))
+        ));
+    }
+}

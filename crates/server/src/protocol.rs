@@ -1,0 +1,290 @@
+//! The request/response vocabulary of the wire protocol.
+//!
+//! Every frame payload is one JSON object. Requests carry an `"op"`
+//! discriminator; responses carry `"ok"`. The first request on a
+//! connection must be `hello`, which binds the connection to a named
+//! user session (the paper's multi-tenant namespace isolation — Section
+//! VII-A); operational commands (`ping`, `health`, `metrics`,
+//! `shutdown`) are allowed without one.
+//!
+//! ```text
+//! -> {"op":"hello","user":"alice"}
+//! <- {"ok":true,"text":"hello alice"}
+//! -> {"op":"execute","sql":"SELECT ..."}
+//! <- {"ok":true,"result":{"kind":"data","columns":[...],"rows":[...]}}
+//! -> {"op":"execute","sql":"SELEKT"}
+//! <- {"ok":false,"code":"PARSE","message":"parse error: ..."}
+//! ```
+
+use just_core::Dataset;
+use just_ql::{wire, JsonValue, QlError, QueryResult};
+
+/// Server-layer error codes (SQL-layer codes come from
+/// [`QlError::code`]).
+pub mod codes {
+    /// Admission control shed this connection; retry later.
+    pub const BUSY: &str = "BUSY";
+    /// Missing/failed `hello`, or a user not on the allowlist.
+    pub const AUTH: &str = "AUTH";
+    /// Unparseable frame payload or unknown request shape.
+    pub const MALFORMED: &str = "MALFORMED";
+    /// Frame exceeded the size cap.
+    pub const TOO_LARGE: &str = "TOO_LARGE";
+    /// Transport failure talking to a remote server.
+    pub const IO: &str = "IO";
+}
+
+/// One client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Binds the connection to a user session. Must come first.
+    Hello {
+        /// Session user name (the namespace).
+        user: String,
+    },
+    /// Parse/optimize/execute one statement.
+    Execute {
+        /// The JustQL statement.
+        sql: String,
+    },
+    /// Execute a SELECT and return rows plus the per-operator trace.
+    ExplainAnalyze {
+        /// The JustQL query.
+        sql: String,
+    },
+    /// Prometheus-style text exposition of the `just-obs` registry.
+    Metrics,
+    /// Liveness/readiness check.
+    Health,
+    /// Round-trip no-op.
+    Ping,
+    /// Ask the server to drain and stop.
+    Shutdown,
+}
+
+impl Request {
+    /// Encodes as a JSON object.
+    pub fn to_json(&self) -> JsonValue {
+        let op = |name: &str| JsonValue::object().with("op", JsonValue::Str(name.into()));
+        match self {
+            Request::Hello { user } => op("hello").with("user", JsonValue::Str(user.clone())),
+            Request::Execute { sql } => op("execute").with("sql", JsonValue::Str(sql.clone())),
+            Request::ExplainAnalyze { sql } => {
+                op("explain_analyze").with("sql", JsonValue::Str(sql.clone()))
+            }
+            Request::Metrics => op("metrics"),
+            Request::Health => op("health"),
+            Request::Ping => op("ping"),
+            Request::Shutdown => op("shutdown"),
+        }
+    }
+
+    /// Decodes a request, reporting *what* is malformed.
+    pub fn from_json(j: &JsonValue) -> Result<Request, String> {
+        let op = j
+            .get("op")
+            .and_then(|o| o.as_str())
+            .ok_or_else(|| "missing 'op'".to_string())?;
+        let str_field = |name: &str| -> Result<String, String> {
+            j.get(name)
+                .and_then(|f| f.as_str())
+                .map(|s| s.to_string())
+                .ok_or_else(|| format!("'{op}' needs a string '{name}'"))
+        };
+        match op {
+            "hello" => Ok(Request::Hello {
+                user: str_field("user")?,
+            }),
+            "execute" => Ok(Request::Execute {
+                sql: str_field("sql")?,
+            }),
+            "explain_analyze" => Ok(Request::ExplainAnalyze {
+                sql: str_field("sql")?,
+            }),
+            "metrics" => Ok(Request::Metrics),
+            "health" => Ok(Request::Health),
+            "ping" => Ok(Request::Ping),
+            "shutdown" => Ok(Request::Shutdown),
+            other => Err(format!("unknown op '{other}'")),
+        }
+    }
+}
+
+/// One server response.
+#[derive(Debug)]
+pub enum Response {
+    /// A query result (rows or a status message).
+    Result(QueryResult),
+    /// An `EXPLAIN ANALYZE` result: rows plus the rendered trace tree.
+    Traced {
+        /// The query's rows.
+        data: Dataset,
+        /// `Trace::render()` output.
+        trace: String,
+    },
+    /// Plain text (metrics exposition, health, pong).
+    Text(String),
+    /// A typed error.
+    Error {
+        /// Structured code (`codes::*` or [`QlError::code`]).
+        code: String,
+        /// Human-readable message.
+        message: String,
+    },
+}
+
+impl Response {
+    /// A typed error from a code and message.
+    pub fn error(code: &str, message: impl Into<String>) -> Response {
+        Response::Error {
+            code: code.to_string(),
+            message: message.into(),
+        }
+    }
+
+    /// A typed error from a SQL-layer failure.
+    pub fn from_ql_error(e: &QlError) -> Response {
+        Response::Error {
+            code: e.code().to_string(),
+            message: e.to_string(),
+        }
+    }
+
+    /// Encodes as a JSON object.
+    pub fn to_json(&self) -> JsonValue {
+        match self {
+            Response::Result(r) => JsonValue::object()
+                .with("ok", JsonValue::Bool(true))
+                .with("result", wire::result_to_json(r)),
+            Response::Traced { data, trace } => JsonValue::object()
+                .with("ok", JsonValue::Bool(true))
+                .with(
+                    "result",
+                    wire::dataset_to_json(data).with("kind", JsonValue::Str("data".into())),
+                )
+                .with("trace", JsonValue::Str(trace.clone())),
+            Response::Text(t) => JsonValue::object()
+                .with("ok", JsonValue::Bool(true))
+                .with("text", JsonValue::Str(t.clone())),
+            Response::Error { code, message } => JsonValue::object()
+                .with("ok", JsonValue::Bool(false))
+                .with("code", JsonValue::Str(code.clone()))
+                .with("message", JsonValue::Str(message.clone())),
+        }
+    }
+
+    /// Decodes a response.
+    pub fn from_json(j: &JsonValue) -> Result<Response, QlError> {
+        match j.get("ok").and_then(|o| o.as_bool()) {
+            Some(true) => {
+                if let Some(result) = j.get("result") {
+                    if let Some(trace) = j.get("trace").and_then(|t| t.as_str()) {
+                        return Ok(Response::Traced {
+                            data: wire::dataset_from_json(result)?,
+                            trace: trace.to_string(),
+                        });
+                    }
+                    return Ok(Response::Result(wire::result_from_json(result)?));
+                }
+                if let Some(text) = j.get("text").and_then(|t| t.as_str()) {
+                    return Ok(Response::Text(text.to_string()));
+                }
+                Err(QlError::from_wire(
+                    codes::MALFORMED,
+                    "ok response without result or text",
+                ))
+            }
+            Some(false) => Ok(Response::Error {
+                code: j
+                    .get("code")
+                    .and_then(|c| c.as_str())
+                    .unwrap_or(codes::MALFORMED)
+                    .to_string(),
+                message: j
+                    .get("message")
+                    .and_then(|m| m.as_str())
+                    .unwrap_or("")
+                    .to_string(),
+            }),
+            None => Err(QlError::from_wire(codes::MALFORMED, "missing 'ok'")),
+        }
+    }
+
+    /// Renders to frame-payload bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        self.to_json().render().into_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use just_storage::{Row, Value};
+
+    #[test]
+    fn requests_roundtrip() {
+        let cases = [
+            Request::Hello {
+                user: "alice".into(),
+            },
+            Request::Execute {
+                sql: "SELECT 1".into(),
+            },
+            Request::ExplainAnalyze {
+                sql: "SELECT fid FROM t".into(),
+            },
+            Request::Metrics,
+            Request::Health,
+            Request::Ping,
+            Request::Shutdown,
+        ];
+        for req in cases {
+            let j = JsonValue::parse(&req.to_json().render()).unwrap();
+            assert_eq!(Request::from_json(&j).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn malformed_requests_name_the_problem() {
+        let no_op = JsonValue::parse("{}").unwrap();
+        assert!(Request::from_json(&no_op).unwrap_err().contains("op"));
+        let bad_op = JsonValue::parse(r#"{"op":"fly"}"#).unwrap();
+        assert!(Request::from_json(&bad_op).unwrap_err().contains("fly"));
+        let no_sql = JsonValue::parse(r#"{"op":"execute"}"#).unwrap();
+        assert!(Request::from_json(&no_sql).unwrap_err().contains("sql"));
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        let data = Dataset::new(vec!["n".into()], vec![Row::new(vec![Value::Int(7)])]);
+        let r = Response::Result(QueryResult::Data(data.clone()));
+        let j = JsonValue::parse(std::str::from_utf8(&r.to_bytes()).unwrap()).unwrap();
+        match Response::from_json(&j).unwrap() {
+            Response::Result(QueryResult::Data(d)) => assert_eq!(d, data),
+            other => panic!("wrong shape {other:?}"),
+        }
+
+        let r = Response::Traced {
+            data: data.clone(),
+            trace: "query 1ms\n  scan 1ms".into(),
+        };
+        let j = JsonValue::parse(&r.to_json().render()).unwrap();
+        match Response::from_json(&j).unwrap() {
+            Response::Traced { data: d, trace } => {
+                assert_eq!(d, data);
+                assert!(trace.contains("scan"));
+            }
+            other => panic!("wrong shape {other:?}"),
+        }
+
+        let r = Response::error(codes::BUSY, "at capacity (64 sessions)");
+        let j = JsonValue::parse(&r.to_json().render()).unwrap();
+        match Response::from_json(&j).unwrap() {
+            Response::Error { code, message } => {
+                assert_eq!(code, "BUSY");
+                assert!(message.contains("capacity"));
+            }
+            other => panic!("wrong shape {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,420 @@
+//! The serving loop: listener, admission control, per-connection
+//! sessions, graceful shutdown.
+//!
+//! One OS thread per admitted connection, with the connection count
+//! capped by an admission gate (an atomic compare-to-cap, the
+//! semaphore's fast path): connections above the cap are *shed* with a
+//! typed `BUSY` response rather than queued, which is what keeps tail
+//! latency bounded under overload — the paper's service layer makes the
+//! same choice by capping the shared execution context's session pool
+//! (Section VII-A).
+//!
+//! Shutdown is coordinated, not abrupt: the flag flips, the listener is
+//! woken by a self-connection, and every worker gets a drain grace
+//! window to finish (and answer) an in-flight request before its socket
+//! closes. In-flight responses are never dropped.
+
+use crate::frame::{read_frame, write_frame, FrameError};
+use crate::protocol::{codes, Request, Response};
+use just_core::{Engine, SessionManager};
+use just_obs::metrics::{Counter, Histogram};
+use just_ql::{Client, JsonValue};
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tuning knobs for [`Server::start`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Admission cap: connections admitted concurrently. Above this,
+    /// new connections are shed with `BUSY`.
+    pub max_sessions: usize,
+    /// Idle timeout: a connection with no request for this long is
+    /// closed.
+    pub read_timeout: Duration,
+    /// Socket write timeout (a stalled reader cannot wedge a worker
+    /// forever).
+    pub write_timeout: Duration,
+    /// How long, after shutdown begins, workers keep accepting one more
+    /// request from an already-connected client before closing.
+    pub drain_grace: Duration,
+    /// The poll tick: socket read timeout between `keep_waiting`
+    /// consultations. Smaller = faster shutdown, more wakeups.
+    pub poll_interval: Duration,
+    /// Frame size cap, enforced from the 4-byte header before any
+    /// payload allocation.
+    pub max_frame_bytes: usize,
+    /// User allowlist for `hello`; `None` admits any user name.
+    pub users: Option<Vec<String>>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            max_sessions: 64,
+            read_timeout: Duration::from_secs(30),
+            write_timeout: Duration::from_secs(10),
+            drain_grace: Duration::from_millis(200),
+            poll_interval: Duration::from_millis(20),
+            max_frame_bytes: 32 * 1024 * 1024,
+            users: None,
+        }
+    }
+}
+
+/// Per-server metric handles (all registered in the global `just-obs`
+/// registry).
+struct ServerMetrics {
+    accepted: Counter,
+    closed: Counter,
+    rejected_busy: Counter,
+    requests: Counter,
+    request_errors: Counter,
+    latency: Histogram,
+}
+
+impl ServerMetrics {
+    fn new() -> Self {
+        let r = just_obs::metrics::global();
+        ServerMetrics {
+            accepted: r.counter("just_server_connections_accepted"),
+            closed: r.counter("just_server_connections_closed"),
+            rejected_busy: r.counter("just_server_rejected_busy"),
+            requests: r.counter("just_server_requests"),
+            request_errors: r.counter("just_server_request_errors"),
+            latency: r.histogram("just_server_request_latency_us"),
+        }
+    }
+}
+
+/// State shared by the listener, the workers and the handle.
+struct Shared {
+    sessions: SessionManager,
+    cfg: ServerConfig,
+    addr: SocketAddr,
+    shutdown: AtomicBool,
+    active: AtomicUsize,
+    metrics: ServerMetrics,
+}
+
+/// The JustQL network server.
+pub struct Server;
+
+impl Server {
+    /// Binds `cfg.addr` and starts serving `engine`. Returns once the
+    /// listener is accepting; serving continues on background threads
+    /// until [`ServerHandle::shutdown`].
+    pub fn start(engine: Arc<Engine>, cfg: ServerConfig) -> io::Result<ServerHandle> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            sessions: SessionManager::new(engine),
+            cfg,
+            addr,
+            shutdown: AtomicBool::new(false),
+            active: AtomicUsize::new(0),
+            metrics: ServerMetrics::new(),
+        });
+        let accept_shared = shared.clone();
+        let listener_thread = std::thread::Builder::new()
+            .name("justd-accept".to_string())
+            .spawn(move || accept_loop(listener, accept_shared))?;
+        Ok(ServerHandle {
+            addr,
+            shared,
+            listener_thread: Some(listener_thread),
+        })
+    }
+}
+
+/// A running server: address, liveness, shutdown.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    listener_thread: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Connections currently admitted.
+    pub fn active_connections(&self) -> usize {
+        self.shared.active.load(Ordering::Acquire)
+    }
+
+    /// Whether shutdown has been requested.
+    pub fn is_shutting_down(&self) -> bool {
+        self.shared.shutdown.load(Ordering::Acquire)
+    }
+
+    /// Begins graceful shutdown: stops admitting, lets workers drain
+    /// in-flight requests. Returns immediately; use [`Self::join`] to
+    /// wait for the drain.
+    pub fn shutdown(&self) {
+        request_shutdown(&self.shared);
+    }
+
+    /// Shuts down (if not already) and blocks until the listener and
+    /// every worker have exited — i.e. until the drain completes.
+    pub fn join(mut self) {
+        self.shutdown();
+        if let Some(t) = self.listener_thread.take() {
+            let _ = t.join();
+        }
+    }
+
+    /// Blocks until the server stops *on its own* — i.e. until some
+    /// client sends the wire `shutdown` command — then waits out the
+    /// drain. This is `justd`'s main loop.
+    pub fn wait(mut self) {
+        if let Some(t) = self.listener_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+        if let Some(t) = self.listener_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Flips the shutdown flag and wakes the blocking `accept` with a
+/// throwaway self-connection.
+fn request_shutdown(shared: &Shared) {
+    if !shared.shutdown.swap(true, Ordering::AcqRel) {
+        let _ = TcpStream::connect(shared.addr);
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    let mut workers: Vec<JoinHandle<()>> = Vec::new();
+    loop {
+        let stream = match listener.accept() {
+            Ok((s, _)) => s,
+            Err(_) => {
+                if shared.shutdown.load(Ordering::Acquire) {
+                    break;
+                }
+                continue;
+            }
+        };
+        if shared.shutdown.load(Ordering::Acquire) {
+            // The wake-up self-connection (or a late client) — refuse.
+            refuse(stream, &shared, codes::BUSY, "server shutting down");
+            break;
+        }
+        // Admission gate: claim a slot or shed the connection. The
+        // claim is a CAS loop against the cap, so the count can never
+        // overshoot no matter how many acceptors raced here.
+        let admitted = shared
+            .active
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |n| {
+                (n < shared.cfg.max_sessions).then_some(n + 1)
+            })
+            .is_ok();
+        if !admitted {
+            shared.metrics.rejected_busy.inc();
+            refuse(
+                stream,
+                &shared,
+                codes::BUSY,
+                format!(
+                    "server at capacity ({} sessions); retry later",
+                    shared.cfg.max_sessions
+                ),
+            );
+            continue;
+        }
+        shared.metrics.accepted.inc();
+        let worker_shared = shared.clone();
+        let handle = std::thread::Builder::new()
+            .name("justd-conn".to_string())
+            .spawn(move || {
+                serve_connection(stream, &worker_shared);
+                worker_shared.active.fetch_sub(1, Ordering::AcqRel);
+                worker_shared.metrics.closed.inc();
+            });
+        match handle {
+            Ok(h) => workers.push(h),
+            Err(_) => {
+                // Spawn failed: release the claimed slot.
+                shared.active.fetch_sub(1, Ordering::AcqRel);
+                shared.metrics.closed.inc();
+            }
+        }
+        // Reap finished workers so the vec does not grow without bound
+        // on long-lived servers.
+        workers.retain(|h| !h.is_finished());
+    }
+    // Drain: every admitted worker finishes (and answers) its in-flight
+    // request before we return.
+    for h in workers {
+        let _ = h.join();
+    }
+}
+
+/// Sheds a connection with a typed error frame, best-effort.
+fn refuse(mut stream: TcpStream, shared: &Shared, code: &str, message: impl Into<String>) {
+    let _ = stream.set_write_timeout(Some(shared.cfg.write_timeout));
+    let _ = write_frame(&mut stream, &Response::error(code, message).to_bytes());
+}
+
+/// One connection's lifetime: frames in, frames out, until close,
+/// idle timeout, or shutdown drain.
+fn serve_connection(mut stream: TcpStream, shared: &Shared) {
+    if stream
+        .set_read_timeout(Some(shared.cfg.poll_interval))
+        .is_err()
+        || stream
+            .set_write_timeout(Some(shared.cfg.write_timeout))
+            .is_err()
+    {
+        return;
+    }
+    let mut client: Option<Client> = None;
+    loop {
+        // The wait policy: each poll tick re-checks how long this read
+        // has been idle. During shutdown only `drain_grace` is allowed
+        // (enough for a request already in flight on the wire), else
+        // the full idle timeout.
+        let started = Instant::now();
+        let mut keep_waiting = || {
+            let budget = if shared.shutdown.load(Ordering::Acquire) {
+                shared.cfg.drain_grace
+            } else {
+                shared.cfg.read_timeout
+            };
+            started.elapsed() < budget
+        };
+        let payload = match read_frame(&mut stream, shared.cfg.max_frame_bytes, &mut keep_waiting) {
+            Ok(p) => p,
+            Err(FrameError::Closed) | Err(FrameError::IdleTimeout) => return,
+            Err(FrameError::TooLarge { len, max }) => {
+                // The announced payload is still on the wire; the
+                // stream cannot be resynchronized, so answer and close.
+                shared.metrics.request_errors.inc();
+                let _ = write_frame(
+                    &mut stream,
+                    &Response::error(
+                        codes::TOO_LARGE,
+                        format!("frame of {len} bytes exceeds cap of {max}"),
+                    )
+                    .to_bytes(),
+                );
+                return;
+            }
+            Err(FrameError::Io(_)) => return,
+        };
+        let start = Instant::now();
+        shared.metrics.requests.inc();
+        let (response, close_after) = handle_payload(&payload, &mut client, shared);
+        if matches!(response, Response::Error { .. }) {
+            shared.metrics.request_errors.inc();
+        }
+        shared.metrics.latency.record_duration(start.elapsed());
+        if write_frame(&mut stream, &response.to_bytes()).is_err() {
+            return;
+        }
+        if close_after {
+            return;
+        }
+    }
+}
+
+/// Decodes and dispatches one request payload. Returns the response and
+/// whether the connection should close afterwards.
+fn handle_payload(
+    payload: &[u8],
+    client: &mut Option<Client>,
+    shared: &Shared,
+) -> (Response, bool) {
+    let text = match std::str::from_utf8(payload) {
+        Ok(t) => t,
+        Err(_) => {
+            return (
+                Response::error(codes::MALFORMED, "frame payload is not UTF-8"),
+                false,
+            )
+        }
+    };
+    let json = match JsonValue::parse(text) {
+        Ok(j) => j,
+        Err(e) => return (Response::error(codes::MALFORMED, e.to_string()), false),
+    };
+    let request = match Request::from_json(&json) {
+        Ok(r) => r,
+        Err(e) => return (Response::error(codes::MALFORMED, e), false),
+    };
+    match request {
+        Request::Hello { user } => {
+            if let Some(allow) = &shared.cfg.users {
+                if !allow.iter().any(|u| u == &user) {
+                    return (
+                        Response::error(codes::AUTH, format!("unknown user '{user}'")),
+                        false,
+                    );
+                }
+            }
+            let session = shared.sessions.session(&user);
+            *client = Some(Client::new(session));
+            (Response::Text(format!("hello {user}")), false)
+        }
+        Request::Execute { sql } => match client {
+            Some(c) => match c.execute(&sql) {
+                Ok(r) => (Response::Result(r), false),
+                Err(e) => (Response::from_ql_error(&e), false),
+            },
+            None => (auth_required(), false),
+        },
+        Request::ExplainAnalyze { sql } => match client {
+            Some(c) => match c.explain_analyze(&sql) {
+                Ok((data, trace)) => (
+                    Response::Traced {
+                        data,
+                        trace: trace.render(),
+                    },
+                    false,
+                ),
+                Err(e) => (Response::from_ql_error(&e), false),
+            },
+            None => (auth_required(), false),
+        },
+        Request::Metrics => (
+            Response::Text(just_obs::metrics::global().render_text()),
+            false,
+        ),
+        Request::Health => {
+            let status = if shared.shutdown.load(Ordering::Acquire) {
+                "draining"
+            } else {
+                "ok"
+            };
+            (Response::Text(status.to_string()), false)
+        }
+        Request::Ping => (Response::Text("pong".to_string()), false),
+        Request::Shutdown => {
+            // The flag flips now; the `true` makes serve_connection
+            // close after the acknowledgement is on the wire, so the
+            // requester always learns the shutdown was accepted.
+            request_shutdown(shared);
+            (Response::Text("shutting down".to_string()), true)
+        }
+    }
+}
+
+fn auth_required() -> Response {
+    Response::error(codes::AUTH, "send 'hello' with a user name first")
+}

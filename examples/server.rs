@@ -1,0 +1,57 @@
+//! Embedded vs served execution of the same query.
+//!
+//! Starts a `just-server` on an ephemeral port over the same engine the
+//! embedded client uses, runs one spatial query both ways, and shows
+//! the results agree — switching between in-process and remote
+//! execution is a constructor swap.
+//!
+//! ```text
+//! cargo run --example server
+//! ```
+
+use just::engine::{Engine, EngineConfig, SessionManager};
+use just::server::{RemoteClient, Server, ServerConfig};
+use just::sql::Client;
+use std::sync::Arc;
+
+fn main() {
+    let dir = std::env::temp_dir().join(format!("just-example-server-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let engine = Arc::new(Engine::open(&dir, EngineConfig::default()).unwrap());
+
+    // ---- Embedded: a client directly on a session ----------------------
+    let sessions = SessionManager::new(engine.clone());
+    let mut embedded = Client::new(sessions.session("demo"));
+    embedded
+        .execute("CREATE TABLE pts (fid integer:primary key, time date, geom point)")
+        .unwrap();
+    for (fid, lng, lat) in [(1, 116.40, 39.90), (2, 116.45, 39.92), (3, 2.35, 48.85)] {
+        embedded
+            .execute(&format!(
+                "INSERT INTO pts VALUES ({fid}, 0, st_makePoint({lng}, {lat}))"
+            ))
+            .unwrap();
+    }
+    let sql = "SELECT fid FROM pts WHERE geom WITHIN st_makeMBR(116, 39, 117, 40) ORDER BY fid";
+    let local = embedded.execute(sql).unwrap().into_dataset().unwrap();
+    println!("embedded result:\n{}", local.render(10));
+
+    // ---- Served: the same engine behind a socket -----------------------
+    let handle = Server::start(engine, ServerConfig::default()).unwrap();
+    let addr = handle.local_addr();
+    println!("server listening on {addr}");
+
+    // Same user name = same namespace = same tables.
+    let mut remote = RemoteClient::connect(addr, "demo").unwrap();
+    let served = remote.execute(sql).unwrap().into_dataset().unwrap();
+    println!("served result:\n{}", served.render(10));
+    assert_eq!(local, served, "served result must match embedded");
+
+    // The traced path works remotely too.
+    let (_, trace) = remote.explain_analyze(sql).unwrap();
+    println!("remote EXPLAIN ANALYZE:\n{trace}");
+
+    handle.join();
+    println!("server drained; embedded and served results matched.");
+    std::fs::remove_dir_all(&dir).ok();
+}

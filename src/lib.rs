@@ -20,6 +20,7 @@
 //! | [`engine`] | `just-core` | catalog, queries, k-NN, sessions |
 //! | [`analysis`] | `just-analysis` | trajectory ops, map matching, DBSCAN |
 //! | [`sql`] | `just-ql` | the JustQL parser/optimizer/executor |
+//! | [`server`] | `just-server` | wire protocol, `justd` daemon, remote client |
 //! | [`baselines`] | `just-baselines` | comparison engines |
 //! | [`obs`] | `just-obs` | tracing, metrics registry, EXPLAIN ANALYZE substrate |
 //!
@@ -67,6 +68,9 @@ pub use just_analysis as analysis;
 
 /// The JustQL SQL layer (`just-ql`).
 pub use just_ql as sql;
+
+/// The network serving layer (`just-server`).
+pub use just_server as server;
 
 /// Baseline engines for the evaluation (`just-baselines`).
 pub use just_baselines as baselines;
