@@ -48,6 +48,26 @@ impl QlError {
         }
     }
 
+    /// The bare human-readable message, without the code/category prefix
+    /// that [`fmt::Display`] adds. This is what goes on the wire next to
+    /// [`QlError::code`]: serializing the Display output instead would
+    /// make [`QlError::from_wire`] re-wrap an already-prefixed string,
+    /// and clients would print "parse error: parse error: ...".
+    pub fn message(&self) -> String {
+        match self {
+            QlError::Lex(m) | QlError::Parse(m) | QlError::Analyze(m) | QlError::Eval(m) => {
+                m.clone()
+            }
+            QlError::Engine(e) => match e {
+                just_core::CoreError::Catalog(m) | just_core::CoreError::Invalid(m) => m.clone(),
+                just_core::CoreError::Storage(e) => e.to_string(),
+                just_core::CoreError::Kv(e) => e.to_string(),
+                just_core::CoreError::Io(e) => e.to_string(),
+            },
+            QlError::Remote { message, .. } => message.clone(),
+        }
+    }
+
     /// Reconstructs an error from a wire `(code, message)` pair. Codes
     /// with a structural local variant map back onto it; everything else
     /// (engine internals, server-layer codes) becomes [`QlError::Remote`]
@@ -108,6 +128,24 @@ mod tests {
             let (code, msg) = (e.code().to_string(), e.to_string());
             let back = QlError::from_wire(&code, &msg);
             assert_eq!(back.code(), code, "{msg}");
+        }
+    }
+
+    #[test]
+    fn wire_messages_do_not_double_prefix() {
+        // A (code, message) pair built from code()/message() must
+        // reconstruct an error that *displays* identically — the bug
+        // mode is "parse error: parse error: oops".
+        let cases = [
+            QlError::Parse("oops".into()),
+            QlError::Lex("bad char".into()),
+            QlError::Eval("division by zero".into()),
+            QlError::Engine(just_core::CoreError::Catalog("no such table".into())),
+        ];
+        for e in cases {
+            let back = QlError::from_wire(e.code(), e.message());
+            assert_eq!(back.to_string(), e.to_string());
+            assert_eq!(back.message(), e.message());
         }
     }
 

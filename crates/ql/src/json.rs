@@ -119,7 +119,7 @@ impl JsonValue {
     pub fn parse(text: &str) -> Result<JsonValue, JsonError> {
         let bytes = text.as_bytes();
         let mut pos = 0usize;
-        let value = parse_value(bytes, &mut pos)?;
+        let value = parse_value(bytes, &mut pos, 0)?;
         skip_ws(bytes, &mut pos);
         if pos != bytes.len() {
             return Err(JsonError::at(pos, "trailing characters"));
@@ -237,7 +237,19 @@ fn skip_ws(bytes: &[u8], pos: &mut usize) {
     }
 }
 
-fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, JsonError> {
+/// Nesting cap for the recursive-descent parser. The wire protocol
+/// parses frames from unauthenticated peers, so recursion depth must be
+/// bounded: without this, a payload of millions of `[`s overflows the
+/// thread stack (process abort) instead of returning an error.
+const MAX_DEPTH: usize = 128;
+
+fn parse_value(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<JsonValue, JsonError> {
+    if depth > MAX_DEPTH {
+        return Err(JsonError::at(
+            *pos,
+            format!("nesting deeper than {MAX_DEPTH} levels"),
+        ));
+    }
     skip_ws(bytes, pos);
     match bytes.get(*pos) {
         None => Err(JsonError::at(*pos, "unexpected end of input")),
@@ -254,7 +266,7 @@ fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, JsonError> {
                 return Ok(JsonValue::Array(items));
             }
             loop {
-                items.push(parse_value(bytes, pos)?);
+                items.push(parse_value(bytes, pos, depth + 1)?);
                 skip_ws(bytes, pos);
                 match bytes.get(*pos) {
                     Some(b',') => *pos += 1,
@@ -282,7 +294,7 @@ fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, JsonError> {
                     return Err(JsonError::at(*pos, "expected ':'"));
                 }
                 *pos += 1;
-                let value = parse_value(bytes, pos)?;
+                let value = parse_value(bytes, pos, depth + 1)?;
                 map.insert(key, value);
                 skip_ws(bytes, pos);
                 match bytes.get(*pos) {
@@ -489,6 +501,20 @@ mod tests {
             "{1:2}",
         ] {
             assert!(JsonValue::parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn deep_nesting_is_rejected_not_a_stack_overflow() {
+        // Just under the cap parses fine.
+        let ok = format!("{}0{}", "[".repeat(MAX_DEPTH), "]".repeat(MAX_DEPTH));
+        assert!(JsonValue::parse(&ok).is_ok());
+        // A hostile million-bracket payload must return an error, not
+        // blow the stack.
+        for open in ["[", "{\"k\":"] {
+            let hostile = open.repeat(1_000_000);
+            let err = JsonValue::parse(&hostile).unwrap_err();
+            assert!(err.message.contains("nesting"), "{}", err.message);
         }
     }
 

@@ -4,8 +4,11 @@
 //! discriminator; responses carry `"ok"`. The first request on a
 //! connection must be `hello`, which binds the connection to a named
 //! user session (the paper's multi-tenant namespace isolation — Section
-//! VII-A); operational commands (`ping`, `health`, `metrics`,
-//! `shutdown`) are allowed without one.
+//! VII-A); read-only operational commands (`ping`, `health`, `metrics`)
+//! are allowed without one. `shutdown` is too on an open server, but
+//! once a user allowlist is configured it requires an authenticated
+//! session — an unauthenticated remote stop is a safety hole the moment
+//! the server binds a non-loopback address.
 //!
 //! ```text
 //! -> {"op":"hello","user":"alice"}
@@ -142,11 +145,14 @@ impl Response {
         }
     }
 
-    /// A typed error from a SQL-layer failure.
+    /// A typed error from a SQL-layer failure. The *inner* message goes
+    /// on the wire (the code already carries the category), so the
+    /// client's reconstructed [`QlError`] displays identically to the
+    /// server-side original instead of double-prefixing.
     pub fn from_ql_error(e: &QlError) -> Response {
         Response::Error {
             code: e.code().to_string(),
-            message: e.to_string(),
+            message: e.message(),
         }
     }
 

@@ -22,7 +22,7 @@ use just_ql::{Client, JsonValue};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -99,6 +99,12 @@ struct Shared {
     cfg: ServerConfig,
     addr: SocketAddr,
     shutdown: AtomicBool,
+    /// When shutdown was requested. Set (under the lock) *before* the
+    /// `shutdown` flag flips, so any worker that observes the flag finds
+    /// the instant here. The drain deadline is computed from this fixed
+    /// point, not from each read, so a chatty client cannot keep
+    /// resetting its grace window and wedge the drain forever.
+    shutdown_at: Mutex<Option<Instant>>,
     active: AtomicUsize,
     metrics: ServerMetrics,
 }
@@ -118,6 +124,7 @@ impl Server {
             cfg,
             addr,
             shutdown: AtomicBool::new(false),
+            shutdown_at: Mutex::new(None),
             active: AtomicUsize::new(0),
             metrics: ServerMetrics::new(),
         });
@@ -194,9 +201,26 @@ impl Drop for ServerHandle {
 /// Flips the shutdown flag and wakes the blocking `accept` with a
 /// throwaway self-connection.
 fn request_shutdown(shared: &Shared) {
+    {
+        let mut at = shared.shutdown_at.lock().unwrap();
+        if at.is_none() {
+            *at = Some(Instant::now());
+        }
+    }
     if !shared.shutdown.swap(true, Ordering::AcqRel) {
         let _ = TcpStream::connect(shared.addr);
     }
+}
+
+/// The fixed instant past which no worker keeps waiting for new
+/// requests once shutdown has begun.
+fn drain_deadline(shared: &Shared) -> Instant {
+    shared
+        .shutdown_at
+        .lock()
+        .unwrap()
+        .unwrap_or_else(Instant::now)
+        + shared.cfg.drain_grace
 }
 
 fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
@@ -208,6 +232,9 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
                 if shared.shutdown.load(Ordering::Acquire) {
                     break;
                 }
+                // A persistent accept failure (EMFILE when fds are
+                // exhausted, say) must not spin this loop hot.
+                std::thread::sleep(Duration::from_millis(50));
                 continue;
             }
         };
@@ -266,10 +293,19 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
     }
 }
 
-/// Sheds a connection with a typed error frame, best-effort.
-fn refuse(mut stream: TcpStream, shared: &Shared, code: &str, message: impl Into<String>) {
-    let _ = stream.set_write_timeout(Some(shared.cfg.write_timeout));
-    let _ = write_frame(&mut stream, &Response::error(code, message).to_bytes());
+/// Sheds a connection with a typed error frame, best-effort. The write
+/// happens on a detached thread: a shed client that never reads must not
+/// stall the accept loop for the whole write timeout.
+fn refuse(stream: TcpStream, shared: &Shared, code: &str, message: impl Into<String>) {
+    let timeout = shared.cfg.write_timeout;
+    let bytes = Response::error(code, message).to_bytes();
+    let _ = std::thread::Builder::new()
+        .name("justd-refuse".to_string())
+        .spawn(move || {
+            let mut stream = stream;
+            let _ = stream.set_write_timeout(Some(timeout));
+            let _ = write_frame(&mut stream, &bytes);
+        });
 }
 
 /// One connection's lifetime: frames in, frames out, until close,
@@ -287,17 +323,19 @@ fn serve_connection(mut stream: TcpStream, shared: &Shared) {
     let mut client: Option<Client> = None;
     loop {
         // The wait policy: each poll tick re-checks how long this read
-        // has been idle. During shutdown only `drain_grace` is allowed
-        // (enough for a request already in flight on the wire), else
-        // the full idle timeout.
+        // has been idle. During shutdown the wait is bounded by a drain
+        // deadline measured from the moment shutdown was *requested*
+        // (enough for a request already in flight on the wire); it is
+        // never reset, so a client streaming requests cannot extend the
+        // drain. Otherwise the full idle timeout applies.
         let started = Instant::now();
         let mut keep_waiting = || {
-            let budget = if shared.shutdown.load(Ordering::Acquire) {
-                shared.cfg.drain_grace
+            if shared.shutdown.load(Ordering::Acquire) {
+                Instant::now() < drain_deadline(shared)
+                    && started.elapsed() < shared.cfg.read_timeout
             } else {
-                shared.cfg.read_timeout
-            };
-            started.elapsed() < budget
+                started.elapsed() < shared.cfg.read_timeout
+            }
         };
         let payload = match read_frame(&mut stream, shared.cfg.max_frame_bytes, &mut keep_waiting) {
             Ok(p) => p,
@@ -328,7 +366,9 @@ fn serve_connection(mut stream: TcpStream, shared: &Shared) {
         if write_frame(&mut stream, &response.to_bytes()).is_err() {
             return;
         }
-        if close_after {
+        // Once shutdown is underway, stop taking new requests from this
+        // connection: the in-flight response just written is the last.
+        if close_after || shared.shutdown.load(Ordering::Acquire) {
             return;
         }
     }
@@ -406,6 +446,18 @@ fn handle_payload(
         }
         Request::Ping => (Response::Text("pong".to_string()), false),
         Request::Shutdown => {
+            // When an allowlist is configured, stopping the daemon is an
+            // authenticated operation — otherwise any peer that can
+            // reach the socket could kill the server.
+            if shared.cfg.users.is_some() && client.is_none() {
+                return (
+                    Response::error(
+                        codes::AUTH,
+                        "shutdown requires an authenticated session; send 'hello' first",
+                    ),
+                    false,
+                );
+            }
             // The flag flips now; the `true` makes serve_connection
             // close after the acknowledgement is on the wire, so the
             // requester always learns the shutdown was accepted.

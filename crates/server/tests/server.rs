@@ -213,6 +213,48 @@ fn graceful_shutdown_answers_every_in_flight_request() {
 }
 
 #[test]
+fn a_chatty_client_cannot_stall_the_drain() {
+    let (engine, dir) = fresh("chatty");
+    let cfg = ServerConfig {
+        drain_grace: Duration::from_millis(200),
+        ..ServerConfig::default()
+    };
+    let handle = Server::start(engine, cfg).unwrap();
+    let addr = handle.local_addr();
+
+    // A client that keeps requests coming faster than drain_grace. If
+    // the drain window were measured per-read instead of from the
+    // shutdown instant, this client would reset it forever and join()
+    // below would never return.
+    let spammer = std::thread::spawn(move || {
+        let mut s = TcpStream::connect(addr).unwrap();
+        let payload: &[u8] = br#"{"op":"ping"}"#;
+        loop {
+            if s.write_all(&(payload.len() as u32).to_be_bytes()).is_err() {
+                break;
+            }
+            if s.write_all(payload).is_err() {
+                break;
+            }
+            if recv_raw(&mut s).is_none() {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    });
+    // Let the spammer get going, then drain.
+    std::thread::sleep(Duration::from_millis(100));
+    let start = Instant::now();
+    handle.join();
+    assert!(
+        start.elapsed() < Duration::from_secs(5),
+        "drain stalled behind a chatty client"
+    );
+    spammer.join().unwrap();
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
 fn malformed_frames_answer_typed_errors_without_crashing() {
     let (engine, dir) = fresh("malformed");
     let handle = Server::start(engine, ServerConfig::default()).unwrap();
@@ -286,10 +328,16 @@ fn queries_before_hello_and_unknown_users_get_auth_errors() {
     send_raw(&mut s, br#"{"op":"execute","sql":"SELECT fid FROM pts"}"#);
     let r = recv_json(&mut s).unwrap();
     assert_eq!(r.get("code").and_then(|v| v.as_str()), Some("AUTH"));
-    // Operational commands are fine without a session, though.
+    // Read-only operational commands are fine without a session, though.
     send_raw(&mut s, br#"{"op":"health"}"#);
     let r = recv_json(&mut s).unwrap();
     assert_eq!(r.get("text").and_then(|v| v.as_str()), Some("ok"));
+    // But with an allowlist configured, shutdown is not: a rogue peer
+    // that can reach the socket must not be able to stop the daemon.
+    send_raw(&mut s, br#"{"op":"shutdown"}"#);
+    let r = recv_json(&mut s).unwrap();
+    assert_eq!(r.get("code").and_then(|v| v.as_str()), Some("AUTH"));
+    assert!(!handle.is_shutting_down(), "rogue shutdown went through");
     drop(s);
 
     // A user off the allowlist is refused at hello.
