@@ -1,6 +1,12 @@
 #!/usr/bin/env bash
-# CI gate: formatting, lints, build, full test suite.
-# Run before every push; the repo must stay green under all four.
+# CI gate: formatting, lints, build, full test suite, server smoke test,
+# crash-recovery smoke test. Run before every push; the repo must stay
+# green under all of them. `.github/workflows/ci.yml` runs this script
+# verbatim.
+#
+# SMOKE_DIR can be pre-set (CI does, so the data dir survives as an
+# artifact on failure); it defaults to a throwaway mktemp dir. On
+# success the dir is removed; on failure it is kept for post-mortem.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -16,27 +22,73 @@ cargo build --workspace --release
 echo "==> cargo test"
 cargo test --workspace -q
 
+SMOKE_DIR="${SMOKE_DIR:-$(mktemp -d)}"
+mkdir -p "$SMOKE_DIR"
+JUSTD_PID=""
+cleanup() {
+    status=$?
+    [ -n "$JUSTD_PID" ] && kill -9 "$JUSTD_PID" 2>/dev/null || true
+    if [ "$status" -eq 0 ]; then
+        rm -rf "$SMOKE_DIR"
+    else
+        echo "FAILED — smoke data kept at $SMOKE_DIR" >&2
+    fi
+    exit "$status"
+}
+trap cleanup EXIT
+
+cli() { ./target/release/just-cli --addr "$ADDR" --user smoke "$@"; }
+
+start_justd() { # args: data-dir, port-file, extra flags...
+    local data="$1" portf="$2"
+    shift 2
+    rm -f "$portf"
+    ./target/release/justd --data "$data" --addr 127.0.0.1:0 \
+        --port-file "$portf" "$@" &
+    JUSTD_PID=$!
+    for _ in $(seq 1 100); do
+        [ -s "$portf" ] && break
+        sleep 0.1
+    done
+    [ -s "$portf" ] || { echo "justd never wrote its port"; exit 1; }
+    ADDR="127.0.0.1:$(cat "$portf")"
+}
+
 echo "==> server smoke test (justd + just-cli)"
-SMOKE_DIR="$(mktemp -d)"
-trap 'rm -rf "$SMOKE_DIR"' EXIT
-./target/release/justd \
-    --data "$SMOKE_DIR/data" \
-    --addr 127.0.0.1:0 \
-    --port-file "$SMOKE_DIR/port" &
-JUSTD_PID=$!
-for _ in $(seq 1 100); do
-    [ -s "$SMOKE_DIR/port" ] && break
-    sleep 0.1
-done
-[ -s "$SMOKE_DIR/port" ] || { echo "justd never wrote its port"; exit 1; }
-ADDR="127.0.0.1:$(cat "$SMOKE_DIR/port")"
-./target/release/just-cli --addr "$ADDR" --user smoke \
-    query "CREATE TABLE pts (fid integer:primary key, geom point)"
-./target/release/just-cli --addr "$ADDR" --user smoke \
-    query "INSERT INTO pts VALUES (1, st_makePoint(116.4, 39.9))"
-./target/release/just-cli --addr "$ADDR" --user smoke \
-    query "SELECT fid FROM pts" | grep -q "^1$"
+start_justd "$SMOKE_DIR/data" "$SMOKE_DIR/port"
+cli query "CREATE TABLE pts (fid integer:primary key, geom point)"
+cli query "INSERT INTO pts VALUES (1, st_makePoint(116.4, 39.9))"
+cli query "SELECT fid FROM pts" | grep -q "^1$"
 ./target/release/just-cli --addr "$ADDR" shutdown
 wait "$JUSTD_PID"   # graceful shutdown must exit 0 (set -e enforces it)
+JUSTD_PID=""
+
+echo "==> crash-recovery smoke test (kill -9, reopen, verify)"
+CRASH_DATA="$SMOKE_DIR/crash-data"
+start_justd "$CRASH_DATA" "$SMOKE_DIR/crash-port" --wal-sync per-write
+cli query "CREATE TABLE crashpts (fid integer:primary key, geom point)"
+ROWS=25
+for i in $(seq 1 "$ROWS"); do
+    # Each INSERT is acknowledged over the wire before the next is sent:
+    # everything the loop completes is an acknowledged write.
+    cli query "INSERT INTO crashpts VALUES ($i, st_makePoint(116.$i, 39.9))"
+done
+kill -9 "$JUSTD_PID"
+wait "$JUSTD_PID" 2>/dev/null || true   # reap; exit status is the kill
+JUSTD_PID=""
+
+start_justd "$CRASH_DATA" "$SMOKE_DIR/crash-port" --wal-sync per-write
+GOT=$(cli query "SELECT fid FROM crashpts" | grep -c '^[0-9][0-9]*$')
+if [ "$GOT" -ne "$ROWS" ]; then
+    echo "crash recovery lost acknowledged writes: $GOT/$ROWS rows survive"
+    exit 1
+fi
+for i in 1 "$ROWS"; do
+    cli query "SELECT fid FROM crashpts" | grep -q "^$i$"
+done
+./target/release/just-cli --addr "$ADDR" shutdown
+wait "$JUSTD_PID"
+JUSTD_PID=""
+echo "crash recovery OK: $GOT/$ROWS acknowledged rows survived kill -9"
 
 echo "CI gate passed."

@@ -55,6 +55,7 @@ fn main() {
             "fig13".into(),
             "fig14".into(),
             "serve".into(),
+            "durability".into(),
         ];
     }
     let cfg = BenchConfig::default().scaled(scale);
@@ -79,6 +80,7 @@ fn main() {
             "fig13" => figures::fig13::run(&cfg, &mut out, &mut report),
             "fig14" => figures::fig14::run(&cfg, &mut out, &mut report),
             "serve" => figures::serve::run(&cfg, &mut out, &mut report),
+            "durability" => figures::durability::run(&cfg, &mut out, &mut report),
             other => usage(&format!("unknown figure '{other}'")),
         }
         if let Some(dir) = &json_dir {
@@ -94,7 +96,7 @@ fn main() {
 fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
-        "usage: figures [all|table1|table2|fig8|fig10|fig11|fig12|fig13|fig14|serve]... \
+        "usage: figures [all|table1|table2|fig8|fig10|fig11|fig12|fig13|fig14|serve|durability]... \
          [--scale X] [--json DIR]"
     );
     std::process::exit(2);

@@ -1,0 +1,109 @@
+//! Durability overhead: ingest throughput under each WAL sync policy
+//! (plus WAL off entirely as the baseline).
+//!
+//! HBase pays the same tax — every mutation goes through the region
+//! server's WAL before the MemStore — so this figure tracks what the
+//! write-path semantics reproduced from the paper's substrate cost us:
+//! `none` buffers records in user space, `batched` (the default)
+//! `write(2)`s each record and batches fsyncs (acknowledged writes
+//! survive `kill -9`), `per-write` fsyncs every record (survives power
+//! loss).
+
+use crate::config::BenchConfig;
+use crate::figures::{order_rows_with_addr, order_schema};
+use crate::harness::{Report, Table};
+use crate::workload::OrderDataset;
+use just_core::{Engine, EngineConfig};
+use just_kvstore::{DurabilityOptions, SyncPolicy};
+use std::time::Instant;
+
+/// The swept configurations: (label, durability settings).
+pub fn variants() -> Vec<(&'static str, DurabilityOptions)> {
+    vec![
+        ("wal-off", DurabilityOptions::disabled()),
+        (
+            "none",
+            DurabilityOptions {
+                sync: SyncPolicy::None,
+                ..DurabilityOptions::default()
+            },
+        ),
+        (
+            "batched",
+            DurabilityOptions {
+                sync: SyncPolicy::Batched,
+                ..DurabilityOptions::default()
+            },
+        ),
+        (
+            "per-write",
+            DurabilityOptions {
+                sync: SyncPolicy::PerWrite,
+                ..DurabilityOptions::default()
+            },
+        ),
+    ]
+}
+
+/// Runs the WAL-overhead sweep.
+pub fn run(cfg: &BenchConfig, out: &mut impl std::io::Write, report: &mut Report) {
+    let orders = OrderDataset::generate(cfg.orders, cfg.seed);
+    let rows = order_rows_with_addr(&orders.orders);
+
+    let mut table = Table::new(&["sync policy", "rows", "secs", "rows/sec"]);
+    for (label, durability) in variants() {
+        report.phase(&format!("ingest-{label}"));
+        let dir = std::env::temp_dir().join(format!(
+            "just-fig-durability-{label}-{}",
+            std::process::id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        let mut engine_cfg = EngineConfig::default();
+        engine_cfg.store.durability = durability;
+        let engine = Engine::open(&dir, engine_cfg).expect("engine open");
+        engine
+            .create_table("orders", order_schema(false), None, None)
+            .expect("create orders");
+        let t0 = Instant::now();
+        engine.insert("orders", &rows).expect("insert orders");
+        let secs = t0.elapsed().as_secs_f64();
+        table.row(vec![
+            label.to_string(),
+            rows.len().to_string(),
+            format!("{secs:.3}"),
+            format!("{:.0}", rows.len() as f64 / secs),
+        ]);
+        drop(engine);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    writeln!(
+        out,
+        "== Durability: ingest throughput vs WAL sync policy =="
+    )
+    .unwrap();
+    writeln!(out, "{}", table.render()).unwrap();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn durability_figure_runs_at_tiny_scale() {
+        let cfg = BenchConfig {
+            orders: 200,
+            ..BenchConfig::default()
+        };
+        let mut buf = Vec::new();
+        run(&cfg, &mut buf, &mut Report::new("durability"));
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("rows/sec"), "missing table: {text}");
+        for (label, _) in variants() {
+            assert!(
+                text.lines().any(|l| l.trim().starts_with(label)),
+                "missing row for {label}: {text}"
+            );
+        }
+    }
+}

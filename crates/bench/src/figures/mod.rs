@@ -2,6 +2,7 @@
 //! writes a text rendition of the figure's data series to the given
 //! writer.
 
+pub mod durability;
 pub mod fig10;
 pub mod fig11;
 pub mod fig12;

@@ -34,6 +34,7 @@
 mod block;
 mod cache;
 mod error;
+mod maintenance;
 mod memtable;
 mod merge;
 mod metrics;
@@ -41,16 +42,19 @@ mod region;
 mod sstable;
 mod store;
 mod table;
+mod wal;
 
 pub use block::{Block, BlockBuilder, DEFAULT_BLOCK_SIZE};
 pub use cache::BlockCache;
 pub use error::KvError;
+pub use maintenance::MaintenanceOptions;
 pub use memtable::MemTable;
 pub use metrics::{IoMetrics, IoSnapshot};
 pub use region::Region;
 pub use sstable::{SsTable, SsTableBuilder};
 pub use store::{Store, StoreOptions};
 pub use table::Table;
+pub use wal::{DurabilityOptions, FaultyWalFile, FaultyWalState, SyncPolicy, WalFile, WalRecord};
 
 /// A key-value pair returned by scans.
 #[derive(Debug, Clone, PartialEq, Eq)]

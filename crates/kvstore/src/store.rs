@@ -2,8 +2,11 @@
 
 use crate::cache::BlockCache;
 use crate::error::{KvError, Result};
+use crate::maintenance::{MaintenanceOptions, Scheduler};
 use crate::metrics::IoMetrics;
+use crate::region::RegionOptions;
 use crate::table::Table;
+use crate::wal::DurabilityOptions;
 use just_obs::sync::RwLock;
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
@@ -23,6 +26,11 @@ pub struct StoreOptions {
     /// the paper's experimental setting; the default mirrors HBase's
     /// always-on block cache).
     pub block_cache_bytes: usize,
+    /// Write-ahead-log configuration (HBase's WAL: acknowledged writes
+    /// survive a crash).
+    pub durability: DurabilityOptions,
+    /// Background flush / compaction scheduler configuration.
+    pub maintenance: MaintenanceOptions,
 }
 
 impl Default for StoreOptions {
@@ -32,6 +40,8 @@ impl Default for StoreOptions {
             block_size: 4096,
             scan_threads: 8,
             block_cache_bytes: 32 << 20,
+            durability: DurabilityOptions::default(),
+            maintenance: MaintenanceOptions::default(),
         }
     }
 }
@@ -43,6 +53,9 @@ pub struct Store {
     metrics: Arc<IoMetrics>,
     cache: Arc<BlockCache>,
     tables: RwLock<HashMap<String, Arc<Table>>>,
+    /// Background flush/compaction worker pool; `None` when maintenance
+    /// is disabled (writers then flush inline).
+    scheduler: Option<Scheduler>,
 }
 
 impl std::fmt::Debug for Store {
@@ -59,12 +72,18 @@ impl Store {
     pub fn open(base: &Path, options: StoreOptions) -> Result<Self> {
         std::fs::create_dir_all(base)?;
         let cache = Arc::new(BlockCache::new(options.block_cache_bytes));
+        let scheduler = if options.maintenance.enabled {
+            Some(Scheduler::start(options.maintenance.clone()))
+        } else {
+            None
+        };
         Ok(Store {
             base: base.to_path_buf(),
             options,
             metrics: Arc::new(IoMetrics::new()),
             cache,
             tables: RwLock::new(HashMap::new()),
+            scheduler,
         })
     }
 
@@ -87,6 +106,37 @@ impl Store {
         self.base.join(name)
     }
 
+    /// The per-region settings every table of this store uses.
+    fn region_opts(&self) -> RegionOptions {
+        RegionOptions {
+            flush_threshold: self.options.flush_threshold,
+            block_size: self.options.block_size,
+            durability: self.options.durability.clone(),
+            stall_bytes: if self.scheduler.is_some() {
+                self.options.maintenance.stall_bytes
+            } else {
+                0
+            },
+            kick: self.scheduler.as_ref().map(|s| s.kick_handle()),
+        }
+    }
+
+    fn build_table(&self, name: &str, num_regions: usize) -> Result<Arc<Table>> {
+        let table = Arc::new(Table::open_opts(
+            name.to_string(),
+            self.table_dir(name),
+            num_regions,
+            self.metrics.clone(),
+            self.cache.clone(),
+            self.options.scan_threads,
+            self.region_opts(),
+        )?);
+        if let Some(s) = &self.scheduler {
+            s.register(table.regions());
+        }
+        Ok(table)
+    }
+
     /// Creates a table with `num_regions` partitions; errors if it exists
     /// (in memory or on disk).
     pub fn create_table(&self, name: &str, num_regions: usize) -> Result<Arc<Table>> {
@@ -94,21 +144,13 @@ impl Store {
         if tables.contains_key(name) || self.table_dir(name).exists() {
             return Err(KvError::TableExists(name.to_string()));
         }
-        let table = Arc::new(Table::open_cached(
-            name.to_string(),
-            self.table_dir(name),
-            num_regions,
-            self.metrics.clone(),
-            self.cache.clone(),
-            self.options.flush_threshold,
-            self.options.block_size,
-            self.options.scan_threads,
-        )?);
+        let table = self.build_table(name, num_regions)?;
         tables.insert(name.to_string(), table.clone());
         Ok(table)
     }
 
-    /// Opens an existing table (recovering flushed SSTables from disk).
+    /// Opens an existing table, recovering flushed SSTables from disk and
+    /// replaying any surviving WAL segments into memtables.
     pub fn open_table(&self, name: &str, num_regions: usize) -> Result<Arc<Table>> {
         if let Some(t) = self.tables.read().get(name) {
             return Ok(t.clone());
@@ -120,16 +162,7 @@ impl Store {
         if !self.table_dir(name).exists() {
             return Err(KvError::NoSuchTable(name.to_string()));
         }
-        let table = Arc::new(Table::open_cached(
-            name.to_string(),
-            self.table_dir(name),
-            num_regions,
-            self.metrics.clone(),
-            self.cache.clone(),
-            self.options.flush_threshold,
-            self.options.block_size,
-            self.options.scan_threads,
-        )?);
+        let table = self.build_table(name, num_regions)?;
         tables.insert(name.to_string(), table.clone());
         Ok(table)
     }
@@ -156,6 +189,34 @@ impl Store {
         let mut names: Vec<String> = self.tables.read().keys().cloned().collect();
         names.sort();
         names
+    }
+
+    /// Clean shutdown: drains in-flight background maintenance, then
+    /// fsyncs every WAL so acknowledged writes are durable regardless of
+    /// sync policy. Memtables are deliberately *not* flushed — reopen
+    /// recovers them from the WAL, keeping the recovery path exercised.
+    /// Idempotent; also run by `Drop`.
+    pub fn shutdown(&self) {
+        if let Some(s) = &self.scheduler {
+            s.shutdown();
+        }
+        for table in self.tables.read().values() {
+            for region in table.regions() {
+                // Sync failures at shutdown have no caller to return to;
+                // they are surfaced via the maintenance error counter.
+                if region.wal_sync().is_err() {
+                    just_obs::global()
+                        .counter("just_kvstore_maintenance_errors")
+                        .inc();
+                }
+            }
+        }
+    }
+}
+
+impl Drop for Store {
+    fn drop(&mut self) {
+        self.shutdown();
     }
 }
 

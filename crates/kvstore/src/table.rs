@@ -8,7 +8,7 @@
 use crate::cache::BlockCache;
 use crate::error::Result;
 use crate::metrics::IoMetrics;
-use crate::region::Region;
+use crate::region::{Region, RegionOptions};
 use crate::KvEntry;
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -66,15 +66,38 @@ impl Table {
         block_size: usize,
         scan_threads: usize,
     ) -> Result<Self> {
+        Self::open_opts(
+            name,
+            dir,
+            num_regions,
+            metrics,
+            cache,
+            scan_threads,
+            RegionOptions::basic(flush_threshold, block_size),
+        )
+    }
+
+    /// Full-control constructor used by [`crate::Store`]: every region
+    /// gets the same durability / maintenance settings and replays its
+    /// WAL on open.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn open_opts(
+        name: String,
+        dir: PathBuf,
+        num_regions: usize,
+        metrics: Arc<IoMetrics>,
+        cache: Arc<BlockCache>,
+        scan_threads: usize,
+        region_opts: RegionOptions,
+    ) -> Result<Self> {
         assert!((1..=256).contains(&num_regions));
         let mut regions = Vec::with_capacity(num_regions);
         for i in 0..num_regions {
-            regions.push(Arc::new(Region::open_cached(
+            regions.push(Arc::new(Region::open_opts(
                 dir.join(format!("region_{i:03}")),
                 metrics.clone(),
                 cache.clone(),
-                flush_threshold,
-                block_size,
+                region_opts.clone(),
             )?));
         }
         Ok(Table {
@@ -83,6 +106,11 @@ impl Table {
             scan_threads: scan_threads.max(1),
             scan_latency: just_obs::global().histogram("just_kvstore_scan_latency_us"),
         })
+    }
+
+    /// The table's regions (for scheduler registration and shutdown).
+    pub(crate) fn regions(&self) -> &[Arc<Region>] {
+        &self.regions
     }
 
     /// Table name.

@@ -1,0 +1,178 @@
+//! Store-level durability integration tests: the WAL + background
+//! maintenance scheduler working together, including a simulated
+//! `kill -9` (snapshot the live data directory, reopen the copy).
+
+use just_kvstore::{MaintenanceOptions, Store, StoreOptions, SyncPolicy};
+use std::path::{Path, PathBuf};
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "just-durability-{name}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+fn copy_dir(src: &Path, dst: &Path) {
+    std::fs::create_dir_all(dst).unwrap();
+    for entry in std::fs::read_dir(src).unwrap() {
+        let entry = entry.unwrap();
+        let to = dst.join(entry.file_name());
+        if entry.file_type().unwrap().is_dir() {
+            copy_dir(&entry.path(), &to);
+        } else {
+            std::fs::copy(entry.path(), &to).unwrap();
+        }
+    }
+}
+
+#[test]
+fn crash_copy_recovers_every_acknowledged_write() {
+    // Batched sync acknowledges after write(2): a killed process loses
+    // nothing because the kernel page cache survives it. Snapshotting
+    // the live directory sees exactly that state.
+    let dir = tmpdir("crash");
+    let store = Store::open(&dir, StoreOptions::default()).unwrap();
+    let t = store.create_table("t", 4).unwrap();
+    for i in 0..1000u32 {
+        t.put(
+            format!("k{i:06}").into_bytes(),
+            format!("v{i}").into_bytes(),
+        )
+        .unwrap();
+    }
+    let crash = tmpdir("crash-copy");
+    copy_dir(&dir, &crash);
+
+    let recovered = Store::open(&crash, StoreOptions::default()).unwrap();
+    let t2 = recovered.open_table("t", 4).unwrap();
+    assert_eq!(t2.scan(b"", b"\xff").unwrap().len(), 1000);
+    assert_eq!(t2.get(b"k000999").unwrap(), Some(b"v999".to_vec()));
+    drop(store);
+    std::fs::remove_dir_all(dir).ok();
+    std::fs::remove_dir_all(crash).ok();
+}
+
+#[test]
+fn scheduler_flushes_and_compacts_in_background() {
+    // Tiny thresholds: the scheduler must keep up with sustained ingest,
+    // flushing past the memtable threshold and compacting past the
+    // file-count trigger — the writer never flushes inline.
+    let dir = tmpdir("sched");
+    let store = Store::open(
+        &dir,
+        StoreOptions {
+            flush_threshold: 8 << 10,
+            maintenance: MaintenanceOptions {
+                workers: 2,
+                compact_trigger: 4,
+                stall_bytes: 64 << 10,
+                ..MaintenanceOptions::default()
+            },
+            ..StoreOptions::default()
+        },
+    )
+    .unwrap();
+    let t = store.create_table("t", 2).unwrap();
+    for i in 0..4000u32 {
+        t.put(format!("k{i:06}").into_bytes(), vec![7; 64]).unwrap();
+    }
+    // Wait for maintenance to drain the memtables.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    loop {
+        let hits = t.scan(b"", b"\xff").unwrap();
+        assert_eq!(hits.len(), 4000, "scan must always see every row");
+        if t.disk_size() > 0 {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "background flush never ran"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    store.shutdown();
+    drop(store);
+
+    // Reopen: everything (flushed + WAL tail) recovers.
+    let s2 = Store::open(&dir, StoreOptions::default()).unwrap();
+    let t2 = s2.open_table("t", 2).unwrap();
+    assert_eq!(t2.scan(b"", b"\xff").unwrap().len(), 4000);
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn sync_none_survives_clean_shutdown_but_not_necessarily_crash() {
+    // SyncPolicy::None buffers in user space; shutdown() pushes + syncs
+    // so a clean exit still recovers everything.
+    let dir = tmpdir("none");
+    {
+        let store = Store::open(
+            &dir,
+            StoreOptions {
+                durability: just_kvstore::DurabilityOptions {
+                    sync: SyncPolicy::None,
+                    ..Default::default()
+                },
+                ..StoreOptions::default()
+            },
+        )
+        .unwrap();
+        let t = store.create_table("t", 2).unwrap();
+        for i in 0..100u32 {
+            t.put(format!("k{i:03}").into_bytes(), b"v".to_vec())
+                .unwrap();
+        }
+        store.shutdown();
+    }
+    let s2 = Store::open(&dir, StoreOptions::default()).unwrap();
+    let t2 = s2.open_table("t", 2).unwrap();
+    assert_eq!(t2.scan(b"", b"\xff").unwrap().len(), 100);
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn wal_disabled_reproduces_pre_durability_behaviour() {
+    // durability.wal = false: no wal_ files appear, unflushed rows die
+    // with the process — the seed repo's semantics, still available for
+    // benchmarks that want raw ingest speed.
+    let dir = tmpdir("nowal");
+    let store = Store::open(
+        &dir,
+        StoreOptions {
+            durability: just_kvstore::DurabilityOptions::disabled(),
+            ..StoreOptions::default()
+        },
+    )
+    .unwrap();
+    let t = store.create_table("t", 2).unwrap();
+    t.put(b"k".to_vec(), b"v".to_vec()).unwrap();
+    let mut wal_files = 0;
+    for entry in walk(&dir) {
+        if entry
+            .file_name()
+            .unwrap()
+            .to_string_lossy()
+            .starts_with("wal_")
+        {
+            wal_files += 1;
+        }
+    }
+    assert_eq!(wal_files, 0, "WAL disabled must write no wal_ segments");
+    std::fs::remove_dir_all(dir).ok();
+}
+
+fn walk(dir: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    for entry in std::fs::read_dir(dir).unwrap() {
+        let entry = entry.unwrap();
+        if entry.file_type().unwrap().is_dir() {
+            out.extend(walk(&entry.path()));
+        } else {
+            out.push(entry.path());
+        }
+    }
+    out
+}

@@ -54,6 +54,7 @@ fn store_matches_btreemap_model() {
                 block_size: 128,
                 scan_threads: 2,
                 block_cache_bytes: 1 << 20,
+                ..StoreOptions::default()
             },
         )
         .unwrap();

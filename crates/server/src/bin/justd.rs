@@ -3,6 +3,7 @@
 //! ```text
 //! justd --data DIR [--addr HOST:PORT] [--max-sessions N]
 //!       [--users a,b,c] [--port-file PATH]
+//!       [--wal-sync none|batched|per-write] [--no-wal]
 //! ```
 //!
 //! Opens (or creates) the engine at `--data`, binds the listener
@@ -11,8 +12,14 @@
 //! `shutdown` command, then drains and exits 0. `--port-file` writes
 //! the bound port (just the number) to a file, which is how scripts
 //! coordinate with an ephemeral port (see `ci.sh`).
+//!
+//! Durability: the write-ahead log is on by default with the `batched`
+//! sync policy (acknowledged writes survive `kill -9`; a bounded window
+//! can be lost to power failure). `--wal-sync per-write` fsyncs every
+//! record; `--no-wal` disables logging entirely (fastest, volatile).
 
 use just_core::{Engine, EngineConfig};
+use just_kvstore::SyncPolicy;
 use just_server::{Server, ServerConfig};
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -21,6 +28,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut data: Option<String> = None;
     let mut cfg = ServerConfig::default();
+    let mut engine_cfg = EngineConfig::default();
     let mut port_file: Option<String> = None;
 
     let mut i = 0;
@@ -31,6 +39,10 @@ fn main() -> ExitCode {
             return ExitCode::SUCCESS;
         }
         i += 1;
+        if flag == "--no-wal" {
+            engine_cfg.store.durability.wal = false;
+            continue;
+        }
         let Some(value) = args.get(i).cloned() else {
             eprintln!("justd: {flag} needs a value\n{USAGE}");
             return ExitCode::from(2);
@@ -47,6 +59,13 @@ fn main() -> ExitCode {
             },
             "--users" => cfg.users = Some(value.split(',').map(|s| s.trim().to_string()).collect()),
             "--port-file" => port_file = Some(value),
+            "--wal-sync" => match SyncPolicy::parse(&value) {
+                Some(p) => engine_cfg.store.durability.sync = p,
+                None => {
+                    eprintln!("justd: bad --wal-sync '{value}' (none|batched|per-write)\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
             other => {
                 eprintln!("justd: unknown flag '{other}'\n{USAGE}");
                 return ExitCode::from(2);
@@ -59,7 +78,7 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     };
 
-    let engine = match Engine::open(std::path::Path::new(&data), EngineConfig::default()) {
+    let engine = match Engine::open(std::path::Path::new(&data), engine_cfg) {
         Ok(e) => Arc::new(e),
         Err(e) => {
             eprintln!("justd: cannot open engine at '{data}': {e}");
@@ -87,4 +106,4 @@ fn main() -> ExitCode {
 }
 
 const USAGE: &str = "usage: justd --data DIR [--addr HOST:PORT] [--max-sessions N] \
-[--users a,b,c] [--port-file PATH]";
+[--users a,b,c] [--port-file PATH] [--wal-sync none|batched|per-write] [--no-wal]";
