@@ -15,6 +15,13 @@ pub enum KvError {
     TableExists(String),
     /// The named table does not exist.
     NoSuchTable(String),
+    /// The active WAL segment diverged from acknowledged history after
+    /// an IO failure (a torn append or failed fsync). Writes are
+    /// rejected until the next memtable flush rotates the segment away.
+    WalPoisoned,
+    /// A backpressure-stalled writer gave up waiting for background
+    /// flushes (store shutdown, or the stall deadline elapsed).
+    Stalled(String),
 }
 
 impl fmt::Display for KvError {
@@ -24,6 +31,13 @@ impl fmt::Display for KvError {
             KvError::Corrupt(msg) => write!(f, "corrupt data: {msg}"),
             KvError::TableExists(name) => write!(f, "table already exists: {name}"),
             KvError::NoSuchTable(name) => write!(f, "no such table: {name}"),
+            KvError::WalPoisoned => {
+                write!(
+                    f,
+                    "wal poisoned by an earlier io failure; awaiting rotation"
+                )
+            }
+            KvError::Stalled(why) => write!(f, "write stalled: {why}"),
         }
     }
 }

@@ -37,6 +37,10 @@ pub struct MaintenanceOptions {
     /// Hard per-region memtable cap in bytes: writers stall (block)
     /// above it until a flush catches up.
     pub stall_bytes: usize,
+    /// How long a stalled writer waits for background flushes before
+    /// giving up with [`crate::KvError::Stalled`] — the escape hatch
+    /// when flushes fail persistently (e.g. a full disk).
+    pub stall_deadline: Duration,
 }
 
 impl Default for MaintenanceOptions {
@@ -47,40 +51,49 @@ impl Default for MaintenanceOptions {
             tick: Duration::from_millis(10),
             compact_trigger: 8,
             stall_bytes: 32 << 20,
+            stall_deadline: Duration::from_secs(30),
         }
     }
 }
 
 /// A wake-up latch: writers kick it when a region needs attention so the
 /// scheduler reacts immediately instead of waiting out its tick.
+///
+/// Kicks are a generation counter, not a consumable flag: every worker
+/// compares the counter against the generation it last observed, so one
+/// kick wakes (or skips the wait of) *all* workers — a worker can never
+/// swallow the wake-up meant for the region owned by another.
 #[derive(Debug, Default)]
 pub(crate) struct Kick {
-    flag: Mutex<bool>,
+    generation: Mutex<u64>,
     cv: Condvar,
 }
 
 impl Kick {
     /// Wakes every waiting worker.
     pub(crate) fn kick(&self) {
-        *self.flag.lock() = true;
+        *self.generation.lock() += 1;
         self.cv.notify_all();
     }
 
-    /// Waits until kicked or `timeout` elapses, consuming the kick.
-    fn wait(&self, timeout: Duration) {
-        let mut flag = self.flag.lock();
-        if !*flag {
-            let (g, _) = self.cv.wait_timeout(flag, timeout);
-            flag = g;
+    /// Waits until the generation advances past `seen` or `timeout`
+    /// elapses, then records the observed generation in `seen`.
+    fn wait(&self, seen: &mut u64, timeout: Duration) {
+        let mut generation = self.generation.lock();
+        if *generation == *seen {
+            let (g, _) = self.cv.wait_timeout(generation, timeout);
+            generation = g;
         }
-        *flag = false;
+        *seen = *generation;
     }
 }
 
 struct Shared {
     regions: Mutex<Vec<Weak<Region>>>,
     kick: Arc<Kick>,
-    stop: AtomicBool,
+    /// Shared with stalled writers (via [`crate::region::RegionOptions`])
+    /// so backpressure aborts instead of spinning once shutdown begins.
+    stop: Arc<AtomicBool>,
     opts: MaintenanceOptions,
     errors: just_obs::Counter,
 }
@@ -105,7 +118,7 @@ impl Scheduler {
         let shared = Arc::new(Shared {
             regions: Mutex::new(Vec::new()),
             kick: Arc::new(Kick::default()),
-            stop: AtomicBool::new(false),
+            stop: Arc::new(AtomicBool::new(false)),
             errors: just_obs::global().counter("just_kvstore_maintenance_errors"),
             opts,
         });
@@ -128,6 +141,13 @@ impl Scheduler {
     /// The latch writers use to wake the pool.
     pub(crate) fn kick_handle(&self) -> Arc<Kick> {
         self.shared.kick.clone()
+    }
+
+    /// The shutdown flag, set (permanently) by [`Scheduler::shutdown`].
+    /// Stalled writers poll it so backpressure never outlives the pool
+    /// that would have relieved it.
+    pub(crate) fn stop_handle(&self) -> Arc<AtomicBool> {
+        self.shared.stop.clone()
     }
 
     /// Adds regions to the sweep set (dead entries are pruned lazily).
@@ -162,10 +182,11 @@ impl Drop for Scheduler {
 }
 
 fn worker_loop(shared: &Shared, worker: usize, workers: usize) {
+    let mut seen_kick = 0u64;
     loop {
         let stopping = shared.stop.load(Ordering::SeqCst);
         if !stopping {
-            shared.kick.wait(shared.opts.tick);
+            shared.kick.wait(&mut seen_kick, shared.opts.tick);
         }
         let regions: Vec<Arc<Region>> = {
             let mut list = shared.regions.lock();
@@ -186,6 +207,36 @@ fn worker_loop(shared: &Shared, worker: usize, workers: usize) {
         }
         if stopping {
             return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_kick_wakes_every_worker() {
+        let kick = Arc::new(Kick::default());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let kick = kick.clone();
+                std::thread::spawn(move || {
+                    // Each worker has its own observed generation, so no
+                    // worker can consume a kick meant for another.
+                    let mut seen = 0u64;
+                    let started = std::time::Instant::now();
+                    while seen == 0 && started.elapsed() < Duration::from_secs(10) {
+                        kick.wait(&mut seen, Duration::from_millis(20));
+                    }
+                    seen
+                })
+            })
+            .collect();
+        std::thread::sleep(Duration::from_millis(30));
+        kick.kick();
+        for h in handles {
+            assert!(h.join().unwrap() >= 1, "a worker missed the kick");
         }
     }
 }

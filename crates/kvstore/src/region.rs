@@ -6,7 +6,7 @@
 
 use crate::block::BlockEntry;
 use crate::cache::BlockCache;
-use crate::error::Result;
+use crate::error::{KvError, Result};
 use crate::maintenance::Kick;
 use crate::memtable::MemTable;
 use crate::merge::{merge_live, merge_versions};
@@ -33,8 +33,14 @@ pub(crate) struct RegionOptions {
     /// flush catches up. `0` means unmanaged — writers flush inline at
     /// the threshold and never stall.
     pub stall_bytes: usize,
+    /// How long a stalled writer waits before erroring out (guards
+    /// against persistently failing background flushes).
+    pub stall_deadline: Duration,
     /// Latch to wake the maintenance scheduler (managed regions only).
     pub kick: Option<Arc<Kick>>,
+    /// Scheduler shutdown flag: stalled writers abort when it is set,
+    /// since no flush is coming to relieve them.
+    pub stop: Option<Arc<std::sync::atomic::AtomicBool>>,
 }
 
 impl RegionOptions {
@@ -46,7 +52,9 @@ impl RegionOptions {
             block_size,
             durability: DurabilityOptions::disabled(),
             stall_bytes: 0,
+            stall_deadline: Duration::from_secs(30),
             kick: None,
+            stop: None,
         }
     }
 }
@@ -227,7 +235,7 @@ impl Region {
                 kick.kick();
             }
             if bytes >= self.opts.stall_bytes {
-                self.stall();
+                self.stall()?;
             }
         } else {
             self.flush_locked(&mut inner)?;
@@ -238,12 +246,29 @@ impl Region {
     /// Write backpressure: blocks until a flush brings the memtable
     /// back under the hard cap. Never holds the region lock while
     /// waiting, so background flushes (and readers) proceed.
-    fn stall(&self) {
+    ///
+    /// Two escape hatches keep this from spinning forever: scheduler
+    /// shutdown (no flush is coming) and the stall deadline (flushes
+    /// failing persistently, e.g. a full disk). Both surface as
+    /// [`KvError::Stalled`] so the caller sees the rejection instead of
+    /// a hang.
+    fn stall(&self) -> Result<()> {
         self.stalls.inc();
         let started = Instant::now();
         loop {
             if self.inner.read().mem.approx_bytes() < self.opts.stall_bytes {
                 break;
+            }
+            if let Some(stop) = &self.opts.stop {
+                if stop.load(std::sync::atomic::Ordering::SeqCst) {
+                    return Err(KvError::Stalled("store is shutting down".into()));
+                }
+            }
+            if started.elapsed() >= self.opts.stall_deadline {
+                return Err(KvError::Stalled(format!(
+                    "background flush did not relieve backpressure within {:?}",
+                    self.opts.stall_deadline
+                )));
             }
             if let Some(kick) = &self.opts.kick {
                 kick.kick();
@@ -255,6 +280,7 @@ impl Region {
             drop(guard);
         }
         self.stall_wait.record_duration(started.elapsed());
+        Ok(())
     }
 
     /// Point lookup.
@@ -502,7 +528,9 @@ mod tests {
                     buffer_bytes: 64 << 10,
                 },
                 stall_bytes: 0,
+                stall_deadline: Duration::from_secs(30),
                 kick: None,
+                stop: None,
             },
         )
         .unwrap()
@@ -691,6 +719,67 @@ mod tests {
         let r2 = open_wal_region(&dir, 1 << 10, SyncPolicy::PerWrite);
         assert!(r2.sstable_count() >= 1, "recovered memtable must flush");
         assert_eq!(r2.scan(b"", b"\xff").unwrap().len(), 100);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    fn stalled_region(
+        name: &str,
+        stall_deadline: Duration,
+        stop: Option<Arc<std::sync::atomic::AtomicBool>>,
+    ) -> (Region, PathBuf) {
+        let dir = std::env::temp_dir().join(format!(
+            "just-region-{name}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        // Managed (stall_bytes > 0) but with no scheduler attached:
+        // nothing will ever flush, so crossing the cap must stall until
+        // an escape hatch fires.
+        let r = Region::open_opts(
+            dir.clone(),
+            Arc::new(IoMetrics::new()),
+            Arc::new(BlockCache::new(0)),
+            RegionOptions {
+                flush_threshold: 256,
+                block_size: 512,
+                durability: DurabilityOptions::disabled(),
+                stall_bytes: 1024,
+                stall_deadline,
+                kick: None,
+                stop,
+            },
+        )
+        .unwrap();
+        (r, dir)
+    }
+
+    fn write_past_stall_cap(r: &Region) -> Result<()> {
+        for i in 0..64u32 {
+            r.put(format!("k{i:03}").into_bytes(), vec![0; 64])?;
+        }
+        Ok(())
+    }
+
+    #[test]
+    fn stall_errors_at_deadline_when_no_flush_comes() {
+        let (r, dir) = stalled_region("stall-deadline", Duration::from_millis(50), None);
+        let err = write_past_stall_cap(&r).unwrap_err();
+        assert!(matches!(err, crate::error::KvError::Stalled(_)), "{err}");
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn stall_aborts_immediately_on_shutdown_flag() {
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(true));
+        let (r, dir) = stalled_region("stall-stop", Duration::from_secs(60), Some(stop));
+        let started = Instant::now();
+        let err = write_past_stall_cap(&r).unwrap_err();
+        assert!(matches!(err, crate::error::KvError::Stalled(_)), "{err}");
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "stop flag must abort the stall, not wait out the deadline"
+        );
         std::fs::remove_dir_all(dir).ok();
     }
 

@@ -214,6 +214,12 @@ impl SsTableBuilder {
         self.file.write_all(&footer)?;
         self.file.sync_all()?;
         drop(self.file);
+        // `sync_all` covers the file contents; the directory entry that
+        // names it needs its own fsync, or power loss can erase the
+        // table after the covering WAL segments are already deleted.
+        if let Some(parent) = self.path.parent() {
+            crate::wal::fsync_dir(parent)?;
+        }
         SsTable::open_cached(&self.path, self.metrics, self.cache)
     }
 }

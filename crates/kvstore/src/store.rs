@@ -117,7 +117,9 @@ impl Store {
             } else {
                 0
             },
+            stall_deadline: self.options.maintenance.stall_deadline,
             kick: self.scheduler.as_ref().map(|s| s.kick_handle()),
+            stop: self.scheduler.as_ref().map(|s| s.stop_handle()),
         }
     }
 

@@ -321,6 +321,13 @@ fn decode_payload(payload: &[u8]) -> Option<WalRecord> {
     }
 }
 
+/// Fsyncs a directory so entry creations and deletions inside it survive
+/// power loss — fsync of a file covers its contents, not the directory
+/// entry that names it.
+pub(crate) fn fsync_dir(dir: &Path) -> std::io::Result<()> {
+    File::open(dir)?.sync_all()
+}
+
 fn segment_path(dir: &Path, id: u64) -> PathBuf {
     dir.join(format!("wal_{id:010}.log"))
 }
@@ -369,6 +376,12 @@ pub struct Wal {
     pending: Vec<u8>,
     /// Appended but not yet fsynced bytes (drives batched group commit).
     unsynced: bool,
+    /// Set after a failed append or fsync: the active segment may hold a
+    /// torn prefix (or unsynced pages the kernel is allowed to drop), so
+    /// appending more records would put acknowledged history *after* a
+    /// replay-stopping tear. Poisoned WALs reject writes until
+    /// [`Wal::rotate`] opens a fresh segment.
+    poisoned: bool,
     metrics: WalMetrics,
 }
 
@@ -429,6 +442,9 @@ impl Wal {
         metrics.replayed.add(records.len() as u64);
         let active_id = segments.last().map(|id| id + 1).unwrap_or(0);
         let file = Box::new(StdWalFile::open(&segment_path(dir, active_id))?);
+        // Make the new active segment's directory entry (and any orphan
+        // deletions above) durable before acknowledging writes into it.
+        fsync_dir(dir)?;
         Ok((
             Wal {
                 dir: dir.to_path_buf(),
@@ -438,6 +454,7 @@ impl Wal {
                 file,
                 pending: Vec::new(),
                 unsynced: false,
+                poisoned: false,
                 metrics,
             },
             records,
@@ -458,7 +475,16 @@ impl Wal {
 
     /// Appends one mutation, honouring the sync policy before returning
     /// (i.e. before the write can be acknowledged).
+    ///
+    /// After an IO failure the WAL is poisoned: the segment may end in a
+    /// torn prefix of the rejected record, so further appends are
+    /// refused (nothing acknowledged may land after a replay-stopping
+    /// tear) until a flush makes the memtable durable and [`Wal::rotate`]
+    /// swaps in a fresh segment.
     pub fn append(&mut self, key: &[u8], value: Option<&[u8]>) -> Result<()> {
+        if self.poisoned {
+            return Err(KvError::WalPoisoned);
+        }
         let before = self.pending.len();
         encode_record(&mut self.pending, key, value);
         self.metrics.appends.inc();
@@ -481,9 +507,22 @@ impl Wal {
     }
 
     /// Pushes buffered bytes to the OS (`write(2)`), without fsync.
+    ///
+    /// On error the WAL is poisoned (see [`Wal::append`]): a torn prefix
+    /// of the buffer may already be in the segment, so the rejected
+    /// bytes are dropped — never retried against the same file, where a
+    /// later success would strand them behind the tear and resurrect an
+    /// unacknowledged record on restart.
     pub fn flush_os(&mut self) -> Result<()> {
+        if self.poisoned {
+            return Err(KvError::WalPoisoned);
+        }
         if !self.pending.is_empty() {
-            self.file.append(&self.pending).map_err(KvError::Io)?;
+            if let Err(e) = self.file.append(&self.pending) {
+                self.pending.clear();
+                self.poisoned = true;
+                return Err(KvError::Io(e));
+            }
             self.pending.clear();
             self.unsynced = true;
         }
@@ -491,26 +530,37 @@ impl Wal {
     }
 
     /// Whether a [`Wal::sync`] would do work (unbuffered or unsynced
-    /// bytes exist). Lets the maintenance tick skip idle regions.
+    /// bytes exist). Lets the maintenance tick skip idle regions — and
+    /// poisoned WALs, which only a rotation can repair.
     pub fn needs_sync(&self) -> bool {
-        self.unsynced || !self.pending.is_empty()
+        !self.poisoned && (self.unsynced || !self.pending.is_empty())
     }
 
     /// Forces everything appended so far to stable storage.
+    ///
+    /// A failed fsync also poisons the WAL: the kernel may have dropped
+    /// the dirty pages (fsyncgate semantics), so a later fsync success
+    /// on the same file proves nothing about the bytes this one failed
+    /// to cover.
     pub fn sync(&mut self) -> Result<()> {
         self.flush_os()?;
         if !self.unsynced {
             return Ok(());
         }
         let started = Instant::now();
-        self.file.sync().map_err(KvError::Io)?;
+        if let Err(e) = self.file.sync() {
+            self.poisoned = true;
+            return Err(KvError::Io(e));
+        }
         self.unsynced = false;
         self.metrics.syncs.inc();
         self.metrics.sync_latency.record_duration(started.elapsed());
         Ok(())
     }
 
-    /// Rotates to a fresh segment and deletes all older ones.
+    /// Rotates to a fresh segment and deletes all older ones. This is
+    /// also the repair path for a poisoned WAL: the torn segment is
+    /// deleted with the rest, so appends are accepted again.
     ///
     /// Call only once every logged mutation is durable elsewhere (i.e.
     /// right after a memtable flush fsynced its SSTable).
@@ -522,7 +572,11 @@ impl Wal {
         let old_last = self.active_id;
         self.active_id += 1;
         self.file = Box::new(StdWalFile::open(&segment_path(&self.dir, self.active_id))?);
+        // The new segment's directory entry must be durable before we
+        // acknowledge writes into it (or delete its predecessors).
+        fsync_dir(&self.dir)?;
         self.unsynced = false;
+        self.poisoned = false;
         for entry in std::fs::read_dir(&self.dir)? {
             let entry = entry?;
             if let Some(id) = segment_id(&entry.file_name().to_string_lossy()) {
@@ -531,6 +585,11 @@ impl Wal {
                 }
             }
         }
+        // Persist the deletions too; a resurrected old segment would be
+        // replayed (harmlessly, the SSTable shadows it) and re-deleted,
+        // but only if it survives *as a whole* — half-persisted deletes
+        // could leave a gap that orphans a surviving later segment.
+        fsync_dir(&self.dir)?;
         Ok(())
     }
 
@@ -698,6 +757,40 @@ mod tests {
         );
         std::fs::remove_dir_all(dir).ok();
         std::fs::remove_dir_all(crash_dir).ok();
+    }
+
+    #[test]
+    fn failed_append_poisons_wal_until_rotation() {
+        let dir = tmpdir("poison");
+        let (mut wal, _) = Wal::open(&dir, SyncPolicy::Batched, 64 << 10).unwrap();
+        let (file, state) = FaultyWalFile::new();
+        state.lock().write_budget = Some(3); // torn 3 bytes into the first record
+        wal.set_file_for_test(Box::new(file));
+
+        assert!(matches!(
+            wal.append(b"torn", Some(b"v")),
+            Err(KvError::Io(_))
+        ));
+        // The rejected record must not linger for a later retry: a
+        // torn prefix of it is already in the segment, and appending
+        // behind that tear would strand acknowledged history.
+        assert_eq!(wal.pending_bytes(), 0);
+        assert!(matches!(
+            wal.append(b"after", Some(b"v")),
+            Err(KvError::WalPoisoned)
+        ));
+        assert!(!wal.needs_sync(), "poisoned wal must not invite syncs");
+        let os_len_before = state.lock().os.len();
+
+        // Rotation (post-flush) repairs the log: fresh segment, appends
+        // accepted again, and nothing more ever reached the torn file.
+        wal.rotate().unwrap();
+        wal.append(b"fresh", Some(b"v")).unwrap();
+        assert_eq!(state.lock().os.len(), os_len_before);
+        drop(wal);
+        let (_, recovered) = Wal::open(&dir, SyncPolicy::Batched, 64 << 10).unwrap();
+        assert_eq!(recovered, vec![put(b"fresh", b"v")]);
+        std::fs::remove_dir_all(dir).ok();
     }
 
     #[test]

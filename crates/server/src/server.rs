@@ -304,7 +304,27 @@ fn refuse(stream: TcpStream, shared: &Shared, code: &str, message: impl Into<Str
         .spawn(move || {
             let mut stream = stream;
             let _ = stream.set_write_timeout(Some(timeout));
-            let _ = write_frame(&mut stream, &bytes);
+            let _ = stream.set_read_timeout(Some(timeout));
+            if write_frame(&mut stream, &bytes).is_err() {
+                return;
+            }
+            // Half-close, then drain the client's in-flight handshake
+            // before dropping the socket: closing with unread bytes
+            // queued makes the kernel send an RST, which discards the
+            // refusal response before the client can read it (the
+            // client would see EPIPE/ECONNRESET instead of BUSY).
+            // Drain is bounded so a hostile client cannot pin the
+            // thread by streaming bytes at us.
+            let _ = stream.shutdown(std::net::Shutdown::Write);
+            let deadline = Instant::now() + timeout;
+            let mut sink = [0u8; 1024];
+            let mut drained = 0usize;
+            while drained < 64 << 10 && Instant::now() < deadline {
+                match io::Read::read(&mut stream, &mut sink) {
+                    Ok(0) | Err(_) => break,
+                    Ok(n) => drained += n,
+                }
+            }
         });
 }
 
