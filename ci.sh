@@ -91,4 +91,17 @@ wait "$JUSTD_PID"
 JUSTD_PID=""
 echo "crash recovery OK: $GOT/$ROWS acknowledged rows survived kill -9"
 
+echo "==> read-path smoke bench (bloom + compression guards)"
+# The figures binary exits nonzero when a functional guard fails; also
+# require the bloom guard line explicitly so a silent zero-skip run
+# (bloom filters not consulted at all) cannot slip through.
+READ_PATH_OUT="$SMOKE_DIR/read_path.txt"
+./target/release/figures read_path --scale 0.1 --json "$SMOKE_DIR/bench" \
+    | tee "$READ_PATH_OUT"
+grep -q "bloom guard: PASS" "$READ_PATH_OUT" || {
+    echo "read-path bench reported no bloom skips on a miss-heavy workload"
+    exit 1
+}
+grep -q "compression guard: PASS" "$READ_PATH_OUT"
+
 echo "CI gate passed."

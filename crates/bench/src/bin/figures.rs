@@ -56,9 +56,11 @@ fn main() {
             "fig14".into(),
             "serve".into(),
             "durability".into(),
+            "read_path".into(),
         ];
     }
     let cfg = BenchConfig::default().scaled(scale);
+    let mut failed = false;
     let out = std::io::stdout();
     let mut out = out.lock();
     writeln!(
@@ -81,6 +83,11 @@ fn main() {
             "fig14" => figures::fig14::run(&cfg, &mut out, &mut report),
             "serve" => figures::serve::run(&cfg, &mut out, &mut report),
             "durability" => figures::durability::run(&cfg, &mut out, &mut report),
+            "read_path" => {
+                if !figures::read_path::run(&cfg, &mut out, &mut report) {
+                    failed = true;
+                }
+            }
             other => usage(&format!("unknown figure '{other}'")),
         }
         if let Some(dir) = &json_dir {
@@ -91,13 +98,17 @@ fn main() {
         }
         writeln!(out, "[{w} done in {:.1}s]\n", t0.elapsed().as_secs_f64()).unwrap();
     }
+    if failed {
+        eprintln!("error: a figure's functional guard failed");
+        std::process::exit(1);
+    }
 }
 
 fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
-        "usage: figures [all|table1|table2|fig8|fig10|fig11|fig12|fig13|fig14|serve|durability]... \
-         [--scale X] [--json DIR]"
+        "usage: figures [all|table1|table2|fig8|fig10|fig11|fig12|fig13|fig14|serve|durability|\
+         read_path]... [--scale X] [--json DIR]"
     );
     std::process::exit(2);
 }

@@ -9,6 +9,7 @@ pub mod fig12;
 pub mod fig13;
 pub mod fig14;
 pub mod fig8;
+pub mod read_path;
 pub mod serve;
 pub mod tables;
 

@@ -135,6 +135,8 @@ pub struct ObsIoSnapshot {
     pub memtable_hits: u64,
     /// SSTables pruned by their key fence without any block read.
     pub index_skips: u64,
+    /// Point-get misses answered by a bloom filter without any block read.
+    pub bloom_skips: u64,
     /// Memtable flushes.
     pub memtable_flushes: u64,
     /// Compactions.
@@ -151,6 +153,7 @@ impl ObsIoSnapshot {
             cache_hits: get("just_kvstore_cache_hits"),
             memtable_hits: get("just_kvstore_memtable_hits"),
             index_skips: get("just_kvstore_index_skips"),
+            bloom_skips: get("just_kvstore_bloom_skips"),
             memtable_flushes: get("just_kvstore_memtable_flushes"),
             compactions: get("just_kvstore_compactions"),
         }
@@ -163,6 +166,7 @@ impl ObsIoSnapshot {
             cache_hits: self.cache_hits - earlier.cache_hits,
             memtable_hits: self.memtable_hits - earlier.memtable_hits,
             index_skips: self.index_skips - earlier.index_skips,
+            bloom_skips: self.bloom_skips - earlier.bloom_skips,
             memtable_flushes: self.memtable_flushes - earlier.memtable_flushes,
             compactions: self.compactions - earlier.compactions,
         }
@@ -171,11 +175,13 @@ impl ObsIoSnapshot {
     fn to_json(self) -> String {
         format!(
             "{{\"blocks_read\":{},\"cache_hits\":{},\"memtable_hits\":{},\
-             \"index_skips\":{},\"memtable_flushes\":{},\"compactions\":{}}}",
+             \"index_skips\":{},\"bloom_skips\":{},\"memtable_flushes\":{},\
+             \"compactions\":{}}}",
             self.blocks_read,
             self.cache_hits,
             self.memtable_hits,
             self.index_skips,
+            self.bloom_skips,
             self.memtable_flushes,
             self.compactions
         )

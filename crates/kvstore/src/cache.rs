@@ -3,12 +3,21 @@
 //! memory to expedite the same queries").
 //!
 //! Sharded map with sampled (Redis-style) LRU eviction: each shard tracks
-//! a logical clock; eviction samples a handful of entries and drops the
-//! least recently used, which approximates LRU without an intrusive list.
-//! Cache hits are counted separately from disk reads in
-//! [`crate::IoMetrics`], so experiments can still measure true disk IO.
+//! a logical clock; eviction samples a handful of entries *uniformly at
+//! random* (each shard carries a seeded SplitMix64 generator and a dense
+//! key vector, so a sample is an O(1) index draw rather than a walk of
+//! `HashMap` iteration order, which always visits the same leading
+//! buckets and would starve whole regions of the map of eviction
+//! pressure). Shards are keyed by SSTable file id, so dropping a file on
+//! compaction locks exactly one shard instead of sweeping all of them.
+//!
+//! The cache stores *decompressed* block bytes: a hot block of a
+//! compressed table pays codec work once, at fill time. Cache hits are
+//! counted separately from disk reads in [`crate::IoMetrics`], so
+//! experiments can still measure true disk IO.
 
 use just_obs::sync::Mutex;
+use just_obs::Rng;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -19,10 +28,33 @@ const EVICTION_SAMPLE: usize = 8;
 /// Key: (sstable instance id, block index).
 type Key = (u64, usize);
 
+struct Entry {
+    data: Arc<Vec<u8>>,
+    used: u64,
+    /// Position of this entry's key in [`Shard::keys`], kept in sync so
+    /// eviction can sample uniformly by index.
+    slot: usize,
+}
+
 struct Shard {
-    map: HashMap<Key, (Arc<Vec<u8>>, u64)>,
+    map: HashMap<Key, Entry>,
+    /// Dense vector of resident keys; `map[k].slot` indexes into it.
+    keys: Vec<Key>,
     bytes: usize,
     clock: u64,
+    rng: Rng,
+}
+
+impl Shard {
+    fn remove(&mut self, key: &Key) -> Option<Arc<Vec<u8>>> {
+        let entry = self.map.remove(key)?;
+        self.bytes -= entry.data.len();
+        self.keys.swap_remove(entry.slot);
+        if let Some(moved) = self.keys.get(entry.slot) {
+            self.map.get_mut(moved).expect("moved key is resident").slot = entry.slot;
+        }
+        Some(entry.data)
+    }
 }
 
 /// The sharded block cache.
@@ -49,11 +81,13 @@ impl BlockCache {
     pub fn new(capacity_bytes: usize) -> Self {
         BlockCache {
             shards: (0..SHARDS)
-                .map(|_| {
+                .map(|i| {
                     Mutex::new(Shard {
                         map: HashMap::new(),
+                        keys: Vec::new(),
                         bytes: 0,
                         clock: 0,
+                        rng: Rng::seed_from_u64(0x6a75_7374_0000 + i as u64),
                     })
                 })
                 .collect(),
@@ -68,12 +102,13 @@ impl BlockCache {
         self.capacity_per_shard > 0
     }
 
-    fn shard_of(&self, key: &Key) -> usize {
-        let h = key
-            .0
-            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-            .wrapping_add(key.1 as u64);
-        (h >> 32) as usize % SHARDS
+    /// Shard choice depends on the file id only, so all blocks of one
+    /// SSTable live in one shard and [`BlockCache::invalidate_file`]
+    /// touches exactly that shard.
+    fn shard_of_file(&self, file_id: u64) -> usize {
+        let mut z = file_id.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        (z >> 32) as usize % SHARDS
     }
 
     /// Fetches a cached block.
@@ -82,13 +117,13 @@ impl BlockCache {
             return None;
         }
         let key = (file_id, block_idx);
-        let mut shard = self.shards[self.shard_of(&key)].lock();
+        let mut shard = self.shards[self.shard_of_file(file_id)].lock();
         shard.clock += 1;
         let clock = shard.clock;
         match shard.map.get_mut(&key) {
-            Some((data, used)) => {
-                *used = clock;
-                let out = data.clone();
+            Some(entry) => {
+                entry.used = clock;
+                let out = entry.data.clone();
                 drop(shard);
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 Some(out)
@@ -108,48 +143,66 @@ impl BlockCache {
             return;
         }
         let key = (file_id, block_idx);
-        let mut shard = self.shards[self.shard_of(&key)].lock();
+        let mut shard = self.shards[self.shard_of_file(file_id)].lock();
         shard.clock += 1;
         let clock = shard.clock;
         let len = data.len();
-        if let Some((old, _)) = shard.map.insert(key, (data, clock)) {
-            shard.bytes -= old.len();
+        if shard.map.contains_key(&key) {
+            let entry = shard.map.get_mut(&key).expect("checked");
+            let old_len = entry.data.len();
+            entry.data = data;
+            entry.used = clock;
+            shard.bytes -= old_len;
+        } else {
+            let slot = shard.keys.len();
+            shard.keys.push(key);
+            shard.map.insert(
+                key,
+                Entry {
+                    data,
+                    used: clock,
+                    slot,
+                },
+            );
         }
         shard.bytes += len;
         while shard.bytes > self.capacity_per_shard && shard.map.len() > 1 {
-            // Sample a few entries, evict the least recently used.
-            let victim = shard
-                .map
-                .iter()
-                .take(EVICTION_SAMPLE)
-                .min_by_key(|(_, (_, used))| *used)
-                .map(|(k, _)| *k);
-            match victim {
-                Some(k) if k != key => {
-                    if let Some((old, _)) = shard.map.remove(&k) {
-                        shard.bytes -= old.len();
-                    }
+            // Sample entries uniformly at random, evict the least
+            // recently used of the sample (never the fresh insert).
+            let n = shard.keys.len() as u64;
+            let mut victim: Option<(Key, u64)> = None;
+            for _ in 0..EVICTION_SAMPLE {
+                let draw = (shard.rng.next_u64() % n) as usize;
+                let k = shard.keys[draw];
+                if k == key {
+                    continue;
                 }
-                _ => break, // only the fresh entry sampled; stop
+                let used = shard.map[&k].used;
+                if victim.is_none_or(|(_, best)| used < best) {
+                    victim = Some((k, used));
+                }
+            }
+            match victim {
+                Some((k, _)) => {
+                    shard.remove(&k);
+                }
+                None => break, // only the fresh entry sampled; stop
             }
         }
     }
 
     /// Drops every block belonging to a file (on compaction/removal).
+    /// Locks only the file's owning shard.
     pub fn invalidate_file(&self, file_id: u64) {
-        for shard in &self.shards {
-            let mut shard = shard.lock();
-            let keys: Vec<Key> = shard
-                .map
-                .keys()
-                .filter(|(f, _)| *f == file_id)
-                .copied()
-                .collect();
-            for k in keys {
-                if let Some((old, _)) = shard.map.remove(&k) {
-                    shard.bytes -= old.len();
-                }
-            }
+        let mut shard = self.shards[self.shard_of_file(file_id)].lock();
+        let doomed: Vec<Key> = shard
+            .keys
+            .iter()
+            .filter(|(f, _)| *f == file_id)
+            .copied()
+            .collect();
+        for k in doomed {
+            shard.remove(&k);
         }
     }
 
@@ -204,6 +257,49 @@ mod tests {
     }
 
     #[test]
+    fn replacing_entry_updates_bytes_and_slot() {
+        let c = BlockCache::new(1 << 20);
+        c.put(1, 0, Arc::new(vec![0u8; 100]));
+        c.put(1, 0, Arc::new(vec![0u8; 50]));
+        let shard = c.shards[c.shard_of_file(1)].lock();
+        assert_eq!(shard.bytes, 50);
+        assert_eq!(shard.keys.len(), 1);
+        assert_eq!(shard.map[&(1, 0)].slot, 0);
+    }
+
+    #[test]
+    fn hot_blocks_survive_churn() {
+        // One file -> one shard: everything below fights over a single
+        // shard's capacity. A read-through workload (miss refills, as the
+        // SSTable read path does) with a hot set touched every round and
+        // a stream of cold blocks must keep a high hot hit ratio; the old
+        // HashMap-iteration sampling probed the same buckets every time,
+        // so eviction pressure concentrated there and hot entries living
+        // in those buckets were flushed over and over.
+        let c = BlockCache::new(SHARDS * 64 * 1024); // 64 KiB per shard
+        let hot: Vec<usize> = (0..16).collect();
+        let (mut accesses, mut misses) = (0u32, 0u32);
+        for round in 0..200usize {
+            for &i in &hot {
+                accesses += 1;
+                if c.get(1, i).is_none() {
+                    misses += 1;
+                    c.put(1, i, Arc::new(vec![0u8; 1024]));
+                }
+            }
+            // A burst of cold blocks that overflows the shard.
+            for j in 0..8usize {
+                c.put(1, 1000 + round * 8 + j, Arc::new(vec![0u8; 4096]));
+            }
+        }
+        let hit_ratio = 1.0 - f64::from(misses) / f64::from(accesses);
+        assert!(
+            hit_ratio > 0.9,
+            "hot blocks should survive churn: hit ratio {hit_ratio:.3} ({misses}/{accesses} misses)"
+        );
+    }
+
+    #[test]
     fn invalidate_file_removes_blocks() {
         let c = BlockCache::new(1 << 20);
         c.put(5, 0, Arc::new(vec![1u8; 10]));
@@ -213,6 +309,21 @@ mod tests {
         assert!(c.get(5, 0).is_none());
         assert!(c.get(5, 1).is_none());
         assert!(c.get(6, 0).is_some());
+        // Accounting stays exact after slot-fixup removals.
+        let shard = c.shards[c.shard_of_file(5)].lock();
+        assert!(shard.keys.iter().all(|(f, _)| *f != 5));
+    }
+
+    #[test]
+    fn file_blocks_share_a_shard() {
+        let c = BlockCache::new(1 << 20);
+        for idx in 0..64usize {
+            assert_eq!(c.shard_of_file(7), c.shard_of_file(7), "idx {idx}");
+        }
+        // Different files spread across shards.
+        let distinct: std::collections::HashSet<usize> =
+            (0..64u64).map(|f| c.shard_of_file(f)).collect();
+        assert!(distinct.len() > SHARDS / 2, "got {distinct:?}");
     }
 
     #[test]

@@ -32,6 +32,7 @@
 #![deny(missing_docs)]
 
 mod block;
+mod bloom;
 mod cache;
 mod error;
 mod maintenance;
@@ -44,14 +45,15 @@ mod store;
 mod table;
 mod wal;
 
-pub use block::{Block, BlockBuilder, DEFAULT_BLOCK_SIZE};
+pub use block::{Block, BlockBuilder, BlockFormat, DEFAULT_BLOCK_SIZE, RESTART_INTERVAL};
+pub use bloom::{bloom_hash, BloomFilter};
 pub use cache::BlockCache;
 pub use error::KvError;
 pub use maintenance::MaintenanceOptions;
 pub use memtable::MemTable;
 pub use metrics::{IoMetrics, IoSnapshot};
 pub use region::Region;
-pub use sstable::{SsTable, SsTableBuilder};
+pub use sstable::{SsTable, SsTableBuilder, SstOptions};
 pub use store::{Store, StoreOptions};
 pub use table::Table;
 pub use wal::{DurabilityOptions, FaultyWalFile, FaultyWalState, SyncPolicy, WalFile, WalRecord};

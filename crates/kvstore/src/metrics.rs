@@ -7,9 +7,10 @@
 //!
 //! Beyond raw disk blocks, the metrics distinguish work that was *avoided*:
 //! `memtable_hits` (point reads answered before touching any SSTable),
-//! `index_skips` (SSTables pruned by their min/max key fence — the
-//! bloom-filter stand-in in this store), and `cache_hits` (block reads
-//! served from the block cache). Without these, cache-resident workloads
+//! `index_skips` (SSTables pruned by their min/max key fence),
+//! `bloom_skips` (point misses answered by a per-SSTable bloom filter
+//! without touching any block), and `cache_hits` (block reads served
+//! from the block cache). Without these, cache-resident workloads
 //! look IO-free and unexplainable.
 
 use just_obs::Counter;
@@ -32,10 +33,12 @@ pub struct IoMetrics {
     cache_hits: AtomicU64,
     memtable_hits: AtomicU64,
     index_skips: AtomicU64,
+    bloom_skips: AtomicU64,
     obs_blocks_read: Counter,
     obs_cache_hits: Counter,
     obs_memtable_hits: Counter,
     obs_index_skips: Counter,
+    obs_bloom_skips: Counter,
 }
 
 impl Default for IoMetrics {
@@ -58,10 +61,12 @@ impl IoMetrics {
             cache_hits: AtomicU64::new(0),
             memtable_hits: AtomicU64::new(0),
             index_skips: AtomicU64::new(0),
+            bloom_skips: AtomicU64::new(0),
             obs_blocks_read: obs.counter("just_kvstore_blocks_read"),
             obs_cache_hits: obs.counter("just_kvstore_cache_hits"),
             obs_memtable_hits: obs.counter("just_kvstore_memtable_hits"),
             obs_index_skips: obs.counter("just_kvstore_index_skips"),
+            obs_bloom_skips: obs.counter("just_kvstore_bloom_skips"),
         }
     }
 
@@ -94,6 +99,11 @@ impl IoMetrics {
         self.obs_index_skips.inc();
     }
 
+    pub(crate) fn record_bloom_skip(&self) {
+        self.bloom_skips.fetch_add(1, Ordering::Relaxed);
+        self.obs_bloom_skips.inc();
+    }
+
     /// A point-in-time copy of the counters.
     pub fn snapshot(&self) -> IoSnapshot {
         IoSnapshot {
@@ -105,6 +115,7 @@ impl IoMetrics {
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             memtable_hits: self.memtable_hits.load(Ordering::Relaxed),
             index_skips: self.index_skips.load(Ordering::Relaxed),
+            bloom_skips: self.bloom_skips.load(Ordering::Relaxed),
         }
     }
 
@@ -118,6 +129,7 @@ impl IoMetrics {
         self.cache_hits.store(0, Ordering::Relaxed);
         self.memtable_hits.store(0, Ordering::Relaxed);
         self.index_skips.store(0, Ordering::Relaxed);
+        self.bloom_skips.store(0, Ordering::Relaxed);
     }
 }
 
@@ -138,9 +150,12 @@ pub struct IoSnapshot {
     pub cache_hits: u64,
     /// Point reads answered by a memtable before touching any SSTable.
     pub memtable_hits: u64,
-    /// SSTables skipped via their min/max key fence (bloom/index-block
-    /// stand-in) without reading any block.
+    /// SSTables skipped via their min/max key fence without reading any
+    /// block.
     pub index_skips: u64,
+    /// Point-get misses answered by a per-SSTable bloom filter without
+    /// reading any block.
+    pub bloom_skips: u64,
 }
 
 impl IoSnapshot {
@@ -155,6 +170,7 @@ impl IoSnapshot {
             cache_hits: self.cache_hits - earlier.cache_hits,
             memtable_hits: self.memtable_hits - earlier.memtable_hits,
             index_skips: self.index_skips - earlier.index_skips,
+            bloom_skips: self.bloom_skips - earlier.bloom_skips,
         }
     }
 }
@@ -172,6 +188,7 @@ mod tests {
         m.record_memtable_hit();
         m.record_index_skip();
         m.record_index_skip();
+        m.record_bloom_skip();
         let s = m.snapshot();
         assert_eq!(s.blocks_read, 2);
         assert_eq!(s.bytes_read, 8192);
@@ -179,6 +196,7 @@ mod tests {
         assert_eq!(s.blocks_written, 1);
         assert_eq!(s.memtable_hits, 1);
         assert_eq!(s.index_skips, 2);
+        assert_eq!(s.bloom_skips, 1);
         m.reset();
         assert_eq!(m.snapshot(), IoSnapshot::default());
     }
@@ -191,11 +209,13 @@ mod tests {
         let before = m.snapshot();
         m.record_block_read(50, false);
         m.record_index_skip();
+        m.record_bloom_skip();
         let delta = m.snapshot().since(&before);
         assert_eq!(delta.blocks_read, 1);
         assert_eq!(delta.bytes_read, 50);
         assert_eq!(delta.seeks, 0);
         assert_eq!(delta.memtable_hits, 0);
         assert_eq!(delta.index_skips, 1);
+        assert_eq!(delta.bloom_skips, 1);
     }
 }

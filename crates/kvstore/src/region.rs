@@ -11,7 +11,7 @@ use crate::maintenance::Kick;
 use crate::memtable::MemTable;
 use crate::merge::{merge_live, merge_versions};
 use crate::metrics::IoMetrics;
-use crate::sstable::{SsTable, SsTableBuilder};
+use crate::sstable::{SsTable, SsTableBuilder, SstOptions};
 use crate::wal::{DurabilityOptions, Wal};
 use crate::KvEntry;
 use just_obs::sync::{Condvar, Mutex, RwLock};
@@ -25,8 +25,8 @@ use std::time::{Duration, Instant};
 pub(crate) struct RegionOptions {
     /// Memtable flush threshold in bytes.
     pub flush_threshold: usize,
-    /// SSTable block size in bytes.
-    pub block_size: usize,
+    /// SSTable write settings (block size, format, codec, bloom sizing).
+    pub sst: SstOptions,
     /// Write-ahead-log settings.
     pub durability: DurabilityOptions,
     /// Hard memtable cap: writers stall above it until a background
@@ -49,7 +49,10 @@ impl RegionOptions {
     pub(crate) fn basic(flush_threshold: usize, block_size: usize) -> Self {
         RegionOptions {
             flush_threshold,
-            block_size,
+            sst: SstOptions {
+                block_size,
+                ..SstOptions::default()
+            },
             durability: DurabilityOptions::disabled(),
             stall_bytes: 0,
             stall_deadline: Duration::from_secs(30),
@@ -334,9 +337,9 @@ impl Region {
         let started = std::time::Instant::now();
         let path = self.dir.join(format!("sst_{:010}.sst", inner.next_file_id));
         inner.next_file_id += 1;
-        let mut builder = SsTableBuilder::create_cached(
+        let mut builder = SsTableBuilder::create_opts(
             &path,
-            self.opts.block_size,
+            self.opts.sst.clone(),
             self.metrics.clone(),
             self.cache.clone(),
         )?;
@@ -378,9 +381,9 @@ impl Region {
         let merged = merge_versions(sources);
         let path = self.dir.join(format!("sst_{:010}.sst", inner.next_file_id));
         inner.next_file_id += 1;
-        let mut builder = SsTableBuilder::create_cached(
+        let mut builder = SsTableBuilder::create_opts(
             &path,
-            self.opts.block_size,
+            self.opts.sst.clone(),
             self.metrics.clone(),
             self.cache.clone(),
         )?;
@@ -521,7 +524,10 @@ mod tests {
             Arc::new(BlockCache::new(0)),
             RegionOptions {
                 flush_threshold,
-                block_size: 512,
+                sst: SstOptions {
+                    block_size: 512,
+                    ..SstOptions::default()
+                },
                 durability: DurabilityOptions {
                     wal: true,
                     sync,
@@ -742,7 +748,10 @@ mod tests {
             Arc::new(BlockCache::new(0)),
             RegionOptions {
                 flush_threshold: 256,
-                block_size: 512,
+                sst: SstOptions {
+                    block_size: 512,
+                    ..SstOptions::default()
+                },
                 durability: DurabilityOptions::disabled(),
                 stall_bytes: 1024,
                 stall_deadline,

@@ -1,19 +1,37 @@
 //! Immutable on-disk sorted string tables.
 //!
+//! Two on-disk formats coexist. **v1** (magic `JSSTBL01`) is the legacy
+//! layout: uncompressed linear-scan blocks, no bloom filter. **v2**
+//! (magic `JSSTBL02`) is what every writer now emits: prefix-compressed
+//! blocks with restart-point binary search ([`crate::block`]), an
+//! optional per-table block compression codec, and a blocked bloom
+//! filter serialized between the index and the footer. Readers
+//! auto-detect the format from the footer magic, so stores written
+//! before the upgrade keep serving.
+//!
 //! ```text
-//! file   := data-block* index footer
-//! index  := count(u64) { klen(u32) first_key offset(u64) len(u32) crc(u32) }*
-//!           minlen(u32) min_key maxlen(u32) max_key entry_count(u64)
-//! footer := index_offset(u64) index_len(u64) magic(b"JSSTBL01")
+//! v1 file := data-block* index footer24
+//! v2 file := data-block* index bloom footer33
+//! index   := count(u64) { klen(u32) first_key offset(u64) len(u32) crc(u32) }*
+//!            minlen(u32) min_key maxlen(u32) max_key entry_count(u64)
+//! footer24 := index_offset(u64) index_len(u64) magic(b"JSSTBL01")
+//! footer33 := index_offset(u64) index_len(u64) bloom_len(u64) codec(u8)
+//!             magic(b"JSSTBL02")
 //! ```
 //!
-//! All integers little-endian. Every data block is CRC-32 protected; block
-//! reads go through [`crate::IoMetrics`].
+//! All integers little-endian. Every data block is CRC-32 protected over
+//! its *on-disk* bytes (post-compression); compressed blocks carry a
+//! second checksum of the decompressed payload inside the
+//! [`just_compress::Codec`] container. Block reads go through
+//! [`crate::IoMetrics`]; the [`crate::BlockCache`] stores *decompressed*
+//! block bytes, so a hot block pays decompression exactly once.
 
-use crate::block::{Block, BlockBuilder, BlockEntry};
+use crate::block::{Block, BlockBuilder, BlockEntry, BlockFormat};
+use crate::bloom::{bloom_hash, BloomFilter};
 use crate::cache::{next_file_id, BlockCache};
 use crate::error::{KvError, Result};
 use crate::metrics::IoMetrics;
+use just_compress::Codec;
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
@@ -51,7 +69,46 @@ fn read_exact_at(_file: &File, path: &Path, buf: &mut [u8], offset: u64) -> std:
     f.read_exact(buf)
 }
 
-const MAGIC: &[u8; 8] = b"JSSTBL01";
+const MAGIC_V1: &[u8; 8] = b"JSSTBL01";
+const MAGIC_V2: &[u8; 8] = b"JSSTBL02";
+const FOOTER_V1: usize = 24;
+const FOOTER_V2: usize = 33;
+
+/// A block is flushed no later than this multiple of the target block
+/// size, bounding builder memory and worst-case decompression work even
+/// when the codec packs aggressively.
+const MAX_BLOCK_INFLATE: usize = 8;
+
+/// Write-side tuning for one SSTable (assembled by the store from
+/// [`crate::StoreOptions`]).
+#[derive(Debug, Clone)]
+pub struct SstOptions {
+    /// Target on-disk block size in bytes.
+    pub block_size: usize,
+    /// On-disk format to emit. Readers always auto-detect; `V1` exists
+    /// for compatibility tests and format-comparison benchmarks.
+    pub format: BlockFormat,
+    /// Per-block compression codec (v2 only; `Codec::None` stores blocks
+    /// raw). With a real codec the builder packs entries until the
+    /// *estimated on-disk* size reaches `block_size`, so compression
+    /// turns into fewer blocks fetched per scan — the paper's
+    /// compression→fewer-IOs effect — rather than just smaller ones.
+    pub codec: Codec,
+    /// Bloom filter bits per key (v2 only; 0 disables the filter).
+    /// ~10 bits/key yields a ≈1 % false-positive rate.
+    pub bloom_bits_per_key: usize,
+}
+
+impl Default for SstOptions {
+    fn default() -> Self {
+        SstOptions {
+            block_size: crate::block::DEFAULT_BLOCK_SIZE,
+            format: BlockFormat::V2,
+            codec: Codec::None,
+            bloom_bits_per_key: 10,
+        }
+    }
+}
 
 /// Table-driven CRC-32 (IEEE polynomial), computed at compile time; kept
 /// local so the store has no dependency on the compression crate. Block
@@ -96,7 +153,7 @@ struct BlockMeta {
 pub struct SsTableBuilder {
     path: PathBuf,
     file: File,
-    block_size: usize,
+    opts: SstOptions,
     current: BlockBuilder,
     blocks: Vec<BlockMeta>,
     offset: u64,
@@ -104,14 +161,29 @@ pub struct SsTableBuilder {
     min_key: Option<Vec<u8>>,
     max_key: Option<Vec<u8>>,
     last_key: Option<Vec<u8>>,
+    /// Key hashes for the bloom filter (v2 with bloom enabled).
+    bloom_hashes: Vec<u64>,
+    /// Cumulative encoded vs on-disk bytes, driving the adaptive packing
+    /// estimate when a compression codec is active.
+    encoded_bytes: u64,
+    disk_bytes: u64,
     metrics: Arc<IoMetrics>,
     cache: Arc<BlockCache>,
 }
 
 impl SsTableBuilder {
-    /// Creates a builder writing to `path` (truncating any existing file).
+    /// Creates a builder writing to `path` (truncating any existing
+    /// file) with default v2 options at the given block size.
     pub fn create(path: &Path, block_size: usize, metrics: Arc<IoMetrics>) -> Result<Self> {
-        Self::create_cached(path, block_size, metrics, Arc::new(BlockCache::new(0)))
+        Self::create_opts(
+            path,
+            SstOptions {
+                block_size,
+                ..SstOptions::default()
+            },
+            metrics,
+            Arc::new(BlockCache::new(0)),
+        )
     }
 
     /// Like [`SsTableBuilder::create`], wiring a shared block cache into
@@ -119,6 +191,24 @@ impl SsTableBuilder {
     pub fn create_cached(
         path: &Path,
         block_size: usize,
+        metrics: Arc<IoMetrics>,
+        cache: Arc<BlockCache>,
+    ) -> Result<Self> {
+        Self::create_opts(
+            path,
+            SstOptions {
+                block_size,
+                ..SstOptions::default()
+            },
+            metrics,
+            cache,
+        )
+    }
+
+    /// Full-control constructor: explicit format, codec and bloom sizing.
+    pub fn create_opts(
+        path: &Path,
+        opts: SstOptions,
         metrics: Arc<IoMetrics>,
         cache: Arc<BlockCache>,
     ) -> Result<Self> {
@@ -130,17 +220,42 @@ impl SsTableBuilder {
         Ok(SsTableBuilder {
             path: path.to_path_buf(),
             file,
-            block_size,
-            current: BlockBuilder::new(),
+            current: BlockBuilder::new(opts.format),
+            opts,
             blocks: Vec::new(),
             offset: 0,
             entry_count: 0,
             min_key: None,
             max_key: None,
             last_key: None,
+            bloom_hashes: Vec::new(),
+            encoded_bytes: 0,
+            disk_bytes: 0,
             metrics,
             cache,
         })
+    }
+
+    fn compressed(&self) -> bool {
+        self.opts.format == BlockFormat::V2 && self.opts.codec != Codec::None
+    }
+
+    /// Whether the current block is full. With a codec active the cut is
+    /// on the *estimated on-disk* size (encoded size times the ratio the
+    /// codec has achieved on this table so far), capped at
+    /// [`MAX_BLOCK_INFLATE`] so one block never balloons unboundedly.
+    fn block_full(&self) -> bool {
+        let size = self.current.size();
+        if !self.compressed() {
+            return size >= self.opts.block_size;
+        }
+        let ratio = if self.encoded_bytes == 0 {
+            1.0
+        } else {
+            (self.disk_bytes as f64 / self.encoded_bytes as f64).clamp(0.05, 1.0)
+        };
+        (size as f64 * ratio) >= self.opts.block_size as f64
+            || size >= self.opts.block_size * MAX_BLOCK_INFLATE
     }
 
     /// Appends an entry; keys must be strictly ascending.
@@ -158,9 +273,12 @@ impl SsTableBuilder {
             self.min_key = Some(key.to_vec());
         }
         self.max_key = Some(key.to_vec());
+        if self.opts.format == BlockFormat::V2 && self.opts.bloom_bits_per_key > 0 {
+            self.bloom_hashes.push(bloom_hash(key));
+        }
         self.current.add(key, value);
         self.entry_count += 1;
-        if self.current.size() >= self.block_size {
+        if self.block_full() {
             self.flush_block()?;
         }
         Ok(())
@@ -170,9 +288,16 @@ impl SsTableBuilder {
         if self.current.is_empty() {
             return Ok(());
         }
-        let builder = std::mem::take(&mut self.current);
+        let builder = std::mem::replace(&mut self.current, BlockBuilder::new(self.opts.format));
         let first_key = builder.first_key().expect("non-empty block").to_vec();
-        let data = builder.finish();
+        let encoded = builder.finish();
+        let data = if self.compressed() {
+            self.opts.codec.compress(&encoded)
+        } else {
+            encoded.clone()
+        };
+        self.encoded_bytes += encoded.len() as u64;
+        self.disk_bytes += data.len() as u64;
         let crc = crc32(&data);
         self.file.write_all(&data)?;
         self.metrics.record_block_write(data.len() as u64);
@@ -207,11 +332,30 @@ impl SsTableBuilder {
         index.extend_from_slice(&max_key);
         index.extend_from_slice(&self.entry_count.to_le_bytes());
         self.file.write_all(&index)?;
-        let mut footer = Vec::with_capacity(24);
-        footer.extend_from_slice(&index_offset.to_le_bytes());
-        footer.extend_from_slice(&(index.len() as u64).to_le_bytes());
-        footer.extend_from_slice(MAGIC);
-        self.file.write_all(&footer)?;
+        match self.opts.format {
+            BlockFormat::V1 => {
+                let mut footer = Vec::with_capacity(FOOTER_V1);
+                footer.extend_from_slice(&index_offset.to_le_bytes());
+                footer.extend_from_slice(&(index.len() as u64).to_le_bytes());
+                footer.extend_from_slice(MAGIC_V1);
+                self.file.write_all(&footer)?;
+            }
+            BlockFormat::V2 => {
+                let mut bloom = Vec::new();
+                if self.opts.bloom_bits_per_key > 0 && !self.bloom_hashes.is_empty() {
+                    BloomFilter::build(&self.bloom_hashes, self.opts.bloom_bits_per_key)
+                        .serialize_into(&mut bloom);
+                }
+                self.file.write_all(&bloom)?;
+                let mut footer = Vec::with_capacity(FOOTER_V2);
+                footer.extend_from_slice(&index_offset.to_le_bytes());
+                footer.extend_from_slice(&(index.len() as u64).to_le_bytes());
+                footer.extend_from_slice(&(bloom.len() as u64).to_le_bytes());
+                footer.push(self.opts.codec.code());
+                footer.extend_from_slice(MAGIC_V2);
+                self.file.write_all(&footer)?;
+            }
+        }
         self.file.sync_all()?;
         drop(self.file);
         // `sync_all` covers the file contents; the directory entry that
@@ -230,6 +374,9 @@ pub struct SsTable {
     /// Unique instance id for block-cache keying.
     file_id: u64,
     file: File,
+    format: BlockFormat,
+    codec: Codec,
+    bloom: Option<BloomFilter>,
     blocks: Vec<BlockMeta>,
     min_key: Vec<u8>,
     max_key: Vec<u8>,
@@ -243,6 +390,9 @@ impl std::fmt::Debug for SsTable {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("SsTable")
             .field("path", &self.path)
+            .field("format", &self.format)
+            .field("codec", &self.codec)
+            .field("bloom", &self.bloom.is_some())
             .field("blocks", &self.blocks.len())
             .field("entries", &self.entry_count)
             .finish()
@@ -250,7 +400,9 @@ impl std::fmt::Debug for SsTable {
 }
 
 impl SsTable {
-    /// Opens an existing table, loading its block index into memory.
+    /// Opens an existing table, loading its block index (and bloom
+    /// filter, if present) into memory. The on-disk format is
+    /// auto-detected from the footer magic.
     pub fn open(path: &Path, metrics: Arc<IoMetrics>) -> Result<Self> {
         Self::open_cached(path, metrics, Arc::new(BlockCache::new(0)))
     }
@@ -263,20 +415,46 @@ impl SsTable {
     ) -> Result<Self> {
         let mut file = File::open(path)?;
         let file_size = file.metadata()?.len();
-        if file_size < 24 {
+        if file_size < FOOTER_V1 as u64 {
             return Err(KvError::Corrupt(format!("{}: too small", path.display())));
         }
-        file.seek(SeekFrom::End(-24))?;
-        let mut footer = [0u8; 24];
-        file.read_exact(&mut footer)?;
-        if &footer[16..24] != MAGIC {
-            return Err(KvError::Corrupt(format!("{}: bad magic", path.display())));
-        }
-        let index_offset = u64::from_le_bytes(footer[0..8].try_into().unwrap());
-        let index_len = u64::from_le_bytes(footer[8..16].try_into().unwrap());
-        if index_offset + index_len + 24 != file_size {
-            return Err(KvError::Corrupt(format!("{}: bad footer", path.display())));
-        }
+        file.seek(SeekFrom::End(-8))?;
+        let mut magic = [0u8; 8];
+        file.read_exact(&mut magic)?;
+        let (format, index_offset, index_len, bloom_len, codec) = match &magic {
+            m if m == MAGIC_V1 => {
+                file.seek(SeekFrom::End(-(FOOTER_V1 as i64)))?;
+                let mut footer = [0u8; FOOTER_V1];
+                file.read_exact(&mut footer)?;
+                let index_offset = u64::from_le_bytes(footer[0..8].try_into().unwrap());
+                let index_len = u64::from_le_bytes(footer[8..16].try_into().unwrap());
+                if index_offset + index_len + FOOTER_V1 as u64 != file_size {
+                    return Err(KvError::Corrupt(format!("{}: bad footer", path.display())));
+                }
+                (BlockFormat::V1, index_offset, index_len, 0u64, Codec::None)
+            }
+            m if m == MAGIC_V2 => {
+                if file_size < FOOTER_V2 as u64 {
+                    return Err(KvError::Corrupt(format!("{}: too small", path.display())));
+                }
+                file.seek(SeekFrom::End(-(FOOTER_V2 as i64)))?;
+                let mut footer = [0u8; FOOTER_V2];
+                file.read_exact(&mut footer)?;
+                let index_offset = u64::from_le_bytes(footer[0..8].try_into().unwrap());
+                let index_len = u64::from_le_bytes(footer[8..16].try_into().unwrap());
+                let bloom_len = u64::from_le_bytes(footer[16..24].try_into().unwrap());
+                let codec = Codec::from_code(footer[24]).ok_or_else(|| {
+                    KvError::Corrupt(format!("{}: unknown codec {}", path.display(), footer[24]))
+                })?;
+                if index_offset + index_len + bloom_len + FOOTER_V2 as u64 != file_size {
+                    return Err(KvError::Corrupt(format!("{}: bad footer", path.display())));
+                }
+                (BlockFormat::V2, index_offset, index_len, bloom_len, codec)
+            }
+            _ => {
+                return Err(KvError::Corrupt(format!("{}: bad magic", path.display())));
+            }
+        };
         file.seek(SeekFrom::Start(index_offset))?;
         let mut index = vec![0u8; index_len as usize];
         file.read_exact(&mut index)?;
@@ -312,10 +490,24 @@ impl SsTable {
         let max_key = take(&mut pos, maxlen)?.to_vec();
         let entry_count = u64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap());
 
+        let bloom = if bloom_len > 0 {
+            file.seek(SeekFrom::Start(index_offset + index_len))?;
+            let mut buf = vec![0u8; bloom_len as usize];
+            file.read_exact(&mut buf)?;
+            Some(BloomFilter::deserialize(&buf).ok_or_else(|| {
+                KvError::Corrupt(format!("{}: bloom filter malformed", path.display()))
+            })?)
+        } else {
+            None
+        };
+
         Ok(SsTable {
             path: path.to_path_buf(),
             file_id: next_file_id(),
             file,
+            format,
+            codec,
+            bloom,
             blocks,
             min_key,
             max_key,
@@ -346,6 +538,21 @@ impl SsTable {
         &self.path
     }
 
+    /// The on-disk block format (auto-detected at open).
+    pub fn format(&self) -> BlockFormat {
+        self.format
+    }
+
+    /// The per-block compression codec recorded in the footer.
+    pub fn codec(&self) -> Codec {
+        self.codec
+    }
+
+    /// Whether a bloom filter is attached.
+    pub fn has_bloom(&self) -> bool {
+        self.bloom.is_some()
+    }
+
     /// Whether the key range `[start, end]` could overlap this table.
     pub fn overlaps(&self, start: &[u8], end: &[u8]) -> bool {
         !self.blocks.is_empty()
@@ -354,11 +561,12 @@ impl SsTable {
     }
 
     fn read_block(&self, idx: usize, seeked: bool) -> Result<Block> {
-        // Cache hits skip the disk (and the checksum, verified at fill
-        // time); only real disk fetches count as block reads.
+        // Cache hits skip the disk, the checksum and the decompression
+        // (all verified/performed at fill time); only real disk fetches
+        // count as block reads.
         if let Some(cached) = self.cache.get(self.file_id, idx) {
             self.metrics.record_cache_hit();
-            return Ok(Block::new(cached.as_ref().clone()));
+            return Ok(Block::new(cached.as_ref().clone(), self.format));
         }
         let meta = &self.blocks[idx];
         let mut buf = vec![0u8; meta.len as usize];
@@ -370,14 +578,24 @@ impl SsTable {
                 self.path.display()
             )));
         }
-        let block = Block::new(buf.clone());
+        let data = if self.codec != Codec::None {
+            Codec::decompress(&buf).map_err(|e| {
+                KvError::Corrupt(format!(
+                    "{}: block {idx} decompression failed: {e}",
+                    self.path.display()
+                ))
+            })?
+        } else {
+            buf
+        };
+        let block = Block::new(data.clone(), self.format);
         if !block.validate() {
             return Err(KvError::Corrupt(format!(
                 "{}: block {idx} framing invalid",
                 self.path.display()
             )));
         }
-        self.cache.put(self.file_id, idx, Arc::new(buf));
+        self.cache.put(self.file_id, idx, Arc::new(data));
         Ok(block)
     }
 
@@ -406,14 +624,20 @@ impl SsTable {
                 break;
             }
             let block = self.read_block(idx, first)?;
+            // The first block positions via restart binary search; later
+            // blocks start past `start` by construction, so seek from
+            // their beginning.
+            let entries = if first {
+                block.seek_iter(start)
+            } else {
+                block.iter()
+            };
             first = false;
-            for entry in block.iter() {
+            for entry in entries {
                 if entry.key.as_slice() > end {
                     return Ok(out);
                 }
-                if entry.key.as_slice() >= start {
-                    out.push(entry);
-                }
+                out.push(entry);
             }
             idx += 1;
         }
@@ -427,13 +651,17 @@ impl SsTable {
             self.metrics.record_index_skip();
             return Ok(None);
         }
+        if let Some(bloom) = &self.bloom {
+            if !bloom.may_contain(key) {
+                // Definite miss: resolved without touching any block.
+                self.metrics.record_bloom_skip();
+                return Ok(None);
+            }
+        }
         let block = self.read_block(self.seek_block(key), true)?;
-        for entry in block.iter() {
+        if let Some(entry) = block.seek_iter(key).next() {
             if entry.key.as_slice() == key {
                 return Ok(Some(entry.value));
-            }
-            if entry.key.as_slice() > key {
-                break;
             }
         }
         Ok(None)
@@ -460,9 +688,15 @@ mod tests {
         dir
     }
 
-    fn build(dir: &Path, n: u32) -> SsTable {
+    fn build_opts(dir: &Path, n: u32, opts: SstOptions) -> SsTable {
         let metrics = Arc::new(IoMetrics::new());
-        let mut b = SsTableBuilder::create(&dir.join("t.sst"), 256, metrics).unwrap();
+        let mut b = SsTableBuilder::create_opts(
+            &dir.join("t.sst"),
+            opts,
+            metrics,
+            Arc::new(BlockCache::new(0)),
+        )
+        .unwrap();
         for i in 0..n {
             let key = format!("key-{i:06}");
             let val = format!("value-{i}");
@@ -471,16 +705,66 @@ mod tests {
         b.finish().unwrap()
     }
 
+    fn build(dir: &Path, n: u32) -> SsTable {
+        build_opts(
+            dir,
+            n,
+            SstOptions {
+                block_size: 256,
+                ..SstOptions::default()
+            },
+        )
+    }
+
+    fn all_variants() -> Vec<(&'static str, SstOptions)> {
+        vec![
+            (
+                "v1",
+                SstOptions {
+                    block_size: 256,
+                    format: BlockFormat::V1,
+                    codec: Codec::None,
+                    bloom_bits_per_key: 0,
+                },
+            ),
+            (
+                "v2",
+                SstOptions {
+                    block_size: 256,
+                    ..SstOptions::default()
+                },
+            ),
+            (
+                "v2-zip",
+                SstOptions {
+                    block_size: 256,
+                    codec: Codec::Zip,
+                    ..SstOptions::default()
+                },
+            ),
+            (
+                "v2-gzip",
+                SstOptions {
+                    block_size: 256,
+                    codec: Codec::Gzip,
+                    ..SstOptions::default()
+                },
+            ),
+        ]
+    }
+
     #[test]
     fn build_and_scan() {
-        let dir = tmpdir("scan");
-        let t = build(&dir, 1000);
-        assert_eq!(t.entry_count(), 1000);
-        let hits = t.scan(b"key-000100", b"key-000199").unwrap();
-        assert_eq!(hits.len(), 100);
-        assert_eq!(hits[0].key, b"key-000100");
-        assert_eq!(hits[99].key, b"key-000199");
-        std::fs::remove_dir_all(dir).ok();
+        for (label, opts) in all_variants() {
+            let dir = tmpdir(&format!("scan-{label}"));
+            let t = build_opts(&dir, 1000, opts);
+            assert_eq!(t.entry_count(), 1000, "{label}");
+            let hits = t.scan(b"key-000100", b"key-000199").unwrap();
+            assert_eq!(hits.len(), 100, "{label}");
+            assert_eq!(hits[0].key, b"key-000100");
+            assert_eq!(hits[99].key, b"key-000199");
+            std::fs::remove_dir_all(dir).ok();
+        }
     }
 
     #[test]
@@ -501,14 +785,110 @@ mod tests {
 
     #[test]
     fn get_hits_and_misses() {
-        let dir = tmpdir("get");
-        let t = build(&dir, 100);
-        assert_eq!(
-            t.get(b"key-000042").unwrap(),
-            Some(Some(b"value-42".to_vec()))
+        for (label, opts) in all_variants() {
+            let dir = tmpdir(&format!("get-{label}"));
+            let t = build_opts(&dir, 100, opts);
+            assert_eq!(
+                t.get(b"key-000042").unwrap(),
+                Some(Some(b"value-42".to_vec())),
+                "{label}"
+            );
+            assert_eq!(t.get(b"key-9999").unwrap(), None, "{label}");
+            assert_eq!(t.get(b"aaa").unwrap(), None, "{label}");
+            std::fs::remove_dir_all(dir).ok();
+        }
+    }
+
+    #[test]
+    fn bloom_skips_misses_without_block_reads() {
+        let dir = tmpdir("bloom-skip");
+        let metrics = Arc::new(IoMetrics::new());
+        let mut b = SsTableBuilder::create_opts(
+            &dir.join("t.sst"),
+            SstOptions {
+                block_size: 256,
+                ..SstOptions::default()
+            },
+            metrics.clone(),
+            Arc::new(BlockCache::new(0)),
+        )
+        .unwrap();
+        for i in 0..500u32 {
+            b.add(format!("key-{i:06}").as_bytes(), Some(b"v")).unwrap();
+        }
+        let t = b.finish().unwrap();
+        assert!(t.has_bloom());
+        metrics.reset();
+        // Misses *inside* the key fence (the fence would catch outside).
+        let mut skips = 0u32;
+        for i in 0..500u32 {
+            let probe = format!("key-{:06}x", i);
+            assert_eq!(t.get(probe.as_bytes()).unwrap(), None);
+        }
+        let snap = metrics.snapshot();
+        skips += snap.bloom_skips as u32;
+        assert!(
+            skips >= 475,
+            "bloom should skip >=95% of misses, skipped {skips}/500"
         );
-        assert_eq!(t.get(b"key-9999").unwrap(), None);
-        assert_eq!(t.get(b"aaa").unwrap(), None);
+        // ("key-000499x" sorts past max_key and is fence-skipped.)
+        assert_eq!(
+            snap.blocks_read + snap.bloom_skips + snap.index_skips,
+            500,
+            "every miss bloom-skips, fence-skips, or reads exactly one block: {snap:?}"
+        );
+        // Present keys never bloom-skip (no false negatives).
+        metrics.reset();
+        for i in 0..500u32 {
+            assert!(t.get(format!("key-{i:06}").as_bytes()).unwrap().is_some());
+        }
+        assert_eq!(metrics.snapshot().bloom_skips, 0);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn compressed_tables_use_fewer_blocks() {
+        // Compressible values: the adaptive packer should fit several
+        // uncompressed-block-sizes worth of entries per on-disk block.
+        let build_var = |dir: &Path, codec: Codec| -> (SsTable, Arc<IoMetrics>) {
+            let metrics = Arc::new(IoMetrics::new());
+            let mut b = SsTableBuilder::create_opts(
+                &dir.join(format!("t-{codec}.sst")),
+                SstOptions {
+                    block_size: 1024,
+                    codec,
+                    ..SstOptions::default()
+                },
+                metrics.clone(),
+                Arc::new(BlockCache::new(0)),
+            )
+            .unwrap();
+            for i in 0..2000u32 {
+                let key = format!("traj/0042/{i:08}");
+                let val = format!(
+                    "lng=116.{:05},lat=39.{:05},speed=12.5,heading=90;",
+                    i,
+                    i * 7
+                );
+                b.add(key.as_bytes(), Some(val.as_bytes())).unwrap();
+            }
+            (b.finish().unwrap(), metrics)
+        };
+        let dir = tmpdir("fewer-blocks");
+        let (plain, m_plain) = build_var(&dir, Codec::None);
+        let (zipped, m_zip) = build_var(&dir, Codec::Zip);
+        assert!(zipped.file_size() < plain.file_size());
+        m_plain.reset();
+        m_zip.reset();
+        let a = plain.scan(b"", b"\xff\xff").unwrap();
+        let b = zipped.scan(b"", b"\xff\xff").unwrap();
+        assert_eq!(a, b, "same data back");
+        let plain_blocks = m_plain.snapshot().blocks_read;
+        let zip_blocks = m_zip.snapshot().blocks_read;
+        assert!(
+            zip_blocks * 10 <= plain_blocks * 7,
+            "compressed scan should read >=30% fewer blocks: {zip_blocks} vs {plain_blocks}"
+        );
         std::fs::remove_dir_all(dir).ok();
     }
 
@@ -592,18 +972,23 @@ mod tests {
 
     #[test]
     fn corruption_detected_on_read() {
-        let dir = tmpdir("corrupt");
-        let t = build(&dir, 200);
-        let path = t.path().to_path_buf();
-        drop(t);
-        // Flip a byte in the first data block.
-        let mut bytes = std::fs::read(&path).unwrap();
-        bytes[10] ^= 0xff;
-        std::fs::write(&path, &bytes).unwrap();
-        let metrics = Arc::new(IoMetrics::new());
-        let t = SsTable::open(&path, metrics).unwrap();
-        assert!(matches!(t.scan(b"", b"\xff\xff"), Err(KvError::Corrupt(_))));
-        std::fs::remove_dir_all(dir).ok();
+        for (label, opts) in all_variants() {
+            let dir = tmpdir(&format!("corrupt-{label}"));
+            let t = build_opts(&dir, 200, opts);
+            let path = t.path().to_path_buf();
+            drop(t);
+            // Flip a byte in the first data block.
+            let mut bytes = std::fs::read(&path).unwrap();
+            bytes[10] ^= 0xff;
+            std::fs::write(&path, &bytes).unwrap();
+            let metrics = Arc::new(IoMetrics::new());
+            let t = SsTable::open(&path, metrics).unwrap();
+            assert!(
+                matches!(t.scan(b"", b"\xff\xff"), Err(KvError::Corrupt(_))),
+                "{label}"
+            );
+            std::fs::remove_dir_all(dir).ok();
+        }
     }
 
     #[test]
@@ -615,6 +1000,36 @@ mod tests {
         assert_eq!(t.entry_count(), 0);
         assert!(t.scan(b"", b"\xff").unwrap().is_empty());
         assert_eq!(t.get(b"x").unwrap(), None);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn v1_file_reopens_and_serves_under_v2_reader() {
+        // Write the legacy format, reopen through the auto-detecting
+        // reader, and check reads plus the absence of v2-only machinery.
+        let dir = tmpdir("v1-reopen");
+        let t = build_opts(
+            &dir,
+            300,
+            SstOptions {
+                block_size: 256,
+                format: BlockFormat::V1,
+                codec: Codec::None,
+                bloom_bits_per_key: 10, // ignored for v1
+            },
+        );
+        let path = t.path().to_path_buf();
+        drop(t);
+        let bytes = std::fs::read(&path).unwrap();
+        assert_eq!(&bytes[bytes.len() - 8..], MAGIC_V1);
+        let t = SsTable::open(&path, Arc::new(IoMetrics::new())).unwrap();
+        assert_eq!(t.format(), BlockFormat::V1);
+        assert!(!t.has_bloom());
+        assert_eq!(
+            t.get(b"key-000123").unwrap(),
+            Some(Some(b"value-123".to_vec()))
+        );
+        assert_eq!(t.scan(b"", b"\xff\xff").unwrap().len(), 300);
         std::fs::remove_dir_all(dir).ok();
     }
 }

@@ -1,12 +1,15 @@
 //! The store root: a directory of tables sharing IO metrics and tuning.
 
+use crate::block::BlockFormat;
 use crate::cache::BlockCache;
 use crate::error::{KvError, Result};
 use crate::maintenance::{MaintenanceOptions, Scheduler};
 use crate::metrics::IoMetrics;
 use crate::region::RegionOptions;
+use crate::sstable::SstOptions;
 use crate::table::Table;
 use crate::wal::DurabilityOptions;
+use just_compress::Codec;
 use just_obs::sync::RwLock;
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
@@ -20,6 +23,20 @@ pub struct StoreOptions {
     /// Target SSTable block size in bytes (HBase default: 64 KiB; we use a
     /// smaller default so laptop-scale datasets still span many blocks).
     pub block_size: usize,
+    /// On-disk SSTable format for new writes. Defaults to
+    /// [`BlockFormat::V2`] (prefix compression + restart-point binary
+    /// search); readers auto-detect either format, so existing v1 data
+    /// keeps serving. `V1` exists for upgrade tests and format-comparison
+    /// benchmarks.
+    pub sst_format: BlockFormat,
+    /// Per-block compression codec for newly written SSTables (v2 only).
+    /// Mirrors HBase's per-column-family `COMPRESSION` setting; the block
+    /// cache stores decompressed bytes, so hot blocks decompress once.
+    pub codec: Codec,
+    /// Bloom filter bits per key for newly written SSTables (v2 only;
+    /// 0 disables blooms). ~10 bits/key ≈ 1 % false positives — the
+    /// HBase `BLOOMFILTER => ROW` equivalent.
+    pub bloom_bits_per_key: usize,
     /// Worker threads for parallel multi-range scans.
     pub scan_threads: usize,
     /// Store-wide block cache capacity in bytes (0 disables caching —
@@ -38,6 +55,9 @@ impl Default for StoreOptions {
         StoreOptions {
             flush_threshold: 4 << 20,
             block_size: 4096,
+            sst_format: BlockFormat::V2,
+            codec: Codec::None,
+            bloom_bits_per_key: 10,
             scan_threads: 8,
             block_cache_bytes: 32 << 20,
             durability: DurabilityOptions::default(),
@@ -110,7 +130,12 @@ impl Store {
     fn region_opts(&self) -> RegionOptions {
         RegionOptions {
             flush_threshold: self.options.flush_threshold,
-            block_size: self.options.block_size,
+            sst: SstOptions {
+                block_size: self.options.block_size,
+                format: self.options.sst_format,
+                codec: self.options.codec,
+                bloom_bits_per_key: self.options.bloom_bits_per_key,
+            },
             durability: self.options.durability.clone(),
             stall_bytes: if self.scheduler.is_some() {
                 self.options.maintenance.stall_bytes

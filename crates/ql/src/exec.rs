@@ -69,6 +69,15 @@ impl<'a> Executor<'a> {
                 trace.add_attr(span, "blocks_read", d.blocks_read);
                 trace.add_attr(span, "cache_hits", d.cache_hits);
                 trace.add_attr(span, "bytes_read", d.bytes_read);
+                // Of all block lookups this operator issued, the share the
+                // block cache absorbed (integer percent).
+                let lookups = d.blocks_read + d.cache_hits;
+                if let Some(pct) = (d.cache_hits * 100).checked_div(lookups) {
+                    trace.add_attr(span, "cache_hit_pct", pct);
+                }
+                if d.bloom_skips > 0 {
+                    trace.add_attr(span, "bloom_skips", d.bloom_skips);
+                }
                 if d.index_skips > 0 {
                     trace.add_attr(span, "index_skips", d.index_skips);
                 }

@@ -88,6 +88,78 @@ fn explain_analyze_matches_execute_and_reports_io() {
 }
 
 #[test]
+fn repeated_query_shows_cache_hits_in_explain_analyze() {
+    // Cache enabled: the first run faults blocks in from disk, the
+    // second run's EXPLAIN ANALYZE must attribute cache hits (and a
+    // nonzero hit percentage) to the scan operator.
+    let dir = std::env::temp_dir().join(format!(
+        "just-obs-it-cachehits-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+    let mut config = EngineConfig::default();
+    config.store.block_cache_bytes = 32 << 20;
+    let engine = Arc::new(Engine::open(&dir, config).unwrap());
+    let sessions = SessionManager::new(engine.clone());
+    let mut client = Client::new(sessions.session("obs"));
+    client
+        .execute("CREATE TABLE orders (fid integer:primary key, time date, geom point)")
+        .unwrap();
+    let data = OrderDataset::generate(2000, 7);
+    client
+        .session()
+        .insert("orders", &order_rows(&data.orders))
+        .unwrap();
+    engine.flush_all().unwrap();
+
+    let sql = "SELECT fid FROM orders WHERE fid = 1205";
+    let (first_data, first) = client.explain_analyze(sql).unwrap();
+    let (second_data, second) = client.explain_analyze(sql).unwrap();
+    assert_eq!(first_data.rows.len(), second_data.rows.len());
+
+    fn find_scan(trace: &just::obs::Trace, span: SpanId) -> Option<SpanId> {
+        if trace.name(span).starts_with("Scan") {
+            return Some(span);
+        }
+        trace
+            .children(span)
+            .into_iter()
+            .find_map(|c| find_scan(trace, c))
+    }
+    let scan1 = find_scan(&first, first.root()).expect("first plan has a Scan span");
+    let scan2 = find_scan(&second, second.root()).expect("second plan has a Scan span");
+    assert!(
+        first.attr(scan1, "blocks_read").unwrap_or(0) > 0,
+        "first run must fault blocks in from disk:\n{}",
+        first.render()
+    );
+    assert!(
+        second.attr(scan2, "cache_hits").unwrap_or(0) > 0,
+        "second run must be served by the block cache:\n{}",
+        second.render()
+    );
+    assert_eq!(
+        second.attr(scan2, "blocks_read"),
+        Some(0),
+        "second run should touch no disk blocks:\n{}",
+        second.render()
+    );
+    assert_eq!(
+        second.attr(scan2, "cache_hit_pct"),
+        Some(100),
+        "all lookups cached on the second run:\n{}",
+        second.render()
+    );
+    assert!(
+        second.render().contains("cache_hit_pct="),
+        "{}",
+        second.render()
+    );
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
 fn explain_statement_returns_plan_dataset() {
     let (mut client, _engine, dir) = populated_client("stmt", 500);
     let plan = client
