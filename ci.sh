@@ -16,6 +16,9 @@ cargo fmt --all -- --check
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> cargo doc --no-deps (rustdoc warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
 echo "==> cargo build --release"
 cargo build --workspace --release
 
@@ -103,5 +106,17 @@ grep -q "bloom guard: PASS" "$READ_PATH_OUT" || {
     exit 1
 }
 grep -q "compression guard: PASS" "$READ_PATH_OUT"
+
+echo "==> streaming-scan smoke bench (parity + early-termination guards)"
+# Streaming must return exactly the materializing scan's rows, and a
+# LIMIT 10 consumer must stop block reads early (<20% of the full scan).
+SCAN_STREAM_OUT="$SMOKE_DIR/scan_stream.txt"
+./target/release/figures scan_stream --scale 0.1 --json "$SMOKE_DIR/bench" \
+    | tee "$SCAN_STREAM_OUT"
+grep -q "parity guard: PASS" "$SCAN_STREAM_OUT"
+grep -q "streaming guard: PASS" "$SCAN_STREAM_OUT"
+
+echo "==> streaming example (query_stream + LIMIT early-exit)"
+cargo run --release -q -p just-core --example streaming_scan
 
 echo "CI gate passed."

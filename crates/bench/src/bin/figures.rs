@@ -57,6 +57,7 @@ fn main() {
             "serve".into(),
             "durability".into(),
             "read_path".into(),
+            "scan_stream".into(),
         ];
     }
     let cfg = BenchConfig::default().scaled(scale);
@@ -88,6 +89,11 @@ fn main() {
                     failed = true;
                 }
             }
+            "scan_stream" => {
+                if !figures::scan_stream::run(&cfg, &mut out, &mut report) {
+                    failed = true;
+                }
+            }
             other => usage(&format!("unknown figure '{other}'")),
         }
         if let Some(dir) = &json_dir {
@@ -108,7 +114,7 @@ fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
         "usage: figures [all|table1|table2|fig8|fig10|fig11|fig12|fig13|fig14|serve|durability|\
-         read_path]... [--scale X] [--json DIR]"
+         read_path|scan_stream]... [--scale X] [--json DIR]"
     );
     std::process::exit(2);
 }

@@ -1,0 +1,135 @@
+//! Streaming query with LIMIT-style early exit.
+//!
+//! Loads 50 000 GPS fixes across Beijing, then answers "give me 10 hits
+//! inside this window" two ways:
+//!
+//! * materializing — `query_stream` drained to the end, which is what
+//!   the old read path always paid;
+//! * streaming — pull batches from `Engine::query_stream` and cancel
+//!   the moment 10 rows are in hand.
+//!
+//! The program prints the `blocks_read` delta for both and exits nonzero
+//! if early exit did not actually save IO, so `ci.sh` runs it as a smoke
+//! test.
+//!
+//! ```text
+//! cargo run --release -p just-core --example streaming_scan
+//! ```
+
+use just_core::{Engine, EngineConfig};
+use just_geo::Rect;
+use just_storage::{Field, FieldType, Row, ScanOptions, Schema, SpatialPredicate, Value};
+
+fn main() {
+    let dir = std::env::temp_dir().join(format!("just-example-stream-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let engine = Engine::open(&dir, EngineConfig::default()).expect("engine open");
+
+    // A common table: one GPS fix per row, Z2T-indexed by default.
+    let schema = Schema::new(vec![
+        Field::new("fid", FieldType::Int).primary(),
+        Field::new("time", FieldType::Date),
+        Field::new("geom", FieldType::Point),
+    ])
+    .expect("schema");
+    engine
+        .create_table("fixes", schema, None, None)
+        .expect("create table");
+
+    // 50k fixes on a grid over central Beijing, all inside one hour.
+    let rows: Vec<Row> = (0..50_000i64)
+        .map(|i| {
+            let p = just_geo::Point::new(
+                116.2 + 0.4 * ((i * 7919 % 10_000) as f64 / 10_000.0),
+                39.7 + 0.4 * ((i * 104_729 % 10_000) as f64 / 10_000.0),
+            );
+            Row::new(vec![
+                Value::Int(i),
+                Value::Date(1_555_555_000_000 + i * 60),
+                Value::Geom(just_geo::Geometry::Point(p)),
+            ])
+        })
+        .collect();
+    engine.insert("fixes", &rows).expect("insert");
+    engine.flush_all().expect("flush");
+
+    let window = Rect::new(116.25, 39.75, 116.55, 40.05);
+    let limit = 10usize;
+
+    // Materializing baseline: drain the stream to the end.
+    let before = engine.io_snapshot();
+    let mut stream = engine
+        .query_stream(
+            "fixes",
+            Some(&window),
+            None,
+            SpatialPredicate::Within,
+            None,
+            ScanOptions::default(),
+        )
+        .expect("query_stream");
+    let mut total = 0usize;
+    while let Some(batch) = stream.next_batch().expect("batch") {
+        total += batch.len();
+    }
+    let full = engine.io_snapshot().since(&before);
+    println!(
+        "full drain   : {total:6} rows, {:5} blocks read",
+        full.blocks_read
+    );
+
+    // Streaming early exit: small batches, cancel at `limit` rows.
+    let before = engine.io_snapshot();
+    let mut stream = engine
+        .query_stream(
+            "fixes",
+            Some(&window),
+            None,
+            SpatialPredicate::Within,
+            // Project only column 0 (`fid`): geometry and time are
+            // decoded just far enough to check the predicate.
+            Some(&[0]),
+            ScanOptions {
+                batch_rows: limit,
+                ..Default::default()
+            },
+        )
+        .expect("query_stream");
+    let cancel = stream.cancel_token();
+    let mut got = Vec::new();
+    'outer: while let Some(batch) = stream.next_batch().expect("batch") {
+        for row in batch {
+            got.push(row);
+            if got.len() >= limit {
+                cancel.cancel();
+                break 'outer;
+            }
+        }
+    }
+    drop(stream);
+    let lim = engine.io_snapshot().since(&before);
+    println!(
+        "limit {limit} exit: {:6} rows, {:5} blocks read, {} early termination(s)",
+        got.len(),
+        lim.blocks_read,
+        lim.scan_early_terminations
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+    assert_eq!(
+        got.len(),
+        limit,
+        "the window holds far more than {limit} rows"
+    );
+    if total > limit && lim.blocks_read >= full.blocks_read {
+        eprintln!(
+            "early exit saved no IO: {} vs {} blocks",
+            lim.blocks_read, full.blocks_read
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "early exit read {}x fewer blocks",
+        full.blocks_read / lim.blocks_read.max(1)
+    );
+}

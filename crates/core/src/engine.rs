@@ -338,6 +338,31 @@ impl Engine {
         Ok(Dataset::new(columns, rows))
     }
 
+    /// Streaming query: refined rows one bounded batch at a time instead
+    /// of a materialized dataset, with the exact spatio-temporal
+    /// predicate and the column projection (schema field indices) pushed
+    /// into the per-batch decode. With neither window nor time this is a
+    /// streaming full scan. The returned stream is self-contained — it
+    /// holds its own table handles — and its
+    /// [`just_storage::QueryStream::cancel_token`] lets a satisfied
+    /// consumer (`LIMIT k`) stop the underlying block reads mid-range.
+    pub fn query_stream(
+        &self,
+        table: &str,
+        window: Option<&Rect>,
+        time: Option<(i64, i64)>,
+        predicate: SpatialPredicate,
+        projection: Option<&[usize]>,
+        opts: just_storage::ScanOptions,
+    ) -> Result<just_storage::QueryStream> {
+        let t = self.table(table)?;
+        Ok(if window.is_none() && time.is_none() {
+            t.scan_all_stream(projection, opts)
+        } else {
+            t.query_stream(window, time, predicate, projection, opts)
+        })
+    }
+
     /// Full scan (used by the SQL layer when no ST predicate applies).
     pub fn scan_all(&self, table: &str) -> Result<Dataset> {
         let t = self.table(table)?;

@@ -128,24 +128,31 @@ pub fn knn(table: &StTable, q: Point, k: usize, config: &KnnConfig) -> Result<Ve
             break;
         }
         range_queries += 1;
-        let hits = table.query_raw(Some(&area.rect), None)?;
-        for entry in hits {
-            // Overlapping scan ranges and quadrant boundaries surface the
-            // same record repeatedly; dedupe on the storage key *before*
-            // paying for row decode (which may decompress a GPS list).
-            if !seen.insert(entry.key.clone()) {
-                continue;
-            }
-            let row = table.decode_entry(&entry)?;
-            let meta = table.meta_of(&row)?;
-            let Some(geom) = &meta.geom else { continue };
-            let dist = geom.distance_to_point(&q);
-            cq.push(Candidate { dist, row });
-            if cq.len() > k {
-                cq.pop();
-            }
-            if cq.len() == k {
-                d_max = cq.peek().map(|c| c.dist).unwrap_or(f64::INFINITY);
+        // Stream the area's candidates batch-at-a-time: each expansion
+        // ring holds at most one batch of raw entries in memory instead
+        // of the whole area's hit list.
+        let mut hits =
+            table.query_raw_stream(Some(&area.rect), None, just_storage::ScanOptions::default());
+        while let Some(batch) = hits.next_batch()? {
+            for entry in batch {
+                // Overlapping scan ranges and quadrant boundaries surface
+                // the same record repeatedly; dedupe on the storage key
+                // *before* paying for row decode (which may decompress a
+                // GPS list).
+                if !seen.insert(entry.key.clone()) {
+                    continue;
+                }
+                let row = table.decode_entry(&entry)?;
+                let meta = table.meta_of(&row)?;
+                let Some(geom) = &meta.geom else { continue };
+                let dist = geom.distance_to_point(&q);
+                cq.push(Candidate { dist, row });
+                if cq.len() > k {
+                    cq.pop();
+                }
+                if cq.len() == k {
+                    d_max = cq.peek().map(|c| c.dist).unwrap_or(f64::INFINITY);
+                }
             }
         }
     }

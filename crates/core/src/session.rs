@@ -192,6 +192,28 @@ impl Session {
         self.engine.scan_all(&self.physical(table))
     }
 
+    /// Streaming query (see [`Engine::query_stream`]): batch-at-a-time
+    /// refined rows with predicate/projection pushdown and cooperative
+    /// cancellation.
+    pub fn query_stream(
+        &self,
+        table: &str,
+        window: Option<&Rect>,
+        time: Option<(i64, i64)>,
+        predicate: SpatialPredicate,
+        projection: Option<&[usize]>,
+        opts: just_storage::ScanOptions,
+    ) -> Result<just_storage::QueryStream> {
+        self.engine.query_stream(
+            &self.physical(table),
+            window,
+            time,
+            predicate,
+            projection,
+            opts,
+        )
+    }
+
     /// `CREATE VIEW` in this namespace.
     pub fn create_view(&self, name: &str, data: Dataset) -> Result<()> {
         self.engine.create_view(&self.physical(name), data)

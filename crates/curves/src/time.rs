@@ -4,7 +4,7 @@
 //! timestamps into disjoint periods:
 //! `Num(t) = floor((t - RefTime) / TimePeriodLen)` with `RefTime` =
 //! 1970-01-01T00:00:00Z. GeoMesa offers day/week/month/year; the paper's
-//! JUSTc variant "extend[s] a century of time period as GeoMesa does not
+//! JUSTc variant "extend\[s\] a century of time period as GeoMesa does not
 //! support it", so we provide it too.
 
 /// The granularity of temporal bucketing.

@@ -10,7 +10,7 @@ pub const METERS_PER_DEGREE_LAT: f64 = EARTH_RADIUS_M * std::f64::consts::PI / 1
 
 /// Euclidean distance in coordinate degrees.
 ///
-/// The paper "adopt[s] Euclidean distance for simplicity" for k-NN, so this
+/// The paper "adopt\[s\] Euclidean distance for simplicity" for k-NN, so this
 /// is the distance used by Algorithm 1; [`haversine_m`] is used where real
 /// metres matter (noise filtering, stay points, map matching).
 pub fn euclidean(a: &Point, b: &Point) -> f64 {

@@ -17,6 +17,13 @@
 //!    how the benchmarks demonstrate the paper's compression→fewer-IOs
 //!    effect.
 //!
+//! Scans come in two shapes: the materializing [`Table::scan`] family
+//! returns every entry at once, while the streaming [`Table::scan_stream`]
+//! / [`Table::scan_ranges_stream`] family yields bounded batches through a
+//! [`ScanStream`], reading blocks lazily so a consumer that stops early
+//! (a `LIMIT`, an `EXISTS` probe, a cancelled request via [`CancelToken`])
+//! also stops the disk IO. See [`MergeStream`] for the merge machinery.
+//!
 //! ```
 //! use just_kvstore::{Store, StoreOptions};
 //! let dir = std::env::temp_dir().join(format!("kv-doc-{}", std::process::id()));
@@ -40,6 +47,7 @@ mod memtable;
 mod merge;
 mod metrics;
 mod region;
+mod scan;
 mod sstable;
 mod store;
 mod table;
@@ -53,6 +61,7 @@ pub use maintenance::MaintenanceOptions;
 pub use memtable::MemTable;
 pub use metrics::{IoMetrics, IoSnapshot};
 pub use region::Region;
+pub use scan::{CancelToken, MergeStream, ScanOptions, ScanSource, ScanStream};
 pub use sstable::{SsTable, SsTableBuilder, SstOptions};
 pub use store::{Store, StoreOptions};
 pub use table::Table;

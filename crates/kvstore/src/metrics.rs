@@ -34,11 +34,17 @@ pub struct IoMetrics {
     memtable_hits: AtomicU64,
     index_skips: AtomicU64,
     bloom_skips: AtomicU64,
+    batches_emitted: AtomicU64,
+    scan_early_terminations: AtomicU64,
+    batch_bytes_peak: AtomicU64,
     obs_blocks_read: Counter,
     obs_cache_hits: Counter,
     obs_memtable_hits: Counter,
     obs_index_skips: Counter,
     obs_bloom_skips: Counter,
+    obs_batches_emitted: Counter,
+    obs_scan_early_terminations: Counter,
+    obs_batch_bytes: just_obs::Histogram,
 }
 
 impl Default for IoMetrics {
@@ -62,11 +68,17 @@ impl IoMetrics {
             memtable_hits: AtomicU64::new(0),
             index_skips: AtomicU64::new(0),
             bloom_skips: AtomicU64::new(0),
+            batches_emitted: AtomicU64::new(0),
+            scan_early_terminations: AtomicU64::new(0),
+            batch_bytes_peak: AtomicU64::new(0),
             obs_blocks_read: obs.counter("just_kvstore_blocks_read"),
             obs_cache_hits: obs.counter("just_kvstore_cache_hits"),
             obs_memtable_hits: obs.counter("just_kvstore_memtable_hits"),
             obs_index_skips: obs.counter("just_kvstore_index_skips"),
             obs_bloom_skips: obs.counter("just_kvstore_bloom_skips"),
+            obs_batches_emitted: obs.counter("just_kvstore_batches_emitted"),
+            obs_scan_early_terminations: obs.counter("just_kvstore_scan_early_terminations"),
+            obs_batch_bytes: obs.histogram("just_kvstore_batch_bytes"),
         }
     }
 
@@ -104,6 +116,22 @@ impl IoMetrics {
         self.obs_bloom_skips.inc();
     }
 
+    /// One bounded batch left a streaming scan; `bytes` is the batch's
+    /// key+value payload, which also feeds the in-flight high-water mark.
+    pub(crate) fn record_batch_emitted(&self, bytes: u64) {
+        self.batches_emitted.fetch_add(1, Ordering::Relaxed);
+        self.batch_bytes_peak.fetch_max(bytes, Ordering::Relaxed);
+        self.obs_batches_emitted.inc();
+        self.obs_batch_bytes.record(bytes);
+    }
+
+    /// A streaming scan was dropped or cancelled before running dry —
+    /// the consumer was satisfied and the remaining disk IO was skipped.
+    pub(crate) fn record_scan_early_termination(&self) {
+        self.scan_early_terminations.fetch_add(1, Ordering::Relaxed);
+        self.obs_scan_early_terminations.inc();
+    }
+
     /// A point-in-time copy of the counters.
     pub fn snapshot(&self) -> IoSnapshot {
         IoSnapshot {
@@ -116,6 +144,9 @@ impl IoMetrics {
             memtable_hits: self.memtable_hits.load(Ordering::Relaxed),
             index_skips: self.index_skips.load(Ordering::Relaxed),
             bloom_skips: self.bloom_skips.load(Ordering::Relaxed),
+            batches_emitted: self.batches_emitted.load(Ordering::Relaxed),
+            scan_early_terminations: self.scan_early_terminations.load(Ordering::Relaxed),
+            batch_bytes_peak: self.batch_bytes_peak.load(Ordering::Relaxed),
         }
     }
 
@@ -130,6 +161,9 @@ impl IoMetrics {
         self.memtable_hits.store(0, Ordering::Relaxed);
         self.index_skips.store(0, Ordering::Relaxed);
         self.bloom_skips.store(0, Ordering::Relaxed);
+        self.batches_emitted.store(0, Ordering::Relaxed);
+        self.scan_early_terminations.store(0, Ordering::Relaxed);
+        self.batch_bytes_peak.store(0, Ordering::Relaxed);
     }
 }
 
@@ -156,10 +190,24 @@ pub struct IoSnapshot {
     /// Point-get misses answered by a per-SSTable bloom filter without
     /// reading any block.
     pub bloom_skips: u64,
+    /// Bounded batches emitted by streaming scans
+    /// ([`crate::Table::scan_stream`]).
+    pub batches_emitted: u64,
+    /// Streaming scans dropped or cancelled before exhausting their key
+    /// ranges (a satisfied `LIMIT`/kNN consumer skipping residual IO).
+    pub scan_early_terminations: u64,
+    /// Largest single streaming batch observed, in key+value payload
+    /// bytes — the peak in-flight memory of the batch pipeline. This is
+    /// a high-water mark, not a counter.
+    pub batch_bytes_peak: u64,
 }
 
 impl IoSnapshot {
     /// Counter-wise difference `self - earlier`, for measuring a phase.
+    ///
+    /// `batch_bytes_peak` is a high-water mark rather than a counter, so
+    /// it passes through unchanged: the delta of a peak is meaningless,
+    /// the peak itself is what a phase report wants.
     pub fn since(&self, earlier: &IoSnapshot) -> IoSnapshot {
         IoSnapshot {
             blocks_read: self.blocks_read - earlier.blocks_read,
@@ -171,6 +219,9 @@ impl IoSnapshot {
             memtable_hits: self.memtable_hits - earlier.memtable_hits,
             index_skips: self.index_skips - earlier.index_skips,
             bloom_skips: self.bloom_skips - earlier.bloom_skips,
+            batches_emitted: self.batches_emitted - earlier.batches_emitted,
+            scan_early_terminations: self.scan_early_terminations - earlier.scan_early_terminations,
+            batch_bytes_peak: self.batch_bytes_peak,
         }
     }
 }

@@ -11,6 +11,7 @@ use crate::maintenance::Kick;
 use crate::memtable::MemTable;
 use crate::merge::{merge_live, merge_versions};
 use crate::metrics::IoMetrics;
+use crate::scan::{MergeStream, ScanSource};
 use crate::sstable::{SsTable, SsTableBuilder, SstOptions};
 use crate::wal::{DurabilityOptions, Wal};
 use crate::KvEntry;
@@ -65,7 +66,10 @@ impl RegionOptions {
 struct RegionInner {
     mem: MemTable,
     /// Newest last (flush order); scans reverse this for precedence.
-    tables: Vec<SsTable>,
+    /// `Arc` so streaming scans can hold table handles after releasing
+    /// the region lock — a concurrent compaction unlinks the files, but
+    /// the open descriptors keep serving until the stream drops.
+    tables: Vec<Arc<SsTable>>,
     next_file_id: u64,
 }
 
@@ -156,7 +160,11 @@ impl Region {
         let mut tables = Vec::with_capacity(files.len());
         let next_file_id = files.last().map(|(id, _)| id + 1).unwrap_or(0);
         for (_, path) in files {
-            tables.push(SsTable::open_cached(&path, metrics.clone(), cache.clone())?);
+            tables.push(Arc::new(SsTable::open_cached(
+                &path,
+                metrics.clone(),
+                cache.clone(),
+            )?));
         }
         let mut mem = MemTable::new();
         let wal = if opts.durability.wal {
@@ -324,6 +332,36 @@ impl Region {
         Ok(merge_live(sources))
     }
 
+    /// A streaming variant of [`Region::scan`]: snapshots the memtable
+    /// range and the SSTable handles under a brief read lock, then
+    /// returns a pull-based merge that reads one block at a time as the
+    /// consumer advances. Tombstone shadowing and newest-wins semantics
+    /// are identical to the materializing scan.
+    pub fn scan_stream(&self, start: &[u8], end: &[u8]) -> MergeStream {
+        if start > end {
+            return MergeStream::empty();
+        }
+        let inner = self.inner.read();
+        let mut sources = Vec::with_capacity(inner.tables.len() + 1);
+        // Source 0 is the memtable: the newest layer, so it wins merge
+        // ties. The range is materialized (it is bounded by the flush
+        // threshold) because the stream outlives the lock.
+        let mem: Vec<BlockEntry> = inner
+            .mem
+            .scan(start, end)
+            .map(|(k, v)| BlockEntry {
+                key: k.to_vec(),
+                value: v.map(|v| v.to_vec()),
+            })
+            .collect();
+        sources.push(ScanSource::mem(mem));
+        for table in inner.tables.iter().rev() {
+            sources.push(ScanSource::sstable(table.clone(), start, end));
+        }
+        drop(inner);
+        MergeStream::new(sources)
+    }
+
     /// Forces the memtable to disk.
     pub fn flush(&self) -> Result<()> {
         let mut inner = self.inner.write();
@@ -349,7 +387,7 @@ impl Region {
         // `finish` fsyncs the SSTable, so every logged mutation is
         // durable before its WAL segments are retired.
         let table = builder.finish()?;
-        inner.tables.push(table);
+        inner.tables.push(Arc::new(table));
         inner.mem.clear();
         if let Some(wal) = &self.wal {
             wal.lock().rotate()?;
@@ -399,7 +437,7 @@ impl Region {
             .iter()
             .map(|t| (t.file_id(), t.path().to_path_buf()))
             .collect();
-        inner.tables = vec![table];
+        inner.tables = vec![Arc::new(table)];
         drop(inner);
         for (file_id, path) in old {
             self.cache.invalidate_file(file_id);

@@ -560,7 +560,7 @@ impl SsTable {
             && end >= self.min_key.as_slice()
     }
 
-    fn read_block(&self, idx: usize, seeked: bool) -> Result<Block> {
+    pub(crate) fn read_block(&self, idx: usize, seeked: bool) -> Result<Block> {
         // Cache hits skip the disk, the checksum and the decompression
         // (all verified/performed at fill time); only real disk fetches
         // count as block reads.
@@ -599,8 +599,24 @@ impl SsTable {
         Ok(block)
     }
 
+    /// The IO counters this table records into.
+    pub(crate) fn metrics(&self) -> &Arc<IoMetrics> {
+        &self.metrics
+    }
+
+    /// Number of data blocks in the table.
+    pub(crate) fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// First key of data block `idx` (for end-of-range fencing in
+    /// streaming scans).
+    pub(crate) fn block_first_key(&self, idx: usize) -> &[u8] {
+        &self.blocks[idx].first_key
+    }
+
     /// Index of the first block that could contain `key`.
-    fn seek_block(&self, key: &[u8]) -> usize {
+    pub(crate) fn seek_block(&self, key: &[u8]) -> usize {
         // partition_point: number of blocks whose first_key <= key.
         let n = self
             .blocks

@@ -9,7 +9,9 @@ use crate::cache::BlockCache;
 use crate::error::Result;
 use crate::metrics::IoMetrics;
 use crate::region::{Region, RegionOptions};
+use crate::scan::{ScanOptions, ScanStream};
 use crate::KvEntry;
+use std::collections::VecDeque;
 use std::path::PathBuf;
 use std::sync::Arc;
 
@@ -18,6 +20,7 @@ pub struct Table {
     name: String,
     regions: Vec<Arc<Region>>,
     scan_threads: usize,
+    metrics: Arc<IoMetrics>,
     scan_latency: just_obs::Histogram,
 }
 
@@ -104,6 +107,7 @@ impl Table {
             name,
             regions,
             scan_threads: scan_threads.max(1),
+            metrics,
             scan_latency: just_obs::global().histogram("just_kvstore_scan_latency_us"),
         })
     }
@@ -207,6 +211,41 @@ impl Table {
             }
         }
         Ok(out)
+    }
+
+    /// Streaming variant of [`Table::scan`]: a pull-based scan over one
+    /// key range yielding bounded batches. See
+    /// [`Table::scan_ranges_stream`].
+    pub fn scan_stream(&self, start: &[u8], end: &[u8], opts: ScanOptions) -> ScanStream {
+        self.scan_ranges_stream(vec![(start.to_vec(), end.to_vec())], opts)
+    }
+
+    /// Streaming variant of [`Table::scan_ranges_parallel`]: visits the
+    /// ranges in order, merging each region's layers lazily, and yields
+    /// bounded batches via [`ScanStream::next_batch`]. Construction does
+    /// no IO; a consumer that stops pulling (or cancels the token in
+    /// `opts`) leaves the remaining blocks unread — that saved IO is the
+    /// point of the streaming path for `LIMIT`-style consumers.
+    ///
+    /// Output order and contents are identical to concatenating
+    /// [`Table::scan`] over `ranges`.
+    pub fn scan_ranges_stream(
+        &self,
+        ranges: Vec<(Vec<u8>, Vec<u8>)>,
+        opts: ScanOptions,
+    ) -> ScanStream {
+        let mut pending = VecDeque::new();
+        for (start, end) in ranges {
+            if start > end {
+                continue;
+            }
+            let lo = self.region_of(&start);
+            let hi = self.region_of(&end);
+            for region in &self.regions[lo..=hi] {
+                pending.push_back((region.clone(), start.clone(), end.clone()));
+            }
+        }
+        ScanStream::new(pending, opts, self.metrics.clone())
     }
 
     /// Flushes every region's memtable.

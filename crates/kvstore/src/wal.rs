@@ -126,7 +126,7 @@ impl DurabilityOptions {
 /// semantics (a partial write is an error whose written prefix may still
 /// reach the file — a torn tail); `sync` is `fsync`.
 ///
-/// Production code uses [`StdWalFile`]; tests inject
+/// Production code uses `StdWalFile`; tests inject
 /// [`FaultyWalFile`] to simulate short writes, fsync failures and crash
 /// survival deterministically.
 pub trait WalFile: Send {

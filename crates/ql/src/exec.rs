@@ -54,6 +54,7 @@ impl<'a> Executor<'a> {
                 self.session.engine().io_snapshot(),
                 obs.counter("just_index_ranges_generated").get(),
                 obs.counter("just_index_keys_scanned").get(),
+                obs.counter("just_storage_rows_pruned_pushdown").get(),
             )
         });
         let mut children = Vec::new();
@@ -63,12 +64,22 @@ impl<'a> Executor<'a> {
         let result = self.execute_node(plan, children);
         if let Ok(data) = &result {
             trace.set_rows(span, data.len() as u64);
-            if let Some((io, ranges, keys)) = before {
+            if let Some((io, ranges, keys, pruned)) = before {
                 let obs = just_obs::global();
                 let d = self.session.engine().io_snapshot().since(&io);
                 trace.add_attr(span, "blocks_read", d.blocks_read);
                 trace.add_attr(span, "cache_hits", d.cache_hits);
                 trace.add_attr(span, "bytes_read", d.bytes_read);
+                if d.batches_emitted > 0 {
+                    trace.add_attr(span, "batches_emitted", d.batches_emitted);
+                }
+                if d.scan_early_terminations > 0 {
+                    trace.add_attr(span, "scan_early_terminations", d.scan_early_terminations);
+                }
+                let pruned = obs.counter("just_storage_rows_pruned_pushdown").get() - pruned;
+                if pruned > 0 {
+                    trace.add_attr(span, "rows_pruned_pushdown", pruned);
+                }
                 // Of all block lookups this operator issued, the share the
                 // block cache absorbed (integer percent).
                 let lookups = d.blocks_read + d.cache_hits;
@@ -113,7 +124,8 @@ impl<'a> Executor<'a> {
                 spatial,
                 time,
                 residual,
-            } => self.scan(table, alias, projection, spatial, time, residual),
+                limit,
+            } => self.scan(table, alias, projection, spatial, time, residual, limit),
             LogicalPlan::Values { columns, rows } => {
                 let mut out_rows = Vec::with_capacity(rows.len());
                 for exprs in rows {
@@ -158,6 +170,7 @@ impl<'a> Executor<'a> {
         spatial: &Option<(String, just_geo::Rect)>,
         time: &Option<(String, i64, i64)>,
         residual: &Option<Expr>,
+        limit: &Option<usize>,
     ) -> Result<Dataset> {
         // Views first (they shadow nothing: names are namespaced apart).
         let mut data = if let Ok(view) = self.session.view(table) {
@@ -171,75 +184,17 @@ impl<'a> Executor<'a> {
                 let pred = temporal_expr(col, *lo, *hi);
                 data = filter(data, &pred)?;
             }
+            if let Some(pred) = residual {
+                data = filter(data, pred)?;
+            }
+            if let Some(k) = limit {
+                data.rows.truncate(*k);
+            }
             data
         } else {
-            let def = self.session.describe(table)?;
-            let geom_name = def
-                .schema
-                .geom_index()
-                .map(|i| def.schema.fields()[i].name.clone());
-            let time_name = def
-                .schema
-                .time_index()
-                .map(|i| def.schema.fields()[i].name.clone());
-
-            let matches_field = |col: &str, field: &Option<String>| {
-                field
-                    .as_ref()
-                    .map(|f| {
-                        col.eq_ignore_ascii_case(f)
-                            || col
-                                .to_ascii_lowercase()
-                                .ends_with(&format!(".{}", f.to_ascii_lowercase()))
-                    })
-                    .unwrap_or(false)
-            };
-
-            let spatial_ok = spatial
-                .as_ref()
-                .filter(|(col, _)| matches_field(col, &geom_name));
-            let time_ok = time
-                .as_ref()
-                .filter(|(col, _, _)| matches_field(col, &time_name));
-
-            let mut data = match (spatial_ok, time_ok) {
-                (Some((_, rect)), Some((_, lo, hi))) => {
-                    self.session
-                        .st_range(table, rect, *lo, *hi, SpatialPredicate::Within)?
-                }
-                (Some((_, rect)), None) => {
-                    self.session
-                        .spatial_range(table, rect, SpatialPredicate::Within)?
-                }
-                // Time-only predicate: the whole world spatially, so the
-                // temporal index still prunes periods.
-                (None, Some((_, lo, hi))) => self.session.st_range(
-                    table,
-                    &just_geo::WORLD,
-                    *lo,
-                    *hi,
-                    SpatialPredicate::Within,
-                )?,
-                (None, None) => self.session.scan_all(table)?,
-            };
-            // Predicates that didn't match the indexed fields run in
-            // memory so results stay correct.
-            if spatial_ok.is_none() {
-                if let Some((col, rect)) = spatial {
-                    data = filter(data, &spatial_expr(col, *rect))?;
-                }
-            }
-            if time_ok.is_none() {
-                if let Some((col, lo, hi)) = time {
-                    data = filter(data, &temporal_expr(col, *lo, *hi))?;
-                }
-            }
-            data
+            self.scan_stored(table, projection, spatial, time, residual, limit)?
         };
 
-        if let Some(pred) = residual {
-            data = filter(data, pred)?;
-        }
         if let Some(cols) = projection {
             data = project_columns(data, cols)?;
         }
@@ -251,6 +206,135 @@ impl<'a> Executor<'a> {
                 .collect();
         }
         Ok(data)
+    }
+
+    /// Scans a stored table through the streaming read path: batches are
+    /// pulled one at a time, the indexed spatio-temporal predicate and
+    /// the column projection run *inside* the storage decode, residual
+    /// predicates run in memory per batch, and a pushed-down `LIMIT`
+    /// cancels the stream — stopping block reads — as soon as enough
+    /// matching rows have surfaced.
+    fn scan_stored(
+        &self,
+        table: &str,
+        projection: &Option<Vec<String>>,
+        spatial: &Option<(String, just_geo::Rect)>,
+        time: &Option<(String, i64, i64)>,
+        residual: &Option<Expr>,
+        limit: &Option<usize>,
+    ) -> Result<Dataset> {
+        let def = self.session.describe(table)?;
+        let geom_name = def
+            .schema
+            .geom_index()
+            .map(|i| def.schema.fields()[i].name.clone());
+        let time_name = def
+            .schema
+            .time_index()
+            .map(|i| def.schema.fields()[i].name.clone());
+
+        let matches_name = |col: &str, field: &str| {
+            col.eq_ignore_ascii_case(field)
+                || col
+                    .to_ascii_lowercase()
+                    .ends_with(&format!(".{}", field.to_ascii_lowercase()))
+        };
+        let matches_field = |col: &str, field: &Option<String>| {
+            field
+                .as_ref()
+                .map(|f| matches_name(col, f))
+                .unwrap_or(false)
+        };
+
+        let spatial_ok = spatial
+            .as_ref()
+            .filter(|(col, _)| matches_field(col, &geom_name));
+        let time_ok = time
+            .as_ref()
+            .filter(|(col, _, _)| matches_field(col, &time_name));
+
+        // Resolve the projected column names onto schema field indices so
+        // the storage layer can skip decoding dropped fields. Any name
+        // that fails to resolve (outer-query aliases can leak into
+        // advisory projections) falls back to decoding everything.
+        let proj_indices: Option<Vec<usize>> = projection.as_ref().and_then(|cols| {
+            let mut idx = Vec::with_capacity(cols.len());
+            for c in cols {
+                let i = def
+                    .schema
+                    .fields()
+                    .iter()
+                    .position(|f| matches_name(c, &f.name))?;
+                if !idx.contains(&i) {
+                    idx.push(i);
+                }
+            }
+            Some(idx)
+        });
+
+        let stream_spatial = match (spatial_ok, time_ok) {
+            (Some((_, rect)), _) => Some(rect),
+            // Time-only predicate: the whole world spatially, so the
+            // temporal index still prunes periods.
+            (None, Some(_)) => Some(&just_geo::WORLD),
+            (None, None) => None,
+        };
+        let stream_time = time_ok.map(|(_, lo, hi)| (*lo, *hi));
+        let mut opts = just_storage::ScanOptions::default();
+        if let Some(k) = limit {
+            // Don't overfetch: a satisfiable limit should stop within
+            // roughly one batch instead of paying for a full default one.
+            opts.batch_rows = opts.batch_rows.min((*k).max(1));
+        }
+        let mut stream = self.session.query_stream(
+            table,
+            stream_spatial,
+            stream_time,
+            SpatialPredicate::Within,
+            proj_indices.as_deref(),
+            opts,
+        )?;
+
+        // Predicates that didn't match the indexed fields run in memory
+        // per batch so results stay correct — and *before* rows count
+        // toward the limit.
+        let mut mem_preds: Vec<Expr> = Vec::new();
+        if spatial_ok.is_none() {
+            if let Some((col, rect)) = spatial {
+                mem_preds.push(spatial_expr(col, *rect));
+            }
+        }
+        if time_ok.is_none() {
+            if let Some((col, lo, hi)) = time {
+                mem_preds.push(temporal_expr(col, *lo, *hi));
+            }
+        }
+        if let Some(pred) = residual {
+            mem_preds.push(pred.clone());
+        }
+
+        let columns: Vec<String> = def.schema.fields().iter().map(|f| f.name.clone()).collect();
+        let cancel = stream.cancel_token();
+        let mut rows: Vec<Row> = Vec::new();
+        'batches: while let Some(batch) =
+            stream.next_batch().map_err(just_core::CoreError::Storage)?
+        {
+            let mut chunk = Dataset::new(columns.clone(), batch);
+            for pred in &mem_preds {
+                chunk = filter(chunk, pred)?;
+            }
+            for row in chunk.rows {
+                rows.push(row);
+                if let Some(k) = limit {
+                    if rows.len() >= *k {
+                        // Satisfied: stop the disk IO mid-range.
+                        cancel.cancel();
+                        break 'batches;
+                    }
+                }
+            }
+        }
+        Ok(Dataset::new(columns, rows))
     }
 }
 

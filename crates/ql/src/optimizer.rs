@@ -10,6 +10,15 @@
 //!    storage layer turns them into index key ranges.
 //! 3. **Push down projections** — only the columns needed by filters,
 //!    sorts and outputs are retained at the scan.
+//!
+//! Plus one rule beyond the paper's list, enabled by the streaming read
+//! path:
+//!
+//! 4. **Push down limits** — a `LIMIT k` whose input is a scan (possibly
+//!    behind pure-column projections) annotates the scan with `limit=k`,
+//!    so the executor stops pulling batches — and the kvstore stops
+//!    reading blocks — after the k-th *matching* row. The `Limit` node is
+//!    kept as the authoritative truncation.
 
 use crate::ast::{BinOp, Expr};
 use crate::functions::eval_const;
@@ -23,6 +32,7 @@ pub fn optimize(plan: LogicalPlan) -> Result<LogicalPlan> {
     let plan = fold_constants(plan)?;
     let plan = push_down_filters(plan)?;
     let plan = push_down_projections(plan);
+    let plan = push_down_limits(plan);
     Ok(plan)
 }
 
@@ -177,6 +187,7 @@ fn push_filter_into(input: LogicalPlan, predicate: Expr) -> Result<LogicalPlan> 
             mut spatial,
             mut time,
             residual,
+            limit,
         } => {
             let mut leftovers: Vec<Expr> = Vec::new();
             for conjunct in split_conjuncts(predicate) {
@@ -202,6 +213,7 @@ fn push_filter_into(input: LogicalPlan, predicate: Expr) -> Result<LogicalPlan> 
                 spatial,
                 time,
                 residual,
+                limit,
             })
         }
         other => Ok(LogicalPlan::Filter {
@@ -361,6 +373,7 @@ fn prune(plan: LogicalPlan, required: Option<Vec<String>>) -> LogicalPlan {
             spatial,
             time,
             residual,
+            limit,
         } => {
             let projection = match (projection, required) {
                 (Some(p), _) => Some(p),
@@ -388,6 +401,7 @@ fn prune(plan: LogicalPlan, required: Option<Vec<String>>) -> LogicalPlan {
                 spatial,
                 time,
                 residual,
+                limit,
             }
         }
         LogicalPlan::Join { left, right, on } => {
@@ -401,6 +415,93 @@ fn prune(plan: LogicalPlan, required: Option<Vec<String>>) -> LogicalPlan {
             }
         }
         leaf => leaf,
+    }
+}
+
+// ----------------------------------------------------------------------
+// Rule 4: limit pushdown
+// ----------------------------------------------------------------------
+
+fn push_down_limits(plan: LogicalPlan) -> LogicalPlan {
+    match plan {
+        LogicalPlan::Limit { input, n } => {
+            let input = push_down_limits(*input);
+            LogicalPlan::Limit {
+                input: Box::new(sink_limit(input, n)),
+                n,
+            }
+        }
+        LogicalPlan::Filter { input, predicate } => LogicalPlan::Filter {
+            input: Box::new(push_down_limits(*input)),
+            predicate,
+        },
+        LogicalPlan::Project { input, items } => LogicalPlan::Project {
+            input: Box::new(push_down_limits(*input)),
+            items,
+        },
+        LogicalPlan::Aggregate {
+            input,
+            group_by,
+            aggregates,
+        } => LogicalPlan::Aggregate {
+            input: Box::new(push_down_limits(*input)),
+            group_by,
+            aggregates,
+        },
+        LogicalPlan::Sort { input, keys } => LogicalPlan::Sort {
+            input: Box::new(push_down_limits(*input)),
+            keys,
+        },
+        LogicalPlan::Join { left, right, on } => LogicalPlan::Join {
+            left: Box::new(push_down_limits(*left)),
+            right: Box::new(push_down_limits(*right)),
+            on,
+        },
+        leaf => leaf,
+    }
+}
+
+/// Annotates the scan under `LIMIT n`, if it is reachable through
+/// row-count-preserving operators only. Pure-column projections (and
+/// `SELECT *`) neither add nor drop rows, so a limit sinks through them;
+/// `Filter`, `Sort`, `Aggregate`, `Join` and expression-computing
+/// projections (table functions like `st_traj2points` may *expand* rows)
+/// all block it. The scan's own pushed-down predicates don't block the
+/// sink: the streaming executor counts rows *after* its refine step.
+fn sink_limit(plan: LogicalPlan, n: usize) -> LogicalPlan {
+    match plan {
+        LogicalPlan::Project { input, items }
+            if items.iter().all(|(e, name)| {
+                matches!(e, Expr::Column(c) if c == name) || matches!(e, Expr::Star)
+            }) =>
+        {
+            LogicalPlan::Project {
+                input: Box::new(sink_limit(*input, n)),
+                items,
+            }
+        }
+        LogicalPlan::Limit { input, n: inner } => LogicalPlan::Limit {
+            input: Box::new(sink_limit(*input, inner.min(n))),
+            n: inner,
+        },
+        LogicalPlan::Scan {
+            table,
+            alias,
+            projection,
+            spatial,
+            time,
+            residual,
+            limit,
+        } => LogicalPlan::Scan {
+            table,
+            alias,
+            projection,
+            spatial,
+            time,
+            residual,
+            limit: Some(limit.map_or(n, |l| l.min(n))),
+        },
+        other => other,
     }
 }
 
@@ -468,6 +569,25 @@ mod tests {
             }
             other => panic!("{}", other.render()),
         }
+    }
+
+    #[test]
+    fn limit_sinks_through_pure_projections_into_scan() {
+        let plan =
+            optimized("SELECT fid, geom FROM t WHERE geom WITHIN st_makeMBR(1,2,3,4) LIMIT 10");
+        let rendered = plan.render();
+        // Limit node kept, scan annotated.
+        assert!(rendered.contains("Limit [10]"), "{rendered}");
+        assert!(rendered.contains("limit=10"), "{rendered}");
+    }
+
+    #[test]
+    fn limit_blocked_by_sort() {
+        // Sorting needs the full input; the scan must not stop early.
+        let plan = optimized("SELECT fid FROM t ORDER BY time LIMIT 5");
+        let rendered = plan.render();
+        assert!(rendered.contains("Limit [5]"), "{rendered}");
+        assert!(!rendered.contains("limit=5"), "{rendered}");
     }
 
     #[test]

@@ -25,6 +25,12 @@ pub enum LogicalPlan {
         time: Option<(String, i64, i64)>,
         /// Remaining pushed-down predicate evaluated during the scan.
         residual: Option<Expr>,
+        /// Pushed-down row limit: the scan may stop pulling batches once
+        /// this many *matching* rows (post spatial/time/residual refine)
+        /// have been produced. Populated by the optimizer's limit
+        /// pushdown; the enclosing `Limit` node is kept as the
+        /// authoritative truncation.
+        limit: Option<usize>,
     },
     /// Literal rows (`SELECT 1+1` and `INSERT ... VALUES`).
     Values {
@@ -165,6 +171,7 @@ impl LogicalPlan {
                 spatial: None,
                 time: None,
                 residual: None,
+                limit: None,
             }),
             FromItem::Subquery { query, alias } => {
                 let inner = Self::from_select(query)?;
@@ -348,6 +355,7 @@ impl LogicalPlan {
                 spatial,
                 time,
                 residual,
+                limit,
                 ..
             } => {
                 let mut s = format!("Scan [{table}]");
@@ -365,6 +373,9 @@ impl LogicalPlan {
                 }
                 if residual.is_some() {
                     s.push_str(" +residual");
+                }
+                if let Some(n) = limit {
+                    s.push_str(&format!(" limit={n}"));
                 }
                 s
             }

@@ -363,3 +363,62 @@ fn historical_update_via_sql() {
     assert_eq!(sh.len(), 1);
     std::fs::remove_dir_all(dir).ok();
 }
+
+#[test]
+fn limit_pushdown_stops_block_reads_early() {
+    // The streaming read path contract, end to end through SQL: a
+    // `LIMIT k` over a large flushed table must satisfy the query from a
+    // fraction of the block lookups the full scan needs, because the
+    // executor cancels the scan stream after the k-th matching row.
+    let dir = std::env::temp_dir().join(format!(
+        "just-ql-e2e-limitio-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+    let engine = Arc::new(Engine::open(&dir, EngineConfig::default()).unwrap());
+    let sessions = SessionManager::new(engine.clone());
+    let mut c = Client::new(sessions.session("e2e"));
+
+    c.execute("CREATE TABLE pts (fid integer:primary key, name string, geom point)")
+        .unwrap();
+    for chunk in 0..10i64 {
+        let mut values = Vec::new();
+        for j in 0..300i64 {
+            let i = chunk * 300 + j;
+            let lng = 116.0 + (i % 50) as f64 * 0.001;
+            let lat = 39.0 + (i / 50) as f64 * 0.001;
+            values.push(format!(
+                "({i}, 'record-with-some-padding-{i}', st_makePoint({lng}, {lat}))"
+            ));
+        }
+        c.execute(&format!("INSERT INTO pts VALUES {}", values.join(", ")))
+            .unwrap();
+    }
+    engine.flush_all().unwrap();
+
+    let before = engine.io_snapshot();
+    let full = c.execute("SELECT fid FROM pts").unwrap();
+    assert_eq!(full.dataset().unwrap().len(), 3000);
+    let full_io = engine.io_snapshot().since(&before);
+
+    let before = engine.io_snapshot();
+    let limited = c.execute("SELECT fid FROM pts LIMIT 10").unwrap();
+    assert_eq!(limited.dataset().unwrap().len(), 10);
+    let lim_io = engine.io_snapshot().since(&before);
+
+    // Compare *block lookups* (disk reads + cache hits) so the warm
+    // cache can't flatter the limited run.
+    let full_lookups = full_io.blocks_read + full_io.cache_hits;
+    let lim_lookups = lim_io.blocks_read + lim_io.cache_hits;
+    assert!(
+        lim_lookups * 5 < full_lookups,
+        "LIMIT 10 should need <20% of the full scan's block lookups: \
+         {lim_lookups} vs {full_lookups}"
+    );
+    assert!(
+        lim_io.scan_early_terminations >= 1,
+        "cancelled scan must be counted: {lim_io:?}"
+    );
+    std::fs::remove_dir_all(dir).ok();
+}

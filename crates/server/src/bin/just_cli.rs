@@ -78,7 +78,10 @@ fn main() -> ExitCode {
     };
     match outcome {
         Ok(text) => {
-            println!("{text}");
+            // A closed stdout (e.g. piping into `grep -q`, which exits at
+            // the first match) is not a failure of the command itself.
+            use std::io::Write;
+            let _ = writeln!(std::io::stdout(), "{text}");
             ExitCode::SUCCESS
         }
         Err(e) => {

@@ -12,6 +12,15 @@
 //!   region-server load balance,
 //! * [`StTable`] — an indexed table: insert/update/delete records, run
 //!   spatial and spatio-temporal range scans with exact post-filtering.
+//!
+//! Queries come in two shapes. [`StTable::query`] materializes every
+//! matching row. [`StTable::query_stream`] returns a [`QueryStream`] that
+//! yields bounded batches and pushes the work down: the exact
+//! spatial/temporal predicate is checked against a cheap partial decode
+//! (rejected rows are never fully decoded — counted by
+//! `just_storage_rows_pruned_pushdown`), a column projection skips
+//! decoding unwanted fields, and dropping or cancelling the stream stops
+//! the underlying block reads mid-scan.
 
 #![deny(missing_docs)]
 
@@ -24,8 +33,15 @@ mod value;
 pub use index::{IndexKind, IndexStrategy, ShardedPlan};
 pub use row::Row;
 pub use schema::{Field, FieldType, Schema};
-pub use sttable::{RecordMeta, SpatialPredicate, StTable, StorageConfig};
+pub use sttable::{
+    QueryStream, RawQueryStream, RecordMeta, SpatialPredicate, StTable, StorageConfig,
+};
 pub use value::Value;
+
+// The streaming query API ([`StTable::query_stream`]) hands out kvstore
+// scan types directly; re-export them so downstream crates (ql, core)
+// need not depend on just-kvstore for plumbing alone.
+pub use just_kvstore::{CancelToken, KvEntry, ScanOptions};
 
 use std::fmt;
 

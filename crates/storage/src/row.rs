@@ -5,8 +5,15 @@
 //! are [`just_compress::Codec`] containers wrapping the encoded value, so
 //! the codec is self-describing and historical rows survive later
 //! `compress=` changes.
+//!
+//! Because every field is length-prefixed, a reader can *skip* a field
+//! for the cost of one varint — without decompressing or decoding it.
+//! [`Row::decode_masked`] exploits this for projection/predicate
+//! pushdown: the streaming query path first decodes only the
+//! index-relevant fields, filters, and pays full decode (including GPS
+//! decompression) only for surviving rows.
 
-use crate::schema::Schema;
+use crate::schema::{Field, Schema};
 use crate::value::Value;
 use crate::{Result, StorageError};
 use just_compress::{varint, Codec};
@@ -56,41 +63,97 @@ impl Row {
         Ok(out)
     }
 
+    /// Walks one encoded field. When `want` is false, the payload is
+    /// skipped for the cost of the flag byte + length varint — no
+    /// decompression, no value decode — and `Ok(None)` is returned.
+    fn decode_field(
+        field: &Field,
+        buf: &[u8],
+        pos: &mut usize,
+        want: bool,
+    ) -> Result<Option<Value>> {
+        let flag = *buf
+            .get(*pos)
+            .ok_or_else(|| StorageError::Corrupt(format!("row truncated at '{}'", field.name)))?;
+        *pos += 1;
+        let payload = varint::read_bytes(buf, pos)
+            .ok_or_else(|| StorageError::Corrupt(format!("bad payload for '{}'", field.name)))?;
+        if !want {
+            return Ok(None);
+        }
+        let decoded_storage;
+        let raw: &[u8] = match flag {
+            0 => payload,
+            1 => {
+                decoded_storage = Codec::decompress(payload)?;
+                &decoded_storage
+            }
+            other => {
+                return Err(StorageError::Corrupt(format!(
+                    "unknown field flag {other} for '{}'",
+                    field.name
+                )))
+            }
+        };
+        let mut vpos = 0usize;
+        let value = Value::decode(raw, &mut vpos)
+            .ok_or_else(|| StorageError::Corrupt(format!("bad value for '{}'", field.name)))?;
+        Ok(Some(value))
+    }
+
     /// Deserialises a row written by [`Row::encode`].
     pub fn decode(schema: &Schema, buf: &[u8]) -> Result<Row> {
         let mut pos = 0usize;
         let mut values = Vec::with_capacity(schema.len());
         for field in schema.fields() {
-            let flag = *buf.get(pos).ok_or_else(|| {
-                StorageError::Corrupt(format!("row truncated at '{}'", field.name))
-            })?;
-            pos += 1;
-            let payload = varint::read_bytes(buf, &mut pos).ok_or_else(|| {
-                StorageError::Corrupt(format!("bad payload for '{}'", field.name))
-            })?;
-            let decoded_storage;
-            let raw: &[u8] = match flag {
-                0 => payload,
-                1 => {
-                    decoded_storage = Codec::decompress(payload)?;
-                    &decoded_storage
-                }
-                other => {
-                    return Err(StorageError::Corrupt(format!(
-                        "unknown field flag {other} for '{}'",
-                        field.name
-                    )))
-                }
-            };
-            let mut vpos = 0usize;
-            let value = Value::decode(raw, &mut vpos)
-                .ok_or_else(|| StorageError::Corrupt(format!("bad value for '{}'", field.name)))?;
+            let value = Self::decode_field(field, buf, &mut pos, true)?.expect("wanted");
             values.push(value);
         }
         if pos != buf.len() {
             return Err(StorageError::Corrupt("trailing bytes after row".into()));
         }
         Ok(Row { values })
+    }
+
+    /// Partially deserialises a row: fields where `mask[i]` is true are
+    /// decoded, the rest are skipped (flag byte + length varint only, no
+    /// decompression) and surface as [`Value::Null`]. The result keeps
+    /// full schema arity, so positional access stays valid.
+    ///
+    /// This is the projection-pushdown primitive: a query that only needs
+    /// the id and geometry of a trajectory row never pays for gunzipping
+    /// its GPS list.
+    pub fn decode_masked(schema: &Schema, buf: &[u8], mask: &[bool]) -> Result<Row> {
+        let mut pos = 0usize;
+        let mut values = Vec::with_capacity(schema.len());
+        for (i, field) in schema.fields().iter().enumerate() {
+            let want = mask.get(i).copied().unwrap_or(false);
+            match Self::decode_field(field, buf, &mut pos, want)? {
+                Some(value) => values.push(value),
+                None => values.push(Value::Null),
+            }
+        }
+        if pos != buf.len() {
+            return Err(StorageError::Corrupt("trailing bytes after row".into()));
+        }
+        Ok(Row { values })
+    }
+
+    /// Decodes the fields where `mask[i]` is true out of `buf` into this
+    /// row, overwriting those slots. The second half of a two-phase
+    /// decode: after [`Row::decode_masked`] + predicate check, fill in
+    /// the remaining projected fields of surviving rows only.
+    pub fn fill_masked(&mut self, schema: &Schema, buf: &[u8], mask: &[bool]) -> Result<()> {
+        let mut pos = 0usize;
+        for (i, field) in schema.fields().iter().enumerate() {
+            let want = mask.get(i).copied().unwrap_or(false);
+            if let Some(value) = Self::decode_field(field, buf, &mut pos, want)? {
+                if let Some(slot) = self.values.get_mut(i) {
+                    *slot = value;
+                }
+            }
+        }
+        Ok(())
     }
 }
 
@@ -177,6 +240,28 @@ mod tests {
         let bytes = r.encode(&s).unwrap();
         let back = Row::decode(&s, &bytes).unwrap();
         assert!(back.values[4].is_null());
+    }
+
+    #[test]
+    fn masked_decode_skips_unwanted_fields() {
+        let s = schema();
+        let bytes = row(200).encode(&s).unwrap();
+        // Only fid + geom: the compressed GPS list is never touched.
+        let mask = vec![true, false, false, true, false];
+        let partial = Row::decode_masked(&s, &bytes, &mask).unwrap();
+        assert_eq!(partial.values[0], Value::Int(7));
+        assert!(partial.values[1].is_null());
+        assert!(partial.values[4].is_null());
+        assert!(!partial.values[3].is_null());
+        // Fill the rest in a second phase and match a full decode.
+        let mut filled = partial.clone();
+        let rest = vec![false, true, true, false, true];
+        filled.fill_masked(&s, &bytes, &rest).unwrap();
+        assert_eq!(filled, Row::decode(&s, &bytes).unwrap());
+        // Truncated input still errors through the skipping path.
+        let mut short = bytes.clone();
+        short.truncate(short.len() - 3);
+        assert!(Row::decode_masked(&s, &short, &mask).is_err());
     }
 
     #[test]

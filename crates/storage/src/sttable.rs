@@ -23,6 +23,9 @@ struct IndexObs {
     keys_scanned: just_obs::Counter,
     /// Rows surviving decode + exact spatial/temporal filtering.
     rows_matched: just_obs::Counter,
+    /// Rows rejected by the pushed-down exact predicate *before* their
+    /// non-index fields were decoded (streaming path only).
+    rows_pruned: just_obs::Counter,
     /// End-to-end `StTable::query` latency.
     query_latency: just_obs::Histogram,
 }
@@ -36,6 +39,7 @@ fn index_obs() -> &'static IndexObs {
             curve_ranges: obs.counter("just_index_curve_ranges"),
             keys_scanned: obs.counter("just_index_keys_scanned"),
             rows_matched: obs.counter("just_index_rows_matched"),
+            rows_pruned: obs.counter("just_storage_rows_pruned_pushdown"),
             query_latency: obs.histogram("just_storage_query_latency_us"),
         }
     })
@@ -146,6 +150,63 @@ pub(crate) fn fid_bytes(v: &Value) -> Result<Vec<u8>> {
         )));
     }
     Ok(bytes)
+}
+
+/// Schema-level [`StTable::meta_of`]: extracts id bytes, geometry and the
+/// temporal extent. Only reads the index-relevant fields, so it works on
+/// rows partially decoded by [`Row::decode_masked`] with the meta mask.
+pub(crate) fn row_meta(schema: &Schema, row: &Row) -> Result<RecordMeta> {
+    let fid_value = row
+        .get(schema.fid_index())
+        .ok_or_else(|| StorageError::SchemaMismatch("row missing id field".into()))?;
+    let fid = fid_bytes(fid_value)?;
+
+    let (geom, gps_span) = match schema.geom_index() {
+        None => (None, None),
+        Some(geom_idx) => {
+            let geom_value = row
+                .get(geom_idx)
+                .ok_or_else(|| StorageError::SchemaMismatch("row missing geometry".into()))?;
+            match geom_value {
+                Value::Geom(g) => (Some(g.clone()), None),
+                Value::GpsList(samples) if !samples.is_empty() => {
+                    let pts: Vec<Point> =
+                        samples.iter().map(|s| Point::new(s.lng, s.lat)).collect();
+                    let span = (
+                        samples.iter().map(|s| s.time_ms).min().unwrap(),
+                        samples.iter().map(|s| s.time_ms).max().unwrap(),
+                    );
+                    (Some(Geometry::LineString(LineString::new(pts))), Some(span))
+                }
+                other => {
+                    return Err(StorageError::SchemaMismatch(format!(
+                        "geometry field holds {other:?}"
+                    )))
+                }
+            }
+        }
+    };
+
+    let t_min = schema
+        .time_index()
+        .and_then(|i| row.get(i))
+        .and_then(|v| v.as_date());
+    let t_max = schema
+        .time_end_index()
+        .and_then(|i| row.get(i))
+        .and_then(|v| v.as_date());
+    let (t_min, t_max) = match (t_min, t_max, gps_span) {
+        (Some(a), Some(b), _) => (a, b.max(a)),
+        (Some(a), None, _) => (a, a),
+        (None, _, Some((a, b))) => (a, b),
+        (None, _, None) => (0, 0),
+    };
+    Ok(RecordMeta {
+        fid,
+        geom,
+        t_min,
+        t_max,
+    })
 }
 
 impl StTable {
@@ -292,59 +353,7 @@ impl StTable {
     /// temporal extent (explicit `time`/`time_end` fields, else the GPS
     /// list's span).
     pub fn meta_of(&self, row: &Row) -> Result<RecordMeta> {
-        let fid_value = row
-            .get(self.schema.fid_index())
-            .ok_or_else(|| StorageError::SchemaMismatch("row missing id field".into()))?;
-        let fid = fid_bytes(fid_value)?;
-
-        let (geom, gps_span) = match self.schema.geom_index() {
-            None => (None, None),
-            Some(geom_idx) => {
-                let geom_value = row
-                    .get(geom_idx)
-                    .ok_or_else(|| StorageError::SchemaMismatch("row missing geometry".into()))?;
-                match geom_value {
-                    Value::Geom(g) => (Some(g.clone()), None),
-                    Value::GpsList(samples) if !samples.is_empty() => {
-                        let pts: Vec<Point> =
-                            samples.iter().map(|s| Point::new(s.lng, s.lat)).collect();
-                        let span = (
-                            samples.iter().map(|s| s.time_ms).min().unwrap(),
-                            samples.iter().map(|s| s.time_ms).max().unwrap(),
-                        );
-                        (Some(Geometry::LineString(LineString::new(pts))), Some(span))
-                    }
-                    other => {
-                        return Err(StorageError::SchemaMismatch(format!(
-                            "geometry field holds {other:?}"
-                        )))
-                    }
-                }
-            }
-        };
-
-        let t_min = self
-            .schema
-            .time_index()
-            .and_then(|i| row.get(i))
-            .and_then(|v| v.as_date());
-        let t_max = self
-            .schema
-            .time_end_index()
-            .and_then(|i| row.get(i))
-            .and_then(|v| v.as_date());
-        let (t_min, t_max) = match (t_min, t_max, gps_span) {
-            (Some(a), Some(b), _) => (a, b.max(a)),
-            (Some(a), None, _) => (a, a),
-            (None, _, Some((a, b))) => (a, b),
-            (None, _, None) => (0, 0),
-        };
-        Ok(RecordMeta {
-            fid,
-            geom,
-            t_min,
-            t_max,
-        })
+        row_meta(&self.schema, row)
     }
 
     /// Inserts a record; re-inserting an id replaces the old record even
@@ -419,6 +428,37 @@ impl StTable {
         Ok(Some(Row::decode(&self.schema, &bytes)?))
     }
 
+    /// Chooses the physical table and key ranges for a query window:
+    /// spatial-only queries on a temporal primary go to the secondary
+    /// spatial index (Table III's dual-index setting), open time windows
+    /// on a temporal primary clamp to the observed data bounds. Records
+    /// planning metrics. `None` means the table provably holds no data
+    /// for the window (no time bounds persisted yet).
+    fn plan_scan(
+        &self,
+        spatial: Option<&Rect>,
+        time: Option<(i64, i64)>,
+    ) -> Option<(crate::index::ShardedPlan, &Arc<KvTable>)> {
+        let (plan, scan_table) = match (time, &self.spatial) {
+            (None, Some((sst, stable))) => (sst.plan(spatial, None), stable),
+            _ => {
+                let plan_time = match time {
+                    Some(t) => Some(t),
+                    None if self.strategy.kind().is_temporal() => match *self.time_bounds.lock() {
+                        Some(bounds) => Some(bounds),
+                        None => return None,
+                    },
+                    None => None,
+                };
+                (self.strategy.plan(spatial, plan_time), &self.data)
+            }
+        };
+        let obs = index_obs();
+        obs.ranges_generated.add(plan.ranges.len() as u64);
+        obs.curve_ranges.add(plan.curve_ranges as u64);
+        Some((plan, scan_table))
+    }
+
     /// Plans and scans a query window, returning the raw key-value
     /// entries without decoding or exact filtering. The k-NN expansion
     /// uses this to deduplicate candidates by key before paying for row
@@ -428,26 +468,29 @@ impl StTable {
         spatial: Option<&Rect>,
         time: Option<(i64, i64)>,
     ) -> Result<Vec<just_kvstore::KvEntry>> {
-        let (plan, scan_table) = match (time, &self.spatial) {
-            (None, Some((sst, stable))) => (sst.plan(spatial, None), stable),
-            _ => {
-                let plan_time = match time {
-                    Some(t) => Some(t),
-                    None if self.strategy.kind().is_temporal() => match *self.time_bounds.lock() {
-                        Some(bounds) => Some(bounds),
-                        None => return Ok(Vec::new()),
-                    },
-                    None => None,
-                };
-                (self.strategy.plan(spatial, plan_time), &self.data)
-            }
+        let Some((plan, scan_table)) = self.plan_scan(spatial, time) else {
+            return Ok(Vec::new());
         };
         let entries = scan_table.scan_ranges_parallel(&plan.ranges)?;
-        let obs = index_obs();
-        obs.ranges_generated.add(plan.ranges.len() as u64);
-        obs.curve_ranges.add(plan.curve_ranges as u64);
-        obs.keys_scanned.add(entries.len() as u64);
+        index_obs().keys_scanned.add(entries.len() as u64);
         Ok(entries)
+    }
+
+    /// Streaming variant of [`StTable::query_raw`]: the planned ranges
+    /// are scanned lazily, one bounded batch at a time. The k-NN ring
+    /// expansion pulls from this and stops as soon as its candidate heap
+    /// is provably complete, leaving the rest of the ring unread.
+    pub fn query_raw_stream(
+        &self,
+        spatial: Option<&Rect>,
+        time: Option<(i64, i64)>,
+        opts: just_kvstore::ScanOptions,
+    ) -> RawQueryStream {
+        let inner = match self.plan_scan(spatial, time) {
+            Some((plan, scan_table)) => scan_table.scan_ranges_stream(plan.ranges, opts),
+            None => self.data.scan_ranges_stream(Vec::new(), opts),
+        };
+        RawQueryStream { inner }
     }
 
     /// Decodes one raw entry from [`StTable::query_raw`].
@@ -470,23 +513,28 @@ impl StTable {
         // bounds. Both live in query_raw.
         let started = std::time::Instant::now();
         let entries = self.query_raw(spatial, time)?;
+        // No window, nothing to refine: skip the per-row meta extraction
+        // (fid canonicalisation + geometry reconstruction) entirely.
+        let filtering = spatial.is_some() || time.is_some();
         let mut rows = Vec::with_capacity(entries.len());
         for e in entries {
             let row = Row::decode(&self.schema, &e.value)?;
-            let meta = self.meta_of(&row)?;
-            if let Some(rect) = spatial {
-                let ok = match (&meta.geom, predicate) {
-                    (None, _) => false,
-                    (Some(g), SpatialPredicate::Intersects) => g.intersects_rect(rect),
-                    (Some(g), SpatialPredicate::Within) => g.within_rect(rect),
-                };
-                if !ok {
-                    continue;
+            if filtering {
+                let meta = self.meta_of(&row)?;
+                if let Some(rect) = spatial {
+                    let ok = match (&meta.geom, predicate) {
+                        (None, _) => false,
+                        (Some(g), SpatialPredicate::Intersects) => g.intersects_rect(rect),
+                        (Some(g), SpatialPredicate::Within) => g.within_rect(rect),
+                    };
+                    if !ok {
+                        continue;
+                    }
                 }
-            }
-            if let Some((t_min, t_max)) = time {
-                if meta.t_max < t_min || meta.t_min > t_max {
-                    continue;
+                if let Some((t_min, t_max)) = time {
+                    if meta.t_max < t_min || meta.t_min > t_max {
+                        continue;
+                    }
                 }
             }
             rows.push(row);
@@ -495,6 +543,110 @@ impl StTable {
         obs.rows_matched.add(rows.len() as u64);
         obs.query_latency.record_duration(started.elapsed());
         Ok(rows)
+    }
+
+    /// Streaming variant of [`StTable::query`] with predicate and
+    /// projection pushdown — the refine step of the paper's query
+    /// algorithm, applied per batch instead of after a full
+    /// materialisation.
+    ///
+    /// Per entry the stream decodes only the index-relevant fields
+    /// ([`Row::decode_masked`]), applies the exact spatial/temporal
+    /// predicate, and pays full field decode (including GPS-list
+    /// decompression) only for survivors; rejected rows count toward
+    /// `just_storage_rows_pruned_pushdown`. `projection` limits which
+    /// field indices of surviving rows are decoded at all — undecoded
+    /// slots surface as [`Value::Null`] at full schema arity. Pass
+    /// `None` to decode every field.
+    ///
+    /// Cancellation (via `opts.cancel` or simply dropping the stream)
+    /// stops the underlying block reads mid-range.
+    pub fn query_stream(
+        &self,
+        spatial: Option<&Rect>,
+        time: Option<(i64, i64)>,
+        predicate: SpatialPredicate,
+        projection: Option<&[usize]>,
+        opts: just_kvstore::ScanOptions,
+    ) -> QueryStream {
+        let inner = match self.plan_scan(spatial, time) {
+            Some((plan, scan_table)) => scan_table.scan_ranges_stream(plan.ranges, opts),
+            None => self.data.scan_ranges_stream(Vec::new(), opts),
+        };
+        self.build_stream(inner, spatial, time, predicate, projection)
+    }
+
+    /// Streaming variant of [`StTable::scan_all`]: every record, decoded
+    /// batch by batch (with optional projection pushdown).
+    pub fn scan_all_stream(
+        &self,
+        projection: Option<&[usize]>,
+        opts: just_kvstore::ScanOptions,
+    ) -> QueryStream {
+        // Stop short of the reserved 0xff-prefixed meta keys.
+        let inner = self
+            .data
+            .scan_ranges_stream(vec![(vec![0u8], vec![0xfeu8; 80])], opts);
+        self.build_stream(inner, None, None, SpatialPredicate::Intersects, projection)
+    }
+
+    fn build_stream(
+        &self,
+        inner: just_kvstore::ScanStream,
+        spatial: Option<&Rect>,
+        time: Option<(i64, i64)>,
+        predicate: SpatialPredicate,
+        projection: Option<&[usize]>,
+    ) -> QueryStream {
+        let len = self.schema.len();
+        let filtering = spatial.is_some() || time.is_some();
+        let mut meta_mask = vec![false; len];
+        meta_mask[self.schema.fid_index()] = true;
+        if let Some(i) = self.schema.geom_index() {
+            meta_mask[i] = true;
+        }
+        if let Some(i) = self.schema.time_index() {
+            meta_mask[i] = true;
+        }
+        if let Some(i) = self.schema.time_end_index() {
+            meta_mask[i] = true;
+        }
+        let fill_mask = projection.map(|idxs| {
+            let mut m = vec![false; len];
+            for &i in idxs {
+                if i < len {
+                    m[i] = true;
+                }
+            }
+            m
+        });
+        // What survivors still need after the meta-phase decode.
+        let post_mask = if filtering {
+            let m: Vec<bool> = match &fill_mask {
+                Some(fm) => fm
+                    .iter()
+                    .zip(&meta_mask)
+                    .map(|(f, mm)| *f && !*mm)
+                    .collect(),
+                None => meta_mask.iter().map(|mm| !*mm).collect(),
+            };
+            m.iter().any(|&b| b).then_some(m)
+        } else {
+            None
+        };
+        QueryStream {
+            schema: self.schema.clone(),
+            inner,
+            spatial: spatial.cloned(),
+            time,
+            predicate,
+            filtering,
+            meta_mask,
+            fill_mask,
+            post_mask,
+            started: std::time::Instant::now(),
+            done: false,
+        }
     }
 
     /// Every record in the table.
@@ -545,6 +697,127 @@ impl StTable {
     /// Approximate record count.
     pub fn approx_entries(&self) -> u64 {
         self.data.approx_entries()
+    }
+}
+
+/// Streaming raw key-value entries from [`StTable::query_raw_stream`] —
+/// no decode, no exact filtering, but full planning/`keys_scanned`
+/// accounting. Self-contained: holds no borrow of the table.
+pub struct RawQueryStream {
+    inner: just_kvstore::ScanStream,
+}
+
+impl RawQueryStream {
+    /// The next bounded batch of raw entries, or `None` when drained.
+    pub fn next_batch(&mut self) -> Result<Option<Vec<just_kvstore::KvEntry>>> {
+        let batch = self.inner.next_batch()?;
+        if let Some(entries) = &batch {
+            index_obs().keys_scanned.add(entries.len() as u64);
+        }
+        Ok(batch)
+    }
+
+    /// Token to stop the scan early (see
+    /// [`just_kvstore::ScanStream::cancel_token`]).
+    pub fn cancel_token(&self) -> just_kvstore::CancelToken {
+        self.inner.cancel_token()
+    }
+}
+
+/// A streaming [`StTable::query`]: refined rows, one bounded batch at a
+/// time, with the exact predicate and the column projection pushed into
+/// the per-batch decode. Built by [`StTable::query_stream`] /
+/// [`StTable::scan_all_stream`]; self-contained (owns a schema clone),
+/// so it can be threaded through sessions without borrowing the table.
+pub struct QueryStream {
+    schema: Schema,
+    inner: just_kvstore::ScanStream,
+    spatial: Option<Rect>,
+    time: Option<(i64, i64)>,
+    predicate: SpatialPredicate,
+    /// Whether any exact predicate is active (otherwise the meta phase
+    /// is skipped wholesale — the streaming twin of the `query()` fast
+    /// path).
+    filtering: bool,
+    /// Index-relevant fields (id, geometry, time): decoded first.
+    meta_mask: Vec<bool>,
+    /// Projected fields (`None` = all). Undecoded slots stay `Null`.
+    fill_mask: Option<Vec<bool>>,
+    /// Fields survivors still need after the meta phase (`None` = the
+    /// meta phase already decoded everything the projection wants).
+    post_mask: Option<Vec<bool>>,
+    started: std::time::Instant,
+    done: bool,
+}
+
+impl QueryStream {
+    /// The schema rows of this stream conform to.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Token to stop the scan early (cloneable into the consumer).
+    pub fn cancel_token(&self) -> just_kvstore::CancelToken {
+        self.inner.cancel_token()
+    }
+
+    /// The next batch of refined rows, or `None` when the planned ranges
+    /// are drained (or the stream was cancelled). Batches where every
+    /// row was pruned are skipped, so a returned batch is non-empty.
+    pub fn next_batch(&mut self) -> Result<Option<Vec<Row>>> {
+        if self.done {
+            return Ok(None);
+        }
+        let obs = index_obs();
+        loop {
+            let Some(entries) = self.inner.next_batch()? else {
+                self.done = true;
+                obs.query_latency.record_duration(self.started.elapsed());
+                return Ok(None);
+            };
+            obs.keys_scanned.add(entries.len() as u64);
+            let mut rows = Vec::with_capacity(entries.len());
+            for e in &entries {
+                if !self.filtering {
+                    rows.push(match &self.fill_mask {
+                        Some(mask) => Row::decode_masked(&self.schema, &e.value, mask)?,
+                        None => Row::decode(&self.schema, &e.value)?,
+                    });
+                    continue;
+                }
+                // Phase 1: decode only the index digest and filter.
+                let mut row = Row::decode_masked(&self.schema, &e.value, &self.meta_mask)?;
+                let meta = row_meta(&self.schema, &row)?;
+                if let Some(rect) = &self.spatial {
+                    let ok = match (&meta.geom, self.predicate) {
+                        (None, _) => false,
+                        (Some(g), SpatialPredicate::Intersects) => g.intersects_rect(rect),
+                        (Some(g), SpatialPredicate::Within) => g.within_rect(rect),
+                    };
+                    if !ok {
+                        obs.rows_pruned.inc();
+                        continue;
+                    }
+                }
+                if let Some((t_min, t_max)) = self.time {
+                    if meta.t_max < t_min || meta.t_min > t_max {
+                        obs.rows_pruned.inc();
+                        continue;
+                    }
+                }
+                // Phase 2: survivors pay for the rest of their fields.
+                if let Some(mask) = &self.post_mask {
+                    row.fill_masked(&self.schema, &e.value, mask)?;
+                }
+                rows.push(row);
+            }
+            obs.rows_matched.add(rows.len() as u64);
+            if !rows.is_empty() {
+                return Ok(Some(rows));
+            }
+            // Every entry pruned: keep pulling rather than yield an
+            // empty batch.
+        }
     }
 }
 
@@ -622,6 +895,99 @@ mod tests {
             })
             .count();
         assert_eq!(hits.len(), brute);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn query_stream_matches_materializing_query() {
+        let (s, dir) = store("stream-eq");
+        let t = StTable::create(&s, "orders", order_schema(), StorageConfig::default()).unwrap();
+        for i in 0..300 {
+            let lng = 116.0 + (i % 20) as f64 * 0.01;
+            let lat = 39.0 + (i / 20) as f64 * 0.01;
+            t.insert(&order_row(i, lng, lat, (i % 48) * HOUR_MS / 2))
+                .unwrap();
+        }
+        t.flush().unwrap();
+        let window = Rect::new(115.995, 38.995, 116.055, 39.095);
+        let time = Some((0, 12 * HOUR_MS));
+        let expected = t
+            .query(Some(&window), time, SpatialPredicate::Within)
+            .unwrap();
+        let mut stream = t.query_stream(
+            Some(&window),
+            time,
+            SpatialPredicate::Within,
+            None,
+            just_kvstore::ScanOptions {
+                batch_rows: 16,
+                ..Default::default()
+            },
+        );
+        let mut streamed = Vec::new();
+        while let Some(batch) = stream.next_batch().unwrap() {
+            assert!(!batch.is_empty(), "returned batches are non-empty");
+            streamed.extend(batch);
+        }
+        assert!(!expected.is_empty());
+        assert_eq!(streamed, expected);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn query_stream_projection_skips_decode_and_keeps_arity() {
+        let (s, dir) = store("stream-proj");
+        let t = StTable::create(&s, "orders", order_schema(), StorageConfig::default()).unwrap();
+        for i in 0..50 {
+            t.insert(&order_row(i, 116.0 + i as f64 * 0.001, 39.0, i * HOUR_MS))
+                .unwrap();
+        }
+        // Project only `fid` (index 0): no predicate, so `time` (1) and
+        // `geom` (2) must surface as Null — never decoded.
+        let mut stream = t.scan_all_stream(Some(&[0]), just_kvstore::ScanOptions::default());
+        let mut n = 0;
+        while let Some(batch) = stream.next_batch().unwrap() {
+            for row in batch {
+                assert_eq!(row.values.len(), 3, "full schema arity");
+                assert!(matches!(row.values[0], Value::Int(_)));
+                assert!(row.values[1].is_null());
+                assert!(row.values[2].is_null());
+                n += 1;
+            }
+        }
+        assert_eq!(n, 50);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn query_stream_counts_pruned_rows() {
+        let (s, dir) = store("stream-prune");
+        let t = StTable::create(&s, "orders", order_schema(), StorageConfig::default()).unwrap();
+        // All rows share one curve cell neighbourhood, but only one is
+        // inside the exact window — the rest are false positives the
+        // refine step must prune (and count).
+        for i in 0..20 {
+            t.insert(&order_row(i, 116.0 + i as f64 * 0.0001, 39.0, 0))
+                .unwrap();
+        }
+        let tight = Rect::new(115.99995, 38.9999, 116.00005, 39.0001);
+        let before = index_obs().rows_pruned.get();
+        let mut stream = t.query_stream(
+            Some(&tight),
+            None,
+            SpatialPredicate::Within,
+            None,
+            just_kvstore::ScanOptions::default(),
+        );
+        let mut hits = Vec::new();
+        while let Some(batch) = stream.next_batch().unwrap() {
+            hits.extend(batch);
+        }
+        assert_eq!(hits.len(), 1);
+        assert!(
+            index_obs().rows_pruned.get() > before,
+            "pushdown pruning must be counted"
+        );
         std::fs::remove_dir_all(dir).ok();
     }
 
