@@ -116,6 +116,61 @@ SCAN_STREAM_OUT="$SMOKE_DIR/scan_stream.txt"
 grep -q "parity guard: PASS" "$SCAN_STREAM_OUT"
 grep -q "streaming guard: PASS" "$SCAN_STREAM_OUT"
 
+echo "==> observability smoke test (SHOW QUERIES / KILL QUERY over the wire)"
+OBS_DATA="$SMOKE_DIR/obs-data"
+start_justd "$OBS_DATA" "$SMOKE_DIR/obs-port" --slow-query-ms 50
+cli query "CREATE TABLE obspts (fid integer:primary key, geom point)"
+# Enough rows that the scan spans more than one 1024-row batch, so a
+# kill lands at a real batch boundary mid-stream.
+OBS_VALS=$(for i in $(seq 1 1200); do printf '(%d, st_makePoint(116.1, 39.9)),' "$i"; done)
+cli query "INSERT INTO obspts VALUES ${OBS_VALS%,}" | grep -q "1200"
+# A runaway query: the volatile sleep_ms predicate runs per row, so this
+# would take ~6s if nobody kills it.
+SLOW_ERR="$SMOKE_DIR/obs-slow.err"
+cli query "SELECT fid FROM obspts WHERE sleep_ms(5) >= 0" 2>"$SLOW_ERR" &
+SLOW_PID=$!
+# Concurrently, SHOW QUERIES on a second connection must list it live.
+QID=""
+for _ in $(seq 1 100); do
+    QID=$(cli query "SHOW QUERIES" | awk 'NR==3{print $1}')
+    [ -n "$QID" ] && break
+    sleep 0.1
+done
+[ -n "$QID" ] || { echo "runaway query never appeared in SHOW QUERIES"; exit 1; }
+cli query "SHOW QUERIES" | grep -q "sleep_ms"
+# Region traffic stats are visible and namespaced to this user.
+cli query "SHOW REGIONS" | grep -q "obspts | data"
+# KILL QUERY actually stops it: the client gets a typed CANCELLED error
+# (carrying the server's request id), well before the scan would finish.
+cli query "KILL QUERY $QID" | grep -q "kill requested for query $QID"
+if wait "$SLOW_PID"; then
+    echo "killed query unexpectedly succeeded"
+    exit 1
+fi
+grep -q "cancelled" "$SLOW_ERR" || {
+    echo "killed query did not report CANCELLED:"; cat "$SLOW_ERR"; exit 1
+}
+grep -q "request id" "$SLOW_ERR" || {
+    echo "error did not quote the server request id:"; cat "$SLOW_ERR"; exit 1
+}
+# The kill and the slow-query log are in the event log.
+cli query "SHOW EVENTS LIMIT 50" | grep -q "query.killed"
+cli query "SHOW EVENTS LIMIT 50" | grep -q "query.slow"
+# --watch-metrics renders SHOW METRICS as a table and tolerates a closed
+# stdout (head exits after the first screen).
+./target/release/just-cli --addr "$ADDR" --user smoke --watch-metrics 1 \
+    | head -40 | grep -q "just_core_queries_killed"
+./target/release/just-cli --addr "$ADDR" shutdown
+wait "$JUSTD_PID"
+JUSTD_PID=""
+echo "observability smoke OK: query $QID listed live, killed, logged"
+
+echo "==> observability overhead bench (<5% scan-throughput guard)"
+OBS_BENCH_OUT="$SMOKE_DIR/obs_overhead.txt"
+./target/release/figures obs_overhead --scale 0.1 --json "$SMOKE_DIR/bench" \
+    | tee "$OBS_BENCH_OUT"
+grep -q "overhead guard: PASS" "$OBS_BENCH_OUT"
+
 echo "==> streaming example (query_stream + LIMIT early-exit)"
 cargo run --release -q -p just-core --example streaming_scan
 

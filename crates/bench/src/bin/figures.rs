@@ -58,6 +58,7 @@ fn main() {
             "durability".into(),
             "read_path".into(),
             "scan_stream".into(),
+            "obs_overhead".into(),
         ];
     }
     let cfg = BenchConfig::default().scaled(scale);
@@ -94,6 +95,11 @@ fn main() {
                     failed = true;
                 }
             }
+            "obs_overhead" => {
+                if !figures::obs_overhead::run(&cfg, &mut out, &mut report) {
+                    failed = true;
+                }
+            }
             other => usage(&format!("unknown figure '{other}'")),
         }
         if let Some(dir) = &json_dir {
@@ -114,7 +120,7 @@ fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
         "usage: figures [all|table1|table2|fig8|fig10|fig11|fig12|fig13|fig14|serve|durability|\
-         read_path|scan_stream]... [--scale X] [--json DIR]"
+         read_path|scan_stream|obs_overhead]... [--scale X] [--json DIR]"
     );
     std::process::exit(2);
 }

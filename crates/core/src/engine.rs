@@ -29,6 +29,15 @@ pub struct EngineConfig {
     pub spill_threshold: usize,
     /// Rows per spilled chunk file.
     pub spill_chunk_rows: usize,
+    /// Slow-query threshold in milliseconds: a query whose wall time
+    /// reaches this lands in the event log (`query.slow`) together with
+    /// its per-operator breakdown. `0` disables the slow-query log.
+    pub slow_query_ms: u64,
+    /// Whether queries register in the live query registry (`SHOW
+    /// QUERIES`, `KILL QUERY`, slow-query log). On by default; the
+    /// `obs_overhead` benchmark turns it off to measure the cost of the
+    /// always-on instrumentation.
+    pub query_tracking: bool,
 }
 
 impl Default for EngineConfig {
@@ -39,6 +48,8 @@ impl Default for EngineConfig {
             knn: KnnConfig::default(),
             spill_threshold: 8 << 20,
             spill_chunk_rows: 10_000,
+            slow_query_ms: 1_000,
+            query_tracking: true,
         }
     }
 }
@@ -72,6 +83,7 @@ pub struct Engine {
     catalog: RwLock<Catalog>,
     tables: RwLock<HashMap<String, Arc<StTable>>>,
     views: RwLock<HashMap<String, Arc<Dataset>>>,
+    queries: Arc<crate::registry::QueryRegistry>,
 }
 
 impl std::fmt::Debug for Engine {
@@ -95,6 +107,7 @@ impl Engine {
             catalog: RwLock::new(catalog),
             tables: RwLock::new(HashMap::new()),
             views: RwLock::new(HashMap::new()),
+            queries: Arc::new(crate::registry::QueryRegistry::new()),
         })
     }
 
@@ -137,6 +150,31 @@ impl Engine {
     /// Prometheus-style text exposition of [`Engine::metrics`].
     pub fn metrics_text(&self) -> String {
         just_obs::global().render_text()
+    }
+
+    /// The live query registry (`SHOW QUERIES` / `KILL QUERY` surface).
+    pub fn queries(&self) -> &Arc<crate::registry::QueryRegistry> {
+        &self.queries
+    }
+
+    /// Requests cancellation of a live query by id; returns whether a
+    /// query with that id was live.
+    pub fn kill_query(&self, id: u64) -> bool {
+        self.queries.kill(id)
+    }
+
+    /// Per-region size and traffic stats for every open table — the
+    /// engine-level `SHOW REGIONS` feed and the input for the region
+    /// split/balance heuristic (ROADMAP item 2). Physical (namespaced)
+    /// table names; the SQL layer maps them back per session.
+    pub fn region_stats(&self) -> Vec<(String, just_kvstore::RegionStats)> {
+        self.store.region_stats()
+    }
+
+    /// The process-global structured event log (`SHOW EVENTS` feed:
+    /// flushes, compactions, slow/killed queries, request errors).
+    pub fn events(&self) -> &'static just_obs::EventLog {
+        just_obs::events::global()
     }
 
     // ------------------------------------------------------------------

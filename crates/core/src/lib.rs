@@ -26,6 +26,7 @@ mod dataset;
 mod engine;
 mod error;
 mod knn;
+mod registry;
 mod resultset;
 mod session;
 mod stream;
@@ -35,6 +36,7 @@ pub use dataset::Dataset;
 pub use engine::{Engine, EngineConfig};
 pub use error::CoreError;
 pub use knn::{knn, KnnConfig};
+pub use registry::{QueryGuard, QueryInfo, QueryRegistry};
 pub use resultset::ResultSet;
 pub use session::{Session, SessionManager};
 pub use stream::StreamIngestor;

@@ -148,6 +148,26 @@ impl Session {
             .collect()
     }
 
+    /// `SHOW REGIONS`: per-region size and traffic stats for this user's
+    /// tables only, as `(table, store, stats)` — `table` is the logical
+    /// name (namespace prefix stripped, other users filtered out) and
+    /// `store` is the kv sub-table the region belongs to (`data` for row
+    /// payloads, `ids` for the multi-index id map).
+    pub fn region_stats(&self) -> Vec<(String, String, just_kvstore::RegionStats)> {
+        self.engine
+            .region_stats()
+            .into_iter()
+            .filter_map(|(physical, stats)| {
+                let logical = self.logical(&physical)?;
+                let (table, store) = logical
+                    .rsplit_once("__")
+                    .map(|(t, s)| (t.to_string(), s.to_string()))
+                    .unwrap_or((logical, String::new()));
+                Some((table, store, stats))
+            })
+            .collect()
+    }
+
     /// `INSERT`.
     pub fn insert(&self, table: &str, rows: &[Row]) -> Result<usize> {
         self.engine.insert(&self.physical(table), rows)

@@ -60,11 +60,11 @@ pub use error::KvError;
 pub use maintenance::MaintenanceOptions;
 pub use memtable::MemTable;
 pub use metrics::{IoMetrics, IoSnapshot};
-pub use region::Region;
+pub use region::{Region, RegionTraffic, RegionTrafficSnapshot};
 pub use scan::{CancelToken, MergeStream, ScanOptions, ScanSource, ScanStream};
 pub use sstable::{SsTable, SsTableBuilder, SstOptions};
 pub use store::{Store, StoreOptions};
-pub use table::Table;
+pub use table::{RegionStats, Table};
 pub use wal::{DurabilityOptions, FaultyWalFile, FaultyWalState, SyncPolicy, WalFile, WalRecord};
 
 /// A key-value pair returned by scans.

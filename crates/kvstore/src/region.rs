@@ -17,8 +17,77 @@ use crate::wal::{DurabilityOptions, Wal};
 use crate::KvEntry;
 use just_obs::sync::{Condvar, Mutex, RwLock};
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Always-on per-region traffic counters (relaxed atomics; same
+/// recording discipline as [`IoMetrics`], but scoped to one region so
+/// the split/balance heuristic can tell a hot region from a cold one).
+#[derive(Debug, Default)]
+pub struct RegionTraffic {
+    reads: AtomicU64,
+    writes: AtomicU64,
+    bytes_read: AtomicU64,
+    bytes_written: AtomicU64,
+    scans: AtomicU64,
+    scan_blocks: AtomicU64,
+}
+
+impl RegionTraffic {
+    fn record_read(&self, bytes: u64) {
+        self.reads.fetch_add(1, Ordering::Relaxed);
+        self.bytes_read.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    fn record_write(&self, bytes: u64) {
+        self.writes.fetch_add(1, Ordering::Relaxed);
+        self.bytes_written.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    fn record_scan(&self) {
+        self.scans.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_scan_block(&self) {
+        self.scan_blocks.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_scan_bytes(&self, bytes: u64) {
+        self.bytes_read.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the counters.
+    pub fn snapshot(&self) -> RegionTrafficSnapshot {
+        RegionTrafficSnapshot {
+            reads: self.reads.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+            bytes_read: self.bytes_read.load(Ordering::Relaxed),
+            bytes_written: self.bytes_written.load(Ordering::Relaxed),
+            scans: self.scans.load(Ordering::Relaxed),
+            scan_blocks: self.scan_blocks.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of one region's traffic counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RegionTrafficSnapshot {
+    /// Point lookups served.
+    pub reads: u64,
+    /// Puts and deletes accepted.
+    pub writes: u64,
+    /// Value bytes returned by lookups plus entry bytes produced by
+    /// scans.
+    pub bytes_read: u64,
+    /// Key+value bytes accepted by writes.
+    pub bytes_written: u64,
+    /// Scan calls (materializing and streaming) that touched this
+    /// region.
+    pub scans: u64,
+    /// SSTable blocks decoded on behalf of streaming scans.
+    pub scan_blocks: u64,
+}
 
 /// Per-region construction settings (assembled by [`crate::Table`] from
 /// the store options).
@@ -86,6 +155,8 @@ pub struct Region {
     flush_signal: (Mutex<()>, Condvar),
     stalls: just_obs::Counter,
     stall_wait: just_obs::Histogram,
+    /// Always-on traffic counters, shared with streaming scan sources.
+    traffic: Arc<RegionTraffic>,
 }
 
 impl std::fmt::Debug for Region {
@@ -198,6 +269,7 @@ impl Region {
             flush_signal: (Mutex::new(()), Condvar::new()),
             stalls: obs.counter("just_kvstore_backpressure_stalls"),
             stall_wait: obs.histogram("just_kvstore_backpressure_wait_us"),
+            traffic: Arc::new(RegionTraffic::default()),
         };
         if region.inner.read().mem.approx_bytes() >= region.opts.flush_threshold {
             region.flush()?;
@@ -228,6 +300,8 @@ impl Region {
     /// managed regions hand the flush to the maintenance scheduler and
     /// only stall at the hard `stall_bytes` cap.
     fn write(&self, key: Vec<u8>, value: Option<Vec<u8>>) -> Result<()> {
+        self.traffic
+            .record_write((key.len() + value.as_ref().map_or(0, |v| v.len())) as u64);
         let mut inner = self.inner.write();
         if let Some(wal) = &self.wal {
             wal.lock().append(&key, value.as_deref())?;
@@ -296,6 +370,13 @@ impl Region {
 
     /// Point lookup.
     pub fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        let hit = self.get_inner(key)?;
+        self.traffic
+            .record_read(hit.as_ref().map_or(0, |v| v.len() as u64));
+        Ok(hit)
+    }
+
+    fn get_inner(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
         let inner = self.inner.read();
         if let Some(hit) = inner.mem.get(key) {
             self.metrics.record_memtable_hit();
@@ -314,6 +395,7 @@ impl Region {
         if start > end {
             return Ok(Vec::new());
         }
+        self.traffic.record_scan();
         let inner = self.inner.read();
         let mut sources: Vec<Vec<BlockEntry>> = Vec::with_capacity(inner.tables.len() + 1);
         sources.push(
@@ -329,7 +411,13 @@ impl Region {
         for table in inner.tables.iter().rev() {
             sources.push(table.scan(start, end)?);
         }
-        Ok(merge_live(sources))
+        let live = merge_live(sources);
+        self.traffic.record_scan_bytes(
+            live.iter()
+                .map(|e| (e.key.len() + e.value.len()) as u64)
+                .sum(),
+        );
+        Ok(live)
     }
 
     /// A streaming variant of [`Region::scan`]: snapshots the memtable
@@ -341,6 +429,7 @@ impl Region {
         if start > end {
             return MergeStream::empty();
         }
+        self.traffic.record_scan();
         let inner = self.inner.read();
         let mut sources = Vec::with_capacity(inner.tables.len() + 1);
         // Source 0 is the memtable: the newest layer, so it wins merge
@@ -356,7 +445,12 @@ impl Region {
             .collect();
         sources.push(ScanSource::mem(mem));
         for table in inner.tables.iter().rev() {
-            sources.push(ScanSource::sstable(table.clone(), start, end));
+            sources.push(ScanSource::sstable(
+                table.clone(),
+                start,
+                end,
+                self.traffic.clone(),
+            ));
         }
         drop(inner);
         MergeStream::new(sources)
@@ -396,6 +490,18 @@ impl Region {
         obs.counter("just_kvstore_memtable_flushes").inc();
         obs.histogram("just_kvstore_flush_latency_us")
             .record_duration(started.elapsed());
+        let flushed = inner.tables.last().expect("just pushed");
+        just_obs::events::global().emit(
+            "region.flush",
+            format!(
+                "region={} bytes={} entries={} sstables={} elapsed_us={}",
+                self.label(),
+                flushed.file_size(),
+                flushed.entry_count(),
+                inner.tables.len(),
+                started.elapsed().as_micros()
+            ),
+        );
         // Wake stalled writers.
         let (lock, cv) = &self.flush_signal;
         drop(lock.lock());
@@ -437,16 +543,28 @@ impl Region {
             .iter()
             .map(|t| (t.file_id(), t.path().to_path_buf()))
             .collect();
+        let (after_bytes, after_entries) = (table.file_size(), table.entry_count());
         inner.tables = vec![Arc::new(table)];
         drop(inner);
-        for (file_id, path) in old {
-            self.cache.invalidate_file(file_id);
+        for (file_id, path) in old.iter() {
+            self.cache.invalidate_file(*file_id);
             std::fs::remove_file(path).ok();
         }
         let obs = just_obs::global();
         obs.counter("just_kvstore_compactions").inc();
         obs.histogram("just_kvstore_compaction_latency_us")
             .record_duration(started.elapsed());
+        just_obs::events::global().emit(
+            "region.compact",
+            format!(
+                "region={} inputs={} bytes={} entries={} elapsed_us={}",
+                self.label(),
+                old.len(),
+                after_bytes,
+                after_entries,
+                started.elapsed().as_micros()
+            ),
+        );
         Ok(())
     }
 
@@ -519,6 +637,26 @@ impl Region {
     /// Current memtable footprint in bytes.
     pub fn memtable_bytes(&self) -> usize {
         self.inner.read().mem.approx_bytes()
+    }
+
+    /// A point-in-time copy of the region's traffic counters.
+    pub fn traffic(&self) -> RegionTrafficSnapshot {
+        self.traffic.snapshot()
+    }
+
+    /// `table/region_NNN` label derived from the directory layout; used
+    /// to attribute flush/compaction events without threading names
+    /// through every constructor.
+    fn label(&self) -> String {
+        let region = self
+            .dir
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        match self.dir.parent().and_then(|p| p.file_name()) {
+            Some(table) => format!("{}/{region}", table.to_string_lossy()),
+            None => region,
+        }
     }
 }
 

@@ -42,7 +42,7 @@
 use crate::block::BlockEntry;
 use crate::error::Result;
 use crate::metrics::IoMetrics;
-use crate::region::Region;
+use crate::region::{Region, RegionTraffic};
 use crate::sstable::SsTable;
 use crate::KvEntry;
 use std::cmp::Ordering;
@@ -108,10 +108,12 @@ struct SstRangeIter {
     first: bool,
     buffered: std::vec::IntoIter<BlockEntry>,
     done: bool,
+    /// Per-region attribution for every block this iterator decodes.
+    traffic: Arc<RegionTraffic>,
 }
 
 impl SstRangeIter {
-    fn new(table: Arc<SsTable>, start: &[u8], end: &[u8]) -> Self {
+    fn new(table: Arc<SsTable>, start: &[u8], end: &[u8], traffic: Arc<RegionTraffic>) -> Self {
         let done = if table.overlaps(start, end) {
             false
         } else {
@@ -129,6 +131,7 @@ impl SstRangeIter {
             first: true,
             buffered: Vec::new().into_iter(),
             done,
+            traffic,
         }
     }
 
@@ -150,6 +153,7 @@ impl SstRangeIter {
                 return Ok(None);
             }
             let block = self.table.read_block(self.next_block, self.first)?;
+            self.traffic.record_scan_block();
             let entries: Vec<BlockEntry> = if self.first {
                 block.seek_iter(&self.start).collect()
             } else {
@@ -177,8 +181,15 @@ impl ScanSource {
         ScanSource(SourceKind::Mem(entries.into_iter()))
     }
 
-    pub(crate) fn sstable(table: Arc<SsTable>, start: &[u8], end: &[u8]) -> Self {
-        ScanSource(SourceKind::Sst(SstRangeIter::new(table, start, end)))
+    pub(crate) fn sstable(
+        table: Arc<SsTable>,
+        start: &[u8],
+        end: &[u8],
+        traffic: Arc<RegionTraffic>,
+    ) -> Self {
+        ScanSource(SourceKind::Sst(SstRangeIter::new(
+            table, start, end, traffic,
+        )))
     }
 
     fn next(&mut self) -> Result<Option<BlockEntry>> {

@@ -218,6 +218,22 @@ impl Store {
         names
     }
 
+    /// Per-region size and traffic stats for every *open* table, sorted
+    /// by table name then region index — the store-wide `SHOW REGIONS`
+    /// feed.
+    pub fn region_stats(&self) -> Vec<(String, crate::table::RegionStats)> {
+        let tables = self.tables.read();
+        let mut names: Vec<&String> = tables.keys().collect();
+        names.sort();
+        let mut out = Vec::new();
+        for name in names {
+            for stats in tables[name].region_stats() {
+                out.push((name.clone(), stats));
+            }
+        }
+        out
+    }
+
     /// Clean shutdown: drains in-flight background maintenance, then
     /// fsyncs every WAL so acknowledged writes are durable regardless of
     /// sync policy. Memtables are deliberately *not* flushed — reopen

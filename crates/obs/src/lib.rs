@@ -10,11 +10,16 @@
 //!   row count, and arbitrary named `u64` attributes (used by the executor to
 //!   attach kvstore IO deltas). `Trace::render()` pretty-prints the tree, and
 //!   `EXPLAIN ANALYZE` in JustQL is rendered from it.
-//! * [`metrics`] — a process-wide registry of named counters and log-scale
-//!   latency histograms (p50/p95/p99) with Prometheus-style text exposition
-//!   via [`metrics::Registry::render_text`]. The kvstore, storage, and core
-//!   crates record scan latency, memtable flushes, compactions, block-cache
-//!   hit ratios, and index selectivity here.
+//! * [`metrics`] — a process-wide registry of named counters, gauges, and
+//!   log-scale latency histograms (p50/p90/p95/p99) with Prometheus-style
+//!   text exposition via [`metrics::Registry::render_text`]. The kvstore,
+//!   storage, and core crates record scan latency, memtable flushes,
+//!   compactions, block-cache hit ratios, and index selectivity here.
+//! * [`events`] — a lock-lean, fixed-capacity, overwrite-oldest ring-buffer
+//!   **event log** for structured engine events (flushes, compactions, slow
+//!   queries, killed queries, request errors). Emitting is one relaxed
+//!   atomic plus one uncontended per-slot mutex; `SHOW EVENTS` and the
+//!   slow-query log read from [`events::global`].
 //! * [`sync`] — `Mutex`/`RwLock` shims over `std::sync` with a
 //!   guard-returning (non-`Result`) API, recovering from poisoning. These
 //!   keep lock call sites terse across the workspace without an external
@@ -43,11 +48,13 @@
 
 #![deny(missing_docs)]
 
+pub mod events;
 pub mod metrics;
 pub mod rng;
 pub mod sync;
 pub mod trace;
 
-pub use metrics::{global, Counter, Histogram, HistogramSummary, Registry};
+pub use events::{Event, EventLog};
+pub use metrics::{global, Counter, Gauge, Histogram, HistogramSummary, MetricValue, Registry};
 pub use rng::Rng;
-pub use trace::{SpanId, Trace};
+pub use trace::{traces_allocated, SpanId, Trace};

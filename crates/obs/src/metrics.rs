@@ -41,6 +41,56 @@ impl Counter {
     }
 }
 
+/// A gauge handle: a value that can move both up and down (active
+/// connections, live queries, memtable bytes). Same lock-free recording
+/// discipline as [`Counter`]; the only difference is semantics — a gauge
+/// is a level, not an accumulation — and the `# TYPE` line it gets in
+/// the text exposition.
+#[derive(Debug, Clone)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// A gauge not attached to any registry (useful in tests).
+    pub fn detached() -> Self {
+        Gauge(Arc::new(AtomicU64::new(0)))
+    }
+
+    /// Sets the level.
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Raises the level by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Lowers the level by one (saturating at zero).
+    pub fn dec(&self) {
+        self.sub(1);
+    }
+
+    /// Raises the level by `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Lowers the level by `n`, saturating at zero: a racy extra
+    /// decrement must not wrap a "live things" gauge to 2^64.
+    pub fn sub(&self, n: u64) {
+        let _ = self
+            .0
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_sub(n))
+            });
+    }
+
+    /// Current level.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
 /// Number of log-scale buckets: one per possible bit width of a `u64`
 /// sample, plus bucket 0 for the value zero.
 const BUCKETS: usize = 65;
@@ -132,12 +182,13 @@ impl Histogram {
         u64::MAX
     }
 
-    /// A point-in-time p50/p95/p99 summary.
+    /// A point-in-time p50/p90/p95/p99 summary.
     pub fn summary(&self) -> HistogramSummary {
         HistogramSummary {
             count: self.count(),
             sum: self.sum(),
             p50: self.quantile(0.50),
+            p90: self.quantile(0.90),
             p95: self.quantile(0.95),
             p99: self.quantile(0.99),
         }
@@ -153,6 +204,8 @@ pub struct HistogramSummary {
     pub sum: u64,
     /// Estimated median.
     pub p50: u64,
+    /// Estimated 90th percentile.
+    pub p90: u64,
     /// Estimated 95th percentile.
     pub p95: u64,
     /// Estimated 99th percentile.
@@ -163,8 +216,8 @@ impl HistogramSummary {
     /// Renders as a compact JSON object (`{"count":..,"sum":..,...}`).
     pub fn to_json(&self) -> String {
         format!(
-            "{{\"count\":{},\"sum\":{},\"p50\":{},\"p95\":{},\"p99\":{}}}",
-            self.count, self.sum, self.p50, self.p95, self.p99
+            "{{\"count\":{},\"sum\":{},\"p50\":{},\"p90\":{},\"p95\":{},\"p99\":{}}}",
+            self.count, self.sum, self.p50, self.p90, self.p95, self.p99
         )
     }
 }
@@ -172,7 +225,21 @@ impl HistogramSummary {
 #[derive(Debug, Clone)]
 enum Metric {
     Counter(Counter),
+    Gauge(Gauge),
     Histogram(Histogram),
+}
+
+/// A point-in-time reading of one registered metric, tagged with its
+/// kind (the structured counterpart of [`Registry::render_text`], used
+/// by `SHOW METRICS` to build a result set).
+#[derive(Debug, Clone)]
+pub enum MetricValue {
+    /// A counter's accumulated total.
+    Counter(u64),
+    /// A gauge's current level.
+    Gauge(u64),
+    /// A histogram's headline statistics.
+    Histogram(HistogramSummary),
 }
 
 /// A named collection of counters and histograms.
@@ -196,12 +263,25 @@ impl Registry {
             .or_insert_with(|| Metric::Counter(Counter::detached()))
         {
             Metric::Counter(c) => c.clone(),
-            Metric::Histogram(_) => panic!("metric {name} is a histogram, not a counter"),
+            _ => panic!("metric {name} is not a counter"),
+        }
+    }
+
+    /// Returns the gauge registered under `name`, creating it on first
+    /// use. Panics if `name` is already a counter or histogram.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut m = self.metrics.lock();
+        match m
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Gauge(Gauge::detached()))
+        {
+            Metric::Gauge(g) => g.clone(),
+            _ => panic!("metric {name} is not a gauge"),
         }
     }
 
     /// Returns the histogram registered under `name`, creating it on first
-    /// use. Panics if `name` is already a counter.
+    /// use. Panics if `name` is already a counter or gauge.
     pub fn histogram(&self, name: &str) -> Histogram {
         let mut m = self.metrics.lock();
         match m
@@ -209,7 +289,7 @@ impl Registry {
             .or_insert_with(|| Metric::Histogram(Histogram::detached()))
         {
             Metric::Histogram(h) => h.clone(),
-            Metric::Counter(_) => panic!("metric {name} is a counter, not a histogram"),
+            _ => panic!("metric {name} is not a histogram"),
         }
     }
 
@@ -217,6 +297,14 @@ impl Registry {
     pub fn get_counter(&self, name: &str) -> Option<Counter> {
         match self.metrics.lock().get(name) {
             Some(Metric::Counter(c)) => Some(c.clone()),
+            _ => None,
+        }
+    }
+
+    /// Looks up an existing gauge without creating one.
+    pub fn get_gauge(&self, name: &str) -> Option<Gauge> {
+        match self.metrics.lock().get(name) {
+            Some(Metric::Gauge(g)) => Some(g.clone()),
             _ => None,
         }
     }
@@ -229,6 +317,25 @@ impl Registry {
         }
     }
 
+    /// A point-in-time reading of every registered metric, sorted by
+    /// name. This is the structured accessor behind `SHOW METRICS`;
+    /// [`Registry::render_text`] is the scrape-format rendering of the
+    /// same data.
+    pub fn snapshot(&self) -> Vec<(String, MetricValue)> {
+        self.metrics
+            .lock()
+            .iter()
+            .map(|(name, m)| {
+                let value = match m {
+                    Metric::Counter(c) => MetricValue::Counter(c.get()),
+                    Metric::Gauge(g) => MetricValue::Gauge(g.get()),
+                    Metric::Histogram(h) => MetricValue::Histogram(h.summary()),
+                };
+                (name.clone(), value)
+            })
+            .collect()
+    }
+
     /// Summaries of every registered histogram, sorted by name (used by
     /// the bench harness to serialize latency distributions).
     pub fn histogram_summaries(&self) -> Vec<(String, HistogramSummary)> {
@@ -237,15 +344,17 @@ impl Registry {
             .iter()
             .filter_map(|(name, m)| match m {
                 Metric::Histogram(h) => Some((name.clone(), h.summary())),
-                Metric::Counter(_) => None,
+                Metric::Counter(_) | Metric::Gauge(_) => None,
             })
             .collect()
     }
 
     /// Renders every metric in Prometheus text exposition style: counters
-    /// as `name value`, histograms as quantile-labelled summaries plus
-    /// `_sum`/`_count`. Names are emitted in sorted order so output is
-    /// stable for tests and diffing.
+    /// and gauges as `name value`, histograms as quantile-labelled
+    /// summaries plus `_sum`/`_count` and synthetic `_p50`/`_p90`/`_p99`
+    /// lines (flat series are directly plottable by tools that don't
+    /// parse quantile labels). Names are emitted in sorted order so
+    /// output is stable for tests and diffing.
     pub fn render_text(&self) -> String {
         let metrics = self.metrics.lock().clone();
         let mut out = String::new();
@@ -253,6 +362,9 @@ impl Registry {
             match metric {
                 Metric::Counter(c) => {
                     out.push_str(&format!("# TYPE {name} counter\n{name} {}\n", c.get()));
+                }
+                Metric::Gauge(g) => {
+                    out.push_str(&format!("# TYPE {name} gauge\n{name} {}\n", g.get()));
                 }
                 Metric::Histogram(h) => {
                     let s = h.summary();
@@ -262,8 +374,11 @@ impl Registry {
                          {name}{{quantile=\"0.95\"}} {}\n\
                          {name}{{quantile=\"0.99\"}} {}\n\
                          {name}_sum {}\n\
-                         {name}_count {}\n",
-                        s.p50, s.p95, s.p99, s.sum, s.count
+                         {name}_count {}\n\
+                         {name}_p50 {}\n\
+                         {name}_p90 {}\n\
+                         {name}_p99 {}\n",
+                        s.p50, s.p95, s.p99, s.sum, s.count, s.p50, s.p90, s.p99
                     ));
                 }
             }
@@ -367,5 +482,55 @@ mod tests {
     fn global_registry_is_shared() {
         global().counter("obs_test_global").add(2);
         assert_eq!(global().counter("obs_test_global").get(), 2);
+    }
+
+    #[test]
+    fn gauge_moves_both_ways_and_saturates() {
+        let r = Registry::new();
+        let g = r.gauge("live");
+        g.add(3);
+        g.dec();
+        assert_eq!(r.gauge("live").get(), 2);
+        g.sub(10); // below zero: clamps, never wraps
+        assert_eq!(g.get(), 0);
+        g.set(7);
+        assert_eq!(g.get(), 7);
+        assert!(r.render_text().contains("# TYPE live gauge\nlive 7\n"));
+        assert!(r.get_gauge("live").is_some());
+        assert!(r.get_counter("live").is_none());
+    }
+
+    #[test]
+    fn render_text_has_synthetic_percentile_lines() {
+        let r = Registry::new();
+        let h = r.histogram("lat_us");
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        let text = r.render_text();
+        assert!(text.contains("lat_us_p50 "));
+        assert!(text.contains("lat_us_p90 "));
+        assert!(text.contains("lat_us_p99 "));
+        // The synthetic lines agree with the quantile-labelled ones.
+        let s = h.summary();
+        assert!(text.contains(&format!("lat_us_p50 {}\n", s.p50)));
+        assert!(text.contains(&format!("lat_us_p99 {}\n", s.p99)));
+        assert!(s.p50 <= s.p90 && s.p90 <= s.p99);
+    }
+
+    #[test]
+    fn snapshot_reads_every_kind() {
+        let r = Registry::new();
+        r.counter("c").add(1);
+        r.gauge("g").set(2);
+        r.histogram("h").record(3);
+        let snap = r.snapshot();
+        assert_eq!(snap.len(), 3);
+        assert!(matches!(snap[0], (ref n, MetricValue::Counter(1)) if n == "c"));
+        assert!(matches!(snap[1], (ref n, MetricValue::Gauge(2)) if n == "g"));
+        assert!(matches!(
+            snap[2],
+            (ref n, MetricValue::Histogram(HistogramSummary { count: 1, .. })) if n == "h"
+        ));
     }
 }

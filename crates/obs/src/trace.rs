@@ -11,7 +11,21 @@
 //! [`Trace::render`] pretty-prints the tree; `EXPLAIN ANALYZE` output is
 //! produced from it.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
+
+/// Count of [`Trace`]s ever allocated in this process.
+static TRACES_ALLOCATED: AtomicU64 = AtomicU64::new(0);
+
+/// Number of [`Trace`]s ever allocated in this process.
+///
+/// Traces are only supposed to exist under `EXPLAIN ANALYZE` (or when a
+/// slow-query handler decides to keep one); the zero-cost tests diff
+/// this counter across a plain query to prove the hot path allocates no
+/// trace.
+pub fn traces_allocated() -> u64 {
+    TRACES_ALLOCATED.load(Ordering::Relaxed)
+}
 
 /// Handle to one span inside a [`Trace`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -37,6 +51,7 @@ impl Trace {
     /// Starts a new trace whose root span is `name`. The root is span id
     /// returned by [`Trace::root`].
     pub fn new(name: impl Into<String>) -> Self {
+        TRACES_ALLOCATED.fetch_add(1, Ordering::Relaxed);
         let mut t = Trace { spans: Vec::new() };
         t.push(name.into(), None);
         t

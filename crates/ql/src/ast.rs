@@ -198,6 +198,27 @@ pub struct ColumnDef {
     pub options: Vec<String>,
 }
 
+/// What a `SHOW` statement lists.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShowTarget {
+    /// `SHOW TABLES` — this session's tables.
+    Tables,
+    /// `SHOW VIEWS` — this session's views.
+    Views,
+    /// `SHOW METRICS` — the process-wide `just-obs` registry as rows.
+    Metrics,
+    /// `SHOW QUERIES` — the live query registry with per-query IO.
+    Queries,
+    /// `SHOW REGIONS` — per-region traffic/size stats for this
+    /// session's tables.
+    Regions,
+    /// `SHOW EVENTS [LIMIT n]` — newest-first ring-buffer events.
+    Events {
+        /// Maximum events to return (defaults to 100).
+        limit: Option<usize>,
+    },
+}
+
 /// A complete JustQL statement.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Statement {
@@ -233,10 +254,16 @@ pub enum Statement {
         /// Object name.
         name: String,
     },
-    /// `SHOW TABLES` / `SHOW VIEWS`
+    /// `SHOW <target>` — catalog listings and the live-introspection
+    /// surface (`SHOW METRICS|QUERIES|REGIONS|EVENTS`).
     Show {
-        /// True for views.
-        views: bool,
+        /// What to list.
+        target: ShowTarget,
+    },
+    /// `KILL QUERY <id>` — request cancellation of a live query.
+    KillQuery {
+        /// The query id as reported by `SHOW QUERIES`.
+        id: u64,
     },
     /// `DESC TABLE name` / `DESC VIEW name`
     Desc {

@@ -1,10 +1,10 @@
 //! The JustQL client: one call per statement, the way the paper's SDKs
 //! (`client.executeQuery(sql)`) expose the engine.
 
-use crate::ast::{ColumnDef, Select, Statement};
+use crate::ast::{ColumnDef, Select, ShowTarget, Statement};
 use crate::csvload::load_csv;
 use crate::error::QlError;
-use crate::exec::Executor;
+use crate::exec::{Executor, OpStat};
 use crate::functions::eval_const;
 use crate::json::Json;
 use crate::optimizer::optimize;
@@ -55,12 +55,16 @@ impl QueryResult {
 /// A JustQL session client.
 pub struct Client {
     session: Session,
+    request_id: Option<u64>,
 }
 
 impl Client {
     /// Wraps a session.
     pub fn new(session: Session) -> Self {
-        Client { session }
+        Client {
+            session,
+            request_id: None,
+        }
     }
 
     /// The underlying session (for API-level operations).
@@ -68,10 +72,17 @@ impl Client {
         &self.session
     }
 
+    /// Tags subsequent statements with a server request id: it shows up
+    /// in `SHOW QUERIES` and the slow-query log. The server sets this
+    /// per request; embedded clients leave it unset.
+    pub fn set_request_id(&mut self, id: Option<u64>) {
+        self.request_id = id;
+    }
+
     /// Parses, optimizes and executes one statement.
     pub fn execute(&mut self, sql: &str) -> Result<QueryResult> {
         let stmt = parse(sql)?;
-        self.run(stmt)
+        self.run(stmt, sql)
     }
 
     /// Executes a query and wraps it in the Figure 2 cursor (spilling
@@ -156,7 +167,7 @@ impl Client {
         result
     }
 
-    fn run(&mut self, stmt: Statement) -> Result<QueryResult> {
+    fn run(&mut self, stmt: Statement, sql: &str) -> Result<QueryResult> {
         match stmt {
             Statement::CreateTable {
                 name,
@@ -197,19 +208,15 @@ impl Client {
                 }
                 Ok(QueryResult::Message(format!("'{name}' dropped")))
             }
-            Statement::Show { views } => {
-                let names = if views {
-                    self.session.show_views()
+            Statement::Show { target } => Ok(QueryResult::Data(self.show(target))),
+            Statement::KillQuery { id } => {
+                if self.session.engine().kill_query(id) {
+                    Ok(QueryResult::Message(format!(
+                        "kill requested for query {id}"
+                    )))
                 } else {
-                    self.session.show_tables()
-                };
-                Ok(QueryResult::Data(Dataset::new(
-                    vec!["name".into()],
-                    names
-                        .into_iter()
-                        .map(|n| Row::new(vec![Value::Str(n)]))
-                        .collect(),
-                )))
+                    Err(QlError::Eval(format!("no live query with id {id}")))
+                }
             }
             Statement::Desc { name } => {
                 let def = self.session.describe(&name)?;
@@ -279,8 +286,7 @@ impl Client {
             }
             Statement::Query(q) => {
                 let plan = optimize(LogicalPlan::from_select(&q)?)?;
-                let data = Executor::new(&self.session).run(&plan)?;
-                Ok(QueryResult::Data(data))
+                self.run_tracked(&plan, sql).map(QueryResult::Data)
             }
             Statement::Explain { analyze, query } => {
                 let rendered = if analyze {
@@ -300,6 +306,216 @@ impl Client {
             }
         }
     }
+}
+
+impl Client {
+    /// Executes an optimized plan under the always-on observability
+    /// pipeline: registers in the live query registry (so `SHOW QUERIES`
+    /// lists it and `KILL QUERY` can stop it), collects flat per-operator
+    /// stats, and — only when the query's wall time reaches the engine's
+    /// `slow_query_ms` — emits a `query.slow` event carrying that
+    /// breakdown. No [`Trace`] arena is ever allocated on this path.
+    fn run_tracked(&self, plan: &LogicalPlan, sql: &str) -> Result<Dataset> {
+        let engine = self.session.engine().clone();
+        let guard = engine.config().query_tracking.then(|| {
+            engine.queries().register(
+                self.session.user(),
+                sql,
+                self.request_id,
+                engine.io_snapshot(),
+            )
+        });
+        let kill = guard.as_ref().map(|g| g.info().kill_token().clone());
+        let started = std::time::Instant::now();
+        let mut stats: Vec<OpStat> = Vec::new();
+        let result = Executor::new(&self.session)
+            .with_kill(kill)
+            .run_collect(plan, &mut stats);
+        let threshold = engine.config().slow_query_ms;
+        let elapsed_ms = started.elapsed().as_millis() as u64;
+        if threshold > 0 && elapsed_ms >= threshold {
+            let ops: Vec<String> = stats
+                .iter()
+                .map(|s| format!("{}:{}rows:{}us", s.label, s.rows, s.elapsed_us))
+                .collect();
+            let (id, user) = match &guard {
+                Some(g) => (g.info().id(), g.info().user().to_string()),
+                None => (0, self.session.user().to_string()),
+            };
+            just_obs::events::global().emit(
+                "query.slow",
+                format!(
+                    "query_id={id} user={user} elapsed_ms={elapsed_ms} ok={} ops=[{}] sql={}",
+                    result.is_ok(),
+                    ops.join(","),
+                    sql.split_whitespace().collect::<Vec<_>>().join(" "),
+                ),
+            );
+        }
+        result
+    }
+
+    /// Builds the dataset for one `SHOW <target>`.
+    fn show(&self, target: ShowTarget) -> Dataset {
+        match target {
+            ShowTarget::Tables | ShowTarget::Views => {
+                let names = if target == ShowTarget::Views {
+                    self.session.show_views()
+                } else {
+                    self.session.show_tables()
+                };
+                Dataset::new(
+                    vec!["name".into()],
+                    names
+                        .into_iter()
+                        .map(|n| Row::new(vec![Value::Str(n)]))
+                        .collect(),
+                )
+            }
+            ShowTarget::Metrics => show_metrics(),
+            ShowTarget::Queries => show_queries(&self.session),
+            ShowTarget::Regions => show_regions(&self.session),
+            ShowTarget::Events { limit } => show_events(limit.unwrap_or(100)),
+        }
+    }
+}
+
+/// `SHOW METRICS`: one row per counter/gauge, five rows per histogram
+/// (`_count`, `_sum`, `_p50`, `_p90`, `_p99`), sorted by metric name.
+fn show_metrics() -> Dataset {
+    let columns = vec!["metric".into(), "kind".into(), "value".into()];
+    let mut rows = Vec::new();
+    for (name, value) in just_obs::global().snapshot() {
+        match value {
+            just_obs::MetricValue::Counter(v) => rows.push(Row::new(vec![
+                Value::Str(name),
+                Value::Str("counter".into()),
+                Value::Int(v as i64),
+            ])),
+            just_obs::MetricValue::Gauge(v) => rows.push(Row::new(vec![
+                Value::Str(name),
+                Value::Str("gauge".into()),
+                Value::Int(v as i64),
+            ])),
+            just_obs::MetricValue::Histogram(s) => {
+                let mut push = |suffix: &str, v: Value| {
+                    rows.push(Row::new(vec![
+                        Value::Str(format!("{name}_{suffix}")),
+                        Value::Str("histogram".into()),
+                        v,
+                    ]));
+                };
+                push("count", Value::Int(s.count as i64));
+                push("sum", Value::Int(s.sum as i64));
+                push("p50", Value::Int(s.p50 as i64));
+                push("p90", Value::Int(s.p90 as i64));
+                push("p99", Value::Int(s.p99 as i64));
+            }
+        }
+    }
+    Dataset::new(columns, rows)
+}
+
+/// `SHOW QUERIES`: the live query registry with each query's IO delta
+/// since it started (exact when it runs alone; attribution-approximate
+/// under concurrency, like `EXPLAIN ANALYZE`).
+fn show_queries(session: &Session) -> Dataset {
+    let engine = session.engine();
+    let now = engine.io_snapshot();
+    let columns = vec![
+        "id".into(),
+        "user".into(),
+        "request_id".into(),
+        "elapsed_ms".into(),
+        "blocks_read".into(),
+        "cache_hits".into(),
+        "bytes_read".into(),
+        "batches".into(),
+        "query".into(),
+    ];
+    let rows = engine
+        .queries()
+        .list()
+        .into_iter()
+        .map(|q| {
+            let io = now.since(q.io_start());
+            Row::new(vec![
+                Value::Int(q.id() as i64),
+                Value::Str(q.user().to_string()),
+                q.request_id()
+                    .map(|r| Value::Int(r as i64))
+                    .unwrap_or(Value::Null),
+                Value::Int(q.elapsed().as_millis() as i64),
+                Value::Int(io.blocks_read as i64),
+                Value::Int(io.cache_hits as i64),
+                Value::Int(io.bytes_read as i64),
+                Value::Int(io.batches_emitted as i64),
+                Value::Str(q.sql().to_string()),
+            ])
+        })
+        .collect();
+    Dataset::new(columns, rows)
+}
+
+/// `SHOW REGIONS`: per-region size and traffic stats for this session's
+/// tables only (names come back logical, the namespace prefix stripped).
+fn show_regions(session: &Session) -> Dataset {
+    let columns = vec![
+        "table".into(),
+        "store".into(),
+        "region".into(),
+        "entries".into(),
+        "disk_bytes".into(),
+        "memtable_bytes".into(),
+        "sstables".into(),
+        "reads".into(),
+        "writes".into(),
+        "bytes_read".into(),
+        "bytes_written".into(),
+        "scans".into(),
+        "scan_blocks".into(),
+    ];
+    let rows = session
+        .region_stats()
+        .into_iter()
+        .map(|(table, store, s)| {
+            Row::new(vec![
+                Value::Str(table),
+                Value::Str(store),
+                Value::Int(s.index as i64),
+                Value::Int(s.entries as i64),
+                Value::Int(s.disk_bytes as i64),
+                Value::Int(s.memtable_bytes as i64),
+                Value::Int(s.sstables as i64),
+                Value::Int(s.traffic.reads as i64),
+                Value::Int(s.traffic.writes as i64),
+                Value::Int(s.traffic.bytes_read as i64),
+                Value::Int(s.traffic.bytes_written as i64),
+                Value::Int(s.traffic.scans as i64),
+                Value::Int(s.traffic.scan_blocks as i64),
+            ])
+        })
+        .collect();
+    Dataset::new(columns, rows)
+}
+
+/// `SHOW EVENTS [LIMIT n]`: the most recent event-log entries, newest
+/// first.
+fn show_events(limit: usize) -> Dataset {
+    let columns = vec!["seq".into(), "ts_ms".into(), "kind".into(), "detail".into()];
+    let rows = just_obs::events::global()
+        .recent(limit)
+        .into_iter()
+        .map(|e| {
+            Row::new(vec![
+                Value::Int(e.seq as i64),
+                Value::Int(e.ts_ms as i64),
+                Value::Str(e.kind),
+                Value::Str(e.detail),
+            ])
+        })
+        .collect();
+    Dataset::new(columns, rows)
 }
 
 /// Maps AST column definitions onto a storage schema.

@@ -13,6 +13,10 @@ pub enum QlError {
     Analyze(String),
     /// Runtime evaluation error.
     Eval(String),
+    /// The query was cancelled mid-execution (`KILL QUERY`). A typed
+    /// variant so clients can distinguish an operator kill from a
+    /// genuine failure.
+    Cancelled(String),
     /// Engine-level failure.
     Engine(just_core::CoreError),
     /// An error received over the wire from a remote server (possibly a
@@ -28,15 +32,16 @@ pub enum QlError {
 
 impl QlError {
     /// The structured error code used on the wire. Stable vocabulary:
-    /// `LEX`, `PARSE`, `ANALYZE`, `EVAL`, `CATALOG`, `INVALID`,
-    /// `STORAGE`, `KV`, `IO` — plus whatever a remote server sent for
-    /// [`QlError::Remote`] (e.g. `BUSY`, `AUTH`, `MALFORMED`).
+    /// `LEX`, `PARSE`, `ANALYZE`, `EVAL`, `CANCELLED`, `CATALOG`,
+    /// `INVALID`, `STORAGE`, `KV`, `IO` — plus whatever a remote server
+    /// sent for [`QlError::Remote`] (e.g. `BUSY`, `AUTH`, `MALFORMED`).
     pub fn code(&self) -> &str {
         match self {
             QlError::Lex(_) => "LEX",
             QlError::Parse(_) => "PARSE",
             QlError::Analyze(_) => "ANALYZE",
             QlError::Eval(_) => "EVAL",
+            QlError::Cancelled(_) => "CANCELLED",
             QlError::Engine(e) => match e {
                 just_core::CoreError::Catalog(_) => "CATALOG",
                 just_core::CoreError::Invalid(_) => "INVALID",
@@ -55,9 +60,11 @@ impl QlError {
     /// and clients would print "parse error: parse error: ...".
     pub fn message(&self) -> String {
         match self {
-            QlError::Lex(m) | QlError::Parse(m) | QlError::Analyze(m) | QlError::Eval(m) => {
-                m.clone()
-            }
+            QlError::Lex(m)
+            | QlError::Parse(m)
+            | QlError::Analyze(m)
+            | QlError::Eval(m)
+            | QlError::Cancelled(m) => m.clone(),
             QlError::Engine(e) => match e {
                 just_core::CoreError::Catalog(m) | just_core::CoreError::Invalid(m) => m.clone(),
                 just_core::CoreError::Storage(e) => e.to_string(),
@@ -79,6 +86,7 @@ impl QlError {
             "PARSE" => QlError::Parse(m),
             "ANALYZE" => QlError::Analyze(m),
             "EVAL" => QlError::Eval(m),
+            "CANCELLED" => QlError::Cancelled(m),
             "CATALOG" => QlError::Engine(just_core::CoreError::Catalog(m)),
             "INVALID" => QlError::Engine(just_core::CoreError::Invalid(m)),
             _ => QlError::Remote {
@@ -96,6 +104,7 @@ impl fmt::Display for QlError {
             QlError::Parse(m) => write!(f, "parse error: {m}"),
             QlError::Analyze(m) => write!(f, "analyze error: {m}"),
             QlError::Eval(m) => write!(f, "eval error: {m}"),
+            QlError::Cancelled(m) => write!(f, "query cancelled: {m}"),
             QlError::Engine(e) => write!(f, "engine error: {e}"),
             QlError::Remote { code, message } => write!(f, "remote error [{code}]: {message}"),
         }
@@ -121,6 +130,7 @@ mod tests {
             QlError::Parse("oops".into()),
             QlError::Analyze("unknown column".into()),
             QlError::Eval("division by zero".into()),
+            QlError::Cancelled("killed by operator".into()),
             QlError::Engine(just_core::CoreError::Catalog("no such table".into())),
             QlError::Engine(just_core::CoreError::Invalid("bad args".into())),
         ];
@@ -140,6 +150,7 @@ mod tests {
             QlError::Parse("oops".into()),
             QlError::Lex("bad char".into()),
             QlError::Eval("division by zero".into()),
+            QlError::Cancelled("killed by operator".into()),
             QlError::Engine(just_core::CoreError::Catalog("no such table".into())),
         ];
         for e in cases {

@@ -11,18 +11,54 @@ use just_analysis::{dbscan, DbscanParams};
 use just_core::{Dataset, Session};
 use just_geo::{Geometry, Point};
 use just_obs::{SpanId, Trace};
-use just_storage::{Row, SpatialPredicate, Value};
+use just_storage::{CancelToken, Row, SpatialPredicate, Value};
 use std::collections::HashMap;
+
+/// One operator's lightweight execution stats, collected on every query
+/// (unlike a [`Trace`], this is a flat vector with no span arena — cheap
+/// enough to gather always, persisted only when the query turns out to
+/// be slow).
+#[derive(Debug, Clone)]
+pub struct OpStat {
+    /// Operator label (same vocabulary as the trace/plan renderings).
+    pub label: String,
+    /// Wall time of the operator including its children, microseconds.
+    pub elapsed_us: u64,
+    /// Rows the operator emitted (0 when it failed).
+    pub rows: u64,
+}
 
 /// Executes logical plans against one session.
 pub struct Executor<'a> {
     session: &'a Session,
+    kill: Option<CancelToken>,
 }
 
 impl<'a> Executor<'a> {
     /// Creates an executor for the session.
     pub fn new(session: &'a Session) -> Self {
-        Executor { session }
+        Executor {
+            session,
+            kill: None,
+        }
+    }
+
+    /// Attaches a query-level kill token (from the live query registry).
+    /// The executor checks it between operators and between scan batches;
+    /// once cancelled, execution stops with [`QlError::Cancelled`] and
+    /// any in-flight scan stream is cancelled so its disk IO stops too.
+    /// This token is distinct from the per-stream LIMIT cancel token: a
+    /// satisfied LIMIT must not poison the query's other scans.
+    pub fn with_kill(mut self, token: Option<CancelToken>) -> Self {
+        self.kill = token;
+        self
+    }
+
+    fn check_kill(&self) -> Result<()> {
+        match &self.kill {
+            Some(k) if k.is_cancelled() => Err(QlError::Cancelled("killed via KILL QUERY".into())),
+            _ => Ok(()),
+        }
     }
 
     /// Runs a plan to a dataset.
@@ -32,6 +68,27 @@ impl<'a> Executor<'a> {
             children.push(self.run(child)?);
         }
         self.execute_node(plan, children)
+    }
+
+    /// Runs a plan like [`Executor::run`] while appending one [`OpStat`]
+    /// per operator (children first). This is the always-on path the
+    /// client uses for plain queries: when the query turns out slow, the
+    /// collected stats become the retroactive per-operator breakdown in
+    /// the slow-query log without ever allocating a trace.
+    pub fn run_collect(&self, plan: &LogicalPlan, stats: &mut Vec<OpStat>) -> Result<Dataset> {
+        self.check_kill()?;
+        let started = std::time::Instant::now();
+        let mut children = Vec::new();
+        for child in plan.children() {
+            children.push(self.run_collect(child, stats)?);
+        }
+        let result = self.execute_node(plan, children);
+        stats.push(OpStat {
+            label: plan.label(),
+            elapsed_us: started.elapsed().as_micros() as u64,
+            rows: result.as_ref().map(|d| d.len() as u64).unwrap_or(0),
+        });
+        result
     }
 
     /// Runs a plan like [`Executor::run`], recording one span per operator
@@ -319,6 +376,12 @@ impl<'a> Executor<'a> {
         'batches: while let Some(batch) =
             stream.next_batch().map_err(just_core::CoreError::Storage)?
         {
+            // Query-level kill: cancel the stream first so the drop is
+            // counted as an early termination and block reads stop here.
+            if let Err(e) = self.check_kill() {
+                cancel.cancel();
+                return Err(e);
+            }
             let mut chunk = Dataset::new(columns.clone(), batch);
             for pred in &mem_preds {
                 chunk = filter(chunk, pred)?;

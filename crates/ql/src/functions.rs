@@ -393,6 +393,21 @@ pub fn call(name: &str, vals: Vec<Value>) -> Result<Value> {
             .into_iter()
             .find(|v| !v.is_null())
             .unwrap_or(Value::Null)),
+        // Deterministic slow-query generator: sleeps for the given number
+        // of milliseconds (capped at 10s per call) and returns it. Marked
+        // volatile so the optimizer never folds the sleep away — placing
+        // it in a residual WHERE clause slows every *batch* of a scan,
+        // which is how the observability tests make a query reliably
+        // killable mid-stream.
+        "sleep_ms" => {
+            let ms = f64_arg(&vals, 0, name)?;
+            if !ms.is_finite() || ms < 0.0 {
+                return Err(QlError::Eval("sleep_ms: duration must be >= 0".into()));
+            }
+            let ms = (ms as u64).min(10_000);
+            std::thread::sleep(std::time::Duration::from_millis(ms));
+            Ok(Value::Int(ms as i64))
+        }
         // --- CSV-loading conversions (the paper's CONFIG functions) --------
         "to_int" => match vals.first() {
             Some(Value::Int(i)) => Ok(Value::Int(*i)),
@@ -484,6 +499,12 @@ pub fn is_aggregate(name: &str) -> bool {
     matches!(name, "count" | "sum" | "avg" | "min" | "max")
 }
 
+/// Whether the function is volatile: evaluating it has side effects (or
+/// is non-deterministic), so the optimizer must not constant-fold it.
+pub fn is_volatile(name: &str) -> bool {
+    name == "sleep_ms"
+}
+
 /// Whether the name is any callable the executor knows (scalar, table,
 /// cluster or aggregate) — used by upfront analysis so unknown functions
 /// error even over empty relations.
@@ -516,6 +537,7 @@ pub fn is_known_function(name: &str) -> bool {
                 | "upper"
                 | "length"
                 | "coalesce"
+                | "sleep_ms"
                 | "to_int"
                 | "to_float"
                 | "to_string"

@@ -68,13 +68,28 @@ fn fold_expr(e: Expr) -> Result<Expr> {
         },
         other => other,
     };
-    if e.is_constant() && !matches!(e, Expr::Literal(_)) {
+    if e.is_constant() && !matches!(e, Expr::Literal(_)) && !contains_volatile(&e) {
         // Aggregates and errors are left in place for the executor.
         if let Ok(v) = eval_const(&e) {
             return Ok(Expr::Literal(v));
         }
     }
     Ok(e)
+}
+
+/// Whether any function in the expression is volatile (side-effecting,
+/// like `sleep_ms`) — folding one at plan time would run the side effect
+/// once instead of per row and bake the result into the plan.
+fn contains_volatile(e: &Expr) -> bool {
+    let mut volatile = false;
+    e.walk(&mut |x| {
+        if let Expr::Func { name, .. } = x {
+            if crate::functions::is_volatile(name) {
+                volatile = true;
+            }
+        }
+    });
+    volatile
 }
 
 fn map_exprs(plan: LogicalPlan, f: &mut impl FnMut(Expr) -> Result<Expr>) -> Result<LogicalPlan> {

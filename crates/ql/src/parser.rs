@@ -131,13 +131,38 @@ impl Parser {
             return Ok(Statement::Drop { view, name });
         }
         if self.eat_kw("show") {
-            let views = if self.eat_kw("views") {
-                true
+            let target = if self.eat_kw("views") {
+                ShowTarget::Views
+            } else if self.eat_kw("tables") {
+                ShowTarget::Tables
+            } else if self.eat_kw("metrics") {
+                ShowTarget::Metrics
+            } else if self.eat_kw("queries") {
+                ShowTarget::Queries
+            } else if self.eat_kw("regions") {
+                ShowTarget::Regions
+            } else if self.eat_kw("events") {
+                let limit = if self.eat_kw("limit") {
+                    match self.advance() {
+                        Some(Token::Int(v)) if v >= 0 => Some(v as usize),
+                        _ => return Err(self.err("expected LIMIT count")),
+                    }
+                } else {
+                    None
+                };
+                ShowTarget::Events { limit }
             } else {
-                self.expect_kw("tables")?;
-                false
+                return Err(self.err("expected TABLES, VIEWS, METRICS, QUERIES, REGIONS or EVENTS"));
             };
-            return Ok(Statement::Show { views });
+            return Ok(Statement::Show { target });
+        }
+        if self.eat_kw("kill") {
+            self.expect_kw("query")?;
+            let id = match self.advance() {
+                Some(Token::Int(v)) if v >= 0 => v as u64,
+                _ => return Err(self.err("expected query id")),
+            };
+            return Ok(Statement::KillQuery { id });
         }
         if self.eat_kw("desc") || self.eat_kw("describe") {
             // Optional TABLE/VIEW keyword.
@@ -841,11 +866,15 @@ mod tests {
     fn parse_misc_statements() {
         assert!(matches!(
             parse("SHOW TABLES").unwrap(),
-            Statement::Show { views: false }
+            Statement::Show {
+                target: ShowTarget::Tables
+            }
         ));
         assert!(matches!(
             parse("SHOW VIEWS").unwrap(),
-            Statement::Show { views: true }
+            Statement::Show {
+                target: ShowTarget::Views
+            }
         ));
         assert!(matches!(
             parse("DROP VIEW v").unwrap(),
@@ -863,6 +892,48 @@ mod tests {
             parse("CREATE VIEW v AS SELECT 1").unwrap(),
             Statement::CreateView { .. }
         ));
+    }
+
+    #[test]
+    fn parse_observability_statements() {
+        assert!(matches!(
+            parse("SHOW METRICS").unwrap(),
+            Statement::Show {
+                target: ShowTarget::Metrics
+            }
+        ));
+        assert!(matches!(
+            parse("show queries;").unwrap(),
+            Statement::Show {
+                target: ShowTarget::Queries
+            }
+        ));
+        assert!(matches!(
+            parse("SHOW REGIONS").unwrap(),
+            Statement::Show {
+                target: ShowTarget::Regions
+            }
+        ));
+        assert!(matches!(
+            parse("SHOW EVENTS").unwrap(),
+            Statement::Show {
+                target: ShowTarget::Events { limit: None }
+            }
+        ));
+        assert!(matches!(
+            parse("SHOW EVENTS LIMIT 25").unwrap(),
+            Statement::Show {
+                target: ShowTarget::Events { limit: Some(25) }
+            }
+        ));
+        assert!(matches!(
+            parse("KILL QUERY 42").unwrap(),
+            Statement::KillQuery { id: 42 }
+        ));
+        assert!(parse("SHOW NONSENSE").is_err());
+        assert!(parse("SHOW EVENTS LIMIT").is_err());
+        assert!(parse("KILL QUERY").is_err());
+        assert!(parse("KILL 7").is_err());
     }
 
     #[test]

@@ -3,6 +3,7 @@
 //! ```text
 //! just-cli --addr HOST:PORT [--user NAME] query "SELECT ..."
 //! just-cli --addr HOST:PORT metrics | health | ping | shutdown
+//! just-cli --addr HOST:PORT --watch-metrics 2
 //! ```
 //!
 //! Exit codes: 0 success, 1 server/query error, 2 usage error.
@@ -14,6 +15,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut addr: Option<String> = None;
     let mut user = "cli".to_string();
+    let mut watch_secs: Option<u64> = None;
     let mut rest: Vec<String> = Vec::new();
 
     let mut i = 0;
@@ -32,6 +34,16 @@ fn main() -> ExitCode {
                     user = v.clone();
                 }
             }
+            "--watch-metrics" => {
+                i += 1;
+                match args.get(i).and_then(|v| v.parse::<u64>().ok()) {
+                    Some(secs) if secs > 0 => watch_secs = Some(secs),
+                    _ => {
+                        eprintln!("just-cli: --watch-metrics needs seconds >= 1\n{USAGE}");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return ExitCode::SUCCESS;
@@ -44,9 +56,13 @@ fn main() -> ExitCode {
         eprintln!("just-cli: --addr HOST:PORT is required\n{USAGE}");
         return ExitCode::from(2);
     };
-    let Some(command) = rest.first().map(String::as_str) else {
-        eprintln!("just-cli: missing command\n{USAGE}");
-        return ExitCode::from(2);
+    let command = match rest.first().map(String::as_str) {
+        Some(c) => c,
+        None if watch_secs.is_some() => "",
+        None => {
+            eprintln!("just-cli: missing command\n{USAGE}");
+            return ExitCode::from(2);
+        }
     };
 
     let mut client = match RemoteClient::connect(&addr, &user) {
@@ -56,6 +72,28 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+
+    // Watch mode: re-render `SHOW METRICS` as a stable table every
+    // `secs` seconds until the server goes away or stdout closes (both
+    // end the watch cleanly — piping into `head` is a normal way out).
+    if let Some(secs) = watch_secs {
+        use std::io::Write;
+        loop {
+            let table = match client.execute("SHOW METRICS") {
+                Ok(just_ql::QueryResult::Data(d)) => d.render(10_000),
+                Ok(just_ql::QueryResult::Message(m)) => m,
+                Err(e) => {
+                    eprintln!("just-cli: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let mut out = std::io::stdout();
+            if writeln!(out, "{table}\n").is_err() || out.flush().is_err() {
+                return ExitCode::SUCCESS;
+            }
+            std::thread::sleep(std::time::Duration::from_secs(secs));
+        }
+    }
     let outcome = match command {
         "query" => {
             let Some(sql) = rest.get(1) else {
@@ -92,4 +130,4 @@ fn main() -> ExitCode {
 }
 
 const USAGE: &str = "usage: just-cli --addr HOST:PORT [--user NAME] \
-(query \"SQL\" | metrics | health | ping | shutdown)";
+(query \"SQL\" | metrics | health | ping | shutdown | --watch-metrics SECS)";

@@ -4,6 +4,7 @@
 //! justd --data DIR [--addr HOST:PORT] [--max-sessions N]
 //!       [--users a,b,c] [--port-file PATH]
 //!       [--wal-sync none|batched|per-write] [--no-wal]
+//!       [--slow-query-ms N]
 //! ```
 //!
 //! Opens (or creates) the engine at `--data`, binds the listener
@@ -66,6 +67,14 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            // Slow-query threshold in milliseconds; 0 disables the log.
+            "--slow-query-ms" => match value.parse() {
+                Ok(ms) => engine_cfg.slow_query_ms = ms,
+                Err(_) => {
+                    eprintln!("justd: bad --slow-query-ms '{value}'\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
             other => {
                 eprintln!("justd: unknown flag '{other}'\n{USAGE}");
                 return ExitCode::from(2);
@@ -106,4 +115,5 @@ fn main() -> ExitCode {
 }
 
 const USAGE: &str = "usage: justd --data DIR [--addr HOST:PORT] [--max-sessions N] \
-[--users a,b,c] [--port-file PATH] [--wal-sync none|batched|per-write] [--no-wal]";
+[--users a,b,c] [--port-file PATH] [--wal-sync none|batched|per-write] [--no-wal] \
+[--slow-query-ms N]";

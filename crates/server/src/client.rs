@@ -105,7 +105,19 @@ impl RemoteClient {
         let json = JsonValue::parse(text)
             .map_err(|e| QlError::from_wire(codes::MALFORMED, e.to_string()))?;
         match Response::from_json(&json)? {
-            Response::Error { code, message } => Err(QlError::from_wire(&code, &message)),
+            Response::Error {
+                code,
+                message,
+                request_id,
+            } => {
+                // Quote the server's request id so a failure report can
+                // be found again in `SHOW EVENTS` / the server log.
+                let message = match request_id {
+                    Some(id) => format!("{message} (request id {id})"),
+                    None => message,
+                };
+                Err(QlError::from_wire(&code, message))
+            }
             ok => Ok(ok),
         }
     }

@@ -133,6 +133,11 @@ pub enum Response {
         code: String,
         /// Human-readable message.
         message: String,
+        /// Server-assigned request id, when the error came from an
+        /// identified request — the correlation handle back into
+        /// `SHOW QUERIES` / `SHOW EVENTS` and the server's slow-query
+        /// log.
+        request_id: Option<u64>,
     },
 }
 
@@ -142,6 +147,7 @@ impl Response {
         Response::Error {
             code: code.to_string(),
             message: message.into(),
+            request_id: None,
         }
     }
 
@@ -153,6 +159,25 @@ impl Response {
         Response::Error {
             code: e.code().to_string(),
             message: e.message(),
+            request_id: None,
+        }
+    }
+
+    /// Stamps an error response with the server's request id (no-op for
+    /// success shapes), so clients can quote the id when reporting a
+    /// failure and operators can find it in the event log.
+    pub fn tag_request(self, id: u64) -> Response {
+        match self {
+            Response::Error {
+                code,
+                message,
+                request_id: _,
+            } => Response::Error {
+                code,
+                message,
+                request_id: Some(id),
+            },
+            other => other,
         }
     }
 
@@ -172,10 +197,20 @@ impl Response {
             Response::Text(t) => JsonValue::object()
                 .with("ok", JsonValue::Bool(true))
                 .with("text", JsonValue::Str(t.clone())),
-            Response::Error { code, message } => JsonValue::object()
-                .with("ok", JsonValue::Bool(false))
-                .with("code", JsonValue::Str(code.clone()))
-                .with("message", JsonValue::Str(message.clone())),
+            Response::Error {
+                code,
+                message,
+                request_id,
+            } => {
+                let mut j = JsonValue::object()
+                    .with("ok", JsonValue::Bool(false))
+                    .with("code", JsonValue::Str(code.clone()))
+                    .with("message", JsonValue::Str(message.clone()));
+                if let Some(id) = request_id {
+                    j = j.with("request_id", JsonValue::Int(*id as i64));
+                }
+                j
+            }
         }
     }
 
@@ -211,6 +246,10 @@ impl Response {
                     .and_then(|m| m.as_str())
                     .unwrap_or("")
                     .to_string(),
+                request_id: j
+                    .get("request_id")
+                    .and_then(|r| r.as_int())
+                    .map(|r| r as u64),
             }),
             None => Err(QlError::from_wire(codes::MALFORMED, "missing 'ok'")),
         }
@@ -286,10 +325,35 @@ mod tests {
         let r = Response::error(codes::BUSY, "at capacity (64 sessions)");
         let j = JsonValue::parse(&r.to_json().render()).unwrap();
         match Response::from_json(&j).unwrap() {
-            Response::Error { code, message } => {
+            Response::Error {
+                code,
+                message,
+                request_id,
+            } => {
                 assert_eq!(code, "BUSY");
                 assert!(message.contains("capacity"));
+                assert_eq!(request_id, None);
             }
+            other => panic!("wrong shape {other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_request_ids_ride_the_wire() {
+        let r = Response::from_ql_error(&QlError::Parse("oops".into())).tag_request(42);
+        let j = JsonValue::parse(&r.to_json().render()).unwrap();
+        match Response::from_json(&j).unwrap() {
+            Response::Error {
+                code, request_id, ..
+            } => {
+                assert_eq!(code, "PARSE");
+                assert_eq!(request_id, Some(42));
+            }
+            other => panic!("wrong shape {other:?}"),
+        }
+        // tag_request is a no-op on success shapes.
+        match Response::Text("pong".into()).tag_request(7) {
+            Response::Text(t) => assert_eq!(t, "pong"),
             other => panic!("wrong shape {other:?}"),
         }
     }

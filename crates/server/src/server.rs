@@ -17,11 +17,11 @@
 use crate::frame::{read_frame, write_frame, FrameError};
 use crate::protocol::{codes, Request, Response};
 use just_core::{Engine, SessionManager};
-use just_obs::metrics::{Counter, Histogram};
+use just_obs::metrics::{Counter, Gauge, Histogram};
 use just_ql::{Client, JsonValue};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -77,6 +77,7 @@ struct ServerMetrics {
     requests: Counter,
     request_errors: Counter,
     latency: Histogram,
+    connections_active: Gauge,
 }
 
 impl ServerMetrics {
@@ -89,6 +90,7 @@ impl ServerMetrics {
             requests: r.counter("just_server_requests"),
             request_errors: r.counter("just_server_request_errors"),
             latency: r.histogram("just_server_request_latency_us"),
+            connections_active: r.gauge("just_server_connections_active"),
         }
     }
 }
@@ -106,6 +108,11 @@ struct Shared {
     /// resetting its grace window and wedge the drain forever.
     shutdown_at: Mutex<Option<Instant>>,
     active: AtomicUsize,
+    /// Monotonic request-id source: every decoded request on any
+    /// connection gets a unique id, quoted in error frames and threaded
+    /// into the query registry so operators can correlate a client's
+    /// failure report with `SHOW QUERIES` / `SHOW EVENTS`.
+    request_seq: AtomicU64,
     metrics: ServerMetrics,
 }
 
@@ -126,6 +133,7 @@ impl Server {
             shutdown: AtomicBool::new(false),
             shutdown_at: Mutex::new(None),
             active: AtomicUsize::new(0),
+            request_seq: AtomicU64::new(0),
             metrics: ServerMetrics::new(),
         });
         let accept_shared = shared.clone();
@@ -266,12 +274,14 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
             continue;
         }
         shared.metrics.accepted.inc();
+        shared.metrics.connections_active.inc();
         let worker_shared = shared.clone();
         let handle = std::thread::Builder::new()
             .name("justd-conn".to_string())
             .spawn(move || {
                 serve_connection(stream, &worker_shared);
                 worker_shared.active.fetch_sub(1, Ordering::AcqRel);
+                worker_shared.metrics.connections_active.dec();
                 worker_shared.metrics.closed.inc();
             });
         match handle {
@@ -279,6 +289,7 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
             Err(_) => {
                 // Spawn failed: release the claimed slot.
                 shared.active.fetch_sub(1, Ordering::AcqRel);
+                shared.metrics.connections_active.dec();
                 shared.metrics.closed.inc();
             }
         }
@@ -378,10 +389,21 @@ fn serve_connection(mut stream: TcpStream, shared: &Shared) {
         };
         let start = Instant::now();
         shared.metrics.requests.inc();
-        let (response, close_after) = handle_payload(&payload, &mut client, shared);
-        if matches!(response, Response::Error { .. }) {
+        let request_id = shared.request_seq.fetch_add(1, Ordering::Relaxed) + 1;
+        let (response, close_after) = handle_payload(&payload, &mut client, shared, request_id);
+        // Every error frame quotes the request id, and the failure lands
+        // in the event log so `SHOW EVENTS` can answer "what was request
+        // N?" after the fact.
+        let response = if let Response::Error { code, message, .. } = &response {
             shared.metrics.request_errors.inc();
-        }
+            just_obs::events::global().emit(
+                "server.request_error",
+                format!("request_id={request_id} code={code} message={message}"),
+            );
+            response.tag_request(request_id)
+        } else {
+            response
+        };
         shared.metrics.latency.record_duration(start.elapsed());
         if write_frame(&mut stream, &response.to_bytes()).is_err() {
             return;
@@ -400,6 +422,7 @@ fn handle_payload(
     payload: &[u8],
     client: &mut Option<Client>,
     shared: &Shared,
+    request_id: u64,
 ) -> (Response, bool) {
     let text = match std::str::from_utf8(payload) {
         Ok(t) => t,
@@ -433,10 +456,15 @@ fn handle_payload(
             (Response::Text(format!("hello {user}")), false)
         }
         Request::Execute { sql } => match client {
-            Some(c) => match c.execute(&sql) {
-                Ok(r) => (Response::Result(r), false),
-                Err(e) => (Response::from_ql_error(&e), false),
-            },
+            Some(c) => {
+                // The id flows into the query registry, so a `SHOW
+                // QUERIES` row can be matched to a wire request.
+                c.set_request_id(Some(request_id));
+                match c.execute(&sql) {
+                    Ok(r) => (Response::Result(r), false),
+                    Err(e) => (Response::from_ql_error(&e), false),
+                }
+            }
             None => (auth_required(), false),
         },
         Request::ExplainAnalyze { sql } => match client {

@@ -383,3 +383,101 @@ fn server_metrics_are_served_and_live_in_the_obs_registry() {
     handle.join();
     std::fs::remove_dir_all(dir).ok();
 }
+
+#[test]
+fn show_queries_and_kill_work_over_the_wire() {
+    let (engine, dir) = fresh("obs-wire");
+    seed(&engine, "ops");
+    // Bulk up the table past one scan batch so the kill lands at a
+    // batch boundary while the volatile predicate sleeps.
+    {
+        let sessions = SessionManager::new(engine.clone());
+        let mut c = Client::new(sessions.session("ops"));
+        let mut values = Vec::new();
+        for fid in 200..1500i64 {
+            values.push(format!("({fid}, {}, 'POINT(116.0 39.5)')", fid * 60_000));
+        }
+        c.execute(&format!("INSERT INTO pts VALUES {}", values.join(", ")))
+            .unwrap();
+    }
+    let handle = Server::start(engine, ServerConfig::default()).unwrap();
+    let addr = handle.local_addr();
+
+    // A runaway scan on one connection...
+    let scanner = std::thread::spawn(move || {
+        let mut c = RemoteClient::connect(addr, "ops").unwrap();
+        c.set_timeout(Some(Duration::from_secs(30))).unwrap();
+        c.execute("SELECT fid FROM pts WHERE sleep_ms(2) >= 0")
+    });
+
+    // ...shows up in SHOW QUERIES on another, with live IO stats.
+    let mut ops = RemoteClient::connect(addr, "ops").unwrap();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let mut id = None;
+    while Instant::now() < deadline {
+        let q = ops.execute("SHOW QUERIES").unwrap();
+        let q = q.dataset().unwrap().clone();
+        if let Some(row) = q.rows.first() {
+            assert!(
+                row.values[8].as_str().unwrap().contains("sleep_ms"),
+                "normalized SQL must be visible"
+            );
+            // A wire-executed query carries its server request id.
+            assert!(matches!(row.values[2], just_storage::Value::Int(r) if r > 0));
+            id = row.values[0].as_int();
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let id = id.expect("scan never appeared in SHOW QUERIES over the wire");
+
+    // KILL QUERY over the wire actually stops it, with a typed error.
+    ops.execute(&format!("KILL QUERY {id}")).unwrap();
+    let err = scanner.join().unwrap().expect_err("scan must die");
+    assert_eq!(err.code(), "CANCELLED");
+
+    // SHOW REGIONS works remotely and stays namespaced.
+    let r = ops.execute("SHOW REGIONS").unwrap();
+    assert!(!r.dataset().unwrap().rows.is_empty());
+
+    handle.join();
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn error_frames_quote_the_request_id() {
+    let (engine, dir) = fresh("req-id");
+    let handle = Server::start(engine, ServerConfig::default()).unwrap();
+    let mut stream = TcpStream::connect(handle.local_addr()).unwrap();
+    send_raw(&mut stream, br#"{"op":"hello","user":"ops"}"#);
+    recv_json(&mut stream).unwrap();
+    send_raw(&mut stream, br#"{"op":"execute","sql":"SELEKT nope"}"#);
+    let err = recv_json(&mut stream).unwrap();
+    assert_eq!(err.get("ok").and_then(|o| o.as_bool()), Some(false));
+    assert_eq!(
+        err.get("code").and_then(|c| c.as_str()),
+        Some("PARSE"),
+        "{err:?}"
+    );
+    let rid = err
+        .get("request_id")
+        .and_then(|r| r.as_int())
+        .expect("error frame must carry the request id");
+    assert!(rid > 0);
+
+    // The failure is recorded in the event log under that id, readable
+    // via SHOW EVENTS on the same connection.
+    send_raw(
+        &mut stream,
+        br#"{"op":"execute","sql":"SHOW EVENTS LIMIT 20"}"#,
+    );
+    let events = recv_json(&mut stream).unwrap();
+    let rendered = events.render();
+    assert!(
+        rendered.contains("server.request_error")
+            && rendered.contains(&format!("request_id={rid}")),
+        "event log must record the failed request: {rendered}"
+    );
+    handle.join();
+    std::fs::remove_dir_all(dir).ok();
+}
