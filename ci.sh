@@ -171,6 +171,25 @@ OBS_BENCH_OUT="$SMOKE_DIR/obs_overhead.txt"
     | tee "$OBS_BENCH_OUT"
 grep -q "overhead guard: PASS" "$OBS_BENCH_OUT"
 
+echo "==> compiled-execution smoke bench (>=3x speedup + parity guards)"
+EXEC_BENCH_OUT="$SMOKE_DIR/exec_compile.txt"
+./target/release/figures exec_compile --scale 0.1 --json "$SMOKE_DIR/bench" \
+    | tee "$EXEC_BENCH_OUT"
+grep -q "speedup guard: PASS" "$EXEC_BENCH_OUT"
+grep -q "parity guard: PASS" "$EXEC_BENCH_OUT"
+
+echo "==> EXPLAIN bytecode listing smoke (just-cli renders programs)"
+start_justd "$SMOKE_DIR/exec-data" "$SMOKE_DIR/exec-port"
+cli query "CREATE TABLE expts (fid integer:primary key, geom point)"
+cli query "INSERT INTO expts VALUES (1, st_makePoint(116.4, 39.9))"
+EXPLAIN_OUT=$(cli query "EXPLAIN SELECT fid FROM expts WHERE fid % 2 = 1 AND fid > 0")
+echo "$EXPLAIN_OUT" | grep -q "program residual:"
+echo "$EXPLAIN_OUT" | grep -q "cmp.int"
+./target/release/just-cli --addr "$ADDR" shutdown
+wait "$JUSTD_PID"
+JUSTD_PID=""
+echo "EXPLAIN smoke OK: compiled program listing rendered over the wire"
+
 echo "==> streaming example (query_stream + LIMIT early-exit)"
 cargo run --release -q -p just-core --example streaming_scan
 

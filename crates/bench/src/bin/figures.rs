@@ -59,6 +59,7 @@ fn main() {
             "read_path".into(),
             "scan_stream".into(),
             "obs_overhead".into(),
+            "exec_compile".into(),
         ];
     }
     let cfg = BenchConfig::default().scaled(scale);
@@ -100,6 +101,11 @@ fn main() {
                     failed = true;
                 }
             }
+            "exec_compile" => {
+                if !figures::exec_compile::run(&cfg, &mut out, &mut report) {
+                    failed = true;
+                }
+            }
             other => usage(&format!("unknown figure '{other}'")),
         }
         if let Some(dir) = &json_dir {
@@ -120,7 +126,7 @@ fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
         "usage: figures [all|table1|table2|fig8|fig10|fig11|fig12|fig13|fig14|serve|durability|\
-         read_path|scan_stream|obs_overhead]... [--scale X] [--json DIR]"
+         read_path|scan_stream|obs_overhead|exec_compile]... [--scale X] [--json DIR]"
     );
     std::process::exit(2);
 }

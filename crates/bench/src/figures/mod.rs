@@ -3,6 +3,7 @@
 //! writer.
 
 pub mod durability;
+pub mod exec_compile;
 pub mod fig10;
 pub mod fig11;
 pub mod fig12;

@@ -294,7 +294,10 @@ impl Client {
                     self.run_analyzed(&query, &mut trace)?;
                     trace.render()
                 } else {
-                    optimize(LogicalPlan::from_select(&query)?)?.render()
+                    // Plain EXPLAIN includes each operator's compiled
+                    // bytecode listing (or its fallback note).
+                    let plan = optimize(LogicalPlan::from_select(&query)?)?;
+                    crate::compile::explain_render(&plan, &self.session)
                 };
                 Ok(QueryResult::Data(Dataset::new(
                     vec!["plan".into()],

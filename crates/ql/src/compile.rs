@@ -1,0 +1,457 @@
+//! Lowering JustQL expressions into `just-exec` bytecode.
+//!
+//! [`compile`] turns one [`Expr`] into a flat register [`Program`]
+//! exactly once per query (per operator): column names are resolved to
+//! input indices here — never again per row — literals are interned into
+//! the program's constant pool, constant non-volatile subtrees are
+//! folded to a single constant, and arithmetic / comparison opcodes are
+//! emitted in their `*.int` specialized form when both operands are
+//! statically known to be integers (integer literals, `integer`-typed
+//! schema columns, or results of integer arithmetic).
+//!
+//! Not every expression compiles: `*`, `IN st_KNN(...)`, aggregate /
+//! table / cluster functions and unknown names are plan-level constructs
+//! whose (error) semantics belong to the row interpreter, so [`compile`]
+//! returns `Ok(None)` and the executor falls back to interpreted
+//! `eval()` — the documented fallback path, counted by the
+//! `just_exec_fallbacks` metric.
+
+use crate::ast::{BinOp, Expr};
+use crate::functions::{self, arith_op, cmp_op, exec_err, resolve_column};
+use crate::plan::LogicalPlan;
+use crate::QlError;
+use crate::Result;
+use just_core::Session;
+use just_exec::{ExecError, FuncEntry, Program, ProgramBuilder, RegId};
+use just_storage::{FieldType, Value};
+use std::sync::Arc;
+
+/// Why a subtree didn't lower.
+enum Abort {
+    /// A construct the compiler doesn't handle — the caller falls back to
+    /// the interpreter (which may then error with its own message).
+    Unsupported,
+    /// A genuine analysis error (unknown column), identical to what the
+    /// interpreted path's validation reports.
+    Fail(QlError),
+}
+
+fn build_err(e: ExecError) -> Abort {
+    Abort::Fail(exec_err(e))
+}
+
+struct Lowerer<'a> {
+    b: ProgramBuilder,
+    columns: &'a [String],
+    int_cols: Option<&'a [bool]>,
+}
+
+impl Lowerer<'_> {
+    /// Lowers `e`, returning its result register and whether the value is
+    /// statically known to be an integer.
+    fn lower(&mut self, e: &Expr) -> std::result::Result<(RegId, bool), Abort> {
+        // Constant non-volatile subtrees fold into the constant pool at
+        // compile time. Folding that *errors* (e.g. `1/0`) lowers
+        // normally so the runtime error matches the interpreter's.
+        if !matches!(e, Expr::Literal(_)) && e.is_constant() && !contains_volatile(e) {
+            if let Ok(v) = functions::eval_const(e) {
+                let is_int = matches!(v, Value::Int(_));
+                return Ok((self.b.constant(v).map_err(build_err)?, is_int));
+            }
+        }
+        match e {
+            Expr::Literal(v) => {
+                let is_int = matches!(v, Value::Int(_));
+                Ok((self.b.constant(v.clone()).map_err(build_err)?, is_int))
+            }
+            Expr::Column(name) => {
+                let idx = resolve_column(name, self.columns).map_err(Abort::Fail)?;
+                let is_int = self
+                    .int_cols
+                    .is_some_and(|t| t.get(idx).copied().unwrap_or(false));
+                Ok((self.b.col(idx).map_err(build_err)?, is_int))
+            }
+            Expr::Star | Expr::InFunc { .. } => Err(Abort::Unsupported),
+            Expr::Unary { not, expr } => {
+                let (a, a_int) = self.lower(expr)?;
+                if *not {
+                    Ok((self.b.not(a).map_err(build_err)?, false))
+                } else {
+                    Ok((self.b.neg(a).map_err(build_err)?, a_int))
+                }
+            }
+            Expr::Binary { op, lhs, rhs } => match op {
+                BinOp::And => {
+                    let (l, _) = self.lower(lhs)?;
+                    self.b.mask_and(l);
+                    let (r, _) = self.lower(rhs)?;
+                    self.b.mask_pop();
+                    Ok((self.b.merge_and(l, r).map_err(build_err)?, false))
+                }
+                BinOp::Or => {
+                    let (l, _) = self.lower(lhs)?;
+                    self.b.mask_or(l);
+                    let (r, _) = self.lower(rhs)?;
+                    self.b.mask_pop();
+                    Ok((self.b.merge_or(l, r).map_err(build_err)?, false))
+                }
+                BinOp::Within => {
+                    let (l, _) = self.lower(lhs)?;
+                    let (r, _) = self.lower(rhs)?;
+                    Ok((self.b.within(l, r).map_err(build_err)?, false))
+                }
+                other => {
+                    let (l, li) = self.lower(lhs)?;
+                    let (r, ri) = self.lower(rhs)?;
+                    if let Some(a) = arith_op(*other) {
+                        let int = li && ri;
+                        Ok((self.b.arith(a, l, r, int).map_err(build_err)?, int))
+                    } else {
+                        let c = cmp_op(*other).expect("logical ops handled above");
+                        Ok((self.b.cmp(c, l, r, li && ri).map_err(build_err)?, false))
+                    }
+                }
+            },
+            Expr::Between { expr, lo, hi } => {
+                let (v, _) = self.lower(expr)?;
+                let (lo, _) = self.lower(lo)?;
+                let (hi, _) = self.lower(hi)?;
+                Ok((self.b.between(v, lo, hi).map_err(build_err)?, false))
+            }
+            Expr::Func { name, args } => {
+                // Aggregates, table/cluster functions, st_knn and unknown
+                // names are plan-level constructs (or analyze errors): the
+                // interpreter owns their semantics.
+                if functions::is_aggregate(name)
+                    || functions::is_table_function(name)
+                    || functions::is_cluster_function(name)
+                    || name == "st_knn"
+                    || !functions::is_known_function(name)
+                {
+                    return Err(Abort::Unsupported);
+                }
+                let mut regs = Vec::with_capacity(args.len());
+                for a in args {
+                    regs.push(self.lower(a)?.0);
+                }
+                let fname = name.clone();
+                let entry = FuncEntry {
+                    name: name.clone(),
+                    f: Arc::new(move |vals| {
+                        functions::call(&fname, vals).map_err(|e| ExecError(e.message()))
+                    }),
+                };
+                Ok((self.b.call(entry, regs).map_err(build_err)?, false))
+            }
+        }
+    }
+}
+
+/// Whether any function in the expression is volatile (side-effecting,
+/// like `sleep_ms`) — its subtree must never be folded at compile time.
+fn contains_volatile(e: &Expr) -> bool {
+    let mut volatile = false;
+    e.walk(&mut |x| {
+        if let Expr::Func { name, .. } = x {
+            if functions::is_volatile(name) {
+                volatile = true;
+            }
+        }
+    });
+    volatile
+}
+
+/// Compiles `expr` into a bytecode program against the input header
+/// `columns`. `int_cols` optionally marks columns statically typed
+/// `integer` (from the table schema) to unlock `*.int` opcode
+/// specialization; pass `None` when the input is an untyped dataset.
+///
+/// Returns `Ok(None)` for expressions the compiler doesn't support (the
+/// caller falls back to the interpreter) and `Err` for analysis errors —
+/// the same errors interpreted validation produces.
+pub fn compile(
+    expr: &Expr,
+    columns: &[String],
+    int_cols: Option<&[bool]>,
+) -> Result<Option<Program>> {
+    let mut l = Lowerer {
+        b: ProgramBuilder::new(columns.to_vec()),
+        columns,
+        int_cols,
+    };
+    match l.lower(expr) {
+        Ok((out, _)) => Ok(Some(l.b.finish(out))),
+        Err(Abort::Unsupported) => Ok(None),
+        Err(Abort::Fail(e)) => Err(e),
+    }
+}
+
+/// [`compile`] for the executor hot path: any reason not to run compiled
+/// — unsupported construct *or* analysis error — yields `None`, counted
+/// in `just_exec_fallbacks`, and the caller's interpreted path then
+/// reproduces the exact validation error (or lack of one: interpreted
+/// aggregates over empty inputs never evaluate their argument, so a
+/// compile-time resolution error must not surface where the interpreter
+/// would stay silent).
+pub(crate) fn try_compile(
+    expr: &Expr,
+    columns: &[String],
+    int_cols: Option<&[bool]>,
+) -> Option<Program> {
+    match compile(expr, columns, int_cols) {
+        Ok(Some(p)) => Some(p),
+        _ => {
+            just_obs::global().counter("just_exec_fallbacks").inc();
+            None
+        }
+    }
+}
+
+/// Renders `plan` like [`LogicalPlan::render`], but each
+/// expression-bearing operator is followed by the bytecode listing of
+/// its compiled programs, one line per opcode — what plain `EXPLAIN`
+/// shows. Expressions the compiler rejects render a one-line
+/// `interpreted fallback` note instead. Input headers are resolved
+/// best-effort against the catalog; operators whose input columns can't
+/// be determined statically (`st_KNN`, table functions) list nothing.
+pub(crate) fn explain_render(plan: &LogicalPlan, session: &Session) -> String {
+    let mut out = String::new();
+    render_node(plan, session, &mut out, 0);
+    out
+}
+
+fn render_node(plan: &LogicalPlan, session: &Session, out: &mut String, depth: usize) {
+    out.push_str(&"  ".repeat(depth));
+    out.push_str(&plan.label());
+    out.push('\n');
+    match plan {
+        LogicalPlan::Scan {
+            table,
+            residual: Some(r),
+            ..
+        } => {
+            // The residual runs against the full pre-projection schema,
+            // with int-typed fields unlocking `*.int` opcodes — exactly
+            // what the streaming scan compiles.
+            if let Some((cols, int_cols)) = scan_input_columns(table, session) {
+                push_program(
+                    out,
+                    depth,
+                    "residual",
+                    &compile_opt(r, &cols, int_cols.as_deref()),
+                );
+            }
+        }
+        LogicalPlan::Filter { input, predicate } => {
+            if let Some(cols) = output_columns(input, session) {
+                push_program(
+                    out,
+                    depth,
+                    "predicate",
+                    &compile_opt(predicate, &cols, None),
+                );
+            }
+        }
+        LogicalPlan::Project { input, items } => {
+            if let Some(cols) = output_columns(input, session) {
+                for (e, name) in items {
+                    if !matches!(e, Expr::Star) {
+                        push_program(out, depth, name, &compile_opt(e, &cols, None));
+                    }
+                }
+            }
+        }
+        LogicalPlan::Aggregate {
+            input,
+            group_by,
+            aggregates,
+        } => {
+            if let Some(cols) = output_columns(input, session) {
+                for (e, name) in group_by {
+                    let label = format!("key {name}");
+                    push_program(out, depth, &label, &compile_opt(e, &cols, None));
+                }
+                for (func, e, name) in aggregates {
+                    if !matches!(e, Expr::Star) {
+                        let label = format!("{func} {name}");
+                        push_program(out, depth, &label, &compile_opt(e, &cols, None));
+                    }
+                }
+            }
+        }
+        _ => {}
+    }
+    for child in plan.children() {
+        render_node(child, session, out, depth + 1);
+    }
+}
+
+fn push_program(out: &mut String, depth: usize, label: &str, prog: &Option<Program>) {
+    let pad = "  ".repeat(depth + 1);
+    match prog {
+        Some(p) => {
+            out.push_str(&format!("{pad}program {label}:\n"));
+            for line in p.listing() {
+                out.push_str(&format!("{pad}  {line}\n"));
+            }
+        }
+        None => out.push_str(&format!("{pad}program {label}: interpreted fallback\n")),
+    }
+}
+
+fn compile_opt(e: &Expr, cols: &[String], int_cols: Option<&[bool]>) -> Option<Program> {
+    compile(e, cols, int_cols).ok().flatten()
+}
+
+/// A stored table's or view's full column list, plus — for stored tables
+/// — which fields are statically `integer` typed.
+fn scan_input_columns(table: &str, session: &Session) -> Option<(Vec<String>, Option<Vec<bool>>)> {
+    if let Ok(view) = session.view(table) {
+        return Some((view.columns.clone(), None));
+    }
+    let def = session.describe(table).ok()?;
+    let cols = def.schema.fields().iter().map(|f| f.name.clone()).collect();
+    let ints = def
+        .schema
+        .fields()
+        .iter()
+        .map(|f| f.ty == FieldType::Int)
+        .collect();
+    Some((cols, Some(ints)))
+}
+
+/// The operator's statically-known output header, mirroring how the
+/// executor builds each operator's columns. `None` when the header is
+/// data-dependent (table functions, clustering, k-NN).
+fn output_columns(plan: &LogicalPlan, session: &Session) -> Option<Vec<String>> {
+    match plan {
+        LogicalPlan::Scan {
+            table,
+            alias,
+            projection,
+            ..
+        } => {
+            let (mut cols, _) = scan_input_columns(table, session)?;
+            if let Some(proj) = projection {
+                // Advisory projection: names that fail to resolve are
+                // skipped; all-unresolved keeps the full header (the
+                // executor's `project_columns` rule).
+                let kept: Vec<String> = proj
+                    .iter()
+                    .filter_map(|c| resolve_column(c, &cols).ok().map(|i| cols[i].clone()))
+                    .collect();
+                if !kept.is_empty() {
+                    cols = kept;
+                }
+            }
+            if let Some(a) = alias {
+                cols = cols.iter().map(|c| format!("{a}.{c}")).collect();
+            }
+            Some(cols)
+        }
+        LogicalPlan::Values { columns, .. } => Some(columns.clone()),
+        LogicalPlan::Filter { input, .. }
+        | LogicalPlan::Sort { input, .. }
+        | LogicalPlan::Limit { input, .. } => output_columns(input, session),
+        LogicalPlan::Project { input, items } => {
+            if items.len() == 1 {
+                if let Expr::Func { name, .. } = &items[0].0 {
+                    if functions::is_table_function(name) || functions::is_cluster_function(name) {
+                        return None;
+                    }
+                }
+            }
+            let mut cols = Vec::new();
+            for (e, name) in items {
+                if matches!(e, Expr::Star) {
+                    cols.extend(output_columns(input, session)?);
+                } else {
+                    cols.push(name.clone());
+                }
+            }
+            Some(cols)
+        }
+        LogicalPlan::Aggregate {
+            group_by,
+            aggregates,
+            ..
+        } => {
+            let mut cols: Vec<String> = group_by.iter().map(|(_, n)| n.clone()).collect();
+            cols.extend(aggregates.iter().map(|(_, _, n)| n.clone()));
+            Some(cols)
+        }
+        LogicalPlan::Join { left, right, .. } => {
+            let mut cols = output_columns(left, session)?;
+            cols.extend(output_columns(right, session)?);
+            Some(cols)
+        }
+        LogicalPlan::Knn { .. } => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use crate::Statement;
+
+    fn predicate_of(sql: &str) -> Expr {
+        match parse(sql).unwrap() {
+            Statement::Query(q) => q.where_clause.unwrap(),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn columns_resolve_and_constants_intern() {
+        let e = predicate_of("SELECT a FROM t WHERE a + 1 > 1 AND b < 1");
+        let cols = vec!["a".to_string(), "b".to_string()];
+        let p = compile(&e, &cols, None).unwrap().unwrap();
+        // `1` appears three times in the source but is interned once; the
+        // listing names resolved columns.
+        let listing = p.listing().join("\n");
+        assert_eq!(listing.matches("const Int(1)").count(), 1, "{listing}");
+        assert!(listing.contains("$0 (a)"), "{listing}");
+        assert!(listing.contains("mask.and"), "{listing}");
+    }
+
+    #[test]
+    fn int_specialization_needs_schema_types() {
+        let e = predicate_of("SELECT a FROM t WHERE a + 1 > 2");
+        let cols = vec!["a".to_string()];
+        let generic = compile(&e, &cols, None).unwrap().unwrap();
+        assert!(!generic.listing().join("\n").contains("arith.int"));
+        let typed = compile(&e, &cols, Some(&[true])).unwrap().unwrap();
+        let listing = typed.listing().join("\n");
+        assert!(listing.contains("arith.int"), "{listing}");
+        assert!(listing.contains("cmp.int"), "{listing}");
+    }
+
+    #[test]
+    fn constant_subtrees_fold_at_compile_time() {
+        let e = predicate_of("SELECT a FROM t WHERE a > 2 + 3 * 4");
+        let p = compile(&e, &["a".to_string()], None).unwrap().unwrap();
+        let listing = p.listing().join("\n");
+        assert!(listing.contains("const Int(14)"), "{listing}");
+        assert!(!listing.contains("arith"), "{listing}");
+    }
+
+    #[test]
+    fn volatile_calls_never_fold() {
+        let e = predicate_of("SELECT a FROM t WHERE sleep_ms(0) = 0");
+        let p = compile(&e, &["a".to_string()], None).unwrap().unwrap();
+        assert!(
+            p.listing().join("\n").contains("call sleep_ms"),
+            "{:?}",
+            p.listing()
+        );
+    }
+
+    #[test]
+    fn unsupported_shapes_fall_back_and_bad_columns_error() {
+        let e = predicate_of("SELECT a FROM t WHERE count(a) > 1");
+        assert!(compile(&e, &["a".to_string()], None).unwrap().is_none());
+        let e = predicate_of("SELECT a FROM t WHERE nope > 1");
+        assert!(compile(&e, &["a".to_string()], None).is_err());
+    }
+}

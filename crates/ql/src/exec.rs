@@ -1,18 +1,51 @@
 //! The plan executor ("SQL Execute"): spatio-temporal predicates are
 //! served by the storage indexes; relational operators run on the
 //! in-memory DataFrame engine (this repository's Spark SQL).
+//!
+//! Expression-bearing operators (filter, project, aggregate, and the
+//! residual scan predicate) compile their expressions into `just-exec`
+//! bytecode once up front and evaluate batches through the vectorized
+//! VM; expressions the compiler rejects run on the interpreted `eval()`
+//! fallback. `EXPLAIN ANALYZE` marks which path each operator took with
+//! a `compiled=1` / `fallback=1` span attribute.
 
 use crate::ast::Expr;
+use crate::compile::try_compile;
 use crate::error::QlError;
-use crate::functions::{self, eval, resolve_column, truthy};
+use crate::functions::{self, eval, exec_err, resolve_column, truthy};
 use crate::plan::LogicalPlan;
 use crate::Result;
 use just_analysis::{dbscan, DbscanParams};
 use just_core::{Dataset, Session};
+use just_exec::{full_selection, AggSpec, HashAggregator, Program, Vm};
 use just_geo::{Geometry, Point};
 use just_obs::{SpanId, Trace};
-use just_storage::{CancelToken, Row, SpatialPredicate, Value};
+use just_storage::{CancelToken, FieldType, Row, SpatialPredicate, Value};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Rows per evaluation batch for in-memory operators (stored-table scans
+/// use the storage stream's own batching).
+const BATCH: usize = 1024;
+
+/// `EXPLAIN ANALYZE` span attribute for operators that ran bytecode.
+const COMPILED: &str = "compiled";
+/// Span attribute for operators that fell back to interpreted `eval()`.
+const FALLBACK: &str = "fallback";
+
+static COMPILED_ENABLED: AtomicBool = AtomicBool::new(true);
+
+/// Globally enables / disables compiled expression execution (default:
+/// enabled). With it disabled every operator takes the interpreted
+/// fallback — the switch the `exec_compile` bench and the parity tests
+/// use to compare both paths on identical queries.
+pub fn set_compiled(enabled: bool) {
+    COMPILED_ENABLED.store(enabled, Ordering::Relaxed);
+}
+
+fn compiled_enabled() -> bool {
+    COMPILED_ENABLED.load(Ordering::Relaxed)
+}
 
 /// One operator's lightweight execution stats, collected on every query
 /// (unlike a [`Trace`], this is a flat vector with no span arena — cheap
@@ -67,7 +100,7 @@ impl<'a> Executor<'a> {
         for child in plan.children() {
             children.push(self.run(child)?);
         }
-        self.execute_node(plan, children)
+        Ok(self.execute_node(plan, children)?.0)
     }
 
     /// Runs a plan like [`Executor::run`] while appending one [`OpStat`]
@@ -82,7 +115,7 @@ impl<'a> Executor<'a> {
         for child in plan.children() {
             children.push(self.run_collect(child, stats)?);
         }
-        let result = self.execute_node(plan, children);
+        let result = self.execute_node(plan, children).map(|(d, _)| d);
         stats.push(OpStat {
             label: plan.label(),
             elapsed_us: started.elapsed().as_micros() as u64,
@@ -119,7 +152,11 @@ impl<'a> Executor<'a> {
             children.push(self.run_traced(child, trace, span)?);
         }
         let result = self.execute_node(plan, children);
-        if let Ok(data) = &result {
+        if let Ok((data, path)) = &result {
+            // Which execution path the operator's expressions took.
+            if let Some(mark) = path {
+                trace.add_attr(span, mark, 1);
+            }
             trace.set_rows(span, data.len() as u64);
             if let Some((io, ranges, keys, pruned)) = before {
                 let obs = just_obs::global();
@@ -161,12 +198,18 @@ impl<'a> Executor<'a> {
             }
         }
         trace.end(span);
-        result
+        result.map(|(d, _)| d)
     }
 
     /// Evaluates one operator given its already-computed child datasets
-    /// (in [`LogicalPlan::children`] order).
-    fn execute_node(&self, plan: &LogicalPlan, children: Vec<Dataset>) -> Result<Dataset> {
+    /// (in [`LogicalPlan::children`] order). The second element reports
+    /// which expression-execution path the operator took, if it
+    /// evaluated expressions at all.
+    fn execute_node(
+        &self,
+        plan: &LogicalPlan,
+        children: Vec<Dataset>,
+    ) -> Result<(Dataset, Option<&'static str>)> {
         let mut children = children.into_iter();
         let mut next = || {
             children
@@ -192,28 +235,30 @@ impl<'a> Executor<'a> {
                     }
                     out_rows.push(Row::new(values));
                 }
-                Ok(Dataset::new(columns.clone(), out_rows))
+                Ok((Dataset::new(columns.clone(), out_rows), None))
             }
-            LogicalPlan::Filter { predicate, .. } => filter(next(), predicate),
+            LogicalPlan::Filter { predicate, .. } => {
+                filter(next(), predicate).map(|(d, p)| (d, Some(p)))
+            }
             LogicalPlan::Project { items, .. } => project(next(), items),
             LogicalPlan::Aggregate {
                 group_by,
                 aggregates,
                 ..
-            } => aggregate(next(), group_by, aggregates),
-            LogicalPlan::Sort { keys, .. } => sort(next(), keys),
+            } => aggregate(next(), group_by, aggregates).map(|(d, p)| (d, Some(p))),
+            LogicalPlan::Sort { keys, .. } => Ok((sort(next(), keys)?, None)),
             LogicalPlan::Limit { n, .. } => {
                 let mut data = next();
                 data.rows.truncate(*n);
-                Ok(data)
+                Ok((data, None))
             }
             LogicalPlan::Join { on, .. } => {
                 let l = next();
                 let r = next();
-                join(l, r, on)
+                Ok((join(l, r, on)?, None))
             }
             LogicalPlan::Knn { table, lng, lat, k } => {
-                Ok(self.session.knn(table, Point::new(*lng, *lat), *k)?)
+                Ok((self.session.knn(table, Point::new(*lng, *lat), *k)?, None))
             }
         }
     }
@@ -228,26 +273,25 @@ impl<'a> Executor<'a> {
         time: &Option<(String, i64, i64)>,
         residual: &Option<Expr>,
         limit: &Option<usize>,
-    ) -> Result<Dataset> {
+    ) -> Result<(Dataset, Option<&'static str>)> {
         // Views first (they shadow nothing: names are namespaced apart).
-        let mut data = if let Ok(view) = self.session.view(table) {
-            let mut data = (*view).clone();
-            // Pushed predicates over a view run in memory.
+        let (mut data, path) = if let Ok(view) = self.session.view(table) {
+            // Pushed predicates over a view run in memory, against the
+            // shared dataset *by reference*: only surviving rows (up to
+            // the limit) are ever cloned, so a selective filter never
+            // pays for a full-view deep copy.
+            let mut preds: Vec<Expr> = Vec::new();
             if let Some((col, rect)) = spatial {
-                let pred = spatial_expr(col, *rect);
-                data = filter(data, &pred)?;
+                preds.push(spatial_expr(col, *rect));
             }
             if let Some((col, lo, hi)) = time {
-                let pred = temporal_expr(col, *lo, *hi);
-                data = filter(data, &pred)?;
+                preds.push(temporal_expr(col, *lo, *hi));
             }
             if let Some(pred) = residual {
-                data = filter(data, pred)?;
+                preds.push(pred.clone());
             }
-            if let Some(k) = limit {
-                data.rows.truncate(*k);
-            }
-            data
+            let (rows, p) = scan_view_rows(&view, &preds, *limit)?;
+            (Dataset::new(view.columns.clone(), rows), p)
         } else {
             self.scan_stored(table, projection, spatial, time, residual, limit)?
         };
@@ -262,7 +306,7 @@ impl<'a> Executor<'a> {
                 .map(|c| format!("{alias}.{c}"))
                 .collect();
         }
-        Ok(data)
+        Ok((data, path))
     }
 
     /// Scans a stored table through the streaming read path: batches are
@@ -279,7 +323,7 @@ impl<'a> Executor<'a> {
         time: &Option<(String, i64, i64)>,
         residual: &Option<Expr>,
         limit: &Option<usize>,
-    ) -> Result<Dataset> {
+    ) -> Result<(Dataset, Option<&'static str>)> {
         let def = self.session.describe(table)?;
         let geom_name = def
             .schema
@@ -371,7 +415,33 @@ impl<'a> Executor<'a> {
         }
 
         let columns: Vec<String> = def.schema.fields().iter().map(|f| f.name.clone()).collect();
+
+        // Compile every in-memory predicate once for the whole scan; the
+        // schema's statically `integer` fields unlock the int-specialized
+        // opcodes. All-or-nothing: one uncompilable predicate sends the
+        // scan down the interpreted per-batch path.
+        let progs: Option<Vec<Program>> = if compiled_enabled() && !mem_preds.is_empty() {
+            let int_cols: Vec<bool> = def
+                .schema
+                .fields()
+                .iter()
+                .map(|f| f.ty == FieldType::Int)
+                .collect();
+            mem_preds
+                .iter()
+                .map(|p| try_compile(p, &columns, Some(&int_cols)))
+                .collect()
+        } else {
+            None
+        };
+        let path = match (&mem_preds[..], &progs) {
+            ([], _) => None,
+            (_, Some(_)) => Some(COMPILED),
+            (_, None) => Some(FALLBACK),
+        };
+
         let cancel = stream.cancel_token();
+        let mut vm = Vm::new();
         let mut rows: Vec<Row> = Vec::new();
         'batches: while let Some(batch) =
             stream.next_batch().map_err(just_core::CoreError::Storage)?
@@ -382,11 +452,27 @@ impl<'a> Executor<'a> {
                 cancel.cancel();
                 return Err(e);
             }
-            let mut chunk = Dataset::new(columns.clone(), batch);
-            for pred in &mem_preds {
-                chunk = filter(chunk, pred)?;
-            }
-            for row in chunk.rows {
+            let kept = if let Some(progs) = &progs {
+                // Progressive narrowing: each predicate re-examines only
+                // the rows its predecessors kept.
+                let mut sel = full_selection(batch.len());
+                for prog in progs {
+                    if sel.is_empty() {
+                        break;
+                    }
+                    let mut next = Vec::with_capacity(sel.len());
+                    vm.select(prog, &batch, &sel, &mut next).map_err(exec_err)?;
+                    sel = next;
+                }
+                take_selected(batch, &sel)
+            } else {
+                let mut chunk = Dataset::new(columns.clone(), batch);
+                for pred in &mem_preds {
+                    chunk = filter_interpreted(chunk, pred)?;
+                }
+                chunk.rows
+            };
+            for row in kept {
                 rows.push(row);
                 if let Some(k) = limit {
                     if rows.len() >= *k {
@@ -397,8 +483,108 @@ impl<'a> Executor<'a> {
                 }
             }
         }
-        Ok(Dataset::new(columns, rows))
+        Ok((Dataset::new(columns, rows), path))
     }
+}
+
+/// Moves the rows at the (sorted) selected indices out of `rows` without
+/// cloning any surviving row.
+fn take_selected(rows: Vec<Row>, sel: &[u32]) -> Vec<Row> {
+    let mut out = Vec::with_capacity(sel.len());
+    let mut sel = sel.iter().peekable();
+    for (i, row) in rows.into_iter().enumerate() {
+        if sel.peek() == Some(&&(i as u32)) {
+            sel.next();
+            out.push(row);
+        }
+    }
+    out
+}
+
+/// Filters a view's rows in place: predicates run against the shared
+/// dataset by reference and only surviving rows — capped by the pushed
+/// `LIMIT` — are cloned out. Compiled and interpreted paths keep the
+/// usual evaluation-set parity (a later predicate only ever sees rows
+/// the earlier ones kept).
+fn scan_view_rows(
+    view: &Dataset,
+    preds: &[Expr],
+    limit: Option<usize>,
+) -> Result<(Vec<Row>, Option<&'static str>)> {
+    for pred in preds {
+        validate_columns(pred, &view.columns)?;
+    }
+    let cap = limit.unwrap_or(usize::MAX);
+    if preds.is_empty() {
+        let take = view.rows.len().min(cap);
+        return Ok((view.rows[..take].to_vec(), None));
+    }
+    let progs: Option<Vec<Program>> = if compiled_enabled() {
+        let int_cols = infer_int_cols(view);
+        preds
+            .iter()
+            .map(|p| try_compile(p, &view.columns, Some(&int_cols)))
+            .collect()
+    } else {
+        None
+    };
+    let mut out: Vec<Row> = Vec::new();
+    if let Some(progs) = &progs {
+        let mut vm = Vm::new();
+        'batches: for batch in view.rows.chunks(BATCH) {
+            // Progressive narrowing, as in the stored-table scan.
+            let mut sel = full_selection(batch.len());
+            for prog in progs {
+                if sel.is_empty() {
+                    break;
+                }
+                let mut next = Vec::with_capacity(sel.len());
+                vm.select(prog, batch, &sel, &mut next).map_err(exec_err)?;
+                sel = next;
+            }
+            for &lane in &sel {
+                out.push(batch[lane as usize].clone());
+                if out.len() >= cap {
+                    break 'batches;
+                }
+            }
+        }
+        Ok((out, Some(COMPILED)))
+    } else {
+        'rows: for row in &view.rows {
+            for pred in preds {
+                if !truthy(&eval(pred, &row.values, &view.columns)?) {
+                    continue 'rows;
+                }
+            }
+            out.push(row.clone());
+            if out.len() >= cap {
+                break;
+            }
+        }
+        Ok((out, Some(FALLBACK)))
+    }
+}
+
+/// Guesses which view columns hold integers from the first non-NULL
+/// value per column (views carry no schema). Only a *hint*: the
+/// int-specialized opcodes guard at runtime, so a wrong guess costs the
+/// fast path, never correctness.
+fn infer_int_cols(view: &Dataset) -> Vec<bool> {
+    let mut int_cols = vec![false; view.columns.len()];
+    let mut known = vec![false; view.columns.len()];
+    for row in view.rows.iter().take(64) {
+        for (c, v) in row.values.iter().enumerate().take(known.len()) {
+            if !known[c] && !matches!(v, Value::Null) {
+                known[c] = true;
+                int_cols[c] = matches!(v, Value::Int(_));
+            }
+        }
+        if known.iter().all(|k| *k) {
+            break;
+        }
+    }
+    int_cols
 }
 
 fn spatial_expr(col: &str, rect: just_geo::Rect) -> Expr {
@@ -438,7 +624,38 @@ fn validate_columns(expr: &Expr, columns: &[String]) -> Result<()> {
     }
 }
 
-fn filter(data: Dataset, predicate: &Expr) -> Result<Dataset> {
+/// Filters `data`, preferring the compiled path: the predicate lowers to
+/// bytecode once, then batches of [`BATCH`] rows run through the
+/// vectorized VM. Anything the compiler rejects falls back to the
+/// interpreted row loop.
+fn filter(data: Dataset, predicate: &Expr) -> Result<(Dataset, &'static str)> {
+    validate_columns(predicate, &data.columns)?;
+    if compiled_enabled() {
+        if let Some(prog) = try_compile(predicate, &data.columns, None) {
+            let mut vm = Vm::new();
+            let mut rows = Vec::with_capacity(data.rows.len());
+            let mut chunk_rows = data.rows;
+            while !chunk_rows.is_empty() {
+                let rest = chunk_rows.split_off(chunk_rows.len().min(BATCH));
+                let mut sel = Vec::with_capacity(chunk_rows.len());
+                vm.select(
+                    &prog,
+                    &chunk_rows,
+                    &full_selection(chunk_rows.len()),
+                    &mut sel,
+                )
+                .map_err(exec_err)?;
+                rows.extend(take_selected(chunk_rows, &sel));
+                chunk_rows = rest;
+            }
+            return Ok((Dataset::new(data.columns, rows), COMPILED));
+        }
+    }
+    Ok((filter_interpreted(data, predicate)?, FALLBACK))
+}
+
+/// The interpreted fallback: row-at-a-time `eval()`.
+fn filter_interpreted(data: Dataset, predicate: &Expr) -> Result<Dataset> {
     validate_columns(predicate, &data.columns)?;
     let mut rows = Vec::with_capacity(data.rows.len());
     for row in data.rows {
@@ -473,8 +690,9 @@ fn project_columns(data: Dataset, cols: &[String]) -> Result<Dataset> {
     Ok(Dataset::new(names, rows))
 }
 
-fn project(data: Dataset, items: &[(Expr, String)]) -> Result<Dataset> {
-    // 1-N table functions: the sole item expands each row.
+fn project(data: Dataset, items: &[(Expr, String)]) -> Result<(Dataset, Option<&'static str>)> {
+    // 1-N table functions: the sole item expands each row. These are
+    // plan-level constructs the interpreter owns.
     if items.len() == 1 {
         if let Expr::Func { name, args } = &items[0].0 {
             if functions::is_table_function(name) {
@@ -491,10 +709,10 @@ fn project(data: Dataset, items: &[(Expr, String)]) -> Result<Dataset> {
                     }
                 }
                 let columns = columns.unwrap_or_else(|| vec![items[0].1.clone()]);
-                return Ok(Dataset::new(columns, rows));
+                return Ok((Dataset::new(columns, rows), Some(FALLBACK)));
             }
             if functions::is_cluster_function(name) {
-                return run_dbscan(data, args);
+                return Ok((run_dbscan(data, args)?, Some(FALLBACK)));
             }
         }
     }
@@ -518,10 +736,84 @@ fn project(data: Dataset, items: &[(Expr, String)]) -> Result<Dataset> {
             }
         }
     }
+
+    // Pure column reshuffles evaluate nothing — no path to report.
+    let computes: Vec<(usize, &Expr)> = plans
+        .iter()
+        .enumerate()
+        .filter_map(|(i, p)| match p {
+            ProjectItem::Compute(e) => Some((i, e)),
+            ProjectItem::Passthrough(_) => None,
+        })
+        .collect();
+    if computes.is_empty() {
+        return Ok((project_interpreted(data, columns, &plans)?, None));
+    }
+    if compiled_enabled() {
+        let progs: Option<Vec<(usize, Program)>> = computes
+            .iter()
+            .map(|(i, e)| try_compile(e, &data.columns, None).map(|p| (*i, p)))
+            .collect();
+        if let Some(progs) = progs {
+            return Ok((
+                project_compiled(data, columns, &plans, &progs)?,
+                Some(COMPILED),
+            ));
+        }
+    }
+    Ok((project_interpreted(data, columns, &plans)?, Some(FALLBACK)))
+}
+
+/// Compiled projection: each computed item's program evaluates a whole
+/// batch into a column, then output rows are assembled by moving values
+/// out of the computed columns (passthrough items clone from the input
+/// row).
+fn project_compiled(
+    data: Dataset,
+    columns: Vec<String>,
+    plans: &[ProjectItem],
+    progs: &[(usize, Program)],
+) -> Result<Dataset> {
+    let mut vm = Vm::new();
+    let mut rows = Vec::with_capacity(data.rows.len());
+    let mut chunk = data.rows;
+    while !chunk.is_empty() {
+        let rest = chunk.split_off(chunk.len().min(BATCH));
+        let sel = full_selection(chunk.len());
+        let mut computed: Vec<Option<Vec<Value>>> = vec![None; plans.len()];
+        for (idx, prog) in progs {
+            let mut col = Vec::with_capacity(chunk.len());
+            vm.eval(prog, &chunk, &sel, &mut col).map_err(exec_err)?;
+            computed[*idx] = Some(col);
+        }
+        for (r, row) in chunk.iter().enumerate() {
+            let mut values = Vec::with_capacity(plans.len());
+            for (i, p) in plans.iter().enumerate() {
+                values.push(match p {
+                    ProjectItem::Passthrough(c) => row.values[*c].clone(),
+                    ProjectItem::Compute(_) => std::mem::replace(
+                        &mut computed[i].as_mut().expect("computed column")[r],
+                        Value::Null,
+                    ),
+                });
+            }
+            rows.push(Row::new(values));
+        }
+        chunk = rest;
+    }
+    Ok(Dataset::new(columns, rows))
+}
+
+/// The interpreted fallback: row-at-a-time `eval()` per computed item.
+fn project_interpreted(
+    data: Dataset,
+    columns: Vec<String>,
+    plans: &[ProjectItem],
+) -> Result<Dataset> {
     let mut rows = Vec::with_capacity(data.rows.len());
     for row in &data.rows {
         let mut values = Vec::with_capacity(plans.len());
-        for p in &plans {
+        for p in plans {
             values.push(match p {
                 ProjectItem::Passthrough(i) => row.values[*i].clone(),
                 ProjectItem::Compute(e) => eval(e, &row.values, &data.columns)?,
@@ -591,22 +883,120 @@ fn aggregate(
     data: Dataset,
     group_by: &[(Expr, String)],
     aggregates: &[(String, Expr, String)],
+) -> Result<(Dataset, &'static str)> {
+    if compiled_enabled() {
+        if let Some(d) = aggregate_compiled(&data, group_by, aggregates)? {
+            return Ok((d, COMPILED));
+        }
+    }
+    Ok((aggregate_interpreted(data, group_by, aggregates)?, FALLBACK))
+}
+
+/// Vectorized GROUP BY: keys and aggregate arguments compile to bytecode
+/// and evaluate batch-at-a-time into columns fed to the
+/// [`HashAggregator`], which folds rows into fixed-size accumulators
+/// immediately (O(groups) memory, no per-row key `Vec<Value>` clone).
+///
+/// Returns `Ok(None)` when any expression doesn't compile or an
+/// aggregate has no vectorized spec (unknown names, `func(*)` forms) —
+/// the interpreted path owns those error messages, and compile-time
+/// column errors must not surface where the interpreter (which never
+/// evaluates arguments over zero matching rows) would stay silent.
+fn aggregate_compiled(
+    data: &Dataset,
+    group_by: &[(Expr, String)],
+    aggregates: &[(String, Expr, String)],
+) -> Result<Option<Dataset>> {
+    let mut specs = Vec::with_capacity(aggregates.len());
+    let mut arg_progs: Vec<Option<Program>> = Vec::with_capacity(aggregates.len());
+    for (func, arg, _) in aggregates {
+        let star = matches!(arg, Expr::Star);
+        let Some(spec) = AggSpec::resolve(func, star) else {
+            return Ok(None);
+        };
+        specs.push(spec);
+        if star {
+            arg_progs.push(None);
+        } else {
+            match try_compile(arg, &data.columns, None) {
+                Some(p) => arg_progs.push(Some(p)),
+                None => return Ok(None),
+            }
+        }
+    }
+    let mut key_progs = Vec::with_capacity(group_by.len());
+    for (e, _) in group_by {
+        match try_compile(e, &data.columns, None) {
+            Some(p) => key_progs.push(p),
+            None => return Ok(None),
+        }
+    }
+
+    let mut agg = HashAggregator::new(specs);
+    let mut vm = Vm::new();
+    for chunk in data.rows.chunks(BATCH) {
+        let sel = full_selection(chunk.len());
+        let mut keys: Vec<Vec<Value>> = Vec::with_capacity(key_progs.len());
+        for p in &key_progs {
+            let mut col = Vec::with_capacity(chunk.len());
+            vm.eval(p, chunk, &sel, &mut col).map_err(exec_err)?;
+            keys.push(col);
+        }
+        let mut args: Vec<Option<Vec<Value>>> = Vec::with_capacity(arg_progs.len());
+        for p in &arg_progs {
+            args.push(match p {
+                Some(p) => {
+                    let mut col = Vec::with_capacity(chunk.len());
+                    vm.eval(p, chunk, &sel, &mut col).map_err(exec_err)?;
+                    Some(col)
+                }
+                None => None,
+            });
+        }
+        agg.push(chunk.len(), &keys, &args).map_err(exec_err)?;
+    }
+
+    let mut columns: Vec<String> = group_by.iter().map(|(_, n)| n.clone()).collect();
+    columns.extend(aggregates.iter().map(|(_, _, n)| n.clone()));
+    let rows = agg
+        .finish(group_by.is_empty())
+        .into_iter()
+        .map(|(mut key_vals, agg_vals)| {
+            key_vals.extend(agg_vals);
+            Row::new(key_vals)
+        })
+        .collect();
+    Ok(Some(Dataset::new(columns, rows)))
+}
+
+/// The interpreted fallback: groups rows by encoded key (hash-indexed,
+/// with the encode buffer and key scratch reused across rows), then runs
+/// [`eval_aggregate`] per group.
+fn aggregate_interpreted(
+    data: Dataset,
+    group_by: &[(Expr, String)],
+    aggregates: &[(String, Expr, String)],
 ) -> Result<Dataset> {
-    // Group rows by encoded key.
     let mut groups: Vec<(Vec<Value>, Vec<usize>)> = Vec::new();
     let mut index: HashMap<Vec<u8>, usize> = HashMap::new();
+    let mut key_bytes: Vec<u8> = Vec::new();
+    let mut key_vals: Vec<Value> = Vec::new();
     for (row_idx, row) in data.rows.iter().enumerate() {
-        let mut key_vals = Vec::with_capacity(group_by.len());
-        let mut key_bytes = Vec::new();
+        key_bytes.clear();
+        key_vals.clear();
         for (e, _) in group_by {
             let v = eval(e, &row.values, &data.columns)?;
             v.encode(&mut key_bytes);
             key_vals.push(v);
         }
-        let slot = *index.entry(key_bytes).or_insert_with(|| {
-            groups.push((key_vals.clone(), Vec::new()));
-            groups.len() - 1
-        });
+        let slot = match index.get(key_bytes.as_slice()) {
+            Some(&slot) => slot,
+            None => {
+                index.insert(key_bytes.clone(), groups.len());
+                groups.push((std::mem::take(&mut key_vals), Vec::new()));
+                groups.len() - 1
+            }
+        };
         groups[slot].1.push(row_idx);
     }
     // A global aggregate over zero rows still yields one row.

@@ -1,5 +1,10 @@
 //! Expression evaluation and the built-in function registry (the paper's
 //! "plenty of out-of-the-box spatio-temporal analysis functions").
+//!
+//! Value semantics (truthiness, coercion, NULL rules, operator kernels)
+//! live in `just_exec::scalar` — the single definition shared with the
+//! compiled vectorized path — and this module delegates to them, so the
+//! row interpreter here and the VM in `just-exec` cannot drift apart.
 
 use crate::ast::{BinOp, Expr};
 use crate::error::QlError;
@@ -8,8 +13,41 @@ use just_analysis::{
     noise_filter, segment, stay_points, NoiseFilterParams, SegmentParams, StayPointParams,
     Trajectory,
 };
+use just_exec::scalar;
+use just_exec::{ArithOp, CmpOp, ExecError};
 use just_geo::{parse_wkt, Geometry, Point, Rect, StPoint};
 use just_storage::Value;
+
+/// Maps a `just-exec` kernel error into the ql error type (the message
+/// text is shared verbatim between the two paths).
+pub(crate) fn exec_err(e: ExecError) -> QlError {
+    QlError::Eval(e.0)
+}
+
+/// The arithmetic kernel op for a `BinOp`, if it is one.
+pub(crate) fn arith_op(op: BinOp) -> Option<ArithOp> {
+    match op {
+        BinOp::Add => Some(ArithOp::Add),
+        BinOp::Sub => Some(ArithOp::Sub),
+        BinOp::Mul => Some(ArithOp::Mul),
+        BinOp::Div => Some(ArithOp::Div),
+        BinOp::Mod => Some(ArithOp::Mod),
+        _ => None,
+    }
+}
+
+/// The comparison kernel op for a `BinOp`, if it is one.
+pub(crate) fn cmp_op(op: BinOp) -> Option<CmpOp> {
+    match op {
+        BinOp::Eq => Some(CmpOp::Eq),
+        BinOp::Ne => Some(CmpOp::Ne),
+        BinOp::Lt => Some(CmpOp::Lt),
+        BinOp::Le => Some(CmpOp::Le),
+        BinOp::Gt => Some(CmpOp::Gt),
+        BinOp::Ge => Some(CmpOp::Ge),
+        _ => None,
+    }
+}
 
 /// Resolves a (possibly qualified) column name against a header.
 pub fn resolve_column(name: &str, columns: &[String]) -> Result<usize> {
@@ -53,17 +91,9 @@ pub fn eval(expr: &Expr, row: &[Value], columns: &[String]) -> Result<Value> {
         Expr::Unary { not, expr } => {
             let v = eval(expr, row, columns)?;
             if *not {
-                match v {
-                    Value::Null => Ok(Value::Null),
-                    other => Ok(Value::Bool(!truthy(&other))),
-                }
+                scalar::logical_not(&v).map_err(exec_err)
             } else {
-                match v {
-                    Value::Int(i) => Ok(Value::Int(-i)),
-                    Value::Float(f) => Ok(Value::Float(-f)),
-                    Value::Null => Ok(Value::Null),
-                    other => Err(QlError::Eval(format!("cannot negate {other:?}"))),
-                }
+                scalar::neg(&v).map_err(exec_err)
             }
         }
         Expr::Binary { op, lhs, rhs } => {
@@ -94,9 +124,7 @@ pub fn eval(expr: &Expr, row: &[Value], columns: &[String]) -> Result<Value> {
             let v = eval(expr, row, columns)?;
             let lo = eval(lo, row, columns)?;
             let hi = eval(hi, row, columns)?;
-            let ge = binary(BinOp::Ge, v.clone(), lo)?;
-            let le = binary(BinOp::Le, v, hi)?;
-            Ok(Value::Bool(truthy(&ge) && truthy(&le)))
+            scalar::between(&v, &lo, &hi).map_err(exec_err)
         }
         Expr::Func { name, args } => {
             let mut vals = Vec::with_capacity(args.len());
@@ -118,113 +146,29 @@ pub fn eval_const(expr: &Expr) -> Result<Value> {
 
 /// SQL truthiness: non-zero / non-empty / true. NULL is false.
 pub fn truthy(v: &Value) -> bool {
-    match v {
-        Value::Bool(b) => *b,
-        Value::Int(i) => *i != 0,
-        Value::Float(f) => *f != 0.0,
-        Value::Null => false,
-        Value::Str(s) => !s.is_empty(),
-        _ => true,
-    }
+    scalar::truthy(v)
 }
 
 fn numeric(v: &Value) -> Option<f64> {
-    match v {
-        Value::Int(i) => Some(*i as f64),
-        Value::Float(f) => Some(*f),
-        Value::Date(d) => Some(*d as f64),
-        // Strings coerce when they look numeric (CSV loading, filters).
-        Value::Str(s) => s.trim().parse().ok(),
-        _ => None,
-    }
+    scalar::numeric(v)
 }
 
 /// Applies a non-logical binary operator.
 pub fn binary(op: BinOp, l: Value, r: Value) -> Result<Value> {
-    use BinOp::*;
-    if matches!(op, Add | Sub | Mul | Div | Mod) {
-        if l.is_null() || r.is_null() {
-            return Ok(Value::Null);
-        }
-        // Integer arithmetic stays integral.
-        if let (Value::Int(a), Value::Int(b)) = (&l, &r) {
-            return Ok(match op {
-                Add => Value::Int(a.wrapping_add(*b)),
-                Sub => Value::Int(a.wrapping_sub(*b)),
-                Mul => Value::Int(a.wrapping_mul(*b)),
-                Div => {
-                    if *b == 0 {
-                        return Err(QlError::Eval("division by zero".into()));
-                    }
-                    Value::Int(a / b)
-                }
-                Mod => {
-                    if *b == 0 {
-                        return Err(QlError::Eval("division by zero".into()));
-                    }
-                    Value::Int(a % b)
-                }
-                _ => unreachable!(),
-            });
-        }
-        let (a, b) = (
-            numeric(&l).ok_or_else(|| QlError::Eval(format!("non-numeric {l:?}")))?,
-            numeric(&r).ok_or_else(|| QlError::Eval(format!("non-numeric {r:?}")))?,
-        );
-        return Ok(Value::Float(match op {
-            Add => a + b,
-            Sub => a - b,
-            Mul => a * b,
-            Div => a / b,
-            Mod => a % b,
-            _ => unreachable!(),
-        }));
+    if let Some(a) = arith_op(op) {
+        return scalar::arith(a, &l, &r).map_err(exec_err);
     }
-    if op == Within {
-        let (g, target) = match (&l, &r) {
-            (Value::Geom(g), Value::Geom(t)) => (g, t),
-            _ => return Err(QlError::Eval("WITHIN needs two geometries".into())),
-        };
-        let rect = match target {
-            Geometry::Rect(r) => *r,
-            other => other.mbr(),
-        };
-        return Ok(Value::Bool(g.within_rect(&rect)));
+    if op == BinOp::Within {
+        return scalar::within(&l, &r).map_err(exec_err);
     }
-    // Comparisons.
-    if l.is_null() || r.is_null() {
-        return Ok(Value::Bool(false));
-    }
-    let ord = compare(&l, &r)?;
-    Ok(Value::Bool(match op {
-        Eq => ord == std::cmp::Ordering::Equal,
-        Ne => ord != std::cmp::Ordering::Equal,
-        Lt => ord == std::cmp::Ordering::Less,
-        Le => ord != std::cmp::Ordering::Greater,
-        Gt => ord == std::cmp::Ordering::Greater,
-        Ge => ord != std::cmp::Ordering::Less,
-        _ => unreachable!(),
-    }))
+    let c = cmp_op(op).expect("logical ops are handled by eval()");
+    scalar::cmp(c, &l, &r).map_err(exec_err)
 }
 
 /// Total-ordering comparison with numeric coercion (used by predicates,
 /// ORDER BY and MIN/MAX).
 pub fn compare(l: &Value, r: &Value) -> Result<std::cmp::Ordering> {
-    use std::cmp::Ordering;
-    match (l, r) {
-        (Value::Str(a), Value::Str(b)) => Ok(a.cmp(b)),
-        (Value::Bool(a), Value::Bool(b)) => Ok(a.cmp(b)),
-        (Value::Null, Value::Null) => Ok(Ordering::Equal),
-        (Value::Null, _) => Ok(Ordering::Less),
-        (_, Value::Null) => Ok(Ordering::Greater),
-        _ => {
-            let (a, b) = (
-                numeric(l).ok_or_else(|| QlError::Eval(format!("cannot compare {l:?}")))?,
-                numeric(r).ok_or_else(|| QlError::Eval(format!("cannot compare {r:?}")))?,
-            );
-            Ok(a.partial_cmp(&b).unwrap_or(Ordering::Equal))
-        }
-    }
+    scalar::compare(l, r).map_err(exec_err)
 }
 
 fn f64_arg(vals: &[Value], i: usize, name: &str) -> Result<f64> {

@@ -34,6 +34,7 @@
 
 mod ast;
 mod client;
+pub mod compile;
 mod csvload;
 mod error;
 mod exec;
@@ -48,7 +49,7 @@ pub mod wire;
 pub use ast::{Expr, Select, ShowTarget, Statement};
 pub use client::{Client, QueryResult};
 pub use error::QlError;
-pub use exec::OpStat;
+pub use exec::{set_compiled, OpStat};
 pub use json::{Json, JsonError, JsonValue};
 pub use lexer::{tokenize, Token};
 pub use optimizer::optimize;

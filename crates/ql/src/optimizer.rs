@@ -30,6 +30,7 @@ use just_storage::Value;
 /// the plans the parser produces).
 pub fn optimize(plan: LogicalPlan) -> Result<LogicalPlan> {
     let plan = fold_constants(plan)?;
+    let plan = eliminate_trivial_filters(plan);
     let plan = push_down_filters(plan)?;
     let plan = push_down_projections(plan);
     let plan = push_down_limits(plan);
@@ -138,6 +139,81 @@ fn map_exprs(plan: LogicalPlan, f: &mut impl FnMut(Expr) -> Result<Expr>) -> Res
         },
         leaf => leaf,
     })
+}
+
+// ----------------------------------------------------------------------
+// Rule 1b: trivial-filter elimination
+// ----------------------------------------------------------------------
+
+/// Removes filter work that constant folding already decided: truthy
+/// literal conjuncts are deleted (evaluating a literal has no effects,
+/// so this is position-independent), `WHERE 1 = 1` disappears from the
+/// plan entirely — no Filter node, no residual, no per-row work — and a
+/// predicate that is false before any row-dependent conjunct becomes
+/// `Limit [0]`: the input relation's header survives but no rows are
+/// pulled. A falsy literal *after* a row-dependent conjunct stays put,
+/// preserving the interpreter's left-to-right evaluation (the earlier
+/// conjunct may error). Runs right after constant folding, which is what
+/// produces the literal predicates this rule consumes.
+fn eliminate_trivial_filters(plan: LogicalPlan) -> LogicalPlan {
+    map_plan(plan, &mut |node| match node {
+        LogicalPlan::Filter { input, predicate } => {
+            let mut kept: Vec<Expr> = Vec::new();
+            for c in split_conjuncts(predicate) {
+                match &c {
+                    Expr::Literal(v) if crate::functions::truthy(v) => {}
+                    Expr::Literal(_) if kept.is_empty() => {
+                        return LogicalPlan::Limit { input, n: 0 };
+                    }
+                    _ => kept.push(c),
+                }
+            }
+            match merge_residual(None, kept) {
+                Some(predicate) => LogicalPlan::Filter { input, predicate },
+                None => *input,
+            }
+        }
+        other => other,
+    })
+}
+
+/// Rebuilds the plan bottom-up, applying `f` to every node after its
+/// inputs have been rewritten.
+fn map_plan(plan: LogicalPlan, f: &mut impl FnMut(LogicalPlan) -> LogicalPlan) -> LogicalPlan {
+    let plan = match plan {
+        LogicalPlan::Filter { input, predicate } => LogicalPlan::Filter {
+            input: Box::new(map_plan(*input, f)),
+            predicate,
+        },
+        LogicalPlan::Project { input, items } => LogicalPlan::Project {
+            input: Box::new(map_plan(*input, f)),
+            items,
+        },
+        LogicalPlan::Aggregate {
+            input,
+            group_by,
+            aggregates,
+        } => LogicalPlan::Aggregate {
+            input: Box::new(map_plan(*input, f)),
+            group_by,
+            aggregates,
+        },
+        LogicalPlan::Sort { input, keys } => LogicalPlan::Sort {
+            input: Box::new(map_plan(*input, f)),
+            keys,
+        },
+        LogicalPlan::Limit { input, n } => LogicalPlan::Limit {
+            input: Box::new(map_plan(*input, f)),
+            n,
+        },
+        LogicalPlan::Join { left, right, on } => LogicalPlan::Join {
+            left: Box::new(map_plan(*left, f)),
+            right: Box::new(map_plan(*right, f)),
+            on,
+        },
+        leaf => leaf,
+    };
+    f(plan)
 }
 
 // ----------------------------------------------------------------------
@@ -603,6 +679,31 @@ mod tests {
         let rendered = plan.render();
         assert!(rendered.contains("Limit [5]"), "{rendered}");
         assert!(!rendered.contains("limit=5"), "{rendered}");
+    }
+
+    #[test]
+    fn tautological_filters_vanish() {
+        // `WHERE 1 = 1` folds to a literal and the filter disappears:
+        // no Filter node, no residual at the scan, no per-row work.
+        let plan = optimized("SELECT a FROM t WHERE 1 = 1");
+        let rendered = plan.render();
+        assert!(!rendered.contains("Filter"), "{rendered}");
+        assert!(!rendered.contains("residual"), "{rendered}");
+
+        // Conjunction with a real predicate: the tautology folds away
+        // inside the conjunct, the rest still pushes down.
+        let plan = optimized("SELECT a FROM t WHERE 1 = 1 AND a > b");
+        let rendered = plan.render();
+        assert!(!rendered.contains("Filter"), "{rendered}");
+        assert!(rendered.contains("+residual"), "{rendered}");
+    }
+
+    #[test]
+    fn contradictory_filters_become_limit_zero() {
+        let plan = optimized("SELECT a FROM t WHERE 1 = 2");
+        let rendered = plan.render();
+        assert!(!rendered.contains("Filter"), "{rendered}");
+        assert!(rendered.contains("Limit [0]"), "{rendered}");
     }
 
     #[test]

@@ -422,3 +422,47 @@ fn limit_pushdown_stops_block_reads_early() {
     );
     std::fs::remove_dir_all(dir).ok();
 }
+
+#[test]
+fn explain_lists_compiled_programs() {
+    let (mut c, dir) = client("explain-bytecode");
+    setup_orders(&mut c);
+    let text = |r: just_ql::QueryResult| {
+        r.into_dataset()
+            .unwrap()
+            .rows
+            .into_iter()
+            .map(|row| row.values[0].as_str().unwrap().to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+
+    // The residual predicate compiles against the stored schema: the
+    // listing shows resolved columns and the int-specialized compare.
+    let plan = text(
+        c.execute("EXPLAIN SELECT name FROM orders WHERE fid % 2 = 1 AND fid > 10")
+            .unwrap(),
+    );
+    assert!(plan.contains("program residual:"), "{plan}");
+    assert!(plan.contains("(fid)"), "{plan}");
+    assert!(plan.contains("cmp.int"), "{plan}");
+    assert!(plan.contains("mask.and"), "{plan}");
+    assert!(plan.contains("ret r"), "{plan}");
+
+    // Aggregates list one program per key / argument.
+    let plan = text(
+        c.execute("EXPLAIN SELECT name, sum(fid + 1) AS s FROM orders GROUP BY name")
+            .unwrap(),
+    );
+    assert!(plan.contains("program key name:"), "{plan}");
+    assert!(plan.contains("program sum s:"), "{plan}");
+
+    // EXPLAIN ANALYZE marks which path each operator actually took.
+    let plan = text(
+        c.execute("EXPLAIN ANALYZE SELECT fid + 1 AS x FROM orders WHERE fid > 10")
+            .unwrap(),
+    );
+    assert!(plan.contains("compiled=1"), "{plan}");
+
+    std::fs::remove_dir_all(dir).ok();
+}
