@@ -1,8 +1,13 @@
 #!/usr/bin/env bash
 # CI gate: formatting, lints, build, full test suite, server smoke test,
-# crash-recovery smoke test. Run before every push; the repo must stay
-# green under all of them. `.github/workflows/ci.yml` runs this script
-# verbatim.
+# crash-recovery smoke tests. Run before every push; the repo must stay
+# green under all of them.
+#
+# Stages (so `.github/workflows/ci.yml` can run them as parallel jobs):
+#
+#   ./ci.sh lint    # fmt --check, clippy -D warnings, doc gate
+#   ./ci.sh test    # locked build, tests, smoke tests, bench guards
+#   ./ci.sh         # everything, in order (the pre-push gate)
 #
 # SMOKE_DIR can be pre-set (CI does, so the data dir survives as an
 # artifact on failure); it defaults to a throwaway mktemp dir. On
@@ -10,17 +15,35 @@
 set -euo pipefail
 cd "$(dirname "$0")"
 
-echo "==> cargo fmt --check"
-cargo fmt --all -- --check
+STAGE="${1:-all}"
+case "$STAGE" in
+    lint | test | all) ;;
+    *)
+        echo "usage: ci.sh [lint|test]" >&2
+        exit 2
+        ;;
+esac
 
-echo "==> cargo clippy -- -D warnings"
-cargo clippy --workspace --all-targets -- -D warnings
+if [ "$STAGE" != "test" ]; then
+    echo "==> cargo fmt --check"
+    cargo fmt --all -- --check
 
-echo "==> cargo doc --no-deps (rustdoc warnings are errors)"
-RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+    echo "==> cargo clippy -- -D warnings"
+    cargo clippy --workspace --all-targets -- -D warnings
 
-echo "==> cargo build --release"
-cargo build --workspace --release
+    echo "==> cargo doc --no-deps (rustdoc warnings are errors)"
+    RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+fi
+if [ "$STAGE" = "lint" ]; then
+    echo "lint gate passed."
+    exit 0
+fi
+
+# --locked: the checked-in Cargo.lock must already satisfy every
+# manifest; a drifted lockfile fails here instead of silently being
+# rewritten on a developer machine.
+echo "==> cargo build --release --locked"
+cargo build --workspace --release --locked
 
 echo "==> cargo test"
 cargo test --workspace -q
@@ -93,6 +116,64 @@ done
 wait "$JUSTD_PID"
 JUSTD_PID=""
 echo "crash recovery OK: $GOT/$ROWS acknowledged rows survived kill -9"
+
+echo "==> concurrent-ingest crash smoke (8 writers, kill -9 mid-ingest)"
+# Eight writers insert concurrently against the sharded write path
+# (multiple memtable shards + WAL streams, per-write sync). Each writer
+# logs a row id to its own file only *after* the INSERT's response came
+# back — the log is exactly the set of acknowledged writes. justd is
+# killed -9 while all eight are mid-flight, restarted on the same data
+# dir, and every logged id must survive replay.
+ING_DATA="$SMOKE_DIR/ingest-data"
+ING_LOG="$SMOKE_DIR/ingest-acked"
+mkdir -p "$ING_LOG"
+start_justd "$ING_DATA" "$SMOKE_DIR/ingest-port" \
+    --wal-sync per-write --mem-shards 8 --wal-streams 4
+cli query "CREATE TABLE ingpts (fid integer:primary key, geom point)"
+WRITER_PIDS=()
+for w in $(seq 0 7); do
+    (
+        for i in $(seq 1 1000); do
+            fid=$((w * 100000 + i))
+            cli query "INSERT INTO ingpts VALUES ($fid, st_makePoint(116.4, 39.9))" \
+                >/dev/null 2>&1 || break
+            echo "$fid" >>"$ING_LOG/w$w"
+        done
+    ) &
+    WRITER_PIDS+=("$!")
+done
+sleep 1.5
+kill -9 "$JUSTD_PID"
+wait "$JUSTD_PID" 2>/dev/null || true
+JUSTD_PID=""
+for wp in "${WRITER_PIDS[@]}"; do
+    wait "$wp" 2>/dev/null || true   # writers exit via `|| break` once the server dies
+done
+sort "$ING_LOG"/w* >"$ING_LOG/want"
+[ -s "$ING_LOG/want" ] || { echo "no writes were acknowledged before the kill"; exit 1; }
+
+start_justd "$ING_DATA" "$SMOKE_DIR/ingest-port" \
+    --wal-sync per-write --mem-shards 8 --wal-streams 4
+# --max-rows: the verification must see every surviving row, not the
+# default 100-row display window.
+./target/release/just-cli --addr "$ADDR" --user smoke --max-rows 100000 \
+    query "SELECT fid FROM ingpts" | grep '^[0-9][0-9]*$' | sort >"$ING_LOG/got"
+LOST=$(comm -23 "$ING_LOG/want" "$ING_LOG/got")
+if [ -n "$LOST" ]; then
+    echo "concurrent ingest lost acknowledged rows after kill -9:"
+    echo "$LOST" | head -20
+    exit 1
+fi
+DUPS=$(sort "$ING_LOG/got" | uniq -d)
+if [ -n "$DUPS" ]; then
+    echo "recovery resurrected duplicate rows:"
+    echo "$DUPS" | head -20
+    exit 1
+fi
+./target/release/just-cli --addr "$ADDR" shutdown
+wait "$JUSTD_PID"
+JUSTD_PID=""
+echo "concurrent ingest OK: $(wc -l <"$ING_LOG/want") acked rows from 8 writers all survived"
 
 echo "==> read-path smoke bench (bloom + compression guards)"
 # The figures binary exits nonzero when a functional guard fails; also
@@ -177,6 +258,13 @@ EXEC_BENCH_OUT="$SMOKE_DIR/exec_compile.txt"
     | tee "$EXEC_BENCH_OUT"
 grep -q "speedup guard: PASS" "$EXEC_BENCH_OUT"
 grep -q "parity guard: PASS" "$EXEC_BENCH_OUT"
+
+echo "==> ingest-concurrency smoke bench (scaling + p99 flatness guards)"
+ING_BENCH_OUT="$SMOKE_DIR/ingest_concurrency.txt"
+./target/release/figures ingest_concurrency --scale 0.1 --json "$SMOKE_DIR/bench" \
+    | tee "$ING_BENCH_OUT"
+grep -q "scaling guard: PASS" "$ING_BENCH_OUT"
+grep -q "p99 guard: PASS" "$ING_BENCH_OUT"
 
 echo "==> EXPLAIN bytecode listing smoke (just-cli renders programs)"
 start_justd "$SMOKE_DIR/exec-data" "$SMOKE_DIR/exec-port"

@@ -60,6 +60,7 @@ fn main() {
             "scan_stream".into(),
             "obs_overhead".into(),
             "exec_compile".into(),
+            "ingest_concurrency".into(),
         ];
     }
     let cfg = BenchConfig::default().scaled(scale);
@@ -106,6 +107,11 @@ fn main() {
                     failed = true;
                 }
             }
+            "ingest_concurrency" => {
+                if !figures::ingest_concurrency::run(&cfg, &mut out, &mut report) {
+                    failed = true;
+                }
+            }
             other => usage(&format!("unknown figure '{other}'")),
         }
         if let Some(dir) = &json_dir {
@@ -126,7 +132,8 @@ fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
         "usage: figures [all|table1|table2|fig8|fig10|fig11|fig12|fig13|fig14|serve|durability|\
-         read_path|scan_stream|obs_overhead|exec_compile]... [--scale X] [--json DIR]"
+         read_path|scan_stream|obs_overhead|exec_compile|ingest_concurrency]... \
+         [--scale X] [--json DIR]"
     );
     std::process::exit(2);
 }

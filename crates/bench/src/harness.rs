@@ -206,6 +206,7 @@ pub struct Report {
     figure: String,
     phases: Vec<Phase>,
     open: Option<(String, Instant, ObsIoSnapshot)>,
+    meta: Vec<(String, String)>,
 }
 
 impl Report {
@@ -215,7 +216,21 @@ impl Report {
             figure: figure.to_string(),
             phases: Vec::new(),
             open: None,
+            meta: Vec::new(),
         }
+    }
+
+    /// Attaches a machine-readable fact about the run (host shape, sweep
+    /// parameters) so a later regression is attributable to a config or
+    /// hardware change, not guessed at. `value` is raw JSON — pass
+    /// `"4"`, `"[1,2,4]"` or a pre-quoted string.
+    pub fn meta_raw(&mut self, key: &str, value: impl Into<String>) {
+        self.meta.push((key.to_string(), value.into()));
+    }
+
+    /// String-valued [`Report::meta_raw`] (quotes for you).
+    pub fn meta_str(&mut self, key: &str, value: &str) {
+        self.meta.push((key.to_string(), json_str(value)));
     }
 
     /// Starts a phase named `name`, ending the previous one (if any).
@@ -257,9 +272,16 @@ impl Report {
             .map(|(name, s)| format!("{}:{}", json_str(&name), s.to_json()))
             .collect::<Vec<_>>()
             .join(",");
+        let meta = self
+            .meta
+            .iter()
+            .map(|(k, v)| format!("{}:{}", json_str(k), v))
+            .collect::<Vec<_>>()
+            .join(",");
         format!(
-            "{{\"figure\":{},\"phases\":[{}],\"histograms\":{{{}}}}}",
+            "{{\"figure\":{},\"meta\":{{{}}},\"phases\":[{}],\"histograms\":{{{}}}}}",
             json_str(&self.figure),
+            meta,
             phases,
             histograms
         )

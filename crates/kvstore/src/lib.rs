@@ -42,6 +42,7 @@ mod block;
 mod bloom;
 mod cache;
 mod error;
+mod ingest;
 mod maintenance;
 mod memtable;
 mod merge;
@@ -57,6 +58,7 @@ pub use block::{Block, BlockBuilder, BlockFormat, DEFAULT_BLOCK_SIZE, RESTART_IN
 pub use bloom::{bloom_hash, BloomFilter};
 pub use cache::BlockCache;
 pub use error::KvError;
+pub use ingest::IngestOptions;
 pub use maintenance::MaintenanceOptions;
 pub use memtable::MemTable;
 pub use metrics::{IoMetrics, IoSnapshot};
@@ -65,7 +67,9 @@ pub use scan::{CancelToken, MergeStream, ScanOptions, ScanSource, ScanStream};
 pub use sstable::{SsTable, SsTableBuilder, SstOptions};
 pub use store::{Store, StoreOptions};
 pub use table::{RegionStats, Table};
-pub use wal::{DurabilityOptions, FaultyWalFile, FaultyWalState, SyncPolicy, WalFile, WalRecord};
+pub use wal::{
+    DurabilityOptions, FaultyWalFile, FaultyWalState, SeqWalRecord, SyncPolicy, WalFile, WalRecord,
+};
 
 /// A key-value pair returned by scans.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -3,21 +3,57 @@
 //! land in a memtable and flush to immutable SSTables; reads merge all
 //! layers newest-first. On open, surviving WAL segments are replayed so
 //! acknowledged writes outlive a crash.
+//!
+//! ## The concurrent ingest pipeline
+//!
+//! The write path is sharded three ways so concurrent writers never
+//! serialize on one lock:
+//!
+//! ```text
+//!   writer ──► shard lock { WAL stream append ──► memtable shard }
+//!                  └─► unlock ──► group-commit wait (PerWrite ack)
+//!   freeze ──► rotate all WAL streams, swap every shard ──► frozen generation
+//!   flush  ──► oldest generation → SSTable ──► retire its WAL segments
+//! ```
+//!
+//! * the **memtable** is split into [`IngestOptions::mem_shards`]
+//!   finely-locked maps, salted by key hash;
+//! * the **WAL** is split into [`IngestOptions::wal_streams`] streams
+//!   with cross-shard group commit (one fsync acknowledges many writers;
+//!   see [`crate::ingest`](self));
+//! * **flushes are pipelined**: a freeze moves every shard into an
+//!   immutable [`FrozenGen`] and writes continue into fresh shards, so a
+//!   flush never stalls acknowledgements — backpressure engages only at
+//!   `stall_bytes` across active + frozen generations.
+//!
+//! Freeze ordering is load-bearing: streams rotate *before* shards swap,
+//! all under the region write lock. A writer holds its shard lock across
+//! (WAL append, memtable insert), so a record can never land in a
+//! pre-rotation segment while its insert goes to a post-swap shard — the
+//! combination that would let segment retirement strand an acknowledged
+//! write. The harmless converse (record in the fresh segment, insert in
+//! the frozen shard) merely replays an idempotent duplicate, reconciled
+//! by sequence number. The group-commit wait happens *outside* the shard
+//! lock (a parked writer must not convoy unrelated writers salted to its
+//! shard); rotation fsyncs the outgoing segment before the swap, so a
+//! ticket that straddles the rotation is still covered by a real fsync.
 
 use crate::block::BlockEntry;
 use crate::cache::BlockCache;
 use crate::error::{KvError, Result};
+use crate::ingest::{shard_of, IngestOptions, ShardedWal};
 use crate::maintenance::Kick;
 use crate::memtable::MemTable;
 use crate::merge::{merge_live, merge_versions};
 use crate::metrics::IoMetrics;
 use crate::scan::{MergeStream, ScanSource};
 use crate::sstable::{SsTable, SsTableBuilder, SstOptions};
-use crate::wal::{DurabilityOptions, Wal};
+use crate::wal::DurabilityOptions;
 use crate::KvEntry;
 use just_obs::sync::{Condvar, Mutex, RwLock};
+use std::collections::VecDeque;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -93,15 +129,18 @@ pub struct RegionTrafficSnapshot {
 /// the store options).
 #[derive(Debug, Clone)]
 pub(crate) struct RegionOptions {
-    /// Memtable flush threshold in bytes.
+    /// Memtable flush threshold in bytes (summed across shards).
     pub flush_threshold: usize,
     /// SSTable write settings (block size, format, codec, bloom sizing).
     pub sst: SstOptions,
     /// Write-ahead-log settings.
     pub durability: DurabilityOptions,
-    /// Hard memtable cap: writers stall above it until a background
-    /// flush catches up. `0` means unmanaged — writers flush inline at
-    /// the threshold and never stall.
+    /// Memtable/WAL sharding of the concurrent ingest pipeline.
+    pub ingest: IngestOptions,
+    /// Hard ingest cap (active + frozen generations): writers stall
+    /// above it until a background flush catches up. `0` means
+    /// unmanaged — writers flush inline at the threshold and never
+    /// stall.
     pub stall_bytes: usize,
     /// How long a stalled writer waits before erroring out (guards
     /// against persistently failing background flushes).
@@ -124,6 +163,7 @@ impl RegionOptions {
                 ..SstOptions::default()
             },
             durability: DurabilityOptions::disabled(),
+            ingest: IngestOptions::default(),
             stall_bytes: 0,
             stall_deadline: Duration::from_secs(30),
             kick: None,
@@ -132,28 +172,62 @@ impl RegionOptions {
     }
 }
 
+/// An immutable memtable generation: every shard frozen at one point in
+/// time, plus the WAL retirement marks that become actionable once the
+/// generation's SSTable is durable.
+struct FrozenGen {
+    /// Same indexing as the region's active shards.
+    shards: Vec<MemTable>,
+    /// Approximate heap bytes at freeze time (drives backpressure).
+    bytes: usize,
+    /// Per-stream WAL segment marks from the freeze-time rotation.
+    marks: Vec<(usize, u64)>,
+}
+
 struct RegionInner {
-    mem: MemTable,
     /// Newest last (flush order); scans reverse this for precedence.
     /// `Arc` so streaming scans can hold table handles after releasing
     /// the region lock — a concurrent compaction unlinks the files, but
     /// the open descriptors keep serving until the stream drops.
     tables: Vec<Arc<SsTable>>,
+    /// Frozen generations awaiting flush, oldest first. `Arc` so the
+    /// flusher can build the SSTable outside the region lock while
+    /// readers keep merging the generation.
+    frozen: VecDeque<Arc<FrozenGen>>,
     next_file_id: u64,
 }
 
 /// One range partition of a table.
 pub struct Region {
     dir: PathBuf,
+    /// The active memtable, salted across finely-locked shards. Writers
+    /// hold exactly one shard lock across (WAL append, insert); scans
+    /// briefly hold all of them for an atomic cross-shard snapshot.
+    shards: Vec<Mutex<MemTable>>,
+    /// Region-wide commit sequence, drawn under the shard lock so WAL
+    /// replay can reconcile streams into acknowledgement order.
+    next_seq: AtomicU64,
+    /// Approximate bytes across active shards / frozen generations.
+    /// Maintained exactly under the shard locks, so freeze accounting
+    /// never drifts.
+    active_bytes: AtomicUsize,
+    frozen_bytes: AtomicUsize,
     inner: RwLock<RegionInner>,
-    /// Locked after `inner` (writes) or alone (maintenance syncs).
-    wal: Option<Mutex<Wal>>,
+    /// The multi-stream WAL. Stream locks nest *inside* shard locks
+    /// (writer path) and inside `inner` (freeze path); never the other
+    /// way around.
+    wal: Option<ShardedWal>,
+    /// Serializes freeze/flush/compact so generations retire in FIFO
+    /// order (their WAL marks assume it). Writers never take it.
+    flush_lock: Mutex<()>,
     metrics: Arc<IoMetrics>,
     cache: Arc<BlockCache>,
     opts: RegionOptions,
-    /// Signalled after every flush so stalled writers re-check.
+    /// Signalled after every generation flush so stalled writers
+    /// re-check.
     flush_signal: (Mutex<()>, Condvar),
     stalls: just_obs::Counter,
+    shard_stalls: just_obs::Counter,
     stall_wait: just_obs::Histogram,
     /// Always-on traffic counters, shared with streaming scan sources.
     traffic: Arc<RegionTraffic>,
@@ -164,7 +238,8 @@ impl std::fmt::Debug for Region {
         let inner = self.inner.read();
         f.debug_struct("Region")
             .field("dir", &self.dir)
-            .field("mem_entries", &inner.mem.len())
+            .field("shards", &self.shards.len())
+            .field("frozen_generations", &inner.frozen.len())
             .field("sstables", &inner.tables.len())
             .field("wal", &self.wal.is_some())
             .finish()
@@ -205,9 +280,10 @@ impl Region {
         )
     }
 
-    /// Full-control constructor: loads SSTables, replays the WAL into
-    /// the memtable (truncating a torn tail), and flushes eagerly if the
-    /// recovered memtable already exceeds the threshold.
+    /// Full-control constructor: loads SSTables, replays every WAL
+    /// stream into the shard memtables (truncating torn tails,
+    /// reconciling streams by sequence number), and flushes eagerly if
+    /// the recovered memtable already exceeds the threshold.
     pub(crate) fn open_opts(
         dir: PathBuf,
         metrics: Arc<IoMetrics>,
@@ -230,48 +306,82 @@ impl Region {
         files.sort_unstable_by_key(|(id, _)| *id);
         let mut tables = Vec::with_capacity(files.len());
         let next_file_id = files.last().map(|(id, _)| id + 1).unwrap_or(0);
-        for (_, path) in files {
-            tables.push(Arc::new(SsTable::open_cached(
-                &path,
-                metrics.clone(),
-                cache.clone(),
-            )?));
+        let last = files.len().saturating_sub(1);
+        for (i, (_, path)) in files.iter().enumerate() {
+            match SsTable::open_cached(path, metrics.clone(), cache.clone()) {
+                Ok(t) => tables.push(Arc::new(t)),
+                Err(e) if i == last => {
+                    // A crash mid-flush (or mid-compaction) can leave a
+                    // torn, never-registered SSTable as the highest-
+                    // numbered file. Its records are still covered —
+                    // un-retired WAL segments for a flush, the input
+                    // tables for a compaction (retirement/deletion only
+                    // happen after a durable finish) — so dropping it
+                    // is safe. Corruption anywhere else is real damage
+                    // and must surface.
+                    just_obs::global()
+                        .counter("just_kvstore_torn_sstables_dropped")
+                        .inc();
+                    just_obs::events::global().emit(
+                        "region.torn_sstable",
+                        format!("path={} error={e}", path.display()),
+                    );
+                    std::fs::remove_file(path).ok();
+                }
+                Err(e) => return Err(e),
+            }
         }
-        let mut mem = MemTable::new();
+        let (shard_count, stream_count) = opts.ingest.normalized();
+        let shards: Vec<Mutex<MemTable>> = (0..shard_count)
+            .map(|_| Mutex::new(MemTable::new()))
+            .collect();
+        let mut next_seq = 0u64;
         let wal = if opts.durability.wal {
-            let (wal, records) =
-                Wal::open(&dir, opts.durability.sync, opts.durability.buffer_bytes)?;
+            let (wal, records) = ShardedWal::open(&dir, &opts.durability, stream_count)?;
             // Replay is idempotent against the SSTables: a record whose
             // covering flush completed but whose segment survived just
-            // shadows the identical on-disk version.
+            // shadows the identical on-disk version. Records arrive in
+            // global commit order; routing uses the *current* shard
+            // count, so resizing `mem_shards` between runs is safe.
             for r in records {
+                if let Some(s) = r.seq {
+                    next_seq = next_seq.max(s + 1);
+                }
+                let mut mem = shards[shard_of(&r.key, shard_count)].lock();
                 match r.value {
                     Some(v) => mem.put(r.key, v),
                     None => mem.delete(r.key),
                 }
             }
-            Some(Mutex::new(wal))
+            Some(wal)
         } else {
             None
         };
+        let active_bytes: usize = shards.iter().map(|s| s.lock().approx_bytes()).sum();
         let obs = just_obs::global();
         let region = Region {
             dir,
+            shards,
+            next_seq: AtomicU64::new(next_seq),
+            active_bytes: AtomicUsize::new(active_bytes),
+            frozen_bytes: AtomicUsize::new(0),
             inner: RwLock::new(RegionInner {
-                mem,
                 tables,
+                frozen: VecDeque::new(),
                 next_file_id,
             }),
             wal,
+            flush_lock: Mutex::new(()),
             metrics,
             cache,
             opts,
             flush_signal: (Mutex::new(()), Condvar::new()),
             stalls: obs.counter("just_kvstore_backpressure_stalls"),
+            shard_stalls: obs.counter("just_kvstore_shard_stalls"),
             stall_wait: obs.histogram("just_kvstore_backpressure_wait_us"),
             traffic: Arc::new(RegionTraffic::default()),
         };
-        if region.inner.read().mem.approx_bytes() >= region.opts.flush_threshold {
+        if region.active_bytes.load(Ordering::Relaxed) >= region.opts.flush_threshold {
             region.flush()?;
         }
         Ok(region)
@@ -291,46 +401,80 @@ impl Region {
         self.write(key, None)
     }
 
-    /// The shared write path: WAL append (honouring the sync policy)
-    /// strictly before the memtable mutation, both under the region
-    /// write lock so recovery replays in acknowledgement order.
+    /// The shared write path: sequence allocation, WAL stream append and
+    /// memtable insert all happen under one shard lock, so replay
+    /// reconstructs acknowledgement order per key. The durability wait
+    /// (the `per-write` group commit) happens *after* the shard lock is
+    /// released: a writer parked on an fsync must not hold its shard
+    /// hostage, or unrelated writers hashing to the same shard would
+    /// chain behind its wait. The write is thus visible to readers
+    /// slightly before it is acknowledged — an unacknowledged write may
+    /// or may not survive a crash either way, so no durability promise
+    /// weakens.
     ///
     /// Unmanaged regions flush inline at the threshold (HBase blocks
     /// writers the same way under `hbase.hstore.blockingStoreFiles`);
     /// managed regions hand the flush to the maintenance scheduler and
-    /// only stall at the hard `stall_bytes` cap.
+    /// only stall at the hard `stall_bytes` cap across generations.
     fn write(&self, key: Vec<u8>, value: Option<Vec<u8>>) -> Result<()> {
         self.traffic
             .record_write((key.len() + value.as_ref().map_or(0, |v| v.len())) as u64);
-        let mut inner = self.inner.write();
-        if let Some(wal) = &self.wal {
-            wal.lock().append(&key, value.as_deref())?;
+        let shard = shard_of(&key, self.shards.len());
+        let mut pending_commit = None;
+        let active = {
+            let mut mem = self.shards[shard].lock();
+            if let Some(wal) = &self.wal {
+                let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
+                let stream = wal.stream_of(shard);
+                let ticket = wal.append_nowait(stream, seq, &key, value.as_deref())?;
+                pending_commit = Some((stream, ticket));
+            }
+            let before = mem.approx_bytes();
+            match value {
+                Some(v) => mem.put(key, v),
+                None => mem.delete(key),
+            }
+            let after = mem.approx_bytes();
+            // Updated under the shard lock, so the freeze's transfer of
+            // these bytes to the frozen counter is exact.
+            if after >= before {
+                self.active_bytes
+                    .fetch_add(after - before, Ordering::Relaxed)
+                    + (after - before)
+            } else {
+                self.active_bytes
+                    .fetch_sub(before - after, Ordering::Relaxed)
+                    .saturating_sub(before - after)
+            }
+        };
+        if let (Some(wal), Some((stream, ticket))) = (&self.wal, pending_commit) {
+            wal.commit(stream, ticket)?;
         }
-        match value {
-            Some(v) => inner.mem.put(key, v),
-            None => inner.mem.delete(key),
-        }
-        let bytes = inner.mem.approx_bytes();
-        if bytes < self.opts.flush_threshold {
+        if active < self.opts.flush_threshold {
             return Ok(());
         }
         if self.managed() {
-            drop(inner);
             if let Some(kick) = &self.opts.kick {
                 kick.kick();
             }
-            if bytes >= self.opts.stall_bytes {
+            if active + self.frozen_bytes.load(Ordering::Relaxed) >= self.opts.stall_bytes {
                 self.stall()?;
             }
         } else {
-            self.flush_locked(&mut inner)?;
+            self.flush()?;
         }
         Ok(())
     }
 
-    /// Write backpressure: blocks until a flush brings the memtable
-    /// back under the hard cap. Never holds the region lock while
-    /// waiting, so background flushes (and readers) proceed.
+    /// Bytes pending flush across active shards and frozen generations —
+    /// what backpressure meters.
+    fn ingest_bytes(&self) -> usize {
+        self.active_bytes.load(Ordering::Relaxed) + self.frozen_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Write backpressure: blocks until flushed generations bring the
+    /// pipeline back under the hard cap. Never holds any region lock
+    /// while waiting, so background flushes (and readers) proceed.
     ///
     /// Two escape hatches keep this from spinning forever: scheduler
     /// shutdown (no flush is coming) and the stall deadline (flushes
@@ -339,9 +483,10 @@ impl Region {
     /// a hang.
     fn stall(&self) -> Result<()> {
         self.stalls.inc();
+        self.shard_stalls.inc();
         let started = Instant::now();
         loop {
-            if self.inner.read().mem.approx_bytes() < self.opts.stall_bytes {
+            if self.ingest_bytes() < self.opts.stall_bytes {
                 break;
             }
             if let Some(stop) = &self.opts.stop {
@@ -377,10 +522,17 @@ impl Region {
     }
 
     fn get_inner(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        let shard = shard_of(key, self.shards.len());
         let inner = self.inner.read();
-        if let Some(hit) = inner.mem.get(key) {
+        if let Some(hit) = self.shards[shard].lock().get(key) {
             self.metrics.record_memtable_hit();
             return Ok(hit.map(|v| v.to_vec()));
+        }
+        for gen in inner.frozen.iter().rev() {
+            if let Some(hit) = gen.shards[shard].get(key) {
+                self.metrics.record_memtable_hit();
+                return Ok(hit.map(|v| v.to_vec()));
+            }
         }
         for table in inner.tables.iter().rev() {
             if let Some(hit) = table.get(key)? {
@@ -390,6 +542,40 @@ impl Region {
         Ok(None)
     }
 
+    /// Materializes the active shards' entries in `start..=end` as one
+    /// sorted source. All shard locks are held together so the snapshot
+    /// is atomic across shards: a scan can never see a writer's later
+    /// write without its earlier one. (Writers hold exactly one shard
+    /// lock each, so this cannot deadlock against them.)
+    fn active_source(&self, start: &[u8], end: &[u8]) -> Vec<BlockEntry> {
+        let guards: Vec<_> = self.shards.iter().map(|s| s.lock()).collect();
+        let mut out = Vec::new();
+        for g in &guards {
+            out.extend(g.scan(start, end).map(|(k, v)| BlockEntry {
+                key: k.to_vec(),
+                value: v.map(|v| v.to_vec()),
+            }));
+        }
+        drop(guards);
+        // Shards partition the keyspace, so entries are unique; a plain
+        // sort restores global key order.
+        out.sort_unstable_by(|a, b| a.key.cmp(&b.key));
+        out
+    }
+
+    /// One frozen generation's entries in `start..=end`, sorted.
+    fn frozen_source(gen: &FrozenGen, start: &[u8], end: &[u8]) -> Vec<BlockEntry> {
+        let mut out = Vec::new();
+        for mem in &gen.shards {
+            out.extend(mem.scan(start, end).map(|(k, v)| BlockEntry {
+                key: k.to_vec(),
+                value: v.map(|v| v.to_vec()),
+            }));
+        }
+        out.sort_unstable_by(|a, b| a.key.cmp(&b.key));
+        out
+    }
+
     /// All live entries with `start <= key <= end`, in key order.
     pub fn scan(&self, start: &[u8], end: &[u8]) -> Result<Vec<KvEntry>> {
         if start > end {
@@ -397,17 +583,12 @@ impl Region {
         }
         self.traffic.record_scan();
         let inner = self.inner.read();
-        let mut sources: Vec<Vec<BlockEntry>> = Vec::with_capacity(inner.tables.len() + 1);
-        sources.push(
-            inner
-                .mem
-                .scan(start, end)
-                .map(|(k, v)| BlockEntry {
-                    key: k.to_vec(),
-                    value: v.map(|v| v.to_vec()),
-                })
-                .collect(),
-        );
+        let mut sources: Vec<Vec<BlockEntry>> =
+            Vec::with_capacity(inner.tables.len() + inner.frozen.len() + 1);
+        sources.push(self.active_source(start, end));
+        for gen in inner.frozen.iter().rev() {
+            sources.push(Self::frozen_source(gen, start, end));
+        }
         for table in inner.tables.iter().rev() {
             sources.push(table.scan(start, end)?);
         }
@@ -421,7 +602,7 @@ impl Region {
     }
 
     /// A streaming variant of [`Region::scan`]: snapshots the memtable
-    /// range and the SSTable handles under a brief read lock, then
+    /// layers and the SSTable handles under a brief read lock, then
     /// returns a pull-based merge that reads one block at a time as the
     /// consumer advances. Tombstone shadowing and newest-wins semantics
     /// are identical to the materializing scan.
@@ -431,19 +612,15 @@ impl Region {
         }
         self.traffic.record_scan();
         let inner = self.inner.read();
-        let mut sources = Vec::with_capacity(inner.tables.len() + 1);
-        // Source 0 is the memtable: the newest layer, so it wins merge
-        // ties. The range is materialized (it is bounded by the flush
-        // threshold) because the stream outlives the lock.
-        let mem: Vec<BlockEntry> = inner
-            .mem
-            .scan(start, end)
-            .map(|(k, v)| BlockEntry {
-                key: k.to_vec(),
-                value: v.map(|v| v.to_vec()),
-            })
-            .collect();
-        sources.push(ScanSource::mem(mem));
+        let mut sources = Vec::with_capacity(inner.tables.len() + inner.frozen.len() + 1);
+        // Source 0 is the active memtable: the newest layer, so it wins
+        // merge ties; frozen generations follow newest-first. The ranges
+        // are materialized (bounded by the flush threshold) because the
+        // stream outlives the locks.
+        sources.push(ScanSource::mem(self.active_source(start, end)));
+        for gen in inner.frozen.iter().rev() {
+            sources.push(ScanSource::mem(Self::frozen_source(gen, start, end)));
+        }
         for table in inner.tables.iter().rev() {
             sources.push(ScanSource::sstable(
                 table.clone(),
@@ -456,49 +633,114 @@ impl Region {
         MergeStream::new(sources)
     }
 
-    /// Forces the memtable to disk.
-    pub fn flush(&self) -> Result<()> {
+    /// Freezes the active shards into a new immutable generation:
+    /// rotates every WAL stream (collecting retirement marks), then
+    /// swaps every shard for a fresh memtable — in that order, under the
+    /// region write lock (see the module docs for why the order
+    /// matters). Returns `false` when there was nothing to freeze.
+    ///
+    /// Caller must hold `flush_lock`.
+    fn freeze(&self) -> Result<bool> {
         let mut inner = self.inner.write();
-        self.flush_locked(&mut inner)
+        if self.shards.iter().all(|s| s.lock().is_empty()) {
+            return Ok(false);
+        }
+        let marks = match &self.wal {
+            Some(w) => w.rotate_keep_all()?,
+            None => Vec::new(),
+        };
+        let mut gen_shards = Vec::with_capacity(self.shards.len());
+        let mut bytes = 0usize;
+        for s in &self.shards {
+            let mut mem = s.lock();
+            bytes += mem.approx_bytes();
+            gen_shards.push(std::mem::take(&mut *mem));
+        }
+        self.active_bytes.fetch_sub(bytes, Ordering::Relaxed);
+        self.frozen_bytes.fetch_add(bytes, Ordering::Relaxed);
+        inner.frozen.push_back(Arc::new(FrozenGen {
+            shards: gen_shards,
+            bytes,
+            marks,
+        }));
+        just_obs::global()
+            .counter("just_kvstore_memtable_freezes")
+            .inc();
+        Ok(true)
     }
 
-    fn flush_locked(&self, inner: &mut RegionInner) -> Result<()> {
-        if inner.mem.is_empty() {
-            return Ok(());
+    /// Flushes the oldest frozen generation to an SSTable, then retires
+    /// its WAL segments. The build runs outside every region lock, so
+    /// writes and reads proceed throughout; only the final registration
+    /// takes the write lock briefly. Returns `false` when no generation
+    /// was pending.
+    ///
+    /// Caller must hold `flush_lock` (generations must retire in FIFO
+    /// order — their WAL marks assume it).
+    fn flush_oldest_gen(&self) -> Result<bool> {
+        let gen = match self.inner.read().frozen.front() {
+            Some(g) => g.clone(),
+            None => return Ok(false),
+        };
+        let started = Instant::now();
+        let path = {
+            let mut inner = self.inner.write();
+            let id = inner.next_file_id;
+            inner.next_file_id += 1;
+            self.dir.join(format!("sst_{id:010}.sst"))
+        };
+        let mut entries: Vec<(&[u8], Option<&[u8]>)> = Vec::new();
+        for mem in &gen.shards {
+            entries.extend(mem.iter());
         }
-        let started = std::time::Instant::now();
-        let path = self.dir.join(format!("sst_{:010}.sst", inner.next_file_id));
-        inner.next_file_id += 1;
-        let mut builder = SsTableBuilder::create_opts(
-            &path,
-            self.opts.sst.clone(),
-            self.metrics.clone(),
-            self.cache.clone(),
-        )?;
-        for (k, v) in inner.mem.iter() {
-            builder.add(k, v)?;
-        }
-        // `finish` fsyncs the SSTable, so every logged mutation is
-        // durable before its WAL segments are retired.
-        let table = builder.finish()?;
-        inner.tables.push(Arc::new(table));
-        inner.mem.clear();
-        if let Some(wal) = &self.wal {
-            wal.lock().rotate()?;
+        // Shards partition the keyspace: unique keys, plain sort.
+        entries.sort_unstable_by(|a, b| a.0.cmp(b.0));
+        let build = (|| {
+            let mut builder = SsTableBuilder::create_opts(
+                &path,
+                self.opts.sst.clone(),
+                self.metrics.clone(),
+                self.cache.clone(),
+            )?;
+            for (k, v) in &entries {
+                builder.add(k, *v)?;
+            }
+            // `finish` fsyncs the SSTable, so every logged mutation is
+            // durable before its WAL segments are retired.
+            builder.finish()
+        })();
+        let table = match build {
+            Ok(t) => t,
+            Err(e) => {
+                // Don't leave a torn file for the next open to trip on.
+                std::fs::remove_file(&path).ok();
+                return Err(e);
+            }
+        };
+        let table = Arc::new(table);
+        let sstables = {
+            let mut inner = self.inner.write();
+            inner.tables.push(table.clone());
+            inner.frozen.pop_front();
+            inner.tables.len()
+        };
+        self.frozen_bytes.fetch_sub(gen.bytes, Ordering::Relaxed);
+        if let Some(w) = &self.wal {
+            w.retire(&gen.marks)?;
         }
         let obs = just_obs::global();
         obs.counter("just_kvstore_memtable_flushes").inc();
+        obs.counter("just_kvstore_generations_flushed").inc();
         obs.histogram("just_kvstore_flush_latency_us")
             .record_duration(started.elapsed());
-        let flushed = inner.tables.last().expect("just pushed");
         just_obs::events::global().emit(
             "region.flush",
             format!(
                 "region={} bytes={} entries={} sstables={} elapsed_us={}",
                 self.label(),
-                flushed.file_size(),
-                flushed.entry_count(),
-                inner.tables.len(),
+                table.file_size(),
+                table.entry_count(),
+                sstables,
                 started.elapsed().as_micros()
             ),
         );
@@ -506,46 +748,80 @@ impl Region {
         let (lock, cv) = &self.flush_signal;
         drop(lock.lock());
         cv.notify_all();
+        Ok(true)
+    }
+
+    /// Forces everything in memory to disk: freezes the active shards
+    /// and drains every pending generation.
+    pub fn flush(&self) -> Result<()> {
+        let _g = self.flush_lock.lock();
+        self.freeze()?;
+        while self.flush_oldest_gen()? {}
         Ok(())
     }
 
     /// Merges all SSTables (and the memtable) into one file, dropping
-    /// tombstones and shadowed versions.
+    /// tombstones and shadowed versions. The merge and rewrite run
+    /// without any region lock — writers are unaffected and scans keep
+    /// serving from the old tables until the brief final swap.
     pub fn compact(&self) -> Result<()> {
-        let mut inner = self.inner.write();
-        self.flush_locked(&mut inner)?;
-        if inner.tables.len() <= 1 {
-            return Ok(());
-        }
-        let started = std::time::Instant::now();
-        let mut sources = Vec::with_capacity(inner.tables.len());
-        for table in inner.tables.iter().rev() {
+        let _g = self.flush_lock.lock();
+        self.freeze()?;
+        while self.flush_oldest_gen()? {}
+        let tables: Vec<Arc<SsTable>> = {
+            let inner = self.inner.read();
+            if inner.tables.len() <= 1 {
+                return Ok(());
+            }
+            inner.tables.clone()
+        };
+        let started = Instant::now();
+        let mut sources = Vec::with_capacity(tables.len());
+        for table in tables.iter().rev() {
             sources.push(table.scan_all()?);
         }
         let merged = merge_versions(sources);
-        let path = self.dir.join(format!("sst_{:010}.sst", inner.next_file_id));
-        inner.next_file_id += 1;
-        let mut builder = SsTableBuilder::create_opts(
-            &path,
-            self.opts.sst.clone(),
-            self.metrics.clone(),
-            self.cache.clone(),
-        )?;
-        for e in &merged {
-            if let Some(v) = &e.value {
-                // Full compaction: nothing older exists, drop tombstones.
-                builder.add(&e.key, Some(v))?;
+        let path = {
+            let mut inner = self.inner.write();
+            let id = inner.next_file_id;
+            inner.next_file_id += 1;
+            self.dir.join(format!("sst_{id:010}.sst"))
+        };
+        let build = (|| {
+            let mut builder = SsTableBuilder::create_opts(
+                &path,
+                self.opts.sst.clone(),
+                self.metrics.clone(),
+                self.cache.clone(),
+            )?;
+            for e in &merged {
+                if let Some(v) = &e.value {
+                    // Full compaction: nothing older exists, drop
+                    // tombstones.
+                    builder.add(&e.key, Some(v))?;
+                }
             }
-        }
-        let table = builder.finish()?;
-        let old: Vec<(u64, PathBuf)> = inner
-            .tables
+            builder.finish()
+        })();
+        let table = match build {
+            Ok(t) => t,
+            Err(e) => {
+                std::fs::remove_file(&path).ok();
+                return Err(e);
+            }
+        };
+        let old: Vec<(u64, PathBuf)> = tables
             .iter()
             .map(|t| (t.file_id(), t.path().to_path_buf()))
             .collect();
         let (after_bytes, after_entries) = (table.file_size(), table.entry_count());
-        inner.tables = vec![Arc::new(table)];
-        drop(inner);
+        {
+            // `flush_lock` guarantees no flush registered new tables
+            // since the snapshot, so replacing wholesale is safe.
+            let mut inner = self.inner.write();
+            debug_assert_eq!(inner.tables.len(), tables.len());
+            inner.tables = vec![Arc::new(table)];
+        }
         for (file_id, path) in old.iter() {
             self.cache.invalidate_file(*file_id);
             std::fs::remove_file(path).ok();
@@ -568,18 +844,21 @@ impl Region {
         Ok(())
     }
 
-    /// One background sweep: flush past the threshold, compact past the
-    /// trigger, batch-sync the WAL. Called by the maintenance scheduler.
+    /// One background sweep: freeze past the threshold, drain pending
+    /// generations, compact past the trigger, batch-sync the WAL
+    /// streams. Called by the maintenance scheduler.
     pub(crate) fn maintain(&self, compact_trigger: usize) -> Result<()> {
-        let (mem_bytes, table_count) = {
-            let inner = self.inner.read();
-            (inner.mem.approx_bytes(), inner.tables.len())
-        };
         let obs = just_obs::global();
-        if mem_bytes >= self.opts.flush_threshold {
-            self.flush()?;
-            obs.counter("just_kvstore_bg_flushes").inc();
+        {
+            let _g = self.flush_lock.lock();
+            if self.active_bytes.load(Ordering::Relaxed) >= self.opts.flush_threshold {
+                self.freeze()?;
+            }
+            while self.flush_oldest_gen()? {
+                obs.counter("just_kvstore_bg_flushes").inc();
+            }
         }
+        let table_count = self.inner.read().tables.len();
         if compact_trigger > 0 && table_count >= compact_trigger {
             self.compact()?;
             obs.counter("just_kvstore_bg_compactions").inc();
@@ -589,29 +868,21 @@ impl Region {
     }
 
     /// Policy-aware periodic WAL work: pushes buffered bytes to the OS
-    /// (`SyncPolicy::None`) or issues the batched group-commit fsync
-    /// (`SyncPolicy::Batched`). Per-write regions are always synced.
+    /// (`SyncPolicy::None`) or issues the batched group-commit fsync per
+    /// stream (`SyncPolicy::Batched`). Per-write streams group-commit
+    /// inline.
     pub(crate) fn wal_tick(&self) -> Result<()> {
-        use crate::wal::SyncPolicy;
         if let Some(wal) = &self.wal {
-            let mut w = wal.lock();
-            if !w.needs_sync() {
-                return Ok(());
-            }
-            match w.policy() {
-                SyncPolicy::None => w.flush_os()?,
-                SyncPolicy::Batched => w.sync()?,
-                SyncPolicy::PerWrite => {}
-            }
+            wal.tick()?;
         }
         Ok(())
     }
 
-    /// Unconditionally fsyncs the WAL (clean shutdown: make every
-    /// acknowledged write durable regardless of policy).
+    /// Unconditionally fsyncs every WAL stream (clean shutdown: make
+    /// every acknowledged write durable regardless of policy).
     pub(crate) fn wal_sync(&self) -> Result<()> {
         if let Some(wal) = &self.wal {
-            wal.lock().sync()?;
+            wal.sync_all()?;
         }
         Ok(())
     }
@@ -621,12 +892,19 @@ impl Region {
         self.inner.read().tables.iter().map(|t| t.file_size()).sum()
     }
 
-    /// Live-ish entry count (memtable + SSTables; shadowed versions
-    /// double-count until compaction, as in HBase's `requestCount` style
-    /// metrics).
+    /// Live-ish entry count (memtable shards + frozen generations +
+    /// SSTables; shadowed versions double-count until compaction, as in
+    /// HBase's `requestCount` style metrics).
     pub fn approx_entries(&self) -> u64 {
         let inner = self.inner.read();
-        inner.mem.len() as u64 + inner.tables.iter().map(|t| t.entry_count()).sum::<u64>()
+        let active: u64 = self.shards.iter().map(|s| s.lock().len() as u64).sum();
+        let frozen: u64 = inner
+            .frozen
+            .iter()
+            .flat_map(|g| g.shards.iter())
+            .map(|m| m.len() as u64)
+            .sum();
+        active + frozen + inner.tables.iter().map(|t| t.entry_count()).sum::<u64>()
     }
 
     /// Number of SSTable files.
@@ -634,14 +912,45 @@ impl Region {
         self.inner.read().tables.len()
     }
 
-    /// Current memtable footprint in bytes.
+    /// Current in-memory write footprint in bytes (active shards plus
+    /// frozen generations awaiting flush).
     pub fn memtable_bytes(&self) -> usize {
-        self.inner.read().mem.approx_bytes()
+        self.ingest_bytes()
+    }
+
+    /// Frozen memtable generations currently awaiting flush — the depth
+    /// of the ingest pipeline (0 when flushes keep up).
+    pub fn frozen_generations(&self) -> usize {
+        self.inner.read().frozen.len()
     }
 
     /// A point-in-time copy of the region's traffic counters.
     pub fn traffic(&self) -> RegionTrafficSnapshot {
         self.traffic.snapshot()
+    }
+
+    /// Replaces one WAL stream's backing file (fault-injection tests
+    /// only).
+    #[cfg(test)]
+    pub(crate) fn poison_wal_stream_for_test(
+        &self,
+        stream: usize,
+        file: Box<dyn crate::wal::WalFile>,
+    ) {
+        self.wal
+            .as_ref()
+            .expect("region has no WAL")
+            .set_stream_file_for_test(stream, file);
+    }
+
+    /// The WAL stream a key's records are routed to (tests).
+    #[cfg(test)]
+    pub(crate) fn wal_stream_of_key(&self, key: &[u8]) -> usize {
+        let shard = shard_of(key, self.shards.len());
+        self.wal
+            .as_ref()
+            .expect("region has no WAL")
+            .stream_of(shard)
     }
 
     /// `table/region_NNN` label derived from the directory layout; used
@@ -663,7 +972,7 @@ impl Region {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::wal::SyncPolicy;
+    use crate::wal::{FaultyWalFile, SyncPolicy};
 
     fn region(name: &str, flush_threshold: usize) -> (Region, PathBuf) {
         let dir = std::env::temp_dir().join(format!(
@@ -693,7 +1002,18 @@ mod tests {
         (r, dir)
     }
 
+    /// Single-shard, single-stream: pins that the pre-sharding on-disk
+    /// layout and durability semantics are preserved bit-for-bit.
     fn open_wal_region(dir: &std::path::Path, flush_threshold: usize, sync: SyncPolicy) -> Region {
+        open_wal_region_opts(dir, flush_threshold, sync, IngestOptions::serial())
+    }
+
+    fn open_wal_region_opts(
+        dir: &std::path::Path,
+        flush_threshold: usize,
+        sync: SyncPolicy,
+        ingest: IngestOptions,
+    ) -> Region {
         Region::open_opts(
             dir.to_path_buf(),
             Arc::new(IoMetrics::new()),
@@ -709,6 +1029,7 @@ mod tests {
                     sync,
                     buffer_bytes: 64 << 10,
                 },
+                ingest,
                 stall_bytes: 0,
                 stall_deadline: Duration::from_secs(30),
                 kick: None,
@@ -904,6 +1225,175 @@ mod tests {
         std::fs::remove_dir_all(dir).ok();
     }
 
+    #[test]
+    fn sharded_region_recovers_across_streams() {
+        // The multi-stream layout end to end: writes spread over 4
+        // shards / 2 WAL streams, interleaved with deletes and a flush,
+        // must replay to the same state.
+        let dir = std::env::temp_dir().join(format!(
+            "just-region-sharded-recover-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        let ingest = IngestOptions {
+            mem_shards: 4,
+            wal_streams: 2,
+        };
+        let r = open_wal_region_opts(&dir, 1 << 20, SyncPolicy::Batched, ingest.clone());
+        for i in 0..200u32 {
+            r.put(
+                format!("k{i:04}").into_bytes(),
+                format!("v{i}").into_bytes(),
+            )
+            .unwrap();
+        }
+        r.flush().unwrap();
+        for i in 200..300u32 {
+            r.put(
+                format!("k{i:04}").into_bytes(),
+                format!("v{i}").into_bytes(),
+            )
+            .unwrap();
+        }
+        // Rewrites + deletes after the flush: replay must order them
+        // after the flushed versions (by sequence, across streams).
+        r.put(b"k0005".to_vec(), b"rewritten".to_vec()).unwrap();
+        for i in 0..50u32 {
+            r.delete(format!("k{i:04}").into_bytes()).unwrap();
+        }
+        r.wal_sync().unwrap();
+        drop(r);
+        let r2 = open_wal_region_opts(&dir, 1 << 20, SyncPolicy::Batched, ingest);
+        assert_eq!(r2.scan(b"", b"\xff").unwrap().len(), 250);
+        assert_eq!(r2.get(b"k0005").unwrap(), None, "delete shadows rewrite");
+        assert_eq!(r2.get(b"k0123").unwrap(), Some(b"v123".to_vec()));
+        assert_eq!(r2.get(b"k0250").unwrap(), Some(b"v250".to_vec()));
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn resharding_between_runs_preserves_data() {
+        let dir = std::env::temp_dir().join(format!(
+            "just-region-reshard-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        let r = open_wal_region_opts(
+            &dir,
+            1 << 20,
+            SyncPolicy::Batched,
+            IngestOptions {
+                mem_shards: 8,
+                wal_streams: 4,
+            },
+        );
+        for i in 0..100u32 {
+            r.put(format!("k{i:03}").into_bytes(), b"v".to_vec())
+                .unwrap();
+        }
+        r.wal_sync().unwrap();
+        drop(r);
+        // Reopen with fewer shards/streams than the data was written
+        // with: discovery must replay all four streams.
+        let r2 = open_wal_region_opts(&dir, 1 << 20, SyncPolicy::Batched, IngestOptions::serial());
+        assert_eq!(r2.scan(b"", b"\xff").unwrap().len(), 100);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn poisoned_stream_keeps_sibling_shards_acking() {
+        // The PR 3 review fix, at region level: one stream's device
+        // failure must not take down the whole region's write path.
+        let dir = std::env::temp_dir().join(format!(
+            "just-region-poison-scope-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        let r = open_wal_region_opts(
+            &dir,
+            1 << 20,
+            SyncPolicy::Batched,
+            IngestOptions {
+                mem_shards: 4,
+                wal_streams: 2,
+            },
+        );
+        // Find keys routed to each stream.
+        let mut to0 = None;
+        let mut to1 = None;
+        for i in 0..100u32 {
+            let key = format!("probe{i:03}").into_bytes();
+            match r.wal_stream_of_key(&key) {
+                0 if to0.is_none() => to0 = Some(key),
+                1 if to1.is_none() => to1 = Some(key),
+                _ => {}
+            }
+        }
+        let (k0, k1) = (to0.unwrap(), to1.unwrap());
+        let (file, state) = FaultyWalFile::new();
+        state.lock().write_budget = Some(3); // torn 3 bytes into the first record
+        r.poison_wal_stream_for_test(0, Box::new(file));
+
+        assert!(matches!(
+            r.put(k0.clone(), b"v".to_vec()),
+            Err(KvError::Io(_))
+        ));
+        assert!(matches!(
+            r.put(k0.clone(), b"v".to_vec()),
+            Err(KvError::WalPoisoned)
+        ));
+        // Sibling stream (and its shards) keep acknowledging.
+        r.put(k1.clone(), b"sibling".to_vec()).unwrap();
+        assert_eq!(r.get(&k1).unwrap(), Some(b"sibling".to_vec()));
+        // A flush repairs the poisoned stream; the full write path is
+        // healthy again.
+        r.flush().unwrap();
+        r.put(k0.clone(), b"healed".to_vec()).unwrap();
+        assert_eq!(r.get(&k0).unwrap(), Some(b"healed".to_vec()));
+        drop(r);
+        let r2 = open_wal_region_opts(
+            &dir,
+            1 << 20,
+            SyncPolicy::Batched,
+            IngestOptions {
+                mem_shards: 4,
+                wal_streams: 2,
+            },
+        );
+        assert_eq!(r2.get(&k0).unwrap(), Some(b"healed".to_vec()));
+        assert_eq!(r2.get(&k1).unwrap(), Some(b"sibling".to_vec()));
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn freeze_pipelines_writes_during_flush() {
+        // A freeze leaves the frozen generation readable while new
+        // writes land in fresh shards; draining flushes preserves all.
+        let (r, dir) = wal_region("wal-pipeline", 1 << 20, SyncPolicy::Batched);
+        for i in 0..100u32 {
+            r.put(format!("a{i:03}").into_bytes(), b"old".to_vec())
+                .unwrap();
+        }
+        {
+            let _g = r.flush_lock.lock();
+            assert!(r.freeze().unwrap());
+        }
+        assert_eq!(r.frozen_generations(), 1);
+        // Reads see the frozen layer; writes go to the fresh shards.
+        assert_eq!(r.get(b"a050").unwrap(), Some(b"old".to_vec()));
+        r.put(b"a050".to_vec(), b"new".to_vec()).unwrap();
+        assert_eq!(r.get(b"a050").unwrap(), Some(b"new".to_vec()));
+        assert_eq!(r.scan(b"", b"\xff").unwrap().len(), 100);
+        r.flush().unwrap();
+        assert_eq!(r.frozen_generations(), 0);
+        assert_eq!(r.get(b"a050").unwrap(), Some(b"new".to_vec()));
+        assert_eq!(r.scan(b"", b"\xff").unwrap().len(), 100);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
     fn stalled_region(
         name: &str,
         stall_deadline: Duration,
@@ -929,6 +1419,7 @@ mod tests {
                     ..SstOptions::default()
                 },
                 durability: DurabilityOptions::disabled(),
+                ingest: IngestOptions::default(),
                 stall_bytes: 1024,
                 stall_deadline,
                 kick: None,

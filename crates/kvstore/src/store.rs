@@ -3,6 +3,7 @@
 use crate::block::BlockFormat;
 use crate::cache::BlockCache;
 use crate::error::{KvError, Result};
+use crate::ingest::IngestOptions;
 use crate::maintenance::{MaintenanceOptions, Scheduler};
 use crate::metrics::IoMetrics;
 use crate::region::RegionOptions;
@@ -46,6 +47,9 @@ pub struct StoreOptions {
     /// Write-ahead-log configuration (HBase's WAL: acknowledged writes
     /// survive a crash).
     pub durability: DurabilityOptions,
+    /// Concurrent ingest pipeline shape: memtable shards and WAL streams
+    /// per region.
+    pub ingest: IngestOptions,
     /// Background flush / compaction scheduler configuration.
     pub maintenance: MaintenanceOptions,
 }
@@ -61,6 +65,7 @@ impl Default for StoreOptions {
             scan_threads: 8,
             block_cache_bytes: 32 << 20,
             durability: DurabilityOptions::default(),
+            ingest: IngestOptions::default(),
             maintenance: MaintenanceOptions::default(),
         }
     }
@@ -137,6 +142,7 @@ impl Store {
                 bloom_bits_per_key: self.options.bloom_bits_per_key,
             },
             durability: self.options.durability.clone(),
+            ingest: self.options.ingest.clone(),
             stall_bytes: if self.scheduler.is_some() {
                 self.options.maintenance.stall_bytes
             } else {

@@ -31,6 +31,9 @@ pub struct RegionStats {
     pub memtable_bytes: usize,
     /// Number of SSTable files.
     pub sstables: usize,
+    /// Frozen memtable generations awaiting flush — nonzero means the
+    /// ingest pipeline is ahead of the flusher.
+    pub generations: usize,
     /// Cumulative traffic counters since open.
     pub traffic: RegionTrafficSnapshot,
 }
@@ -306,6 +309,7 @@ impl Table {
                 disk_bytes: r.disk_size(),
                 memtable_bytes: r.memtable_bytes(),
                 sstables: r.sstable_count(),
+                generations: r.frozen_generations(),
                 traffic: r.traffic(),
             })
             .collect()

@@ -18,7 +18,13 @@
 //! ```text
 //! record  := len(u32 LE) crc(u32 LE) payload
 //! payload := op(u8: 1=put 2=delete) klen(u32 LE) key value-bytes*
+//!          | op(u8: 3=put 4=delete) seq(u64 LE) klen(u32 LE) key value-bytes*
 //! ```
+//!
+//! Ops 3/4 carry the region-wide commit sequence number used by the
+//! sharded multi-stream WAL (`ingest.rs`) to reconcile replay order
+//! across streams; ops 1/2 are the legacy single-stream format and sort
+//! before every sequenced record on replay.
 //!
 //! `crc` is the CRC-32 (from `just-compress`) of `payload`; `len` is the
 //! payload length. A record whose length runs past end-of-file, whose CRC
@@ -48,6 +54,7 @@ use just_compress::crc32::crc32;
 use std::fs::{File, OpenOptions};
 use std::io::Write;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// How eagerly WAL appends reach stable storage. See the module docs for
@@ -129,11 +136,20 @@ impl DurabilityOptions {
 /// Production code uses `StdWalFile`; tests inject
 /// [`FaultyWalFile`] to simulate short writes, fsync failures and crash
 /// survival deterministically.
-pub trait WalFile: Send {
+///
+/// Methods take `&self` so a group-commit leader can `fsync` a shared
+/// handle *outside* the stream lock — concurrent writers keep appending
+/// (serialized by the `Wal`'s own lock) while the fsync is in flight,
+/// which is what lets one fsync acknowledge many queued records.
+pub trait WalFile: Send + Sync {
     /// Appends `buf` at the end of the file (write-through to the OS).
-    fn append(&mut self, buf: &[u8]) -> std::io::Result<()>;
+    fn append(&self, buf: &[u8]) -> std::io::Result<()>;
     /// Forces appended bytes to stable storage.
-    fn sync(&mut self) -> std::io::Result<()>;
+    fn sync(&self) -> std::io::Result<()>;
+    /// Truncates the file to `len` bytes — the poison-repair path cuts a
+    /// torn (unacknowledged) suffix so the acknowledged prefix stays
+    /// replayable.
+    fn truncate(&self, len: u64) -> std::io::Result<()>;
 }
 
 /// The real-file [`WalFile`].
@@ -151,12 +167,18 @@ impl StdWalFile {
 }
 
 impl WalFile for StdWalFile {
-    fn append(&mut self, buf: &[u8]) -> std::io::Result<()> {
-        self.file.write_all(buf)
+    fn append(&self, buf: &[u8]) -> std::io::Result<()> {
+        // `Write` is implemented for `&File`; the file is in append mode,
+        // so the kernel serializes the position bump with the write.
+        (&self.file).write_all(buf)
     }
 
-    fn sync(&mut self) -> std::io::Result<()> {
+    fn sync(&self) -> std::io::Result<()> {
         self.file.sync_data()
+    }
+
+    fn truncate(&self, len: u64) -> std::io::Result<()> {
+        self.file.set_len(len)
     }
 }
 
@@ -176,6 +198,10 @@ pub struct FaultyWalState {
     pub sync_budget: Option<usize>,
     /// Number of successful syncs.
     pub syncs: usize,
+    /// Artificial latency per successful `sync`, in microseconds. Lets
+    /// group-commit tests widen the window in which concurrent appends
+    /// queue behind an in-flight fsync.
+    pub sync_delay_us: u64,
 }
 
 /// A deterministic fault-injecting [`WalFile`] over an in-memory buffer.
@@ -204,7 +230,7 @@ impl FaultyWalFile {
 }
 
 impl WalFile for FaultyWalFile {
-    fn append(&mut self, buf: &[u8]) -> std::io::Result<()> {
+    fn append(&self, buf: &[u8]) -> std::io::Result<()> {
         let mut s = self.state.lock();
         if let Some(budget) = s.write_budget {
             if buf.len() > budget {
@@ -221,15 +247,28 @@ impl WalFile for FaultyWalFile {
         Ok(())
     }
 
-    fn sync(&mut self) -> std::io::Result<()> {
-        let mut s = self.state.lock();
-        if let Some(budget) = s.sync_budget {
-            if s.syncs >= budget {
-                return Err(std::io::Error::other("injected fsync failure"));
+    fn sync(&self) -> std::io::Result<()> {
+        let delay = {
+            let mut s = self.state.lock();
+            if let Some(budget) = s.sync_budget {
+                if s.syncs >= budget {
+                    return Err(std::io::Error::other("injected fsync failure"));
+                }
             }
+            s.syncs += 1;
+            s.synced_len = s.os.len();
+            s.sync_delay_us
+        };
+        if delay > 0 {
+            std::thread::sleep(std::time::Duration::from_micros(delay));
         }
-        s.syncs += 1;
-        s.synced_len = s.os.len();
+        Ok(())
+    }
+
+    fn truncate(&self, len: u64) -> std::io::Result<()> {
+        let mut s = self.state.lock();
+        s.os.truncate(len as usize);
+        s.synced_len = s.synced_len.min(len as usize);
         Ok(())
     }
 }
@@ -243,21 +282,45 @@ pub struct WalRecord {
     pub value: Option<Vec<u8>>,
 }
 
+/// One replayed mutation together with the commit sequence number it was
+/// logged with. Records written by the legacy single-stream format carry
+/// no sequence (`None`) and sort before every sequenced record on replay
+/// (they can only predate the multi-stream layout).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SeqWalRecord {
+    /// Region-wide commit sequence number, `None` for legacy records.
+    pub seq: Option<u64>,
+    /// The key.
+    pub key: Vec<u8>,
+    /// `Some` for a put, `None` for a delete tombstone.
+    pub value: Option<Vec<u8>>,
+}
+
 const OP_PUT: u8 = 1;
 const OP_DELETE: u8 = 2;
+const OP_PUT_SEQ: u8 = 3;
+const OP_DELETE_SEQ: u8 = 4;
 const HEADER: usize = 8; // len + crc
 /// Cap on a single record's payload during replay, guarding against a
 /// corrupt length field committing gigabytes of allocation.
 const MAX_RECORD: u32 = 256 << 20;
 
-fn encode_record(out: &mut Vec<u8>, key: &[u8], value: Option<&[u8]>) {
-    let plen = 1 + 4 + key.len() + value.map_or(0, |v| v.len());
+fn encode_record(out: &mut Vec<u8>, seq: Option<u64>, key: &[u8], value: Option<&[u8]>) {
+    let plen = 1 + seq.map_or(0, |_| 8) + 4 + key.len() + value.map_or(0, |v| v.len());
     out.reserve(HEADER + plen);
     out.extend_from_slice(&(plen as u32).to_le_bytes());
     let crc_at = out.len();
     out.extend_from_slice(&[0; 4]); // patched below
     let payload_at = out.len();
-    out.push(if value.is_some() { OP_PUT } else { OP_DELETE });
+    out.push(match (seq.is_some(), value.is_some()) {
+        (false, true) => OP_PUT,
+        (false, false) => OP_DELETE,
+        (true, true) => OP_PUT_SEQ,
+        (true, false) => OP_DELETE_SEQ,
+    });
+    if let Some(s) = seq {
+        out.extend_from_slice(&s.to_le_bytes());
+    }
     out.extend_from_slice(&(key.len() as u32).to_le_bytes());
     out.extend_from_slice(key);
     if let Some(v) = value {
@@ -269,8 +332,26 @@ fn encode_record(out: &mut Vec<u8>, key: &[u8], value: Option<&[u8]>) {
 
 /// Parses `bytes`, returning the decoded records and the length of the
 /// valid prefix. Parsing stops (without error) at the first torn or
-/// corrupt record — the crash-recovery contract.
+/// corrupt record — the crash-recovery contract. Sequence numbers are
+/// dropped; see [`decode_seq_records`] for the sequence-aware variant.
+#[cfg(test)]
 pub fn decode_records(bytes: &[u8]) -> (Vec<WalRecord>, usize) {
+    let (records, valid) = decode_seq_records(bytes);
+    (
+        records
+            .into_iter()
+            .map(|r| WalRecord {
+                key: r.key,
+                value: r.value,
+            })
+            .collect(),
+        valid,
+    )
+}
+
+/// Sequence-aware decode: like [`decode_records`] but preserves each
+/// record's commit sequence number (`None` for legacy records).
+pub fn decode_seq_records(bytes: &[u8]) -> (Vec<SeqWalRecord>, usize) {
     let mut records = Vec::new();
     let mut pos = 0usize;
     while bytes.len() - pos >= HEADER {
@@ -300,23 +381,36 @@ pub fn decode_records(bytes: &[u8]) -> (Vec<WalRecord>, usize) {
     (records, pos)
 }
 
-fn decode_payload(payload: &[u8]) -> Option<WalRecord> {
-    if payload.len() < 5 {
+fn decode_payload(payload: &[u8]) -> Option<SeqWalRecord> {
+    let op = *payload.first()?;
+    let (seq, rest) = match op {
+        OP_PUT | OP_DELETE => (None, &payload[1..]),
+        OP_PUT_SEQ | OP_DELETE_SEQ if payload.len() >= 9 => (
+            Some(u64::from_le_bytes(payload[1..9].try_into().unwrap())),
+            &payload[9..],
+        ),
+        _ => return None,
+    };
+    if rest.len() < 4 {
         return None;
     }
-    let op = payload[0];
-    let klen = u32::from_le_bytes(payload[1..5].try_into().unwrap()) as usize;
-    let key_end = 5usize.checked_add(klen)?;
-    if key_end > payload.len() {
+    let klen = u32::from_le_bytes(rest[..4].try_into().unwrap()) as usize;
+    let key_end = 4usize.checked_add(klen)?;
+    if key_end > rest.len() {
         return None;
     }
-    let key = payload[5..key_end].to_vec();
+    let key = rest[4..key_end].to_vec();
     match op {
-        OP_PUT => Some(WalRecord {
+        OP_PUT | OP_PUT_SEQ => Some(SeqWalRecord {
+            seq,
             key,
-            value: Some(payload[key_end..].to_vec()),
+            value: Some(rest[key_end..].to_vec()),
         }),
-        OP_DELETE if key_end == payload.len() => Some(WalRecord { key, value: None }),
+        OP_DELETE | OP_DELETE_SEQ if key_end == rest.len() => Some(SeqWalRecord {
+            seq,
+            key,
+            value: None,
+        }),
         _ => None,
     }
 }
@@ -371,7 +465,9 @@ pub struct Wal {
     policy: SyncPolicy,
     buffer_bytes: usize,
     active_id: u64,
-    file: Box<dyn WalFile>,
+    /// Shared so [`Wal::begin_concurrent_sync`] can hand the group-commit
+    /// leader a handle to fsync outside the WAL lock.
+    file: Arc<dyn WalFile>,
     /// User-space buffer ([`SyncPolicy::None`] only).
     pending: Vec<u8>,
     /// Appended but not yet fsynced bytes (drives batched group commit).
@@ -382,6 +478,14 @@ pub struct Wal {
     /// replay-stopping tear. Poisoned WALs reject writes until
     /// [`Wal::rotate`] opens a fresh segment.
     poisoned: bool,
+    /// Bytes of the active segment known to be whole records (every
+    /// `write(2)` that returned success). The poison-repair path of
+    /// [`Wal::rotate_keep`] truncates a torn suffix back to this point.
+    good_len: u64,
+    /// Records handed to the write path so far — the group-commit ticket
+    /// counter ([`Wal::append_seq`] returns it; a later sync covering it
+    /// makes the record durable).
+    appended: u64,
     metrics: WalMetrics,
 }
 
@@ -402,11 +506,37 @@ impl Wal {
     /// records, oldest first. Replay truncates the first torn/corrupt
     /// record and ignores everything after it; replayed segments are
     /// retained until the next flush-rotation proves them obsolete.
+    ///
+    /// Production code goes through the sharded [`Wal::open_seq`]; this
+    /// legacy single-stream shape is kept to pin the pre-sharding format
+    /// and durability semantics in tests.
+    #[cfg(test)]
     pub fn open(
         dir: &Path,
         policy: SyncPolicy,
         buffer_bytes: usize,
     ) -> Result<(Wal, Vec<WalRecord>)> {
+        let (wal, records) = Self::open_seq(dir, policy, buffer_bytes)?;
+        Ok((
+            wal,
+            records
+                .into_iter()
+                .map(|r| WalRecord {
+                    key: r.key,
+                    value: r.value,
+                })
+                .collect(),
+        ))
+    }
+
+    /// Sequence-aware open used by the sharded multi-stream WAL: replay
+    /// order *within* this stream is file order, but records keep their
+    /// commit sequence numbers so streams can be reconciled globally.
+    pub(crate) fn open_seq(
+        dir: &Path,
+        policy: SyncPolicy,
+        buffer_bytes: usize,
+    ) -> Result<(Wal, Vec<SeqWalRecord>)> {
         let metrics = WalMetrics::new();
         let mut segments: Vec<u64> = Vec::new();
         for entry in std::fs::read_dir(dir)? {
@@ -429,7 +559,7 @@ impl Wal {
             }
             let path = segment_path(dir, id);
             let bytes = std::fs::read(&path)?;
-            let (recs, valid_len) = decode_records(&bytes);
+            let (recs, valid_len) = decode_seq_records(&bytes);
             if valid_len < bytes.len() {
                 clean = false;
                 metrics.truncations.inc();
@@ -441,7 +571,7 @@ impl Wal {
         }
         metrics.replayed.add(records.len() as u64);
         let active_id = segments.last().map(|id| id + 1).unwrap_or(0);
-        let file = Box::new(StdWalFile::open(&segment_path(dir, active_id))?);
+        let file: Arc<dyn WalFile> = Arc::new(StdWalFile::open(&segment_path(dir, active_id))?);
         // Make the new active segment's directory entry (and any orphan
         // deletions above) durable before acknowledging writes into it.
         fsync_dir(dir)?;
@@ -455,22 +585,19 @@ impl Wal {
                 pending: Vec::new(),
                 unsynced: false,
                 poisoned: false,
+                good_len: 0,
+                appended: 0,
                 metrics,
             },
             records,
         ))
     }
 
-    /// The configured sync policy.
-    pub fn policy(&self) -> SyncPolicy {
-        self.policy
-    }
-
     /// Replaces the active segment's backing file (fault-injection tests
     /// only — the file no longer matches what is on disk).
     #[cfg(test)]
     pub(crate) fn set_file_for_test(&mut self, file: Box<dyn WalFile>) {
-        self.file = file;
+        self.file = Arc::from(file);
     }
 
     /// Appends one mutation, honouring the sync policy before returning
@@ -481,12 +608,35 @@ impl Wal {
     /// refused (nothing acknowledged may land after a replay-stopping
     /// tear) until a flush makes the memtable durable and [`Wal::rotate`]
     /// swaps in a fresh segment.
+    ///
+    /// Like [`Wal::open`], test-only: production appends carry sequence
+    /// numbers via [`Wal::append_seq`].
+    #[cfg(test)]
     pub fn append(&mut self, key: &[u8], value: Option<&[u8]>) -> Result<()> {
+        self.push_record(None, key, value)?;
+        if self.policy == SyncPolicy::PerWrite {
+            self.sync()?;
+        }
+        Ok(())
+    }
+
+    /// Sequence-carrying append for the sharded multi-stream WAL. The
+    /// record reaches the OS according to the sync policy's `write(2)`
+    /// discipline, but fsync is left to the caller's group commit: the
+    /// returned ticket is durable once a [`Wal::sync`] issued at ticket
+    /// count ≥ it succeeds (see [`Wal::ticket`]).
+    pub(crate) fn append_seq(&mut self, seq: u64, key: &[u8], value: Option<&[u8]>) -> Result<u64> {
+        self.push_record(Some(seq), key, value)?;
+        Ok(self.appended)
+    }
+
+    /// Encode + policy-aware `write(2)`, shared by both append shapes.
+    fn push_record(&mut self, seq: Option<u64>, key: &[u8], value: Option<&[u8]>) -> Result<()> {
         if self.poisoned {
             return Err(KvError::WalPoisoned);
         }
         let before = self.pending.len();
-        encode_record(&mut self.pending, key, value);
+        encode_record(&mut self.pending, seq, key, value);
         self.metrics.appends.inc();
         self.metrics.bytes.add((self.pending.len() - before) as u64);
         match self.policy {
@@ -495,15 +645,19 @@ impl Wal {
                     self.flush_os()?;
                 }
             }
-            SyncPolicy::Batched => {
+            SyncPolicy::Batched | SyncPolicy::PerWrite => {
                 self.flush_os()?;
-            }
-            SyncPolicy::PerWrite => {
-                self.flush_os()?;
-                self.sync()?;
             }
         }
+        self.appended += 1;
         Ok(())
+    }
+
+    /// Records handed to the write path so far — the group-commit ticket
+    /// a leader snapshots before fsyncing (every ticket ≤ the snapshot is
+    /// covered by that fsync).
+    pub(crate) fn ticket(&self) -> u64 {
+        self.appended
     }
 
     /// Pushes buffered bytes to the OS (`write(2)`), without fsync.
@@ -523,6 +677,7 @@ impl Wal {
                 self.poisoned = true;
                 return Err(KvError::Io(e));
             }
+            self.good_len += self.pending.len() as u64;
             self.pending.clear();
             self.unsynced = true;
         }
@@ -558,12 +713,67 @@ impl Wal {
         Ok(())
     }
 
+    /// First half of a group-commit fsync that runs *outside* the WAL
+    /// lock: pushes buffered bytes to the OS and hands back the ticket
+    /// this fsync will cover plus a shared handle to fsync — or `None`
+    /// when everything is already durable (or an in-flight concurrent
+    /// sync already covers it; its waiters are gated on that fsync's
+    /// completion, not on this snapshot).
+    ///
+    /// `unsynced` is cleared optimistically here; a failed fsync poisons
+    /// the WAL in [`Wal::finish_concurrent_sync`], so the flag is never
+    /// consulted on that path again before a rotation repairs it.
+    pub(crate) fn begin_concurrent_sync(&mut self) -> Result<(u64, Option<Arc<dyn WalFile>>)> {
+        self.flush_os()?;
+        if !self.unsynced {
+            return Ok((self.appended, None));
+        }
+        self.unsynced = false;
+        Ok((self.appended, Some(self.file.clone())))
+    }
+
+    /// Second half of [`Wal::begin_concurrent_sync`]: records the fsync
+    /// outcome back under the WAL lock. A failure poisons the WAL even
+    /// if a rotation swapped the active segment meanwhile — conservative
+    /// (the new segment may be fine) but a failed fsync means the device
+    /// is in trouble; the next rotation repairs the stream.
+    pub(crate) fn finish_concurrent_sync(&mut self, started: Instant, res: &std::io::Result<()>) {
+        match res {
+            Ok(()) => {
+                self.metrics.syncs.inc();
+                self.metrics.sync_latency.record_duration(started.elapsed());
+            }
+            Err(_) => self.poisoned = true,
+        }
+    }
+
+    /// [`Wal::sync`] without the `unsynced` early-return. Shutdown and
+    /// the batched-policy tick must not trust the flag: a concurrent
+    /// leader clears it optimistically at [`Wal::begin_concurrent_sync`]
+    /// while its fsync is still in flight.
+    pub(crate) fn sync_always(&mut self) -> Result<()> {
+        self.flush_os()?;
+        let started = Instant::now();
+        if let Err(e) = self.file.sync() {
+            self.poisoned = true;
+            return Err(KvError::Io(e));
+        }
+        self.unsynced = false;
+        self.metrics.syncs.inc();
+        self.metrics.sync_latency.record_duration(started.elapsed());
+        Ok(())
+    }
+
     /// Rotates to a fresh segment and deletes all older ones. This is
     /// also the repair path for a poisoned WAL: the torn segment is
     /// deleted with the rest, so appends are accepted again.
     ///
     /// Call only once every logged mutation is durable elsewhere (i.e.
     /// right after a memtable flush fsynced its SSTable).
+    ///
+    /// Like [`Wal::open`], test-only: the pipelined flush rotates via
+    /// [`Wal::rotate_keep`] + [`Wal::retire_through`] instead.
+    #[cfg(test)]
     pub fn rotate(&mut self) -> Result<()> {
         // The region holds its write lock across flush + rotate, so any
         // still-buffered bytes describe records the flush just made
@@ -571,7 +781,7 @@ impl Wal {
         self.pending.clear();
         let old_last = self.active_id;
         self.active_id += 1;
-        self.file = Box::new(StdWalFile::open(&segment_path(&self.dir, self.active_id))?);
+        self.file = Arc::new(StdWalFile::open(&segment_path(&self.dir, self.active_id))?);
         // The new segment's directory entry must be durable before we
         // acknowledge writes into it (or delete its predecessors).
         fsync_dir(&self.dir)?;
@@ -589,6 +799,66 @@ impl Wal {
         // replayed (harmlessly, the SSTable shadows it) and re-deleted,
         // but only if it survives *as a whole* — half-persisted deletes
         // could leave a gap that orphans a surviving later segment.
+        fsync_dir(&self.dir)?;
+        self.good_len = 0;
+        Ok(())
+    }
+
+    /// Rotates to a fresh segment *without* deleting the old ones, and
+    /// returns the last old segment's id as a retirement mark. This is
+    /// the pipelined-flush shape: the frozen memtable generation keeps
+    /// its covering segments alive until its SSTable is durable, at which
+    /// point [`Wal::retire_through`] deletes them — while new writes land
+    /// in the fresh segment the whole time.
+    ///
+    /// Doubles as the poison-repair path: a poisoned segment's torn
+    /// (unacknowledged) suffix is truncated back to the last successful
+    /// `write(2)`, so the acknowledged records before the tear stay
+    /// replayable — unlike [`Wal::rotate`], which may only run once the
+    /// whole memtable is durable elsewhere.
+    pub(crate) fn rotate_keep(&mut self) -> Result<u64> {
+        if !self.poisoned {
+            // Push buffered (None-policy) bytes into the old segment so
+            // its retirement mark covers them, and fsync it: once the
+            // swap lands, a group-commit leader snapshots the *new*
+            // file's handle, so a record still sitting un-fsynced in the
+            // old segment would otherwise be acknowledged by a fsync
+            // that never covered it. Failure poisons, handled next.
+            let _ = self.sync();
+        }
+        if self.poisoned {
+            self.pending.clear();
+            self.file.truncate(self.good_len).map_err(KvError::Io)?;
+            self.file.sync().map_err(KvError::Io)?;
+            self.metrics.truncations.inc();
+        }
+        let old_last = self.active_id;
+        self.active_id += 1;
+        self.file = Arc::new(StdWalFile::open(&segment_path(&self.dir, self.active_id))?);
+        // The new segment's directory entry must be durable before
+        // writes are acknowledged into it.
+        fsync_dir(&self.dir)?;
+        self.pending.clear();
+        self.unsynced = false;
+        self.poisoned = false;
+        self.good_len = 0;
+        Ok(old_last)
+    }
+
+    /// Deletes every segment with id ≤ `upto` (the mark returned by the
+    /// [`Wal::rotate_keep`] that froze the generation whose SSTable is
+    /// now durable). Never touches the active segment.
+    pub(crate) fn retire_through(&mut self, upto: u64) -> Result<()> {
+        for entry in std::fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            if let Some(id) = segment_id(&entry.file_name().to_string_lossy()) {
+                if id <= upto && id != self.active_id {
+                    std::fs::remove_file(entry.path()).map_err(KvError::Io)?;
+                }
+            }
+        }
+        // Half-persisted deletions could leave a gap that orphans a
+        // surviving later segment; make them durable as a batch.
         fsync_dir(&self.dir)?;
         Ok(())
     }
@@ -735,7 +1005,7 @@ mod tests {
         let (file, state) = FaultyWalFile::new();
         // Two full records fit; the third is torn 5 bytes in.
         let mut probe = Vec::new();
-        encode_record(&mut probe, b"key-1", Some(b"value-1"));
+        encode_record(&mut probe, None, b"key-1", Some(b"value-1"));
         let record_len = probe.len();
         state.lock().write_budget = Some(2 * record_len + 5);
         wal.set_file_for_test(Box::new(file));

@@ -471,6 +471,7 @@ fn show_regions(session: &Session) -> Dataset {
         "disk_bytes".into(),
         "memtable_bytes".into(),
         "sstables".into(),
+        "generations".into(),
         "reads".into(),
         "writes".into(),
         "bytes_read".into(),
@@ -490,6 +491,7 @@ fn show_regions(session: &Session) -> Dataset {
                 Value::Int(s.disk_bytes as i64),
                 Value::Int(s.memtable_bytes as i64),
                 Value::Int(s.sstables as i64),
+                Value::Int(s.generations as i64),
                 Value::Int(s.traffic.reads as i64),
                 Value::Int(s.traffic.writes as i64),
                 Value::Int(s.traffic.bytes_read as i64),

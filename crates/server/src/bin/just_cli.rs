@@ -16,6 +16,7 @@ fn main() -> ExitCode {
     let mut addr: Option<String> = None;
     let mut user = "cli".to_string();
     let mut watch_secs: Option<u64> = None;
+    let mut max_rows: usize = 100;
     let mut rest: Vec<String> = Vec::new();
 
     let mut i = 0;
@@ -40,6 +41,16 @@ fn main() -> ExitCode {
                     Some(secs) if secs > 0 => watch_secs = Some(secs),
                     _ => {
                         eprintln!("just-cli: --watch-metrics needs seconds >= 1\n{USAGE}");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "--max-rows" => {
+                i += 1;
+                match args.get(i).and_then(|v| v.parse::<usize>().ok()) {
+                    Some(n) if n > 0 => max_rows = n,
+                    _ => {
+                        eprintln!("just-cli: --max-rows needs a count >= 1\n{USAGE}");
                         return ExitCode::from(2);
                     }
                 }
@@ -101,7 +112,7 @@ fn main() -> ExitCode {
                 return ExitCode::from(2);
             };
             client.execute(sql).map(|r| match r {
-                just_ql::QueryResult::Data(d) => d.render(100),
+                just_ql::QueryResult::Data(d) => d.render(max_rows),
                 just_ql::QueryResult::Message(m) => m,
             })
         }
@@ -129,5 +140,5 @@ fn main() -> ExitCode {
     }
 }
 
-const USAGE: &str = "usage: just-cli --addr HOST:PORT [--user NAME] \
+const USAGE: &str = "usage: just-cli --addr HOST:PORT [--user NAME] [--max-rows N] \
 (query \"SQL\" | metrics | health | ping | shutdown | --watch-metrics SECS)";

@@ -4,6 +4,7 @@
 //! justd --data DIR [--addr HOST:PORT] [--max-sessions N]
 //!       [--users a,b,c] [--port-file PATH]
 //!       [--wal-sync none|batched|per-write] [--no-wal]
+//!       [--mem-shards N] [--wal-streams N]
 //!       [--slow-query-ms N]
 //! ```
 //!
@@ -18,6 +19,12 @@
 //! sync policy (acknowledged writes survive `kill -9`; a bounded window
 //! can be lost to power failure). `--wal-sync per-write` fsyncs every
 //! record; `--no-wal` disables logging entirely (fastest, volatile).
+//!
+//! Ingest concurrency: each region's memtable is salted across
+//! `--mem-shards` finely-locked shards and its WAL across
+//! `--wal-streams` group-committed streams (defaults suit a small
+//! host; `--mem-shards 1 --wal-streams 1` reproduces the serial
+//! pre-sharding write path).
 
 use just_core::{Engine, EngineConfig};
 use just_kvstore::SyncPolicy;
@@ -64,6 +71,20 @@ fn main() -> ExitCode {
                 Some(p) => engine_cfg.store.durability.sync = p,
                 None => {
                     eprintln!("justd: bad --wal-sync '{value}' (none|batched|per-write)\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--mem-shards" => match value.parse::<usize>() {
+                Ok(n) if n >= 1 => engine_cfg.store.ingest.mem_shards = n,
+                _ => {
+                    eprintln!("justd: bad --mem-shards '{value}' (>= 1)\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--wal-streams" => match value.parse::<usize>() {
+                Ok(n) if n >= 1 => engine_cfg.store.ingest.wal_streams = n,
+                _ => {
+                    eprintln!("justd: bad --wal-streams '{value}' (>= 1)\n{USAGE}");
                     return ExitCode::from(2);
                 }
             },
@@ -116,4 +137,4 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage: justd --data DIR [--addr HOST:PORT] [--max-sessions N] \
 [--users a,b,c] [--port-file PATH] [--wal-sync none|batched|per-write] [--no-wal] \
-[--slow-query-ms N]";
+[--mem-shards N] [--wal-streams N] [--slow-query-ms N]";
