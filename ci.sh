@@ -266,6 +266,14 @@ ING_BENCH_OUT="$SMOKE_DIR/ingest_concurrency.txt"
 grep -q "scaling guard: PASS" "$ING_BENCH_OUT"
 grep -q "p99 guard: PASS" "$ING_BENCH_OUT"
 
+echo "==> hash-join/TOP-K smoke bench (>=3x join, >=5x topk + parity guards)"
+JOIN_BENCH_OUT="$SMOKE_DIR/join_sort.txt"
+./target/release/figures join_sort --scale 0.1 --json "$SMOKE_DIR/bench" \
+    | tee "$JOIN_BENCH_OUT"
+grep -q "join speedup guard: PASS" "$JOIN_BENCH_OUT"
+grep -q "topk speedup guard: PASS" "$JOIN_BENCH_OUT"
+grep -q "parity guard: PASS" "$JOIN_BENCH_OUT"
+
 echo "==> EXPLAIN bytecode listing smoke (just-cli renders programs)"
 start_justd "$SMOKE_DIR/exec-data" "$SMOKE_DIR/exec-port"
 cli query "CREATE TABLE expts (fid integer:primary key, geom point)"
@@ -273,6 +281,9 @@ cli query "INSERT INTO expts VALUES (1, st_makePoint(116.4, 39.9))"
 EXPLAIN_OUT=$(cli query "EXPLAIN SELECT fid FROM expts WHERE fid % 2 = 1 AND fid > 0")
 echo "$EXPLAIN_OUT" | grep -q "program residual:"
 echo "$EXPLAIN_OUT" | grep -q "cmp.int"
+JOIN_EXPLAIN_OUT=$(cli query "EXPLAIN SELECT l.fid, r.fid FROM expts l JOIN expts r ON l.fid = r.fid ORDER BY l.fid LIMIT 3")
+echo "$JOIN_EXPLAIN_OUT" | grep -q "hash_join"
+echo "$JOIN_EXPLAIN_OUT" | grep -q "topk"
 ./target/release/just-cli --addr "$ADDR" shutdown
 wait "$JUSTD_PID"
 JUSTD_PID=""

@@ -60,6 +60,7 @@ fn main() {
             "scan_stream".into(),
             "obs_overhead".into(),
             "exec_compile".into(),
+            "join_sort".into(),
             "ingest_concurrency".into(),
         ];
     }
@@ -107,6 +108,11 @@ fn main() {
                     failed = true;
                 }
             }
+            "join_sort" => {
+                if !figures::join_sort::run(&cfg, &mut out, &mut report) {
+                    failed = true;
+                }
+            }
             "ingest_concurrency" => {
                 if !figures::ingest_concurrency::run(&cfg, &mut out, &mut report) {
                     failed = true;
@@ -132,7 +138,7 @@ fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
         "usage: figures [all|table1|table2|fig8|fig10|fig11|fig12|fig13|fig14|serve|durability|\
-         read_path|scan_stream|obs_overhead|exec_compile|ingest_concurrency]... \
+         read_path|scan_stream|obs_overhead|exec_compile|join_sort|ingest_concurrency]... \
          [--scale X] [--json DIR]"
     );
     std::process::exit(2);

@@ -11,6 +11,7 @@ pub mod fig13;
 pub mod fig14;
 pub mod fig8;
 pub mod ingest_concurrency;
+pub mod join_sort;
 pub mod obs_overhead;
 pub mod read_path;
 pub mod scan_stream;

@@ -1,0 +1,253 @@
+//! Order-preserving ("memcmp-able") key normalization and the total
+//! value order shared by every sort path.
+//!
+//! The interpreted sort used to compare boxed [`Value`]s through the
+//! coercing [`scalar::compare`](crate::scalar::compare) kernel and
+//! swallow its errors (`unwrap_or(Equal)`), which made the order of
+//! incomparable values nondeterministic. This module defines the one
+//! total order JustQL sorts by — used verbatim by the interpreted
+//! comparator, the key-normalized sort, and the TOP-K heap:
+//!
+//! - **NULLs first**, then values grouped by a cross-type rank:
+//!   booleans < numerics < strings < serialized blobs (geometries, GPS
+//!   lists). Incomparable pairs no longer tie randomly; they order by
+//!   rank.
+//! - **Numerics** (`Int`, `Float`, `Date`) compare in one numeric space
+//!   via an order-preserving `f64` bit transform — exactly the coercion
+//!   [`scalar::compare`](crate::scalar::compare) applies — with
+//!   `-0.0 == 0.0` and `NaN` sorting after `+inf`.
+//! - **Strings** compare bytewise (UTF-8 lexicographic, as before).
+//! - **Geometries / GPS lists** order by their serialized bytes:
+//!   arbitrary but fixed.
+//!
+//! [`encode_key`] lowers a value into bytes whose plain `memcmp` order
+//! equals [`total_compare`] — the hot comparator of the normalized sort
+//! and the TOP-K heap is a byte compare, with no `Value` dispatch.
+//! Multi-key encodings concatenate; each segment is prefix-free (fixed
+//! width, or `0x00`-escaped with a `00 00` terminator), so the first
+//! differing byte always falls inside the first differing key.
+//! Descending keys complement every segment byte, which reverses the
+//! byte order without breaking prefix-freeness.
+
+use just_storage::Value;
+use std::cmp::Ordering;
+
+/// Rank bytes double as the encoded segment's leading tag.
+const RANK_NULL: u8 = 0x00;
+const RANK_BOOL: u8 = 0x01;
+const RANK_NUM: u8 = 0x02;
+const RANK_STR: u8 = 0x03;
+const RANK_BYTES: u8 = 0x04;
+
+/// The value's cross-type rank (NULLs first).
+fn rank(v: &Value) -> u8 {
+    match v {
+        Value::Null => RANK_NULL,
+        Value::Bool(_) => RANK_BOOL,
+        Value::Int(_) | Value::Float(_) | Value::Date(_) => RANK_NUM,
+        Value::Str(_) => RANK_STR,
+        Value::Geom(_) | Value::GpsList(_) => RANK_BYTES,
+    }
+}
+
+/// Maps a numeric value onto `u64` such that unsigned integer order
+/// equals numeric order: IEEE-754 bits with the sign group flipped.
+/// `-0.0` canonicalizes to `+0.0` and every NaN to the one positive
+/// quiet NaN (which lands above `+inf`, mirroring `f64::total_cmp`).
+fn numeric_bits(v: &Value) -> Option<u64> {
+    let f = match v {
+        Value::Int(i) => *i as f64,
+        Value::Float(f) => *f,
+        Value::Date(d) => *d as f64,
+        _ => return None,
+    };
+    let f = if f.is_nan() {
+        f64::NAN
+    } else if f == 0.0 {
+        0.0
+    } else {
+        f
+    };
+    let b = f.to_bits();
+    Some(if b >> 63 == 1 { !b } else { b | (1 << 63) })
+}
+
+/// The total order every sort path shares. Never errors: pairs the
+/// coercing [`scalar::compare`](crate::scalar::compare) would reject
+/// order deterministically by cross-type rank instead.
+pub fn total_compare(l: &Value, r: &Value) -> Ordering {
+    let (rl, rr) = (rank(l), rank(r));
+    if rl != rr {
+        return rl.cmp(&rr);
+    }
+    match (l, r) {
+        (Value::Null, Value::Null) => Ordering::Equal,
+        (Value::Bool(a), Value::Bool(b)) => a.cmp(b),
+        (Value::Str(a), Value::Str(b)) => a.as_bytes().cmp(b.as_bytes()),
+        _ if rl == RANK_NUM => numeric_bits(l).cmp(&numeric_bits(r)),
+        _ => {
+            // Geometries / GPS lists: serialized-byte order. Rare enough
+            // that the two encode allocations don't matter.
+            let (mut a, mut b) = (Vec::new(), Vec::new());
+            l.encode(&mut a);
+            r.encode(&mut b);
+            a.cmp(&b)
+        }
+    }
+}
+
+/// Appends the normalized encoding of `v` to `out`. For any two values,
+/// comparing their encodings as byte strings equals
+/// [`total_compare`] (reversed when `desc`); equal encodings imply
+/// `total_compare == Equal` and vice versa.
+pub fn encode_key(v: &Value, desc: bool, out: &mut Vec<u8>) {
+    let start = out.len();
+    out.push(rank(v));
+    match v {
+        Value::Null => {}
+        Value::Bool(b) => out.push(u8::from(*b)),
+        Value::Int(_) | Value::Float(_) | Value::Date(_) => {
+            let bits = numeric_bits(v).expect("numeric rank");
+            out.extend_from_slice(&bits.to_be_bytes());
+        }
+        Value::Str(s) => push_escaped(out, s.as_bytes()),
+        Value::Geom(_) | Value::GpsList(_) => {
+            let mut bytes = Vec::new();
+            v.encode(&mut bytes);
+            push_escaped(out, &bytes);
+        }
+    }
+    if desc {
+        for b in &mut out[start..] {
+            *b = !*b;
+        }
+    }
+}
+
+/// Variable-length payloads stay prefix-free and order-preserving under
+/// concatenation: every `0x00` content byte is escaped to `00 FF`, and
+/// the segment ends with the `00 00` terminator (which no escaped
+/// content can contain).
+fn push_escaped(out: &mut Vec<u8>, bytes: &[u8]) {
+    for &b in bytes {
+        out.push(b);
+        if b == 0x00 {
+            out.push(0xFF);
+        }
+    }
+    out.extend_from_slice(&[0x00, 0x00]);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use just_geo::{Geometry, Point};
+
+    fn enc(v: &Value, desc: bool) -> Vec<u8> {
+        let mut out = Vec::new();
+        encode_key(v, desc, &mut out);
+        out
+    }
+
+    fn catalogue() -> Vec<Value> {
+        vec![
+            Value::Null,
+            Value::Bool(false),
+            Value::Bool(true),
+            Value::Int(i64::MIN),
+            Value::Int(-7),
+            Value::Int(0),
+            Value::Float(-0.0),
+            Value::Float(0.5),
+            Value::Int(1),
+            Value::Float(1.0),
+            Value::Date(1), // numerics share one space with Int/Float
+            Value::Int(900),
+            Value::Float(f64::NEG_INFINITY),
+            Value::Float(f64::INFINITY),
+            Value::Float(f64::NAN),
+            Value::Str(String::new()),
+            Value::Str("a".into()),
+            Value::Str("a\0".into()),
+            Value::Str("a\0b".into()),
+            Value::Str("ab".into()),
+            Value::Str("b".into()),
+            Value::Geom(Geometry::Point(Point::new(1.0, 2.0))),
+            Value::Geom(Geometry::Point(Point::new(2.0, 1.0))),
+        ]
+    }
+
+    #[test]
+    fn encoded_order_equals_total_compare() {
+        let vals = catalogue();
+        for a in &vals {
+            for b in &vals {
+                let ord = total_compare(a, b);
+                assert_eq!(enc(a, false).cmp(&enc(b, false)), ord, "asc {a:?} vs {b:?}");
+                assert_eq!(
+                    enc(a, true).cmp(&enc(b, true)),
+                    ord.reverse(),
+                    "desc {a:?} vs {b:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn nulls_first_then_cross_type_rank() {
+        // The satellite's contract: NULL sorts before everything, and
+        // incomparable pairs order deterministically by type rank.
+        let ladder = [
+            Value::Null,
+            Value::Bool(true),
+            Value::Int(i64::MAX),
+            Value::Str("0".into()), // strings rank above ALL numerics
+            Value::Geom(Geometry::Point(Point::new(0.0, 0.0))),
+        ];
+        for w in ladder.windows(2) {
+            assert_eq!(total_compare(&w[0], &w[1]), Ordering::Less, "{w:?}");
+        }
+    }
+
+    #[test]
+    fn numeric_space_is_shared_and_total() {
+        assert_eq!(
+            total_compare(&Value::Int(5), &Value::Float(5.0)),
+            Ordering::Equal
+        );
+        assert_eq!(
+            total_compare(&Value::Float(-0.0), &Value::Float(0.0)),
+            Ordering::Equal
+        );
+        assert_eq!(
+            total_compare(&Value::Float(f64::NAN), &Value::Float(f64::INFINITY)),
+            Ordering::Greater
+        );
+        assert_eq!(
+            total_compare(&Value::Float(f64::NAN), &Value::Float(f64::NAN)),
+            Ordering::Equal
+        );
+    }
+
+    #[test]
+    fn multi_key_concatenation_orders_segment_at_a_time() {
+        // (k1 asc, k2 desc) over values chosen so a naive
+        // length-prefixed string encoding would mis-order.
+        let rows = [
+            (Value::Str("a".into()), Value::Int(1)),
+            (Value::Str("a".into()), Value::Int(9)),
+            (Value::Str("a\0".into()), Value::Int(5)),
+            (Value::Str("ab".into()), Value::Int(5)),
+        ];
+        let enc2 = |(k1, k2): &(Value, Value)| {
+            let mut out = Vec::new();
+            encode_key(k1, false, &mut out);
+            encode_key(k2, true, &mut out);
+            out
+        };
+        let mut got: Vec<usize> = (0..rows.len()).collect();
+        got.sort_by(|&a, &b| enc2(&rows[a]).cmp(&enc2(&rows[b])));
+        // "a" rows first (k2 descending within), then "a\0", then "ab".
+        assert_eq!(got, vec![1, 0, 2, 3]);
+    }
+}

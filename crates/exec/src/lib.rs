@@ -21,6 +21,10 @@
 //! 3. **Aggregate** ([`agg::HashAggregator`]): GROUP BY folds batches
 //!    into hash-indexed per-group accumulators with no per-row key
 //!    allocation.
+//! 4. **Join / order** ([`join::JoinHash`], [`keys`]): equi-joins build
+//!    and probe a hash table over order-preserving key encodings, and
+//!    sorts / TOP-K heaps compare the same memcmp-able bytes instead of
+//!    dispatching on boxed `Value`s.
 //!
 //! The [`scalar`] module is the single definition of JustQL's dynamic
 //! value semantics (truthiness, coercion, NULL rules, error text); the
@@ -31,11 +35,15 @@
 //! counters and the `just_exec_batch_eval_us` histogram (via `just-obs`).
 
 pub mod agg;
+pub mod join;
+pub mod keys;
 pub mod program;
 pub mod scalar;
 pub mod vm;
 
 pub use agg::{AggSpec, HashAggregator};
+pub use join::{keys_hashable, JoinHash};
+pub use keys::{encode_key, total_compare};
 pub use program::{FuncEntry, Op, Program, ProgramBuilder, RegId};
 pub use scalar::{ArithOp, CmpOp};
 pub use vm::{full_selection, Vm};

@@ -252,6 +252,60 @@ fn render_node(plan: &LogicalPlan, session: &Session, out: &mut String, depth: u
                 );
             }
         }
+        LogicalPlan::FilterProject {
+            input,
+            predicate,
+            items,
+        } => {
+            if let Some(cols) = output_columns(input, session) {
+                push_program(
+                    out,
+                    depth,
+                    "predicate",
+                    &compile_opt(predicate, &cols, None),
+                );
+                for (e, name) in items {
+                    if !matches!(e, Expr::Star) {
+                        push_program(out, depth, name, &compile_opt(e, &cols, None));
+                    }
+                }
+            }
+        }
+        LogicalPlan::Sort { input, keys } | LogicalPlan::TopK { input, keys, .. } => {
+            if let Some(cols) = output_columns(input, session) {
+                for (i, (e, asc)) in keys.iter().enumerate() {
+                    let label = format!("key {i} {}", if *asc { "asc" } else { "desc" });
+                    push_program(out, depth, &label, &compile_opt(e, &cols, None));
+                }
+            }
+        }
+        LogicalPlan::HashJoin {
+            left,
+            right,
+            keys,
+            residual,
+        } => {
+            // Key programs compile against their own side's header;
+            // the residual sees the combined left++right header, like
+            // the executor's post-probe filter.
+            let lcols = output_columns(left, session);
+            let rcols = output_columns(right, session);
+            for (i, (l, r)) in keys.iter().enumerate() {
+                if let Some(cols) = &lcols {
+                    let label = format!("key {i} left");
+                    push_program(out, depth, &label, &compile_opt(l, cols, None));
+                }
+                if let Some(cols) = &rcols {
+                    let label = format!("key {i} right");
+                    push_program(out, depth, &label, &compile_opt(r, cols, None));
+                }
+            }
+            if let (Some(res), Some(lc), Some(rc)) = (residual, &lcols, &rcols) {
+                let mut combined = lc.clone();
+                combined.extend(rc.iter().cloned());
+                push_program(out, depth, "residual", &compile_opt(res, &combined, None));
+            }
+        }
         LogicalPlan::Project { input, items } => {
             if let Some(cols) = output_columns(input, session) {
                 for (e, name) in items {
@@ -352,25 +406,10 @@ fn output_columns(plan: &LogicalPlan, session: &Session) -> Option<Vec<String>> 
         LogicalPlan::Values { columns, .. } => Some(columns.clone()),
         LogicalPlan::Filter { input, .. }
         | LogicalPlan::Sort { input, .. }
+        | LogicalPlan::TopK { input, .. }
         | LogicalPlan::Limit { input, .. } => output_columns(input, session),
-        LogicalPlan::Project { input, items } => {
-            if items.len() == 1 {
-                if let Expr::Func { name, .. } = &items[0].0 {
-                    if functions::is_table_function(name) || functions::is_cluster_function(name) {
-                        return None;
-                    }
-                }
-            }
-            let mut cols = Vec::new();
-            for (e, name) in items {
-                if matches!(e, Expr::Star) {
-                    cols.extend(output_columns(input, session)?);
-                } else {
-                    cols.push(name.clone());
-                }
-            }
-            Some(cols)
-        }
+        LogicalPlan::FilterProject { input, items, .. } => project_columns(input, items, session),
+        LogicalPlan::Project { input, items } => project_columns(input, items, session),
         LogicalPlan::Aggregate {
             group_by,
             aggregates,
@@ -380,13 +419,39 @@ fn output_columns(plan: &LogicalPlan, session: &Session) -> Option<Vec<String>> 
             cols.extend(aggregates.iter().map(|(_, _, n)| n.clone()));
             Some(cols)
         }
-        LogicalPlan::Join { left, right, .. } => {
+        LogicalPlan::Join { left, right, .. } | LogicalPlan::HashJoin { left, right, .. } => {
             let mut cols = output_columns(left, session)?;
             cols.extend(output_columns(right, session)?);
             Some(cols)
         }
         LogicalPlan::Knn { .. } => None,
     }
+}
+
+/// Projection-list header shared by `Project` and `FilterProject`:
+/// item names, with `*` expanding to the input's header. Table and
+/// cluster functions produce data-dependent headers.
+fn project_columns(
+    input: &LogicalPlan,
+    items: &[(Expr, String)],
+    session: &Session,
+) -> Option<Vec<String>> {
+    if items.len() == 1 {
+        if let Expr::Func { name, .. } = &items[0].0 {
+            if functions::is_table_function(name) || functions::is_cluster_function(name) {
+                return None;
+            }
+        }
+    }
+    let mut cols = Vec::new();
+    for (e, name) in items {
+        if matches!(e, Expr::Star) {
+            cols.extend(output_columns(input, session)?);
+        } else {
+            cols.push(name.clone());
+        }
+    }
+    Some(cols)
 }
 
 #[cfg(test)]

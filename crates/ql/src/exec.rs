@@ -9,7 +9,7 @@
 //! fallback. `EXPLAIN ANALYZE` marks which path each operator took with
 //! a `compiled=1` / `fallback=1` span attribute.
 
-use crate::ast::Expr;
+use crate::ast::{BinOp, Expr};
 use crate::compile::try_compile;
 use crate::error::QlError;
 use crate::functions::{self, eval, exec_err, resolve_column, truthy};
@@ -17,11 +17,14 @@ use crate::plan::LogicalPlan;
 use crate::Result;
 use just_analysis::{dbscan, DbscanParams};
 use just_core::{Dataset, Session};
-use just_exec::{full_selection, AggSpec, HashAggregator, Program, Vm};
+use just_exec::{
+    encode_key, full_selection, keys_hashable, total_compare, AggSpec, HashAggregator, JoinHash,
+    Program, Vm,
+};
 use just_geo::{Geometry, Point};
 use just_obs::{SpanId, Trace};
 use just_storage::{CancelToken, FieldType, Row, SpatialPredicate, Value};
-use std::collections::HashMap;
+use std::collections::{BinaryHeap, HashMap};
 use std::sync::atomic::{AtomicBool, Ordering};
 
 /// Rows per evaluation batch for in-memory operators (stored-table scans
@@ -151,6 +154,21 @@ impl<'a> Executor<'a> {
         for child in plan.children() {
             children.push(self.run_traced(child, trace, span)?);
         }
+        // Join/TopK counters snapshot *after* the children ran, so nested
+        // joins don't pollute this operator's delta.
+        let exec_before = matches!(
+            plan,
+            LogicalPlan::HashJoin { .. } | LogicalPlan::TopK { .. } | LogicalPlan::Join { .. }
+        )
+        .then(|| {
+            let obs = just_obs::global();
+            (
+                obs.counter("just_exec_join_build_rows").get(),
+                obs.counter("just_exec_join_probe_rows").get(),
+                obs.counter("just_exec_join_fallbacks").get(),
+                obs.counter("just_exec_topk_rows_pruned").get(),
+            )
+        });
         let result = self.execute_node(plan, children);
         if let Ok((data, path)) = &result {
             // Which execution path the operator's expressions took.
@@ -158,6 +176,35 @@ impl<'a> Executor<'a> {
                 trace.add_attr(span, mark, 1);
             }
             trace.set_rows(span, data.len() as u64);
+            if let Some((build, probe, falls, pruned)) = exec_before {
+                let obs = just_obs::global();
+                match plan {
+                    LogicalPlan::HashJoin { .. } => {
+                        trace.add_attr(
+                            span,
+                            "build_rows",
+                            obs.counter("just_exec_join_build_rows").get() - build,
+                        );
+                        trace.add_attr(
+                            span,
+                            "probe_rows",
+                            obs.counter("just_exec_join_probe_rows").get() - probe,
+                        );
+                        let falls = obs.counter("just_exec_join_fallbacks").get() - falls;
+                        if falls > 0 {
+                            trace.add_attr(span, "nested_loop", falls);
+                        }
+                    }
+                    LogicalPlan::TopK { .. } => {
+                        trace.add_attr(
+                            span,
+                            "rows_pruned",
+                            obs.counter("just_exec_topk_rows_pruned").get() - pruned,
+                        );
+                    }
+                    _ => {}
+                }
+            }
             if let Some((io, ranges, keys, pruned)) = before {
                 let obs = just_obs::global();
                 let d = self.session.engine().io_snapshot().since(&io);
@@ -246,7 +293,11 @@ impl<'a> Executor<'a> {
                 aggregates,
                 ..
             } => aggregate(next(), group_by, aggregates).map(|(d, p)| (d, Some(p))),
-            LogicalPlan::Sort { keys, .. } => Ok((sort(next(), keys)?, None)),
+            LogicalPlan::Sort { keys, .. } => sort_dispatch(next(), keys),
+            LogicalPlan::TopK { keys, k, .. } => topk(next(), keys, *k),
+            LogicalPlan::FilterProject {
+                predicate, items, ..
+            } => filter_project(next(), predicate, items),
             LogicalPlan::Limit { n, .. } => {
                 let mut data = next();
                 data.rows.truncate(*n);
@@ -255,7 +306,12 @@ impl<'a> Executor<'a> {
             LogicalPlan::Join { on, .. } => {
                 let l = next();
                 let r = next();
-                Ok((join(l, r, on)?, None))
+                Ok((join(l, r, on)?, Some(FALLBACK)))
+            }
+            LogicalPlan::HashJoin { keys, residual, .. } => {
+                let l = next();
+                let r = next();
+                hash_join(l, r, keys, residual)
             }
             LogicalPlan::Knn { table, lng, lat, k } => {
                 Ok((self.session.knn(table, Point::new(*lng, *lat), *k)?, None))
@@ -730,6 +786,14 @@ fn project(data: Dataset, items: &[(Expr, String)]) -> Result<(Dataset, Option<&
                     plans.push(ProjectItem::Passthrough(i));
                 }
             }
+            // A bare column is a reshuffle, not a computation: skip the
+            // VM (and its per-value materialization) entirely.
+            // `validate_columns` above already produced the resolution
+            // error an eval would have.
+            Expr::Column(c) => {
+                columns.push(name.clone());
+                plans.push(ProjectItem::Passthrough(resolve_column(c, &data.columns)?));
+            }
             other => {
                 columns.push(name.clone());
                 plans.push(ProjectItem::Compute(other.clone()));
@@ -737,7 +801,8 @@ fn project(data: Dataset, items: &[(Expr, String)]) -> Result<(Dataset, Option<&
         }
     }
 
-    // Pure column reshuffles evaluate nothing — no path to report.
+    // Pure column reshuffles evaluate nothing — no path to report; the
+    // identity reshuffle doesn't even touch the rows.
     let computes: Vec<(usize, &Expr)> = plans
         .iter()
         .enumerate()
@@ -747,6 +812,9 @@ fn project(data: Dataset, items: &[(Expr, String)]) -> Result<(Dataset, Option<&
         })
         .collect();
     if computes.is_empty() {
+        if is_identity(&plans, data.columns.len()) {
+            return Ok((Dataset::new(columns, data.rows), None));
+        }
         return Ok((project_interpreted(data, columns, &plans)?, None));
     }
     if compiled_enabled() {
@@ -827,6 +895,128 @@ fn project_interpreted(
 enum ProjectItem {
     Passthrough(usize),
     Compute(Expr),
+}
+
+/// Whether a projection is the identity over its input — every item a
+/// passthrough of column `i` at position `i`, covering the full width.
+/// Such a projection can rename columns but never needs to touch rows.
+fn is_identity(plans: &[ProjectItem], width: usize) -> bool {
+    plans.len() == width
+        && plans
+            .iter()
+            .enumerate()
+            .all(|(i, p)| matches!(p, ProjectItem::Passthrough(c) if *c == i))
+}
+
+/// Fused Filter→Project: each batch runs the predicate's selection and
+/// the projection programs in one pass, so the intermediate filtered
+/// relation is never materialized and computed items only evaluate over
+/// surviving rows. Falls back to the two-step filter-then-project when
+/// the predicate or a computed item doesn't compile (or compiled
+/// execution is off); the result is identical either way.
+fn filter_project(
+    data: Dataset,
+    predicate: &Expr,
+    items: &[(Expr, String)],
+) -> Result<(Dataset, Option<&'static str>)> {
+    // 1-N table/cluster functions are plan-level constructs the
+    // interpreter owns; let `project()` special-case them.
+    let special = items.len() == 1
+        && matches!(&items[0].0, Expr::Func { name, .. }
+            if functions::is_table_function(name) || functions::is_cluster_function(name));
+    if compiled_enabled() && !special {
+        if let Some(fused) = filter_project_compiled(&data, predicate, items)? {
+            return Ok((fused, Some(COMPILED)));
+        }
+    }
+    let (filtered, fpath) = filter(data, predicate)?;
+    let (projected, ppath) = project(filtered, items)?;
+    let path = if fpath == COMPILED && ppath != Some(FALLBACK) {
+        COMPILED
+    } else {
+        FALLBACK
+    };
+    Ok((projected, Some(path)))
+}
+
+/// Returns `Ok(None)` when any expression fails to lower; the caller
+/// then takes the two-step path (which re-validates, harmlessly).
+fn filter_project_compiled(
+    data: &Dataset,
+    predicate: &Expr,
+    items: &[(Expr, String)],
+) -> Result<Option<Dataset>> {
+    validate_columns(predicate, &data.columns)?;
+    let Some(pred_prog) = try_compile(predicate, &data.columns, None) else {
+        return Ok(None);
+    };
+    let mut columns = Vec::new();
+    let mut plans: Vec<ProjectItem> = Vec::new();
+    for (e, name) in items {
+        if !matches!(e, Expr::Star) {
+            validate_columns(e, &data.columns)?;
+        }
+        match e {
+            Expr::Star => {
+                for (i, c) in data.columns.iter().enumerate() {
+                    columns.push(c.clone());
+                    plans.push(ProjectItem::Passthrough(i));
+                }
+            }
+            Expr::Column(c) => {
+                columns.push(name.clone());
+                plans.push(ProjectItem::Passthrough(resolve_column(c, &data.columns)?));
+            }
+            other => {
+                columns.push(name.clone());
+                plans.push(ProjectItem::Compute(other.clone()));
+            }
+        }
+    }
+    let progs: Option<Vec<(usize, Program)>> = plans
+        .iter()
+        .enumerate()
+        .filter_map(|(i, p)| match p {
+            ProjectItem::Compute(e) => Some((i, e)),
+            ProjectItem::Passthrough(_) => None,
+        })
+        .map(|(i, e)| try_compile(e, &data.columns, None).map(|p| (i, p)))
+        .collect();
+    let Some(progs) = progs else {
+        return Ok(None);
+    };
+
+    let mut vm = Vm::new();
+    let mut rows = Vec::new();
+    for chunk in data.rows.chunks(BATCH) {
+        let mut sel = Vec::with_capacity(chunk.len());
+        vm.select(&pred_prog, chunk, &full_selection(chunk.len()), &mut sel)
+            .map_err(exec_err)?;
+        if sel.is_empty() {
+            continue;
+        }
+        let mut computed: Vec<Option<Vec<Value>>> = vec![None; plans.len()];
+        for (idx, prog) in &progs {
+            let mut col = Vec::with_capacity(sel.len());
+            vm.eval(prog, chunk, &sel, &mut col).map_err(exec_err)?;
+            computed[*idx] = Some(col);
+        }
+        for (j, &lane) in sel.iter().enumerate() {
+            let row = &chunk[lane as usize];
+            let mut values = Vec::with_capacity(plans.len());
+            for (i, p) in plans.iter().enumerate() {
+                values.push(match p {
+                    ProjectItem::Passthrough(c) => row.values[*c].clone(),
+                    ProjectItem::Compute(_) => std::mem::replace(
+                        &mut computed[i].as_mut().expect("computed column")[j],
+                        Value::Null,
+                    ),
+                });
+            }
+            rows.push(Row::new(values));
+        }
+    }
+    Ok(Some(Dataset::new(columns, rows)))
 }
 
 /// `st_DBSCAN(geom, minPts, radius)` — the N-M operation: clusters every
@@ -1088,6 +1278,23 @@ fn eval_aggregate(func: &str, arg: &Expr, members: &[usize], data: &Dataset) -> 
     })
 }
 
+/// Sort entry point: the key-normalized byte sort when compiled
+/// execution is enabled, the interpreted decorate-and-compare sort
+/// otherwise. Both apply the same total order ([`total_compare`] /
+/// [`encode_key`] agree by construction), so the toggle only changes
+/// speed, never row order.
+fn sort_dispatch(data: Dataset, keys: &[(Expr, bool)]) -> Result<(Dataset, Option<&'static str>)> {
+    if compiled_enabled() {
+        Ok((sort_normalized(data, keys)?, Some(COMPILED)))
+    } else {
+        Ok((sort(data, keys)?, Some(FALLBACK)))
+    }
+}
+
+/// The interpreted sort: decorate each row with its evaluated keys, then
+/// stable-sort with [`total_compare`] per key. The total order makes
+/// incomparable pairs (mixed types the coercing comparator would reject)
+/// order deterministically by cross-type rank instead of silently tying.
 fn sort(mut data: Dataset, keys: &[(Expr, bool)]) -> Result<Dataset> {
     // Precompute sort keys (eval can fail; do it before sorting).
     let mut decorated: Vec<(Vec<Value>, Row)> = Vec::with_capacity(data.rows.len());
@@ -1100,7 +1307,7 @@ fn sort(mut data: Dataset, keys: &[(Expr, bool)]) -> Result<Dataset> {
     }
     decorated.sort_by(|(ka, _), (kb, _)| {
         for (i, (_, asc)) in keys.iter().enumerate() {
-            let ord = functions::compare(&ka[i], &kb[i]).unwrap_or(std::cmp::Ordering::Equal);
+            let ord = total_compare(&ka[i], &kb[i]);
             let ord = if *asc { ord } else { ord.reverse() };
             if ord != std::cmp::Ordering::Equal {
                 return ord;
@@ -1112,18 +1319,401 @@ fn sort(mut data: Dataset, keys: &[(Expr, bool)]) -> Result<Dataset> {
     Ok(data)
 }
 
-fn join(left: Dataset, right: Dataset, on: &Expr) -> Result<Dataset> {
-    let mut columns = left.columns.clone();
-    columns.extend(right.columns.iter().cloned());
-    let mut rows = Vec::new();
-    for l in &left.rows {
-        for r in &right.rows {
-            let mut combined = l.values.clone();
-            combined.extend(r.values.iter().cloned());
-            if truthy(&eval(on, &combined, &columns)?) {
-                rows.push(Row::new(combined));
+/// The key-normalized sort: every row's keys encode once into one byte
+/// arena (descending keys bitwise-complemented), then a stable indirect
+/// sort compares plain byte slices — no `Value` dispatch, no coercion
+/// logic in the hot comparator.
+fn sort_normalized(mut data: Dataset, keys: &[(Expr, bool)]) -> Result<Dataset> {
+    let exprs: Vec<&Expr> = keys.iter().map(|(e, _)| e).collect();
+    let key_cols = key_columns(&data, &exprs)?;
+    let n = data.rows.len();
+    let mut arena: Vec<u8> = Vec::new();
+    let mut spans: Vec<(usize, usize)> = Vec::with_capacity(n);
+    for r in 0..n {
+        let start = arena.len();
+        for (i, (_, asc)) in keys.iter().enumerate() {
+            encode_key(key_cols[i].at(&data, r), !asc, &mut arena);
+        }
+        spans.push((start, arena.len()));
+    }
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    order.sort_by(|&a, &b| {
+        let (sa, ea) = spans[a as usize];
+        let (sb, eb) = spans[b as usize];
+        arena[sa..ea].cmp(&arena[sb..eb])
+    });
+    let mut rows_in = std::mem::take(&mut data.rows);
+    data.rows = order
+        .into_iter()
+        .map(|r| std::mem::replace(&mut rows_in[r as usize], Row::new(Vec::new())))
+        .collect();
+    Ok(data)
+}
+
+/// TOP-K: keep the k first rows of the sorted order without sorting the
+/// input, via a bounded max-heap of `(normalized key bytes, sequence)`.
+/// The monotone sequence number makes the heap *stable*: a new row whose
+/// key equals the current worst compares greater (its sequence is
+/// larger) and is rejected, so the kept set and its order are exactly
+/// `sort().truncate(k)` of the interpreted baseline — which is what the
+/// operator runs when compiled execution is disabled.
+fn topk(data: Dataset, keys: &[(Expr, bool)], k: usize) -> Result<(Dataset, Option<&'static str>)> {
+    if !compiled_enabled() {
+        let mut d = sort(data, keys)?;
+        d.rows.truncate(k);
+        return Ok((d, Some(FALLBACK)));
+    }
+    let obs = just_obs::global();
+    obs.counter("just_exec_topk_queries").inc();
+
+    // Keys are evaluated for every row even when k = 0 — the sort they
+    // replace would have, and errors must not depend on k.
+    let exprs: Vec<&Expr> = keys.iter().map(|(e, _)| e).collect();
+    let key_cols = key_columns(&data, &exprs)?;
+    let n = data.rows.len();
+    let mut heap: BinaryHeap<(Vec<u8>, usize)> = BinaryHeap::with_capacity(k.min(n) + 1);
+    let mut enc: Vec<u8> = Vec::new();
+    for r in 0..n {
+        enc.clear();
+        for (i, (_, asc)) in keys.iter().enumerate() {
+            encode_key(key_cols[i].at(&data, r), !asc, &mut enc);
+        }
+        if heap.len() < k {
+            heap.push((enc.clone(), r));
+        } else if let Some(worst) = heap.peek() {
+            if enc.as_slice() < worst.0.as_slice() {
+                heap.pop();
+                heap.push((enc.clone(), r));
             }
         }
     }
+    let mut rows_in = data.rows;
+    let picked = heap.into_sorted_vec();
+    let mut rows = Vec::with_capacity(picked.len());
+    for (_, r) in picked {
+        rows.push(std::mem::replace(&mut rows_in[r], Row::new(Vec::new())));
+    }
+    obs.counter("just_exec_topk_rows_pruned")
+        .add((n - rows.len()) as u64);
+    Ok((Dataset::new(data.columns, rows), Some(COMPILED)))
+}
+
+/// A sort/TOP-K key column: either a direct reference into the input
+/// rows (bare-column keys encode straight from the stored values — no
+/// clone, no VM) or a materialized column of computed key values.
+enum KeyCol {
+    Col(usize),
+    Owned(Vec<Value>),
+}
+
+impl KeyCol {
+    fn at<'a>(&'a self, data: &'a Dataset, r: usize) -> &'a Value {
+        match self {
+            KeyCol::Col(i) => &data.rows[r].values[*i],
+            KeyCol::Owned(vals) => &vals[r],
+        }
+    }
+}
+
+/// Resolves each key expression to a [`KeyCol`]: bare columns borrow,
+/// anything else evaluates through [`eval_key_columns`]. Resolution
+/// errors are exactly the interpreted `eval()` errors.
+fn key_columns(data: &Dataset, exprs: &[&Expr]) -> Result<Vec<KeyCol>> {
+    exprs
+        .iter()
+        .map(|e| match e {
+            Expr::Column(name) => Ok(KeyCol::Col(resolve_column(name, &data.columns)?)),
+            other => Ok(KeyCol::Owned(
+                eval_key_columns(data, &[other])?.pop().expect("one column"),
+            )),
+        })
+        .collect()
+}
+
+/// Evaluates one output column per expression over the whole dataset —
+/// compiled batch-at-a-time when the expression lowers to bytecode,
+/// interpreted row-at-a-time otherwise.
+fn eval_key_columns(data: &Dataset, exprs: &[&Expr]) -> Result<Vec<Vec<Value>>> {
+    let mut vm = Vm::new();
+    let mut cols = Vec::with_capacity(exprs.len());
+    for e in exprs {
+        let mut col: Vec<Value> = Vec::with_capacity(data.rows.len());
+        match try_compile(e, &data.columns, None) {
+            Some(prog) => {
+                for chunk in data.rows.chunks(BATCH) {
+                    vm.eval(&prog, chunk, &full_selection(chunk.len()), &mut col)
+                        .map_err(exec_err)?;
+                }
+            }
+            None => {
+                for row in &data.rows {
+                    col.push(eval(e, &row.values, &data.columns)?);
+                }
+            }
+        }
+        cols.push(col);
+    }
+    Ok(cols)
+}
+
+/// Nested-loop inner join for non-equi conditions (and the runtime
+/// fallback of [`hash_join`]). One scratch `combined` buffer is reused
+/// across pairs — the left row's values are cloned once per left row,
+/// each right row's values once per pair, and the buffer itself is only
+/// cloned out for pairs that pass the predicate.
+fn join(left: Dataset, right: Dataset, on: &Expr) -> Result<Dataset> {
+    let mut columns = left.columns.clone();
+    columns.extend(right.columns.iter().cloned());
+    let rows = nested_loop_join(&left, &right, on, &columns)?;
     Ok(Dataset::new(columns, rows))
+}
+
+fn nested_loop_join(
+    left: &Dataset,
+    right: &Dataset,
+    on: &Expr,
+    columns: &[String],
+) -> Result<Vec<Row>> {
+    just_obs::global().counter("just_exec_join_fallbacks").inc();
+    let left_width = left.columns.len();
+    let mut rows = Vec::new();
+    let mut combined: Vec<Value> = Vec::with_capacity(columns.len());
+    for l in &left.rows {
+        combined.clear();
+        combined.extend(l.values.iter().cloned());
+        for r in &right.rows {
+            combined.truncate(left_width);
+            combined.extend(r.values.iter().cloned());
+            if truthy(&eval(on, &combined, columns)?) {
+                rows.push(Row::new(combined.clone()));
+            }
+        }
+    }
+    Ok(rows)
+}
+
+/// Which input of a join an expression reads from, judged by where its
+/// columns resolve in the combined header.
+#[derive(Clone, Copy, PartialEq)]
+enum Side {
+    Left,
+    Right,
+}
+
+fn side_of(e: &Expr, columns: &[String], left_width: usize) -> Option<Side> {
+    let mut side = None;
+    for c in e.columns() {
+        let idx = resolve_column(&c, columns).ok()?;
+        let s = if idx < left_width {
+            Side::Left
+        } else {
+            Side::Right
+        };
+        match side {
+            None => side = Some(s),
+            Some(p) if p == s => {}
+            _ => return None,
+        }
+    }
+    side
+}
+
+/// Rebuilds the `on` conjunction a [`LogicalPlan::HashJoin`] was planned
+/// from, for the nested-loop fallback paths.
+fn reconstruct_on(keys: &[(Expr, Expr)], residual: &Option<Expr>) -> Expr {
+    let mut conjuncts: Vec<Expr> = keys
+        .iter()
+        .map(|(l, r)| Expr::Binary {
+            op: BinOp::Eq,
+            lhs: Box::new(l.clone()),
+            rhs: Box::new(r.clone()),
+        })
+        .collect();
+    conjuncts.extend(residual.clone());
+    conjuncts
+        .into_iter()
+        .reduce(|a, b| Expr::Binary {
+            op: BinOp::And,
+            lhs: Box::new(a),
+            rhs: Box::new(b),
+        })
+        .expect("join condition is non-empty")
+}
+
+fn combined_row(l: &Row, r: &Row) -> Row {
+    let mut v = Vec::with_capacity(l.values.len() + r.values.len());
+    v.extend(l.values.iter().cloned());
+    v.extend(r.values.iter().cloned());
+    Row::new(v)
+}
+
+/// Vectorized equi-join: evaluate each side's key expressions (compiled
+/// when possible), build a [`JoinHash`] over the smaller side's encoded
+/// key bytes, probe with the other side, and run the residual as one
+/// program over the matched combined rows.
+///
+/// Output order is exactly the nested loop's (left-major, right rows in
+/// input order), so the interpreted baseline is byte-identical:
+/// build-right probes the left rows in order; build-left accumulates
+/// per-left-row match lists before emitting.
+///
+/// Falls back to the nested loop — counted by `just_exec_join_fallbacks`
+/// and marked `fallback` — when a key straddles both inputs, when the
+/// runtime value classes aren't hashable (mixed classes, NaN,
+/// geometries, or a cross-side class mismatch where the interpreted
+/// comparator would coerce or error), or when compiled execution is
+/// disabled. Error caveat: key expressions evaluate column-at-a-time
+/// here, so *which* row's error surfaces first can differ from the
+/// pair-at-a-time interpreted loop; whether an error surfaces does not.
+fn hash_join(
+    left: Dataset,
+    right: Dataset,
+    keys: &[(Expr, Expr)],
+    residual: &Option<Expr>,
+) -> Result<(Dataset, Option<&'static str>)> {
+    let mut columns = left.columns.clone();
+    columns.extend(right.columns.iter().cloned());
+
+    if !compiled_enabled() {
+        let on = reconstruct_on(keys, residual);
+        let rows = nested_loop_join(&left, &right, &on, &columns)?;
+        return Ok((Dataset::new(columns, rows), Some(FALLBACK)));
+    }
+
+    // The nested loop never evaluates the condition when either side is
+    // empty (there are no pairs); match that before validating anything.
+    if left.rows.is_empty() || right.rows.is_empty() {
+        return Ok((Dataset::new(columns, Vec::new()), None));
+    }
+
+    // With at least one pair, the interpreted loop would resolve every
+    // column and function of the condition — surface the same errors.
+    for (l, r) in keys {
+        validate_columns(l, &columns)?;
+        validate_columns(r, &columns)?;
+    }
+    if let Some(r) = residual {
+        validate_columns(r, &columns)?;
+    }
+
+    // Assign each candidate pair's sides from the headers; pairs that
+    // straddle the inputs (or compare an input to itself) demote to the
+    // residual.
+    let left_width = left.columns.len();
+    let mut pairs: Vec<(&Expr, &Expr)> = Vec::new();
+    let mut extra: Vec<Expr> = Vec::new();
+    for (lhs, rhs) in keys {
+        match (
+            side_of(lhs, &columns, left_width),
+            side_of(rhs, &columns, left_width),
+        ) {
+            (Some(Side::Left), Some(Side::Right)) => pairs.push((lhs, rhs)),
+            (Some(Side::Right), Some(Side::Left)) => pairs.push((rhs, lhs)),
+            _ => extra.push(Expr::Binary {
+                op: BinOp::Eq,
+                lhs: Box::new(lhs.clone()),
+                rhs: Box::new(rhs.clone()),
+            }),
+        }
+    }
+    let residual = {
+        let mut parts = extra;
+        parts.extend(residual.clone());
+        parts.into_iter().reduce(|a, b| Expr::Binary {
+            op: BinOp::And,
+            lhs: Box::new(a),
+            rhs: Box::new(b),
+        })
+    };
+    if pairs.is_empty() {
+        // No usable equi key at runtime: every conjunct is in `residual`.
+        let on = residual.expect("join condition is non-empty");
+        let rows = nested_loop_join(&left, &right, &on, &columns)?;
+        return Ok((Dataset::new(columns, rows), Some(FALLBACK)));
+    }
+
+    // A key expression classified Left resolves identically against the
+    // left-only header (exact/suffix/bare precedence is unchanged when
+    // every match lives in the left range), so each side's keys compile
+    // and evaluate against its own input.
+    let left_exprs: Vec<&Expr> = pairs.iter().map(|&(l, _)| l).collect();
+    let right_exprs: Vec<&Expr> = pairs.iter().map(|&(_, r)| r).collect();
+    let left_keys = eval_key_columns(&left, &left_exprs)?;
+    let right_keys = eval_key_columns(&right, &right_exprs)?;
+
+    if !keys_hashable(&left_keys, &right_keys) {
+        let key_exprs: Vec<(Expr, Expr)> =
+            pairs.iter().map(|&(l, r)| (l.clone(), r.clone())).collect();
+        let on = reconstruct_on(&key_exprs, &residual);
+        let rows = nested_loop_join(&left, &right, &on, &columns)?;
+        return Ok((Dataset::new(columns, rows), Some(FALLBACK)));
+    }
+
+    let obs = just_obs::global();
+    let build_left = left.rows.len() <= right.rows.len();
+    let mut candidates: Vec<Row> = Vec::new();
+    if build_left {
+        let mut table = JoinHash::build(left.rows.len(), &left_keys);
+        obs.counter("just_exec_join_build_rows")
+            .add(table.rows_built());
+        obs.counter("just_exec_join_probe_rows")
+            .add(right.rows.len() as u64);
+        let mut matches: Vec<Vec<u32>> = vec![Vec::new(); left.rows.len()];
+        for r in 0..right.rows.len() {
+            if let Some(bucket) = table.probe(&right_keys, r) {
+                for &l in bucket {
+                    matches[l as usize].push(r as u32);
+                }
+            }
+        }
+        for (l, rs) in matches.iter().enumerate() {
+            for &r in rs {
+                candidates.push(combined_row(&left.rows[l], &right.rows[r as usize]));
+            }
+        }
+    } else {
+        let mut table = JoinHash::build(right.rows.len(), &right_keys);
+        obs.counter("just_exec_join_build_rows")
+            .add(table.rows_built());
+        obs.counter("just_exec_join_probe_rows")
+            .add(left.rows.len() as u64);
+        for l in 0..left.rows.len() {
+            if let Some(bucket) = table.probe(&left_keys, l) {
+                for &r in bucket {
+                    candidates.push(combined_row(&left.rows[l], &right.rows[r as usize]));
+                }
+            }
+        }
+    }
+
+    // Residual over matched pairs: one compiled program per batch, or
+    // the interpreted row loop.
+    let rows = match &residual {
+        None => candidates,
+        Some(pred) => {
+            if let Some(prog) = try_compile(pred, &columns, None) {
+                let mut vm = Vm::new();
+                let mut rows = Vec::with_capacity(candidates.len());
+                let mut chunk = candidates;
+                while !chunk.is_empty() {
+                    let rest = chunk.split_off(chunk.len().min(BATCH));
+                    let mut sel = Vec::with_capacity(chunk.len());
+                    vm.select(&prog, &chunk, &full_selection(chunk.len()), &mut sel)
+                        .map_err(exec_err)?;
+                    rows.extend(take_selected(chunk, &sel));
+                    chunk = rest;
+                }
+                rows
+            } else {
+                let mut rows = Vec::with_capacity(candidates.len());
+                for row in candidates {
+                    if truthy(&eval(pred, &row.values, &columns)?) {
+                        rows.push(row);
+                    }
+                }
+                rows
+            }
+        }
+    };
+    Ok((Dataset::new(columns, rows), Some(COMPILED)))
 }

@@ -34,6 +34,9 @@ pub fn optimize(plan: LogicalPlan) -> Result<LogicalPlan> {
     let plan = push_down_filters(plan)?;
     let plan = push_down_projections(plan);
     let plan = push_down_limits(plan);
+    let plan = fuse_topk(plan);
+    let plan = plan_hash_joins(plan);
+    let plan = fuse_filter_project(plan);
     Ok(plan)
 }
 
@@ -137,6 +140,40 @@ fn map_exprs(plan: LogicalPlan, f: &mut impl FnMut(Expr) -> Result<Expr>) -> Res
             right: Box::new(map_exprs(*right, f)?),
             on: f(on)?,
         },
+        LogicalPlan::HashJoin {
+            left,
+            right,
+            keys,
+            residual,
+        } => LogicalPlan::HashJoin {
+            left: Box::new(map_exprs(*left, f)?),
+            right: Box::new(map_exprs(*right, f)?),
+            keys: keys
+                .into_iter()
+                .map(|(l, r)| Ok((f(l)?, f(r)?)))
+                .collect::<Result<_>>()?,
+            residual: residual.map(&mut *f).transpose()?,
+        },
+        LogicalPlan::TopK { input, keys, k } => LogicalPlan::TopK {
+            input: Box::new(map_exprs(*input, f)?),
+            keys: keys
+                .into_iter()
+                .map(|(e, asc)| Ok((f(e)?, asc)))
+                .collect::<Result<_>>()?,
+            k,
+        },
+        LogicalPlan::FilterProject {
+            input,
+            predicate,
+            items,
+        } => LogicalPlan::FilterProject {
+            input: Box::new(map_exprs(*input, f)?),
+            predicate: f(predicate)?,
+            items: items
+                .into_iter()
+                .map(|(e, n)| Ok((f(e)?, n)))
+                .collect::<Result<_>>()?,
+        },
         leaf => leaf,
     })
 }
@@ -210,6 +247,31 @@ fn map_plan(plan: LogicalPlan, f: &mut impl FnMut(LogicalPlan) -> LogicalPlan) -
             left: Box::new(map_plan(*left, f)),
             right: Box::new(map_plan(*right, f)),
             on,
+        },
+        LogicalPlan::HashJoin {
+            left,
+            right,
+            keys,
+            residual,
+        } => LogicalPlan::HashJoin {
+            left: Box::new(map_plan(*left, f)),
+            right: Box::new(map_plan(*right, f)),
+            keys,
+            residual,
+        },
+        LogicalPlan::TopK { input, keys, k } => LogicalPlan::TopK {
+            input: Box::new(map_plan(*input, f)),
+            keys,
+            k,
+        },
+        LogicalPlan::FilterProject {
+            input,
+            predicate,
+            items,
+        } => LogicalPlan::FilterProject {
+            input: Box::new(map_plan(*input, f)),
+            predicate,
+            items,
         },
         leaf => leaf,
     };
@@ -596,6 +658,120 @@ fn sink_limit(plan: LogicalPlan, n: usize) -> LogicalPlan {
     }
 }
 
+// ----------------------------------------------------------------------
+// Rule 5: Sort+Limit → TopK
+// ----------------------------------------------------------------------
+
+/// Fuses a `Sort` reachable from a `LIMIT k` through row-count-preserving
+/// pure-column projections into a [`LogicalPlan::TopK`]: the executor
+/// keeps a bounded heap of k rows over normalized keys instead of fully
+/// sorting and then truncating. The `Limit` node is kept as the
+/// authoritative truncation, exactly like scan limit pushdown.
+fn fuse_topk(plan: LogicalPlan) -> LogicalPlan {
+    map_plan(plan, &mut |node| match node {
+        LogicalPlan::Limit { input, n } => LogicalPlan::Limit {
+            input: Box::new(sink_topk(*input, n)),
+            n,
+        },
+        other => other,
+    })
+}
+
+/// Replaces a `Sort` reachable from the limit with `TopK`, or returns
+/// the plan unchanged when there is none. Only pure-column projections
+/// are sunk through — the same condition as limit pushdown (the
+/// hidden-ORDER-BY-column shape puts exactly such a projection between
+/// Limit and Sort).
+fn sink_topk(plan: LogicalPlan, k: usize) -> LogicalPlan {
+    match plan {
+        LogicalPlan::Sort { input, keys } => LogicalPlan::TopK { input, keys, k },
+        LogicalPlan::Project { input, items }
+            if items.iter().all(|(e, name)| {
+                matches!(e, Expr::Column(c) if c == name) || matches!(e, Expr::Star)
+            }) =>
+        {
+            LogicalPlan::Project {
+                input: Box::new(sink_topk(*input, k)),
+                items,
+            }
+        }
+        other => other,
+    }
+}
+
+// ----------------------------------------------------------------------
+// Rule 6: equi-join planning
+// ----------------------------------------------------------------------
+
+/// Decomposes each `Join`'s `on` conjunction into candidate equi-key
+/// pairs (`lhs = rhs` where both sides reference columns) plus a
+/// residual, producing a [`LogicalPlan::HashJoin`]. Side assignment of
+/// the key expressions needs the input headers, so it happens in the
+/// executor; conjuncts that straddle both inputs (or whose runtime value
+/// classes aren't hashable) demote to the residual / nested-loop
+/// fallback there. A join with no equi candidate (cross join, pure
+/// inequality) keeps the nested loop.
+fn plan_hash_joins(plan: LogicalPlan) -> LogicalPlan {
+    map_plan(plan, &mut |node| match node {
+        LogicalPlan::Join { left, right, on } => {
+            let mut keys = Vec::new();
+            let mut rest = Vec::new();
+            for c in split_conjuncts(on) {
+                match c {
+                    Expr::Binary {
+                        op: BinOp::Eq,
+                        lhs,
+                        rhs,
+                    } if !lhs.columns().is_empty() && !rhs.columns().is_empty() => {
+                        keys.push((*lhs, *rhs));
+                    }
+                    other => rest.push(other),
+                }
+            }
+            if keys.is_empty() {
+                let on = merge_residual(None, rest).expect("join condition is non-empty");
+                LogicalPlan::Join { left, right, on }
+            } else {
+                LogicalPlan::HashJoin {
+                    left,
+                    right,
+                    keys,
+                    residual: merge_residual(None, rest),
+                }
+            }
+        }
+        other => other,
+    })
+}
+
+// ----------------------------------------------------------------------
+// Rule 7: Filter→Project fusion
+// ----------------------------------------------------------------------
+
+/// Fuses a `Project` directly above a `Filter` into one
+/// [`LogicalPlan::FilterProject`] operator, so each batch is filtered
+/// and projected in a single pass (one compiled-program spine segment)
+/// without materializing the intermediate relation. Filters that pushed
+/// into scans are already gone by this point; the survivors sit above
+/// aggregates and joins — exactly the spots where an extra
+/// materialization hurts.
+fn fuse_filter_project(plan: LogicalPlan) -> LogicalPlan {
+    map_plan(plan, &mut |node| match node {
+        LogicalPlan::Project { input, items } => match *input {
+            LogicalPlan::Filter { input, predicate } => LogicalPlan::FilterProject {
+                input,
+                predicate,
+                items,
+            },
+            other => LogicalPlan::Project {
+                input: Box::new(other),
+                items,
+            },
+        },
+        other => other,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -704,6 +880,60 @@ mod tests {
         let rendered = plan.render();
         assert!(!rendered.contains("Filter"), "{rendered}");
         assert!(rendered.contains("Limit [0]"), "{rendered}");
+    }
+
+    #[test]
+    fn sort_limit_fuses_to_topk() {
+        // The hidden-ORDER-BY-column shape: `time` isn't projected, so a
+        // pure-column projection sits between Limit and Sort — TopK must
+        // fuse through it. The Limit node stays as the authoritative
+        // truncation.
+        let plan = optimized("SELECT fid FROM t ORDER BY time LIMIT 5");
+        let rendered = plan.render();
+        assert!(rendered.contains("topk [k=5, 1 keys]"), "{rendered}");
+        assert!(rendered.contains("Limit [5]"), "{rendered}");
+        assert!(!rendered.contains("Sort"), "{rendered}");
+    }
+
+    #[test]
+    fn sort_without_limit_stays_a_full_sort() {
+        let plan = optimized("SELECT fid FROM t ORDER BY time");
+        let rendered = plan.render();
+        assert!(rendered.contains("Sort"), "{rendered}");
+        assert!(!rendered.contains("topk"), "{rendered}");
+    }
+
+    #[test]
+    fn equi_join_plans_hash_join() {
+        let plan = optimized("SELECT a.x, b.y FROM ta a JOIN tb b ON a.k = b.k");
+        let rendered = plan.render();
+        assert!(rendered.contains("hash_join [1 keys]"), "{rendered}");
+        assert!(!rendered.contains("Join ["), "{rendered}");
+
+        // Mixed condition: the equi conjunct becomes the key, the
+        // inequality the residual.
+        let plan = optimized("SELECT a.x, b.y FROM ta a JOIN tb b ON a.k = b.k AND a.x < b.y");
+        let rendered = plan.render();
+        assert!(
+            rendered.contains("hash_join [1 keys] +residual"),
+            "{rendered}"
+        );
+    }
+
+    #[test]
+    fn non_equi_join_keeps_nested_loop() {
+        let plan = optimized("SELECT a.x, b.y FROM ta a JOIN tb b ON a.x < b.y");
+        let rendered = plan.render();
+        assert!(rendered.contains("Join ["), "{rendered}");
+        assert!(!rendered.contains("hash_join"), "{rendered}");
+    }
+
+    #[test]
+    fn filter_above_join_fuses_with_projection() {
+        let plan = optimized("SELECT a.x, b.y FROM ta a JOIN tb b ON a.k = b.k WHERE a.x > b.y");
+        let rendered = plan.render();
+        assert!(rendered.contains("FilterProject"), "{rendered}");
+        assert!(rendered.contains("hash_join"), "{rendered}");
     }
 
     #[test]

@@ -77,7 +77,9 @@ pub enum LogicalPlan {
         /// Maximum rows.
         n: usize,
     },
-    /// Inner hash/loop join.
+    /// Inner nested-loop join (non-equi `on`, or the runtime fallback
+    /// target when a [`LogicalPlan::HashJoin`]'s keys turn out not to be
+    /// hashable).
     Join {
         /// Left input.
         left: Box<LogicalPlan>,
@@ -85,6 +87,47 @@ pub enum LogicalPlan {
         right: Box<LogicalPlan>,
         /// Join condition.
         on: Expr,
+    },
+    /// Inner equi-join planned by the optimizer from a `Join` whose `on`
+    /// conjunction contains `lhs = rhs` pairs. The executor compiles
+    /// both sides' key expressions, builds a hash table over encoded key
+    /// bytes from the smaller input and probes with the other; `keys`
+    /// whose columns can't be split across the inputs (or whose runtime
+    /// value classes aren't hashable) demote to the residual /
+    /// nested-loop fallback at execution time.
+    HashJoin {
+        /// Left input.
+        left: Box<LogicalPlan>,
+        /// Right input.
+        right: Box<LogicalPlan>,
+        /// Candidate equi-key conjuncts as `(lhs, rhs)` of `lhs = rhs`;
+        /// sides are assigned against the actual headers at runtime.
+        keys: Vec<(Expr, Expr)>,
+        /// Remaining `on` conjuncts, evaluated over matched pairs.
+        residual: Option<Expr>,
+    },
+    /// Fused `Sort` + `Limit`: keep only the k smallest rows under the
+    /// sort order, via a bounded heap over normalized keys. The
+    /// enclosing `Limit` node is kept as the authoritative truncation
+    /// (mirroring the scan limit pushdown).
+    TopK {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+        /// Sort keys with ascending flags.
+        keys: Vec<(Expr, bool)>,
+        /// Rows to keep.
+        k: usize,
+    },
+    /// Fused `Filter` → `Project` segment: one pass over each batch
+    /// filters and projects without materializing the intermediate
+    /// relation between the two operators.
+    FilterProject {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+        /// Predicate (applied first).
+        predicate: Expr,
+        /// Projection items over surviving rows.
+        items: Vec<(Expr, String)>,
     },
     /// k-NN query (Algorithm 1), recognised from
     /// `WHERE geom IN st_KNN(point, k)`.
@@ -397,6 +440,22 @@ impl LogicalPlan {
             LogicalPlan::Sort { keys, .. } => format!("Sort [{} keys]", keys.len()),
             LogicalPlan::Limit { n, .. } => format!("Limit [{n}]"),
             LogicalPlan::Join { on, .. } => format!("Join [{on:?}]"),
+            LogicalPlan::HashJoin { keys, residual, .. } => {
+                let mut s = format!("hash_join [{} keys]", keys.len());
+                if residual.is_some() {
+                    s.push_str(" +residual");
+                }
+                s
+            }
+            LogicalPlan::TopK { keys, k, .. } => {
+                format!("topk [k={k}, {} keys]", keys.len())
+            }
+            LogicalPlan::FilterProject {
+                predicate, items, ..
+            } => {
+                let names: Vec<&str> = items.iter().map(|(_, n)| n.as_str()).collect();
+                format!("FilterProject [{predicate:?}] {names:?}")
+            }
             LogicalPlan::Knn { table, lng, lat, k } => {
                 format!("Knn [{table}] q=({lng},{lat}) k={k}")
             }
@@ -413,8 +472,12 @@ impl LogicalPlan {
             | LogicalPlan::Project { input, .. }
             | LogicalPlan::Aggregate { input, .. }
             | LogicalPlan::Sort { input, .. }
+            | LogicalPlan::TopK { input, .. }
+            | LogicalPlan::FilterProject { input, .. }
             | LogicalPlan::Limit { input, .. } => vec![input],
-            LogicalPlan::Join { left, right, .. } => vec![left, right],
+            LogicalPlan::Join { left, right, .. } | LogicalPlan::HashJoin { left, right, .. } => {
+                vec![left, right]
+            }
         }
     }
 }

@@ -466,3 +466,51 @@ fn explain_lists_compiled_programs() {
 
     std::fs::remove_dir_all(dir).ok();
 }
+
+#[test]
+fn explain_analyze_shows_join_and_topk_operators() {
+    let (mut c, dir) = client("explain-join");
+    c.execute("CREATE TABLE ja (k integer:primary key, x integer)")
+        .unwrap();
+    c.execute("CREATE TABLE jb (k integer:primary key, y integer)")
+        .unwrap();
+    c.execute("INSERT INTO ja VALUES (1, 10), (2, 20), (3, 30)")
+        .unwrap();
+    c.execute("INSERT INTO jb VALUES (2, 7), (3, 8), (4, 9)")
+        .unwrap();
+    let text = |r: just_ql::QueryResult| {
+        r.into_dataset()
+            .unwrap()
+            .rows
+            .into_iter()
+            .map(|row| row.values[0].as_str().unwrap().to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+
+    // Equi join + ORDER BY + LIMIT: the trace shows the hash join with
+    // its build/probe row counts and the fused TOP-K with prune stats.
+    let plan = text(
+        c.execute(
+            "EXPLAIN ANALYZE SELECT l.x, r.y FROM ja l JOIN jb r ON l.k = r.k \
+             ORDER BY x DESC LIMIT 2",
+        )
+        .unwrap(),
+    );
+    assert!(plan.contains("hash_join"), "{plan}");
+    assert!(plan.contains("build_rows="), "{plan}");
+    assert!(plan.contains("probe_rows="), "{plan}");
+    assert!(plan.contains("topk"), "{plan}");
+    assert!(plan.contains("rows_pruned="), "{plan}");
+    assert!(!plan.contains("nested_loop"), "{plan}");
+
+    // Non-equi conditions keep the nested-loop join operator.
+    let plan = text(
+        c.execute("EXPLAIN ANALYZE SELECT l.x, r.y FROM ja l JOIN jb r ON l.k < r.k")
+            .unwrap(),
+    );
+    assert!(plan.contains("Join ["), "{plan}");
+    assert!(!plan.contains("hash_join"), "{plan}");
+
+    std::fs::remove_dir_all(dir).ok();
+}
