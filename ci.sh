@@ -175,6 +175,80 @@ wait "$JUSTD_PID"
 JUSTD_PID=""
 echo "concurrent ingest OK: $(wc -l <"$ING_LOG/want") acked rows from 8 writers all survived"
 
+echo "==> region-lifecycle smoke (SPLIT REGION mid-scan, kill -9 map replay)"
+# Eight writers load a table, then a deliberately slow scan (sleep_ms
+# runs per row) is split out from under: SPLIT REGION must land while
+# the scan is mid-stream, the scan must still return every row (it pins
+# the pre-split region), SHOW REGIONS must list both daughters, and a
+# kill -9 restart must replay the WAL into the *same* region map.
+REG_DATA="$SMOKE_DIR/region-data"
+start_justd "$REG_DATA" "$SMOKE_DIR/region-port" --wal-sync per-write --mem-shards 8
+cli query "CREATE TABLE regpts (fid integer:primary key, geom point)"
+REG_PIDS=()
+for w in $(seq 0 7); do
+    (
+        for i in $(seq 1 150); do
+            fid=$((w * 100000 + i))
+            cli query "INSERT INTO regpts VALUES ($fid, st_makePoint(116.4, 39.9))" \
+                >/dev/null
+        done
+    ) &
+    REG_PIDS+=("$!")
+done
+for rp in "${REG_PIDS[@]}"; do wait "$rp"; done
+REG_ROWS=1200
+REG_BEFORE=$(cli query "SHOW REGIONS" | grep -c "regpts | data")
+# The mid-scan victim: ~2ms/row keeps it streaming for ~2.4s.
+REG_SCAN_OUT="$SMOKE_DIR/region-scan.out"
+./target/release/just-cli --addr "$ADDR" --user smoke --max-rows 100000 \
+    query "SELECT fid FROM regpts WHERE sleep_ms(2) >= 0" >"$REG_SCAN_OUT" &
+REG_SCAN_PID=$!
+sleep 0.4
+cli query "SPLIT REGION regpts 0" | grep -q "split at key" \
+    || { echo "SPLIT REGION did not split"; exit 1; }
+DAUGHTERS=$(cli query "SHOW REGIONS" | grep -c "regpts | data") || true
+if [ "$DAUGHTERS" -ne $((REG_BEFORE + 1)) ]; then
+    echo "SHOW REGIONS lists $DAUGHTERS regpts data regions after the split," \
+        "want $((REG_BEFORE + 1))"
+    exit 1
+fi
+wait "$REG_SCAN_PID" || { echo "scan spanning the split failed"; exit 1; }
+GOT=$(grep -c '^[0-9][0-9]*$' "$REG_SCAN_OUT")
+if [ "$GOT" -ne "$REG_ROWS" ]; then
+    echo "scan spanning the split returned $GOT/$REG_ROWS rows"
+    exit 1
+fi
+# Post-split acknowledged writes must land in the daughters' WALs.
+for i in $(seq 1 8); do
+    cli query "INSERT INTO regpts VALUES ($((900000 + i)), st_makePoint(116.4, 39.9))"
+done
+# region index + start_key identify the map; counters churn, so compare
+# only those columns across the restart.
+cli query "SHOW REGIONS" | grep "regpts | data" \
+    | awk -F'|' '{print $3 $4}' >"$SMOKE_DIR/region-map-want"
+kill -9 "$JUSTD_PID"
+wait "$JUSTD_PID" 2>/dev/null || true
+JUSTD_PID=""
+start_justd "$REG_DATA" "$SMOKE_DIR/region-port" --wal-sync per-write --mem-shards 8
+# The SELECT must come first: it opens the table's kv stores (they are
+# opened lazily), which is what replays the WALs into the daughters.
+GOT=$(./target/release/just-cli --addr "$ADDR" --user smoke --max-rows 100000 \
+    query "SELECT fid FROM regpts" | grep -c '^[0-9][0-9]*$')
+if [ "$GOT" -ne $((REG_ROWS + 8)) ]; then
+    echo "daughters lost rows across kill -9: $GOT/$((REG_ROWS + 8)) survive"
+    exit 1
+fi
+cli query "SHOW REGIONS" | grep "regpts | data" \
+    | awk -F'|' '{print $3 $4}' >"$SMOKE_DIR/region-map-got"
+diff "$SMOKE_DIR/region-map-want" "$SMOKE_DIR/region-map-got" || {
+    echo "kill -9 restart replayed a different region map"
+    exit 1
+}
+./target/release/just-cli --addr "$ADDR" shutdown
+wait "$JUSTD_PID"
+JUSTD_PID=""
+echo "region lifecycle OK: split landed mid-scan, map and rows survived kill -9"
+
 echo "==> read-path smoke bench (bloom + compression guards)"
 # The figures binary exits nonzero when a functional guard fails; also
 # require the bloom guard line explicitly so a silent zero-skip run
@@ -265,6 +339,14 @@ ING_BENCH_OUT="$SMOKE_DIR/ingest_concurrency.txt"
     | tee "$ING_BENCH_OUT"
 grep -q "scaling guard: PASS" "$ING_BENCH_OUT"
 grep -q "p99 guard: PASS" "$ING_BENCH_OUT"
+
+echo "==> MVCC/split smoke bench (snapshot parity + split p99 + replay guards)"
+MVCC_BENCH_OUT="$SMOKE_DIR/mvcc_split.txt"
+./target/release/figures mvcc_split --scale 0.1 --json "$SMOKE_DIR/bench" \
+    | tee "$MVCC_BENCH_OUT"
+grep -q "parity guard: PASS" "$MVCC_BENCH_OUT"
+grep -q "split guard: PASS" "$MVCC_BENCH_OUT"
+grep -q "replay guard: PASS" "$MVCC_BENCH_OUT"
 
 echo "==> hash-join/TOP-K smoke bench (>=3x join, >=5x topk + parity guards)"
 JOIN_BENCH_OUT="$SMOKE_DIR/join_sort.txt"

@@ -62,6 +62,7 @@ fn main() {
             "exec_compile".into(),
             "join_sort".into(),
             "ingest_concurrency".into(),
+            "mvcc_split".into(),
         ];
     }
     let cfg = BenchConfig::default().scaled(scale);
@@ -118,6 +119,11 @@ fn main() {
                     failed = true;
                 }
             }
+            "mvcc_split" => {
+                if !figures::mvcc_split::run(&cfg, &mut out, &mut report) {
+                    failed = true;
+                }
+            }
             other => usage(&format!("unknown figure '{other}'")),
         }
         if let Some(dir) = &json_dir {
@@ -138,7 +144,8 @@ fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
         "usage: figures [all|table1|table2|fig8|fig10|fig11|fig12|fig13|fig14|serve|durability|\
-         read_path|scan_stream|obs_overhead|exec_compile|join_sort|ingest_concurrency]... \
+         read_path|scan_stream|obs_overhead|exec_compile|join_sort|ingest_concurrency|\
+         mvcc_split]... \
          [--scale X] [--json DIR]"
     );
     std::process::exit(2);

@@ -12,6 +12,7 @@ pub mod fig14;
 pub mod fig8;
 pub mod ingest_concurrency;
 pub mod join_sort;
+pub mod mvcc_split;
 pub mod obs_overhead;
 pub mod read_path;
 pub mod scan_stream;

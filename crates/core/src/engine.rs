@@ -177,6 +177,32 @@ impl Engine {
         just_obs::events::global()
     }
 
+    /// `SPLIT REGION`: online split of region `region` of `name`'s row
+    /// store (the `__data` kv table). Returns the split key, or `None`
+    /// when the region is too small to split. Writes and scans keep
+    /// flowing throughout; see `just_kvstore::Table::split_region`.
+    pub fn split_region(&self, name: &str, region: usize) -> Result<Option<Vec<u8>>> {
+        self.table(name)?; // ensure the kv tables are open
+        let data = format!("{name}__data");
+        let t = self
+            .store
+            .get_table(&data)
+            .ok_or_else(|| CoreError::Catalog(format!("no such table '{name}'")))?;
+        Ok(t.split_region(region)?)
+    }
+
+    /// `MERGE REGIONS`: merges regions `first` and `first + 1` of
+    /// `name`'s row store back into one.
+    pub fn merge_regions(&self, name: &str, first: usize) -> Result<()> {
+        self.table(name)?;
+        let data = format!("{name}__data");
+        let t = self
+            .store
+            .get_table(&data)
+            .ok_or_else(|| CoreError::Catalog(format!("no such table '{name}'")))?;
+        Ok(t.merge_regions(first)?)
+    }
+
     // ------------------------------------------------------------------
     // Definition operations (Section V-A)
     // ------------------------------------------------------------------

@@ -168,6 +168,19 @@ impl Session {
             .collect()
     }
 
+    /// `SPLIT REGION <table> <region>`: online split of one region of
+    /// this user's table (row store). Returns the chosen split key, or
+    /// `None` when the region is too small.
+    pub fn split_region(&self, table: &str, region: usize) -> Result<Option<Vec<u8>>> {
+        self.engine.split_region(&self.physical(table), region)
+    }
+
+    /// `MERGE REGIONS <table> <first> <second>`: merges two adjacent
+    /// regions of this user's table back into one.
+    pub fn merge_regions(&self, table: &str, first: usize) -> Result<()> {
+        self.engine.merge_regions(&self.physical(table), first)
+    }
+
     /// `INSERT`.
     pub fn insert(&self, table: &str, rows: &[Row]) -> Result<usize> {
         self.engine.insert(&self.physical(table), rows)

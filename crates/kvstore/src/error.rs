@@ -22,6 +22,11 @@ pub enum KvError {
     /// A backpressure-stalled writer gave up waiting for background
     /// flushes (store shutdown, or the stall deadline elapsed).
     Stalled(String),
+    /// The write targeted a region that was sealed for an online split
+    /// or merge. Routing through [`crate::Table`] retries against the
+    /// freshly-swapped region map; direct [`crate::Region`] users should
+    /// re-resolve their region handle and retry.
+    RegionSealed,
 }
 
 impl fmt::Display for KvError {
@@ -38,6 +43,9 @@ impl fmt::Display for KvError {
                 )
             }
             KvError::Stalled(why) => write!(f, "write stalled: {why}"),
+            KvError::RegionSealed => {
+                write!(f, "region sealed for split/merge; re-route and retry")
+            }
         }
     }
 }

@@ -24,6 +24,19 @@
 //! (a `LIMIT`, an `EXISTS` probe, a cancelled request via [`CancelToken`])
 //! also stops the disk IO. See [`MergeStream`] for the merge machinery.
 //!
+//! Two region-server behaviours ride on top of the partitioning:
+//!
+//! - **MVCC snapshot reads** — every committed write carries a
+//!   per-region commit sequence; [`Region::snapshot`] /
+//!   [`Table::snapshot`] pin a read sequence and serve a consistent cut
+//!   without blocking writers, flushes or compactions (see
+//!   [`Snapshot`] and [`TableSnapshot`]).
+//! - **Online region split/merge** — [`Table::split_region`] /
+//!   [`Table::merge_regions`] rewrite the region map at runtime
+//!   (HBase's auto-split + balancer, driven here by the maintenance
+//!   scheduler via [`MaintenanceOptions::split_bytes`]); the map is
+//!   persisted in a per-table `REGIONS` manifest.
+//!
 //! ```
 //! use just_kvstore::{Store, StoreOptions};
 //! let dir = std::env::temp_dir().join(format!("kv-doc-{}", std::process::id()));
@@ -60,13 +73,13 @@ pub use cache::BlockCache;
 pub use error::KvError;
 pub use ingest::IngestOptions;
 pub use maintenance::MaintenanceOptions;
-pub use memtable::MemTable;
+pub use memtable::{MemTable, LATEST};
 pub use metrics::{IoMetrics, IoSnapshot};
-pub use region::{Region, RegionTraffic, RegionTrafficSnapshot};
+pub use region::{Region, RegionTraffic, RegionTrafficSnapshot, Snapshot};
 pub use scan::{CancelToken, MergeStream, ScanOptions, ScanSource, ScanStream};
 pub use sstable::{SsTable, SsTableBuilder, SstOptions};
 pub use store::{Store, StoreOptions};
-pub use table::{RegionStats, Table};
+pub use table::{RegionStats, Table, TableSnapshot};
 pub use wal::{
     DurabilityOptions, FaultyWalFile, FaultyWalState, SeqWalRecord, SyncPolicy, WalFile, WalRecord,
 };

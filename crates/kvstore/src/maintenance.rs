@@ -11,7 +11,7 @@
 //! exit; the store then force-syncs every WAL so a clean exit is durable
 //! under every sync policy.
 
-use crate::region::Region;
+use crate::table::Table;
 use just_obs::sync::{Condvar, Mutex};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Weak};
@@ -41,6 +41,14 @@ pub struct MaintenanceOptions {
     /// giving up with [`crate::KvError::Stalled`] — the escape hatch
     /// when flushes fail persistently (e.g. a full disk).
     pub stall_deadline: Duration,
+    /// Auto-split a region once its footprint (disk + memtable)
+    /// crosses this many bytes; 0 disables maintenance-driven splits.
+    /// The analogue of HBase's region split policy, driven by the same
+    /// sweep that flushes and compacts.
+    pub split_bytes: usize,
+    /// Cap on regions per table for auto-splits (manual `SPLIT REGION`
+    /// is only bounded by the hard 256-region limit).
+    pub max_regions: usize,
 }
 
 impl Default for MaintenanceOptions {
@@ -52,6 +60,8 @@ impl Default for MaintenanceOptions {
             compact_trigger: 8,
             stall_bytes: 32 << 20,
             stall_deadline: Duration::from_secs(30),
+            split_bytes: 256 << 20,
+            max_regions: 64,
         }
     }
 }
@@ -89,7 +99,10 @@ impl Kick {
 }
 
 struct Shared {
-    regions: Mutex<Vec<Weak<Region>>>,
+    /// Tables, not regions: each sweep re-reads every table's live
+    /// region map, so daughters minted by online splits are picked up
+    /// without any registration step.
+    tables: Mutex<Vec<Weak<Table>>>,
     kick: Arc<Kick>,
     /// Shared with stalled writers (via [`crate::region::RegionOptions`])
     /// so backpressure aborts instead of spinning once shutdown begins.
@@ -107,7 +120,7 @@ pub(crate) struct Scheduler {
 impl std::fmt::Debug for Scheduler {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Scheduler")
-            .field("regions", &self.shared.regions.lock().len())
+            .field("tables", &self.shared.tables.lock().len())
             .finish()
     }
 }
@@ -116,7 +129,7 @@ impl Scheduler {
     /// Spawns the worker pool.
     pub(crate) fn start(opts: MaintenanceOptions) -> Scheduler {
         let shared = Arc::new(Shared {
-            regions: Mutex::new(Vec::new()),
+            tables: Mutex::new(Vec::new()),
             kick: Arc::new(Kick::default()),
             stop: Arc::new(AtomicBool::new(false)),
             errors: just_obs::global().counter("just_kvstore_maintenance_errors"),
@@ -150,11 +163,11 @@ impl Scheduler {
         self.shared.stop.clone()
     }
 
-    /// Adds regions to the sweep set (dead entries are pruned lazily).
-    pub(crate) fn register(&self, regions: &[Arc<Region>]) {
-        let mut list = self.shared.regions.lock();
+    /// Adds a table to the sweep set (dead entries are pruned lazily).
+    pub(crate) fn register(&self, table: &Arc<Table>) {
+        let mut list = self.shared.tables.lock();
         list.retain(|w| w.strong_count() > 0);
-        list.extend(regions.iter().map(Arc::downgrade));
+        list.push(Arc::downgrade(table));
     }
 
     /// Stops the pool and drains in-flight maintenance: each worker
@@ -188,21 +201,28 @@ fn worker_loop(shared: &Shared, worker: usize, workers: usize) {
         if !stopping {
             shared.kick.wait(&mut seen_kick, shared.opts.tick);
         }
-        let regions: Vec<Arc<Region>> = {
-            let mut list = shared.regions.lock();
+        let tables: Vec<Arc<Table>> = {
+            let mut list = shared.tables.lock();
             list.retain(|w| w.strong_count() > 0);
             list.iter().filter_map(Weak::upgrade).collect()
         };
-        for (i, region) in regions.iter().enumerate() {
-            if i % workers != worker {
-                continue;
-            }
-            if let Err(e) = region.maintain(shared.opts.compact_trigger) {
+        for table in &tables {
+            if let Err(e) = table.maintain_partition(shared.opts.compact_trigger, worker, workers) {
                 shared.errors.inc();
                 // A region whose table was dropped mid-sweep errors on
                 // its vanished directory; anything else is still not
                 // worth killing the worker over — surface via counter.
                 let _ = e;
+            }
+            // One worker doubles as the split balancer so lifecycle
+            // operations never race each other from within the pool.
+            if worker == 0
+                && !stopping
+                && table
+                    .maybe_split(shared.opts.split_bytes, shared.opts.max_regions)
+                    .is_err()
+            {
+                shared.errors.inc();
             }
         }
         if stopping {

@@ -1,14 +1,46 @@
-//! The in-memory write buffer of a region.
+//! The in-memory write buffer of a region, with per-key MVCC version
+//! chains.
+//!
+//! Every mutation carries the region-wide commit sequence allocated by
+//! [`crate::Region`] under the owning shard's lock, so a key's chain is
+//! naturally ordered oldest → newest. Readers pass a snapshot sequence
+//! and see the newest version *older than* it ([`LATEST`] reads the
+//! newest version outright). Chains are kept until the whole memtable
+//! generation is flushed; a flushed generation is then retained as a
+//! "held generation" by the region for as long as the low-watermark of
+//! open snapshots still needs any of its versions (see
+//! `Region::snapshot`).
 
 use std::collections::BTreeMap;
 use std::ops::Bound;
 
-/// A sorted in-memory map of the region's most recent writes. `None`
-/// values are tombstones shadowing older on-disk data.
+/// Snapshot sequence that sees every committed version (a plain,
+/// non-snapshot read).
+pub const LATEST: u64 = u64::MAX;
+
+/// One committed version of a key: `(commit sequence, value)`; `None`
+/// is a tombstone shadowing older data.
+type Version = (u64, Option<Vec<u8>>);
+
+/// Returns the newest version in `chain` visible at `snap` (i.e. with
+/// `seq < snap`), or `None` when the key did not exist yet at that
+/// snapshot and older layers must be consulted.
+fn visible(chain: &[Version], snap: u64) -> Option<Option<&[u8]>> {
+    chain
+        .iter()
+        .rev()
+        .find(|(seq, _)| *seq < snap)
+        .map(|(_, v)| v.as_deref())
+}
+
+/// A sorted in-memory map of the region's most recent writes. Each key
+/// holds its committed version chain, oldest first; `None` values are
+/// tombstones shadowing older on-disk data.
 #[derive(Debug, Default)]
 pub struct MemTable {
-    map: BTreeMap<Vec<u8>, Option<Vec<u8>>>,
+    map: BTreeMap<Vec<u8>, Vec<Version>>,
     approx_bytes: usize,
+    seq_ub: u64,
 }
 
 impl MemTable {
@@ -17,43 +49,54 @@ impl MemTable {
         Self::default()
     }
 
-    /// Inserts or overwrites a key.
-    pub fn put(&mut self, key: Vec<u8>, value: Vec<u8>) {
-        self.approx_bytes += key.len() + value.len() + 32;
-        if let Some(Some(old)) = self.map.insert(key, Some(value)) {
-            self.approx_bytes = self.approx_bytes.saturating_sub(old.len() + 32);
-        }
+    /// Inserts or overwrites a key at commit sequence `seq`.
+    pub fn put(&mut self, key: Vec<u8>, seq: u64, value: Vec<u8>) {
+        self.insert(key, seq, Some(value));
     }
 
-    /// Records a delete (tombstone).
-    pub fn delete(&mut self, key: Vec<u8>) {
-        self.approx_bytes += key.len() + 32;
-        self.map.insert(key, None);
+    /// Records a delete (tombstone) at commit sequence `seq`.
+    pub fn delete(&mut self, key: Vec<u8>, seq: u64) {
+        self.insert(key, seq, None);
     }
 
-    /// Looks a key up. `Some(None)` means "deleted here"; `None` means
-    /// "not present, consult older data".
-    pub fn get(&self, key: &[u8]) -> Option<Option<&[u8]>> {
-        self.map.get(key).map(|v| v.as_deref())
+    fn insert(&mut self, key: Vec<u8>, seq: u64, value: Option<Vec<u8>>) {
+        self.approx_bytes += key.len() + value.as_ref().map_or(0, |v| v.len()) + 32;
+        self.seq_ub = self.seq_ub.max(seq.saturating_add(1));
+        self.map.entry(key).or_default().push((seq, value));
     }
 
-    /// Entries with `start <= key <= end`, in order, tombstones included.
+    /// Looks a key up at snapshot `snap` ([`LATEST`] for a plain read).
+    /// `Some(None)` means "deleted here"; `None` means "not present at
+    /// this snapshot, consult older data".
+    pub fn get(&self, key: &[u8], snap: u64) -> Option<Option<&[u8]>> {
+        self.map.get(key).and_then(|chain| visible(chain, snap))
+    }
+
+    /// Entries with `start <= key <= end` visible at `snap`, in order,
+    /// tombstones included. Keys whose every version is newer than the
+    /// snapshot are skipped entirely.
     pub fn scan<'a>(
         &'a self,
         start: &[u8],
         end: &[u8],
+        snap: u64,
     ) -> impl Iterator<Item = (&'a [u8], Option<&'a [u8]>)> + 'a {
         self.map
             .range::<[u8], _>((Bound::Included(start), Bound::Included(end)))
-            .map(|(k, v)| (k.as_slice(), v.as_deref()))
+            .filter_map(move |(k, chain)| visible(chain, snap).map(|v| (k.as_slice(), v)))
     }
 
-    /// All entries in order (for flushing).
+    /// The newest version of every key, in order (for flushing: an
+    /// SSTable stores only the newest version; older versions keep
+    /// serving snapshot readers from the held generation).
     pub fn iter(&self) -> impl Iterator<Item = (&[u8], Option<&[u8]>)> + '_ {
-        self.map.iter().map(|(k, v)| (k.as_slice(), v.as_deref()))
+        self.map
+            .iter()
+            .filter_map(|(k, chain)| chain.last().map(|(_, v)| (k.as_slice(), v.as_deref())))
     }
 
-    /// Number of entries (tombstones included).
+    /// Number of keys (tombstones included; versions of one key count
+    /// once).
     pub fn len(&self) -> usize {
         self.map.len()
     }
@@ -63,9 +106,17 @@ impl MemTable {
         self.map.is_empty()
     }
 
-    /// Rough heap footprint, used against the flush threshold.
+    /// Rough heap footprint (all retained versions), used against the
+    /// flush threshold.
     pub fn approx_bytes(&self) -> usize {
         self.approx_bytes
+    }
+
+    /// One past the highest commit sequence buffered here (0 when no
+    /// sequenced write was ever inserted). This becomes the flushed
+    /// SSTable's `seq_limit` and gates held-generation release.
+    pub fn seq_ub(&self) -> u64 {
+        self.seq_ub
     }
 
     /// Drops all entries.
@@ -82,36 +133,77 @@ mod tests {
     #[test]
     fn put_get_delete() {
         let mut m = MemTable::new();
-        m.put(b"k".to_vec(), b"v1".to_vec());
-        assert_eq!(m.get(b"k"), Some(Some(&b"v1"[..])));
-        m.put(b"k".to_vec(), b"v2".to_vec());
-        assert_eq!(m.get(b"k"), Some(Some(&b"v2"[..])));
-        m.delete(b"k".to_vec());
-        assert_eq!(m.get(b"k"), Some(None));
-        assert_eq!(m.get(b"missing"), None);
+        m.put(b"k".to_vec(), 1, b"v1".to_vec());
+        assert_eq!(m.get(b"k", LATEST), Some(Some(&b"v1"[..])));
+        m.put(b"k".to_vec(), 2, b"v2".to_vec());
+        assert_eq!(m.get(b"k", LATEST), Some(Some(&b"v2"[..])));
+        m.delete(b"k".to_vec(), 3);
+        assert_eq!(m.get(b"k", LATEST), Some(None));
+        assert_eq!(m.get(b"missing", LATEST), None);
         assert_eq!(m.len(), 1);
+        assert_eq!(m.seq_ub(), 4);
     }
 
     #[test]
-    fn scan_is_inclusive_and_ordered() {
+    fn snapshot_reads_pick_the_right_version() {
         let mut m = MemTable::new();
-        for k in [b"a", b"c", b"e"] {
-            m.put(k.to_vec(), b"x".to_vec());
+        m.put(b"k".to_vec(), 5, b"old".to_vec());
+        m.put(b"k".to_vec(), 9, b"new".to_vec());
+        // A snapshot taken before the first write sees nothing here.
+        assert_eq!(m.get(b"k", 5), None);
+        // Between the versions: the older one.
+        assert_eq!(m.get(b"k", 6), Some(Some(&b"old"[..])));
+        assert_eq!(m.get(b"k", 9), Some(Some(&b"old"[..])));
+        // At or after the newest.
+        assert_eq!(m.get(b"k", 10), Some(Some(&b"new"[..])));
+        assert_eq!(m.get(b"k", LATEST), Some(Some(&b"new"[..])));
+    }
+
+    #[test]
+    fn scan_is_inclusive_ordered_and_snapshot_filtered() {
+        let mut m = MemTable::new();
+        for (seq, k) in [b"a", b"c", b"e"].into_iter().enumerate() {
+            m.put(k.to_vec(), seq as u64, b"x".to_vec());
         }
-        let keys: Vec<_> = m.scan(b"a", b"c").map(|(k, _)| k.to_vec()).collect();
+        let keys: Vec<_> = m
+            .scan(b"a", b"c", LATEST)
+            .map(|(k, _)| k.to_vec())
+            .collect();
         assert_eq!(keys, vec![b"a".to_vec(), b"c".to_vec()]);
-        let keys: Vec<_> = m.scan(b"b", b"z").map(|(k, _)| k.to_vec()).collect();
+        let keys: Vec<_> = m
+            .scan(b"b", b"z", LATEST)
+            .map(|(k, _)| k.to_vec())
+            .collect();
         assert_eq!(keys, vec![b"c".to_vec(), b"e".to_vec()]);
+        // Snapshot 1 predates "c" (seq 1) and "e" (seq 2).
+        let keys: Vec<_> = m.scan(b"a", b"z", 1).map(|(k, _)| k.to_vec()).collect();
+        assert_eq!(keys, vec![b"a".to_vec()]);
     }
 
     #[test]
     fn size_accounting_grows_and_clears() {
         let mut m = MemTable::new();
         assert_eq!(m.approx_bytes(), 0);
-        m.put(vec![0; 100], vec![0; 1000]);
+        m.put(vec![0; 100], 1, vec![0; 1000]);
         assert!(m.approx_bytes() >= 1100);
         m.clear();
         assert!(m.is_empty());
         assert_eq!(m.approx_bytes(), 0);
+    }
+
+    #[test]
+    fn iter_returns_newest_versions_only() {
+        let mut m = MemTable::new();
+        m.put(b"a".to_vec(), 1, b"v1".to_vec());
+        m.put(b"a".to_vec(), 2, b"v2".to_vec());
+        m.delete(b"b".to_vec(), 3);
+        let entries: Vec<_> = m
+            .iter()
+            .map(|(k, v)| (k.to_vec(), v.map(|v| v.to_vec())))
+            .collect();
+        assert_eq!(
+            entries,
+            vec![(b"a".to_vec(), Some(b"v2".to_vec())), (b"b".to_vec(), None)]
+        );
     }
 }

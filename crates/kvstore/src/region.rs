@@ -37,13 +37,35 @@
 //! lock (a parked writer must not convoy unrelated writers salted to its
 //! shard); rotation fsyncs the outgoing segment before the swap, so a
 //! ticket that straddles the rotation is still covered by a real fsync.
+//!
+//! ## MVCC snapshot reads
+//!
+//! Every committed write carries the region-wide commit sequence (the
+//! same total order the WAL group commit already establishes).
+//! [`Region::snapshot`] captures the current sequence `S` and every read
+//! through the returned [`Snapshot`] sees exactly the writes with
+//! `seq < S` — a consistent cut that never blocks writers, flushes or
+//! compactions:
+//!
+//! * memtable shards keep **per-key version chains** (see
+//!   [`crate::memtable`]), so a point-in-time value stays readable after
+//!   it is overwritten;
+//! * flushed SSTables record their max sequence as a `seq_limit` footer
+//!   field; a snapshot skips tables newer than itself, and the flushed
+//!   generation is retained as a **held generation** until the
+//!   low-watermark of open snapshots passes its `seq_limit` — held
+//!   generations are version-chain GC: dropping the last straddling
+//!   snapshot releases them;
+//! * compaction only merges the oldest-first prefix of tables every
+//!   open snapshot can already see, so merging (which keeps only the
+//!   newest version per key) never erases a version a snapshot needs.
 
 use crate::block::BlockEntry;
 use crate::cache::BlockCache;
 use crate::error::{KvError, Result};
 use crate::ingest::{shard_of, IngestOptions, ShardedWal};
 use crate::maintenance::Kick;
-use crate::memtable::MemTable;
+use crate::memtable::{MemTable, LATEST};
 use crate::merge::{merge_live, merge_versions};
 use crate::metrics::IoMetrics;
 use crate::scan::{MergeStream, ScanSource};
@@ -51,11 +73,16 @@ use crate::sstable::{SsTable, SsTableBuilder, SstOptions};
 use crate::wal::DurabilityOptions;
 use crate::KvEntry;
 use just_obs::sync::{Condvar, Mutex, RwLock};
-use std::collections::VecDeque;
-use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::collections::{BTreeMap, HashSet, VecDeque};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// A write handed back untouched by [`Region::try_write`] because the
+/// region was sealed for a split/merge: `(key, Some(value))` for a put,
+/// `(key, None)` for a delete.
+pub(crate) type RejectedWrite = (Vec<u8>, Option<Vec<u8>>);
 
 /// Always-on per-region traffic counters (relaxed atomics; same
 /// recording discipline as [`IoMetrics`], but scoped to one region so
@@ -182,6 +209,10 @@ struct FrozenGen {
     bytes: usize,
     /// Per-stream WAL segment marks from the freeze-time rotation.
     marks: Vec<(usize, u64)>,
+    /// One past the highest commit sequence in the generation — the
+    /// `seq_limit` of its flushed SSTable, and the release gate for the
+    /// held-generation copy serving older snapshots.
+    seq_ub: u64,
 }
 
 struct RegionInner {
@@ -194,6 +225,11 @@ struct RegionInner {
     /// flusher can build the SSTable outside the region lock while
     /// readers keep merging the generation.
     frozen: VecDeque<Arc<FrozenGen>>,
+    /// Flushed generations still needed by open snapshots older than
+    /// their `seq_ub` (the twin SSTable stores only newest versions;
+    /// the chains here keep serving the older cuts). Oldest first;
+    /// released as the snapshot low-watermark advances.
+    held: Vec<Arc<FrozenGen>>,
     next_file_id: u64,
 }
 
@@ -231,6 +267,22 @@ pub struct Region {
     stall_wait: just_obs::Histogram,
     /// Always-on traffic counters, shared with streaming scan sources.
     traffic: Arc<RegionTraffic>,
+    /// Set while an online split/merge drains the region: writers are
+    /// rejected (with ownership of their payload returned) so
+    /// [`crate::Table`] can re-route them to a daughter. Checked under
+    /// the shard lock, so seal + final freeze leaves no straggler.
+    sealed: AtomicBool,
+    /// Open snapshot registry: read sequence → number of handles.
+    snapshots: Mutex<BTreeMap<u64, usize>>,
+    /// Cached minimum of `snapshots` (`u64::MAX` when none are open):
+    /// the low-watermark that gates held-generation release and
+    /// compaction input selection. Updated under the `snapshots` lock.
+    watermark: AtomicU64,
+    snapshots_open: just_obs::Gauge,
+    held_gens_gauge: just_obs::Gauge,
+    held_bytes_gauge: just_obs::Gauge,
+    sealed_rejects: just_obs::Counter,
+    snapshot_skips: just_obs::Counter,
 }
 
 impl std::fmt::Debug for Region {
@@ -335,7 +387,11 @@ impl Region {
         let shards: Vec<Mutex<MemTable>> = (0..shard_count)
             .map(|_| Mutex::new(MemTable::new()))
             .collect();
-        let mut next_seq = 0u64;
+        // Seed the sequence past every flushed table's `seq_limit`, so
+        // a region reconstructed from SSTables alone (e.g. a freshly
+        // split daughter, or a WAL-less reopen) keeps its commit
+        // sequence monotonic and new snapshots see all recovered data.
+        let mut next_seq = tables.iter().map(|t| t.seq_limit()).max().unwrap_or(0);
         let wal = if opts.durability.wal {
             let (wal, records) = ShardedWal::open(&dir, &opts.durability, stream_count)?;
             // Replay is idempotent against the SSTables: a record whose
@@ -343,14 +399,15 @@ impl Region {
             // shadows the identical on-disk version. Records arrive in
             // global commit order; routing uses the *current* shard
             // count, so resizing `mem_shards` between runs is safe.
+            // Pre-sequence (legacy) records are assigned synthetic,
+            // monotonically increasing sequences in replay order.
             for r in records {
-                if let Some(s) = r.seq {
-                    next_seq = next_seq.max(s + 1);
-                }
+                let seq = r.seq.unwrap_or(next_seq);
+                next_seq = next_seq.max(seq + 1);
                 let mut mem = shards[shard_of(&r.key, shard_count)].lock();
                 match r.value {
-                    Some(v) => mem.put(r.key, v),
-                    None => mem.delete(r.key),
+                    Some(v) => mem.put(r.key, seq, v),
+                    None => mem.delete(r.key, seq),
                 }
             }
             Some(wal)
@@ -368,6 +425,7 @@ impl Region {
             inner: RwLock::new(RegionInner {
                 tables,
                 frozen: VecDeque::new(),
+                held: Vec::new(),
                 next_file_id,
             }),
             wal,
@@ -380,6 +438,14 @@ impl Region {
             shard_stalls: obs.counter("just_kvstore_shard_stalls"),
             stall_wait: obs.histogram("just_kvstore_backpressure_wait_us"),
             traffic: Arc::new(RegionTraffic::default()),
+            sealed: AtomicBool::new(false),
+            snapshots: Mutex::new(BTreeMap::new()),
+            watermark: AtomicU64::new(u64::MAX),
+            snapshots_open: obs.gauge("just_kvstore_mvcc_snapshots_open"),
+            held_gens_gauge: obs.gauge("just_kvstore_mvcc_held_gens"),
+            held_bytes_gauge: obs.gauge("just_kvstore_mvcc_held_bytes"),
+            sealed_rejects: obs.counter("just_kvstore_region_sealed_rejects"),
+            snapshot_skips: obs.counter("just_kvstore_mvcc_snapshot_skipped_sstables"),
         };
         if region.active_bytes.load(Ordering::Relaxed) >= region.opts.flush_threshold {
             region.flush()?;
@@ -392,13 +458,24 @@ impl Region {
     }
 
     /// Inserts or overwrites a key.
+    ///
+    /// Fails with [`KvError::RegionSealed`] while an online split or
+    /// merge drains the region; route through [`crate::Table`] to have
+    /// the write transparently retried against the daughter region.
     pub fn put(&self, key: Vec<u8>, value: Vec<u8>) -> Result<()> {
-        self.write(key, Some(value))
+        match self.try_write(key, Some(value))? {
+            None => Ok(()),
+            Some(_) => Err(KvError::RegionSealed),
+        }
     }
 
-    /// Deletes a key (writes a tombstone).
+    /// Deletes a key (writes a tombstone). Same sealing behaviour as
+    /// [`Region::put`].
     pub fn delete(&self, key: Vec<u8>) -> Result<()> {
-        self.write(key, None)
+        match self.try_write(key, None)? {
+            None => Ok(()),
+            Some(_) => Err(KvError::RegionSealed),
+        }
     }
 
     /// The shared write path: sequence allocation, WAL stream append and
@@ -416,23 +493,42 @@ impl Region {
     /// writers the same way under `hbase.hstore.blockingStoreFiles`);
     /// managed regions hand the flush to the maintenance scheduler and
     /// only stall at the hard `stall_bytes` cap across generations.
-    fn write(&self, key: Vec<u8>, value: Option<Vec<u8>>) -> Result<()> {
-        self.traffic
-            .record_write((key.len() + value.as_ref().map_or(0, |v| v.len())) as u64);
+    ///
+    /// Rejected-write aware variant of the write path: returns
+    /// `Ok(Some((key, value)))` — ownership handed back — when the
+    /// region is sealed for a split/merge, so [`crate::Table`] can
+    /// re-route against the freshly-swapped region map without cloning
+    /// every payload on the hot path.
+    pub(crate) fn try_write(
+        &self,
+        key: Vec<u8>,
+        value: Option<Vec<u8>>,
+    ) -> Result<Option<RejectedWrite>> {
+        let bytes = (key.len() + value.as_ref().map_or(0, |v| v.len())) as u64;
         let shard = shard_of(&key, self.shards.len());
         let mut pending_commit = None;
         let active = {
             let mut mem = self.shards[shard].lock();
+            // Checked under the shard lock: the sealing thread's final
+            // freeze also takes this lock, so every writer either lands
+            // before the drain or observes the seal — never neither.
+            if self.sealed.load(Ordering::SeqCst) {
+                self.sealed_rejects.inc();
+                return Ok(Some((key, value)));
+            }
+            self.traffic.record_write(bytes);
+            // Always allocated (WAL or not): the commit sequence is what
+            // snapshots and SSTable `seq_limit`s are cut against.
+            let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
             if let Some(wal) = &self.wal {
-                let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
                 let stream = wal.stream_of(shard);
                 let ticket = wal.append_nowait(stream, seq, &key, value.as_deref())?;
                 pending_commit = Some((stream, ticket));
             }
             let before = mem.approx_bytes();
             match value {
-                Some(v) => mem.put(key, v),
-                None => mem.delete(key),
+                Some(v) => mem.put(key, seq, v),
+                None => mem.delete(key, seq),
             }
             let after = mem.approx_bytes();
             // Updated under the shard lock, so the freeze's transfer of
@@ -451,7 +547,7 @@ impl Region {
             wal.commit(stream, ticket)?;
         }
         if active < self.opts.flush_threshold {
-            return Ok(());
+            return Ok(None);
         }
         if self.managed() {
             if let Some(kick) = &self.opts.kick {
@@ -463,7 +559,7 @@ impl Region {
         } else {
             self.flush()?;
         }
-        Ok(())
+        Ok(None)
     }
 
     /// Bytes pending flush across active shards and frozen generations —
@@ -513,28 +609,50 @@ impl Region {
         Ok(())
     }
 
-    /// Point lookup.
+    /// Point lookup of the newest committed version.
     pub fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
-        let hit = self.get_inner(key)?;
+        self.get_at(key, LATEST)
+    }
+
+    /// Point lookup as of snapshot sequence `snap` ([`crate::LATEST`]
+    /// for a plain read): sees exactly the writes with `seq < snap`.
+    pub fn get_at(&self, key: &[u8], snap: u64) -> Result<Option<Vec<u8>>> {
+        let hit = self.get_inner(key, snap)?;
         self.traffic
             .record_read(hit.as_ref().map_or(0, |v| v.len() as u64));
         Ok(hit)
     }
 
-    fn get_inner(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+    fn get_inner(&self, key: &[u8], snap: u64) -> Result<Option<Vec<u8>>> {
         let shard = shard_of(key, self.shards.len());
         let inner = self.inner.read();
-        if let Some(hit) = self.shards[shard].lock().get(key) {
+        if let Some(hit) = self.shards[shard].lock().get(key, snap) {
             self.metrics.record_memtable_hit();
             return Ok(hit.map(|v| v.to_vec()));
         }
         for gen in inner.frozen.iter().rev() {
-            if let Some(hit) = gen.shards[shard].get(key) {
+            if let Some(hit) = gen.shards[shard].get(key, snap) {
+                self.metrics.record_memtable_hit();
+                return Ok(hit.map(|v| v.to_vec()));
+            }
+        }
+        // Held generations straddle the snapshot (`seq_ub > snap`, never
+        // true for LATEST): their twin SSTables are invisible below, so
+        // the version chains here are authoritative for this cut.
+        for gen in inner.held.iter().rev() {
+            if gen.seq_ub <= snap {
+                continue;
+            }
+            if let Some(hit) = gen.shards[shard].get(key, snap) {
                 self.metrics.record_memtable_hit();
                 return Ok(hit.map(|v| v.to_vec()));
             }
         }
         for table in inner.tables.iter().rev() {
+            if !table.visible_at(snap) {
+                self.snapshot_skips.inc();
+                continue;
+            }
             if let Some(hit) = table.get(key)? {
                 return Ok(hit);
             }
@@ -547,11 +665,11 @@ impl Region {
     /// is atomic across shards: a scan can never see a writer's later
     /// write without its earlier one. (Writers hold exactly one shard
     /// lock each, so this cannot deadlock against them.)
-    fn active_source(&self, start: &[u8], end: &[u8]) -> Vec<BlockEntry> {
+    fn active_source(&self, start: &[u8], end: &[u8], snap: u64) -> Vec<BlockEntry> {
         let guards: Vec<_> = self.shards.iter().map(|s| s.lock()).collect();
         let mut out = Vec::new();
         for g in &guards {
-            out.extend(g.scan(start, end).map(|(k, v)| BlockEntry {
+            out.extend(g.scan(start, end, snap).map(|(k, v)| BlockEntry {
                 key: k.to_vec(),
                 value: v.map(|v| v.to_vec()),
             }));
@@ -564,10 +682,10 @@ impl Region {
     }
 
     /// One frozen generation's entries in `start..=end`, sorted.
-    fn frozen_source(gen: &FrozenGen, start: &[u8], end: &[u8]) -> Vec<BlockEntry> {
+    fn frozen_source(gen: &FrozenGen, start: &[u8], end: &[u8], snap: u64) -> Vec<BlockEntry> {
         let mut out = Vec::new();
         for mem in &gen.shards {
-            out.extend(mem.scan(start, end).map(|(k, v)| BlockEntry {
+            out.extend(mem.scan(start, end, snap).map(|(k, v)| BlockEntry {
                 key: k.to_vec(),
                 value: v.map(|v| v.to_vec()),
             }));
@@ -578,18 +696,34 @@ impl Region {
 
     /// All live entries with `start <= key <= end`, in key order.
     pub fn scan(&self, start: &[u8], end: &[u8]) -> Result<Vec<KvEntry>> {
+        self.scan_at(start, end, LATEST)
+    }
+
+    /// Like [`Region::scan`], but as of snapshot sequence `snap`: the
+    /// result equals a serial execution that stopped right before
+    /// commit sequence `snap` was allocated.
+    pub fn scan_at(&self, start: &[u8], end: &[u8], snap: u64) -> Result<Vec<KvEntry>> {
         if start > end {
             return Ok(Vec::new());
         }
         self.traffic.record_scan();
         let inner = self.inner.read();
         let mut sources: Vec<Vec<BlockEntry>> =
-            Vec::with_capacity(inner.tables.len() + inner.frozen.len() + 1);
-        sources.push(self.active_source(start, end));
+            Vec::with_capacity(inner.tables.len() + inner.frozen.len() + inner.held.len() + 1);
+        sources.push(self.active_source(start, end, snap));
         for gen in inner.frozen.iter().rev() {
-            sources.push(Self::frozen_source(gen, start, end));
+            sources.push(Self::frozen_source(gen, start, end, snap));
+        }
+        for gen in inner.held.iter().rev() {
+            if gen.seq_ub > snap {
+                sources.push(Self::frozen_source(gen, start, end, snap));
+            }
         }
         for table in inner.tables.iter().rev() {
+            if !table.visible_at(snap) {
+                self.snapshot_skips.inc();
+                continue;
+            }
             sources.push(table.scan(start, end)?);
         }
         let live = merge_live(sources);
@@ -607,21 +741,39 @@ impl Region {
     /// consumer advances. Tombstone shadowing and newest-wins semantics
     /// are identical to the materializing scan.
     pub fn scan_stream(&self, start: &[u8], end: &[u8]) -> MergeStream {
+        self.scan_stream_at(start, end, LATEST)
+    }
+
+    /// Like [`Region::scan_stream`], but as of snapshot sequence `snap`
+    /// — the streaming twin of [`Region::scan_at`]. The stream stays
+    /// pinned to the layers captured here, so it keeps serving the same
+    /// cut even if the snapshot handle is dropped while streaming.
+    pub fn scan_stream_at(&self, start: &[u8], end: &[u8], snap: u64) -> MergeStream {
         if start > end {
             return MergeStream::empty();
         }
         self.traffic.record_scan();
         let inner = self.inner.read();
-        let mut sources = Vec::with_capacity(inner.tables.len() + inner.frozen.len() + 1);
+        let mut sources =
+            Vec::with_capacity(inner.tables.len() + inner.frozen.len() + inner.held.len() + 1);
         // Source 0 is the active memtable: the newest layer, so it wins
         // merge ties; frozen generations follow newest-first. The ranges
         // are materialized (bounded by the flush threshold) because the
         // stream outlives the locks.
-        sources.push(ScanSource::mem(self.active_source(start, end)));
+        sources.push(ScanSource::mem(self.active_source(start, end, snap)));
         for gen in inner.frozen.iter().rev() {
-            sources.push(ScanSource::mem(Self::frozen_source(gen, start, end)));
+            sources.push(ScanSource::mem(Self::frozen_source(gen, start, end, snap)));
+        }
+        for gen in inner.held.iter().rev() {
+            if gen.seq_ub > snap {
+                sources.push(ScanSource::mem(Self::frozen_source(gen, start, end, snap)));
+            }
         }
         for table in inner.tables.iter().rev() {
+            if !table.visible_at(snap) {
+                self.snapshot_skips.inc();
+                continue;
+            }
             sources.push(ScanSource::sstable(
                 table.clone(),
                 start,
@@ -651,9 +803,11 @@ impl Region {
         };
         let mut gen_shards = Vec::with_capacity(self.shards.len());
         let mut bytes = 0usize;
+        let mut seq_ub = 0u64;
         for s in &self.shards {
             let mut mem = s.lock();
             bytes += mem.approx_bytes();
+            seq_ub = seq_ub.max(mem.seq_ub());
             gen_shards.push(std::mem::take(&mut *mem));
         }
         self.active_bytes.fetch_sub(bytes, Ordering::Relaxed);
@@ -662,6 +816,7 @@ impl Region {
             shards: gen_shards,
             bytes,
             marks,
+            seq_ub,
         }));
         just_obs::global()
             .counter("just_kvstore_memtable_freezes")
@@ -702,6 +857,10 @@ impl Region {
                 self.metrics.clone(),
                 self.cache.clone(),
             )?;
+            // The footer records the generation's sequence upper bound,
+            // so snapshots older than the newest version in this file
+            // know to skip it (and read the held generation instead).
+            builder.set_seq_limit(gen.seq_ub);
             for (k, v) in &entries {
                 builder.add(k, *v)?;
             }
@@ -718,12 +877,27 @@ impl Region {
             }
         };
         let table = Arc::new(table);
-        let sstables = {
+        let (sstables, held) = {
             let mut inner = self.inner.write();
             inner.tables.push(table.clone());
             inner.frozen.pop_front();
-            inner.tables.len()
+            // Hold the generation if a snapshot older than its newest
+            // version is open: the SSTable stores only newest versions,
+            // so the chains must keep serving that cut. Race-free
+            // without the registry lock: a snapshot registered after
+            // this check reads `next_seq >= gen.seq_ub` (every sequence
+            // in the generation was allocated before its freeze), so it
+            // never needs the held copy.
+            let hold = self.watermark.load(Ordering::SeqCst) < gen.seq_ub;
+            if hold {
+                inner.held.push(gen.clone());
+            }
+            (inner.tables.len(), hold)
         };
+        if held {
+            self.held_gens_gauge.inc();
+            self.held_bytes_gauge.add(gen.bytes as u64);
+        }
         self.frozen_bytes.fetch_sub(gen.bytes, Ordering::Relaxed);
         if let Some(w) = &self.wal {
             w.retire(&gen.marks)?;
@@ -760,20 +934,38 @@ impl Region {
         Ok(())
     }
 
-    /// Merges all SSTables (and the memtable) into one file, dropping
-    /// tombstones and shadowed versions. The merge and rewrite run
-    /// without any region lock — writers are unaffected and scans keep
-    /// serving from the old tables until the brief final swap.
+    /// Merges SSTables into one file, dropping tombstones and shadowed
+    /// versions. The merge and rewrite run without any region lock —
+    /// writers are unaffected and scans keep serving from the old tables
+    /// until the brief final swap.
+    ///
+    /// Only the longest oldest-first prefix of tables that every open
+    /// snapshot can already see (`seq_limit <=` the snapshot
+    /// low-watermark) is merged: the output carries the prefix's max
+    /// `seq_limit`, so its visibility matches its inputs' exactly and no
+    /// open snapshot loses a version it could previously read. Tables
+    /// newer than the watermark are compacted on a later pass, once the
+    /// straddling snapshots drop.
     pub fn compact(&self) -> Result<()> {
         let _g = self.flush_lock.lock();
         self.freeze()?;
         while self.flush_oldest_gen()? {}
+        // Monotonic-sequence argument for reading the watermark without
+        // the registry lock: any snapshot registered after this read
+        // captures `next_seq`, which is >= every flushed `seq_limit`,
+        // so it sees the merged output if and only if it saw the inputs.
+        let wm = self.watermark.load(Ordering::SeqCst);
         let tables: Vec<Arc<SsTable>> = {
             let inner = self.inner.read();
-            if inner.tables.len() <= 1 {
+            let k = inner
+                .tables
+                .iter()
+                .take_while(|t| t.seq_limit() <= wm)
+                .count();
+            if k <= 1 {
                 return Ok(());
             }
-            inner.tables.clone()
+            inner.tables[..k].to_vec()
         };
         let started = Instant::now();
         let mut sources = Vec::with_capacity(tables.len());
@@ -794,10 +986,11 @@ impl Region {
                 self.metrics.clone(),
                 self.cache.clone(),
             )?;
+            builder.set_seq_limit(tables.iter().map(|t| t.seq_limit()).max().unwrap_or(0));
             for e in &merged {
                 if let Some(v) = &e.value {
-                    // Full compaction: nothing older exists, drop
-                    // tombstones.
+                    // The prefix starts at the oldest table, so nothing
+                    // older exists: drop tombstones.
                     builder.add(&e.key, Some(v))?;
                 }
             }
@@ -817,10 +1010,11 @@ impl Region {
         let (after_bytes, after_entries) = (table.file_size(), table.entry_count());
         {
             // `flush_lock` guarantees no flush registered new tables
-            // since the snapshot, so replacing wholesale is safe.
+            // since the snapshot, so the merged prefix is still exactly
+            // `tables`; any suffix past the watermark stays in place.
             let mut inner = self.inner.write();
-            debug_assert_eq!(inner.tables.len(), tables.len());
-            inner.tables = vec![Arc::new(table)];
+            debug_assert!(inner.tables.len() >= tables.len());
+            inner.tables.splice(..tables.len(), [Arc::new(table)]);
         }
         for (file_id, path) in old.iter() {
             self.cache.invalidate_file(*file_id);
@@ -848,6 +1042,11 @@ impl Region {
     /// generations, compact past the trigger, batch-sync the WAL
     /// streams. Called by the maintenance scheduler.
     pub(crate) fn maintain(&self, compact_trigger: usize) -> Result<()> {
+        if self.sealed.load(Ordering::SeqCst) {
+            // A split/merge is draining the region; its own final flush
+            // handles the leftovers and the region is about to retire.
+            return Ok(());
+        }
         let obs = just_obs::global();
         {
             let _g = self.flush_lock.lock();
@@ -929,6 +1128,256 @@ impl Region {
         self.traffic.snapshot()
     }
 
+    /// Captures a consistent read view at the current commit sequence.
+    ///
+    /// The returned [`Snapshot`] sees exactly the writes committed
+    /// before this call — later writes, flushes, compactions and even
+    /// an online split of this region never change what it reads.
+    /// Writers are never blocked; the cost is that flushed memtable
+    /// generations overlapping an open snapshot are retained in memory
+    /// ("held generations") until the snapshot drops.
+    pub fn snapshot(self: &Arc<Self>) -> Snapshot {
+        let seq = {
+            let mut snaps = self.snapshots.lock();
+            let seq = self.next_seq.load(Ordering::SeqCst);
+            *snaps.entry(seq).or_insert(0) += 1;
+            self.watermark.store(
+                snaps.keys().next().copied().unwrap_or(u64::MAX),
+                Ordering::SeqCst,
+            );
+            seq
+        };
+        self.snapshots_open.inc();
+        Snapshot {
+            region: self.clone(),
+            seq,
+        }
+    }
+
+    /// Releases held generations the snapshot low-watermark has passed.
+    fn release_held(&self) {
+        if self.inner.read().held.is_empty() {
+            return;
+        }
+        let wm = self.watermark.load(Ordering::SeqCst);
+        let mut freed_bytes = 0u64;
+        let mut freed = 0u64;
+        {
+            let mut inner = self.inner.write();
+            inner.held.retain(|g| {
+                if g.seq_ub > wm {
+                    true
+                } else {
+                    freed += 1;
+                    freed_bytes += g.bytes as u64;
+                    false
+                }
+            });
+        }
+        if freed > 0 {
+            self.held_gens_gauge.sub(freed);
+            self.held_bytes_gauge.sub(freed_bytes);
+        }
+    }
+
+    /// Current commit sequence (one past the highest allocated).
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq.load(Ordering::SeqCst)
+    }
+
+    /// Number of open snapshot handles on this region.
+    pub fn open_snapshots(&self) -> usize {
+        self.snapshots.lock().values().sum()
+    }
+
+    /// Flushed memtable generations retained for open snapshots.
+    pub fn held_generations(&self) -> usize {
+        self.inner.read().held.len()
+    }
+
+    /// Whether the region is sealed (draining for a split/merge).
+    pub fn is_sealed(&self) -> bool {
+        self.sealed.load(Ordering::SeqCst)
+    }
+
+    /// Seals the region: every subsequent write is rejected with its
+    /// payload handed back (see [`Region::try_write`]). The caller's
+    /// next [`Region::flush`] then drains a final, complete state —
+    /// the seal is checked under the shard lock, so no write can land
+    /// after that flush.
+    pub(crate) fn seal(&self) {
+        self.sealed.store(true, Ordering::SeqCst);
+    }
+
+    /// Reopens a sealed region for writes — the rollback path when a
+    /// split/merge fails after sealing but before committing (the
+    /// region's own data is untouched in that window).
+    pub(crate) fn unseal(&self) {
+        self.sealed.store(false, Ordering::SeqCst);
+    }
+
+    /// Suggests a key to split this region at: the median block fence
+    /// across its SSTables. Returns `None` when the on-disk data is too
+    /// small to yield two non-empty daughters (callers flush first, so
+    /// the fences cover the full keyspace of the region).
+    pub(crate) fn approx_split_key(&self) -> Option<Vec<u8>> {
+        let inner = self.inner.read();
+        let mut fences: Vec<Vec<u8>> = Vec::new();
+        for t in inner.tables.iter() {
+            for b in 0..t.block_count() {
+                fences.push(t.block_first_key(b).to_vec());
+            }
+        }
+        drop(inner);
+        fences.sort_unstable();
+        fences.dedup();
+        if fences.len() < 2 {
+            return None;
+        }
+        // Strictly greater than the smallest fence, so both daughters
+        // get at least one block's worth of keys.
+        Some(fences[fences.len() / 2].clone())
+    }
+
+    /// Online split, phase 1 + 2: rewrites this region's contents into
+    /// two daughter directories partitioned at `split_key` (left gets
+    /// `key < split_key`).
+    ///
+    /// * **Phase 1** (writes still flowing): drain the memtable and
+    ///   rewrite the flushed table set into per-daughter *base* files.
+    ///   The inputs are the complete history of the range at that
+    ///   point, so tombstones are dropped.
+    /// * **Phase 2** (sealed): reject new writes, drain the delta that
+    ///   accumulated during phase 1 and rewrite it as per-daughter
+    ///   *delta* files — tombstones kept, they shadow the base.
+    ///
+    /// The write outage is bounded by the delta, not the region size.
+    /// Durability: daughter files are fsynced by the builder; the
+    /// caller commits the split by swapping the region manifest — on a
+    /// crash before that commit the parent (whose WAL and tables are
+    /// untouched) simply reopens.
+    pub(crate) fn split_into(
+        &self,
+        left_dir: &Path,
+        right_dir: &Path,
+        split_key: &[u8],
+    ) -> Result<()> {
+        // Phase 1 — pre-copy while writes continue.
+        self.flush()?;
+        let base: Vec<Arc<SsTable>> = self.inner.read().tables.clone();
+        let base_ids: HashSet<u64> = base.iter().map(|t| t.file_id()).collect();
+        for d in [left_dir, right_dir] {
+            std::fs::remove_dir_all(d).ok();
+            std::fs::create_dir_all(d)?;
+        }
+        let base_limit = base.iter().map(|t| t.seq_limit()).max().unwrap_or(0);
+        let mut sources = Vec::with_capacity(base.len());
+        for t in base.iter().rev() {
+            sources.push(t.scan_all()?);
+        }
+        let merged = merge_versions(sources);
+        self.write_split_file(
+            left_dir,
+            0,
+            base_limit,
+            merged
+                .iter()
+                .filter(|e| e.key.as_slice() < split_key && e.value.is_some()),
+        )?;
+        self.write_split_file(
+            right_dir,
+            0,
+            base_limit,
+            merged
+                .iter()
+                .filter(|e| e.key.as_slice() >= split_key && e.value.is_some()),
+        )?;
+
+        // Phase 2 — sealed catch-up.
+        self.seal();
+        self.flush()?;
+        let delta: Vec<Arc<SsTable>> = self
+            .inner
+            .read()
+            .tables
+            .iter()
+            .filter(|t| !base_ids.contains(&t.file_id()))
+            .cloned()
+            .collect();
+        if !delta.is_empty() {
+            let delta_limit = delta.iter().map(|t| t.seq_limit()).max().unwrap_or(0);
+            let mut sources = Vec::with_capacity(delta.len());
+            for t in delta.iter().rev() {
+                sources.push(t.scan_all()?);
+            }
+            let merged = merge_versions(sources);
+            self.write_split_file(
+                left_dir,
+                1,
+                delta_limit,
+                merged.iter().filter(|e| e.key.as_slice() < split_key),
+            )?;
+            self.write_split_file(
+                right_dir,
+                1,
+                delta_limit,
+                merged.iter().filter(|e| e.key.as_slice() >= split_key),
+            )?;
+        }
+        Ok(())
+    }
+
+    /// Rewrites this region's complete contents as `dir/sst_<id>.sst`
+    /// (tombstones dropped — the inputs are the full history of the
+    /// range). Used by region merge, which concatenates two sealed,
+    /// key-disjoint regions into one daughter directory. The caller
+    /// must seal the region first.
+    pub(crate) fn drain_into(&self, dir: &Path, id: u64) -> Result<()> {
+        debug_assert!(self.is_sealed());
+        self.flush()?;
+        let tables: Vec<Arc<SsTable>> = self.inner.read().tables.clone();
+        let limit = tables.iter().map(|t| t.seq_limit()).max().unwrap_or(0);
+        let mut sources = Vec::with_capacity(tables.len());
+        for t in tables.iter().rev() {
+            sources.push(t.scan_all()?);
+        }
+        let merged = merge_versions(sources);
+        self.write_split_file(dir, id, limit, merged.iter().filter(|e| e.value.is_some()))
+    }
+
+    /// Builds one daughter SSTable (skipped when `entries` is empty —
+    /// a daughter region opens fine with gaps in its file numbering).
+    fn write_split_file<'a>(
+        &self,
+        dir: &Path,
+        id: u64,
+        seq_limit: u64,
+        entries: impl Iterator<Item = &'a BlockEntry>,
+    ) -> Result<()> {
+        let mut entries = entries.peekable();
+        if entries.peek().is_none() {
+            return Ok(());
+        }
+        let path = dir.join(format!("sst_{id:010}.sst"));
+        let build = (|| {
+            let mut builder = SsTableBuilder::create_opts(
+                &path,
+                self.opts.sst.clone(),
+                self.metrics.clone(),
+                self.cache.clone(),
+            )?;
+            builder.set_seq_limit(seq_limit);
+            for e in entries {
+                builder.add(&e.key, e.value.as_deref())?;
+            }
+            builder.finish().map(|_| ())
+        })();
+        if build.is_err() {
+            std::fs::remove_file(&path).ok();
+        }
+        build
+    }
+
     /// Replaces one WAL stream's backing file (fault-injection tests
     /// only).
     #[cfg(test)]
@@ -966,6 +1415,80 @@ impl Region {
             Some(table) => format!("{}/{region}", table.to_string_lossy()),
             None => region,
         }
+    }
+}
+
+/// A consistent read view over one region, captured by
+/// [`Region::snapshot`].
+///
+/// Every read through the snapshot sees exactly the writes committed
+/// before it was taken (`seq <` [`Snapshot::seq`]) — a stable cut that
+/// survives concurrent writes, flushes, compactions and splits without
+/// ever blocking them. Dropping the snapshot advances the region's
+/// low-watermark, releasing any memtable generations held on its
+/// behalf; for multi-region (table-wide) snapshots see
+/// `Table::snapshot`.
+pub struct Snapshot {
+    region: Arc<Region>,
+    seq: u64,
+}
+
+impl Snapshot {
+    /// The commit sequence this snapshot reads at: exactly the writes
+    /// with `seq < self.seq()` are visible.
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// The region this snapshot pins.
+    pub fn region(&self) -> &Arc<Region> {
+        &self.region
+    }
+
+    /// Point lookup at this snapshot.
+    pub fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        self.region.get_at(key, self.seq)
+    }
+
+    /// Materializing range scan at this snapshot (see
+    /// [`Region::scan_at`]).
+    pub fn scan(&self, start: &[u8], end: &[u8]) -> Result<Vec<KvEntry>> {
+        self.region.scan_at(start, end, self.seq)
+    }
+
+    /// Streaming range scan at this snapshot (see
+    /// [`Region::scan_stream_at`]).
+    pub fn scan_stream(&self, start: &[u8], end: &[u8]) -> MergeStream {
+        self.region.scan_stream_at(start, end, self.seq)
+    }
+}
+
+impl std::fmt::Debug for Snapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Snapshot")
+            .field("seq", &self.seq)
+            .field("region", &self.region.label())
+            .finish()
+    }
+}
+
+impl Drop for Snapshot {
+    fn drop(&mut self) {
+        {
+            let mut snaps = self.region.snapshots.lock();
+            if let Some(n) = snaps.get_mut(&self.seq) {
+                *n -= 1;
+                if *n == 0 {
+                    snaps.remove(&self.seq);
+                }
+            }
+            self.region.watermark.store(
+                snaps.keys().next().copied().unwrap_or(u64::MAX),
+                Ordering::SeqCst,
+            );
+        }
+        self.region.snapshots_open.sub(1);
+        self.region.release_held();
     }
 }
 
@@ -1455,6 +1978,167 @@ mod tests {
         assert!(
             started.elapsed() < Duration::from_secs(5),
             "stop flag must abort the stall, not wait out the deadline"
+        );
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn snapshot_reads_survive_overwrites_flushes_and_compaction() {
+        let (r, dir) = region("mvcc-basic", 1 << 20);
+        let r = Arc::new(r);
+        for i in 0..200u32 {
+            r.put(format!("k{i:04}").into_bytes(), b"v1".to_vec())
+                .unwrap();
+        }
+        let snap = r.snapshot();
+        // Overwrite everything, delete half, then flush + compact so the
+        // new versions reach disk and the old ones only survive via the
+        // held generation.
+        for i in 0..200u32 {
+            r.put(format!("k{i:04}").into_bytes(), b"v2".to_vec())
+                .unwrap();
+        }
+        for i in 0..100u32 {
+            r.delete(format!("k{i:04}").into_bytes()).unwrap();
+        }
+        r.flush().unwrap();
+        assert!(
+            r.held_generations() >= 1,
+            "snapshot must hold the flushed gen"
+        );
+        r.flush().unwrap();
+        r.compact().unwrap();
+        // The snapshot still reads the full original cut.
+        let hits = snap.scan(b"", b"\xff").unwrap();
+        assert_eq!(hits.len(), 200, "snapshot lost rows");
+        assert!(
+            hits.iter().all(|e| e.value == b"v1"),
+            "snapshot saw later writes"
+        );
+        assert_eq!(snap.get(b"k0007").unwrap(), Some(b"v1".to_vec()));
+        // Latest reads see the new state.
+        assert_eq!(r.get(b"k0007").unwrap(), None);
+        assert_eq!(r.get(b"k0150").unwrap(), Some(b"v2".to_vec()));
+        assert_eq!(r.scan(b"", b"\xff").unwrap().len(), 100);
+        // Dropping the snapshot releases the held generations.
+        drop(snap);
+        assert_eq!(r.held_generations(), 0);
+        assert_eq!(r.open_snapshots(), 0);
+        // With the watermark gone, compaction can now merge everything.
+        r.compact().unwrap();
+        assert_eq!(r.sstable_count(), 1);
+        assert_eq!(r.scan(b"", b"\xff").unwrap().len(), 100);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn compaction_spares_tables_newer_than_open_snapshots() {
+        let (r, dir) = region("mvcc-compact-gate", 1 << 20);
+        let r = Arc::new(r);
+        r.put(b"a".to_vec(), b"old".to_vec()).unwrap();
+        r.flush().unwrap();
+        let snap = r.snapshot();
+        r.put(b"a".to_vec(), b"new".to_vec()).unwrap();
+        r.flush().unwrap();
+        r.put(b"b".to_vec(), b"x".to_vec()).unwrap();
+        r.flush().unwrap();
+        assert_eq!(r.sstable_count(), 3);
+        // The two post-snapshot tables are past the watermark: compaction
+        // must leave them alone (only a 1-table prefix is eligible).
+        r.compact().unwrap();
+        assert_eq!(r.sstable_count(), 3);
+        assert_eq!(snap.get(b"a").unwrap(), Some(b"old".to_vec()));
+        assert_eq!(snap.get(b"b").unwrap(), None);
+        drop(snap);
+        r.compact().unwrap();
+        assert_eq!(r.sstable_count(), 1);
+        assert_eq!(r.get(b"a").unwrap(), Some(b"new".to_vec()));
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn wal_replay_preserves_snapshot_sequences() {
+        let (r, dir) = wal_region("mvcc-replay", 1 << 20, SyncPolicy::PerWrite);
+        for i in 0..50u32 {
+            r.put(format!("k{i:03}").into_bytes(), b"v".to_vec())
+                .unwrap();
+        }
+        let seq_before = r.next_seq();
+        drop(r);
+        let r2 = open_wal_region(&dir, 1 << 20, SyncPolicy::PerWrite);
+        assert_eq!(
+            r2.next_seq(),
+            seq_before,
+            "replay must restore the sequence"
+        );
+        let r2 = Arc::new(r2);
+        let snap = r2.snapshot();
+        r2.put(b"k000".to_vec(), b"post".to_vec()).unwrap();
+        assert_eq!(snap.get(b"k000").unwrap(), Some(b"v".to_vec()));
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn sealed_region_rejects_writes_with_ownership() {
+        let (r, dir) = region("sealed", 1 << 20);
+        r.put(b"a".to_vec(), b"1".to_vec()).unwrap();
+        r.seal();
+        assert!(r.is_sealed());
+        let rejected = r.try_write(b"b".to_vec(), Some(b"2".to_vec())).unwrap();
+        assert_eq!(rejected, Some((b"b".to_vec(), Some(b"2".to_vec()))));
+        assert!(matches!(
+            r.put(b"c".to_vec(), b"3".to_vec()),
+            Err(KvError::RegionSealed)
+        ));
+        // Reads still serve.
+        assert_eq!(r.get(b"a").unwrap(), Some(b"1".to_vec()));
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn split_into_partitions_base_and_delta() {
+        let (r, dir) = region("split", 1 << 20);
+        for i in 0..400u32 {
+            r.put(
+                format!("k{i:04}").into_bytes(),
+                format!("v{i}").into_bytes(),
+            )
+            .unwrap();
+        }
+        r.flush().unwrap();
+        // Post-flush writes land in the delta: an overwrite, a delete
+        // and a brand-new key on each side of the split point.
+        r.put(b"k0001".to_vec(), b"rewritten".to_vec()).unwrap();
+        r.delete(b"k0350".to_vec()).unwrap();
+        let split_key = r.approx_split_key().expect("enough data to split");
+        assert!(split_key.as_slice() > b"k0000".as_slice());
+        assert!(split_key.as_slice() <= b"k0399".as_slice());
+        let left_dir = dir.join("left");
+        let right_dir = dir.join("right");
+        r.split_into(&left_dir, &right_dir, &split_key).unwrap();
+        assert!(r.is_sealed());
+        let left = Region::open(left_dir, Arc::new(IoMetrics::new()), 1 << 20, 512).unwrap();
+        let right = Region::open(right_dir, Arc::new(IoMetrics::new()), 1 << 20, 512).unwrap();
+        let mut union = left.scan(b"", b"\xff").unwrap();
+        let right_hits = right.scan(b"", b"\xff").unwrap();
+        // Boundary discipline: left strictly below the split key.
+        assert!(union
+            .iter()
+            .all(|e| e.key.as_slice() < split_key.as_slice()));
+        assert!(right_hits
+            .iter()
+            .all(|e| e.key.as_slice() >= split_key.as_slice()));
+        union.extend(right_hits);
+        assert_eq!(union.len(), 399, "399 live keys after the delete");
+        assert!(union
+            .iter()
+            .any(|e| e.key == b"k0001" && e.value == b"rewritten"));
+        assert!(!union.iter().any(|e| e.key == b"k0350"));
+        // Daughters inherit the parent's commit sequence high-water mark.
+        assert_eq!(
+            left.next_seq().max(right.next_seq()),
+            r.next_seq(),
+            "daughter sequences must continue the parent's"
         );
         std::fs::remove_dir_all(dir).ok();
     }

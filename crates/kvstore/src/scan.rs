@@ -42,7 +42,7 @@
 use crate::block::BlockEntry;
 use crate::error::Result;
 use crate::metrics::IoMetrics;
-use crate::region::{Region, RegionTraffic};
+use crate::region::{Region, RegionTraffic, Snapshot};
 use crate::sstable::SsTable;
 use crate::KvEntry;
 use std::cmp::Ordering;
@@ -291,6 +291,9 @@ impl MergeStream {
     }
 }
 
+/// A queued scan range: (region, start, end, snapshot seq).
+pub(crate) type PendingRange = (Arc<Region>, Vec<u8>, Vec<u8>, u64);
+
 /// A streaming multi-range scan over a [`crate::Table`].
 ///
 /// Ranges are visited in the order given (entries within a range in key
@@ -303,12 +306,19 @@ impl MergeStream {
 /// counts one early termination; the un-read remainder of the ranges is
 /// never fetched from disk.
 pub struct ScanStream {
-    /// (region, start, end) work items, front first.
-    pending: VecDeque<(Arc<Region>, Vec<u8>, Vec<u8>)>,
+    /// (region, start, end, snapshot seq) work items, front first. The
+    /// seq is [`crate::LATEST`] for plain scans; snapshot scans pin each
+    /// region's read sequence at construction, so a range entered after
+    /// an online split still reads the pre-split cut through `pins`.
+    pending: VecDeque<PendingRange>,
     current: Option<MergeStream>,
     batch_rows: usize,
     cancel: CancelToken,
     metrics: Arc<IoMetrics>,
+    /// Snapshot registrations kept alive for the stream's lifetime —
+    /// they hold the regions' held generations (and the region `Arc`s
+    /// themselves) until every pending range has been served.
+    _pins: Vec<Arc<Snapshot>>,
     /// Ran dry naturally — distinguishes exhaustion from early drop.
     exhausted: bool,
     /// Produced at least one pull; a stream that was never used is not
@@ -318,9 +328,18 @@ pub struct ScanStream {
 
 impl ScanStream {
     pub(crate) fn new(
-        pending: VecDeque<(Arc<Region>, Vec<u8>, Vec<u8>)>,
+        pending: VecDeque<PendingRange>,
         opts: ScanOptions,
         metrics: Arc<IoMetrics>,
+    ) -> Self {
+        Self::pinned(pending, opts, metrics, Vec::new())
+    }
+
+    pub(crate) fn pinned(
+        pending: VecDeque<PendingRange>,
+        opts: ScanOptions,
+        metrics: Arc<IoMetrics>,
+        pins: Vec<Arc<Snapshot>>,
     ) -> Self {
         ScanStream {
             pending,
@@ -328,6 +347,7 @@ impl ScanStream {
             batch_rows: opts.batch_rows.max(1),
             cancel: opts.cancel,
             metrics,
+            _pins: pins,
             exhausted: false,
             pulled: false,
         }
@@ -355,8 +375,8 @@ impl ScanStream {
             let stream = match &mut self.current {
                 Some(s) => s,
                 None => match self.pending.pop_front() {
-                    Some((region, start, end)) => {
-                        self.current = Some(region.scan_stream(&start, &end));
+                    Some((region, start, end, snap)) => {
+                        self.current = Some(region.scan_stream_at(&start, &end, snap));
                         self.current.as_mut().expect("just set")
                     }
                     None => {

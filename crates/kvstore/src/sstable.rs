@@ -1,22 +1,33 @@
 //! Immutable on-disk sorted string tables.
 //!
-//! Two on-disk formats coexist. **v1** (magic `JSSTBL01`) is the legacy
-//! layout: uncompressed linear-scan blocks, no bloom filter. **v2**
-//! (magic `JSSTBL02`) is what every writer now emits: prefix-compressed
-//! blocks with restart-point binary search ([`crate::block`]), an
-//! optional per-table block compression codec, and a blocked bloom
-//! filter serialized between the index and the footer. Readers
-//! auto-detect the format from the footer magic, so stores written
-//! before the upgrade keep serving.
+//! Three on-disk formats coexist. **v1** (magic `JSSTBL01`) is the
+//! legacy layout: uncompressed linear-scan blocks, no bloom filter.
+//! **v2** (magic `JSSTBL02`) added prefix-compressed blocks with
+//! restart-point binary search ([`crate::block`]), an optional
+//! per-table block compression codec, and a blocked bloom filter
+//! serialized between the index and the footer. **v3** (magic
+//! `JSSTBL03`) is what every v2-format writer now emits: the same block
+//! layout plus a `seq_limit` in the footer — one past the highest MVCC
+//! commit sequence any entry in the file carries (see
+//! `Region::snapshot`). Snapshot readers skip tables whose `seq_limit`
+//! exceeds their read sequence, and region open recovers the
+//! commit-sequence counter from the maximum `seq_limit` on disk even
+//! when every WAL segment has been retired. Readers auto-detect the
+//! format from the footer magic, so stores written before either
+//! upgrade keep serving (v1/v2 files read as `seq_limit` 0: visible to
+//! every snapshot).
 //!
 //! ```text
 //! v1 file := data-block* index footer24
 //! v2 file := data-block* index bloom footer33
+//! v3 file := data-block* index bloom footer41
 //! index   := count(u64) { klen(u32) first_key offset(u64) len(u32) crc(u32) }*
 //!            minlen(u32) min_key maxlen(u32) max_key entry_count(u64)
 //! footer24 := index_offset(u64) index_len(u64) magic(b"JSSTBL01")
 //! footer33 := index_offset(u64) index_len(u64) bloom_len(u64) codec(u8)
 //!             magic(b"JSSTBL02")
+//! footer41 := index_offset(u64) index_len(u64) bloom_len(u64)
+//!             seq_limit(u64) codec(u8) magic(b"JSSTBL03")
 //! ```
 //!
 //! All integers little-endian. Every data block is CRC-32 protected over
@@ -71,8 +82,10 @@ fn read_exact_at(_file: &File, path: &Path, buf: &mut [u8], offset: u64) -> std:
 
 const MAGIC_V1: &[u8; 8] = b"JSSTBL01";
 const MAGIC_V2: &[u8; 8] = b"JSSTBL02";
+const MAGIC_V3: &[u8; 8] = b"JSSTBL03";
 const FOOTER_V1: usize = 24;
 const FOOTER_V2: usize = 33;
+const FOOTER_V3: usize = 41;
 
 /// A block is flushed no later than this multiple of the target block
 /// size, bounding builder memory and worst-case decompression work even
@@ -167,6 +180,10 @@ pub struct SsTableBuilder {
     /// estimate when a compression codec is active.
     encoded_bytes: u64,
     disk_bytes: u64,
+    /// One past the highest MVCC commit sequence of any entry, recorded
+    /// in the v3 footer; 0 means "unknown / pre-MVCC" and reads as
+    /// visible to every snapshot.
+    seq_limit: u64,
     metrics: Arc<IoMetrics>,
     cache: Arc<BlockCache>,
 }
@@ -231,9 +248,19 @@ impl SsTableBuilder {
             bloom_hashes: Vec::new(),
             encoded_bytes: 0,
             disk_bytes: 0,
+            seq_limit: 0,
             metrics,
             cache,
         })
+    }
+
+    /// Records the exclusive upper bound of MVCC commit sequences the
+    /// file will contain (one past the highest; 0 = unknown). Flushes
+    /// pass the frozen generation's bound, compactions and region
+    /// splits the maximum over their inputs. Persisted only by the v2
+    /// block format (as a v3 footer); ignored for v1 files.
+    pub fn set_seq_limit(&mut self, seq_limit: u64) {
+        self.seq_limit = seq_limit;
     }
 
     fn compressed(&self) -> bool {
@@ -347,12 +374,13 @@ impl SsTableBuilder {
                         .serialize_into(&mut bloom);
                 }
                 self.file.write_all(&bloom)?;
-                let mut footer = Vec::with_capacity(FOOTER_V2);
+                let mut footer = Vec::with_capacity(FOOTER_V3);
                 footer.extend_from_slice(&index_offset.to_le_bytes());
                 footer.extend_from_slice(&(index.len() as u64).to_le_bytes());
                 footer.extend_from_slice(&(bloom.len() as u64).to_le_bytes());
+                footer.extend_from_slice(&self.seq_limit.to_le_bytes());
                 footer.push(self.opts.codec.code());
-                footer.extend_from_slice(MAGIC_V2);
+                footer.extend_from_slice(MAGIC_V3);
                 self.file.write_all(&footer)?;
             }
         }
@@ -382,6 +410,7 @@ pub struct SsTable {
     max_key: Vec<u8>,
     entry_count: u64,
     file_size: u64,
+    seq_limit: u64,
     metrics: Arc<IoMetrics>,
     cache: Arc<BlockCache>,
 }
@@ -421,7 +450,7 @@ impl SsTable {
         file.seek(SeekFrom::End(-8))?;
         let mut magic = [0u8; 8];
         file.read_exact(&mut magic)?;
-        let (format, index_offset, index_len, bloom_len, codec) = match &magic {
+        let (format, index_offset, index_len, bloom_len, codec, seq_limit) = match &magic {
             m if m == MAGIC_V1 => {
                 file.seek(SeekFrom::End(-(FOOTER_V1 as i64)))?;
                 let mut footer = [0u8; FOOTER_V1];
@@ -431,7 +460,14 @@ impl SsTable {
                 if index_offset + index_len + FOOTER_V1 as u64 != file_size {
                     return Err(KvError::Corrupt(format!("{}: bad footer", path.display())));
                 }
-                (BlockFormat::V1, index_offset, index_len, 0u64, Codec::None)
+                (
+                    BlockFormat::V1,
+                    index_offset,
+                    index_len,
+                    0u64,
+                    Codec::None,
+                    0u64,
+                )
             }
             m if m == MAGIC_V2 => {
                 if file_size < FOOTER_V2 as u64 {
@@ -449,7 +485,40 @@ impl SsTable {
                 if index_offset + index_len + bloom_len + FOOTER_V2 as u64 != file_size {
                     return Err(KvError::Corrupt(format!("{}: bad footer", path.display())));
                 }
-                (BlockFormat::V2, index_offset, index_len, bloom_len, codec)
+                (
+                    BlockFormat::V2,
+                    index_offset,
+                    index_len,
+                    bloom_len,
+                    codec,
+                    0,
+                )
+            }
+            m if m == MAGIC_V3 => {
+                if file_size < FOOTER_V3 as u64 {
+                    return Err(KvError::Corrupt(format!("{}: too small", path.display())));
+                }
+                file.seek(SeekFrom::End(-(FOOTER_V3 as i64)))?;
+                let mut footer = [0u8; FOOTER_V3];
+                file.read_exact(&mut footer)?;
+                let index_offset = u64::from_le_bytes(footer[0..8].try_into().unwrap());
+                let index_len = u64::from_le_bytes(footer[8..16].try_into().unwrap());
+                let bloom_len = u64::from_le_bytes(footer[16..24].try_into().unwrap());
+                let seq_limit = u64::from_le_bytes(footer[24..32].try_into().unwrap());
+                let codec = Codec::from_code(footer[32]).ok_or_else(|| {
+                    KvError::Corrupt(format!("{}: unknown codec {}", path.display(), footer[32]))
+                })?;
+                if index_offset + index_len + bloom_len + FOOTER_V3 as u64 != file_size {
+                    return Err(KvError::Corrupt(format!("{}: bad footer", path.display())));
+                }
+                (
+                    BlockFormat::V2,
+                    index_offset,
+                    index_len,
+                    bloom_len,
+                    codec,
+                    seq_limit,
+                )
             }
             _ => {
                 return Err(KvError::Corrupt(format!("{}: bad magic", path.display())));
@@ -513,6 +582,7 @@ impl SsTable {
             max_key,
             entry_count,
             file_size,
+            seq_limit,
             metrics,
             cache,
         })
@@ -551,6 +621,21 @@ impl SsTable {
     /// Whether a bloom filter is attached.
     pub fn has_bloom(&self) -> bool {
         self.bloom.is_some()
+    }
+
+    /// One past the highest MVCC commit sequence any entry in this file
+    /// carries, from the v3 footer. 0 for pre-MVCC (v1/v2) files, which
+    /// are visible to every snapshot. A snapshot at read sequence `S`
+    /// must skip tables with `seq_limit > S` and read the held memtable
+    /// generation instead (see `Region::snapshot`).
+    pub fn seq_limit(&self) -> u64 {
+        self.seq_limit
+    }
+
+    /// Whether every entry in this table is visible at snapshot `snap`
+    /// (i.e. committed strictly before the snapshot's read sequence).
+    pub fn visible_at(&self, snap: u64) -> bool {
+        self.seq_limit <= snap
     }
 
     /// Whether the key range `[start, end]` could overlap this table.
@@ -1046,6 +1131,32 @@ mod tests {
             Some(Some(b"value-123".to_vec()))
         );
         assert_eq!(t.scan(b"", b"\xff\xff").unwrap().len(), 300);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn v3_footer_roundtrips_seq_limit() {
+        let dir = tmpdir("v3-seq");
+        let metrics = Arc::new(IoMetrics::new());
+        let mut b = SsTableBuilder::create(&dir.join("t.sst"), 256, metrics).unwrap();
+        b.set_seq_limit(12345);
+        for i in 0..50u32 {
+            b.add(format!("k{i:04}").as_bytes(), Some(b"v")).unwrap();
+        }
+        let t = b.finish().unwrap();
+        assert_eq!(t.seq_limit(), 12345);
+        let path = t.path().to_path_buf();
+        drop(t);
+        let bytes = std::fs::read(&path).unwrap();
+        assert_eq!(&bytes[bytes.len() - 8..], MAGIC_V3);
+        let t = SsTable::open(&path, Arc::new(IoMetrics::new())).unwrap();
+        assert_eq!(t.seq_limit(), 12345);
+        // Snapshots at or past the bound see the table; earlier ones
+        // must skip it.
+        assert!(t.visible_at(12345));
+        assert!(t.visible_at(u64::MAX));
+        assert!(!t.visible_at(12344));
+        assert_eq!(t.get(b"k0007").unwrap(), Some(Some(b"v".to_vec())));
         std::fs::remove_dir_all(dir).ok();
     }
 }

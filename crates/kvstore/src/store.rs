@@ -165,7 +165,7 @@ impl Store {
             self.region_opts(),
         )?);
         if let Some(s) = &self.scheduler {
-            s.register(table.regions());
+            s.register(&table);
         }
         Ok(table)
     }

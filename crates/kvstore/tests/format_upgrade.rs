@@ -127,7 +127,7 @@ fn mixed_v1_v2_tables_serve_one_merged_view() {
 
     let magics = sst_magics(&dir);
     assert!(
-        magics.contains(&"JSSTBL01".to_string()) && magics.contains(&"JSSTBL02".to_string()),
+        magics.contains(&"JSSTBL01".to_string()) && magics.contains(&"JSSTBL03".to_string()),
         "store must hold both formats: {magics:?}"
     );
 
@@ -138,13 +138,14 @@ fn mixed_v1_v2_tables_serve_one_merged_view() {
     assert_eq!(t.get(b"k000999").unwrap(), None);
     assert_eq!(t.scan(b"", b"\xff").unwrap().len(), 1199);
 
-    // Compaction rewrites everything into the configured (v2) format and
-    // the merged view is unchanged.
+    // Compaction rewrites everything into the current footer (v3, which
+    // carries the commit-sequence limit) and the merged view is
+    // unchanged.
     t.compact().unwrap();
     let magics = sst_magics(&dir);
     assert!(
-        magics.iter().all(|m| m == "JSSTBL02"),
-        "compaction must rewrite to v2: {magics:?}"
+        magics.iter().all(|m| m == "JSSTBL03"),
+        "compaction must rewrite to the current footer: {magics:?}"
     );
     assert_eq!(t.get(b"k000700").unwrap(), Some(b"old-700".to_vec()));
     assert_eq!(t.scan(b"", b"\xff").unwrap().len(), 1199);

@@ -265,6 +265,24 @@ pub enum Statement {
         /// The query id as reported by `SHOW QUERIES`.
         id: u64,
     },
+    /// `SPLIT REGION <table> <region>` — online split of one region of
+    /// this session's table (indices as reported by `SHOW REGIONS`).
+    SplitRegion {
+        /// Table name.
+        table: String,
+        /// Region index to split.
+        region: usize,
+    },
+    /// `MERGE REGIONS <table> <first> <second>` — merge two adjacent
+    /// regions (`second` must be `first + 1`) back into one.
+    MergeRegions {
+        /// Table name.
+        table: String,
+        /// First (left) region index.
+        first: usize,
+        /// Second (right) region index; must equal `first + 1`.
+        second: usize,
+    },
     /// `DESC TABLE name` / `DESC VIEW name`
     Desc {
         /// Object name.

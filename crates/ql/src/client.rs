@@ -218,6 +218,29 @@ impl Client {
                     Err(QlError::Eval(format!("no live query with id {id}")))
                 }
             }
+            Statement::SplitRegion { table, region } => {
+                match self.session.split_region(&table, region)? {
+                    Some(key) => {
+                        let hex: String = key.iter().map(|b| format!("{b:02x}")).collect();
+                        Ok(QueryResult::Message(format!(
+                            "region {region} of '{table}' split at key 0x{hex}"
+                        )))
+                    }
+                    None => Ok(QueryResult::Message(format!(
+                        "region {region} of '{table}' too small to split"
+                    ))),
+                }
+            }
+            Statement::MergeRegions {
+                table,
+                first,
+                second,
+            } => {
+                self.session.merge_regions(&table, first)?;
+                Ok(QueryResult::Message(format!(
+                    "regions {first} and {second} of '{table}' merged"
+                )))
+            }
             Statement::Desc { name } => {
                 let def = self.session.describe(&name)?;
                 let rows = def
@@ -467,11 +490,16 @@ fn show_regions(session: &Session) -> Dataset {
         "table".into(),
         "store".into(),
         "region".into(),
+        "start_key".into(),
         "entries".into(),
         "disk_bytes".into(),
         "memtable_bytes".into(),
         "sstables".into(),
         "generations".into(),
+        "next_seq".into(),
+        "snapshots".into(),
+        "held_gens".into(),
+        "sealed".into(),
         "reads".into(),
         "writes".into(),
         "bytes_read".into(),
@@ -483,15 +511,21 @@ fn show_regions(session: &Session) -> Dataset {
         .region_stats()
         .into_iter()
         .map(|(table, store, s)| {
+            let start_key: String = s.start_key.iter().map(|b| format!("{b:02x}")).collect();
             Row::new(vec![
                 Value::Str(table),
                 Value::Str(store),
                 Value::Int(s.index as i64),
+                Value::Str(start_key),
                 Value::Int(s.entries as i64),
                 Value::Int(s.disk_bytes as i64),
                 Value::Int(s.memtable_bytes as i64),
                 Value::Int(s.sstables as i64),
                 Value::Int(s.generations as i64),
+                Value::Int(s.next_seq as i64),
+                Value::Int(s.open_snapshots as i64),
+                Value::Int(s.held_generations as i64),
+                Value::Bool(s.sealed),
                 Value::Int(s.traffic.reads as i64),
                 Value::Int(s.traffic.writes as i64),
                 Value::Int(s.traffic.bytes_read as i64),

@@ -112,6 +112,16 @@ impl Parser {
         }
     }
 
+    fn region_index(&mut self) -> Result<usize> {
+        match self.advance() {
+            Some(Token::Int(v)) if v >= 0 => Ok(v as usize),
+            _ => {
+                self.pos = self.pos.saturating_sub(1);
+                Err(self.err("expected region index"))
+            }
+        }
+    }
+
     // ------------------------------------------------------------------
     // Statements
     // ------------------------------------------------------------------
@@ -163,6 +173,26 @@ impl Parser {
                 _ => return Err(self.err("expected query id")),
             };
             return Ok(Statement::KillQuery { id });
+        }
+        if self.eat_kw("split") {
+            self.expect_kw("region")?;
+            let table = self.ident()?;
+            let region = self.region_index()?;
+            return Ok(Statement::SplitRegion { table, region });
+        }
+        if self.eat_kw("merge") {
+            self.expect_kw("regions")?;
+            let table = self.ident()?;
+            let first = self.region_index()?;
+            let second = self.region_index()?;
+            if second != first + 1 {
+                return Err(self.err("MERGE REGIONS takes two adjacent region indices"));
+            }
+            return Ok(Statement::MergeRegions {
+                table,
+                first,
+                second,
+            });
         }
         if self.eat_kw("desc") || self.eat_kw("describe") {
             // Optional TABLE/VIEW keyword.

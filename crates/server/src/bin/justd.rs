@@ -5,7 +5,7 @@
 //!       [--users a,b,c] [--port-file PATH]
 //!       [--wal-sync none|batched|per-write] [--no-wal]
 //!       [--mem-shards N] [--wal-streams N]
-//!       [--slow-query-ms N]
+//!       [--slow-query-ms N] [--region-split-bytes N]
 //! ```
 //!
 //! Opens (or creates) the engine at `--data`, binds the listener
@@ -25,6 +25,10 @@
 //! `--wal-streams` group-committed streams (defaults suit a small
 //! host; `--mem-shards 1 --wal-streams 1` reproduces the serial
 //! pre-sharding write path).
+//!
+//! Region lifecycle: the maintenance scheduler auto-splits any region
+//! whose footprint crosses `--region-split-bytes` (default 256 MiB;
+//! 0 disables auto-splitting — manual `SPLIT REGION` still works).
 
 use just_core::{Engine, EngineConfig};
 use just_kvstore::SyncPolicy;
@@ -88,6 +92,14 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            // Auto-split threshold in bytes; 0 disables auto-splits.
+            "--region-split-bytes" => match value.parse::<usize>() {
+                Ok(n) => engine_cfg.store.maintenance.split_bytes = n,
+                Err(_) => {
+                    eprintln!("justd: bad --region-split-bytes '{value}'\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
             // Slow-query threshold in milliseconds; 0 disables the log.
             "--slow-query-ms" => match value.parse() {
                 Ok(ms) => engine_cfg.slow_query_ms = ms,
@@ -137,4 +149,4 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage: justd --data DIR [--addr HOST:PORT] [--max-sessions N] \
 [--users a,b,c] [--port-file PATH] [--wal-sync none|batched|per-write] [--no-wal] \
-[--mem-shards N] [--wal-streams N] [--slow-query-ms N]";
+[--mem-shards N] [--wal-streams N] [--slow-query-ms N] [--region-split-bytes N]";
